@@ -1,0 +1,198 @@
+//! The (k, l)-aggregate module dispatcher used by CALC_F: each aggregate is
+//! a partial mapping from k-ary constraint relations to l-ary constraint
+//! relations (Definition 5.3).
+
+use crate::eval::eval_aggregate;
+use crate::length::{arc_length, avg, length};
+use crate::minmax::{max_of, min_of};
+use crate::surface::surface;
+use crate::volume::volume;
+use crate::{AggError, AggValue};
+use cdb_constraints::ConstraintRelation;
+use cdb_num::Rat;
+use cdb_qe::QeContext;
+
+/// The aggregate functions CALC_F includes (§5): "MIN, MAX, AVG, LENGTH,
+/// SURFACE, VOLUME, and EVAL".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggregate {
+    /// Smallest value of a unary relation.
+    Min,
+    /// Largest value of a unary relation.
+    Max,
+    /// Mean / centroid of a unary relation.
+    Avg,
+    /// 1D measure (unary) or arc length (binary).
+    Length,
+    /// Area of a binary relation.
+    Surface,
+    /// Volume of a ternary relation.
+    Volume,
+    /// Solve to a finite point set, or return the system unchanged.
+    Eval,
+}
+
+impl Aggregate {
+    /// Parse the surface-syntax name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<Aggregate> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "MIN" => Aggregate::Min,
+            "MAX" => Aggregate::Max,
+            "AVG" => Aggregate::Avg,
+            "LENGTH" => Aggregate::Length,
+            "SURFACE" => Aggregate::Surface,
+            "VOLUME" => Aggregate::Volume,
+            "EVAL" => Aggregate::Eval,
+            _ => return None,
+        })
+    }
+
+    /// Surface name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregate::Min => "MIN",
+            Aggregate::Max => "MAX",
+            Aggregate::Avg => "AVG",
+            Aggregate::Length => "LENGTH",
+            Aggregate::Surface => "SURFACE",
+            Aggregate::Volume => "VOLUME",
+            Aggregate::Eval => "EVAL",
+        }
+    }
+
+    /// Input arities this aggregate accepts.
+    #[must_use]
+    pub fn accepts_arity(self, k: usize) -> bool {
+        match self {
+            Aggregate::Min | Aggregate::Max | Aggregate::Avg => k == 1,
+            Aggregate::Length => k == 1 || k == 2,
+            Aggregate::Surface => k == 2,
+            Aggregate::Volume => k == 3,
+            Aggregate::Eval => k >= 1,
+        }
+    }
+}
+
+/// Result of an aggregate module application.
+#[derive(Debug, Clone)]
+pub enum AggOutput {
+    /// A scalar value (MIN/MAX/AVG/LENGTH/SURFACE/VOLUME).
+    Scalar(AggValue),
+    /// A relation (EVAL).
+    Relation(ConstraintRelation),
+}
+
+/// Apply an aggregate to a relation over the listed variables (the
+/// variables bound by the aggregate predicate, in order).
+pub fn apply_aggregate(
+    agg: Aggregate,
+    rel: &ConstraintRelation,
+    vars: &[usize],
+    eps: &Rat,
+    ctx: &QeContext,
+) -> Result<AggOutput, AggError> {
+    if !agg.accepts_arity(vars.len()) {
+        return Err(AggError::Arity { expected: expected_arity(agg), got: vars.len() });
+    }
+    Ok(match agg {
+        Aggregate::Min => AggOutput::Scalar(min_of(rel, vars[0], eps, ctx)?),
+        Aggregate::Max => AggOutput::Scalar(max_of(rel, vars[0], eps, ctx)?),
+        Aggregate::Avg => AggOutput::Scalar(avg(rel, vars[0], eps, ctx)?),
+        Aggregate::Length => {
+            if vars.len() == 1 {
+                AggOutput::Scalar(length(rel, vars[0], eps, ctx)?)
+            } else {
+                AggOutput::Scalar(arc_length(rel, vars[0], vars[1], eps, ctx)?)
+            }
+        }
+        Aggregate::Surface => {
+            AggOutput::Scalar(surface(rel, vars[0], vars[1], eps, ctx)?)
+        }
+        Aggregate::Volume => {
+            AggOutput::Scalar(volume(rel, vars[0], vars[1], vars[2], eps, ctx)?)
+        }
+        Aggregate::Eval => {
+            AggOutput::Relation(eval_aggregate(rel, vars, eps, ctx)?.relation())
+        }
+    })
+}
+
+fn expected_arity(agg: Aggregate) -> usize {
+    match agg {
+        Aggregate::Min | Aggregate::Max | Aggregate::Avg | Aggregate::Length => 1,
+        Aggregate::Surface => 2,
+        Aggregate::Volume => 3,
+        Aggregate::Eval => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_constraints::{Atom, GeneralizedTuple, RelOp};
+    use cdb_poly::MPoly;
+
+    #[test]
+    fn name_roundtrip() {
+        for a in [
+            Aggregate::Min,
+            Aggregate::Max,
+            Aggregate::Avg,
+            Aggregate::Length,
+            Aggregate::Surface,
+            Aggregate::Volume,
+            Aggregate::Eval,
+        ] {
+            assert_eq!(Aggregate::by_name(a.name()), Some(a));
+        }
+        assert_eq!(Aggregate::by_name("surface"), Some(Aggregate::Surface));
+        assert_eq!(Aggregate::by_name("SUM"), None);
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert!(Aggregate::Min.accepts_arity(1));
+        assert!(!Aggregate::Min.accepts_arity(2));
+        assert!(Aggregate::Surface.accepts_arity(2));
+        assert!(!Aggregate::Surface.accepts_arity(1));
+        assert!(Aggregate::Length.accepts_arity(2));
+        let x = MPoly::var(0, 1);
+        let rel = ConstraintRelation::new(
+            1,
+            vec![GeneralizedTuple::new(1, vec![Atom::new(x, RelOp::Le)])],
+        );
+        let ctx = QeContext::exact();
+        let err = apply_aggregate(
+            Aggregate::Surface,
+            &rel,
+            &[0],
+            &"1/100".parse().unwrap(),
+            &ctx,
+        );
+        assert!(matches!(err, Err(AggError::Arity { .. })));
+    }
+
+    #[test]
+    fn dispatch_min() {
+        let x = MPoly::var(0, 1);
+        let rel = ConstraintRelation::new(
+            1,
+            vec![GeneralizedTuple::new(
+                1,
+                vec![
+                    Atom::new(&MPoly::constant(Rat::from(2i64), 1) - &x, RelOp::Le),
+                    Atom::new(&x - &MPoly::constant(Rat::from(7i64), 1), RelOp::Le),
+                ],
+            )],
+        );
+        let ctx = QeContext::exact();
+        let out = apply_aggregate(Aggregate::Min, &rel, &[0], &"1/100".parse().unwrap(), &ctx)
+            .unwrap();
+        match out {
+            AggOutput::Scalar(v) => assert_eq!(v.value, Rat::from(2i64)),
+            AggOutput::Relation(_) => panic!("expected scalar"),
+        }
+    }
+}

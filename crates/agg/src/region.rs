@@ -1,0 +1,485 @@
+//! Region scanning: turn a constraint relation into measurable geometry
+//! via its CAD — 1D cell lists and 2D slab/band decompositions.
+//!
+//! This is the bridge between the symbolic world (generalized tuples) and
+//! the numeric world (integration): exactly the structure Appendix I's CAD
+//! provides ("the cells are indexed in a simple way which permits to
+//! determine their dimension and their relative positions in the stacks").
+
+use crate::AggError;
+use cdb_constraints::formula::relation_to_formula;
+use cdb_constraints::ConstraintRelation;
+use cdb_num::{Rat, Sign};
+use cdb_poly::{MPoly, RealAlg, UPoly};
+use cdb_qe::cad::sample::Coord;
+use cdb_qe::cad::{build_cad, eval_formula_at_cell};
+use cdb_qe::QeContext;
+
+/// A cell of a one-dimensional region.
+#[derive(Debug, Clone)]
+pub enum Cell1D {
+    /// An isolated point.
+    Point(RealAlg),
+    /// An open interval; `None` endpoints are infinite.
+    Interval(Option<RealAlg>, Option<RealAlg>),
+}
+
+/// A one-dimensional region: true cells of the CAD of a unary relation,
+/// ascending.
+#[derive(Debug, Clone)]
+pub struct Region1D {
+    /// The cells.
+    pub cells: Vec<Cell1D>,
+}
+
+impl Region1D {
+    /// Scan a relation that constrains the single variable `var`.
+    pub fn from_relation(
+        rel: &ConstraintRelation,
+        var: usize,
+        ctx: &QeContext,
+    ) -> Result<Region1D, AggError> {
+        if rel.is_syntactically_empty() {
+            return Ok(Region1D { cells: Vec::new() });
+        }
+        let polys = rel.polynomials();
+        if polys.is_empty() {
+            // Trivial relation: either all of R or empty; sample at 0.
+            return Ok(if rel.satisfied_at(&vec![Rat::zero(); rel.nvars()]) {
+                Region1D { cells: vec![Cell1D::Interval(None, None)] }
+            } else {
+                Region1D { cells: Vec::new() }
+            });
+        }
+        let cad = build_cad(&polys, &[var], rel.nvars(), ctx)?;
+        let matrix = relation_to_formula(rel);
+        let cells = &cad.levels[0];
+        let max_index = cells.last().expect("nonempty CAD").index[0];
+        let mut out = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if !eval_formula_at_cell(&cad, cell, &matrix, ctx)? {
+                continue;
+            }
+            let pos = cell.index[0];
+            if pos % 2 == 0 {
+                // Section.
+                let Coord::Alg(root) = &cell.sample[0] else {
+                    unreachable!("sections carry algebraic coordinates")
+                };
+                out.push(Cell1D::Point(root.clone()));
+            } else {
+                let lo = if pos == 1 {
+                    None
+                } else {
+                    Some(section_root(&cells[i - 1].sample[0]))
+                };
+                let hi = if pos == max_index {
+                    None
+                } else {
+                    Some(section_root(&cells[i + 1].sample[0]))
+                };
+                out.push(Cell1D::Interval(lo, hi));
+            }
+        }
+        Ok(Region1D { cells: out })
+    }
+
+    /// True iff no true cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// All cells are points (the region is a finite set).
+    #[must_use]
+    pub fn is_finite_set(&self) -> bool {
+        self.cells.iter().all(|c| matches!(c, Cell1D::Point(_)))
+    }
+}
+
+fn section_root(c: &Coord) -> RealAlg {
+    match c {
+        Coord::Alg(a) => a.clone(),
+        Coord::Rat(r) => RealAlg::from_rat(r.clone()),
+    }
+}
+
+/// A function bounding a band from below or above.
+#[derive(Debug, Clone)]
+pub enum BoundFn {
+    /// Exactly `y = g(x)` for a univariate polynomial `g` (the bounding
+    /// section's polynomial is linear in `y` with constant leading
+    /// coefficient) — enables exact integration.
+    Poly(UPoly),
+    /// The `branch`-th root (1-based) of the merged stack of the region's
+    /// level-2 polynomials over `x`.
+    Branch(usize),
+}
+
+/// A vertical band: a true sector cell of a stack.
+#[derive(Debug, Clone)]
+pub struct Band {
+    /// Lower bound (`None` = −∞).
+    pub lower: Option<BoundFn>,
+    /// Upper bound (`None` = +∞).
+    pub upper: Option<BoundFn>,
+}
+
+/// A section arc: a true section cell (piece of a curve `p(x, y) = 0`).
+#[derive(Debug, Clone)]
+pub struct Arc {
+    /// The branch index in the merged stack.
+    pub branch: usize,
+    /// A polynomial vanishing on the arc (for implicit differentiation).
+    pub poly: MPoly,
+}
+
+/// Everything above one x-cell.
+#[derive(Debug, Clone)]
+pub struct Slab {
+    /// The x-cell: a point (section) or an interval.
+    pub x_cell: Cell1D,
+    /// True sector cells.
+    pub bands: Vec<Band>,
+    /// True section cells (curve pieces).
+    pub arcs: Vec<Arc>,
+}
+
+/// A two-dimensional region decomposition.
+pub struct Region2D {
+    /// Ambient arity of the relation.
+    pub nvars: usize,
+    /// The x variable.
+    pub xvar: usize,
+    /// The y variable.
+    pub yvar: usize,
+    /// Level-2 polynomials of the CAD (for branch evaluation).
+    pub fiber_polys: Vec<MPoly>,
+    /// The slabs, in x order.
+    pub slabs: Vec<Slab>,
+}
+
+impl Region2D {
+    /// Scan a relation constraining variables `xvar` and `yvar`.
+    pub fn from_relation(
+        rel: &ConstraintRelation,
+        xvar: usize,
+        yvar: usize,
+        ctx: &QeContext,
+    ) -> Result<Region2D, AggError> {
+        let polys = rel.polynomials();
+        let cad = build_cad(&polys, &[xvar, yvar], rel.nvars(), ctx)?;
+        let matrix = relation_to_formula(rel);
+        let fiber_polys: Vec<MPoly> = cad.level_poly_ids[1]
+            .iter()
+            .map(|&id| cad.registry.get(id).clone())
+            .collect();
+        let level1 = &cad.levels[0];
+        let level2 = &cad.levels[1];
+        let max_x_index = level1.last().map_or(1, |c| c.index[0]);
+        // Group level-2 cells by parent.
+        let mut slabs = Vec::new();
+        for (pi, parent) in level1.iter().enumerate() {
+            let children: Vec<(usize, &cdb_qe::cad::CadCell)> = level2
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.parent == Some(pi))
+                .collect();
+            let max_y_index = children.last().map_or(1, |(_, c)| c.index[1]);
+            let x_cell = if parent.index[0] % 2 == 0 {
+                Cell1D::Point(section_root(&parent.sample[0]))
+            } else {
+                let lo = if parent.index[0] == 1 {
+                    None
+                } else {
+                    Some(section_root(&level1[pi - 1].sample[0]))
+                };
+                let hi = if parent.index[0] == max_x_index {
+                    None
+                } else {
+                    Some(section_root(&level1[pi + 1].sample[0]))
+                };
+                Cell1D::Interval(lo, hi)
+            };
+            let mut bands = Vec::new();
+            let mut arcs = Vec::new();
+            for (ci, (gi, cell)) in children.iter().enumerate() {
+                let _ = gi;
+                if !eval_formula_at_cell(&cad, cell, &matrix, ctx)? {
+                    continue;
+                }
+                let pos = cell.index[1];
+                if pos % 2 == 0 {
+                    // Section: find a vanishing level-2 polynomial.
+                    let poly = cad.level_poly_ids[1]
+                        .iter()
+                        .find(|&&id| cell.signs.get(&id) == Some(&Sign::Zero))
+                        .map(|&id| cad.registry.get(id).clone());
+                    if let Some(poly) = poly {
+                        arcs.push(Arc { branch: pos / 2, poly });
+                    }
+                } else {
+                    let lower = if pos == 1 {
+                        None
+                    } else {
+                        Some(bound_of_section(&cad, children[ci - 1].1, yvar, pos / 2))
+                    };
+                    let upper = if pos == max_y_index {
+                        None
+                    } else {
+                        Some(bound_of_section(&cad, children[ci + 1].1, yvar, pos / 2 + 1))
+                    };
+                    bands.push(Band { lower, upper });
+                }
+            }
+            if !bands.is_empty() || !arcs.is_empty() {
+                slabs.push(Slab { x_cell, bands, arcs });
+            }
+        }
+        Ok(Region2D {
+            nvars: rel.nvars(),
+            xvar,
+            yvar,
+            fiber_polys,
+            slabs,
+        })
+    }
+
+    /// Evaluate a bound function at a rational `x`: the exact `y` value as a
+    /// rational when [`BoundFn::Poly`], else the refined branch root.
+    pub fn bound_at(&self, b: &BoundFn, x: &Rat, eps: &Rat) -> Result<Rat, AggError> {
+        match b {
+            BoundFn::Poly(g) => Ok(g.eval(x)),
+            BoundFn::Branch(k) => {
+                let roots = self.stack_roots_at(x)?;
+                roots
+                    .get(k - 1)
+                    .map(|r| r.approx(eps))
+                    .ok_or_else(|| AggError::Quadrature(format!("branch {k} missing at x={x}")))
+            }
+        }
+    }
+
+    /// Fast approximate stack roots for quadrature: the sample `x` is
+    /// snapped to a dyadic rational (bounded coefficient growth), roots are
+    /// isolated to ~1e-12 and deduplicated by closeness. Used only on
+    /// numeric integration paths, where the integral itself is approximate.
+    pub fn stack_roots_f64(&self, x: f64) -> Result<Vec<f64>, AggError> {
+        // Snap to a denominator of 2^24: generic enough for interior
+        // samples, small enough to keep isolation fast.
+        let snapped = (x * 16_777_216.0).round() / 16_777_216.0;
+        let xr = Rat::from_f64(snapped)
+            .ok_or_else(|| AggError::Quadrature("non-finite sample".into()))?;
+        let eps: Rat = Rat::new(cdb_num::Int::one(), cdb_num::Int::pow2(40));
+        let mut all: Vec<f64> = Vec::new();
+        for p in &self.fiber_polys {
+            let u = p
+                .substitute(self.xvar, &xr)
+                .to_upoly_in(self.yvar)
+                .ok_or_else(|| {
+                    AggError::Quadrature("fiber polynomial kept extra variables".into())
+                })?;
+            if u.is_zero() || u.is_constant() {
+                continue;
+            }
+            for r in cdb_poly::roots::real_roots_approx(&u, &eps) {
+                all.push(r.to_f64());
+            }
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite roots"));
+        all.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        Ok(all)
+    }
+
+    /// Merged, deduplicated, ascending roots of the fiber polynomials at a
+    /// rational `x` (exact comparison — roots are algebraic over `Q`).
+    pub fn stack_roots_at(&self, x: &Rat) -> Result<Vec<RealAlg>, AggError> {
+        let mut all: Vec<RealAlg> = Vec::new();
+        for p in &self.fiber_polys {
+            let u = p
+                .substitute(self.xvar, x)
+                .to_upoly_in(self.yvar)
+                .ok_or_else(|| {
+                    AggError::Quadrature("fiber polynomial kept extra variables".into())
+                })?;
+            if u.is_zero() || u.is_constant() {
+                continue;
+            }
+            for r in RealAlg::roots_of(&u) {
+                // Exact insertion sort with dedup.
+                let mut placed = false;
+                for i in 0..all.len() {
+                    match r.cmp_alg(&all[i]) {
+                        std::cmp::Ordering::Equal => {
+                            placed = true;
+                            break;
+                        }
+                        std::cmp::Ordering::Less => {
+                            all.insert(i, r.clone());
+                            placed = true;
+                            break;
+                        }
+                        std::cmp::Ordering::Greater => {}
+                    }
+                }
+                if !placed {
+                    all.push(r);
+                }
+            }
+        }
+        Ok(all)
+    }
+}
+
+/// Extract the bound function of a section cell: an exact polynomial graph
+/// when some vanishing polynomial is linear in `y` with constant leading
+/// coefficient; otherwise the branch index.
+fn bound_of_section(
+    cad: &cdb_qe::cad::Cad,
+    cell: &cdb_qe::cad::CadCell,
+    yvar: usize,
+    branch: usize,
+) -> BoundFn {
+    for &id in &cad.level_poly_ids[1] {
+        if cell.signs.get(&id) != Some(&Sign::Zero) {
+            continue;
+        }
+        let p = cad.registry.get(id);
+        if p.degree_in(yvar) != 1 {
+            continue;
+        }
+        let coeffs = p.as_upoly_in(yvar);
+        let Some(c1) = coeffs[1].to_constant() else {
+            continue;
+        };
+        // y = −c0(x)/c1; exact only when c0 is univariate in x.
+        let xvar = cad.order[0];
+        if let Some(c0) = coeffs[0].to_upoly_in(xvar) {
+            return BoundFn::Poly(c0.scale(&-(c1.recip())));
+        }
+    }
+    BoundFn::Branch(branch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_constraints::{Atom, GeneralizedTuple, RelOp};
+
+    fn c(v: i64, n: usize) -> MPoly {
+        MPoly::constant(Rat::from(v), n)
+    }
+
+    fn interval_rel() -> ConstraintRelation {
+        // 0 ≤ x ≤ 2 ∪ {4}
+        let x = MPoly::var(0, 1);
+        ConstraintRelation::new(
+            1,
+            vec![
+                GeneralizedTuple::new(
+                    1,
+                    vec![
+                        Atom::new(-&x, RelOp::Le),
+                        Atom::new(&x - &c(2, 1), RelOp::Le),
+                    ],
+                ),
+                GeneralizedTuple::new(1, vec![Atom::new(&x - &c(4, 1), RelOp::Eq)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn region1d_cells() {
+        let ctx = QeContext::exact();
+        let r = Region1D::from_relation(&interval_rel(), 0, &ctx).unwrap();
+        // Sections at 0 and 2 are *in* the set (≤), plus the open interval
+        // and the isolated point 4: point(0), (0,2), point(2), point(4).
+        assert_eq!(r.cells.len(), 4);
+        assert!(!r.is_finite_set());
+        match &r.cells[1] {
+            Cell1D::Interval(Some(lo), Some(hi)) => {
+                assert_eq!(lo.to_rat(), Some(Rat::zero()));
+                assert_eq!(hi.to_rat(), Some(Rat::from(2i64)));
+            }
+            other => panic!("expected bounded interval, got {other:?}"),
+        }
+        match &r.cells[3] {
+            Cell1D::Point(p) => assert_eq!(p.to_rat(), Some(Rat::from(4i64))),
+            other => panic!("expected point, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn region1d_unbounded() {
+        let x = MPoly::var(0, 1);
+        let rel = ConstraintRelation::new(
+            1,
+            vec![GeneralizedTuple::new(1, vec![Atom::new(-&x, RelOp::Le)])],
+        );
+        let ctx = QeContext::exact();
+        let r = Region1D::from_relation(&rel, 0, &ctx).unwrap();
+        assert!(r
+            .cells
+            .iter()
+            .any(|c| matches!(c, Cell1D::Interval(_, None))));
+    }
+
+    #[test]
+    fn region2d_paper_surface_region() {
+        // S(x,y) ∧ y ≤ 9 with S ≡ 4x² − y − 20x + 25 ≤ 0.
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let s = &(&(&c(4, 2) * &x.pow(2)) - &y) - &(&(&c(20, 2) * &x) - &c(25, 2));
+        let rel = ConstraintRelation::new(
+            2,
+            vec![GeneralizedTuple::new(
+                2,
+                vec![
+                    Atom::new(s, RelOp::Le),
+                    Atom::new(&y - &c(9, 2), RelOp::Le),
+                ],
+            )],
+        );
+        let ctx = QeContext::exact();
+        let region = Region2D::from_relation(&rel, 0, 1, &ctx).unwrap();
+        // Open slabs over (1, 5/2) and (5/2, 4) plus measure-zero pieces.
+        let open_slabs: Vec<&Slab> = region
+            .slabs
+            .iter()
+            .filter(|s| matches!(&s.x_cell, Cell1D::Interval(Some(_), Some(_))))
+            .collect();
+        assert_eq!(open_slabs.len(), 2);
+        for slab in &open_slabs {
+            assert_eq!(slab.bands.len(), 1);
+            let band = &slab.bands[0];
+            // Both bounds are exact polynomial graphs.
+            assert!(matches!(band.lower, Some(BoundFn::Poly(_))));
+            assert!(matches!(band.upper, Some(BoundFn::Poly(_))));
+        }
+        // Lower bound at x = 2 is the parabola: y = 4·4 − 40 + 25 = 1.
+        if let Some(BoundFn::Poly(g)) = &open_slabs[0].bands[0].lower {
+            assert_eq!(g.eval(&Rat::from(2i64)), Rat::one());
+        }
+        if let Some(BoundFn::Poly(g)) = &open_slabs[0].bands[0].upper {
+            assert_eq!(g.eval(&Rat::from(2i64)), Rat::from(9i64));
+        }
+    }
+
+    #[test]
+    fn branch_roots_of_circle() {
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let circle = &(&x.pow(2) + &y.pow(2)) - &c(1, 2);
+        let rel = ConstraintRelation::new(
+            2,
+            vec![GeneralizedTuple::new(2, vec![Atom::new(circle, RelOp::Le)])],
+        );
+        let ctx = QeContext::exact();
+        let region = Region2D::from_relation(&rel, 0, 1, &ctx).unwrap();
+        let roots = region.stack_roots_at(&Rat::zero()).unwrap();
+        assert_eq!(roots.len(), 2); // y = ±1
+        let eps: Rat = "1/1000000".parse().unwrap();
+        assert!((roots[0].approx(&eps).to_f64() + 1.0).abs() < 1e-5);
+        assert!((roots[1].approx(&eps).to_f64() - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,98 @@
+//! Sup-norm error estimation by dense sampling.
+//!
+//! The paper leaves error analysis open ("Error analysis remains an
+//! interesting issue to be resolved"); we provide the empirical measure the
+//! E14 experiment sweeps: `max |f(x) − g(x)|` over a sampling grid.
+
+use crate::funcs::AnalyticFn;
+use cdb_poly::UPoly;
+
+/// Estimated sup-norm error of `poly` against `f` on `[a, b]`, sampled at
+/// `samples + 1` equispaced points.
+#[must_use]
+pub fn sup_error(f: AnalyticFn, poly: &UPoly, a: f64, b: f64, samples: usize) -> f64 {
+    assert!(samples >= 1 && a <= b);
+    let mut worst = 0.0f64;
+    for i in 0..=samples {
+        let x = a + (b - a) * (i as f64) / (samples as f64);
+        if !f.in_domain(x) {
+            continue;
+        }
+        let e = (f.eval(x) - poly.eval_f64(x)).abs();
+        if e > worst {
+            worst = e;
+        }
+    }
+    worst
+}
+
+/// Same for a piecewise approximation over its whole span.
+#[must_use]
+pub fn sup_error_piecewise(
+    f: AnalyticFn,
+    pw: &crate::modules::PiecewisePoly,
+    samples: usize,
+) -> f64 {
+    let Some((first, _, _)) = pw.pieces.first() else {
+        return 0.0;
+    };
+    let (_, last, _) = pw.pieces.last().expect("nonempty");
+    let (a, b) = (first.to_f64(), last.to_f64());
+    let mut worst = 0.0f64;
+    for i in 0..=samples {
+        let x = a + (b - a) * (i as f64) / (samples as f64);
+        if !f.in_domain(x) {
+            continue;
+        }
+        if let Some(v) = pw.eval_f64(x) {
+            let e = (f.eval(x) - v).abs();
+            if e > worst {
+                worst = e;
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abase::ABase;
+    use crate::modules::{approximate_on_abase, ApproxMethod};
+    use cdb_num::Rat;
+
+    #[test]
+    fn zero_error_for_polynomial_functions() {
+        // Approximating a function by itself-as-polynomial: sup error of a
+        // constant-zero difference. Use Sin vs its degree-9 Chebyshev on a
+        // small interval: error must be tiny.
+        let abase = ABase::uniform(Rat::from(0i64), Rat::from(1i64), 1);
+        let pw = approximate_on_abase(
+            crate::funcs::AnalyticFn::Sin,
+            &abase,
+            9,
+            ApproxMethod::Chebyshev,
+        )
+        .unwrap();
+        let e = sup_error_piecewise(crate::funcs::AnalyticFn::Sin, &pw, 500);
+        assert!(e < 1e-10, "error {e}");
+    }
+
+    #[test]
+    fn error_monotone_in_order() {
+        let abase = ABase::uniform(Rat::from(-2i64), Rat::from(2i64), 1);
+        let mut prev = f64::INFINITY;
+        for k in [2u32, 4, 8] {
+            let pw = approximate_on_abase(
+                crate::funcs::AnalyticFn::Exp,
+                &abase,
+                k,
+                ApproxMethod::Chebyshev,
+            )
+            .unwrap();
+            let e = sup_error_piecewise(crate::funcs::AnalyticFn::Exp, &pw, 500);
+            assert!(e < prev, "order {k}: {e} !< {prev}");
+            prev = e;
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The analytic (non-semi-algebraic) functions CALC_F admits (§5):
+//! "polynomial, exponential, logarithmic, trigonometric functions, etc.".
+//!
+//! By Van den Dries \[Dr82\] no proper extension of the real field by such
+//! functions admits quantifier elimination — which is exactly why CALC_F
+//! replaces them by polynomial approximations before QE.
+
+use std::fmt;
+
+/// A builtin analytic function of one variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalyticFn {
+    /// `e^x`
+    Exp,
+    /// natural logarithm, domain `x > 0`
+    Ln,
+    /// sine
+    Sin,
+    /// cosine
+    Cos,
+    /// tangent, domain away from odd multiples of π/2
+    Tan,
+    /// arctangent
+    Atan,
+    /// square root, domain `x ≥ 0`
+    Sqrt,
+    /// reciprocal `1/x`, domain `x ≠ 0`
+    Recip,
+}
+
+impl AnalyticFn {
+    /// Parse by name (the CALC_F surface syntax).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<AnalyticFn> {
+        Some(match name {
+            "exp" => AnalyticFn::Exp,
+            "ln" | "log" => AnalyticFn::Ln,
+            "sin" => AnalyticFn::Sin,
+            "cos" => AnalyticFn::Cos,
+            "tan" => AnalyticFn::Tan,
+            "atan" => AnalyticFn::Atan,
+            "sqrt" => AnalyticFn::Sqrt,
+            "recip" => AnalyticFn::Recip,
+            _ => return None,
+        })
+    }
+
+    /// Surface name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalyticFn::Exp => "exp",
+            AnalyticFn::Ln => "ln",
+            AnalyticFn::Sin => "sin",
+            AnalyticFn::Cos => "cos",
+            AnalyticFn::Tan => "tan",
+            AnalyticFn::Atan => "atan",
+            AnalyticFn::Sqrt => "sqrt",
+            AnalyticFn::Recip => "recip",
+        }
+    }
+
+    /// Evaluate.
+    #[must_use]
+    pub fn eval(self, x: f64) -> f64 {
+        match self {
+            AnalyticFn::Exp => x.exp(),
+            AnalyticFn::Ln => x.ln(),
+            AnalyticFn::Sin => x.sin(),
+            AnalyticFn::Cos => x.cos(),
+            AnalyticFn::Tan => x.tan(),
+            AnalyticFn::Atan => x.atan(),
+            AnalyticFn::Sqrt => x.sqrt(),
+            AnalyticFn::Recip => 1.0 / x,
+        }
+    }
+
+    /// Is `x` inside the function's domain (with a safety margin for
+    /// singular points — "any approximation of a function with singular
+    /// points … admits no bounded error")?
+    #[must_use]
+    pub fn in_domain(self, x: f64) -> bool {
+        match self {
+            AnalyticFn::Exp | AnalyticFn::Sin | AnalyticFn::Cos | AnalyticFn::Atan => {
+                x.is_finite()
+            }
+            AnalyticFn::Ln => x > 0.0,
+            AnalyticFn::Sqrt => x >= 0.0,
+            AnalyticFn::Recip => x != 0.0,
+            AnalyticFn::Tan => {
+                let two_over_pi = std::f64::consts::FRAC_2_PI;
+                let t = (x * two_over_pi).round();
+                // Away from odd multiples of π/2.
+                !(t as i64 % 2 != 0 && (x - t / two_over_pi).abs() < 1e-9)
+            }
+        }
+    }
+
+    /// True iff the whole closed interval is inside the domain.
+    #[must_use]
+    pub fn interval_in_domain(self, lo: f64, hi: f64) -> bool {
+        match self {
+            AnalyticFn::Exp | AnalyticFn::Sin | AnalyticFn::Cos | AnalyticFn::Atan => {
+                lo.is_finite() && hi.is_finite()
+            }
+            AnalyticFn::Ln => lo > 0.0,
+            AnalyticFn::Sqrt => lo >= 0.0,
+            AnalyticFn::Recip => lo > 0.0 || hi < 0.0,
+            AnalyticFn::Tan => {
+                // No odd multiple of π/2 inside [lo, hi].
+                let k_lo = (lo / std::f64::consts::FRAC_PI_2).ceil() as i64;
+                let k_hi = (hi / std::f64::consts::FRAC_PI_2).floor() as i64;
+                (k_lo..=k_hi).all(|k| k % 2 == 0)
+            }
+        }
+    }
+
+    /// The `n`-th derivative at `x` (closed forms; used by the Taylor
+    /// module).
+    #[must_use]
+    pub fn derivative(self, n: u32, x: f64) -> f64 {
+        match self {
+            AnalyticFn::Exp => x.exp(),
+            AnalyticFn::Sin => match n % 4 {
+                0 => x.sin(),
+                1 => x.cos(),
+                2 => -x.sin(),
+                _ => -x.cos(),
+            },
+            AnalyticFn::Cos => match n % 4 {
+                0 => x.cos(),
+                1 => -x.sin(),
+                2 => -x.cos(),
+                _ => x.sin(),
+            },
+            AnalyticFn::Ln => {
+                if n == 0 {
+                    x.ln()
+                } else {
+                    // (−1)^{n+1} (n−1)! / x^n
+                    let sign = if n % 2 == 1 { 1.0 } else { -1.0 };
+                    sign * factorial(n - 1) / x.powi(n as i32)
+                }
+            }
+            AnalyticFn::Recip => {
+                // (−1)^n n! / x^{n+1}
+                let sign = if n.is_multiple_of(2) { 1.0 } else { -1.0 };
+                sign * factorial(n) / x.powi(n as i32 + 1)
+            }
+            AnalyticFn::Sqrt => {
+                if n == 0 {
+                    x.sqrt()
+                } else {
+                    // d^n/dx^n x^{1/2} = (1/2)(1/2−1)…(1/2−n+1) x^{1/2−n}
+                    let mut c = 1.0;
+                    for i in 0..n {
+                        c *= 0.5 - f64::from(i);
+                    }
+                    c * x.powf(0.5 - f64::from(n))
+                }
+            }
+            AnalyticFn::Atan | AnalyticFn::Tan => {
+                // No simple closed form: central finite differences of the
+                // previous derivative (adequate for the small n Taylor uses).
+                if n == 0 {
+                    self.eval(x)
+                } else {
+                    let h = 1e-4;
+                    (self.derivative(n - 1, x + h) - self.derivative(n - 1, x - h))
+                        / (2.0 * h)
+                }
+            }
+        }
+    }
+}
+
+fn factorial(n: u32) -> f64 {
+    (1..=n).map(f64::from).product()
+}
+
+impl fmt::Display for AnalyticFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for f in [
+            AnalyticFn::Exp,
+            AnalyticFn::Ln,
+            AnalyticFn::Sin,
+            AnalyticFn::Cos,
+            AnalyticFn::Tan,
+            AnalyticFn::Atan,
+            AnalyticFn::Sqrt,
+            AnalyticFn::Recip,
+        ] {
+            assert_eq!(AnalyticFn::by_name(f.name()), Some(f));
+        }
+        assert_eq!(AnalyticFn::by_name("nope"), None);
+    }
+
+    #[test]
+    fn evaluation() {
+        assert!((AnalyticFn::Exp.eval(0.0) - 1.0).abs() < 1e-15);
+        assert!((AnalyticFn::Sin.eval(std::f64::consts::FRAC_PI_2) - 1.0).abs() < 1e-15);
+        assert!((AnalyticFn::Sqrt.eval(4.0) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn domains() {
+        assert!(!AnalyticFn::Ln.in_domain(0.0));
+        assert!(AnalyticFn::Ln.in_domain(0.5));
+        assert!(!AnalyticFn::Recip.interval_in_domain(-1.0, 1.0));
+        assert!(AnalyticFn::Recip.interval_in_domain(0.5, 3.0));
+        assert!(!AnalyticFn::Tan.interval_in_domain(1.0, 2.0)); // π/2 inside
+        assert!(AnalyticFn::Tan.interval_in_domain(-1.0, 1.0));
+    }
+
+    #[test]
+    fn derivatives_closed_forms() {
+        // exp: all derivatives equal exp.
+        assert!((AnalyticFn::Exp.derivative(5, 1.0) - 1f64.exp()).abs() < 1e-12);
+        // sin'' = −sin.
+        assert!((AnalyticFn::Sin.derivative(2, 0.7) + 0.7f64.sin()).abs() < 1e-12);
+        // ln' = 1/x.
+        assert!((AnalyticFn::Ln.derivative(1, 2.0) - 0.5).abs() < 1e-12);
+        // ln'' = −1/x².
+        assert!((AnalyticFn::Ln.derivative(2, 2.0) + 0.25).abs() < 1e-12);
+        // sqrt' = 1/(2√x).
+        assert!((AnalyticFn::Sqrt.derivative(1, 4.0) - 0.25).abs() < 1e-12);
+        // atan' ≈ 1/(1+x²) by finite differences.
+        assert!((AnalyticFn::Atan.derivative(1, 1.0) - 0.5).abs() < 1e-6);
+    }
+}

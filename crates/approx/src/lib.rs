@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! `cdb-approx`: k-order approximation modules (§5, Definition 5.2).
+//!
+//! "A k-order approximation module is a mapping which, on input an n-ary
+//! function f and n intervals, produces an n-variate polynomial g of degree
+//! k … which approximates f." CALC_F replaces every non-polynomial term by
+//! such approximations over the hypercubes of an *a-base* before quantifier
+//! elimination.
+//!
+//! Provided modules (the methods the paper's conclusion names): Taylor
+//! polynomials, Lagrange interpolation, Chebyshev-node interpolation, and
+//! natural cubic splines ("cubic spline interpolation will give a set of
+//! polynomials rather than a simple one" — our [`PiecewisePoly`]).
+
+pub mod abase;
+pub mod error;
+pub mod funcs;
+pub mod modules;
+
+pub use abase::ABase;
+pub use error::sup_error;
+pub use funcs::AnalyticFn;
+pub use modules::{approximate_on_abase, ApproxMethod, PiecewisePoly};

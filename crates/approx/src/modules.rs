@@ -1,0 +1,442 @@
+//! The k-order approximation modules (Definition 5.2) and piecewise
+//! approximation over an a-base.
+
+use crate::abase::ABase;
+use crate::funcs::AnalyticFn;
+use cdb_num::Rat;
+use cdb_poly::UPoly;
+
+/// Which approximation method a module uses (the paper's conclusion lists
+/// "Taylor polynomials, Lagrange interpolation polynomials, iterated
+/// interpolation, cubic spline interpolation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApproxMethod {
+    /// Taylor expansion at the interval midpoint.
+    Taylor,
+    /// Interpolation at equispaced nodes.
+    Lagrange,
+    /// Interpolation at Chebyshev nodes (near-minimax).
+    Chebyshev,
+    /// Natural cubic spline through equispaced nodes (degree ≤ 3 pieces;
+    /// the order parameter selects the number of sub-intervals).
+    CubicSpline,
+}
+
+/// Error from an approximation module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApproxError {
+    /// Part of the interval lies outside the function's domain (the paper's
+    /// `log(x − 3)` at `x = 3` caveat: no bounded error near a singularity).
+    OutOfDomain {
+        /// The function.
+        func: &'static str,
+        /// Offending interval, printed.
+        interval: String,
+    },
+}
+
+impl std::fmt::Display for ApproxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApproxError::OutOfDomain { func, interval } => {
+                write!(f, "{func} is singular/undefined on {interval}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApproxError {}
+
+/// Approximate `f` on `[lo, hi]` by a single polynomial of degree ≤ `k`.
+pub fn approximate(
+    f: AnalyticFn,
+    lo: &Rat,
+    hi: &Rat,
+    k: u32,
+    method: ApproxMethod,
+) -> Result<UPoly, ApproxError> {
+    let (a, b) = (lo.to_f64(), hi.to_f64());
+    assert!(a < b, "empty approximation interval");
+    if !f.interval_in_domain(a, b) {
+        return Err(ApproxError::OutOfDomain {
+            func: f.name(),
+            interval: format!("[{lo}, {hi}]"),
+        });
+    }
+    let poly_f64 = match method {
+        ApproxMethod::Taylor => taylor(f, a, b, k),
+        ApproxMethod::Lagrange => {
+            let nodes = equispaced_nodes(a, b, k as usize + 1);
+            newton_interpolation(f, &nodes)
+        }
+        ApproxMethod::Chebyshev => {
+            let nodes = chebyshev_nodes(a, b, k as usize + 1);
+            newton_interpolation(f, &nodes)
+        }
+        ApproxMethod::CubicSpline => {
+            // A single spline piece == clamped cubic interpolation on 4
+            // Chebyshev points; full splines come from the piecewise API.
+            let nodes = chebyshev_nodes(a, b, (k.min(3) as usize) + 1);
+            newton_interpolation(f, &nodes)
+        }
+    };
+    Ok(to_rat_poly(&poly_f64))
+}
+
+/// A piecewise polynomial over the intervals of an a-base — the shape
+/// CALC_F substitutes for a non-polynomial term (one polynomial per
+/// hypercube, guarded by `z ∈ e` range constraints).
+#[derive(Debug, Clone)]
+pub struct PiecewisePoly {
+    /// `(lo, hi, polynomial)` pieces in ascending order.
+    pub pieces: Vec<(Rat, Rat, UPoly)>,
+}
+
+impl PiecewisePoly {
+    /// Evaluate at a rational point inside the span.
+    #[must_use]
+    pub fn eval(&self, x: &Rat) -> Option<Rat> {
+        for (lo, hi, p) in &self.pieces {
+            if x >= lo && x <= hi {
+                return Some(p.eval(x));
+            }
+        }
+        None
+    }
+
+    /// Evaluate at an `f64`.
+    #[must_use]
+    pub fn eval_f64(&self, x: f64) -> Option<f64> {
+        for (lo, hi, p) in &self.pieces {
+            if x >= lo.to_f64() && x <= hi.to_f64() {
+                return Some(p.eval_f64(x));
+            }
+        }
+        None
+    }
+
+    /// Number of pieces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// True iff no pieces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pieces.is_empty()
+    }
+}
+
+/// Approximate `f` over every interval of the a-base with degree-`k`
+/// polynomials ("CALC_F does approximation dynamically using an a-base").
+/// For [`ApproxMethod::CubicSpline`] a genuine natural cubic spline is fit
+/// through the a-base breakpoints (one cubic per interval).
+pub fn approximate_on_abase(
+    f: AnalyticFn,
+    abase: &ABase,
+    k: u32,
+    method: ApproxMethod,
+) -> Result<PiecewisePoly, ApproxError> {
+    if method == ApproxMethod::CubicSpline {
+        return natural_spline(f, abase);
+    }
+    let mut pieces = Vec::with_capacity(abase.num_intervals());
+    for (lo, hi) in abase.intervals() {
+        let p = approximate(f, &lo, &hi, k, method)?;
+        pieces.push((lo, hi, p));
+    }
+    Ok(PiecewisePoly { pieces })
+}
+
+/// Taylor polynomial of degree `k` at the midpoint of `[a, b]`.
+fn taylor(f: AnalyticFn, a: f64, b: f64, k: u32) -> Vec<f64> {
+    let c = (a + b) / 2.0;
+    // Coefficients around c, then shift to the monomial basis.
+    let mut around_c = Vec::with_capacity(k as usize + 1);
+    let mut fact = 1.0;
+    for n in 0..=k {
+        if n > 0 {
+            fact *= f64::from(n);
+        }
+        around_c.push(f.derivative(n, c) / fact);
+    }
+    shift_polynomial(&around_c, c)
+}
+
+/// Rewrite Σ cᵢ (x − c)^i in the monomial basis via Horner: repeatedly
+/// `out ← out·(x − c) + cᵢ` from the highest coefficient down. The buffer
+/// never drops a term: before the t-th step the degree is at most `t − 1`.
+fn shift_polynomial(coeffs_at_c: &[f64], c: f64) -> Vec<f64> {
+    let mut out = vec![0.0; coeffs_at_c.len()];
+    for &coef in coeffs_at_c.iter().rev() {
+        let mut carry = 0.0;
+        for v in out.iter_mut() {
+            let nv = carry - c * *v;
+            carry = *v;
+            *v = nv;
+        }
+        out[0] += coef;
+    }
+    out
+}
+
+fn equispaced_nodes(a: f64, b: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 1);
+    if n == 1 {
+        return vec![(a + b) / 2.0];
+    }
+    (0..n)
+        .map(|i| a + (b - a) * (i as f64) / ((n - 1) as f64))
+        .collect()
+}
+
+fn chebyshev_nodes(a: f64, b: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 1);
+    (0..n)
+        .map(|i| {
+            let t = ((2 * i + 1) as f64) * std::f64::consts::PI / ((2 * n) as f64);
+            (a + b) / 2.0 + (b - a) / 2.0 * t.cos()
+        })
+        .collect()
+}
+
+/// Newton divided-difference interpolation through `(node, f(node))`,
+/// returned in the monomial basis.
+fn newton_interpolation(f: AnalyticFn, nodes: &[f64]) -> Vec<f64> {
+    let n = nodes.len();
+    let mut dd: Vec<f64> = nodes.iter().map(|&x| f.eval(x)).collect();
+    // In-place divided differences: dd[i] becomes f[x₀..xᵢ].
+    for level in 1..n {
+        for i in (level..n).rev() {
+            dd[i] = (dd[i] - dd[i - 1]) / (nodes[i] - nodes[i - level]);
+        }
+    }
+    // Horner expansion of the Newton form into monomials.
+    let mut out = vec![0.0; n];
+    for i in (0..n).rev() {
+        // out = out * (x − nodes[i]) + dd[i]
+        let c = nodes[i];
+        let mut carry = 0.0;
+        for v in out.iter_mut() {
+            let nv = carry - c * *v;
+            carry = *v;
+            *v = nv;
+        }
+        out[0] += dd[i];
+    }
+    out
+}
+
+/// Natural cubic spline through the a-base breakpoints.
+fn natural_spline(f: AnalyticFn, abase: &ABase) -> Result<PiecewisePoly, ApproxError> {
+    let pts = abase.points();
+    let n = pts.len();
+    let xs: Vec<f64> = pts.iter().map(Rat::to_f64).collect();
+    let (lo, hi) = abase.span();
+    if !f.interval_in_domain(lo.to_f64(), hi.to_f64()) {
+        return Err(ApproxError::OutOfDomain {
+            func: f.name(),
+            interval: format!("[{lo}, {hi}]"),
+        });
+    }
+    let ys: Vec<f64> = xs.iter().map(|&x| f.eval(x)).collect();
+    if n == 2 {
+        // Single linear piece.
+        let slope = (ys[1] - ys[0]) / (xs[1] - xs[0]);
+        let p = vec![ys[0] - slope * xs[0], slope];
+        return Ok(PiecewisePoly {
+            pieces: vec![(lo, hi, to_rat_poly(&p))],
+        });
+    }
+    // Solve for second derivatives m with natural boundary m₀ = mₙ₋₁ = 0
+    // (tridiagonal, Thomas algorithm).
+    let h: Vec<f64> = xs.windows(2).map(|w| w[1] - w[0]).collect();
+    let m = {
+        let dim = n - 2;
+        let mut diag = vec![0.0; dim];
+        let mut upper = vec![0.0; dim];
+        let mut rhs = vec![0.0; dim];
+        for i in 0..dim {
+            diag[i] = 2.0 * (h[i] + h[i + 1]);
+            upper[i] = h[i + 1];
+            rhs[i] = 6.0 * ((ys[i + 2] - ys[i + 1]) / h[i + 1] - (ys[i + 1] - ys[i]) / h[i]);
+        }
+        // Forward sweep (lower diagonal equals h[i]).
+        for i in 1..dim {
+            let w = h[i] / diag[i - 1];
+            diag[i] -= w * upper[i - 1];
+            rhs[i] -= w * rhs[i - 1];
+        }
+        let mut m_inner = vec![0.0; dim];
+        if dim > 0 {
+            m_inner[dim - 1] = rhs[dim - 1] / diag[dim - 1];
+            for i in (0..dim - 1).rev() {
+                m_inner[i] = (rhs[i] - upper[i] * m_inner[i + 1]) / diag[i];
+            }
+        }
+        let mut m = vec![0.0; n];
+        m[1..n - 1].copy_from_slice(&m_inner);
+        m
+    };
+    let mut pieces = Vec::with_capacity(n - 1);
+    for i in 0..n - 1 {
+        // Spline piece on [xᵢ, xᵢ₊₁] in terms of (x − xᵢ):
+        // s(x) = yᵢ + Bᵢ t + Cᵢ t² + Dᵢ t³, t = x − xᵢ.
+        let hi_ = h[i];
+        let b = (ys[i + 1] - ys[i]) / hi_ - hi_ * (2.0 * m[i] + m[i + 1]) / 6.0;
+        let c = m[i] / 2.0;
+        let d = (m[i + 1] - m[i]) / (6.0 * hi_);
+        // Expand around xᵢ into the monomial basis.
+        let local = [ys[i], b, c, d];
+        let mono = shift_polynomial(&local, xs[i]);
+        pieces.push((pts[i].clone(), pts[i + 1].clone(), to_rat_poly(&mono)));
+    }
+    Ok(PiecewisePoly { pieces })
+}
+
+/// Conversion of f64 coefficients to rationals, quantized to denominator
+/// 2⁴⁰. The approximation error of the modules dwarfs 2⁻⁴⁰, and small
+/// coefficients keep the downstream QE (whose cost grows with coefficient
+/// bit length — §4!) fast.
+fn to_rat_poly(coeffs: &[f64]) -> UPoly {
+    let scale = 1_099_511_627_776.0; // 2^40
+    UPoly::from_coeffs(
+        coeffs
+            .iter()
+            .map(|&c| {
+                let q = (c * scale).round();
+                assert!(q.is_finite(), "non-finite approximation coefficient");
+                Rat::new(
+                    Rat::from_f64(q).expect("finite").numer().clone(),
+                    cdb_num::Int::pow2(40),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::sup_error;
+
+    fn rat(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    #[test]
+    fn taylor_exp_small_interval() {
+        let p = approximate(AnalyticFn::Exp, &rat(0), &rat(1), 6, ApproxMethod::Taylor)
+            .unwrap();
+        let err = sup_error(AnalyticFn::Exp, &p, 0.0, 1.0, 400);
+        assert!(err < 1e-5, "taylor exp error {err}");
+    }
+
+    #[test]
+    fn chebyshev_beats_lagrange_on_wide_interval() {
+        let lo = rat(-4);
+        let hi = rat(4);
+        let cheb =
+            approximate(AnalyticFn::Exp, &lo, &hi, 10, ApproxMethod::Chebyshev).unwrap();
+        let lag =
+            approximate(AnalyticFn::Exp, &lo, &hi, 10, ApproxMethod::Lagrange).unwrap();
+        let e_cheb = sup_error(AnalyticFn::Exp, &cheb, -4.0, 4.0, 800);
+        let e_lag = sup_error(AnalyticFn::Exp, &lag, -4.0, 4.0, 800);
+        assert!(e_cheb < e_lag, "chebyshev {e_cheb} vs lagrange {e_lag}");
+        assert!(e_cheb < 1e-3);
+    }
+
+    #[test]
+    fn interpolation_is_exact_at_nodes() {
+        let p = approximate(AnalyticFn::Sin, &rat(0), &rat(3), 5, ApproxMethod::Lagrange)
+            .unwrap();
+        // Equispaced nodes at 0, 0.6, …, 3.0.
+        for i in 0..=5 {
+            let x = 0.6 * f64::from(i);
+            assert!(
+                (p.eval_f64(x) - x.sin()).abs() < 1e-9,
+                "node {x}: {} vs {}",
+                p.eval_f64(x),
+                x.sin()
+            );
+        }
+    }
+
+    #[test]
+    fn domain_violation_detected() {
+        let err = approximate(AnalyticFn::Ln, &rat(-1), &rat(1), 4, ApproxMethod::Taylor);
+        assert!(matches!(err, Err(ApproxError::OutOfDomain { .. })));
+        let err2 =
+            approximate(AnalyticFn::Recip, &rat(-1), &rat(1), 4, ApproxMethod::Chebyshev);
+        assert!(err2.is_err());
+    }
+
+    #[test]
+    fn piecewise_over_abase() {
+        let abase = ABase::uniform(rat(0), rat(6), 6);
+        let pw =
+            approximate_on_abase(AnalyticFn::Sin, &abase, 4, ApproxMethod::Chebyshev)
+                .unwrap();
+        assert_eq!(pw.len(), 6);
+        for i in 0..=60 {
+            let x = 0.1 * f64::from(i);
+            let got = pw.eval_f64(x).expect("inside span");
+            assert!((got - x.sin()).abs() < 1e-3, "x={x}");
+        }
+        assert!(pw.eval_f64(7.0).is_none());
+    }
+
+    #[test]
+    fn refining_abase_reduces_error() {
+        let coarse = ABase::uniform(rat(0), rat(4), 2);
+        let fine = coarse.refined();
+        let err = |ab: &ABase| {
+            let pw =
+                approximate_on_abase(AnalyticFn::Exp, ab, 3, ApproxMethod::Chebyshev)
+                    .unwrap();
+            (0..=400)
+                .map(|i| {
+                    let x = 0.01 * f64::from(i);
+                    (pw.eval_f64(x).unwrap() - x.exp()).abs()
+                })
+                .fold(0.0f64, f64::max)
+        };
+        assert!(err(&fine) < err(&coarse));
+    }
+
+    #[test]
+    fn natural_spline_interpolates() {
+        // sin has (near-)vanishing second derivative at the ends of [0, 6],
+        // matching the natural boundary conditions.
+        let abase = ABase::uniform(rat(0), rat(6), 8);
+        let pw =
+            approximate_on_abase(AnalyticFn::Sin, &abase, 3, ApproxMethod::CubicSpline)
+                .unwrap();
+        assert_eq!(pw.len(), 8);
+        // Exact at breakpoints.
+        for p in abase.points() {
+            let x = p.to_f64();
+            assert!((pw.eval_f64(x).unwrap() - x.sin()).abs() < 1e-8, "knot {x}");
+        }
+        // Decent between knots.
+        for i in 0..=120 {
+            let x = 0.05 * f64::from(i);
+            assert!((pw.eval_f64(x).unwrap() - x.sin()).abs() < 0.02, "x={x}");
+        }
+        // C¹ continuity across a knot (numerically).
+        let x = 1.0;
+        let left = (pw.eval_f64(x - 1e-6).unwrap() - pw.eval_f64(x - 2e-6).unwrap()) / 1e-6;
+        let right = (pw.eval_f64(x + 2e-6).unwrap() - pw.eval_f64(x + 1e-6).unwrap()) / 1e-6;
+        assert!((left - right).abs() < 1e-2);
+    }
+
+    #[test]
+    fn rational_eval_matches_f64() {
+        let p = approximate(AnalyticFn::Cos, &rat(0), &rat(1), 5, ApproxMethod::Chebyshev)
+            .unwrap();
+        let at: Rat = "1/2".parse().unwrap();
+        let exact = p.eval(&at).to_f64();
+        assert!((exact - p.eval_f64(0.5)).abs() < 1e-12);
+    }
+}

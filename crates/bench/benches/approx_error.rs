@@ -1,0 +1,48 @@
+//! E14: approximation modules — cost of building k-order approximations
+//! per method and order (the error side of the trade-off is tabulated by
+//! `repro e14`).
+
+use cdb_approx::modules::{approximate_on_abase, ApproxMethod};
+use cdb_approx::{ABase, AnalyticFn};
+use cdb_num::Rat;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn approx_build(c: &mut Criterion) {
+    let abase = ABase::uniform(Rat::from(-4i64), Rat::from(4i64), 8);
+    let mut group = c.benchmark_group("approx/build_exp_order");
+    for k in [2u32, 4, 8, 12] {
+        for (name, method) in [
+            ("taylor", ApproxMethod::Taylor),
+            ("lagrange", ApproxMethod::Lagrange),
+            ("chebyshev", ApproxMethod::Chebyshev),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, k),
+                &(method, k),
+                |b, &(method, k)| {
+                    b.iter(|| {
+                        approximate_on_abase(AnalyticFn::Exp, &abase, k, method).unwrap()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn spline_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx/build_spline_cells");
+    for cells in [4usize, 16, 64] {
+        let abase = ABase::uniform(Rat::from(-4i64), Rat::from(4i64), cells);
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &abase, |b, abase| {
+            b.iter(|| {
+                approximate_on_abase(AnalyticFn::Sin, abase, 3, ApproxMethod::CubicSpline)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, approx_build, spline_build);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E3 + E13: CALC_F evaluation — the paper's SURFACE example, aggregate
+//! scaling in database size (Theorem 5.5), and an analytic-function query
+//! whose cost scales with the a-base (the §6 accuracy/complexity
+//! trade-off).
+
+use cdb_approx::ABase;
+use cdb_bench::paper_db;
+use cdb_calcf::CalcFEngine;
+use cdb_constraints::{Atom, ConstraintRelation, Database, GeneralizedTuple, RelOp};
+use cdb_num::Rat;
+use cdb_poly::MPoly;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn surface_agg(c: &mut Criterion) {
+    // E3: the paper's SURFACE example as a benchmark.
+    let db = paper_db();
+    let engine = CalcFEngine::default();
+    c.bench_function("calcf/surface_18", |b| {
+        b.iter(|| {
+            let out = engine
+                .evaluate(&db, "z = SURFACE[x, y]{ S(x, y) and y <= 9 }")
+                .unwrap();
+            assert_eq!(out.as_points().unwrap()[0][0], Rat::from(18i64));
+        });
+    });
+}
+
+fn calcf_scaling(c: &mut Criterion) {
+    // E13: SURFACE over m disjoint boxes.
+    let mut group = c.benchmark_group("calcf/surface_m_boxes");
+    group.sample_size(10);
+    for m in [1usize, 2, 4, 8] {
+        let n = 2;
+        let tuples: Vec<GeneralizedTuple> = (0..m as i64)
+            .map(|i| {
+                let x = MPoly::var(0, n);
+                let y = MPoly::var(1, n);
+                let cst = |v: i64| MPoly::constant(Rat::from(v), n);
+                GeneralizedTuple::new(
+                    n,
+                    vec![
+                        Atom::new(&cst(3 * i) - &x, RelOp::Le),
+                        Atom::new(&x - &cst(3 * i + 1), RelOp::Le),
+                        Atom::new(-&y, RelOp::Le),
+                        Atom::new(&y - &cst(1), RelOp::Le),
+                    ],
+                )
+            })
+            .collect();
+        let mut db = Database::new();
+        db.insert("B", ConstraintRelation::new(n, tuples));
+        let engine = CalcFEngine::default();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &db, |b, db| {
+            b.iter(|| {
+                let out = engine.evaluate(db, "z = SURFACE[x, y]{ B(x, y) }").unwrap();
+                assert_eq!(out.as_points().unwrap()[0][0], Rat::from(m as i64));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn analytic_abase_tradeoff(c: &mut Criterion) {
+    // §6: "small intervals reduce the errors but increase the complexity" —
+    // evaluation cost of an exp-query vs a-base cell count.
+    let mut group = c.benchmark_group("calcf/analytic_abase_cells");
+    group.sample_size(10);
+    for cells in [4usize, 8, 16] {
+        let engine = CalcFEngine {
+            abase: ABase::uniform(Rat::from(-1i64), Rat::from(3i64), cells),
+            order: 4,
+            ..CalcFEngine::default()
+        };
+        let db = Database::new();
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &engine, |b, engine| {
+            b.iter(|| {
+                engine
+                    .evaluate(&db, "exp(t) >= 2 and t >= 0 and t <= 2")
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, surface_agg, calcf_scaling, analytic_abase_tradeoff);
+criterion_main!(benches);

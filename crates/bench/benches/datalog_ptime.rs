@@ -1,0 +1,110 @@
+//! E11–E12: inflationary Datalog¬ under finite precision (Theorems 4.7–4.8)
+//! — fixpoint time vs database size for finite transitive closure and
+//! dense-order reachability.
+
+use cdb_constraints::{Atom, ConstraintRelation, Database, GeneralizedTuple, RelOp};
+use cdb_datalog::{Literal, Program, Rule};
+use cdb_num::Rat;
+use cdb_poly::MPoly;
+use cdb_qe::QeContext;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn tc_program() -> Program {
+    Program {
+        rules: vec![
+            Rule::new("T", vec![0, 1], vec![Literal::Rel("E".into(), vec![0, 1])], 2),
+            Rule::new(
+                "T",
+                vec![0, 1],
+                vec![
+                    Literal::Rel("T".into(), vec![0, 2]),
+                    Literal::Rel("E".into(), vec![2, 1]),
+                ],
+                3,
+            ),
+        ],
+    }
+}
+
+fn datalog_tc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog/tc_chain");
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        let pts: Vec<Vec<Rat>> = (0..n as i64)
+            .map(|i| vec![Rat::from(i), Rat::from(i + 1)])
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| {
+                let mut db = Database::new();
+                db.insert("E", ConstraintRelation::from_points(2, pts));
+                let ctx = QeContext::exact();
+                let (out, _) = tc_program().run(&db, &ctx, 64).unwrap();
+                out
+            });
+        });
+    }
+    group.finish();
+}
+
+fn datalog_dense_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog/dense_reach");
+    group.sample_size(10);
+    for span in [2i64, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(span), &span, |b, &span| {
+            b.iter(|| {
+                let n = 2;
+                let x = MPoly::var(0, n);
+                let y = MPoly::var(1, n);
+                let mut db = Database::new();
+                db.insert(
+                    "Start",
+                    ConstraintRelation::from_points(1, &[vec![Rat::zero()]]),
+                );
+                db.insert(
+                    "Step",
+                    ConstraintRelation::new(
+                        n,
+                        vec![GeneralizedTuple::new(
+                            n,
+                            vec![
+                                Atom::cmp(x.clone(), RelOp::Le, y.clone()),
+                                Atom::cmp(
+                                    y.clone(),
+                                    RelOp::Le,
+                                    &x + &MPoly::constant(Rat::one(), n),
+                                ),
+                                Atom::cmp(y.clone(), RelOp::Le, MPoly::constant(Rat::from(span), n)),
+                            ],
+                        )],
+                    ),
+                );
+                let program = Program {
+                    rules: vec![
+                        Rule::new(
+                            "R",
+                            vec![0],
+                            vec![Literal::Rel("Start".into(), vec![0])],
+                            1,
+                        ),
+                        Rule::new(
+                            "R",
+                            vec![1],
+                            vec![
+                                Literal::Rel("R".into(), vec![0]),
+                                Literal::Rel("Step".into(), vec![0, 1]),
+                            ],
+                            2,
+                        ),
+                    ],
+                };
+                let ctx = QeContext::exact();
+                let (out, _) = program.run(&db, &ctx, 64).unwrap();
+                out
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, datalog_tc, datalog_dense_order);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E1 + indexing ablation: membership tests on growing relations, with and
+//! without the bounding-box index (the paper's [KRVV93] motivation).
+
+use cdb_constraints::{Atom, ConstraintRelation, GeneralizedTuple, RelOp};
+use cdb_num::Rat;
+use cdb_poly::MPoly;
+use constraintdb::BoxIndex;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn tiles(m: usize) -> ConstraintRelation {
+    let n = 2;
+    let tuples: Vec<GeneralizedTuple> = (0..m as i64)
+        .map(|i| {
+            let x = MPoly::var(0, n);
+            let y = MPoly::var(1, n);
+            let c = |v: i64| MPoly::constant(Rat::from(v), n);
+            GeneralizedTuple::new(
+                n,
+                vec![
+                    Atom::new(&c(2 * i) - &x, RelOp::Le),
+                    Atom::new(&x - &c(2 * i + 1), RelOp::Le),
+                    Atom::new(-&y, RelOp::Le),
+                    Atom::new(&y - &c(1), RelOp::Le),
+                ],
+            )
+        })
+        .collect();
+    ConstraintRelation::new(n, tuples)
+}
+
+fn membership(c: &mut Criterion) {
+    let probe = [Rat::from(101i64), "1/2".parse::<Rat>().unwrap()];
+    let mut scan = c.benchmark_group("membership/scan");
+    for m in [16usize, 64, 256] {
+        let rel = tiles(m);
+        scan.bench_with_input(BenchmarkId::from_parameter(m), &rel, |b, rel| {
+            b.iter(|| rel.satisfied_at(&probe));
+        });
+    }
+    scan.finish();
+    let mut indexed = c.benchmark_group("membership/indexed");
+    for m in [16usize, 64, 256] {
+        let idx = BoxIndex::build(tiles(m));
+        indexed.bench_with_input(BenchmarkId::from_parameter(m), &idx, |b, idx| {
+            b.iter(|| idx.contains(&probe));
+        });
+    }
+    indexed.finish();
+}
+
+criterion_group!(benches, membership);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E5: NUMERICAL EVALUATION in PTIME (Theorem 3.2) — root isolation time
+//! vs coefficient bit length, and refinement time vs log(1/ε).
+
+use cdb_bench::gen_upoly;
+use cdb_num::{Int, Rat};
+use cdb_poly::{isolate_real_roots, refine_to_width};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn isolation_vs_bits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numeric_eval/isolate_bits");
+    for bits in [4u32, 8, 16, 32] {
+        let p = gen_upoly(5, 9, bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &p, |b, p| {
+            b.iter(|| isolate_real_roots(p));
+        });
+    }
+    group.finish();
+}
+
+fn isolation_vs_degree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numeric_eval/isolate_degree");
+    for degree in [3usize, 5, 9, 13] {
+        let p = gen_upoly(5, degree, 8);
+        group.bench_with_input(BenchmarkId::from_parameter(degree), &p, |b, p| {
+            b.iter(|| isolate_real_roots(p));
+        });
+    }
+    group.finish();
+}
+
+fn refinement_vs_eps(c: &mut Criterion) {
+    let p = gen_upoly(5, 9, 8);
+    let roots = isolate_real_roots(&p);
+    let mut group = c.benchmark_group("numeric_eval/refine_eps_bits");
+    for k in [16u64, 64, 256, 1024] {
+        let eps = Rat::new(Int::one(), Int::pow2(k));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &eps, |b, eps| {
+            b.iter(|| {
+                for r in &roots {
+                    let _ = refine_to_width(&p, r, eps);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, isolation_vs_bits, isolation_vs_degree, refinement_vs_eps);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E2 + E4: the Figure 1 pipeline and QE data complexity (Theorem 3.1).
+//!
+//! `figure1_pipeline` regenerates the paper's Figure 1 end-to-end;
+//! `qe_linear/m` and `qe_poly/m` sweep the database size for both engines —
+//! the shape must be polynomial in m.
+
+use cdb_bench::{gen_linear_relation, gen_poly_relation, paper_db};
+use cdb_constraints::{Atom, Database, Formula, RelOp};
+use cdb_poly::MPoly;
+use cdb_qe::{evaluate_query, QeContext};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn figure1_pipeline(c: &mut Criterion) {
+    let db = paper_db();
+    let y = MPoly::var(1, 2);
+    let query = Formula::exists(
+        1,
+        Formula::and(
+            Formula::Rel("S".into(), vec![0, 1]),
+            Formula::Atom(Atom::new(y, RelOp::Le)),
+        ),
+    );
+    c.bench_function("figure1_pipeline", |b| {
+        b.iter(|| {
+            let ctx = QeContext::exact();
+            let out = evaluate_query(&db, &query, 2, &ctx).unwrap();
+            let pts = cdb_qe::pipeline::numerical_evaluation(
+                &out.relation,
+                &out.free_vars,
+                &"1/1000000".parse().unwrap(),
+                &ctx,
+            )
+            .unwrap()
+            .unwrap();
+            assert_eq!(pts.len(), 1);
+        });
+    });
+}
+
+fn qe_data_complexity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qe_linear");
+    for m in [2usize, 4, 8, 16, 32] {
+        let rel = gen_linear_relation(11, m, 2, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &rel, |b, rel| {
+            b.iter(|| {
+                let mut db = Database::new();
+                db.insert("R", rel.clone());
+                let q = Formula::exists(1, Formula::Rel("R".into(), vec![0, 1]));
+                let ctx = QeContext::exact();
+                evaluate_query(&db, &q, 2, &ctx).unwrap()
+            });
+        });
+    }
+    group.finish();
+    let mut group = c.benchmark_group("qe_poly");
+    group.sample_size(10);
+    for m in [2usize, 4, 8] {
+        let rel = gen_poly_relation(13, m, 2, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &rel, |b, rel| {
+            b.iter(|| {
+                let mut db = Database::new();
+                db.insert("R", rel.clone());
+                let q = Formula::exists(1, Formula::Rel("R".into(), vec![0, 1]));
+                let ctx = QeContext::exact();
+                let _ = evaluate_query(&db, &q, 2, &ctx);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure1_pipeline, qe_data_complexity);
+criterion_main!(benches);

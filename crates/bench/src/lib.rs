@@ -1,0 +1,131 @@
+//! `cdb-bench`: workload generators and experiment fixtures for the
+//! reproduction of every table and figure (see DESIGN.md §4 and
+//! EXPERIMENTS.md for the experiment index E1–E15).
+//!
+//! The paper is a theory paper: its "evaluation" consists of Figure 1, the
+//! worked examples, and complexity theorems. Each experiment regenerates
+//! one of those artifacts, either exactly (the examples) or as a scaling
+//! curve whose *shape* the theorem predicts (PTIME data complexity, linear
+//! bit growth, undefinedness thresholds).
+
+use cdb_constraints::{Atom, ConstraintRelation, Database, GeneralizedTuple, RelOp};
+use cdb_num::Rat;
+use cdb_poly::MPoly;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's relation S(x, y) ≡ 4x² − y − 20x + 25 ≤ 0.
+#[must_use]
+pub fn paper_s() -> ConstraintRelation {
+    let x = MPoly::var(0, 2);
+    let y = MPoly::var(1, 2);
+    let c = |v: i64| MPoly::constant(Rat::from(v), 2);
+    let p = &(&(&c(4) * &x.pow(2)) - &y) - &(&(&c(20) * &x) - &c(25));
+    ConstraintRelation::new(
+        2,
+        vec![GeneralizedTuple::new(2, vec![Atom::new(p, RelOp::Le)])],
+    )
+}
+
+/// A database holding only S.
+#[must_use]
+pub fn paper_db() -> Database {
+    let mut db = Database::new();
+    db.insert("S", paper_s());
+    db
+}
+
+/// Random linear binary relation: `m` generalized tuples, each a conjunction
+/// of `atoms_per_tuple` linear constraints with coefficients of at most
+/// `bits` bits.
+#[must_use]
+pub fn gen_linear_relation(
+    seed: u64,
+    m: usize,
+    atoms_per_tuple: usize,
+    bits: u32,
+) -> ConstraintRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 2;
+    let bound = 1i64 << bits.min(40);
+    let tuples = (0..m)
+        .map(|_| {
+            let atoms = (0..atoms_per_tuple)
+                .map(|_| {
+                    let a = rng.gen_range(-bound..=bound);
+                    let b = rng.gen_range(-bound..=bound);
+                    let d = rng.gen_range(-bound..=bound);
+                    let poly = &(&MPoly::var(0, n).scale(&Rat::from(a))
+                        + &MPoly::var(1, n).scale(&Rat::from(b)))
+                        + &MPoly::constant(Rat::from(d), n);
+                    let op = match rng.gen_range(0..3) {
+                        0 => RelOp::Le,
+                        1 => RelOp::Lt,
+                        _ => RelOp::Ge,
+                    };
+                    Atom::new(poly, op)
+                })
+                .collect();
+            GeneralizedTuple::new(n, atoms)
+        })
+        .collect();
+    ConstraintRelation::new(n, tuples)
+}
+
+/// Random polynomial binary relation of degree ≤ `degree` per tuple (conic
+/// sections for degree 2 — the class `K_{d,m}` of Theorem 4.3).
+#[must_use]
+pub fn gen_poly_relation(seed: u64, m: usize, degree: u32, bits: u32) -> ConstraintRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 2;
+    let bound = 1i64 << bits.min(30);
+    let tuples = (0..m)
+        .map(|_| {
+            let mut poly = MPoly::zero(n);
+            for dx in 0..=degree {
+                for dy in 0..=(degree - dx) {
+                    if rng.gen_bool(0.5) {
+                        continue;
+                    }
+                    let coeff = rng.gen_range(-bound..=bound);
+                    if coeff == 0 {
+                        continue;
+                    }
+                    let mono = &MPoly::var(0, n).pow(dx) * &MPoly::var(1, n).pow(dy);
+                    poly = &poly + &mono.scale(&Rat::from(coeff));
+                }
+            }
+            if poly.is_constant() {
+                poly = &poly + &MPoly::var(0, n);
+            }
+            GeneralizedTuple::new(n, vec![Atom::new(poly, RelOp::Le)])
+        })
+        .collect();
+    ConstraintRelation::new(n, tuples)
+}
+
+/// Random dense univariate polynomial with roots guaranteed (odd degree) —
+/// the NUMERICAL EVALUATION workload of Theorem 3.2.
+#[must_use]
+pub fn gen_upoly(seed: u64, degree: usize, bits: u32) -> cdb_poly::UPoly {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bound = 1i64 << bits.min(40);
+    let mut coeffs: Vec<i64> =
+        (0..=degree).map(|_| rng.gen_range(-bound..=bound)).collect();
+    if coeffs[degree] == 0 {
+        coeffs[degree] = 1;
+    }
+    cdb_poly::UPoly::from_ints(&coeffs)
+}
+
+/// Simple wall-clock measurement helper (median of `reps` runs).
+pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> std::time::Duration {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = std::time::Instant::now();
+        f();
+        samples.push(t.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}

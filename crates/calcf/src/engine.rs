@@ -1,0 +1,974 @@
+//! The staged CALC_F evaluator (§5).
+//!
+//! "Queries are evaluated in several stages, depending on the maximal
+//! number of nesting levels of aggregate predicates used": aggregates are
+//! evaluated innermost-first along the DAG `G_Q`; analytic function terms
+//! are replaced by polynomial approximations over the a-base's hypercubes
+//! (each guarded by range constraints `z ∈ e`); the resulting polynomial
+//! formula is evaluated in closed form by the QE pipeline.
+
+use crate::ast::{CFormula, CTerm};
+use crate::parser::{parse_formula, ParseError};
+use cdb_agg::aggregate::AggOutput;
+use cdb_agg::{apply_aggregate, AggError, Aggregate};
+use cdb_approx::modules::{approximate, ApproxError, ApproxMethod};
+use cdb_approx::ABase;
+use cdb_constraints::{Atom, ConstraintRelation, Database, Formula, RelOp};
+use cdb_num::Rat;
+use cdb_poly::{MPoly, UPoly};
+use cdb_qe::{evaluate_query, QeContext, QeError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from CALC_F evaluation.
+#[derive(Debug)]
+pub enum CalcFError {
+    /// Surface syntax error.
+    Parse(ParseError),
+    /// Aggregate module failure ("undefined" per the paper).
+    Aggregate(AggError),
+    /// Approximation module failure (domain/singularity).
+    Approx(ApproxError),
+    /// Quantifier elimination failure (including finite-precision
+    /// undefinedness).
+    Qe(QeError),
+    /// Static semantic error (shadowing, parameterized aggregate, arity…).
+    Semantic(String),
+}
+
+impl fmt::Display for CalcFError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalcFError::Parse(e) => write!(f, "{e}"),
+            CalcFError::Aggregate(e) => write!(f, "{e}"),
+            CalcFError::Approx(e) => write!(f, "{e}"),
+            CalcFError::Qe(e) => write!(f, "{e}"),
+            CalcFError::Semantic(m) => write!(f, "semantic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CalcFError {}
+
+impl From<ParseError> for CalcFError {
+    fn from(e: ParseError) -> Self {
+        CalcFError::Parse(e)
+    }
+}
+impl From<AggError> for CalcFError {
+    fn from(e: AggError) -> Self {
+        CalcFError::Aggregate(e)
+    }
+}
+impl From<ApproxError> for CalcFError {
+    fn from(e: ApproxError) -> Self {
+        CalcFError::Approx(e)
+    }
+}
+impl From<QeError> for CalcFError {
+    fn from(e: QeError) -> Self {
+        CalcFError::Qe(e)
+    }
+}
+
+/// Result of a CALC_F query.
+#[derive(Debug, Clone)]
+pub struct CalcFOutput {
+    /// Closed-form answer relation over the ambient ring.
+    pub relation: ConstraintRelation,
+    /// Variable names of the ambient ring (index = variable).
+    pub var_names: Vec<String>,
+    /// Indices of the query's free variables.
+    pub free_vars: Vec<usize>,
+    /// True when no approximation (aggregate or analytic) was involved.
+    pub exact: bool,
+    /// Empirical upper bound on the sup-norm error of the analytic-function
+    /// approximations used anywhere in the evaluation (0.0 when exact).
+    /// The paper leaves error analysis open (§5: "Error analysis remains an
+    /// interesting issue"); this is the measured bound of our modules.
+    pub approx_sup_error: f64,
+}
+
+impl CalcFOutput {
+    /// Pretty-print the relation with the query's variable names.
+    #[must_use]
+    pub fn display(&self) -> String {
+        let refs: Vec<&str> = self.var_names.iter().map(String::as_str).collect();
+        self.relation.display_with(&refs)
+    }
+
+    /// If the answer is a finite set of points over the free variables,
+    /// return them (coordinates in free-variable order). The bound/ambient
+    /// variables were eliminated by QE and do not occur in the relation.
+    #[must_use]
+    pub fn as_points(&self) -> Option<Vec<Vec<Rat>>> {
+        // Project onto the free variables: remap free var i → position.
+        let mut map = vec![0usize; self.relation.nvars()];
+        for (pos, &v) in self.free_vars.iter().enumerate() {
+            map[v] = pos;
+        }
+        let projected = self
+            .relation
+            .remap_vars(&map, self.free_vars.len().max(1));
+        projected.as_finite_points()
+    }
+
+    /// Build an ambient-ring point from free-variable coordinates (test
+    /// and example helper).
+    #[must_use]
+    pub fn point(&self, free_coords: &[Rat]) -> Vec<Rat> {
+        assert_eq!(free_coords.len(), self.free_vars.len());
+        let mut p = vec![Rat::zero(); self.var_names.len().max(1)];
+        for (&v, c) in self.free_vars.iter().zip(free_coords) {
+            p[v] = c.clone();
+        }
+        p
+    }
+}
+
+/// The CALC_F engine: an a-base, an approximation order `k` and method,
+/// precision ε for numerical modules, and an optional finite-precision bit
+/// budget for the QE stage.
+#[derive(Debug, Clone)]
+pub struct CalcFEngine {
+    /// Approximation base for analytic functions.
+    pub abase: ABase,
+    /// Approximation order (degree bound of Definition 5.2).
+    pub order: u32,
+    /// Approximation method.
+    pub method: ApproxMethod,
+    /// Precision for aggregates and numerical evaluation.
+    pub eps: Rat,
+    /// Optional `Z_k` bit budget (finite precision semantics).
+    pub budget_bits: Option<u64>,
+}
+
+impl Default for CalcFEngine {
+    fn default() -> Self {
+        CalcFEngine {
+            abase: ABase::uniform(Rat::from(-16i64), Rat::from(16i64), 32),
+            order: 6,
+            method: ApproxMethod::Chebyshev,
+            eps: Rat::new(1i64.into(), cdb_num::Int::pow2(30)),
+            budget_bits: None,
+        }
+    }
+}
+
+impl CalcFEngine {
+    /// Evaluate a CALC_F query given as source text.
+    pub fn evaluate(&self, db: &Database, src: &str) -> Result<CalcFOutput, CalcFError> {
+        let ast = parse_formula(src)?;
+        self.evaluate_ast(db, &ast)
+    }
+
+    /// Evaluate a parsed CALC_F formula.
+    pub fn evaluate_ast(
+        &self,
+        db: &Database,
+        query: &CFormula,
+    ) -> Result<CalcFOutput, CalcFError> {
+        self.evaluate_with_vars(db, query, &[])
+    }
+
+    /// Compile a CALC_F formula into a stored constraint relation over the
+    /// named variables (in the given order) — the way applications define
+    /// relations from text, e.g.
+    /// `compile_relation(db, &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0")`.
+    ///
+    /// Note: definitions using analytic functions are *baked in* as their
+    /// polynomial approximations; the stored relation carries no exactness
+    /// provenance, so later queries over it report `exact = true`. Keep
+    /// approximate definitions to query time when provenance matters.
+    pub fn compile_relation(
+        &self,
+        db: &Database,
+        names: &[&str],
+        src: &str,
+    ) -> Result<cdb_constraints::ConstraintRelation, CalcFError> {
+        let ast = parse_formula(src)?;
+        for v in ast.free_vars() {
+            if !names.contains(&v.as_str()) {
+                return Err(CalcFError::Semantic(format!(
+                    "definition uses variable {v} outside the declared schema"
+                )));
+            }
+        }
+        let leading: Vec<String> = names.iter().map(|s| (*s).to_owned()).collect();
+        let out = self.evaluate_with_vars(db, &ast, &leading)?;
+        // The declared variables occupy ring indices 0..names.len() by
+        // construction; quantified helper variables (eliminated by QE, so
+        // absent from the relation) are dropped from the ring.
+        let map: Vec<usize> = (0..out.relation.nvars())
+            .map(|i| if i < names.len() { i } else { 0 })
+            .collect();
+        Ok(out.relation.remap_vars(&map, names.len().max(1)))
+    }
+
+    /// Evaluate with a fixed leading variable order (`leading` names take
+    /// ring indices `0..leading.len()`; remaining variables follow in
+    /// first-appearance order).
+    pub fn evaluate_with_vars(
+        &self,
+        db: &Database,
+        query: &CFormula,
+        leading: &[String],
+    ) -> Result<CalcFOutput, CalcFError> {
+        let mut var_names: Vec<String> = leading.to_vec();
+        for v in query.all_vars_in_order() {
+            if !var_names.contains(&v) {
+                var_names.push(v);
+            }
+        }
+        check_no_shadowing(query)?;
+        let index: BTreeMap<String, usize> = var_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        let nvars = var_names.len().max(1);
+        let mut exact = true;
+        let mut err = 0.0f64;
+        // Stage 1: aggregates, innermost-first.
+        let agg_free =
+            self.eliminate_aggregates(db, query, &index, nvars, &mut exact, &mut err)?;
+        // Stage 2: NNF, then analytic terms → piecewise approximations.
+        let nnf = cnnf(&agg_free, false);
+        let poly_formula =
+            self.eliminate_analytic(&nnf, &index, nvars, &mut exact, &mut err)?;
+        // Stage 3: the polynomial QE pipeline.
+        let ctx = match self.budget_bits {
+            Some(k) => QeContext::with_budget(k),
+            None => QeContext::exact(),
+        };
+        let out = evaluate_query(db, &poly_formula, nvars, &ctx)?;
+        let free_names = query.free_vars();
+        let free_vars = free_names
+            .iter()
+            .map(|n| index.get(n).copied().expect("free var indexed"))
+            .collect();
+        Ok(CalcFOutput {
+            relation: out.relation,
+            var_names,
+            free_vars,
+            exact,
+            approx_sup_error: err,
+        })
+    }
+
+    /// Replace every aggregate predicate by its value (scalar constants, or
+    /// the EVAL relation inlined).
+    #[allow(clippy::too_many_arguments)]
+    fn eliminate_aggregates(
+        &self,
+        db: &Database,
+        f: &CFormula,
+        index: &BTreeMap<String, usize>,
+        nvars: usize,
+        exact: &mut bool,
+        err: &mut f64,
+    ) -> Result<CFormula, CalcFError> {
+        Ok(match f {
+            CFormula::True => CFormula::True,
+            CFormula::False => CFormula::False,
+            CFormula::Rel(name, args) => CFormula::Rel(name.clone(), args.clone()),
+            CFormula::Cmp(a, op, b) => CFormula::Cmp(
+                self.eliminate_aggregates_term(db, a, exact, err)?,
+                *op,
+                self.eliminate_aggregates_term(db, b, exact, err)?,
+            ),
+            CFormula::EvalPred(vars, body) => {
+                // Evaluate the body as a standalone relation over its own
+                // ring, apply EVAL, then express the result as a formula
+                // over the outer variables.
+                let inner =
+                    self.aggregate_input(db, Aggregate::Eval, vars, body, exact, err)?;
+                let (rel, inner_vars) = inner;
+                let ctx = QeContext::exact();
+                let out = apply_aggregate(Aggregate::Eval, &rel, &inner_vars, &self.eps, &ctx)?;
+                let AggOutput::Relation(result) = out else {
+                    unreachable!("EVAL yields a relation")
+                };
+                // Remap: inner ring variable i corresponds to outer
+                // variable index[vars[pos]] where inner_vars[pos] = i.
+                let mut map = vec![0usize; result.nvars()];
+                for (pos, &iv) in inner_vars.iter().enumerate() {
+                    map[iv] = *index.get(&vars[pos]).ok_or_else(|| {
+                        CalcFError::Semantic(format!("unknown variable {}", vars[pos]))
+                    })?;
+                }
+                let remapped = result.remap_vars(&map, nvars);
+                relation_to_cformula(&remapped, index)
+            }
+            CFormula::Not(g) => CFormula::Not(Box::new(
+                self.eliminate_aggregates(db, g, index, nvars, exact, err)?,
+            )),
+            CFormula::And(fs) => CFormula::And(
+                fs.iter()
+                    .map(|g| self.eliminate_aggregates(db, g, index, nvars, exact, err))
+                    .collect::<Result<_, _>>()?,
+            ),
+            CFormula::Or(fs) => CFormula::Or(
+                fs.iter()
+                    .map(|g| self.eliminate_aggregates(db, g, index, nvars, exact, err))
+                    .collect::<Result<_, _>>()?,
+            ),
+            CFormula::Exists(v, g) => CFormula::Exists(
+                v.clone(),
+                Box::new(self.eliminate_aggregates(db, g, index, nvars, exact, err)?),
+            ),
+            CFormula::Forall(v, g) => CFormula::Forall(
+                v.clone(),
+                Box::new(self.eliminate_aggregates(db, g, index, nvars, exact, err)?),
+            ),
+        })
+    }
+
+    fn eliminate_aggregates_term(
+        &self,
+        db: &Database,
+        t: &CTerm,
+        exact: &mut bool,
+        err: &mut f64,
+    ) -> Result<CTerm, CalcFError> {
+        Ok(match t {
+            CTerm::Var(_) | CTerm::Const(_) => t.clone(),
+            CTerm::Add(a, b) => CTerm::Add(
+                Box::new(self.eliminate_aggregates_term(db, a, exact, err)?),
+                Box::new(self.eliminate_aggregates_term(db, b, exact, err)?),
+            ),
+            CTerm::Sub(a, b) => CTerm::Sub(
+                Box::new(self.eliminate_aggregates_term(db, a, exact, err)?),
+                Box::new(self.eliminate_aggregates_term(db, b, exact, err)?),
+            ),
+            CTerm::Mul(a, b) => CTerm::Mul(
+                Box::new(self.eliminate_aggregates_term(db, a, exact, err)?),
+                Box::new(self.eliminate_aggregates_term(db, b, exact, err)?),
+            ),
+            CTerm::Neg(a) => {
+                CTerm::Neg(Box::new(self.eliminate_aggregates_term(db, a, exact, err)?))
+            }
+            CTerm::Pow(a, n) => CTerm::Pow(
+                Box::new(self.eliminate_aggregates_term(db, a, exact, err)?),
+                *n,
+            ),
+            CTerm::Apply(g, a) => CTerm::Apply(
+                *g,
+                Box::new(self.eliminate_aggregates_term(db, a, exact, err)?),
+            ),
+            CTerm::Agg(agg, vars, body) => {
+                if *agg == Aggregate::Eval {
+                    return Err(CalcFError::Semantic(
+                        "EVAL is a predicate, not a scalar term".into(),
+                    ));
+                }
+                let (rel, inner_vars) =
+                    self.aggregate_input(db, *agg, vars, body, exact, err)?;
+                let ctx = QeContext::exact();
+                let out = apply_aggregate(*agg, &rel, &inner_vars, &self.eps, &ctx)?;
+                let AggOutput::Scalar(v) = out else {
+                    unreachable!("scalar aggregate")
+                };
+                if !v.exact {
+                    *exact = false;
+                }
+                CTerm::Const(v.value)
+            }
+        })
+    }
+
+    /// Evaluate an aggregate's body into a constraint relation over its own
+    /// variable ring; return the relation and the ring indices of the
+    /// aggregate's bound variables.
+    #[allow(clippy::too_many_arguments)]
+    fn aggregate_input(
+        &self,
+        db: &Database,
+        agg: Aggregate,
+        vars: &[String],
+        body: &CFormula,
+        exact: &mut bool,
+        err: &mut f64,
+    ) -> Result<(ConstraintRelation, Vec<usize>), CalcFError> {
+        // The paper's technical assumption: no free parameters.
+        let free = body.free_vars();
+        for v in &free {
+            if !vars.contains(v) {
+                return Err(CalcFError::Semantic(format!(
+                    "aggregate {} has free parameter {v} (unsupported, §5 assumption)",
+                    agg.name()
+                )));
+            }
+        }
+        let sub = self.evaluate_ast(db, body)?;
+        if !sub.exact {
+            *exact = false;
+        }
+        *err = err.max(sub.approx_sup_error);
+        let inner_vars: Vec<usize> = vars
+            .iter()
+            .map(|v| {
+                sub.var_names
+                    .iter()
+                    .position(|n| n == v)
+                    .ok_or_else(|| {
+                        CalcFError::Semantic(format!(
+                            "aggregate variable {v} unused in its formula"
+                        ))
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok((sub.relation, inner_vars))
+    }
+
+    /// Replace analytic function applications by piecewise polynomial
+    /// approximations ("each tuple t containing f(z̄) is replaced by a set
+    /// of tuples t_e ∧ z ∈ e"), and translate to the pure formula type.
+    fn eliminate_analytic(
+        &self,
+        f: &CFormula,
+        index: &BTreeMap<String, usize>,
+        nvars: usize,
+        exact: &mut bool,
+        err: &mut f64,
+    ) -> Result<Formula, CalcFError> {
+        Ok(match f {
+            CFormula::True => Formula::True,
+            CFormula::False => Formula::False,
+            CFormula::Rel(name, args) => {
+                let idx: Vec<usize> = args
+                    .iter()
+                    .map(|a| {
+                        index.get(a).copied().ok_or_else(|| {
+                            CalcFError::Semantic(format!("unknown variable {a}"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                Formula::Rel(name.clone(), idx)
+            }
+            CFormula::EvalPred(..) => {
+                unreachable!("EVAL predicates eliminated in stage 1")
+            }
+            CFormula::Cmp(a, op, b) => {
+                let t = CTerm::Sub(Box::new(a.clone()), Box::new(b.clone()));
+                self.atom_to_formula(&t, *op, index, nvars, exact, err)?
+            }
+            CFormula::Not(g) => {
+                // NNF leaves Not only over relation symbols.
+                Formula::not(self.eliminate_analytic(g, index, nvars, exact, err)?)
+            }
+            CFormula::And(fs) => Formula::And(
+                fs.iter()
+                    .map(|g| self.eliminate_analytic(g, index, nvars, exact, err))
+                    .collect::<Result<_, _>>()?,
+            ),
+            CFormula::Or(fs) => Formula::Or(
+                fs.iter()
+                    .map(|g| self.eliminate_analytic(g, index, nvars, exact, err))
+                    .collect::<Result<_, _>>()?,
+            ),
+            CFormula::Exists(v, g) => {
+                let vi = *index
+                    .get(v)
+                    .ok_or_else(|| CalcFError::Semantic(format!("unknown variable {v}")))?;
+                Formula::exists(vi, self.eliminate_analytic(g, index, nvars, exact, err)?)
+            }
+            CFormula::Forall(v, g) => {
+                let vi = *index
+                    .get(v)
+                    .ok_or_else(|| CalcFError::Semantic(format!("unknown variable {v}")))?;
+                Formula::forall(vi, self.eliminate_analytic(g, index, nvars, exact, err)?)
+            }
+        })
+    }
+
+    /// Turn `t op 0` into a pure formula, expanding analytic applications
+    /// over the a-base.
+    #[allow(clippy::too_many_arguments)]
+    fn atom_to_formula(
+        &self,
+        t: &CTerm,
+        op: RelOp,
+        index: &BTreeMap<String, usize>,
+        nvars: usize,
+        exact: &mut bool,
+        err: &mut f64,
+    ) -> Result<Formula, CalcFError> {
+        // Find an innermost analytic application.
+        if let Some((func, arg)) = find_innermost_apply(t) {
+            *exact = false;
+            // The argument is analytic-free: a polynomial.
+            let arg_poly = term_to_mpoly(&arg, index, nvars)?;
+            let mut branches = Vec::with_capacity(self.abase.num_intervals());
+            let mut skipped = 0usize;
+            for (lo, hi) in self.abase.intervals() {
+                // Cells outside the function's domain contribute no points
+                // (the function is undefined there — the paper's singular-
+                // point caveat); skip them rather than failing the query.
+                if !func.interval_in_domain(lo.to_f64(), hi.to_f64()) {
+                    skipped += 1;
+                    continue;
+                }
+                let h_e = approximate(func, &lo, &hi, self.order, self.method)?;
+                // Track the measured sup-norm error of this piece.
+                *err = err.max(cdb_approx::sup_error(
+                    func,
+                    &h_e,
+                    lo.to_f64(),
+                    hi.to_f64(),
+                    64,
+                ));
+                // Substitute h_e(arg) for the application.
+                let replaced = substitute_apply(t, &func, &arg, &h_e);
+                // Guard: lo ≤ arg ≤ hi.
+                let guard_lo = Atom::new(
+                    &MPoly::constant(lo, nvars) - &arg_poly,
+                    RelOp::Le,
+                );
+                let guard_hi = Atom::new(
+                    &arg_poly - &MPoly::constant(hi, nvars),
+                    RelOp::Le,
+                );
+                let inner =
+                    self.atom_to_formula(&replaced, op, index, nvars, exact, err)?;
+                branches.push(Formula::And(vec![
+                    Formula::Atom(guard_lo),
+                    Formula::Atom(guard_hi),
+                    inner,
+                ]));
+            }
+            if branches.is_empty() && skipped > 0 {
+                return Err(CalcFError::Approx(
+                    cdb_approx::modules::ApproxError::OutOfDomain {
+                        func: func.name(),
+                        interval: format!(
+                            "the whole a-base span {:?}",
+                            self.abase.span()
+                        ),
+                    },
+                ));
+            }
+            return Ok(Formula::Or(branches));
+        }
+        // Polynomial atom.
+        let poly = term_to_mpoly(t, index, nvars)?;
+        Ok(Formula::Atom(Atom::new(poly, op)))
+    }
+}
+
+/// Reject quantifier shadowing (two bindings of the same name, or binding a
+/// name that is also free) — variable identity is by name.
+fn check_no_shadowing(f: &CFormula) -> Result<(), CalcFError> {
+    fn go(f: &CFormula, bound: &mut Vec<String>) -> Result<(), CalcFError> {
+        match f {
+            CFormula::True | CFormula::False | CFormula::Rel(..) | CFormula::Cmp(..) => {
+                Ok(())
+            }
+            CFormula::EvalPred(_, g) => go(g, bound),
+            CFormula::Not(g) => go(g, bound),
+            CFormula::And(fs) | CFormula::Or(fs) => {
+                for g in fs {
+                    go(g, bound)?;
+                }
+                Ok(())
+            }
+            CFormula::Exists(v, g) | CFormula::Forall(v, g) => {
+                if bound.contains(v) {
+                    return Err(CalcFError::Semantic(format!(
+                        "variable {v} is quantified twice (shadowing unsupported)"
+                    )));
+                }
+                bound.push(v.clone());
+                go(g, bound)?;
+                bound.pop();
+                Ok(())
+            }
+        }
+    }
+    go(f, &mut Vec::new())
+}
+
+/// Negation normal form for CALC_F formulas: negation absorbed into
+/// comparison operators; `Not` survives only over relation symbols.
+fn cnnf(f: &CFormula, neg: bool) -> CFormula {
+    match f {
+        CFormula::True => {
+            if neg {
+                CFormula::False
+            } else {
+                CFormula::True
+            }
+        }
+        CFormula::False => {
+            if neg {
+                CFormula::True
+            } else {
+                CFormula::False
+            }
+        }
+        CFormula::Cmp(a, op, b) => {
+            CFormula::Cmp(a.clone(), if neg { op.negated() } else { *op }, b.clone())
+        }
+        CFormula::Rel(..) | CFormula::EvalPred(..) => {
+            if neg {
+                CFormula::Not(Box::new(f.clone()))
+            } else {
+                f.clone()
+            }
+        }
+        CFormula::Not(g) => cnnf(g, !neg),
+        CFormula::And(fs) => {
+            let parts = fs.iter().map(|g| cnnf(g, neg)).collect();
+            if neg {
+                CFormula::Or(parts)
+            } else {
+                CFormula::And(parts)
+            }
+        }
+        CFormula::Or(fs) => {
+            let parts = fs.iter().map(|g| cnnf(g, neg)).collect();
+            if neg {
+                CFormula::And(parts)
+            } else {
+                CFormula::Or(parts)
+            }
+        }
+        CFormula::Exists(v, g) => {
+            let body = Box::new(cnnf(g, neg));
+            if neg {
+                CFormula::Forall(v.clone(), body)
+            } else {
+                CFormula::Exists(v.clone(), body)
+            }
+        }
+        CFormula::Forall(v, g) => {
+            let body = Box::new(cnnf(g, neg));
+            if neg {
+                CFormula::Exists(v.clone(), body)
+            } else {
+                CFormula::Forall(v.clone(), body)
+            }
+        }
+    }
+}
+
+/// Find an innermost analytic application (its argument is analytic-free).
+fn find_innermost_apply(t: &CTerm) -> Option<(cdb_approx::AnalyticFn, CTerm)> {
+    match t {
+        CTerm::Var(_) | CTerm::Const(_) => None,
+        CTerm::Add(a, b) | CTerm::Sub(a, b) | CTerm::Mul(a, b) => {
+            find_innermost_apply(a).or_else(|| find_innermost_apply(b))
+        }
+        CTerm::Neg(a) | CTerm::Pow(a, _) => find_innermost_apply(a),
+        CTerm::Apply(f, a) => {
+            find_innermost_apply(a).or_else(|| Some((*f, (**a).clone())))
+        }
+        CTerm::Agg(..) => None,
+    }
+}
+
+/// Replace occurrences of `func(arg)` in `t` by the polynomial `h(arg)`.
+fn substitute_apply(
+    t: &CTerm,
+    func: &cdb_approx::AnalyticFn,
+    arg: &CTerm,
+    h: &UPoly,
+) -> CTerm {
+    match t {
+        CTerm::Apply(f, a) if f == func && a.as_ref() == arg => {
+            // h(arg) as a term: Horner.
+            let mut acc = CTerm::Const(Rat::zero());
+            for c in h.coeffs().iter().rev() {
+                acc = CTerm::Add(
+                    Box::new(CTerm::Mul(Box::new(acc), Box::new(arg.clone()))),
+                    Box::new(CTerm::Const(c.clone())),
+                );
+            }
+            acc
+        }
+        CTerm::Var(_) | CTerm::Const(_) => t.clone(),
+        CTerm::Add(a, b) => CTerm::Add(
+            Box::new(substitute_apply(a, func, arg, h)),
+            Box::new(substitute_apply(b, func, arg, h)),
+        ),
+        CTerm::Sub(a, b) => CTerm::Sub(
+            Box::new(substitute_apply(a, func, arg, h)),
+            Box::new(substitute_apply(b, func, arg, h)),
+        ),
+        CTerm::Mul(a, b) => CTerm::Mul(
+            Box::new(substitute_apply(a, func, arg, h)),
+            Box::new(substitute_apply(b, func, arg, h)),
+        ),
+        CTerm::Neg(a) => CTerm::Neg(Box::new(substitute_apply(a, func, arg, h))),
+        CTerm::Pow(a, n) => CTerm::Pow(Box::new(substitute_apply(a, func, arg, h)), *n),
+        CTerm::Apply(f, a) => {
+            CTerm::Apply(*f, Box::new(substitute_apply(a, func, arg, h)))
+        }
+        CTerm::Agg(..) => t.clone(),
+    }
+}
+
+/// Convert an analytic-free, aggregate-free term to a polynomial.
+fn term_to_mpoly(
+    t: &CTerm,
+    index: &BTreeMap<String, usize>,
+    nvars: usize,
+) -> Result<MPoly, CalcFError> {
+    Ok(match t {
+        CTerm::Var(v) => {
+            let i = *index
+                .get(v)
+                .ok_or_else(|| CalcFError::Semantic(format!("unknown variable {v}")))?;
+            MPoly::var(i, nvars)
+        }
+        CTerm::Const(c) => MPoly::constant(c.clone(), nvars),
+        CTerm::Add(a, b) => {
+            &term_to_mpoly(a, index, nvars)? + &term_to_mpoly(b, index, nvars)?
+        }
+        CTerm::Sub(a, b) => {
+            &term_to_mpoly(a, index, nvars)? - &term_to_mpoly(b, index, nvars)?
+        }
+        CTerm::Mul(a, b) => {
+            &term_to_mpoly(a, index, nvars)? * &term_to_mpoly(b, index, nvars)?
+        }
+        CTerm::Neg(a) => -&term_to_mpoly(a, index, nvars)?,
+        CTerm::Pow(a, n) => term_to_mpoly(a, index, nvars)?.pow(*n),
+        CTerm::Apply(f, _) => {
+            return Err(CalcFError::Semantic(format!(
+                "analytic function {f} not eliminated"
+            )))
+        }
+        CTerm::Agg(agg, ..) => {
+            return Err(CalcFError::Semantic(format!(
+                "aggregate {} not eliminated",
+                agg.name()
+            )))
+        }
+    })
+}
+
+/// Express a DNF relation as a CALC_F formula (used to inline EVAL results).
+fn relation_to_cformula(
+    rel: &ConstraintRelation,
+    index: &BTreeMap<String, usize>,
+) -> CFormula {
+    let names: Vec<String> = {
+        let mut v = vec![String::new(); index.len().max(rel.nvars())];
+        for (n, &i) in index {
+            if i < v.len() {
+                v[i] = n.clone();
+            }
+        }
+        v
+    };
+    if rel.tuples().is_empty() {
+        return CFormula::False;
+    }
+    let mut disjuncts = Vec::new();
+    for t in rel.tuples() {
+        let mut conj = Vec::new();
+        for a in t.atoms() {
+            conj.push(CFormula::Cmp(
+                mpoly_to_cterm(&a.poly, &names),
+                a.op,
+                CTerm::Const(Rat::zero()),
+            ));
+        }
+        disjuncts.push(if conj.is_empty() {
+            CFormula::True
+        } else {
+            CFormula::And(conj)
+        });
+    }
+    if disjuncts.len() == 1 {
+        disjuncts.pop().expect("one")
+    } else {
+        CFormula::Or(disjuncts)
+    }
+}
+
+fn mpoly_to_cterm(p: &MPoly, names: &[String]) -> CTerm {
+    let mut acc = CTerm::Const(Rat::zero());
+    for (mono, coeff) in p.terms() {
+        let mut term = CTerm::Const(coeff.clone());
+        for (i, &e) in mono.iter().enumerate() {
+            if e == 0 {
+                continue;
+            }
+            let var = CTerm::Var(names[i].clone());
+            let factor = if e == 1 { var } else { CTerm::Pow(Box::new(var), e) };
+            term = CTerm::Mul(Box::new(term), Box::new(factor));
+        }
+        acc = CTerm::Add(Box::new(acc), Box::new(term));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_constraints::GeneralizedTuple;
+
+    fn c(v: i64, n: usize) -> MPoly {
+        MPoly::constant(Rat::from(v), n)
+    }
+
+    /// Database with the paper's S(x, y).
+    fn paper_db() -> Database {
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let p = &(&(&c(4, 2) * &x.pow(2)) - &y) - &(&(&c(20, 2) * &x) - &c(25, 2));
+        let mut db = Database::new();
+        db.insert(
+            "S",
+            ConstraintRelation::new(
+                2,
+                vec![GeneralizedTuple::new(2, vec![Atom::new(p, RelOp::Le)])],
+            ),
+        );
+        db
+    }
+
+    /// **Example 5.1 / 5.4**: the SURFACE query answers {18}.
+    #[test]
+    fn example_51_surface_query() {
+        let db = paper_db();
+        let engine = CalcFEngine::default();
+        let out = engine
+            .evaluate(&db, "z = SURFACE[x, y]{ S(x, y) and y <= 9 }")
+            .unwrap();
+        let pts = out.as_points().expect("finite answer");
+        assert_eq!(pts, vec![vec![Rat::from(18i64)]]);
+        assert!(out.exact, "polynomial bounds are integrated exactly");
+    }
+
+    /// **Figure 1** through the CALC_F surface syntax.
+    #[test]
+    fn figure1_textual() {
+        let db = paper_db();
+        let engine = CalcFEngine::default();
+        let out = engine
+            .evaluate(&db, "exists y (S(x, y) and y <= 0)")
+            .unwrap();
+        assert!(out.relation.satisfied_at(&out.point(&["5/2".parse().unwrap()])));
+        assert!(!out.relation.satisfied_at(&out.point(&[Rat::from(2i64)])));
+        assert_eq!(out.var_names[out.free_vars[0]], "x");
+    }
+
+    /// Analytic function: sin(x) = 0 near the origin within the a-base.
+    #[test]
+    fn analytic_sin_roots() {
+        let db = Database::new();
+        let engine = CalcFEngine {
+            abase: ABase::uniform(Rat::from(-4i64), Rat::from(4i64), 16),
+            order: 8,
+            ..CalcFEngine::default()
+        };
+        let out = engine
+            .evaluate(&db, "sin(x) = 0 and x >= 1 and x <= 4")
+            .unwrap();
+        assert!(!out.exact);
+        // The only true sin-root in [1, 4] is π; our approximate relation
+        // must hold near π and fail away from it.
+        let ctx = QeContext::exact();
+        let pts = cdb_qe::pipeline::numerical_evaluation(
+            &out.relation,
+            &out.free_vars,
+            &"1/1048576".parse().unwrap(),
+            &ctx,
+        )
+        .unwrap()
+        .expect("finite");
+        assert_eq!(pts.len(), 1, "one root in [1,4]");
+        let root = pts[0].coords[0].to_f64();
+        assert!(
+            (root - std::f64::consts::PI).abs() < 1e-3,
+            "root {root} vs π"
+        );
+    }
+
+    /// MIN over a derived set.
+    #[test]
+    fn min_aggregate() {
+        let db = paper_db();
+        let engine = CalcFEngine::default();
+        // MIN of { y | S(2.5, y) }: at x = 2.5 the parabola bottoms at 0…
+        // but MIN needs a parameter-free formula: use exists x.
+        let out = engine
+            .evaluate(&db, "m = MIN[y]{ exists x (S(x, y) and x = 2) }")
+            .unwrap();
+        // At x = 2: 16 − y − 40 + 25 ≤ 0 ⇔ y ≥ 1: MIN = 1.
+        let pts = out.as_points().expect("finite");
+        assert_eq!(pts, vec![vec![Rat::one()]]);
+    }
+
+    /// EVAL as a predicate: solutions of (2x−5)² ≤ 0.
+    #[test]
+    fn eval_predicate() {
+        let db = paper_db();
+        let engine = CalcFEngine::default();
+        let out = engine
+            .evaluate(&db, "EVAL[x]{ exists y (S(x, y) and y <= 0) }")
+            .unwrap();
+        let pts = out.as_points().expect("finite");
+        assert_eq!(pts.len(), 1);
+        assert!((&pts[0][0] - &"5/2".parse().unwrap()).abs() < "1/1000".parse().unwrap());
+    }
+
+    /// Nested aggregates: MAX over a singleton built from SURFACE.
+    #[test]
+    fn nested_aggregates() {
+        let db = paper_db();
+        let engine = CalcFEngine::default();
+        let out = engine
+            .evaluate(
+                &db,
+                "w = MAX[v]{ v = SURFACE[x, y]{ S(x, y) and y <= 9 } or v = 1 }",
+            )
+            .unwrap();
+        let pts = out.as_points().expect("finite");
+        assert_eq!(pts, vec![vec![Rat::from(18i64)]]);
+    }
+
+    /// Parameterized aggregates are rejected (the paper's assumption).
+    #[test]
+    fn parameterized_aggregate_rejected() {
+        let db = paper_db();
+        let engine = CalcFEngine::default();
+        let err = engine
+            .evaluate(&db, "z = MIN[y]{ S(x, y) }")
+            .unwrap_err();
+        assert!(matches!(err, CalcFError::Semantic(_)), "{err}");
+    }
+
+    /// Shadowing is rejected.
+    #[test]
+    fn shadowing_rejected() {
+        let db = Database::new();
+        let engine = CalcFEngine::default();
+        let err = engine
+            .evaluate(&db, "exists x (exists x (x = 0))")
+            .unwrap_err();
+        assert!(matches!(err, CalcFError::Semantic(_)));
+    }
+
+    /// Undefined aggregate (unbounded region) maps to a typed error.
+    #[test]
+    fn undefined_aggregate() {
+        let db = Database::new();
+        let engine = CalcFEngine::default();
+        let err = engine.evaluate(&db, "z = MAX[y]{ y >= 0 }").unwrap_err();
+        assert!(matches!(err, CalcFError::Aggregate(AggError::Unbounded)));
+    }
+
+    /// Finite-precision CALC_F: tiny budgets give undefined, not wrong.
+    #[test]
+    fn finite_precision_budget() {
+        let db = paper_db();
+        let engine = CalcFEngine { budget_bits: Some(3), ..CalcFEngine::default() };
+        let err = engine
+            .evaluate(&db, "exists y (S(x, y) and y <= 0)")
+            .unwrap_err();
+        assert!(matches!(err, CalcFError::Qe(QeError::PrecisionExceeded { .. })));
+    }
+}

@@ -1,0 +1,311 @@
+//! Tokenizer for the CALC_F surface syntax.
+
+use std::fmt;
+
+/// A token of the CALC_F language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier (variable, relation, function, or aggregate name).
+    Ident(String),
+    /// Numeric literal (integer or decimal), kept as text.
+    Number(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// keyword `and`
+    And,
+    /// keyword `or`
+    Or,
+    /// keyword `not`
+    Not,
+    /// keyword `exists`
+    Exists,
+    /// keyword `forall`
+    Forall,
+    /// keyword `true`
+    True,
+    /// keyword `false`
+    False,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(s) => write!(f, "{s}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Caret => write!(f, "^"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::And => write!(f, "and"),
+            Token::Or => write!(f, "or"),
+            Token::Not => write!(f, "not"),
+            Token::Exists => write!(f, "exists"),
+            Token::Forall => write!(f, "forall"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+        }
+    }
+}
+
+/// Lexing error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub position: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize CALC_F source text.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b'[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            b']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            b'{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                // Comment support: `--` to end of line.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b'^' => {
+                out.push(Token::Caret);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError { message: "expected '=' after '!'".into(), position: i });
+                }
+            }
+            b'<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    out.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                out.push(Token::Number(src[start..i].to_owned()));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                out.push(match word {
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "not" => Token::Not,
+                    "exists" => Token::Exists,
+                    "forall" => Token::Forall,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    other => Token::Ident(other.to_owned()),
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected byte {:?}", other as char),
+                    position: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_query() {
+        let toks = tokenize("exists y (S(x, y) and y <= 0)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Exists,
+                Token::Ident("y".into()),
+                Token::LParen,
+                Token::Ident("S".into()),
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::Comma,
+                Token::Ident("y".into()),
+                Token::RParen,
+                Token::And,
+                Token::Ident("y".into()),
+                Token::Le,
+                Token::Number("0".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregate_syntax() {
+        let toks = tokenize("z = SURFACE[x, y]{ S(x, y) and y <= 9 }").unwrap();
+        assert!(toks.contains(&Token::LBracket));
+        assert!(toks.contains(&Token::LBrace));
+        assert!(toks.contains(&Token::Ident("SURFACE".into())));
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        let toks = tokenize("4*x^2 - 20*x + 25 >= 0.5").unwrap();
+        assert!(toks.contains(&Token::Caret));
+        assert!(toks.contains(&Token::Number("0.5".into())));
+        assert!(toks.contains(&Token::Ge));
+        assert_eq!(tokenize("a <> b").unwrap()[1], Token::Ne);
+        assert_eq!(tokenize("a != b").unwrap()[1], Token::Ne);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("x -- this is a comment\n <= 1").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("x".into()), Token::Le, Token::Number("1".into())]
+        );
+    }
+
+    #[test]
+    fn bad_byte_errors() {
+        assert!(tokenize("x # y").is_err());
+        assert!(tokenize("x ! y").is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the CALC_F parser: display/parse round trips and
+//! translation consistency between the parsed AST and hand-built formulas.
+
+use cdb_calcf::{parse_formula, CFormula, CTerm};
+use cdb_constraints::RelOp;
+use cdb_num::Rat;
+use proptest::prelude::*;
+
+/// Strategy for random polynomial terms over variables x, y.
+fn arb_term() -> impl Strategy<Value = CTerm> {
+    let leaf = prop_oneof![
+        Just(CTerm::Var("x".into())),
+        Just(CTerm::Var("y".into())),
+        (-9i64..=9).prop_map(|v| CTerm::Const(Rat::from(v))),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| CTerm::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| CTerm::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| CTerm::Mul(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| CTerm::Neg(Box::new(a))),
+            (inner, 1u32..=3).prop_map(|(a, n)| CTerm::Pow(Box::new(a), n)),
+        ]
+    })
+}
+
+fn arb_op() -> impl Strategy<Value = RelOp> {
+    prop_oneof![
+        Just(RelOp::Eq),
+        Just(RelOp::Ne),
+        Just(RelOp::Lt),
+        Just(RelOp::Le),
+        Just(RelOp::Gt),
+        Just(RelOp::Ge),
+    ]
+}
+
+fn arb_formula() -> impl Strategy<Value = CFormula> {
+    let atom = (arb_term(), arb_op(), arb_term())
+        .prop_map(|(a, op, b)| CFormula::Cmp(a, op, b));
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| CFormula::And(vec![a, b])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| CFormula::Or(vec![a, b])),
+            inner.clone().prop_map(|a| CFormula::Not(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Displayed formulas re-parse to a semantically equal formula: compile
+    /// both to polynomials via the engine and compare pointwise.
+    #[test]
+    fn display_parse_semantic_roundtrip(f in arb_formula()) {
+        let printed = f.to_string();
+        let reparsed = parse_formula(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        // Compare by compiling both as relations over (x, y) and probing.
+        let engine = cdb_calcf::CalcFEngine::default();
+        let db = cdb_constraints::Database::new();
+        let ra = engine.compile_relation(&db, &["x", "y"], &printed);
+        let rb = engine.compile_relation(&db, &["x", "y"], &reparsed.to_string());
+        let (Ok(ra), Ok(rb)) = (ra, rb) else {
+            // Both must fail together (e.g. trivial formulas).
+            return Ok(());
+        };
+        for px in -3i64..=3 {
+            for py in -3i64..=3 {
+                let p = [Rat::from(px), Rat::from(py)];
+                prop_assert_eq!(
+                    ra.satisfied_at(&p),
+                    rb.satisfied_at(&p),
+                    "at ({}, {}) for `{}`", px, py, printed
+                );
+            }
+        }
+    }
+
+    /// Terms evaluate identically before and after a print/parse cycle.
+    #[test]
+    fn term_roundtrip_values(t in arb_term(), px in -4i64..=4, py in -4i64..=4) {
+        let src = format!("{t} = 0");
+        let parsed = parse_formula(&src)
+            .unwrap_or_else(|e| panic!("parse of `{src}` failed: {e}"));
+        let CFormula::Cmp(t2, RelOp::Eq, _) = parsed else {
+            panic!("expected comparison");
+        };
+        prop_assert_eq!(
+            eval_term(&t, px, py),
+            eval_term(&t2, px, py),
+            "term `{}`", t
+        );
+    }
+}
+
+fn eval_term(t: &CTerm, x: i64, y: i64) -> Rat {
+    match t {
+        CTerm::Var(v) if v == "x" => Rat::from(x),
+        CTerm::Var(_) => Rat::from(y),
+        CTerm::Const(c) => c.clone(),
+        CTerm::Add(a, b) => &eval_term(a, x, y) + &eval_term(b, x, y),
+        CTerm::Sub(a, b) => &eval_term(a, x, y) - &eval_term(b, x, y),
+        CTerm::Mul(a, b) => &eval_term(a, x, y) * &eval_term(b, x, y),
+        CTerm::Neg(a) => -eval_term(a, x, y),
+        CTerm::Pow(a, n) => eval_term(a, x, y).pow(*n as i32),
+        CTerm::Apply(..) | CTerm::Agg(..) => unreachable!("not generated"),
+    }
+}

@@ -1,0 +1,221 @@
+//! Conservative bounding boxes of generalized tuples, and box-based
+//! pruning — the first of the "central problems" the paper's conclusion
+//! names ("the central problems are optimization and error control").
+//!
+//! A tuple's box is derived from its single-variable degree-1 atoms
+//! (`a·xᵢ + b σ 0`). The box is conservative: a tuple whose box is empty
+//! is certainly unsatisfiable and can be dropped before any expensive
+//! processing — which matters enormously for CALC_F's approximation stage,
+//! where most hypercube guards `z ∈ e` contradict the query's own range
+//! constraints.
+
+use crate::atom::RelOp;
+use crate::gtuple::GeneralizedTuple;
+use crate::relation::ConstraintRelation;
+use cdb_num::{Rat, Sign};
+
+/// One-sided bound with strictness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SideBound {
+    /// The bounding value.
+    pub value: Rat,
+    /// True for `<` / `>` (excluded endpoint).
+    pub strict: bool,
+}
+
+/// Per-variable interval hull of a generalized tuple.
+#[derive(Debug, Clone, Default)]
+pub struct TupleBox {
+    /// Per variable: `(lower, upper)`; `None` = unbounded on that side.
+    pub sides: Vec<(Option<SideBound>, Option<SideBound>)>,
+}
+
+impl TupleBox {
+    /// The unconstrained box.
+    #[must_use]
+    pub fn unbounded(k: usize) -> TupleBox {
+        TupleBox { sides: vec![(None, None); k] }
+    }
+
+    /// Conservative hull of a tuple, from its univariate linear atoms.
+    #[must_use]
+    pub fn of_tuple(t: &GeneralizedTuple) -> TupleBox {
+        let k = t.nvars();
+        let mut bb = TupleBox::unbounded(k);
+        for atom in t.atoms() {
+            let vars: Vec<usize> = (0..k).filter(|&i| atom.poly.uses_var(i)).collect();
+            if vars.len() != 1 {
+                continue;
+            }
+            let v = vars[0];
+            if atom.poly.degree_in(v) != 1 {
+                continue;
+            }
+            let coeffs = atom.poly.as_upoly_in(v);
+            let (Some(c1), Some(c0)) = (
+                coeffs[1].to_constant(),
+                coeffs.first().and_then(cdb_poly::MPoly::to_constant),
+            ) else {
+                continue;
+            };
+            let bound = -(&c0 / &c1);
+            let op = if c1.sign() == Sign::Neg { atom.op.flipped() } else { atom.op };
+            match op {
+                RelOp::Le => bb.tighten_upper(v, bound, false),
+                RelOp::Lt => bb.tighten_upper(v, bound, true),
+                RelOp::Ge => bb.tighten_lower(v, bound, false),
+                RelOp::Gt => bb.tighten_lower(v, bound, true),
+                RelOp::Eq => {
+                    bb.tighten_upper(v, bound.clone(), false);
+                    bb.tighten_lower(v, bound, false);
+                }
+                RelOp::Ne => {}
+            }
+        }
+        bb
+    }
+
+    fn tighten_upper(&mut self, v: usize, value: Rat, strict: bool) {
+        let side = &mut self.sides[v].1;
+        let replace = match side {
+            None => true,
+            Some(cur) => value < cur.value || (value == cur.value && strict && !cur.strict),
+        };
+        if replace {
+            *side = Some(SideBound { value, strict });
+        }
+    }
+
+    fn tighten_lower(&mut self, v: usize, value: Rat, strict: bool) {
+        let side = &mut self.sides[v].0;
+        let replace = match side {
+            None => true,
+            Some(cur) => value > cur.value || (value == cur.value && strict && !cur.strict),
+        };
+        if replace {
+            *side = Some(SideBound { value, strict });
+        }
+    }
+
+    /// True iff the box is certainly empty (some variable's lower bound
+    /// exceeds — or meets with strictness — its upper bound).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sides.iter().any(|(lo, hi)| match (lo, hi) {
+            (Some(l), Some(h)) => {
+                l.value > h.value || (l.value == h.value && (l.strict || h.strict))
+            }
+            _ => false,
+        })
+    }
+}
+
+impl ConstraintRelation {
+    /// Drop tuples whose bounding boxes are empty — a cheap, conservative
+    /// satisfiability filter (tuples kept may still be unsatisfiable; that
+    /// requires QE).
+    #[must_use]
+    pub fn prune_empty_boxes(&self) -> ConstraintRelation {
+        let tuples: Vec<GeneralizedTuple> = self
+            .tuples()
+            .iter()
+            .filter(|t| !TupleBox::of_tuple(t).is_empty())
+            .cloned()
+            .collect();
+        ConstraintRelation::new(self.nvars(), tuples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use cdb_poly::MPoly;
+
+    fn x(n: usize) -> MPoly {
+        MPoly::var(0, n)
+    }
+
+    fn c(v: i64, n: usize) -> MPoly {
+        MPoly::constant(Rat::from(v), n)
+    }
+
+    #[test]
+    fn detects_contradictory_ranges() {
+        // x ≥ 2 ∧ x ≤ 1: empty.
+        let t = GeneralizedTuple::new(
+            1,
+            vec![
+                Atom::new(&c(2, 1) - &x(1), RelOp::Le),
+                Atom::new(&x(1) - &c(1, 1), RelOp::Le),
+            ],
+        );
+        assert!(TupleBox::of_tuple(&t).is_empty());
+        // x ≥ 1 ∧ x ≤ 1: the point {1} — not empty.
+        let p = GeneralizedTuple::new(
+            1,
+            vec![
+                Atom::new(&c(1, 1) - &x(1), RelOp::Le),
+                Atom::new(&x(1) - &c(1, 1), RelOp::Le),
+            ],
+        );
+        assert!(!TupleBox::of_tuple(&p).is_empty());
+        // x > 1 ∧ x ≤ 1: empty (strictness).
+        let s = GeneralizedTuple::new(
+            1,
+            vec![
+                Atom::new(&c(1, 1) - &x(1), RelOp::Lt),
+                Atom::new(&x(1) - &c(1, 1), RelOp::Le),
+            ],
+        );
+        assert!(TupleBox::of_tuple(&s).is_empty());
+    }
+
+    #[test]
+    fn pruning_preserves_semantics() {
+        let sat = GeneralizedTuple::new(
+            1,
+            vec![Atom::new(&x(1) - &c(5, 1), RelOp::Le)],
+        );
+        let unsat = GeneralizedTuple::new(
+            1,
+            vec![
+                Atom::new(&c(7, 1) - &x(1), RelOp::Le),
+                Atom::new(&x(1) - &c(3, 1), RelOp::Le),
+            ],
+        );
+        let rel = ConstraintRelation::new(1, vec![sat.clone(), unsat]);
+        let pruned = rel.prune_empty_boxes();
+        assert_eq!(pruned.tuples().len(), 1);
+        for v in [-10i64, 0, 4, 6, 10] {
+            assert_eq!(
+                rel.satisfied_at(&[Rat::from(v)]),
+                pruned.satisfied_at(&[Rat::from(v)]),
+                "at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn nonlinear_atoms_never_prune() {
+        // x² ≤ −1 is unsatisfiable but not box-detectable: kept (sound).
+        let t = GeneralizedTuple::new(
+            1,
+            vec![Atom::new(&x(1).pow(2) + &c(1, 1), RelOp::Le)],
+        );
+        assert!(!TupleBox::of_tuple(&t).is_empty());
+    }
+
+    #[test]
+    fn scaled_coefficients_normalize() {
+        // −2x ≤ −6 (i.e. x ≥ 3) ∧ 3x ≤ 6 (x ≤ 2): empty.
+        let t = GeneralizedTuple::new(
+            1,
+            vec![
+                Atom::new(&c(6, 1) - &x(1).scale(&Rat::from(2i64)), RelOp::Le),
+                Atom::new(&x(1).scale(&Rat::from(3i64)) - &c(6, 1), RelOp::Le),
+            ],
+        );
+        assert!(TupleBox::of_tuple(&t).is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! The user-facing constraint database.
+
+use cdb_calcf::{CalcFEngine, CalcFError, CalcFOutput};
+use cdb_constraints::{ConstraintRelation, Database};
+use cdb_num::Rat;
+use cdb_qe::pipeline::numerical_evaluation;
+use cdb_qe::{QeContext, QeError};
+use std::fmt;
+
+/// Errors from the facade.
+#[derive(Debug)]
+pub enum DbError {
+    /// Query/definition failure.
+    CalcF(CalcFError),
+    /// QE failure during numeric evaluation.
+    Qe(QeError),
+    /// Schema problem.
+    Schema(String),
+    /// Storage format problem.
+    Storage(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::CalcF(e) => write!(f, "{e}"),
+            DbError::Qe(e) => write!(f, "{e}"),
+            DbError::Schema(m) => write!(f, "schema error: {m}"),
+            DbError::Storage(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<CalcFError> for DbError {
+    fn from(e: CalcFError) -> Self {
+        DbError::CalcF(e)
+    }
+}
+
+impl From<QeError> for DbError {
+    fn from(e: QeError) -> Self {
+        DbError::Qe(e)
+    }
+}
+
+/// A query answer: the closed-form relation plus helpers for the numeric
+/// steps of the paper's pipeline.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    output: CalcFOutput,
+    eps: Rat,
+}
+
+impl QueryResult {
+    /// The closed-form answer relation (over the query's ambient ring).
+    #[must_use]
+    pub fn relation(&self) -> &ConstraintRelation {
+        &self.output.relation
+    }
+
+    /// Names of the ambient ring's variables.
+    #[must_use]
+    pub fn var_names(&self) -> &[String] {
+        &self.output.var_names
+    }
+
+    /// Indices of the free variables.
+    #[must_use]
+    pub fn free_vars(&self) -> &[usize] {
+        &self.output.free_vars
+    }
+
+    /// True when no approximation was involved anywhere.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.output.exact
+    }
+
+    /// Measured sup-norm error bound of the analytic-function
+    /// approximations used in this evaluation (0.0 when exact).
+    #[must_use]
+    pub fn approx_error(&self) -> f64 {
+        self.output.approx_sup_error
+    }
+
+    /// Membership test: does the point (free-variable coordinates, in free
+    /// variable order) satisfy the answer?
+    #[must_use]
+    pub fn contains(&self, free_coords: &[Rat]) -> bool {
+        self.output.relation.satisfied_at(&self.output.point(free_coords))
+    }
+
+    /// Render the answer with variable names.
+    #[must_use]
+    pub fn display(&self) -> String {
+        self.output.display()
+    }
+
+    /// Finite explicit points (exact), if the relation is already a finite
+    /// set of rational points.
+    #[must_use]
+    pub fn points(&self) -> Option<Vec<Vec<Rat>>> {
+        self.output.as_points()
+    }
+
+    /// NUMERICAL EVALUATION (paper §2 step 3): if the answer is a finite
+    /// set, ε-approximate all solution points; `None` for infinite answers.
+    pub fn solve(&self) -> Result<Option<Vec<Vec<Rat>>>, DbError> {
+        let ctx = QeContext::exact();
+        let pts = numerical_evaluation(
+            &self.output.relation,
+            &self.output.free_vars,
+            &self.eps,
+            &ctx,
+        )?;
+        Ok(pts.map(|ps| ps.into_iter().map(|p| p.coords).collect()))
+    }
+}
+
+/// A constraint database with a CALC_F query engine.
+#[derive(Debug, Clone)]
+pub struct ConstraintDb {
+    db: Database,
+    engine: CalcFEngine,
+}
+
+impl Default for ConstraintDb {
+    fn default() -> Self {
+        ConstraintDb::new()
+    }
+}
+
+impl ConstraintDb {
+    /// Empty database with the default engine (Chebyshev order-6
+    /// approximations over a 32-cell a-base on [−16, 16], ε = 2⁻³⁰).
+    #[must_use]
+    pub fn new() -> ConstraintDb {
+        ConstraintDb { db: Database::new(), engine: CalcFEngine::default() }
+    }
+
+    /// Use a custom engine configuration.
+    #[must_use]
+    pub fn with_engine(engine: CalcFEngine) -> ConstraintDb {
+        ConstraintDb { db: Database::new(), engine }
+    }
+
+    /// Engine configuration (mutable: adjust a-base, precision, budget).
+    pub fn engine_mut(&mut self) -> &mut CalcFEngine {
+        &mut self.engine
+    }
+
+    /// The underlying raw database.
+    #[must_use]
+    pub fn raw(&self) -> &Database {
+        &self.db
+    }
+
+    /// Define a relation from CALC_F source over the named variables:
+    /// `db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0")`.
+    /// Definitions may use quantifiers, previously defined relations,
+    /// analytic functions and aggregates.
+    pub fn define(
+        &mut self,
+        name: &str,
+        vars: &[&str],
+        src: &str,
+    ) -> Result<(), DbError> {
+        let rel = self.engine.compile_relation(&self.db, vars, src)?;
+        self.db.insert(name, rel);
+        Ok(())
+    }
+
+    /// Insert a pre-built relation.
+    pub fn insert(&mut self, name: &str, rel: ConstraintRelation) {
+        self.db.insert(name, rel);
+    }
+
+    /// Insert a finite relation from explicit points.
+    pub fn insert_points(&mut self, name: &str, arity: usize, points: &[Vec<Rat>]) {
+        self.db
+            .insert(name, ConstraintRelation::from_points(arity, points));
+    }
+
+    /// Look up a stored relation.
+    #[must_use]
+    pub fn relation(&self, name: &str) -> Option<&ConstraintRelation> {
+        self.db.get(name)
+    }
+
+    /// Remove a relation.
+    pub fn remove(&mut self, name: &str) -> Option<ConstraintRelation> {
+        self.db.remove(name)
+    }
+
+    /// Schema: `(name, arity)` pairs.
+    #[must_use]
+    pub fn schema(&self) -> Vec<(String, usize)> {
+        self.db.schema()
+    }
+
+    /// Evaluate a CALC_F query in closed form.
+    pub fn query(&self, src: &str) -> Result<QueryResult, DbError> {
+        let output = self.engine.evaluate(&self.db, src)?;
+        Ok(QueryResult { output, eps: self.engine.eps.clone() })
+    }
+
+    /// Evaluate under the finite precision semantics with bit budget `k`:
+    /// `Ok(None)` when the query is *undefined* (`⊨_QE^F` partiality).
+    pub fn query_fp(&self, src: &str, budget_bits: u64) -> Result<Option<QueryResult>, DbError> {
+        let mut engine = self.engine.clone();
+        engine.budget_bits = Some(budget_bits);
+        match engine.evaluate(&self.db, src) {
+            Ok(output) => Ok(Some(QueryResult { output, eps: engine.eps.clone() })),
+            Err(CalcFError::Qe(QeError::PrecisionExceeded { .. })) => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_db() -> ConstraintDb {
+        let mut db = ConstraintDb::new();
+        db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0").unwrap();
+        db
+    }
+
+    #[test]
+    fn define_and_membership() {
+        let db = paper_db();
+        let q = db.query("S(x, y)").unwrap();
+        assert!(q.contains(&["5/2".parse().unwrap(), Rat::zero()]));
+        assert!(!q.contains(&[Rat::zero(), Rat::zero()]));
+    }
+
+    #[test]
+    fn figure1_pipeline() {
+        let db = paper_db();
+        let q = db.query("exists y (S(x, y) and y <= 0)").unwrap();
+        assert!(q.is_exact());
+        let pts = q.solve().unwrap().expect("finite");
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0][0], "5/2".parse().unwrap());
+    }
+
+    #[test]
+    fn surface_aggregate() {
+        let db = paper_db();
+        let q = db.query("z = SURFACE[x, y]{ S(x, y) and y <= 9 }").unwrap();
+        assert_eq!(q.points().unwrap(), vec![vec![Rat::from(18i64)]]);
+    }
+
+    #[test]
+    fn derived_definitions() {
+        let mut db = paper_db();
+        // Define the Figure 1 answer as a stored relation.
+        db.define("Q", &["x"], "exists y (S(x, y) and y <= 0)").unwrap();
+        let q = db.query("Q(x)").unwrap();
+        assert!(q.contains(&["5/2".parse().unwrap()]));
+        assert!(!q.contains(&[Rat::from(3i64)]));
+    }
+
+    #[test]
+    fn finite_precision_query() {
+        let db = paper_db();
+        assert!(db.query_fp("exists y (S(x, y) and y <= 0)", 3).unwrap().is_none());
+        assert!(db.query_fp("exists y (S(x, y) and y <= 0)", 64).unwrap().is_some());
+    }
+
+    #[test]
+    fn schema_and_crud() {
+        let mut db = paper_db();
+        assert_eq!(db.schema(), vec![("S".to_owned(), 2)]);
+        db.insert_points("P", 1, &[vec![Rat::one()]]);
+        assert_eq!(db.schema().len(), 2);
+        assert!(db.relation("P").is_some());
+        db.remove("P");
+        assert!(db.relation("P").is_none());
+    }
+
+    #[test]
+    fn bad_definition_rejected() {
+        let mut db = ConstraintDb::new();
+        let err = db.define("R", &["x"], "x <= y");
+        assert!(err.is_err(), "undeclared variable must be rejected");
+    }
+}

@@ -1,0 +1,257 @@
+//! Bounding-box indexing for generalized tuples.
+//!
+//! The paper points to "indexing techniques for constraint data \[KRVV93\]"
+//! as an implementation concern. We provide the standard first step: each
+//! generalized tuple gets a conservative axis-aligned bounding box derived
+//! from its single-variable linear atoms; membership tests and box probes
+//! prune tuples whose boxes miss the probe before evaluating polynomials.
+
+use cdb_constraints::{ConstraintRelation, GeneralizedTuple, RelOp};
+use cdb_num::{Rat, Sign};
+
+/// One side of a box: a bound or unbounded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bound {
+    /// No constraint.
+    Open,
+    /// `<= value` / `>= value` (closedness is irrelevant for pruning).
+    At(Rat),
+}
+
+/// An axis-aligned (hyper)box: per variable, lower and upper bounds.
+#[derive(Debug, Clone)]
+pub struct BoundingBox {
+    /// Per-variable `(lower, upper)`.
+    pub sides: Vec<(Bound, Bound)>,
+}
+
+impl BoundingBox {
+    /// Unbounded box in `k` dimensions.
+    #[must_use]
+    pub fn unbounded(k: usize) -> BoundingBox {
+        BoundingBox { sides: vec![(Bound::Open, Bound::Open); k] }
+    }
+
+    /// Conservative box of a generalized tuple: scan its atoms for
+    /// single-variable degree-1 constraints (`a·xᵢ + b σ 0`) and tighten.
+    #[must_use]
+    pub fn of_tuple(t: &GeneralizedTuple) -> BoundingBox {
+        let k = t.nvars();
+        let mut bb = BoundingBox::unbounded(k);
+        for atom in t.atoms() {
+            // Single-variable, degree 1?
+            let vars: Vec<usize> = (0..k).filter(|&i| atom.poly.uses_var(i)).collect();
+            if vars.len() != 1 {
+                continue;
+            }
+            let v = vars[0];
+            if atom.poly.degree_in(v) != 1 {
+                continue;
+            }
+            let coeffs = atom.poly.as_upoly_in(v);
+            let (Some(c1), Some(c0)) = (
+                coeffs[1].to_constant(),
+                coeffs.first().and_then(cdb_poly::MPoly::to_constant),
+            ) else {
+                continue;
+            };
+            // a·x + b σ 0 ⇔ x σ' −b/a.
+            let bound = -(&c0 / &c1);
+            let op = if c1.sign() == Sign::Neg { atom.op.flipped() } else { atom.op };
+            match op {
+                RelOp::Le | RelOp::Lt => bb.tighten_upper(v, &bound),
+                RelOp::Ge | RelOp::Gt => bb.tighten_lower(v, &bound),
+                RelOp::Eq => {
+                    bb.tighten_upper(v, &bound);
+                    bb.tighten_lower(v, &bound);
+                }
+                RelOp::Ne => {}
+            }
+        }
+        bb
+    }
+
+    fn tighten_upper(&mut self, v: usize, value: &Rat) {
+        match &self.sides[v].1 {
+            Bound::Open => self.sides[v].1 = Bound::At(value.clone()),
+            Bound::At(cur) if value < cur => self.sides[v].1 = Bound::At(value.clone()),
+            Bound::At(_) => {}
+        }
+    }
+
+    fn tighten_lower(&mut self, v: usize, value: &Rat) {
+        match &self.sides[v].0 {
+            Bound::Open => self.sides[v].0 = Bound::At(value.clone()),
+            Bound::At(cur) if value > cur => self.sides[v].0 = Bound::At(value.clone()),
+            Bound::At(_) => {}
+        }
+    }
+
+    /// Could the point be inside? (Conservative: `true` on any open side.)
+    #[must_use]
+    pub fn may_contain(&self, point: &[Rat]) -> bool {
+        self.sides.iter().zip(point).all(|((lo, hi), p)| {
+            let lo_ok = match lo {
+                Bound::Open => true,
+                Bound::At(v) => p >= v,
+            };
+            let hi_ok = match hi {
+                Bound::Open => true,
+                Bound::At(v) => p <= v,
+            };
+            lo_ok && hi_ok
+        })
+    }
+
+    /// Could this box intersect the probe box `[lo, hi]` per dimension?
+    #[must_use]
+    pub fn may_intersect(&self, probe: &[(Rat, Rat)]) -> bool {
+        self.sides.iter().zip(probe).all(|((lo, hi), (plo, phi))| {
+            let lo_ok = match hi {
+                Bound::Open => true,
+                Bound::At(v) => v >= plo,
+            };
+            let hi_ok = match lo {
+                Bound::Open => true,
+                Bound::At(v) => v <= phi,
+            };
+            lo_ok && hi_ok
+        })
+    }
+}
+
+/// A box index over a relation's generalized tuples.
+#[derive(Debug, Clone)]
+pub struct BoxIndex {
+    boxes: Vec<BoundingBox>,
+    relation: ConstraintRelation,
+    /// Tuples pruned by the last probe (for instrumentation/benchmarks).
+    pub last_pruned: std::cell::Cell<usize>,
+}
+
+impl BoxIndex {
+    /// Build the index.
+    #[must_use]
+    pub fn build(relation: ConstraintRelation) -> BoxIndex {
+        let boxes = relation.tuples().iter().map(BoundingBox::of_tuple).collect();
+        BoxIndex { boxes, relation, last_pruned: std::cell::Cell::new(0) }
+    }
+
+    /// The indexed relation.
+    #[must_use]
+    pub fn relation(&self) -> &ConstraintRelation {
+        &self.relation
+    }
+
+    /// Membership with box pruning (same answer as
+    /// [`ConstraintRelation::satisfied_at`], fewer polynomial evaluations).
+    #[must_use]
+    pub fn contains(&self, point: &[Rat]) -> bool {
+        let mut pruned = 0;
+        let mut hit = false;
+        for (bb, t) in self.boxes.iter().zip(self.relation.tuples()) {
+            if !bb.may_contain(point) {
+                pruned += 1;
+                continue;
+            }
+            if t.satisfied_at(point) {
+                hit = true;
+                break;
+            }
+        }
+        self.last_pruned.set(pruned);
+        hit
+    }
+
+    /// Tuples whose boxes intersect a probe box.
+    #[must_use]
+    pub fn candidates(&self, probe: &[(Rat, Rat)]) -> Vec<&GeneralizedTuple> {
+        self.boxes
+            .iter()
+            .zip(self.relation.tuples())
+            .filter(|(bb, _)| bb.may_intersect(probe))
+            .map(|(_, t)| t)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_constraints::Atom;
+    use cdb_poly::MPoly;
+
+    fn square_at(cx: i64, cy: i64) -> GeneralizedTuple {
+        // [cx, cx+1] × [cy, cy+1]
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let c = |v: i64| MPoly::constant(Rat::from(v), 2);
+        GeneralizedTuple::new(
+            2,
+            vec![
+                Atom::new(&c(cx) - &x, RelOp::Le),
+                Atom::new(&x - &c(cx + 1), RelOp::Le),
+                Atom::new(&c(cy) - &y, RelOp::Le),
+                Atom::new(&y - &c(cy + 1), RelOp::Le),
+            ],
+        )
+    }
+
+    #[test]
+    fn boxes_extracted() {
+        let bb = BoundingBox::of_tuple(&square_at(3, 4));
+        assert_eq!(bb.sides[0], (Bound::At(Rat::from(3i64)), Bound::At(Rat::from(4i64))));
+        assert_eq!(bb.sides[1], (Bound::At(Rat::from(4i64)), Bound::At(Rat::from(5i64))));
+    }
+
+    #[test]
+    fn membership_with_pruning() {
+        let tuples: Vec<GeneralizedTuple> =
+            (0..50).map(|i| square_at(2 * i, 0)).collect();
+        let rel = ConstraintRelation::new(2, tuples);
+        let idx = BoxIndex::build(rel.clone());
+        let p = [Rat::from(20i64), "1/2".parse().unwrap()];
+        assert_eq!(idx.contains(&p), rel.satisfied_at(&p));
+        assert!(idx.contains(&p));
+        assert!(idx.last_pruned.get() >= 9, "pruned {}", idx.last_pruned.get());
+        let q = ["43/2".parse().unwrap(), "1/2".parse().unwrap()]; // gap between squares
+        assert!(!idx.contains(&q));
+        assert_eq!(idx.last_pruned.get(), 50);
+    }
+
+    #[test]
+    fn unbounded_sides_never_prune() {
+        // x ≥ 0 ∧ x² + y² ≤ 1has a nonlinear atom: only x's lower bound is
+        // indexed; y stays open.
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let t = GeneralizedTuple::new(
+            2,
+            vec![
+                Atom::new(-&x, RelOp::Le),
+                Atom::new(
+                    &(&x.pow(2) + &y.pow(2)) - &MPoly::constant(Rat::one(), 2),
+                    RelOp::Le,
+                ),
+            ],
+        );
+        let bb = BoundingBox::of_tuple(&t);
+        assert_eq!(bb.sides[0].0, Bound::At(Rat::zero()));
+        assert_eq!(bb.sides[0].1, Bound::Open);
+        assert_eq!(bb.sides[1], (Bound::Open, Bound::Open));
+        assert!(bb.may_contain(&[Rat::one(), Rat::from(100i64)]));
+        assert!(!bb.may_contain(&[Rat::from(-1i64), Rat::zero()]));
+    }
+
+    #[test]
+    fn box_probe_candidates() {
+        let tuples: Vec<GeneralizedTuple> = (0..10).map(|i| square_at(3 * i, 0)).collect();
+        let idx = BoxIndex::build(ConstraintRelation::new(2, tuples));
+        let probe = [
+            (Rat::from(4i64), Rat::from(8i64)),
+            (Rat::zero(), Rat::one()),
+        ];
+        // Squares at x ∈ [3,4], [6,7] intersect [4, 8]: candidates 2.
+        assert_eq!(idx.candidates(&probe).len(), 2);
+    }
+}

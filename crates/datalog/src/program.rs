@@ -1,0 +1,462 @@
+//! Datalog¬ programs and their inflationary fixpoint evaluation.
+
+use cdb_constraints::{Atom, ConstraintRelation, Database, Formula};
+use cdb_qe::{evaluate_query, QeContext, QeError};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A body literal. Variables are indices into the rule's local ring.
+#[derive(Debug, Clone)]
+pub enum Literal {
+    /// Positive relation atom `R(x̄)`.
+    Rel(String, Vec<usize>),
+    /// Negated relation atom `¬R(x̄)` (inflationary: complement of the
+    /// current extent).
+    NegRel(String, Vec<usize>),
+    /// A polynomial constraint over the rule's variables.
+    Constraint(Atom),
+}
+
+/// A rule `Head(x̄) :- body`.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Head relation name.
+    pub head: String,
+    /// Head variables (rule-local indices, distinct).
+    pub head_vars: Vec<usize>,
+    /// Body literals (conjunction).
+    pub body: Vec<Literal>,
+    /// Arity of the rule's local variable ring.
+    pub nvars: usize,
+}
+
+impl Rule {
+    /// Construct with sanity checks.
+    pub fn new(
+        head: impl Into<String>,
+        head_vars: Vec<usize>,
+        body: Vec<Literal>,
+        nvars: usize,
+    ) -> Rule {
+        let mut seen = BTreeSet::new();
+        for &v in &head_vars {
+            assert!(v < nvars, "head variable out of range");
+            assert!(seen.insert(v), "repeated head variable");
+        }
+        Rule { head: head.into(), head_vars, body, nvars }
+    }
+
+    /// The body as a first-order formula with existentials over non-head
+    /// variables, against the given database extents.
+    fn body_formula(&self) -> Formula {
+        let mut conj: Vec<Formula> = Vec::with_capacity(self.body.len());
+        for lit in &self.body {
+            conj.push(match lit {
+                Literal::Rel(name, args) => Formula::Rel(name.clone(), args.clone()),
+                Literal::NegRel(name, args) => {
+                    Formula::not(Formula::Rel(name.clone(), args.clone()))
+                }
+                Literal::Constraint(a) => Formula::Atom(a.clone()),
+            });
+        }
+        let mut f = Formula::And(conj);
+        // Existentials over body variables not in the head.
+        let used: BTreeSet<usize> = f.free_vars();
+        for v in used {
+            if !self.head_vars.contains(&v) {
+                f = Formula::exists(v, f);
+            }
+        }
+        f
+    }
+}
+
+/// A Datalog¬ program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The rules; heads define the intensional relations.
+    pub rules: Vec<Rule>,
+}
+
+/// Evaluation failure.
+#[derive(Debug)]
+pub enum DatalogError {
+    /// QE failure — including finite-precision undefinedness, which is the
+    /// *expected* way runs are bounded under `⊨_QE^F`.
+    Qe(QeError),
+    /// The iteration cap was reached without a fixpoint.
+    IterationCap(usize),
+    /// Head arity conflicts with an existing relation.
+    Arity(String),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Qe(e) => write!(f, "datalog: {e}"),
+            DatalogError::IterationCap(n) => {
+                write!(f, "datalog: no fixpoint within {n} iterations")
+            }
+            DatalogError::Arity(m) => write!(f, "datalog arity conflict: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+impl From<QeError> for DatalogError {
+    fn from(e: QeError) -> Self {
+        DatalogError::Qe(e)
+    }
+}
+
+/// Statistics of a fixpoint run (experiment E11 reads these).
+#[derive(Debug, Clone, Default)]
+pub struct FixpointStats {
+    /// Iterations executed (including the final no-change pass).
+    pub iterations: usize,
+    /// Largest coefficient bit length observed across all QE calls.
+    pub max_bits_seen: u64,
+}
+
+impl Program {
+    /// Run the inflationary fixpoint on (a copy of) the database. Head
+    /// relations are created empty if absent. Returns the saturated
+    /// database and run statistics.
+    pub fn run(
+        &self,
+        db: &Database,
+        ctx: &QeContext,
+        max_iterations: usize,
+    ) -> Result<(Database, FixpointStats), DatalogError> {
+        let mut db = db.clone();
+        // Create empty extents for intensional relations.
+        for rule in &self.rules {
+            let arity = rule.head_vars.len();
+            match db.get(&rule.head) {
+                Some(rel) if rel.nvars() != arity => {
+                    return Err(DatalogError::Arity(format!(
+                        "{} has arity {}, rule head uses {}",
+                        rule.head,
+                        rel.nvars(),
+                        arity
+                    )));
+                }
+                Some(_) => {}
+                None => db.insert(rule.head.clone(), ConstraintRelation::empty(arity)),
+            }
+        }
+        let mut stats = FixpointStats::default();
+        for it in 1..=max_iterations {
+            stats.iterations = it;
+            let mut changed = false;
+            let mut next = db.clone();
+            for rule in &self.rules {
+                let q = rule.body_formula();
+                let out = evaluate_query(&db, &q, rule.nvars, ctx)?;
+                stats.max_bits_seen = stats.max_bits_seen.max(ctx.max_bits_seen.get());
+                // Project the rule-ring relation onto the head's ring.
+                let mut map = vec![0usize; rule.nvars];
+                for (pos, &v) in rule.head_vars.iter().enumerate() {
+                    map[v] = pos;
+                }
+                let derived = out
+                    .relation
+                    .remap_vars(&map, rule.head_vars.len().max(1))
+                    .simplify();
+                let current = next
+                    .get(&rule.head)
+                    .expect("head extent initialized")
+                    .clone();
+                let grown = current.union(&derived).simplify();
+                // Canonicalize finite point sets (QE may render the same
+                // point with differently-ordered atoms, defeating the
+                // syntactic dedup and bloating the extent).
+                let grown = match grown.as_finite_points() {
+                    Some(mut pts) => {
+                        pts.sort();
+                        pts.dedup();
+                        ConstraintRelation::from_points(grown.nvars(), &pts)
+                    }
+                    None => grown,
+                };
+                // Inflationary growth test: anything new? Derived \ current
+                // must be empty for a fixpoint.
+                if !subset_of(&derived, &current, ctx)? {
+                    changed = true;
+                }
+                next.insert(rule.head.clone(), grown);
+            }
+            db = next;
+            if !changed {
+                return Ok((db, stats));
+            }
+        }
+        Err(DatalogError::IterationCap(max_iterations))
+    }
+}
+
+/// Semantic subset test `a ⊆ b`, with fast paths: finite point sets are
+/// compared directly, syntactically subsumed tuples are skipped, and only
+/// the remainder goes through QE (`¬∃x̄ (a ∧ ¬b)` — whose De Morgan
+/// expansion is exponential in b's tuple count, so it must stay small).
+fn subset_of(
+    a: &ConstraintRelation,
+    b: &ConstraintRelation,
+    ctx: &QeContext,
+) -> Result<bool, QeError> {
+    if a.is_syntactically_empty() {
+        return Ok(true);
+    }
+    // Fast path 1: finite sets of explicit points.
+    if let (Some(pa), Some(pb)) = (a.as_finite_points(), b.as_finite_points()) {
+        return Ok(pa.iter().all(|p| pb.contains(p)));
+    }
+    // Fast path 2: drop tuples of `a` that appear verbatim in `b`.
+    let remaining: Vec<_> = a
+        .tuples()
+        .iter()
+        .filter(|t| !b.tuples().contains(t))
+        .cloned()
+        .collect();
+    if remaining.is_empty() {
+        return Ok(true);
+    }
+    let a = &ConstraintRelation::new(a.nvars(), remaining);
+    let nvars = a.nvars();
+    let fa = cdb_constraints::formula::relation_to_formula(a);
+    let fb = cdb_constraints::formula::relation_to_formula(b);
+    let mut diff = Formula::and(fa, Formula::not(fb));
+    for v in 0..nvars {
+        diff = Formula::exists(v, diff);
+    }
+    let db = Database::new();
+    let out = evaluate_query(&db, &diff, nvars, ctx)?;
+    // The sentence result is a full or empty relation.
+    Ok(out.relation.is_syntactically_empty()
+        || !out
+            .relation
+            .satisfied_at(&vec![cdb_num::Rat::zero(); nvars]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_constraints::{GeneralizedTuple, RelOp};
+    use cdb_num::Rat;
+    use cdb_poly::MPoly;
+
+    fn c(v: i64, n: usize) -> MPoly {
+        MPoly::constant(Rat::from(v), n)
+    }
+
+    /// Finite-graph transitive closure: E = {(1,2), (2,3), (3,4)}.
+    #[test]
+    fn transitive_closure_finite() {
+        let mut db = Database::new();
+        db.insert(
+            "E",
+            ConstraintRelation::from_points(
+                2,
+                &[
+                    vec![Rat::from(1i64), Rat::from(2i64)],
+                    vec![Rat::from(2i64), Rat::from(3i64)],
+                    vec![Rat::from(3i64), Rat::from(4i64)],
+                ],
+            ),
+        );
+        // T(x,y) :- E(x,y).  T(x,y) :- T(x,z), E(z,y).
+        let program = Program {
+            rules: vec![
+                Rule::new("T", vec![0, 1], vec![Literal::Rel("E".into(), vec![0, 1])], 2),
+                Rule::new(
+                    "T",
+                    vec![0, 1],
+                    vec![
+                        Literal::Rel("T".into(), vec![0, 2]),
+                        Literal::Rel("E".into(), vec![2, 1]),
+                    ],
+                    3,
+                ),
+            ],
+        };
+        let ctx = QeContext::exact();
+        let (out, stats) = program.run(&db, &ctx, 16).unwrap();
+        let t = out.get("T").unwrap();
+        for (a, b, expect) in [
+            (1i64, 2i64, true),
+            (1, 3, true),
+            (1, 4, true),
+            (2, 4, true),
+            (2, 1, false),
+            (1, 1, false),
+        ] {
+            assert_eq!(
+                t.satisfied_at(&[Rat::from(a), Rat::from(b)]),
+                expect,
+                "T({a},{b})"
+            );
+        }
+        assert!(stats.iterations <= 5);
+    }
+
+    /// Dense-order reachability (Theorem 4.8 flavor): intervals as segment
+    /// sets; reach extends the right endpoint through overlapping segments.
+    #[test]
+    fn dense_order_reachability() {
+        // Seg = [0,1]×… : pairs (x,y) with x in [0,1], y in [x, x+1]… use a
+        // simpler dense-order program: R(x) :- Start(x). R(y) :- R(x),
+        // Step(x, y). With Step(x,y) ≡ x ≤ y ∧ y ≤ x+1 over [0, 3] and
+        // Start = {0}: R saturates to [0, 3]-ish region in ≤ few rounds.
+        let n = 2;
+        let x = MPoly::var(0, n);
+        let y = MPoly::var(1, n);
+        let mut db = Database::new();
+        db.insert("Start", ConstraintRelation::from_points(1, &[vec![Rat::zero()]]));
+        db.insert(
+            "Step",
+            ConstraintRelation::new(
+                n,
+                vec![GeneralizedTuple::new(
+                    n,
+                    vec![
+                        Atom::cmp(x.clone(), RelOp::Le, y.clone()),
+                        Atom::cmp(y.clone(), RelOp::Le, &x + &c(1, n)),
+                        Atom::cmp(y, RelOp::Le, c(3, n)),
+                    ],
+                )],
+            ),
+        );
+        let program = Program {
+            rules: vec![
+                Rule::new("R", vec![0], vec![Literal::Rel("Start".into(), vec![0])], 1),
+                Rule::new(
+                    "R",
+                    vec![1],
+                    vec![
+                        Literal::Rel("R".into(), vec![0]),
+                        Literal::Rel("Step".into(), vec![0, 1]),
+                    ],
+                    2,
+                ),
+            ],
+        };
+        let ctx = QeContext::exact();
+        let (out, stats) = program.run(&db, &ctx, 20).unwrap();
+        let r = out.get("R").unwrap();
+        for (v, expect) in [("0", true), ("1/2", true), ("2", true), ("3", true), ("7/2", false), ("-1", false)] {
+            assert_eq!(
+                r.satisfied_at(&[v.parse().unwrap()]),
+                expect,
+                "R({v})"
+            );
+        }
+        // Saturation in ~4 rounds (step extends reach by 1 per round).
+        assert!(stats.iterations <= 8, "iterations {}", stats.iterations);
+    }
+
+    /// Inflationary negation: Unmarked(x) :- Domain(x), not Marked(x)
+    /// evaluated once against the *initial* Marked extent.
+    #[test]
+    fn inflationary_negation() {
+        let mut db = Database::new();
+        db.insert(
+            "Domain",
+            ConstraintRelation::from_points(
+                1,
+                &[vec![Rat::one()], vec![Rat::from(2i64)], vec![Rat::from(3i64)]],
+            ),
+        );
+        db.insert(
+            "Marked",
+            ConstraintRelation::from_points(1, &[vec![Rat::from(2i64)]]),
+        );
+        let program = Program {
+            rules: vec![Rule::new(
+                "Unmarked",
+                vec![0],
+                vec![
+                    Literal::Rel("Domain".into(), vec![0]),
+                    Literal::NegRel("Marked".into(), vec![0]),
+                ],
+                1,
+            )],
+        };
+        let ctx = QeContext::exact();
+        let (out, _) = program.run(&db, &ctx, 8).unwrap();
+        let u = out.get("Unmarked").unwrap();
+        assert!(u.satisfied_at(&[Rat::one()]));
+        assert!(!u.satisfied_at(&[Rat::from(2i64)]));
+        assert!(u.satisfied_at(&[Rat::from(3i64)]));
+    }
+
+    /// Finite precision: a program whose derived constants grow without
+    /// bound is cut off by the bit budget (Theorem 4.7's guarantee that
+    /// `Datalog¬_F` cannot run forever).
+    #[test]
+    fn budget_bounds_divergent_program() {
+        // D(x) :- Init(x).  D(y) :- D(x), Double(x, y) with y = 2x: the
+        // extent {1, 2, 4, 8, …} grows forever under exact semantics.
+        let n = 2;
+        let x = MPoly::var(0, n);
+        let y = MPoly::var(1, n);
+        let mut db = Database::new();
+        db.insert("Init", ConstraintRelation::from_points(1, &[vec![Rat::one()]]));
+        db.insert(
+            "Double",
+            ConstraintRelation::new(
+                n,
+                vec![GeneralizedTuple::new(
+                    n,
+                    vec![Atom::cmp(y, RelOp::Eq, x.scale(&Rat::from(2i64)))],
+                )],
+            ),
+        );
+        let program = Program {
+            rules: vec![
+                Rule::new("D", vec![0], vec![Literal::Rel("Init".into(), vec![0])], 1),
+                Rule::new(
+                    "D",
+                    vec![1],
+                    vec![
+                        Literal::Rel("D".into(), vec![0]),
+                        Literal::Rel("Double".into(), vec![0, 1]),
+                    ],
+                    2,
+                ),
+            ],
+        };
+        // Exact semantics: hits the iteration cap.
+        let ctx = QeContext::exact();
+        let err = program.run(&db, &ctx, 6).unwrap_err();
+        assert!(matches!(err, DatalogError::IterationCap(6)));
+        // Finite precision: undefined once the doubling exceeds the budget.
+        let fp = QeContext::with_budget(8);
+        let err2 = program.run(&db, &fp, 64).unwrap_err();
+        assert!(
+            matches!(err2, DatalogError::Qe(QeError::PrecisionExceeded { .. })),
+            "{err2:?}"
+        );
+    }
+
+    /// Fixpoint over already-saturated input terminates in one pass.
+    #[test]
+    fn immediate_fixpoint() {
+        let mut db = Database::new();
+        db.insert(
+            "P",
+            ConstraintRelation::from_points(1, &[vec![Rat::zero()]]),
+        );
+        let program = Program {
+            rules: vec![Rule::new(
+                "P",
+                vec![0],
+                vec![Literal::Rel("P".into(), vec![0])],
+                1,
+            )],
+        };
+        let ctx = QeContext::exact();
+        let (_, stats) = program.run(&db, &ctx, 8).unwrap();
+        assert_eq!(stats.iterations, 1);
+    }
+}

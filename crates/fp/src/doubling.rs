@@ -1,0 +1,334 @@
+//! Executable versions of the word-doubling constructions (Theorem 4.2,
+//! Theorem 4.3 / Lemma 4.5).
+//!
+//! The paper proves that the arithmetic of `Z_{2k}` is first-order definable
+//! from `Z_k` — with order and partial addition only (Theorem 4.2), and with
+//! the split-word operations `+l/+u/×l/×u` for full multiplication (Lemma
+//! 4.5). Here the defining formulas are implemented as *executable
+//! functions that only call `Z_k` operations*, so property tests can verify
+//! them against direct big-integer arithmetic ("by iterating this
+//! technique, we obtain integers … of sufficient length").
+//!
+//! A `2k`-bit word is a pair `[lo, hi]` of `k`-bit words with value
+//! `lo + 2^k·hi`.
+
+use cdb_num::{Int, Zk};
+
+/// A double word `[lo, hi]` over `Z_k`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pair {
+    /// Low `k` bits.
+    pub lo: Int,
+    /// High `k` bits.
+    pub hi: Int,
+}
+
+impl Pair {
+    /// Split a `2k`-bit value.
+    #[must_use]
+    pub fn split(z: &Zk, v: &Int) -> Pair {
+        let (lo, hi) = z.split(v);
+        Pair { lo, hi }
+    }
+
+    /// Recompose the `2k`-bit value.
+    #[must_use]
+    pub fn value(&self, z: &Zk) -> Int {
+        z.compose(&self.lo, &self.hi)
+    }
+}
+
+/// Lemma 4.5 order: `[x, x'] ≤_{2k} [y, y'] ⇔ x' < y' ∨ (x' = y' ∧ x ≤ y)`.
+#[must_use]
+pub fn le2k(_z: &Zk, a: &Pair, b: &Pair) -> bool {
+    a.hi < b.hi || (a.hi == b.hi && a.lo <= b.lo)
+}
+
+/// Theorem 4.2 addition: `Z_{2k}` addition defined from the *partial*
+/// `Z_k` addition plus subtraction/order. Overflow of the low word is
+/// detected by the partiality of `+_k`; the carry is propagated exactly as
+/// in the paper's defining formula. Returns `None` when the result
+/// overflows `2k` bits (the `+_{2k}` operation is itself partial).
+#[must_use]
+pub fn add2k_partial(z: &Zk, a: &Pair, b: &Pair) -> Option<Pair> {
+    let max = &z.modulus() - &Int::one();
+    // Low word: x + y if representable, else x − (max − y) − 1 with carry.
+    let (lo, carry) = match z.add(&a.lo, &b.lo) {
+        Some(s) => (s, Int::zero()),
+        None => {
+            // x + y ≥ 2^k: z = x − (max − y) − 1 is representable.
+            let s = &(&a.lo - &(&max - &b.lo)) - &Int::one();
+            (s, Int::one())
+        }
+    };
+    // High word: x' + y' + carry, must stay within k bits.
+    let h1 = z.add(&a.hi, &b.hi)?;
+    let hi = z.add(&h1, &carry)?;
+    Some(Pair { lo, hi })
+}
+
+/// Lemma 4.5 addition, low part (`+l_{2k}`): total, from split ops only.
+#[must_use]
+pub fn add2k_lo(z: &Zk, a: &Pair, b: &Pair) -> Pair {
+    let lo = z.add_lo(&a.lo, &b.lo);
+    let carry = z.add_hi(&a.lo, &b.lo);
+    let hi = z.add_lo(&z.add_lo(&a.hi, &b.hi), &carry);
+    Pair { lo, hi }
+}
+
+/// Lemma 4.5 addition, high part (`+u_{2k}`): the carry out of the double
+/// word (0 or 1), from split ops only.
+#[must_use]
+pub fn add2k_hi(z: &Zk, a: &Pair, b: &Pair) -> Pair {
+    let c0 = z.add_hi(&a.lo, &b.lo);
+    let s1 = z.add_lo(&a.hi, &b.hi);
+    let c1 = z.add_hi(&a.hi, &b.hi);
+    let c2 = z.add_hi(&s1, &c0);
+    // Total carry out = c1 + c2 (each 0/1; they cannot both be 1 and push
+    // past one bit of carry for word sizes ≥ 1).
+    let hi_carry = z.add_lo(&c1, &c2);
+    Pair { lo: hi_carry, hi: Int::zero() }
+}
+
+/// Lemma 4.5 multiplication: the four `k`-bit words of `a·b` (a `4k`-bit
+/// product) computed from split ops only. Returned low-to-high.
+#[must_use]
+pub fn mul2k_words(z: &Zk, a: &Pair, b: &Pair) -> [Int; 4] {
+    // Partial products.
+    let ll_l = z.mul_lo(&a.lo, &b.lo);
+    let ll_h = z.mul_hi(&a.lo, &b.lo);
+    let lh_l = z.mul_lo(&a.lo, &b.hi);
+    let lh_h = z.mul_hi(&a.lo, &b.hi);
+    let hl_l = z.mul_lo(&a.hi, &b.lo);
+    let hl_h = z.mul_hi(&a.hi, &b.lo);
+    let hh_l = z.mul_lo(&a.hi, &b.hi);
+    let hh_h = z.mul_hi(&a.hi, &b.hi);
+    // Column accumulation with carries, all in Z_k split ops.
+    let w0 = ll_l;
+    // Column 1: ll_h + lh_l + hl_l.
+    let (s1, c1a) = (z.add_lo(&ll_h, &lh_l), z.add_hi(&ll_h, &lh_l));
+    let (w1, c1b) = (z.add_lo(&s1, &hl_l), z.add_hi(&s1, &hl_l));
+    let carry1 = z.add_lo(&c1a, &c1b); // ≤ 2, fits in k bits for k ≥ 2
+    // Column 2: lh_h + hl_h + hh_l + carry1.
+    let (s2, c2a) = (z.add_lo(&lh_h, &hl_h), z.add_hi(&lh_h, &hl_h));
+    let (s3, c2b) = (z.add_lo(&s2, &hh_l), z.add_hi(&s2, &hh_l));
+    let (w2, c2c) = (z.add_lo(&s3, &carry1), z.add_hi(&s3, &carry1));
+    let carry2 = z.add_lo(&z.add_lo(&c2a, &c2b), &c2c);
+    // Column 3: hh_h + carry2 (cannot overflow: product < 2^{4k}).
+    let w3 = z.add_lo(&hh_h, &carry2);
+    debug_assert!(z.add_hi(&hh_h, &carry2).is_zero());
+    [w0, w1, w2, w3]
+}
+
+/// `×l_{2k}`: low `2k` bits of the product.
+#[must_use]
+pub fn mul2k_lo(z: &Zk, a: &Pair, b: &Pair) -> Pair {
+    let [w0, w1, _, _] = mul2k_words(z, a, b);
+    Pair { lo: w0, hi: w1 }
+}
+
+/// `×u_{2k}`: high `2k` bits of the product.
+#[must_use]
+pub fn mul2k_hi(z: &Zk, a: &Pair, b: &Pair) -> Pair {
+    let [_, _, w2, w3] = mul2k_words(z, a, b);
+    Pair { lo: w2, hi: w3 }
+}
+
+/// Iterate the doubling: compute `a + b` and `a × b` for `2^levels · k`-bit
+/// words using only `Z_k` split operations (the paper's "by iterating this
+/// technique"). Returns the (low, high) halves at the top width.
+///
+/// This is a reference implementation used by tests and the E9 experiment;
+/// it represents wide words as binary trees of `Z_k` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Wide {
+    /// A `k`-bit leaf.
+    Leaf(Int),
+    /// A pair of half-width words `[lo, hi]`.
+    Node(Box<Wide>, Box<Wide>),
+}
+
+impl Wide {
+    /// Build a wide word of `2^levels` leaves from a big integer.
+    #[must_use]
+    pub fn from_int(z: &Zk, v: &Int, levels: u32) -> Wide {
+        if levels == 0 {
+            assert!(z.contains(v), "leaf out of range");
+            return Wide::Leaf(v.clone());
+        }
+        let half_bits = u64::from(z.k) << (levels - 1);
+        let modulus = Int::pow2(half_bits);
+        let (hi, lo) = v.div_euclid(&modulus);
+        Wide::Node(
+            Box::new(Wide::from_int(z, &lo, levels - 1)),
+            Box::new(Wide::from_int(z, &hi, levels - 1)),
+        )
+    }
+
+    /// Recompose the big integer.
+    #[must_use]
+    pub fn to_int(&self, z: &Zk) -> Int {
+        match self {
+            Wide::Leaf(v) => v.clone(),
+            Wide::Node(lo, hi) => {
+                let bits = self.bits(z) / 2;
+                &lo.to_int(z) + &(&hi.to_int(z) * &Int::pow2(bits))
+            }
+        }
+    }
+
+    fn bits(&self, z: &Zk) -> u64 {
+        match self {
+            Wide::Leaf(_) => u64::from(z.k),
+            Wide::Node(lo, _) => 2 * lo.bits(z),
+        }
+    }
+
+    /// Low half of the sum, via recursive application of the Lemma 4.5
+    /// formulas (leaves use the native split ops).
+    #[must_use]
+    pub fn add_lo(&self, other: &Wide, z: &Zk) -> Wide {
+        match (self, other) {
+            (Wide::Leaf(a), Wide::Leaf(b)) => Wide::Leaf(z.add_lo(a, b)),
+            (Wide::Node(alo, ahi), Wide::Node(blo, bhi)) => {
+                let lo = alo.add_lo(blo, z);
+                let carry = alo.add_hi(blo, z);
+                let hi = ahi.add_lo(bhi, z).add_lo(&carry, z);
+                Wide::Node(Box::new(lo), Box::new(hi))
+            }
+            _ => panic!("width mismatch"),
+        }
+    }
+
+    /// Carry out of the sum (a wide word holding 0 or 1).
+    #[must_use]
+    pub fn add_hi(&self, other: &Wide, z: &Zk) -> Wide {
+        match (self, other) {
+            (Wide::Leaf(a), Wide::Leaf(b)) => Wide::Leaf(z.add_hi(a, b)),
+            (Wide::Node(alo, ahi), Wide::Node(blo, bhi)) => {
+                // Carries are half-width words holding 0/1; the total carry
+                // (0, 1 — never 2 for the carry out of a sum of two words)
+                // is returned zero-extended to full width.
+                let c0 = alo.add_hi(blo, z);
+                let s1 = ahi.add_lo(bhi, z);
+                let c1 = ahi.add_hi(bhi, z);
+                let c2 = s1.add_hi(&c0, z);
+                let total = c1.add_lo(&c2, z);
+                let zero = alo.zero_like(z);
+                Wide::Node(Box::new(total), Box::new(zero))
+            }
+            _ => panic!("width mismatch"),
+        }
+    }
+
+    fn zero_like(&self, z: &Zk) -> Wide {
+        let _ = z;
+        match self {
+            Wide::Leaf(_) => Wide::Leaf(Int::zero()),
+            Wide::Node(lo, _) => {
+                let half = lo.zero_like(z);
+                Wide::Node(Box::new(half.clone()), Box::new(half))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z4() -> Zk {
+        Zk::new(4)
+    }
+
+    fn pair(z: &Zk, v: i64) -> Pair {
+        Pair::split(z, &Int::from(v))
+    }
+
+    #[test]
+    fn le2k_matches_value_order() {
+        let z = z4();
+        for a in [0i64, 1, 15, 16, 100, 255] {
+            for b in [0i64, 3, 16, 99, 255] {
+                assert_eq!(
+                    le2k(&z, &pair(&z, a), &pair(&z, b)),
+                    a <= b,
+                    "{a} <= {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add2k_partial_exhaustive_small() {
+        let z = Zk::new(3); // doubled words hold 0..63
+        for a in 0i64..64 {
+            for b in 0i64..64 {
+                let got = add2k_partial(&z, &pair(&z, a), &pair(&z, b));
+                if a + b < 64 {
+                    assert_eq!(
+                        got.map(|p| p.value(&z)),
+                        Some(Int::from(a + b)),
+                        "{a}+{b}"
+                    );
+                } else {
+                    assert!(got.is_none(), "{a}+{b} should overflow");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_add_reconstructs_full_sum() {
+        let z = z4();
+        for a in [0i64, 7, 128, 255] {
+            for b in [0i64, 1, 130, 255] {
+                let lo = add2k_lo(&z, &pair(&z, a), &pair(&z, b));
+                let hi = add2k_hi(&z, &pair(&z, a), &pair(&z, b));
+                let total = &lo.value(&z) + &(&hi.value(&z) * &Int::from(256));
+                assert_eq!(total, Int::from(a + b), "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_mul_reconstructs_full_product() {
+        let z = z4();
+        for a in [0i64, 3, 16, 100, 255] {
+            for b in [0i64, 1, 17, 200, 255] {
+                let words = mul2k_words(&z, &pair(&z, a), &pair(&z, b));
+                let mut total = Int::zero();
+                for (i, w) in words.iter().enumerate() {
+                    total = &total + &(w * &Int::pow2(4 * i as u64));
+                }
+                assert_eq!(total, Int::from(a * b), "{a}*{b}");
+                // And the lo/hi views agree (hi weighted by 2^{2k} = 256).
+                let lo = mul2k_lo(&z, &pair(&z, a), &pair(&z, b)).value(&z);
+                let hi = mul2k_hi(&z, &pair(&z, a), &pair(&z, b)).value(&z);
+                assert_eq!(&lo + &(&hi * &Int::from(256)), Int::from(a * b));
+            }
+        }
+    }
+
+    #[test]
+    fn wide_words_iterate_the_doubling() {
+        // 3 levels over k=4: 32-bit arithmetic from 4-bit split ops.
+        let z = z4();
+        for (a, b) in [
+            (0u32, 0u32),
+            (123_456, 654_321),
+            (0xFFFF_FFFF, 1),
+            (0xDEAD_BEEF, 0x0BAD_F00D),
+        ] {
+            let (a, b) = (u64::from(a), u64::from(b));
+            let wa = Wide::from_int(&z, &Int::from(a), 3);
+            let wb = Wide::from_int(&z, &Int::from(b), 3);
+            let lo = wa.add_lo(&wb, &z).to_int(&z);
+            let expected = Int::from((a + b) & 0xFFFF_FFFF);
+            assert_eq!(lo, expected, "{a}+{b} low 32 bits");
+            let carry = wa.add_hi(&wb, &z).to_int(&z);
+            let full = &lo + &(&carry * &Int::pow2(32));
+            assert_eq!(full, &Int::from(a) + &Int::from(b), "{a}+{b} full");
+        }
+    }
+}

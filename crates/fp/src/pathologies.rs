@@ -1,0 +1,119 @@
+//! The §4 counterexamples: why Tarskian semantics over `F_k` is hopeless.
+//!
+//! "It is indeed easy to see that for instance `F_k ⊨ ∃x∀y (y ≤ x)` … and
+//! sadly, `F_k` does not even satisfy the distributive laws … two different
+//! evaluation strategies of the same expression may lead to different
+//! results." These constructive witnesses power experiment E15.
+
+use cdb_num::{Fk, FkParams, Rat};
+
+/// Witness of `∃x∀y (y ≤ x)` in `F_k`: the greatest element. (In `R` this
+/// sentence is false; under Tarskian semantics over `F_k` it is true, which
+/// is exactly why the paper defines satisfaction relative to the QE
+/// algorithm instead.)
+#[must_use]
+pub fn greatest_element(params: FkParams) -> Fk {
+    Fk::max_value(params)
+}
+
+/// A distributivity failure under rounding: values `(a, b, c)` with
+/// `a ⊗ (b ⊕ c) ≠ (a ⊗ b) ⊕ (a ⊗ c)`, searched over small integers.
+#[must_use]
+pub fn distributivity_counterexample(params: FkParams) -> Option<(Fk, Fk, Fk)> {
+    let mk = |v: i64| Fk::from_rat_round(&Rat::from(v), params).ok();
+    // A dense search over small values finds witnesses quickly for small k
+    // (rounding kicks in as soon as sums/products exceed the mantissa).
+    let bound = 64i64;
+    for a in 1..bound {
+        for b in 1..bound {
+            for c in 1..bound {
+                let (fa, fb, fc) = (mk(a)?, mk(b)?, mk(c)?);
+                let lhs = fb.add_round(&fc).ok().and_then(|s| fa.mul_round(&s).ok());
+                let rhs = fa
+                    .mul_round(&fb)
+                    .ok()
+                    .and_then(|ab| fa.mul_round(&fc).ok().map(|ac| (ab, ac)))
+                    .and_then(|(ab, ac)| ab.add_round(&ac).ok());
+                match (lhs, rhs) {
+                    (Some(l), Some(r)) if l != r => return Some((fa, fb, fc)),
+                    _ => {}
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Evaluation-order sensitivity: a list of values whose rounded sum differs
+/// between left-to-right and right-to-left association. Returns
+/// `(values, sum_ltr, sum_rtl)`.
+#[must_use]
+pub fn summation_order_counterexample(
+    params: FkParams,
+) -> Option<(Vec<Fk>, Fk, Fk)> {
+    // One large value plus many small ones: absorbed one-by-one (each too
+    // small to register), but summed together first they contribute.
+    let big = Fk::from_rat_round(
+        &Rat::from(1i64 << params.mantissa_bits.min(40)),
+        params,
+    )
+    .ok()?;
+    let one = Fk::one(params);
+    let mut values = vec![big];
+    for _ in 0..4 {
+        values.push(one.clone());
+    }
+    let ltr = fold_sum(values.iter(), params)?;
+    let rtl = fold_sum(values.iter().rev(), params)?;
+    (ltr != rtl).then_some((values, ltr, rtl))
+}
+
+fn fold_sum<'a, I: Iterator<Item = &'a Fk>>(mut it: I, params: FkParams) -> Option<Fk> {
+    let mut acc = it.next().cloned().unwrap_or_else(|| Fk::zero(params));
+    for v in it {
+        acc = acc.add_round(v).ok()?;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_num::Rat;
+
+    #[test]
+    fn greatest_element_dominates() {
+        let params = FkParams::with_k(12);
+        let top = greatest_element(params);
+        for v in [-5000i64, 0, 1, 4095] {
+            let w = Fk::from_rat_round(&Rat::from(v), params).unwrap();
+            assert!(w <= top, "{v} should be ≤ max");
+        }
+    }
+
+    #[test]
+    fn distributivity_fails_somewhere() {
+        let params = FkParams::with_k(8);
+        let (a, b, c) = distributivity_counterexample(params).expect("counterexample");
+        let lhs = a.mul_round(&b.add_round(&c).unwrap()).unwrap();
+        let rhs = a
+            .mul_round(&b)
+            .unwrap()
+            .add_round(&a.mul_round(&c).unwrap())
+            .unwrap();
+        assert_ne!(lhs, rhs);
+    }
+
+    #[test]
+    fn summation_order_matters() {
+        let params = FkParams::with_k(8);
+        let (values, ltr, rtl) = summation_order_counterexample(params).expect("witness");
+        assert_eq!(values.len(), 5);
+        assert_ne!(ltr, rtl);
+        // Right-to-left (small values first) is the more accurate sum.
+        let exact: Rat = values.iter().map(Fk::to_rat).fold(Rat::zero(), |a, b| &a + &b);
+        let err_ltr = (&ltr.to_rat() - &exact).abs();
+        let err_rtl = (&rtl.to_rat() - &exact).abs();
+        assert!(err_rtl < err_ltr);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the word-doubling constructions (Lemma 4.5 /
+//! Theorem 4.2): the formulas built from `Z_k` operations must agree with
+//! direct big-integer arithmetic on random inputs and word sizes.
+
+use cdb_fp::doubling::{
+    add2k_hi, add2k_lo, add2k_partial, le2k, mul2k_lo, mul2k_words, Pair, Wide,
+};
+use cdb_num::{Int, Zk};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn le2k_matches_integer_order(k in 2u32..16, a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let z = Zk::new(k);
+        let m = 1u64 << (2 * k).min(62);
+        let (a, b) = (a % m, b % m);
+        let pa = Pair::split(&z, &Int::from(a));
+        let pb = Pair::split(&z, &Int::from(b));
+        prop_assert_eq!(le2k(&z, &pa, &pb), a <= b);
+    }
+
+    #[test]
+    fn add2k_partial_matches(k in 2u32..16, a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let z = Zk::new(k);
+        let m = 1u64 << (2 * k).min(60);
+        let (a, b) = (a % m, b % m);
+        let pa = Pair::split(&z, &Int::from(a));
+        let pb = Pair::split(&z, &Int::from(b));
+        let got = add2k_partial(&z, &pa, &pb);
+        if a + b < m {
+            prop_assert_eq!(got.map(|p| p.value(&z)), Some(Int::from(a + b)));
+        } else {
+            prop_assert!(got.is_none());
+        }
+    }
+
+    #[test]
+    fn split_add_identity(k in 2u32..16, a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let z = Zk::new(k);
+        let m = 1u64 << (2 * k).min(60);
+        let (a, b) = (a % m, b % m);
+        let pa = Pair::split(&z, &Int::from(a));
+        let pb = Pair::split(&z, &Int::from(b));
+        let lo = add2k_lo(&z, &pa, &pb).value(&z);
+        let hi = add2k_hi(&z, &pa, &pb).value(&z);
+        prop_assert_eq!(&lo + &(&hi * &Int::from(m)), Int::from(a + b));
+    }
+
+    #[test]
+    fn split_mul_identity(k in 2u32..12, a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let z = Zk::new(k);
+        let m = 1u64 << (2 * k).min(30);
+        let (a, b) = (a % m, b % m);
+        let pa = Pair::split(&z, &Int::from(a));
+        let pb = Pair::split(&z, &Int::from(b));
+        let words = mul2k_words(&z, &pa, &pb);
+        let mut total = Int::zero();
+        for (i, w) in words.iter().enumerate() {
+            total = &total + &(w * &Int::pow2(u64::from(k) * i as u64));
+        }
+        prop_assert_eq!(total, &Int::from(a) * &Int::from(b));
+        let lo = mul2k_lo(&z, &pa, &pb).value(&z);
+        prop_assert_eq!(lo, Int::from((a as u128 * b as u128 % u128::from(m)) as u64));
+    }
+
+    #[test]
+    fn wide_iterated_doubling(k in 2u32..8, levels in 1u32..4, a in any::<u64>(), b in any::<u64>()) {
+        let z = Zk::new(k);
+        let bits = u64::from(k) << levels;
+        prop_assume!(bits <= 48);
+        let m = 1u64 << bits;
+        let (a, b) = (a % m, b % m);
+        let wa = Wide::from_int(&z, &Int::from(a), levels);
+        let wb = Wide::from_int(&z, &Int::from(b), levels);
+        let lo = wa.add_lo(&wb, &z).to_int(&z);
+        let carry = wa.add_hi(&wb, &z).to_int(&z);
+        prop_assert_eq!(lo, Int::from((a + b) % m));
+        prop_assert_eq!(&Int::from((a + b) % m) + &(&carry * &Int::from(m)), Int::from(a + b));
+    }
+}

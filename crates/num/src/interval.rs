@@ -1,0 +1,252 @@
+//! Exact rational interval arithmetic.
+//!
+//! Used for sign determination at real algebraic sample points during CAD
+//! lifting: an algebraic number is carried as a shrinking rational enclosure,
+//! and polynomial values are evaluated over the enclosure until the sign is
+//! decided (interval arithmetic with *exact* endpoints never lies — it is
+//! only ever inconclusive, in which case the enclosure is refined).
+
+use crate::{Rat, Sign};
+use std::fmt;
+
+/// A closed interval `[lo, hi]` with exact rational endpoints, `lo <= hi`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RatInterval {
+    lo: Rat,
+    hi: Rat,
+}
+
+impl RatInterval {
+    /// Construct; panics if `lo > hi`.
+    #[must_use]
+    pub fn new(lo: Rat, hi: Rat) -> RatInterval {
+        assert!(lo <= hi, "interval endpoints out of order");
+        RatInterval { lo, hi }
+    }
+
+    /// A degenerate point interval.
+    #[must_use]
+    pub fn point(v: Rat) -> RatInterval {
+        RatInterval { lo: v.clone(), hi: v }
+    }
+
+    /// Lower endpoint.
+    #[must_use]
+    pub fn lo(&self) -> &Rat {
+        &self.lo
+    }
+
+    /// Upper endpoint.
+    #[must_use]
+    pub fn hi(&self) -> &Rat {
+        &self.hi
+    }
+
+    /// Width `hi - lo`.
+    #[must_use]
+    pub fn width(&self) -> Rat {
+        &self.hi - &self.lo
+    }
+
+    /// Midpoint.
+    #[must_use]
+    pub fn midpoint(&self) -> Rat {
+        Rat::midpoint(&self.lo, &self.hi)
+    }
+
+    /// True iff `v` lies inside (closed).
+    #[must_use]
+    pub fn contains(&self, v: &Rat) -> bool {
+        &self.lo <= v && v <= &self.hi
+    }
+
+    /// True iff `0` lies inside (closed).
+    #[must_use]
+    pub fn contains_zero(&self) -> bool {
+        !self.lo.sign().eq(&Sign::Pos) && !self.hi.sign().eq(&Sign::Neg)
+    }
+
+    /// Definite sign of every point of the interval, or `None` if mixed.
+    #[must_use]
+    pub fn sign(&self) -> Option<Sign> {
+        match (self.lo.sign(), self.hi.sign()) {
+            (Sign::Pos, _) => Some(Sign::Pos),
+            (_, Sign::Neg) => Some(Sign::Neg),
+            (Sign::Zero, Sign::Zero) => Some(Sign::Zero),
+            _ => None,
+        }
+    }
+
+    /// Interval sum.
+    #[must_use]
+    pub fn add(&self, other: &RatInterval) -> RatInterval {
+        RatInterval { lo: &self.lo + &other.lo, hi: &self.hi + &other.hi }
+    }
+
+    /// Interval difference.
+    #[must_use]
+    pub fn sub(&self, other: &RatInterval) -> RatInterval {
+        RatInterval { lo: &self.lo - &other.hi, hi: &self.hi - &other.lo }
+    }
+
+    /// Interval negation.
+    #[must_use]
+    pub fn neg(&self) -> RatInterval {
+        RatInterval { lo: -&self.hi, hi: -&self.lo }
+    }
+
+    /// Interval product (min/max of the four corner products).
+    #[must_use]
+    pub fn mul(&self, other: &RatInterval) -> RatInterval {
+        let products = [
+            &self.lo * &other.lo,
+            &self.lo * &other.hi,
+            &self.hi * &other.lo,
+            &self.hi * &other.hi,
+        ];
+        let mut lo = products[0].clone();
+        let mut hi = products[0].clone();
+        for p in &products[1..] {
+            if *p < lo {
+                lo = p.clone();
+            }
+            if *p > hi {
+                hi = p.clone();
+            }
+        }
+        RatInterval { lo, hi }
+    }
+
+    /// Scale by an exact rational.
+    #[must_use]
+    pub fn scale(&self, c: &Rat) -> RatInterval {
+        if c.sign() == Sign::Neg {
+            RatInterval { lo: &self.hi * c, hi: &self.lo * c }
+        } else {
+            RatInterval { lo: &self.lo * c, hi: &self.hi * c }
+        }
+    }
+
+    /// Interval power by repeated squaring-compatible exact rules.
+    #[must_use]
+    pub fn pow(&self, n: u32) -> RatInterval {
+        if n == 0 {
+            return RatInterval::point(Rat::one());
+        }
+        if n % 2 == 1 {
+            // Odd power is monotone.
+            return RatInterval { lo: self.lo.pow(n as i32), hi: self.hi.pow(n as i32) };
+        }
+        // Even power: minimum at the point closest to 0.
+        let lo_p = self.lo.pow(n as i32);
+        let hi_p = self.hi.pow(n as i32);
+        if self.contains_zero() {
+            RatInterval { lo: Rat::zero(), hi: Rat::max(lo_p, hi_p) }
+        } else {
+            RatInterval { lo: Rat::min(lo_p.clone(), hi_p.clone()), hi: Rat::max(lo_p, hi_p) }
+        }
+    }
+
+    /// Interval division; `None` when the divisor contains zero.
+    #[must_use]
+    pub fn div(&self, other: &RatInterval) -> Option<RatInterval> {
+        if other.contains_zero() {
+            return None;
+        }
+        let inv = RatInterval { lo: other.hi.recip(), hi: other.lo.recip() };
+        Some(self.mul(&inv))
+    }
+
+    /// Intersection; `None` when disjoint.
+    #[must_use]
+    pub fn intersect(&self, other: &RatInterval) -> Option<RatInterval> {
+        let lo = Rat::max(self.lo.clone(), other.lo.clone());
+        let hi = Rat::min(self.hi.clone(), other.hi.clone());
+        (lo <= hi).then_some(RatInterval { lo, hi })
+    }
+
+    /// Left and right halves split at the midpoint.
+    #[must_use]
+    pub fn bisect(&self) -> (RatInterval, RatInterval) {
+        let m = self.midpoint();
+        (
+            RatInterval { lo: self.lo.clone(), hi: m.clone() },
+            RatInterval { lo: m, hi: self.hi.clone() },
+        )
+    }
+}
+
+impl fmt::Display for RatInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl fmt::Debug for RatInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RatInterval{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: i64, b: i64) -> RatInterval {
+        RatInterval::new(Rat::from(a), Rat::from(b))
+    }
+
+    #[test]
+    fn basic_ops() {
+        assert_eq!(iv(1, 2).add(&iv(3, 4)), iv(4, 6));
+        assert_eq!(iv(1, 2).sub(&iv(3, 4)), iv(-3, -1));
+        assert_eq!(iv(-1, 2).mul(&iv(3, 4)), iv(-4, 8));
+        assert_eq!(iv(-2, -1).mul(&iv(-3, 4)), iv(-8, 6));
+    }
+
+    #[test]
+    fn signs() {
+        assert_eq!(iv(1, 5).sign(), Some(Sign::Pos));
+        assert_eq!(iv(-5, -1).sign(), Some(Sign::Neg));
+        assert_eq!(iv(-1, 1).sign(), None);
+        assert_eq!(iv(0, 0).sign(), Some(Sign::Zero));
+        assert_eq!(iv(0, 3).sign(), None); // contains 0 and positives
+    }
+
+    #[test]
+    fn division() {
+        assert_eq!(iv(1, 2).div(&iv(-1, 1)), None);
+        let q = iv(1, 2).div(&iv(2, 4)).unwrap();
+        assert_eq!(q, RatInterval::new("1/4".parse().unwrap(), Rat::one()));
+    }
+
+    #[test]
+    fn powers() {
+        assert_eq!(iv(-2, 3).pow(2), iv(0, 9));
+        assert_eq!(iv(-3, -2).pow(2), iv(4, 9));
+        assert_eq!(iv(-2, 3).pow(3), iv(-8, 27));
+        assert_eq!(iv(-2, 3).pow(0), iv(1, 1));
+    }
+
+    #[test]
+    fn intersection_and_bisection() {
+        assert_eq!(iv(0, 4).intersect(&iv(2, 6)), Some(iv(2, 4)));
+        assert_eq!(iv(0, 1).intersect(&iv(2, 3)), None);
+        let (l, r) = iv(0, 2).bisect();
+        assert_eq!(l, iv(0, 1));
+        assert_eq!(r, iv(1, 2));
+    }
+
+    #[test]
+    fn containment_monotone_under_mul() {
+        // The product interval contains all pairwise products of members.
+        let a = iv(-3, 5);
+        let b = iv(-2, 7);
+        let p = a.mul(&b);
+        for x in [-3i64, 0, 5] {
+            for y in [-2i64, 1, 7] {
+                assert!(p.contains(&Rat::from(x * y)));
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The structure `Z_k` of integers of bounded bit length (§4), with the
+//! split-word arithmetic `+l, +u, ×l, ×u` of Theorem 4.3.
+//!
+//! `Z_k = ⟨Z_k, ≤, +, ×, 0, 1⟩` where `Z_k = { n : |n| < 2^k }`. Plain
+//! addition/multiplication are partial (overflow ⇒ undefined), mirroring
+//! `F_k`. The *split* operations are total functions `Z_k² → Z_k`:
+//!
+//! * `a +l b` — the low `k` bits of the sum, `a +u b` — the high `k` bits;
+//! * `a ×l b` — the low `k` bits of the product, `a ×u b` — the high bits.
+//!
+//! Lemma 4.5 shows `Z_{2k}^{l/u}` is first-order definable in `Z_k^{l/u}`;
+//! crate `cdb-fp` implements those defining formulas as executable code and
+//! property-tests them against the direct operations defined here.
+//!
+//! Representation: magnitudes are handled on *unsigned* `k`-bit words, which
+//! matches the doubling construction (a `2k`-bit word is a pair of `k`-bit
+//! words `[lo, hi]`). Signs are layered on top by `cdb-fp` where needed.
+
+use crate::Int;
+
+/// The structure of unsigned integers of bit length at most `k`, with split
+/// operations. (Lemma 4.5's pairing `[x, x']` concatenates these words.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Zk {
+    /// Word size in bits.
+    pub k: u32,
+}
+
+impl Zk {
+    /// New structure; `k >= 1`.
+    #[must_use]
+    pub fn new(k: u32) -> Zk {
+        assert!(k >= 1, "Z_k needs k >= 1");
+        Zk { k }
+    }
+
+    /// `2^k` as an [`Int`].
+    #[must_use]
+    pub fn modulus(&self) -> Int {
+        Int::pow2(u64::from(self.k))
+    }
+
+    /// True iff `v` is a legal word: `0 <= v < 2^k`.
+    #[must_use]
+    pub fn contains(&self, v: &Int) -> bool {
+        !v.is_negative() && v.bit_length() <= u64::from(self.k)
+    }
+
+    fn assert_word(&self, v: &Int) {
+        assert!(self.contains(v), "value {v} outside Z_{}", self.k);
+    }
+
+    /// Partial addition: `None` on overflow out of `Z_k`.
+    #[must_use]
+    pub fn add(&self, a: &Int, b: &Int) -> Option<Int> {
+        self.assert_word(a);
+        self.assert_word(b);
+        let s = a + b;
+        self.contains(&s).then_some(s)
+    }
+
+    /// Partial multiplication: `None` on overflow out of `Z_k`.
+    #[must_use]
+    pub fn mul(&self, a: &Int, b: &Int) -> Option<Int> {
+        self.assert_word(a);
+        self.assert_word(b);
+        let p = a * b;
+        self.contains(&p).then_some(p)
+    }
+
+    /// Total: low `k` bits of `a + b` (`+l` in the paper).
+    #[must_use]
+    pub fn add_lo(&self, a: &Int, b: &Int) -> Int {
+        self.assert_word(a);
+        self.assert_word(b);
+        (a + b).div_euclid(&self.modulus()).1
+    }
+
+    /// Total: high bits of `a + b` (`+u` in the paper) — the carry, 0 or 1.
+    #[must_use]
+    pub fn add_hi(&self, a: &Int, b: &Int) -> Int {
+        self.assert_word(a);
+        self.assert_word(b);
+        (a + b).div_euclid(&self.modulus()).0
+    }
+
+    /// Total: low `k` bits of `a × b` (`×l`).
+    #[must_use]
+    pub fn mul_lo(&self, a: &Int, b: &Int) -> Int {
+        self.assert_word(a);
+        self.assert_word(b);
+        (a * b).div_euclid(&self.modulus()).1
+    }
+
+    /// Total: high `k` bits of `a × b` (`×u`).
+    #[must_use]
+    pub fn mul_hi(&self, a: &Int, b: &Int) -> Int {
+        self.assert_word(a);
+        self.assert_word(b);
+        (a * b).div_euclid(&self.modulus()).0
+    }
+
+    /// Compose a `2k`-bit value from a `[lo, hi]` pair of `k`-bit words.
+    #[must_use]
+    pub fn compose(&self, lo: &Int, hi: &Int) -> Int {
+        self.assert_word(lo);
+        self.assert_word(hi);
+        &(hi * &self.modulus()) + lo
+    }
+
+    /// Split a `2k`-bit value into its `[lo, hi]` pair.
+    #[must_use]
+    pub fn split(&self, v: &Int) -> (Int, Int) {
+        assert!(!v.is_negative() && v.bit_length() <= 2 * u64::from(self.k));
+        let (hi, lo) = v.div_euclid(&self.modulus());
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_ops() {
+        let z = Zk::new(4); // words 0..15
+        let i = |v: i64| Int::from(v);
+        assert_eq!(z.add(&i(7), &i(8)), Some(i(15)));
+        assert_eq!(z.add(&i(8), &i(8)), None);
+        assert_eq!(z.mul(&i(3), &i(5)), Some(i(15)));
+        assert_eq!(z.mul(&i(4), &i(4)), None);
+    }
+
+    #[test]
+    fn split_ops_cover_all_small_words() {
+        let z = Zk::new(4);
+        let m = 16i64;
+        for a in 0..m {
+            for b in 0..m {
+                let (ia, ib) = (Int::from(a), Int::from(b));
+                assert_eq!(z.add_lo(&ia, &ib), Int::from((a + b) % m));
+                assert_eq!(z.add_hi(&ia, &ib), Int::from((a + b) / m));
+                assert_eq!(z.mul_lo(&ia, &ib), Int::from((a * b) % m));
+                assert_eq!(z.mul_hi(&ia, &ib), Int::from((a * b) / m));
+            }
+        }
+    }
+
+    #[test]
+    fn compose_split_roundtrip() {
+        let z = Zk::new(8);
+        let v = Int::from(0xBEEFi64 & 0xFFFF);
+        let (lo, hi) = z.split(&v);
+        assert_eq!(z.compose(&lo, &hi), v);
+        assert_eq!(lo, Int::from(0xEFi64));
+        assert_eq!(hi, Int::from(0xBEi64));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside Z_")]
+    fn rejects_out_of_range() {
+        let z = Zk::new(4);
+        let _ = z.add_lo(&Int::from(16), &Int::from(0));
+    }
+}

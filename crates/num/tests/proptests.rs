@@ -1,0 +1,186 @@
+//! Property-based tests for the arithmetic substrate: ring/field axioms,
+//! division invariants, parse/display round trips, interval containment and
+//! F_k partiality.
+
+use cdb_num::{Fk, FkParams, Int, Rat, RatInterval, Sign, Zk};
+use proptest::prelude::*;
+
+fn arb_int() -> impl Strategy<Value = Int> {
+    // Mix of small values and multi-limb magnitudes.
+    prop_oneof![
+        any::<i64>().prop_map(Int::from),
+        (any::<i128>(), 0u64..200).prop_map(|(v, sh)| &Int::from(v) << sh),
+    ]
+}
+
+fn arb_rat() -> impl Strategy<Value = Rat> {
+    (any::<i64>(), 1i64..=i64::MAX).prop_map(|(n, d)| Rat::new(Int::from(n), Int::from(d)))
+}
+
+proptest! {
+    #[test]
+    fn int_add_commutative(a in arb_int(), b in arb_int()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn int_add_associative(a in arb_int(), b in arb_int(), c in arb_int()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn int_mul_commutative(a in arb_int(), b in arb_int()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn int_mul_associative(a in arb_int(), b in arb_int(), c in arb_int()) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn int_distributive(a in arb_int(), b in arb_int(), c in arb_int()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn int_sub_inverse(a in arb_int(), b in arb_int()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn int_divrem_invariant(a in arb_int(), b in arb_int()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.divrem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a.clone());
+        prop_assert!(r.abs() < b.abs());
+        // Remainder sign matches dividend (or zero).
+        prop_assert!(r.is_zero() || r.sign() == a.sign());
+    }
+
+    #[test]
+    fn int_div_euclid_invariant(a in arb_int(), b in arb_int()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_euclid(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+        prop_assert!(r.sign() != Sign::Neg);
+        prop_assert!(r < b.abs());
+    }
+
+    #[test]
+    fn int_gcd_divides(a in arb_int(), b in arb_int()) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!(a.divrem(&g).1.is_zero());
+            prop_assert!(b.divrem(&g).1.is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn int_parse_display_roundtrip(a in arb_int()) {
+        let s = a.to_string();
+        let back: Int = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn int_shift_roundtrip(a in arb_int(), sh in 0u64..300) {
+        prop_assert_eq!(&(&a << sh) >> sh, a);
+    }
+
+    #[test]
+    fn int_bit_length_bounds(a in arb_int()) {
+        prop_assume!(!a.is_zero());
+        let bl = a.bit_length();
+        prop_assert!(a.abs() < Int::pow2(bl));
+        prop_assert!(a.abs() >= Int::pow2(bl - 1));
+    }
+
+    #[test]
+    fn int_ordering_consistent_with_sub(a in arb_int(), b in arb_int()) {
+        prop_assert_eq!(a.cmp(&b), (&a - &b).cmp(&Int::zero()));
+    }
+
+    #[test]
+    fn rat_field_axioms(a in arb_rat(), b in arb_rat(), c in arb_rat()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a);
+        }
+    }
+
+    #[test]
+    fn rat_parse_display_roundtrip(a in arb_rat()) {
+        let back: Rat = a.to_string().parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn rat_floor_ceil_bracket(a in arb_rat()) {
+        let f = Rat::from(a.floor());
+        let c = Rat::from(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(&c - &f <= Rat::one());
+    }
+
+    #[test]
+    fn rat_f64_exact_roundtrip(v in any::<f64>()) {
+        prop_assume!(v.is_finite());
+        let r = Rat::from_f64(v).unwrap();
+        prop_assert_eq!(r.to_f64(), v);
+    }
+
+    #[test]
+    fn interval_add_contains_pointwise(
+        (al, aw) in (-1000i64..1000, 0i64..100),
+        (bl, bw) in (-1000i64..1000, 0i64..100),
+        t in 0.0f64..=1.0, u in 0.0f64..=1.0,
+    ) {
+        let a = RatInterval::new(Rat::from(al), Rat::from(al + aw));
+        let b = RatInterval::new(Rat::from(bl), Rat::from(bl + bw));
+        // Sample interior points via rational approximations of t, u.
+        let pa = &Rat::from(al) + &(&Rat::from(aw) * &Rat::from_f64(t).unwrap());
+        let pb = &Rat::from(bl) + &(&Rat::from(bw) * &Rat::from_f64(u).unwrap());
+        prop_assert!(a.add(&b).contains(&(&pa + &pb)));
+        prop_assert!(a.mul(&b).contains(&(&pa * &pb)));
+        prop_assert!(a.sub(&b).contains(&(&pa - &pb)));
+    }
+
+    #[test]
+    fn fk_round_is_close(n in -10_000i64..10_000, d in 1i64..10_000) {
+        let params = FkParams::with_k(24);
+        let r = Rat::new(Int::from(n), Int::from(d));
+        let f = Fk::from_rat_round(&r, params).unwrap();
+        // Relative error <= 2^-23 for values in range (plus underflow floor).
+        let err = (&f.to_rat() - &r).abs();
+        let tol = &r.abs() * &Rat::new(Int::one(), Int::pow2(23))
+            + Rat::new(Int::one(), Int::pow2(24));
+        prop_assert!(err <= tol, "rounding error too large for {r}");
+    }
+
+    #[test]
+    fn fk_exact_ops_are_exact(a in -2000i64..2000, b in -2000i64..2000) {
+        let params = FkParams::with_k(40);
+        let fa = Fk::from_rat_exact(&Rat::from(a), params).unwrap();
+        let fb = Fk::from_rat_exact(&Rat::from(b), params).unwrap();
+        prop_assert_eq!(fa.add_exact(&fb).unwrap().to_rat(), Rat::from(a + b));
+        prop_assert_eq!(fa.mul_exact(&fb).unwrap().to_rat(), Rat::from(a * b));
+    }
+
+    #[test]
+    fn zk_split_ops_reconstruct(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2, k in 4u32..32) {
+        let z = Zk::new(k);
+        let m = 1u64 << k;
+        let (wa, wb) = (Int::from(a % m), Int::from(b % m));
+        // lo + 2^k * hi == exact op
+        let sum = z.compose(&z.add_lo(&wa, &wb), &z.add_hi(&wa, &wb));
+        prop_assert_eq!(sum, &wa + &wb);
+        let prod = z.compose(&z.mul_lo(&wa, &wb), &z.mul_hi(&wa, &wb));
+        prop_assert_eq!(prod, &wa * &wb);
+    }
+}

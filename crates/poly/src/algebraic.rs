@@ -1,0 +1,897 @@
+//! Real algebraic numbers and arithmetic in `Q(α)`.
+//!
+//! CAD cells at "section" level have real algebraic sample coordinates
+//! (Appendix I: "An algebraic number is defined by its minimal polynomial
+//! `p_α` and an isolating interval for the particular root"). This module
+//! provides:
+//!
+//! * [`RealAlg`] — a root of a squarefree polynomial with an isolating
+//!   interval, refinable on demand, with **exact** sign determination
+//!   `sign(q(α))` for rational-coefficient `q` (gcd test for zero, interval
+//!   refinement otherwise — never a guess);
+//! * [`NfElem`]/[`AlgUPoly`] — arithmetic in the number field `Q(α)` and
+//!   Sturm-based exact real-root isolation for polynomials with coefficients
+//!   in `Q(α)`, which is what lifting a CAD stack over a section cell needs.
+
+use crate::roots::{isolate_real_roots, RootLocation};
+use crate::sturm::SturmChain;
+use crate::upoly::UPoly;
+use cdb_num::{Rat, RatInterval, Sign};
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::fmt;
+use std::rc::Rc;
+
+/// A real algebraic number: the unique root of `poly` (squarefree) inside
+/// `interval` (open, endpoints not roots), or an exact rational.
+///
+/// The isolating interval is held behind a shared cell: refinement done by
+/// one observer (a sign test, a comparison) persists and benefits every
+/// clone — crucial for CAD performance, where the same sample coordinate
+/// is probed by many polynomials.
+#[derive(Clone)]
+pub struct RealAlg {
+    /// Squarefree defining polynomial (monic). For `Exact` values this is
+    /// `x − r`.
+    poly: UPoly,
+    loc: Rc<RefCell<RootLocation>>,
+}
+
+impl RealAlg {
+    /// From a rational value.
+    #[must_use]
+    pub fn from_rat(r: Rat) -> RealAlg {
+        let poly = UPoly::from_coeffs(vec![-r.clone(), Rat::one()]);
+        RealAlg { poly, loc: Rc::new(RefCell::new(RootLocation::Exact(r))) }
+    }
+
+    /// From a squarefree polynomial and an isolating location. The caller
+    /// guarantees `poly` is squarefree and `loc` isolates exactly one root.
+    #[must_use]
+    pub fn new(poly: UPoly, loc: RootLocation) -> RealAlg {
+        debug_assert!(!poly.is_constant());
+        RealAlg { poly: poly.monic(), loc: Rc::new(RefCell::new(loc)) }
+    }
+
+    /// All real roots of `p` as algebraic numbers, ascending.
+    #[must_use]
+    pub fn roots_of(p: &UPoly) -> Vec<RealAlg> {
+        if p.is_constant() {
+            return Vec::new();
+        }
+        let sf = p.squarefree();
+        isolate_real_roots(&sf)
+            .into_iter()
+            .map(|loc| match loc {
+                RootLocation::Exact(r) => RealAlg::from_rat(r),
+                iso => RealAlg::new(sf.clone(), iso),
+            })
+            .collect()
+    }
+
+    /// Defining polynomial (squarefree, monic).
+    #[must_use]
+    pub fn poly(&self) -> &UPoly {
+        &self.poly
+    }
+
+    /// Exact rational value, when the number is rational.
+    #[must_use]
+    pub fn to_rat(&self) -> Option<Rat> {
+        match &*self.loc.borrow() {
+            RootLocation::Exact(r) => Some(r.clone()),
+            RootLocation::Isolated(_) => None,
+        }
+    }
+
+    /// Current enclosing interval (degenerate for rationals).
+    #[must_use]
+    pub fn interval(&self) -> RatInterval {
+        self.loc.borrow().interval()
+    }
+
+    /// A rational approximation within `eps`.
+    #[must_use]
+    pub fn approx(&self, eps: &Rat) -> Rat {
+        let loc = self.loc.borrow().clone();
+        match loc {
+            RootLocation::Exact(r) => r,
+            RootLocation::Isolated(_) => {
+                let iv = crate::roots::refine_to_width(&self.poly, &loc, eps);
+                self.store_refinement(&iv);
+                iv.midpoint()
+            }
+        }
+    }
+
+    /// Persist a refined enclosure into the shared cell.
+    fn store_refinement(&self, iv: &RatInterval) {
+        let mut loc = self.loc.borrow_mut();
+        if matches!(&*loc, RootLocation::Isolated(_)) {
+            *loc = if iv.width().is_zero() {
+                RootLocation::Exact(iv.midpoint())
+            } else {
+                RootLocation::Isolated(iv.clone())
+            };
+        }
+    }
+
+    /// `f64` approximation.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        self.approx(&Rat::new(cdb_num::Int::one(), cdb_num::Int::pow2(60))).to_f64()
+    }
+
+    /// A copy with the isolating interval refined to width `<= eps`
+    /// (refinement is persisted in the shared cell).
+    #[must_use]
+    pub fn refined(&self, eps: &Rat) -> RealAlg {
+        let loc = self.loc.borrow().clone();
+        match loc {
+            RootLocation::Exact(_) => self.clone(),
+            RootLocation::Isolated(_) => {
+                let iv = crate::roots::refine_to_width(&self.poly, &loc, eps);
+                self.store_refinement(&iv);
+                self.clone()
+            }
+        }
+    }
+
+    /// Exact sign of `q(α)` for rational-coefficient `q`.
+    ///
+    /// Zero is decided by a gcd test (`q(α) = 0` iff `gcd(q, p_α)` has a
+    /// root in the isolating interval, which then must be `α` itself); the
+    /// nonzero case terminates by interval refinement.
+    #[must_use]
+    pub fn sign_of(&self, q: &UPoly) -> Sign {
+        if q.is_zero() {
+            return Sign::Zero;
+        }
+        if let Some(r) = self.to_rat() {
+            return q.sign_at(&r);
+        }
+        // Fast path: a few rounds of interval refinement decide every
+        // nonzero sign cheaply; the (expensive) gcd zero-test only runs when
+        // ambiguity persists — i.e. when the value is plausibly zero. All
+        // refinement is persisted in the shared cell, so repeated probes of
+        // the same number get cheaper and cheaper.
+        let mut iv = self.interval();
+        let s_hi = self.poly.sign_at(iv.hi());
+        let bisect = |iv: &RatInterval| -> Result<RatInterval, Sign> {
+            let mid = iv.midpoint();
+            match self.poly.sign_at(&mid) {
+                Sign::Zero => Err(q.sign_at(&mid)),
+                s if s == s_hi => Ok(RatInterval::new(iv.lo().clone(), mid)),
+                _ => Ok(RatInterval::new(mid, iv.hi().clone())),
+            }
+        };
+        for _ in 0..6 {
+            if let Some(s) = q.eval_interval(&iv).sign() {
+                self.store_refinement(&iv);
+                return s;
+            }
+            match bisect(&iv) {
+                Ok(next) => iv = next,
+                Err(s) => {
+                    return s;
+                }
+            }
+        }
+        self.store_refinement(&iv);
+        // Still ambiguous: decide zero-ness exactly.
+        let g = self.poly.gcd(&q.squarefree());
+        if !g.is_constant() {
+            // q(α) = 0 iff g has a root in the isolating interval. Interval
+            // endpoints are non-roots of p_α hence of g (g | p_α).
+            let chain = SturmChain::new(&g);
+            if chain.count_roots_half_open(iv.lo(), iv.hi()) > 0 {
+                return Sign::Zero;
+            }
+        }
+        // q(α) != 0: refine until the interval evaluation is definite.
+        loop {
+            if let Some(s) = q.eval_interval(&iv).sign() {
+                self.store_refinement(&iv);
+                debug_assert_ne!(s, Sign::Zero);
+                return s;
+            }
+            match bisect(&iv) {
+                Ok(next) => iv = next,
+                Err(s) => return s,
+            }
+        }
+    }
+
+    /// Compare with a rational, exactly.
+    #[must_use]
+    pub fn cmp_rat(&self, r: &Rat) -> Ordering {
+        // sign(α − r) = sign of (x − r) at α, negated order.
+        let q = UPoly::from_coeffs(vec![-r.clone(), Rat::one()]);
+        match self.sign_of(&q) {
+            Sign::Neg => Ordering::Less,
+            Sign::Zero => Ordering::Equal,
+            Sign::Pos => Ordering::Greater,
+        }
+    }
+
+    /// Exact equality test.
+    #[must_use]
+    pub fn eq_alg(&self, other: &RealAlg) -> bool {
+        self.cmp_alg(other) == Ordering::Equal
+    }
+
+    /// Exact comparison of two real algebraic numbers.
+    #[must_use]
+    pub fn cmp_alg(&self, other: &RealAlg) -> Ordering {
+        match (self.to_rat(), other.to_rat()) {
+            (Some(a), Some(b)) => return a.cmp(&b),
+            (Some(a), None) => return other.cmp_rat(&a).reverse(),
+            (None, Some(b)) => return self.cmp_rat(&b),
+            (None, None) => {}
+        }
+        // Both irrational. Cheap rounds of interval refinement decide all
+        // strictly-separated pairs; the (expensive) gcd machinery only runs
+        // when the intervals persist in overlapping — i.e. the numbers are
+        // plausibly equal.
+        let a = self.clone();
+        let b = other.clone();
+        let quarter: Rat = "1/4".parse().expect("const");
+        let fallback: Rat = "1/1024".parse().expect("const");
+        // `None` = not yet computed; `Some(None)` = provably distinct;
+        // `Some(Some(..))` = both are roots of the gcd.
+        let mut gchain: Option<Option<(UPoly, SturmChain)>> = None;
+        for round in 0.. {
+            let (ia, ib) = (a.interval(), b.interval());
+            if ia.hi() < ib.lo() {
+                return Ordering::Less;
+            }
+            if ib.hi() < ia.lo() {
+                return Ordering::Greater;
+            }
+            if round >= 4 {
+                // If `other.poly(α) != 0` they are distinct and further
+                // refinement separates them; otherwise both are roots of
+                // g = gcd and shrinking hulls decide equality.
+                if gchain.is_none() {
+                    let g = self.poly.gcd(&other.poly);
+                    let common_possible =
+                        !g.is_constant() && self.sign_of(&other.poly) == Sign::Zero;
+                    gchain = Some(if common_possible {
+                        let chain = SturmChain::new(&g);
+                        Some((g, chain))
+                    } else {
+                        None
+                    });
+                }
+                if let Some(Some((g, chain))) = &gchain {
+                    // Hull of the overlapping intervals; α and β are both
+                    // roots of g. If the (closed) hull contains exactly one
+                    // g-root, they coincide.
+                    let lo = Rat::min(ia.lo().clone(), ib.lo().clone());
+                    let hi = Rat::max(ia.hi().clone(), ib.hi().clone());
+                    let mut count = chain.count_roots_half_open(&lo, &hi);
+                    if g.sign_at(&lo) == Sign::Zero {
+                        count += 1;
+                    }
+                    if count == 1 {
+                        return Ordering::Equal;
+                    }
+                }
+            }
+            let w = &Rat::min(ia.width(), ib.width()) * &quarter;
+            let w = if w.is_zero() { fallback.clone() } else { w };
+            let _ = a.refined(&w);
+            let _ = b.refined(&w);
+        }
+        unreachable!("refinement loop decides every comparison")
+    }
+}
+
+impl fmt::Display for RealAlg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &*self.loc.borrow() {
+            RootLocation::Exact(r) => write!(f, "{r}"),
+            RootLocation::Isolated(iv) => {
+                write!(f, "root of {} in {}", self.poly, iv)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for RealAlg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RealAlg({self})")
+    }
+}
+
+/// An element of `Q(α)` represented as a polynomial in `α` of degree less
+/// than `deg(minpoly)`. Arithmetic reduces modulo the minimal polynomial.
+#[derive(Clone, PartialEq, Eq)]
+pub struct NfElem {
+    /// Representative, `deg < deg(modulus)`.
+    pub rep: UPoly,
+}
+
+/// The number field `Q(α)` for a fixed `α`.
+#[derive(Clone)]
+pub struct NumberField {
+    alpha: RealAlg,
+}
+
+impl NumberField {
+    /// Field generated by `α`. For a rational `α` the field is just `Q`
+    /// (modulus `x − α`), which works uniformly.
+    #[must_use]
+    pub fn new(alpha: RealAlg) -> NumberField {
+        NumberField { alpha }
+    }
+
+    /// The generator.
+    #[must_use]
+    pub fn alpha(&self) -> &RealAlg {
+        &self.alpha
+    }
+
+    fn modulus(&self) -> &UPoly {
+        self.alpha.poly()
+    }
+
+    /// Embed a rational.
+    #[must_use]
+    pub fn from_rat(&self, r: Rat) -> NfElem {
+        NfElem { rep: UPoly::constant(r) }
+    }
+
+    /// Embed a `Q`-polynomial evaluated at `α` (i.e., reduce mod minpoly).
+    #[must_use]
+    pub fn from_upoly(&self, p: &UPoly) -> NfElem {
+        NfElem { rep: p.divrem(self.modulus()).1 }
+    }
+
+    /// The generator as an element.
+    #[must_use]
+    pub fn gen(&self) -> NfElem {
+        self.from_upoly(&UPoly::x())
+    }
+
+    /// Addition.
+    #[must_use]
+    pub fn add(&self, a: &NfElem, b: &NfElem) -> NfElem {
+        NfElem { rep: &a.rep + &b.rep }
+    }
+
+    /// Subtraction.
+    #[must_use]
+    pub fn sub(&self, a: &NfElem, b: &NfElem) -> NfElem {
+        NfElem { rep: &a.rep - &b.rep }
+    }
+
+    /// Multiplication (reduced).
+    #[must_use]
+    pub fn mul(&self, a: &NfElem, b: &NfElem) -> NfElem {
+        NfElem { rep: (&a.rep * &b.rep).divrem(self.modulus()).1 }
+    }
+
+    /// Negation.
+    #[must_use]
+    pub fn neg(&self, a: &NfElem) -> NfElem {
+        NfElem { rep: -&a.rep }
+    }
+
+    /// Exact zero test: the representative vanishes at `α`.
+    ///
+    /// Note the modulus is squarefree but not necessarily irreducible, so a
+    /// nonzero representative may still denote zero; the sign test decides.
+    #[must_use]
+    pub fn is_zero(&self, a: &NfElem) -> bool {
+        self.sign(a) == Sign::Zero
+    }
+
+    /// Exact sign of the element (as the real number `rep(α)`).
+    #[must_use]
+    pub fn sign(&self, a: &NfElem) -> Sign {
+        self.alpha.sign_of(&a.rep)
+    }
+
+    /// Multiplicative inverse. The modulus may be reducible (we only require
+    /// squarefree), so plain XGCD can fail to produce a unit; in that case
+    /// the gcd factor splits the modulus and we recurse on the factor that
+    /// still has `α` as a root. Panics on zero.
+    #[must_use]
+    pub fn inv(&self, a: &NfElem) -> NfElem {
+        assert!(!self.is_zero(a), "inverse of zero in Q(alpha)");
+        // Extended Euclid: u·rep + v·mod = g.
+        let (g, u) = half_xgcd(&a.rep, self.modulus());
+        // If g is constant, u/g is the inverse.
+        if g.is_constant() {
+            let c = g.coeff(0);
+            return NfElem { rep: u.scale(&c.recip()).divrem(self.modulus()).1 };
+        }
+        // g is a nontrivial common factor; α is a root of the modulus but
+        // not of rep (nonzero), so α is a root of mod/g. Work there.
+        let reduced = NumberField {
+            alpha: RealAlg {
+                poly: self.modulus().div_exact(&g).monic(),
+                loc: Rc::new(RefCell::new(self.alpha.loc.borrow().clone())),
+            },
+        };
+        let inv = reduced.inv(&NfElem { rep: a.rep.divrem(reduced.modulus()).1 });
+        NfElem { rep: inv.rep }
+    }
+
+    /// Division.
+    #[must_use]
+    pub fn div(&self, a: &NfElem, b: &NfElem) -> NfElem {
+        self.mul(a, &self.inv(b))
+    }
+}
+
+/// Extended Euclid returning `(g, u)` with `u·a ≡ g (mod b)`.
+fn half_xgcd(a: &UPoly, b: &UPoly) -> (UPoly, UPoly) {
+    let mut r0 = a.clone();
+    let mut r1 = b.clone();
+    let mut u0 = UPoly::one();
+    let mut u1 = UPoly::zero();
+    while !r1.is_zero() {
+        let (q, r) = r0.divrem(&r1);
+        let nu = &u0 - &(&q * &u1);
+        r0 = r1;
+        r1 = r;
+        u0 = u1;
+        u1 = nu;
+    }
+    (r0, u0)
+}
+
+/// A univariate polynomial with coefficients in `Q(α)`, used for exact root
+/// isolation when lifting a CAD stack over a section cell.
+#[derive(Clone)]
+pub struct AlgUPoly {
+    field: NumberField,
+    /// Low-to-high coefficients, not necessarily normalized (leading entries
+    /// may denote zero even when their representatives are nonzero).
+    coeffs: Vec<NfElem>,
+}
+
+impl AlgUPoly {
+    /// Build from coefficients given as `Q`-polynomials in `α`, low-to-high.
+    /// Leading coefficients that denote zero are stripped *exactly*.
+    #[must_use]
+    pub fn new(field: NumberField, coeffs: Vec<UPoly>) -> AlgUPoly {
+        let mut elems: Vec<NfElem> =
+            coeffs.iter().map(|c| field.from_upoly(c)).collect();
+        while let Some(last) = elems.last() {
+            if field.is_zero(last) {
+                elems.pop();
+            } else {
+                break;
+            }
+        }
+        AlgUPoly { field, coeffs: elems }
+    }
+
+    /// True iff the zero polynomial.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree (`None` for zero).
+    #[must_use]
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Value at a rational point, as an element of `Q(α)`.
+    #[must_use]
+    pub fn eval_rat(&self, y: &Rat) -> NfElem {
+        let mut acc = self.field.from_rat(Rat::zero());
+        let ye = self.field.from_rat(y.clone());
+        for c in self.coeffs.iter().rev() {
+            acc = self.field.add(&self.field.mul(&acc, &ye), c);
+        }
+        acc
+    }
+
+    /// Exact sign of the value at a rational point.
+    #[must_use]
+    pub fn sign_at(&self, y: &Rat) -> Sign {
+        self.field.sign(&self.eval_rat(y))
+    }
+
+    /// Formal derivative.
+    #[must_use]
+    fn derivative(&self) -> AlgUPoly {
+        if self.coeffs.len() <= 1 {
+            return AlgUPoly { field: self.field.clone(), coeffs: Vec::new() };
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, c)| NfElem { rep: c.rep.scale(&Rat::from(i as i64)) })
+            .collect();
+        AlgUPoly { field: self.field.clone(), coeffs }
+    }
+
+    /// Division with remainder in `Q(α)[y]` (exact field arithmetic).
+    fn divrem(&self, div: &AlgUPoly) -> (AlgUPoly, AlgUPoly) {
+        assert!(!div.is_zero());
+        let f = &self.field;
+        let dd = div.coeffs.len() - 1;
+        let lead_inv = f.inv(&div.coeffs[dd]);
+        let mut rem = self.coeffs.clone();
+        if rem.len() <= dd {
+            return (
+                AlgUPoly { field: f.clone(), coeffs: Vec::new() },
+                self.clone(),
+            );
+        }
+        let mut quot = vec![f.from_rat(Rat::zero()); rem.len() - dd];
+        for i in (dd..rem.len()).rev() {
+            if f.is_zero(&rem[i]) {
+                continue;
+            }
+            let fac = f.mul(&rem[i], &lead_inv);
+            for (j, dc) in div.coeffs.iter().enumerate() {
+                let t = f.mul(&fac, dc);
+                rem[i - dd + j] = f.sub(&rem[i - dd + j], &t);
+            }
+            quot[i - dd] = fac;
+        }
+        let strip = |mut v: Vec<NfElem>| {
+            while v.last().is_some_and(|c| f.is_zero(c)) {
+                v.pop();
+            }
+            v
+        };
+        rem.truncate(dd);
+        (
+            AlgUPoly { field: f.clone(), coeffs: strip(quot) },
+            AlgUPoly { field: f.clone(), coeffs: strip(rem) },
+        )
+    }
+
+    /// Sturm chain in `Q(α)[y]`.
+    fn sturm_chain(&self) -> Vec<AlgUPoly> {
+        let mut seq = vec![self.clone(), self.derivative()];
+        while !seq.last().unwrap().is_zero() {
+            let n = seq.len();
+            let (_, r) = seq[n - 2].divrem(&seq[n - 1]);
+            if r.is_zero() {
+                break;
+            }
+            let negated = AlgUPoly {
+                field: r.field.clone(),
+                coeffs: r.coeffs.iter().map(|c| r.field.neg(c)).collect(),
+            };
+            seq.push(negated);
+        }
+        seq.retain(|p| !p.is_zero());
+        seq
+    }
+
+    /// Make squarefree (divide by gcd with derivative).
+    #[must_use]
+    pub fn squarefree(&self) -> AlgUPoly {
+        if self.coeffs.len() <= 1 {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        let mut b = self.derivative();
+        // Euclid in Q(α)[y].
+        while !b.is_zero() {
+            let (_, r) = a.divrem(&b);
+            a = b;
+            b = r;
+        }
+        if a.degree().unwrap_or(0) == 0 {
+            self.clone()
+        } else {
+            self.divrem(&a).0
+        }
+    }
+
+    /// Cauchy-style bound on root magnitude: `1 + max |c_i| / |c_d|`, with
+    /// numerically safe rational over-approximation via interval refinement.
+    fn root_bound(&self) -> Rat {
+        let f = &self.field;
+        let d = self.coeffs.len() - 1;
+        // Approximate |c_i(α)| from above, |c_d(α)| from below.
+        let eps: Rat = "1/1048576".parse().unwrap();
+        let alpha = f.alpha().refined(&eps);
+        let iv = alpha.interval();
+        let lead_iv = self.coeffs[d].rep.eval_interval(&iv);
+        // |lead| lower bound: refine until bounded away from zero (it is
+        // nonzero by construction).
+        let mut a = alpha;
+        let mut lead_lo;
+        loop {
+            let liv = self.coeffs[d].rep.eval_interval(&a.interval());
+            lead_lo = Rat::min(liv.lo().abs(), liv.hi().abs());
+            if liv.sign().is_some() && liv.sign() != Some(Sign::Zero) {
+                break;
+            }
+            let w = &a.interval().width() * &"1/16".parse().unwrap();
+            let w = if w.is_zero() { break } else { w };
+            a = a.refined(&w);
+        }
+        if lead_lo.is_zero() {
+            lead_lo = Rat::from_ints(1, 1_000_000);
+        }
+        let _ = lead_iv;
+        let mut m = Rat::zero();
+        for c in &self.coeffs[..d] {
+            let civ = c.rep.eval_interval(&a.interval());
+            let hi = Rat::max(civ.lo().abs(), civ.hi().abs());
+            let q = &hi / &lead_lo;
+            if q > m {
+                m = q;
+            }
+        }
+        &m + &Rat::one()
+    }
+
+    /// Exact isolation of the real roots of this polynomial (over the reals,
+    /// viewing the coefficients as real numbers `c_i(α)`). Returns disjoint
+    /// open rational intervals, ascending, each containing exactly one root,
+    /// or exact rational roots.
+    #[must_use]
+    pub fn isolate_roots(&self) -> Vec<RootLocation> {
+        if self.coeffs.len() <= 1 {
+            return Vec::new();
+        }
+        let sf = self.squarefree();
+        if sf.coeffs.len() == 2 {
+            // Linear with algebraic coefficients: root = −c0/c1 ∈ Q(α); only
+            // report as exact when rational.
+            let f = &sf.field;
+            let root = f.neg(&f.div(&sf.coeffs[0], &sf.coeffs[1]));
+            if root.rep.is_constant() {
+                return vec![RootLocation::Exact(root.rep.coeff(0))];
+            }
+            // Fall through to bisection below to localize it in Q-intervals.
+        }
+        let chain = sf.sturm_chain();
+        let var_at = |y: &Rat| -> usize {
+            count_variations(chain.iter().map(|p| p.sign_at(y)))
+        };
+        let bound = sf.root_bound();
+        let lo = -bound.clone();
+        let hi = bound;
+        let total = var_at(&lo) - var_at(&hi);
+        let mut out = Vec::new();
+        // Bisection stack: (lo, hi, count) with count roots in (lo, hi].
+        let mut stack = vec![(lo, hi, total)];
+        while let Some((lo, hi, count)) = stack.pop() {
+            if count == 0 {
+                continue;
+            }
+            if count == 1 {
+                if sf.sign_at(&hi) == Sign::Zero {
+                    out.push(RootLocation::Exact(hi));
+                    continue;
+                }
+                let mut lo = lo;
+                let mut hi = hi;
+                while sf.sign_at(&lo) == Sign::Zero {
+                    let mid = Rat::midpoint(&lo, &hi);
+                    if sf.sign_at(&mid) == Sign::Zero {
+                        lo = hi.clone(); // force exit; record exact below
+                        out.push(RootLocation::Exact(mid));
+                        break;
+                    }
+                    if var_at(&mid) - var_at(&hi) == 1 {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                if lo != hi {
+                    out.push(RootLocation::Isolated(RatInterval::new(lo, hi)));
+                }
+                continue;
+            }
+            let mid = Rat::midpoint(&lo, &hi);
+            let right = var_at(&mid) - var_at(&hi);
+            let left = count - right;
+            // Push right first so the ascending order pops left first; we
+            // sort at the end anyway.
+            stack.push((mid.clone(), hi, right));
+            stack.push((lo, mid, left));
+        }
+        out.sort_by(|a, b| {
+            let ka = match a {
+                RootLocation::Exact(r) => r.clone(),
+                RootLocation::Isolated(iv) => iv.lo().clone(),
+            };
+            let kb = match b {
+                RootLocation::Exact(r) => r.clone(),
+                RootLocation::Isolated(iv) => iv.lo().clone(),
+            };
+            ka.cmp(&kb)
+        });
+        out
+    }
+
+    /// Refine an isolated root location to width `<= eps` by bisection with
+    /// exact signs.
+    #[must_use]
+    pub fn refine(&self, loc: &RootLocation, eps: &Rat) -> RatInterval {
+        match loc {
+            RootLocation::Exact(r) => RatInterval::point(r.clone()),
+            RootLocation::Isolated(iv) => {
+                let sf = self.squarefree();
+                let mut lo = iv.lo().clone();
+                let mut hi = iv.hi().clone();
+                let s_hi = sf.sign_at(&hi);
+                while &(&hi - &lo) > eps {
+                    let mid = Rat::midpoint(&lo, &hi);
+                    match sf.sign_at(&mid) {
+                        Sign::Zero => return RatInterval::point(mid),
+                        s if s == s_hi => hi = mid,
+                        _ => lo = mid,
+                    }
+                }
+                RatInterval::new(lo, hi)
+            }
+        }
+    }
+}
+
+fn count_variations<I: IntoIterator<Item = Sign>>(signs: I) -> usize {
+    let mut prev: Option<Sign> = None;
+    let mut count = 0;
+    for s in signs {
+        if s == Sign::Zero {
+            continue;
+        }
+        if let Some(p) = prev {
+            if p != s {
+                count += 1;
+            }
+        }
+        prev = Some(s);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coeffs: &[i64]) -> UPoly {
+        UPoly::from_ints(coeffs)
+    }
+
+    fn sqrt2() -> RealAlg {
+        RealAlg::roots_of(&p(&[-2, 0, 1])).pop().unwrap()
+    }
+
+    #[test]
+    fn sign_of_exact_zero() {
+        let a = sqrt2();
+        // (x²−2)·(x+7) vanishes at √2.
+        let q = &p(&[-2, 0, 1]) * &p(&[7, 1]);
+        assert_eq!(a.sign_of(&q), Sign::Zero);
+        assert_eq!(a.sign_of(&p(&[-1, 1])), Sign::Pos); // √2 − 1 > 0
+        assert_eq!(a.sign_of(&p(&[-2, 1])), Sign::Neg); // √2 − 2 < 0
+    }
+
+    #[test]
+    fn cmp_rationals_and_algebraics() {
+        let a = sqrt2();
+        assert_eq!(a.cmp_rat(&Rat::one()), Ordering::Greater);
+        assert_eq!(a.cmp_rat(&Rat::from(2i64)), Ordering::Less);
+        let b = RealAlg::roots_of(&p(&[-3, 0, 1])).pop().unwrap(); // √3
+        assert_eq!(a.cmp_alg(&b), Ordering::Less);
+        assert_eq!(b.cmp_alg(&a), Ordering::Greater);
+        // Same number via different polynomials: √2 as root of (x²−2)(x²−5).
+        let c = RealAlg::roots_of(&(&p(&[-2, 0, 1]) * &p(&[-5, 0, 1])))
+            .into_iter()
+            .find(|r| r.cmp_rat(&Rat::one()) == Ordering::Greater
+                && r.cmp_rat(&Rat::from(2i64)) == Ordering::Less)
+            .unwrap();
+        assert!(a.eq_alg(&c));
+    }
+
+    #[test]
+    fn roots_of_returns_sorted() {
+        let roots = RealAlg::roots_of(&p(&[-6, 11, -6, 1]));
+        assert_eq!(roots.len(), 3);
+        let vals: Vec<Rat> = roots.iter().map(|r| r.to_rat().unwrap()).collect();
+        assert_eq!(vals, vec![Rat::one(), Rat::from(2i64), Rat::from(3i64)]);
+    }
+
+    #[test]
+    fn field_arithmetic_in_q_sqrt2() {
+        let f = NumberField::new(sqrt2());
+        let a = f.gen(); // √2
+        let two = f.mul(&a, &a);
+        assert_eq!(f.sign(&f.sub(&two, &f.from_rat(Rat::from(2i64)))), Sign::Zero);
+        // (1 + √2)(−1 + √2) = 1
+        let u = f.add(&f.from_rat(Rat::one()), &a);
+        let v = f.add(&f.from_rat(Rat::from(-1i64)), &a);
+        let prod = f.mul(&u, &v);
+        assert_eq!(f.sign(&f.sub(&prod, &f.from_rat(Rat::one()))), Sign::Zero);
+        // Inverse: 1/√2 = √2/2.
+        let inv = f.inv(&a);
+        let check = f.sub(&inv, &NfElem { rep: UPoly::from_coeffs(vec![Rat::zero(), "1/2".parse().unwrap()]) });
+        assert!(f.is_zero(&check));
+    }
+
+    #[test]
+    fn inverse_with_reducible_modulus() {
+        // Modulus (x²−2)(x²−3), α = √2. Invert (x²−3)(α) = −1... that is
+        // nonzero; also invert α itself where xgcd may hit the factor.
+        let m = &p(&[-2, 0, 1]) * &p(&[-3, 0, 1]);
+        let alpha = RealAlg::roots_of(&m)
+            .into_iter()
+            .find(|r| r.sign_of(&p(&[-2, 0, 1])) == Sign::Zero
+                && r.cmp_rat(&Rat::zero()) == Ordering::Greater)
+            .unwrap();
+        let f = NumberField::new(alpha);
+        let a = f.gen();
+        let inv = f.inv(&a);
+        let prod = f.mul(&a, &inv);
+        assert!(f.is_zero(&f.sub(&prod, &f.from_rat(Rat::one()))));
+    }
+
+    #[test]
+    fn alg_poly_roots_sqrt_alpha() {
+        // q(y) = y² − α with α = √2: roots ±2^(1/4).
+        let f = NumberField::new(sqrt2());
+        let q = AlgUPoly::new(
+            f,
+            vec![-&UPoly::x(), UPoly::zero(), UPoly::one()],
+        );
+        let roots = q.isolate_roots();
+        assert_eq!(roots.len(), 2);
+        let eps: Rat = "1/1000000".parse().unwrap();
+        let hi = q.refine(&roots[1], &eps).midpoint().to_f64();
+        assert!((hi - 2f64.powf(0.25)).abs() < 1e-4, "got {hi}");
+        let lo = q.refine(&roots[0], &eps).midpoint().to_f64();
+        assert!((lo + 2f64.powf(0.25)).abs() < 1e-4, "got {lo}");
+    }
+
+    #[test]
+    fn alg_poly_detects_vanishing_lead() {
+        // (α² − 2)·y² + y − 1 has a zero leading coefficient at α = √2:
+        // effectively linear, one root at 1.
+        let f = NumberField::new(sqrt2());
+        let q = AlgUPoly::new(
+            f,
+            vec![p(&[-1]), p(&[1]), p(&[-2, 0, 1])],
+        );
+        assert_eq!(q.degree(), Some(1));
+        let roots = q.isolate_roots();
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0], RootLocation::Exact(Rat::one()));
+    }
+
+    #[test]
+    fn alg_poly_with_double_root() {
+        // (y − α)² = y² − 2αy + α²  → squarefree isolation finds one root ≈ √2.
+        let f = NumberField::new(sqrt2());
+        let q = AlgUPoly::new(
+            f,
+            vec![p(&[0, 0, 1]), p(&[0, -2]), p(&[1])],
+        );
+        let roots = q.isolate_roots();
+        assert_eq!(roots.len(), 1);
+        let eps: Rat = "1/100000".parse().unwrap();
+        let v = q.refine(&roots[0], &eps).midpoint().to_f64();
+        assert!((v - std::f64::consts::SQRT_2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rational_alpha_degenerate_field() {
+        let f = NumberField::new(RealAlg::from_rat(Rat::from(3i64)));
+        let a = f.gen();
+        assert_eq!(f.sign(&f.sub(&a, &f.from_rat(Rat::from(3i64)))), Sign::Zero);
+        let q = AlgUPoly::new(f, vec![-&UPoly::x(), UPoly::one()]); // y − α
+        let roots = q.isolate_roots();
+        assert_eq!(roots, vec![RootLocation::Exact(Rat::from(3i64))]);
+    }
+}

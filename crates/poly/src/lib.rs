@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! `cdb-poly`: polynomial algebra and real root machinery for the constraint
+//! database.
+//!
+//! This crate supplies everything "Appendix I: Real Algebraic Geometry" of
+//! the paper relies on:
+//!
+//! * dense univariate polynomials over `Q` ([`UPoly`]) with GCD, squarefree
+//!   decomposition, Sturm sequences and Cauchy root bounds;
+//! * real-root **isolation** and ε-**refinement** ([`roots`]) — the
+//!   NUMERICAL EVALUATION step of the paper's query pipeline (Theorem 3.2);
+//! * real algebraic numbers ([`RealAlg`]) as (squarefree minimal polynomial,
+//!   isolating interval) pairs, with exact sign determination `sign(q(α))`
+//!   used for CAD stack construction;
+//! * sparse multivariate polynomials ([`MPoly`]) with exact division, and
+//!   fraction-free (Bareiss) resultants/discriminants used by the CAD
+//!   projection operator `PROJ` ([`resultant`]).
+
+pub mod algebraic;
+pub mod mgcd;
+pub mod mpoly;
+pub mod resultant;
+pub mod roots;
+pub mod sturm;
+pub mod upoly;
+
+pub use algebraic::RealAlg;
+pub use mgcd::{mgcd, squarefree_part};
+pub use mpoly::MPoly;
+pub use roots::{isolate_real_roots, refine_to_width, RootLocation};
+pub use upoly::UPoly;

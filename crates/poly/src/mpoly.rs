@@ -1,0 +1,590 @@
+//! Sparse multivariate polynomials over `Q`.
+//!
+//! Generalized tuples constrain points of `R^k` with polynomials in `k`
+//! variables; the CAD projection phase manipulates them as univariate
+//! polynomials in the eliminated variable with multivariate coefficients
+//! ([`MPoly::as_upoly_in`]).
+//!
+//! Monomials are exponent vectors ordered lexicographically (the `BTreeMap`
+//! key order), which is a valid monomial order; exact division
+//! ([`MPoly::div_exact`]) uses it for leading-term reduction.
+
+use crate::upoly::UPoly;
+use cdb_num::{Rat, Sign};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Exponent vector; `mono[i]` is the exponent of variable `i`.
+pub type Monomial = Vec<u32>;
+
+/// A sparse multivariate polynomial in a fixed number of variables.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MPoly {
+    nvars: usize,
+    /// Nonzero terms only.
+    terms: BTreeMap<Monomial, Rat>,
+}
+
+impl MPoly {
+    /// The zero polynomial in `nvars` variables.
+    #[must_use]
+    pub fn zero(nvars: usize) -> MPoly {
+        MPoly { nvars, terms: BTreeMap::new() }
+    }
+
+    /// A constant polynomial.
+    #[must_use]
+    pub fn constant(c: Rat, nvars: usize) -> MPoly {
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(vec![0; nvars], c);
+        }
+        MPoly { nvars, terms }
+    }
+
+    /// The variable `x_i`.
+    #[must_use]
+    pub fn var(i: usize, nvars: usize) -> MPoly {
+        assert!(i < nvars);
+        let mut mono = vec![0; nvars];
+        mono[i] = 1;
+        let mut terms = BTreeMap::new();
+        terms.insert(mono, Rat::one());
+        MPoly { nvars, terms }
+    }
+
+    /// Build from `(monomial, coefficient)` pairs (summing duplicates).
+    #[must_use]
+    pub fn from_terms(nvars: usize, pairs: impl IntoIterator<Item = (Monomial, Rat)>) -> MPoly {
+        let mut terms: BTreeMap<Monomial, Rat> = BTreeMap::new();
+        for (m, c) in pairs {
+            assert_eq!(m.len(), nvars, "monomial arity mismatch");
+            let e = terms.entry(m).or_default();
+            *e = &*e + &c;
+        }
+        terms.retain(|_, c| !c.is_zero());
+        MPoly { nvars, terms }
+    }
+
+    /// Number of variables of the ambient ring.
+    #[must_use]
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Nonzero terms (lexicographic monomial order, ascending).
+    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, &Rat)> {
+        self.terms.iter()
+    }
+
+    /// Number of nonzero terms.
+    #[must_use]
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True iff the zero polynomial.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// True iff constant (possibly zero).
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.terms.keys().all(|m| m.iter().all(|&e| e == 0))
+    }
+
+    /// The constant value, if constant.
+    #[must_use]
+    pub fn to_constant(&self) -> Option<Rat> {
+        if self.is_zero() {
+            return Some(Rat::zero());
+        }
+        if self.is_constant() {
+            return self.terms.values().next().cloned();
+        }
+        None
+    }
+
+    /// Degree in variable `i` (0 for the zero polynomial).
+    #[must_use]
+    pub fn degree_in(&self, i: usize) -> u32 {
+        self.terms.keys().map(|m| m[i]).max().unwrap_or(0)
+    }
+
+    /// Total degree (0 for the zero polynomial).
+    #[must_use]
+    pub fn total_degree(&self) -> u32 {
+        self.terms
+            .keys()
+            .map(|m| m.iter().sum::<u32>())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True iff variable `i` occurs.
+    #[must_use]
+    pub fn uses_var(&self, i: usize) -> bool {
+        self.terms.keys().any(|m| m[i] > 0)
+    }
+
+    /// Leading term under lex order.
+    fn leading_term(&self) -> Option<(&Monomial, &Rat)> {
+        self.terms.last_key_value()
+    }
+
+    /// Multiply by a scalar.
+    #[must_use]
+    pub fn scale(&self, c: &Rat) -> MPoly {
+        if c.is_zero() {
+            return MPoly::zero(self.nvars);
+        }
+        MPoly {
+            nvars: self.nvars,
+            terms: self.terms.iter().map(|(m, a)| (m.clone(), a * c)).collect(),
+        }
+    }
+
+    /// Multiply by a single term.
+    #[must_use]
+    fn mul_term(&self, mono: &Monomial, c: &Rat) -> MPoly {
+        if c.is_zero() {
+            return MPoly::zero(self.nvars);
+        }
+        MPoly {
+            nvars: self.nvars,
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, a)| {
+                    let mut nm = m.clone();
+                    for (e, me) in nm.iter_mut().zip(mono) {
+                        *e += me;
+                    }
+                    (nm, a * c)
+                })
+                .collect(),
+        }
+    }
+
+    /// `self^n`.
+    #[must_use]
+    pub fn pow(&self, n: u32) -> MPoly {
+        let mut acc = MPoly::constant(Rat::one(), self.nvars);
+        for _ in 0..n {
+            acc = &acc * self;
+        }
+        acc
+    }
+
+    /// Full evaluation at a rational point.
+    #[must_use]
+    pub fn eval(&self, point: &[Rat]) -> Rat {
+        assert_eq!(point.len(), self.nvars);
+        let mut acc = Rat::zero();
+        for (m, c) in &self.terms {
+            let mut t = c.clone();
+            for (i, &e) in m.iter().enumerate() {
+                if e > 0 {
+                    t = &t * &point[i].pow(e as i32);
+                }
+            }
+            acc = &acc + &t;
+        }
+        acc
+    }
+
+    /// Substitute a rational value for variable `i` (result keeps the same
+    /// ambient arity; variable `i` no longer occurs).
+    #[must_use]
+    pub fn substitute(&self, i: usize, v: &Rat) -> MPoly {
+        assert!(i < self.nvars);
+        let pairs = self.terms.iter().map(|(m, c)| {
+            let mut nm = m.clone();
+            let e = nm[i];
+            nm[i] = 0;
+            (nm, c * &v.pow(e as i32))
+        });
+        MPoly::from_terms(self.nvars, pairs)
+    }
+
+    /// Partial derivative with respect to variable `i`.
+    #[must_use]
+    pub fn derivative(&self, i: usize) -> MPoly {
+        let pairs = self.terms.iter().filter_map(|(m, c)| {
+            if m[i] == 0 {
+                return None;
+            }
+            let mut nm = m.clone();
+            nm[i] -= 1;
+            Some((nm, c * &Rat::from(i64::from(m[i]))))
+        });
+        MPoly::from_terms(self.nvars, pairs)
+    }
+
+    /// View as a univariate polynomial in variable `i`: coefficients (in the
+    /// other variables) by ascending power of `x_i`.
+    #[must_use]
+    pub fn as_upoly_in(&self, i: usize) -> Vec<MPoly> {
+        let d = self.degree_in(i) as usize;
+        let mut coeffs = vec![MPoly::zero(self.nvars); d + 1];
+        for (m, c) in &self.terms {
+            let e = m[i] as usize;
+            let mut nm = m.clone();
+            nm[i] = 0;
+            let entry = coeffs[e].terms.entry(nm).or_default();
+            *entry = &*entry + c;
+        }
+        for p in &mut coeffs {
+            p.terms.retain(|_, c| !c.is_zero());
+        }
+        coeffs
+    }
+
+    /// Inverse of [`MPoly::as_upoly_in`].
+    #[must_use]
+    pub fn from_upoly_in(i: usize, coeffs: &[MPoly], nvars: usize) -> MPoly {
+        let mut out = MPoly::zero(nvars);
+        for (e, c) in coeffs.iter().enumerate() {
+            assert_eq!(c.nvars, nvars);
+            assert!(!c.uses_var(i), "coefficient uses the main variable");
+            let mut mono = vec![0; nvars];
+            mono[i] = e as u32;
+            out = &out + &c.mul_term(&mono, &Rat::one());
+        }
+        out
+    }
+
+    /// Convert to [`UPoly`] if only variable `i` occurs.
+    #[must_use]
+    pub fn to_upoly_in(&self, i: usize) -> Option<UPoly> {
+        let mut coeffs = vec![Rat::zero(); self.degree_in(i) as usize + 1];
+        for (m, c) in &self.terms {
+            for (j, &e) in m.iter().enumerate() {
+                if j != i && e > 0 {
+                    return None;
+                }
+            }
+            coeffs[m[i] as usize] = c.clone();
+        }
+        Some(UPoly::from_coeffs(coeffs))
+    }
+
+    /// Lift a univariate polynomial into variable `i` of an `nvars`-ring.
+    #[must_use]
+    pub fn from_upoly(p: &UPoly, i: usize, nvars: usize) -> MPoly {
+        let pairs = p.coeffs().iter().enumerate().map(|(e, c)| {
+            let mut mono = vec![0; nvars];
+            mono[i] = e as u32;
+            (mono, c.clone())
+        });
+        MPoly::from_terms(nvars, pairs)
+    }
+
+    /// Rename variables: variable `i` becomes `map[i]` in a ring of
+    /// `new_nvars` variables. Used when a stored relation `R(x0, x1)` is
+    /// instantiated as `R(u, w)` inside a query (INSTANTIATION step).
+    #[must_use]
+    pub fn remap_vars(&self, map: &[usize], new_nvars: usize) -> MPoly {
+        assert_eq!(map.len(), self.nvars);
+        assert!(map.iter().all(|&m| m < new_nvars));
+        let pairs = self.terms.iter().map(|(m, c)| {
+            // Mapping two sources onto one target is legal (diagonals like
+            // R(x, x)); exponents add up.
+            let mut nm = vec![0u32; new_nvars];
+            for (i, &e) in m.iter().enumerate() {
+                nm[map[i]] += e;
+            }
+            (nm, c.clone())
+        });
+        MPoly::from_terms(new_nvars, pairs)
+    }
+
+    /// Exact division: `self / div`; panics if not exact (callers guarantee
+    /// divisibility — Bareiss elimination and discriminant-by-lc division).
+    #[must_use]
+    pub fn div_exact(&self, div: &MPoly) -> MPoly {
+        assert!(!div.is_zero(), "MPoly division by zero");
+        assert_eq!(self.nvars, div.nvars);
+        if self.is_zero() {
+            return MPoly::zero(self.nvars);
+        }
+        if let Some(c) = div.to_constant() {
+            return self.scale(&c.recip());
+        }
+        let mut rem = self.clone();
+        let mut quot = MPoly::zero(self.nvars);
+        let (dm, dc) = {
+            let (m, c) = div.leading_term().expect("nonzero divisor");
+            (m.clone(), c.clone())
+        };
+        while !rem.is_zero() {
+            let (rm, rc) = {
+                let (m, c) = rem.leading_term().expect("nonzero remainder");
+                (m.clone(), c.clone())
+            };
+            let mut qm = rm.clone();
+            let mut divisible = true;
+            for (q, d) in qm.iter_mut().zip(&dm) {
+                if *q < *d {
+                    divisible = false;
+                    break;
+                }
+                *q -= d;
+            }
+            assert!(divisible, "MPoly::div_exact: not divisible");
+            let qc = &rc / &dc;
+            let t = div.mul_term(&qm, &qc);
+            rem = &rem - &t;
+            quot = &quot
+                + &MPoly::from_terms(self.nvars, [(qm, qc)]);
+        }
+        quot
+    }
+
+    /// Integer-primitive normal form with positive lex-leading coefficient
+    /// (used to deduplicate CAD projection sets).
+    #[must_use]
+    pub fn primitive(&self) -> MPoly {
+        if self.is_zero() {
+            return self.clone();
+        }
+        // Scale by lcm of denominators / gcd of numerators.
+        let mut l = cdb_num::Int::one();
+        for c in self.terms.values() {
+            let d = c.denom();
+            let g = l.gcd(d);
+            l = &(&l / &g) * d;
+        }
+        let lr = Rat::from(l);
+        let mut g = cdb_num::Int::zero();
+        for c in self.terms.values() {
+            g = g.gcd((c * &lr).numer());
+        }
+        let scale = &lr / &Rat::from(g);
+        let lead_sign = self.leading_term().expect("nonzero").1.sign();
+        let scale = if lead_sign == Sign::Neg { -scale } else { scale };
+        self.scale(&scale)
+    }
+
+    /// Maximum bit length over coefficients.
+    #[must_use]
+    pub fn max_coeff_bits(&self) -> u64 {
+        self.terms.values().map(Rat::bit_length).max().unwrap_or(0)
+    }
+
+    /// Render with the given variable names.
+    #[must_use]
+    pub fn display_with(&self, names: &[&str]) -> String {
+        assert!(names.len() >= self.nvars);
+        if self.is_zero() {
+            return "0".to_owned();
+        }
+        let mut out = String::new();
+        // Highest terms first for readability.
+        for (m, c) in self.terms.iter().rev() {
+            let neg = c.sign() == Sign::Neg;
+            if out.is_empty() {
+                if neg {
+                    out.push('-');
+                }
+            } else {
+                out.push_str(if neg { " - " } else { " + " });
+            }
+            let a = c.abs();
+            let is_const_mono = m.iter().all(|&e| e == 0);
+            if a != Rat::one() || is_const_mono {
+                out.push_str(&a.to_string());
+                if !is_const_mono {
+                    out.push('*');
+                }
+            }
+            let mut first = true;
+            for (i, &e) in m.iter().enumerate() {
+                if e == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push('*');
+                }
+                out.push_str(names[i]);
+                if e > 1 {
+                    out.push_str(&format!("^{e}"));
+                }
+                first = false;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for MPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> = (0..self.nvars).map(|i| format!("x{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        write!(f, "{}", self.display_with(&refs))
+    }
+}
+
+impl fmt::Debug for MPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MPoly({self})")
+    }
+}
+
+impl Add for &MPoly {
+    type Output = MPoly;
+    fn add(self, rhs: &MPoly) -> MPoly {
+        assert_eq!(self.nvars, rhs.nvars);
+        let mut terms = self.terms.clone();
+        for (m, c) in &rhs.terms {
+            let e = terms.entry(m.clone()).or_default();
+            *e = &*e + c;
+        }
+        terms.retain(|_, c| !c.is_zero());
+        MPoly { nvars: self.nvars, terms }
+    }
+}
+
+impl Sub for &MPoly {
+    type Output = MPoly;
+    fn sub(self, rhs: &MPoly) -> MPoly {
+        self + &(-rhs)
+    }
+}
+
+impl Neg for &MPoly {
+    type Output = MPoly;
+    fn neg(self) -> MPoly {
+        MPoly {
+            nvars: self.nvars,
+            terms: self.terms.iter().map(|(m, c)| (m.clone(), -c.clone())).collect(),
+        }
+    }
+}
+
+impl Mul for &MPoly {
+    type Output = MPoly;
+    fn mul(self, rhs: &MPoly) -> MPoly {
+        assert_eq!(self.nvars, rhs.nvars);
+        let mut terms: BTreeMap<Monomial, Rat> = BTreeMap::new();
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &rhs.terms {
+                let mono: Monomial = ma.iter().zip(mb).map(|(a, b)| a + b).collect();
+                let e = terms.entry(mono).or_default();
+                *e = &*e + &(ca * cb);
+            }
+        }
+        terms.retain(|_, c| !c.is_zero());
+        MPoly { nvars: self.nvars, terms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's running example: S(x, y) uses 4x² − y − 20x + 25.
+    fn paper_poly() -> MPoly {
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let c = |v: i64| MPoly::constant(Rat::from(v), 2);
+        &(&(&c(4) * &x.pow(2)) - &y) - &(&(&c(20) * &x) - &c(25))
+    }
+
+    #[test]
+    fn construction_and_eval() {
+        let p = paper_poly();
+        assert_eq!(p.nvars(), 2);
+        assert_eq!(p.degree_in(0), 2);
+        assert_eq!(p.degree_in(1), 1);
+        assert_eq!(p.total_degree(), 2);
+        // At (2.5, 0) the polynomial vanishes.
+        assert!(p.eval(&["5/2".parse().unwrap(), Rat::zero()]).is_zero());
+        assert_eq!(p.eval(&[Rat::zero(), Rat::zero()]), Rat::from(25i64));
+    }
+
+    #[test]
+    fn arithmetic_ring_identities() {
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let a = &x + &y;
+        let b = &x - &y;
+        // (x+y)(x-y) = x² − y²
+        assert_eq!(&a * &b, &x.pow(2) - &y.pow(2));
+        assert!((&a - &a).is_zero());
+    }
+
+    #[test]
+    fn substitution_and_to_upoly() {
+        let p = paper_poly();
+        // Substitute y = 9: 4x² − 20x + 16.
+        let q = p.substitute(1, &Rat::from(9i64));
+        let u = q.to_upoly_in(0).unwrap();
+        assert_eq!(u, UPoly::from_ints(&[16, -20, 4]));
+        // Substituting x leaves y.
+        let r = p.substitute(0, &Rat::zero());
+        assert_eq!(r.to_upoly_in(1).unwrap(), UPoly::from_ints(&[25, -1]));
+        assert!(p.to_upoly_in(0).is_none());
+    }
+
+    #[test]
+    fn upoly_view_roundtrip() {
+        let p = paper_poly();
+        let coeffs = p.as_upoly_in(1);
+        assert_eq!(coeffs.len(), 2);
+        assert_eq!(coeffs[1], MPoly::constant(Rat::from(-1i64), 2));
+        let back = MPoly::from_upoly_in(1, &coeffs, 2);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn derivative() {
+        let p = paper_poly();
+        let dx = p.derivative(0); // 8x − 20
+        assert_eq!(dx.to_upoly_in(0).unwrap(), UPoly::from_ints(&[-20, 8]));
+        let dy = p.derivative(1);
+        assert_eq!(dy.to_constant(), Some(Rat::from(-1i64)));
+    }
+
+    #[test]
+    fn exact_division() {
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let a = &x + &y;
+        let b = &x - &y;
+        let prod = &a * &b;
+        assert_eq!(prod.div_exact(&a), b);
+        assert_eq!(prod.div_exact(&b), a);
+        let sq = a.pow(3);
+        assert_eq!(sq.div_exact(&a.pow(2)), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn division_not_exact_panics() {
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let _ = (&x + &MPoly::constant(Rat::one(), 2)).div_exact(&y);
+    }
+
+    #[test]
+    fn primitive_normalization() {
+        let x = MPoly::var(0, 1);
+        let p = &x.scale(&"2/3".parse().unwrap()) + &MPoly::constant("4/3".parse().unwrap(), 1);
+        let prim = p.primitive();
+        // (2/3)x + 4/3 → x + 2
+        assert_eq!(prim, &x + &MPoly::constant(Rat::from(2i64), 1));
+        // Negative lead flips.
+        let q = (&p).neg().primitive();
+        assert_eq!(q, prim);
+    }
+
+    #[test]
+    fn display_human_readable() {
+        let p = paper_poly();
+        assert_eq!(p.display_with(&["x", "y"]), "4*x^2 - 20*x - y + 25");
+    }
+}

@@ -1,0 +1,237 @@
+//! Resultants and discriminants via fraction-free (Bareiss) elimination on
+//! the Sylvester matrix.
+//!
+//! These are the workhorses of the CAD projection operator `PROJ` (Appendix
+//! I: "Polynomials of PROJ(P_i) are formed by addition, subtraction, and
+//! multiplication of the coefficients … with the technique of
+//! subresultants"). Bareiss elimination keeps every intermediate entry a
+//! polynomial (divisions are exact), avoiding rational-function blowup.
+
+use crate::mpoly::MPoly;
+use cdb_num::Rat;
+
+/// Resultant of `p` and `q` with respect to variable `var`.
+///
+/// Conventions: if either polynomial is zero, the resultant is zero. If both
+/// have degree 0 in `var`, the resultant is 1 (empty Sylvester matrix).
+#[must_use]
+pub fn resultant(p: &MPoly, q: &MPoly, var: usize) -> MPoly {
+    assert_eq!(p.nvars(), q.nvars());
+    let nvars = p.nvars();
+    if p.is_zero() || q.is_zero() {
+        return MPoly::zero(nvars);
+    }
+    let pc = p.as_upoly_in(var);
+    let qc = q.as_upoly_in(var);
+    let m = pc.len() - 1; // deg p
+    let n = qc.len() - 1; // deg q
+    if m == 0 && n == 0 {
+        return MPoly::constant(Rat::one(), nvars);
+    }
+    if m == 0 {
+        // res(c, q) = c^deg(q)
+        return pc[0].pow(n as u32);
+    }
+    if n == 0 {
+        return qc[0].pow(m as u32);
+    }
+    // Sylvester matrix: n rows of p's coefficients, m rows of q's, each row
+    // listing coefficients from the highest power.
+    let size = m + n;
+    let mut mat = vec![vec![MPoly::zero(nvars); size]; size];
+    for (row, mrow) in mat.iter_mut().enumerate().take(n) {
+        for (j, c) in pc.iter().rev().enumerate() {
+            mrow[row + j] = c.clone();
+        }
+    }
+    for row in 0..m {
+        for (j, c) in qc.iter().rev().enumerate() {
+            mat[n + row][row + j] = c.clone();
+        }
+    }
+    bareiss_determinant(mat)
+}
+
+/// Discriminant of `p` with respect to `var`:
+/// `disc = (−1)^{d(d−1)/2} · res(p, ∂p/∂var) / lc(p)`.
+#[must_use]
+pub fn discriminant(p: &MPoly, var: usize) -> MPoly {
+    let d = p.degree_in(var);
+    assert!(d >= 1, "discriminant needs degree >= 1 in the variable");
+    let dp = p.derivative(var);
+    let res = resultant(p, &dp, var);
+    let lc = p.as_upoly_in(var).pop().expect("nonzero degree");
+    let q = res.div_exact(&lc);
+    if (u64::from(d) * (u64::from(d) - 1) / 2) % 2 == 1 {
+        -&q
+    } else {
+        q
+    }
+}
+
+/// Determinant via Bareiss fraction-free elimination. Consumes the matrix.
+/// Entries stay polynomial throughout; all divisions are exact.
+#[must_use]
+pub fn bareiss_determinant(mut m: Vec<Vec<MPoly>>) -> MPoly {
+    let n = m.len();
+    assert!(n > 0 && m.iter().all(|r| r.len() == n), "square matrix required");
+    let nvars = m[0][0].nvars();
+    if n == 1 {
+        return m[0][0].clone();
+    }
+    let mut sign_flip = false;
+    let mut prev = MPoly::constant(Rat::one(), nvars);
+    for k in 0..n - 1 {
+        if m[k][k].is_zero() {
+            // Pivot search.
+            let Some(swap) = (k + 1..n).find(|&r| !m[r][k].is_zero()) else {
+                return MPoly::zero(nvars);
+            };
+            m.swap(k, swap);
+            sign_flip = !sign_flip;
+        }
+        for i in k + 1..n {
+            for j in k + 1..n {
+                let num = &(&m[k][k] * &m[i][j]) - &(&m[i][k] * &m[k][j]);
+                m[i][j] = num.div_exact(&prev);
+            }
+            m[i][k] = MPoly::zero(nvars);
+        }
+        prev = m[k][k].clone();
+    }
+    let det = m[n - 1][n - 1].clone();
+    if sign_flip {
+        -&det
+    } else {
+        det
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn c(v: i64, nvars: usize) -> MPoly {
+        MPoly::constant(Rat::from(v), nvars)
+    }
+
+    #[test]
+    fn univariate_resultant_of_coprime() {
+        // res(p, q) = lc(p)^n · Π q(α_i): res(x−1, x−2) = q(1) = −1.
+        let x = MPoly::var(0, 1);
+        let p = &x - &c(1, 1);
+        let q = &x - &c(2, 1);
+        let r = resultant(&p, &q, 0);
+        assert_eq!(r.to_constant().unwrap(), Rat::from(-1i64));
+        // Symmetry up to (−1)^{mn}.
+        assert_eq!(resultant(&q, &p, 0).to_constant().unwrap(), Rat::one());
+    }
+
+    #[test]
+    fn resultant_zero_iff_common_root() {
+        let x = MPoly::var(0, 1);
+        let p = &(&x - &c(1, 1)) * &(&x - &c(3, 1));
+        let q = &(&x - &c(1, 1)) * &(&x - &c(5, 1));
+        assert!(resultant(&p, &q, 0).is_zero());
+        let q2 = &(&x - &c(2, 1)) * &(&x - &c(5, 1));
+        assert!(!resultant(&p, &q2, 0).is_zero());
+    }
+
+    #[test]
+    fn discriminant_of_quadratic() {
+        // disc(ax² + bx + c) = b² − 4ac: check on 4x² − 20x + 25 → 0 (the
+        // paper's double root) and on x² − 2 → 8.
+        let x = MPoly::var(0, 1);
+        let p = &(&c(4, 1) * &x.pow(2)) + &(&c(-20, 1) * &x).add_c(25);
+        assert!(discriminant(&p, 0).is_zero());
+        let q = &x.pow(2) - &c(2, 1);
+        assert_eq!(discriminant(&q, 0).to_constant().unwrap(), Rat::from(8i64));
+    }
+
+    // Small helper: p + constant.
+    trait AddC {
+        fn add_c(&self, v: i64) -> MPoly;
+    }
+    impl AddC for MPoly {
+        fn add_c(&self, v: i64) -> MPoly {
+            self + &c(v, self.nvars())
+        }
+    }
+
+    #[test]
+    fn bivariate_projection_resultant() {
+        // p = 4x² − y − 20x + 25 viewed in y has degree 1, so
+        // res_y(p, ∂p/∂y) degenerates; instead project the circle:
+        // p = x² + y² − 1, disc_y = −4(x² − 1) up to the convention:
+        // disc(y² + (x²−1)) = 0² − 4·1·(x²−1) = 4 − 4x².
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let circle = &(&x.pow(2) + &y.pow(2)) - &c(1, 2);
+        let d = discriminant(&circle, 1);
+        let expect = &c(4, 2) - &(&c(4, 2) * &x.pow(2));
+        assert_eq!(d, expect);
+    }
+
+    #[test]
+    fn resultant_eliminates_variable() {
+        // Common solutions of x² + y² − 2 = 0 and x − y = 0 are x = ±1.
+        // res_y gives a polynomial in x vanishing exactly there.
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let p = &(&x.pow(2) + &y.pow(2)) - &c(2, 2);
+        let q = &x - &y;
+        let r = resultant(&p, &q, 1);
+        let u = r.to_upoly_in(0).unwrap();
+        // 2x² − 2 (up to sign/scale): roots ±1.
+        let roots = crate::roots::real_roots_approx(&u, &"1/1000000".parse().unwrap());
+        assert_eq!(roots.len(), 2);
+        assert!((roots[0].to_f64() + 1.0).abs() < 1e-5);
+        assert!((roots[1].to_f64() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bareiss_matches_known_determinant() {
+        // |1 2; 3 4| = −2 over constants.
+        let m = vec![
+            vec![c(1, 1), c(2, 1)],
+            vec![c(3, 1), c(4, 1)],
+        ];
+        assert_eq!(bareiss_determinant(m).to_constant().unwrap(), Rat::from(-2i64));
+        // Singular matrix.
+        let s = vec![
+            vec![c(1, 1), c(2, 1)],
+            vec![c(2, 1), c(4, 1)],
+        ];
+        assert!(bareiss_determinant(s).is_zero());
+    }
+
+    #[test]
+    fn bareiss_with_polynomial_entries() {
+        // det |x 1; 1 x| = x² − 1.
+        let x = MPoly::var(0, 1);
+        let m = vec![vec![x.clone(), c(1, 1)], vec![c(1, 1), x.clone()]];
+        let d = bareiss_determinant(m);
+        assert_eq!(d, &x.pow(2) - &c(1, 1));
+    }
+
+    #[test]
+    fn resultant_agrees_with_eval_specialization() {
+        // res commutes with specialization when the leading coefficient does
+        // not vanish: spot-check res_y(p, q)(a) == res(p(a,·), q(a,·)).
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let p = &(&x.pow(2) + &(&y.pow(2) * &x)) + &c(3, 2); // x²+x·y²+3
+        let q = &(&y * &x) - &c(1, 2); // x·y − 1
+        let r = resultant(&p, &q, 1);
+        for a in [1i64, 2, -3] {
+            let ar = Rat::from(a);
+            let pu = p.substitute(0, &ar).to_upoly_in(1).unwrap();
+            let qu = q.substitute(0, &ar).to_upoly_in(1).unwrap();
+            let pm = MPoly::from_upoly(&pu, 0, 1);
+            let qm = MPoly::from_upoly(&qu, 0, 1);
+            let direct = resultant(&pm, &qm, 0).to_constant().unwrap();
+            assert_eq!(r.substitute(0, &ar).to_constant().unwrap(), direct, "at x={a}");
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Real-root isolation and ε-refinement.
+//!
+//! This is the paper's NUMERICAL EVALUATION step (§2 step 3, Theorem 3.2):
+//! given the quantifier-free output of QE, "solve the resulting system(s) of
+//! equation(s)" to ε-approximate values. We substitute Sturm-based bisection
+//! for the witness machinery of \[GV88\]/\[Nef90\]; for a fixed number of
+//! variables this is polynomial in the coefficient bit length and in
+//! `log(1/ε)`, preserving the PTIME statement (see DESIGN.md §3).
+
+use crate::sturm::SturmChain;
+use crate::upoly::UPoly;
+use cdb_num::{Rat, RatInterval, Sign};
+
+/// Where a single real root of a squarefree polynomial lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RootLocation {
+    /// The root is exactly this rational.
+    Exact(Rat),
+    /// The root lies strictly inside the open interval, which contains
+    /// exactly one root and whose endpoints are not roots.
+    Isolated(RatInterval),
+}
+
+impl RootLocation {
+    /// A rational point inside the location (the root itself, or the
+    /// interval midpoint).
+    #[must_use]
+    pub fn approx(&self) -> Rat {
+        match self {
+            RootLocation::Exact(r) => r.clone(),
+            RootLocation::Isolated(iv) => iv.midpoint(),
+        }
+    }
+
+    /// Interval enclosing the root (degenerate for exact roots).
+    #[must_use]
+    pub fn interval(&self) -> RatInterval {
+        match self {
+            RootLocation::Exact(r) => RatInterval::point(r.clone()),
+            RootLocation::Isolated(iv) => iv.clone(),
+        }
+    }
+}
+
+/// Isolate all distinct real roots of `p` (any nonzero polynomial; the
+/// squarefree part is taken internally). Roots are returned in increasing
+/// order. Rational roots with small coefficients are detected exactly
+/// (rational sample points keep downstream CAD arithmetic cheap).
+#[must_use]
+pub fn isolate_real_roots(p: &UPoly) -> Vec<RootLocation> {
+    assert!(!p.is_zero(), "cannot isolate roots of the zero polynomial");
+    if p.is_constant() {
+        return Vec::new();
+    }
+    let mut sf = p.squarefree();
+    let mut exact = Vec::new();
+    // Deflate exact rational roots first (bounded divisor enumeration).
+    for r in rational_roots(&sf) {
+        let lin = UPoly::from_coeffs(vec![-r.clone(), Rat::one()]);
+        sf = sf.div_exact(&lin);
+        exact.push(RootLocation::Exact(r));
+    }
+    if sf.deg() == 1 {
+        let root = -(&sf.coeff(0) / &sf.coeff(1));
+        exact.push(RootLocation::Exact(root));
+        sf = UPoly::one();
+    }
+    let mut out = exact;
+    if !sf.is_constant() {
+        let chain = SturmChain::new(&sf);
+        let total = chain.count_real_roots();
+        if total > 0 {
+            let bound = sf.cauchy_bound();
+            let lo = -bound.clone();
+            let hi = bound;
+            // The Cauchy bound is strict, so no root sits at ±bound and the
+            // count on (lo, hi] equals the total.
+            let split = out.len();
+            isolate_in(&sf, &chain, lo, hi, total, &mut out);
+            // Shrink isolated intervals until they exclude the deflated
+            // exact roots (they must be disjoint from every root of `p`,
+            // not just of the deflated `sf`).
+            let exacts: Vec<Rat> = out[..split]
+                .iter()
+                .map(|l| match l {
+                    RootLocation::Exact(r) => r.clone(),
+                    RootLocation::Isolated(_) => unreachable!(),
+                })
+                .collect();
+            for loc in &mut out[split..] {
+                if let RootLocation::Isolated(iv) = loc {
+                    let mut lo = iv.lo().clone();
+                    let mut hi = iv.hi().clone();
+                    let s_hi = sf.sign_at(&hi);
+                    while exacts.iter().any(|r| &lo <= r && r <= &hi) {
+                        let mid = Rat::midpoint(&lo, &hi);
+                        match sf.sign_at(&mid) {
+                            Sign::Zero => {
+                                *loc = RootLocation::Exact(mid);
+                                break;
+                            }
+                            s if s == s_hi => hi = mid,
+                            _ => lo = mid,
+                        }
+                    }
+                    if let RootLocation::Isolated(iv) = loc {
+                        *iv = RatInterval::new(lo, hi);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        let ka = match a {
+            RootLocation::Exact(r) => (r.clone(), r.clone()),
+            RootLocation::Isolated(iv) => (iv.lo().clone(), iv.hi().clone()),
+        };
+        let kb = match b {
+            RootLocation::Exact(r) => (r.clone(), r.clone()),
+            RootLocation::Isolated(iv) => (iv.lo().clone(), iv.hi().clone()),
+        };
+        ka.cmp(&kb)
+    });
+    out
+}
+
+/// Exact rational roots of a squarefree polynomial, via the rational-root
+/// theorem with a budget: skipped when the constant/leading coefficients are
+/// too large to enumerate divisors cheaply (irrational/huge roots are then
+/// simply reported as isolated intervals — correctness is unaffected).
+fn rational_roots(sf: &UPoly) -> Vec<Rat> {
+    use cdb_num::Int;
+    const LIMIT: i64 = 1_000_000;
+    let prim = sf.primitive();
+    if prim.deg() == 0 {
+        return Vec::new();
+    }
+    // Factor out x^k first: root 0.
+    let mut out = Vec::new();
+    let mut start = 0;
+    while prim.coeff(start).is_zero() {
+        start += 1;
+    }
+    if start > 0 {
+        out.push(Rat::zero());
+    }
+    let a0 = prim.coeff(start).numer().abs();
+    let ad = prim.leading().numer().abs();
+    let (Some(a0), Some(ad)) = (a0.to_i64(), ad.to_i64()) else {
+        return out;
+    };
+    if a0 > LIMIT || ad > LIMIT {
+        return out;
+    }
+    let divisors = |n: i64| -> Vec<i64> {
+        let mut d = Vec::new();
+        let mut i = 1;
+        while i * i <= n {
+            if n % i == 0 {
+                d.push(i);
+                d.push(n / i);
+            }
+            i += 1;
+        }
+        d
+    };
+    let ps = divisors(a0);
+    let qs = divisors(ad);
+    for &p in &ps {
+        for &q in &qs {
+            if Int::from(p).gcd(&Int::from(q)) != Int::one() {
+                continue;
+            }
+            for s in [1i64, -1] {
+                let cand = Rat::new(Int::from(s * p), Int::from(q));
+                if sf.eval(&cand).is_zero() {
+                    out.push(cand);
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Recursive bisection: `count` roots of `sf` lie in `(lo, hi]`.
+fn isolate_in(
+    sf: &UPoly,
+    chain: &SturmChain,
+    lo: Rat,
+    hi: Rat,
+    count: usize,
+    out: &mut Vec<RootLocation>,
+) {
+    if count == 0 {
+        return;
+    }
+    if count == 1 {
+        // Check whether the right endpoint is the root itself.
+        if sf.sign_at(&hi) == Sign::Zero {
+            out.push(RootLocation::Exact(hi));
+            return;
+        }
+        // The left endpoint may itself be a root of `sf` (not the one being
+        // isolated — the count is over the half-open `(lo, hi]`). Bisect
+        // until it no longer is, keeping exactly one root inside.
+        let mut lo = lo;
+        let mut hi = hi;
+        while sf.sign_at(&lo) == Sign::Zero {
+            let mid = Rat::midpoint(&lo, &hi);
+            if sf.sign_at(&mid) == Sign::Zero {
+                out.push(RootLocation::Exact(mid));
+                return;
+            }
+            if chain.count_roots_half_open(&mid, &hi) == 1 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        out.push(RootLocation::Isolated(RatInterval::new(lo, hi)));
+        return;
+    }
+    let mid = Rat::midpoint(&lo, &hi);
+    let left = chain.count_roots_half_open(&lo, &mid);
+    let right = count - left;
+    isolate_in(sf, chain, lo, mid.clone(), left, out);
+    isolate_in(sf, chain, mid, hi, right, out);
+}
+
+/// Refine an isolated root to an enclosing interval of width `<= eps` by
+/// bisection. Exact roots return a degenerate interval immediately.
+#[must_use]
+pub fn refine_to_width(p: &UPoly, loc: &RootLocation, eps: &Rat) -> RatInterval {
+    assert!(eps.sign() == Sign::Pos, "eps must be positive");
+    let sf = p.squarefree();
+    match loc {
+        RootLocation::Exact(r) => RatInterval::point(r.clone()),
+        RootLocation::Isolated(iv) => {
+            let mut lo = iv.lo().clone();
+            let mut hi = iv.hi().clone();
+            let s_hi = sf.sign_at(&hi);
+            debug_assert_ne!(s_hi, Sign::Zero);
+            while &(&hi - &lo) > eps {
+                let mid = Rat::midpoint(&lo, &hi);
+                match sf.sign_at(&mid) {
+                    Sign::Zero => return RatInterval::point(mid),
+                    s if s == s_hi => hi = mid,
+                    _ => lo = mid,
+                }
+            }
+            RatInterval::new(lo, hi)
+        }
+    }
+}
+
+/// Convenience: all real roots ε-approximated as rationals, increasing.
+#[must_use]
+pub fn real_roots_approx(p: &UPoly, eps: &Rat) -> Vec<Rat> {
+    isolate_real_roots(p)
+        .iter()
+        .map(|loc| refine_to_width(p, loc, eps).midpoint())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coeffs: &[i64]) -> UPoly {
+        UPoly::from_ints(coeffs)
+    }
+
+    fn rat(s: &str) -> Rat {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn figure1_unique_root() {
+        // 4x^2 - 20x + 25 = (2x-5)^2: unique root 2.5 — the paper's example.
+        let f = p(&[25, -20, 4]);
+        let roots = isolate_real_roots(&f);
+        assert_eq!(roots.len(), 1);
+        let refined = refine_to_width(&f, &roots[0], &rat("1/1000000"));
+        assert!(refined.contains(&rat("5/2")));
+        // Squarefree part is linear, so the root is exact.
+        assert_eq!(roots[0], RootLocation::Exact(rat("5/2")));
+    }
+
+    #[test]
+    fn three_rational_roots() {
+        let f = p(&[-6, 11, -6, 1]); // roots 1, 2, 3
+        let roots = real_roots_approx(&f, &rat("1/1024"));
+        assert_eq!(roots.len(), 3);
+        for (r, expect) in roots.iter().zip([1i64, 2, 3]) {
+            assert!((r - &Rat::from(expect)).abs() < rat("1/1000"));
+        }
+    }
+
+    #[test]
+    fn irrational_roots_sqrt2() {
+        let f = p(&[-2, 0, 1]); // x^2 - 2
+        let roots = isolate_real_roots(&f);
+        assert_eq!(roots.len(), 2);
+        let eps = rat("1/1000000000");
+        let pos = refine_to_width(&f, &roots[1], &eps);
+        let mid = pos.midpoint().to_f64();
+        assert!((mid - std::f64::consts::SQRT_2).abs() < 1e-8);
+        let neg = refine_to_width(&f, &roots[0], &eps);
+        assert!((neg.midpoint().to_f64() + std::f64::consts::SQRT_2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn no_roots() {
+        assert!(isolate_real_roots(&p(&[1, 0, 1])).is_empty());
+        assert!(isolate_real_roots(&p(&[5])).is_empty());
+    }
+
+    #[test]
+    fn close_roots_separated() {
+        // (x - 1)(x - 1001/1000): two roots 1/1000 apart.
+        let f = &p(&[-1, 1]) * &UPoly::from_coeffs(vec![rat("-1001/1000"), Rat::one()]);
+        let roots = isolate_real_roots(&f);
+        assert_eq!(roots.len(), 2);
+        let a = refine_to_width(&f, &roots[0], &rat("1/100000"));
+        let b = refine_to_width(&f, &roots[1], &rat("1/100000"));
+        assert!(a.hi() < b.lo());
+        assert!(a.contains(&Rat::one()));
+        assert!(b.contains(&rat("1001/1000")));
+    }
+
+    #[test]
+    fn multiple_root_counted_once() {
+        let f = &p(&[-1, 1]).pow(3) * &p(&[-4, 1]); // (x-1)^3 (x-4)
+        let roots = real_roots_approx(&f, &rat("1/1000"));
+        assert_eq!(roots.len(), 2);
+    }
+
+    #[test]
+    fn degree7_roots_in_order() {
+        let mut f = UPoly::one();
+        for i in 1..=7i64 {
+            f = &f * &p(&[-i, 1]);
+        }
+        let roots = real_roots_approx(&f, &rat("1/4096"));
+        assert_eq!(roots.len(), 7);
+        for w in roots.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn refinement_hits_epsilon() {
+        let f = p(&[-3, 0, 1]); // sqrt(3)
+        let roots = isolate_real_roots(&f);
+        let eps = rat("1/1000000000000");
+        let iv = refine_to_width(&f, &roots[1], &eps);
+        assert!(iv.width() <= eps);
+        // sqrt(3) inside.
+        let m = iv.midpoint();
+        assert!((&(&m * &m) - &Rat::from(3i64)).abs() < rat("1/1000000000"));
+    }
+}

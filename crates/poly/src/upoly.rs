@@ -1,0 +1,611 @@
+//! Dense univariate polynomials over `Q`.
+
+use cdb_num::{Int, Rat, RatInterval, Sign};
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A univariate polynomial with rational coefficients, dense representation,
+/// normalized so the leading coefficient is nonzero (the zero polynomial has
+/// an empty coefficient vector).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct UPoly {
+    /// `coeffs[i]` is the coefficient of `x^i`.
+    coeffs: Vec<Rat>,
+}
+
+impl UPoly {
+    /// The zero polynomial.
+    #[must_use]
+    pub fn zero() -> UPoly {
+        UPoly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial 1.
+    #[must_use]
+    pub fn one() -> UPoly {
+        UPoly::constant(Rat::one())
+    }
+
+    /// The monomial `x`.
+    #[must_use]
+    pub fn x() -> UPoly {
+        UPoly::from_coeffs(vec![Rat::zero(), Rat::one()])
+    }
+
+    /// A constant polynomial.
+    #[must_use]
+    pub fn constant(c: Rat) -> UPoly {
+        UPoly::from_coeffs(vec![c])
+    }
+
+    /// From low-to-high coefficients; trailing zeros removed.
+    #[must_use]
+    pub fn from_coeffs(mut coeffs: Vec<Rat>) -> UPoly {
+        while coeffs.last().is_some_and(Rat::is_zero) {
+            coeffs.pop();
+        }
+        UPoly { coeffs }
+    }
+
+    /// From integer coefficients, low-to-high.
+    #[must_use]
+    pub fn from_ints(coeffs: &[i64]) -> UPoly {
+        UPoly::from_coeffs(coeffs.iter().map(|&c| Rat::from(c)).collect())
+    }
+
+    /// Coefficients, low-to-high (empty for zero).
+    #[must_use]
+    pub fn coeffs(&self) -> &[Rat] {
+        &self.coeffs
+    }
+
+    /// True iff the zero polynomial.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// True iff a (possibly zero) constant.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.len() <= 1
+    }
+
+    /// Degree; the zero polynomial has degree `None`.
+    #[must_use]
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Degree with `deg 0 = 0` convention for the zero polynomial.
+    #[must_use]
+    pub fn deg(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// Leading coefficient; zero for the zero polynomial.
+    #[must_use]
+    pub fn leading(&self) -> Rat {
+        self.coeffs.last().cloned().unwrap_or_default()
+    }
+
+    /// Coefficient of `x^i` (zero beyond the degree).
+    #[must_use]
+    pub fn coeff(&self, i: usize) -> Rat {
+        self.coeffs.get(i).cloned().unwrap_or_default()
+    }
+
+    /// Horner evaluation at a rational point.
+    #[must_use]
+    pub fn eval(&self, x: &Rat) -> Rat {
+        let mut acc = Rat::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = &(&acc * x) + c;
+        }
+        acc
+    }
+
+    /// Sign of the value at a rational point.
+    #[must_use]
+    pub fn sign_at(&self, x: &Rat) -> Sign {
+        self.eval(x).sign()
+    }
+
+    /// Horner evaluation at an `f64` point (fast, approximate).
+    #[must_use]
+    pub fn eval_f64(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for c in self.coeffs.iter().rev() {
+            acc = acc * x + c.to_f64();
+        }
+        acc
+    }
+
+    /// Interval extension (Horner over exact rational intervals).
+    #[must_use]
+    pub fn eval_interval(&self, x: &RatInterval) -> RatInterval {
+        let mut acc = RatInterval::point(Rat::zero());
+        for c in self.coeffs.iter().rev() {
+            acc = acc.mul(x).add(&RatInterval::point(c.clone()));
+        }
+        acc
+    }
+
+    /// Formal derivative.
+    #[must_use]
+    pub fn derivative(&self) -> UPoly {
+        if self.coeffs.len() <= 1 {
+            return UPoly::zero();
+        }
+        UPoly::from_coeffs(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, c)| c * &Rat::from(i as i64))
+                .collect(),
+        )
+    }
+
+    /// A primitive (an antiderivative with zero constant term) — used by the
+    /// SURFACE/VOLUME aggregate modules for exact integration of polynomial
+    /// bounds (the paper's §2 example integrates `F(x) = 4/3 x³ − 10x² + 25x`).
+    #[must_use]
+    pub fn antiderivative(&self) -> UPoly {
+        if self.is_zero() {
+            return UPoly::zero();
+        }
+        let mut coeffs = Vec::with_capacity(self.coeffs.len() + 1);
+        coeffs.push(Rat::zero());
+        for (i, c) in self.coeffs.iter().enumerate() {
+            coeffs.push(c / &Rat::from(i as i64 + 1));
+        }
+        UPoly::from_coeffs(coeffs)
+    }
+
+    /// Exact definite integral over `[a, b]`.
+    #[must_use]
+    pub fn integrate(&self, a: &Rat, b: &Rat) -> Rat {
+        let f = self.antiderivative();
+        &f.eval(b) - &f.eval(a)
+    }
+
+    /// Multiply by a scalar.
+    #[must_use]
+    pub fn scale(&self, c: &Rat) -> UPoly {
+        if c.is_zero() {
+            return UPoly::zero();
+        }
+        UPoly { coeffs: self.coeffs.iter().map(|a| a * c).collect() }
+    }
+
+    /// Make monic (leading coefficient 1); panics on zero.
+    #[must_use]
+    pub fn monic(&self) -> UPoly {
+        assert!(!self.is_zero());
+        self.scale(&self.leading().recip())
+    }
+
+    /// Polynomial division with remainder: `self = q*div + r`, `deg r < deg div`.
+    #[must_use]
+    pub fn divrem(&self, div: &UPoly) -> (UPoly, UPoly) {
+        assert!(!div.is_zero(), "polynomial division by zero");
+        if self.deg() < div.deg() || self.is_zero() {
+            return (UPoly::zero(), self.clone());
+        }
+        let mut rem = self.coeffs.clone();
+        let dd = div.deg();
+        let lead_inv = div.leading().recip();
+        let mut q = vec![Rat::zero(); rem.len() - dd];
+        for i in (dd..rem.len()).rev() {
+            if rem[i].is_zero() {
+                continue;
+            }
+            let f = &rem[i] * &lead_inv;
+            for (j, dc) in div.coeffs.iter().enumerate() {
+                let idx = i - dd + j;
+                rem[idx] = &rem[idx] - &(&f * dc);
+            }
+            q[i - dd] = f;
+        }
+        (UPoly::from_coeffs(q), UPoly::from_coeffs(rem))
+    }
+
+    /// Exact division (panics in debug if not exact).
+    #[must_use]
+    pub fn div_exact(&self, div: &UPoly) -> UPoly {
+        let (q, r) = self.divrem(div);
+        debug_assert!(r.is_zero(), "UPoly::div_exact: nonzero remainder");
+        q
+    }
+
+    /// Integer-primitive form: the unique positive-rational multiple of
+    /// `self` with coprime integer coefficients and positive leading
+    /// coefficient. Returns the polynomial and the (positive) scale `s` with
+    /// `self = s^sign * ...`; we only need the polynomial.
+    #[must_use]
+    pub fn primitive(&self) -> UPoly {
+        if self.is_zero() {
+            return UPoly::zero();
+        }
+        // lcm of denominators.
+        let mut l = Int::one();
+        for c in &self.coeffs {
+            let d = c.denom();
+            let g = l.gcd(d);
+            l = &(&l / &g) * d;
+        }
+        let ints: Vec<Int> = self
+            .coeffs
+            .iter()
+            .map(|c| (c * &Rat::from(l.clone())).numer().clone())
+            .collect();
+        let mut g = Int::zero();
+        for v in &ints {
+            g = g.gcd(v);
+        }
+        debug_assert!(!g.is_zero());
+        let flip = self.leading().sign() == Sign::Neg;
+        UPoly::from_coeffs(
+            ints.iter()
+                .map(|v| {
+                    let q = Rat::from(v.div_exact(&g));
+                    if flip {
+                        -q
+                    } else {
+                        q
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// Maximum bit length over all coefficient numerators/denominators —
+    /// the "size" used by the finite-precision semantics.
+    #[must_use]
+    pub fn max_coeff_bits(&self) -> u64 {
+        self.coeffs.iter().map(Rat::bit_length).max().unwrap_or(0)
+    }
+
+    /// GCD via primitive pseudo-remainder sequence (monic result).
+    #[must_use]
+    pub fn gcd(&self, other: &UPoly) -> UPoly {
+        if self.is_zero() {
+            return if other.is_zero() { UPoly::zero() } else { other.monic() };
+        }
+        if other.is_zero() {
+            return self.monic();
+        }
+        let mut a = self.primitive();
+        let mut b = other.primitive();
+        if a.deg() < b.deg() {
+            std::mem::swap(&mut a, &mut b);
+        }
+        while !b.is_zero() {
+            let (_, r) = a.divrem(&b);
+            a = b;
+            b = if r.is_zero() { UPoly::zero() } else { r.primitive() };
+        }
+        if a.is_constant() {
+            UPoly::one()
+        } else {
+            a.monic()
+        }
+    }
+
+    /// Squarefree part `self / gcd(self, self')` (monic).
+    #[must_use]
+    pub fn squarefree(&self) -> UPoly {
+        if self.is_constant() {
+            return self.clone();
+        }
+        let g = self.gcd(&self.derivative());
+        if g.is_constant() {
+            self.monic()
+        } else {
+            self.div_exact(&g).monic()
+        }
+    }
+
+    /// Yun's squarefree decomposition: returns `[(p1, 1), (p2, 2), ...]` with
+    /// `self = lc * Π pi^i`, each `pi` squarefree, pairwise coprime, monic.
+    #[must_use]
+    pub fn squarefree_decomposition(&self) -> Vec<(UPoly, u32)> {
+        assert!(!self.is_zero());
+        let f = self.monic();
+        if f.is_constant() {
+            return Vec::new();
+        }
+        let df = f.derivative();
+        let a0 = f.gcd(&df);
+        if a0.is_constant() {
+            return vec![(f, 1)];
+        }
+        let mut out = Vec::new();
+        let mut b = f.div_exact(&a0);
+        let mut c = df.div_exact(&a0);
+        let mut i = 1u32;
+        loop {
+            let d = &c - &b.derivative();
+            if d.is_zero() {
+                if !b.is_constant() {
+                    out.push((b.monic(), i));
+                }
+                break;
+            }
+            let p = b.gcd(&d);
+            if !p.is_constant() {
+                out.push((p.clone(), i));
+            }
+            b = b.div_exact(&p);
+            c = d.div_exact(&p);
+            i += 1;
+            if b.is_constant() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Cauchy root bound: every real root has `|root| <= bound`.
+    #[must_use]
+    pub fn cauchy_bound(&self) -> Rat {
+        assert!(!self.is_zero());
+        let lead = self.leading().abs();
+        let mut m = Rat::zero();
+        for c in &self.coeffs[..self.coeffs.len() - 1] {
+            let q = &c.abs() / &lead;
+            if q > m {
+                m = q;
+            }
+        }
+        &m + &Rat::one()
+    }
+
+    /// Compose with a linear map: `self(a*x + b)`.
+    #[must_use]
+    pub fn compose_linear(&self, a: &Rat, b: &Rat) -> UPoly {
+        let mut acc = UPoly::zero();
+        let lin = UPoly::from_coeffs(vec![b.clone(), a.clone()]);
+        for c in self.coeffs.iter().rev() {
+            acc = &(&acc * &lin) + &UPoly::constant(c.clone());
+        }
+        acc
+    }
+
+    /// Substitute another polynomial: `self(g(x))`.
+    #[must_use]
+    pub fn compose(&self, g: &UPoly) -> UPoly {
+        let mut acc = UPoly::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = &(&acc * g) + &UPoly::constant(c.clone());
+        }
+        acc
+    }
+
+    /// `self^n`.
+    #[must_use]
+    pub fn pow(&self, n: u32) -> UPoly {
+        let mut acc = UPoly::one();
+        for _ in 0..n {
+            acc = &acc * self;
+        }
+        acc
+    }
+}
+
+impl fmt::Display for UPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (i, c) in self.coeffs.iter().enumerate().rev() {
+            if c.is_zero() {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c.sign() == Sign::Neg { "-" } else { "+" })?;
+            } else if c.sign() == Sign::Neg {
+                write!(f, "-")?;
+            }
+            let a = c.abs();
+            match i {
+                0 => write!(f, "{a}")?,
+                1 => {
+                    if a == Rat::one() {
+                        write!(f, "x")?;
+                    } else {
+                        write!(f, "{a}*x")?;
+                    }
+                }
+                _ => {
+                    if a == Rat::one() {
+                        write!(f, "x^{i}")?;
+                    } else {
+                        write!(f, "{a}*x^{i}")?;
+                    }
+                }
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for UPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UPoly({self})")
+    }
+}
+
+impl Add for &UPoly {
+    type Output = UPoly;
+    fn add(self, rhs: &UPoly) -> UPoly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(&self.coeff(i) + &rhs.coeff(i));
+        }
+        UPoly::from_coeffs(out)
+    }
+}
+
+impl Sub for &UPoly {
+    type Output = UPoly;
+    fn sub(self, rhs: &UPoly) -> UPoly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(&self.coeff(i) - &rhs.coeff(i));
+        }
+        UPoly::from_coeffs(out)
+    }
+}
+
+impl Mul for &UPoly {
+    type Output = UPoly;
+    fn mul(self, rhs: &UPoly) -> UPoly {
+        if self.is_zero() || rhs.is_zero() {
+            return UPoly::zero();
+        }
+        let mut out = vec![Rat::zero(); self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] = &out[i + j] + &(a * b);
+            }
+        }
+        UPoly::from_coeffs(out)
+    }
+}
+
+impl Neg for &UPoly {
+    type Output = UPoly;
+    fn neg(self) -> UPoly {
+        UPoly { coeffs: self.coeffs.iter().map(|c| -c.clone()).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coeffs: &[i64]) -> UPoly {
+        UPoly::from_ints(coeffs)
+    }
+
+    #[test]
+    fn construction_normalizes() {
+        assert!(p(&[0, 0]).is_zero());
+        assert_eq!(p(&[1, 2, 0]).deg(), 1);
+        assert_eq!(UPoly::x().deg(), 1);
+    }
+
+    #[test]
+    fn evaluation() {
+        // 4x^2 - 20x + 25 at 2.5 = 0 (the paper's Figure 1 output poly).
+        let q = p(&[25, -20, 4]);
+        assert!(q.eval(&"5/2".parse().unwrap()).is_zero());
+        assert_eq!(q.eval(&Rat::zero()), Rat::from(25i64));
+        assert_eq!(q.sign_at(&Rat::from(10i64)), Sign::Pos);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = p(&[1, 1]); // 1 + x
+        let b = p(&[-1, 1]); // -1 + x
+        assert_eq!(&a * &b, p(&[-1, 0, 1]));
+        assert_eq!(&a + &b, p(&[0, 2]));
+        assert_eq!(&a - &b, p(&[2]));
+    }
+
+    #[test]
+    fn division() {
+        let f = p(&[-1, 0, 0, 1]); // x^3 - 1
+        let g = p(&[-1, 1]); // x - 1
+        let (q, r) = f.divrem(&g);
+        assert_eq!(q, p(&[1, 1, 1]));
+        assert!(r.is_zero());
+        let (q2, r2) = p(&[1, 0, 1]).divrem(&p(&[1, 1]));
+        assert_eq!(q2, p(&[-1, 1]));
+        assert_eq!(r2, p(&[2]));
+    }
+
+    #[test]
+    fn derivative_and_integral() {
+        let f = p(&[25, -20, 4]);
+        assert_eq!(f.derivative(), p(&[-20, 8]));
+        // ∫_1^4 (-4x² + 20x − 25) dx = -9 (the paper's surface computation
+        // inner integral: 27 - 18 = 9 with opposite sign conventions).
+        let g = p(&[-25, 20, -4]);
+        assert_eq!(g.integrate(&Rat::one(), &Rat::from(4i64)), Rat::from(-9i64));
+    }
+
+    #[test]
+    fn gcd_and_squarefree() {
+        let f = &p(&[-1, 1]) * &p(&[-1, 1]); // (x-1)^2
+        let g = &p(&[-1, 1]) * &p(&[2, 1]); // (x-1)(x+2)
+        assert_eq!(f.gcd(&g), p(&[-1, 1]));
+        let h = &f * &p(&[3, 1]);
+        assert_eq!(h.squarefree(), (&p(&[-1, 1]) * &p(&[3, 1])).monic());
+    }
+
+    #[test]
+    fn squarefree_decomposition() {
+        // (x-1)(x-2)^2(x-3)^3
+        let f = &(&p(&[-1, 1]) * &p(&[2, -1]).pow(0)) * &(&p(&[-2, 1]).pow(2) * &p(&[-3, 1]).pow(3));
+        let dec = f.squarefree_decomposition();
+        assert_eq!(dec.len(), 3);
+        assert_eq!(dec[0], (p(&[-1, 1]), 1));
+        assert_eq!(dec[1], (p(&[-2, 1]), 2));
+        assert_eq!(dec[2], (p(&[-3, 1]), 3));
+    }
+
+    #[test]
+    fn primitive_form() {
+        let f = UPoly::from_coeffs(vec![
+            "1/2".parse().unwrap(),
+            "3/4".parse().unwrap(),
+        ]);
+        assert_eq!(f.primitive(), p(&[2, 3]));
+        let g = p(&[-4, -6]);
+        assert_eq!(g.primitive(), p(&[2, 3])); // sign normalized positive lead
+    }
+
+    #[test]
+    fn cauchy_bound_contains_roots() {
+        let f = p(&[-6, 11, -6, 1]); // roots 1, 2, 3
+        let b = f.cauchy_bound();
+        assert!(b >= Rat::from(3i64));
+    }
+
+    #[test]
+    fn composition() {
+        let f = p(&[0, 0, 1]); // x^2
+        let g = f.compose_linear(&Rat::from(2i64), &Rat::one()); // (2x+1)^2
+        assert_eq!(g, p(&[1, 4, 4]));
+        let h = f.compose(&p(&[1, 1, 1]));
+        assert_eq!(h, &p(&[1, 1, 1]) * &p(&[1, 1, 1]));
+    }
+
+    #[test]
+    fn interval_evaluation_encloses() {
+        let f = p(&[25, -20, 4]);
+        let iv = RatInterval::new(Rat::from(2i64), Rat::from(3i64));
+        let out = f.eval_interval(&iv);
+        for x in ["2", "5/2", "3"] {
+            let v = f.eval(&x.parse().unwrap());
+            assert!(out.contains(&v));
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(p(&[25, -20, 4]).to_string(), "4*x^2 - 20*x + 25");
+        assert_eq!(p(&[0, 1]).to_string(), "x");
+        assert_eq!(UPoly::zero().to_string(), "0");
+    }
+}

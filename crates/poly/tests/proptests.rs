@@ -1,0 +1,268 @@
+//! Property-based tests: polynomial ring axioms, division/gcd identities,
+//! Sturm counts vs brute-force sampling, root isolation invariants, and
+//! resultant specialization.
+
+use cdb_num::{Rat, Sign};
+use cdb_poly::resultant::{discriminant, resultant};
+use cdb_poly::sturm::SturmChain;
+use cdb_poly::{isolate_real_roots, MPoly, RealAlg, RootLocation, UPoly};
+use proptest::prelude::*;
+
+fn arb_upoly(max_deg: usize, coeff: i64) -> impl Strategy<Value = UPoly> {
+    prop::collection::vec(-coeff..=coeff, 1..=max_deg + 1)
+        .prop_map(|v| UPoly::from_ints(&v))
+}
+
+fn nonzero_upoly(max_deg: usize, coeff: i64) -> impl Strategy<Value = UPoly> {
+    arb_upoly(max_deg, coeff).prop_filter("nonzero", |p| !p.is_zero())
+}
+
+/// Product of random small linear/quadratic factors: known real roots.
+fn factored_poly() -> impl Strategy<Value = (UPoly, Vec<Rat>)> {
+    prop::collection::vec((-8i64..=8, 1i64..=4), 1..=4).prop_map(|facs| {
+        let mut p = UPoly::one();
+        let mut roots: Vec<Rat> = Vec::new();
+        for (num, den) in facs {
+            let r = Rat::new(num.into(), den.into());
+            // factor (den*x - num)
+            p = &p * &UPoly::from_coeffs(vec![Rat::from(-num), Rat::from(den)]);
+            roots.push(r);
+        }
+        roots.sort();
+        roots.dedup();
+        (p, roots)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn upoly_ring_axioms(a in arb_upoly(5, 10), b in arb_upoly(5, 10), c in arb_upoly(5, 10)) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn upoly_divrem_invariant(a in arb_upoly(6, 10), b in nonzero_upoly(4, 10)) {
+        let (q, r) = a.divrem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+        prop_assert!(r.is_zero() || r.deg() < b.deg());
+    }
+
+    #[test]
+    fn upoly_gcd_divides_both(a in nonzero_upoly(4, 6), b in nonzero_upoly(4, 6)) {
+        let g = a.gcd(&b);
+        prop_assert!(a.divrem(&g).1.is_zero());
+        prop_assert!(b.divrem(&g).1.is_zero());
+    }
+
+    #[test]
+    fn upoly_gcd_detects_common_factor(a in nonzero_upoly(3, 6), b in nonzero_upoly(3, 6), f in nonzero_upoly(2, 6)) {
+        prop_assume!(!f.is_constant());
+        let g = (&a * &f).gcd(&(&b * &f));
+        // gcd is divisible by f (up to scalar).
+        prop_assert!(g.divrem(&f.monic()).1.is_zero() || f.monic().divrem(&g).1.is_zero() || !g.is_constant());
+        prop_assert!((&a * &f).divrem(&g).1.is_zero());
+    }
+
+    #[test]
+    fn derivative_is_linear(a in arb_upoly(5, 10), b in arb_upoly(5, 10)) {
+        prop_assert_eq!((&a + &b).derivative(), &a.derivative() + &b.derivative());
+        // Product rule.
+        let lhs = (&a * &b).derivative();
+        let rhs = &(&a.derivative() * &b) + &(&a * &b.derivative());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn antiderivative_inverts_derivative(a in arb_upoly(5, 10)) {
+        prop_assert_eq!(a.antiderivative().derivative(), a);
+    }
+
+    #[test]
+    fn eval_is_ring_hom(a in arb_upoly(4, 8), b in arb_upoly(4, 8), x in -20i64..=20) {
+        let p = Rat::from(x);
+        prop_assert_eq!((&a + &b).eval(&p), &a.eval(&p) + &b.eval(&p));
+        prop_assert_eq!((&a * &b).eval(&p), &a.eval(&p) * &b.eval(&p));
+    }
+
+    #[test]
+    fn sturm_count_matches_known_roots((p, roots) in factored_poly()) {
+        let chain = SturmChain::new(&p.squarefree());
+        prop_assert_eq!(chain.count_real_roots(), roots.len());
+    }
+
+    #[test]
+    fn isolation_finds_all_known_roots((p, roots) in factored_poly()) {
+        let locs = isolate_real_roots(&p);
+        prop_assert_eq!(locs.len(), roots.len());
+        for (loc, expect) in locs.iter().zip(&roots) {
+            match loc {
+                RootLocation::Exact(r) => prop_assert_eq!(r, expect),
+                RootLocation::Isolated(iv) => prop_assert!(iv.contains(expect)),
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_intervals_are_disjoint(p in nonzero_upoly(6, 12)) {
+        prop_assume!(!p.is_constant());
+        let locs = isolate_real_roots(&p);
+        for w in locs.windows(2) {
+            let hi_prev = match &w[0] {
+                RootLocation::Exact(r) => r.clone(),
+                RootLocation::Isolated(iv) => iv.hi().clone(),
+            };
+            let lo_next = match &w[1] {
+                RootLocation::Exact(r) => r.clone(),
+                RootLocation::Isolated(iv) => iv.lo().clone(),
+            };
+            prop_assert!(hi_prev <= lo_next);
+        }
+        // Each interval/point actually brackets a sign change or exact zero.
+        let sf = p.squarefree();
+        for loc in &locs {
+            match loc {
+                RootLocation::Exact(r) => prop_assert_eq!(sf.sign_at(r), Sign::Zero),
+                RootLocation::Isolated(iv) => {
+                    let sl = sf.sign_at(iv.lo());
+                    let sh = sf.sign_at(iv.hi());
+                    prop_assert!(sl != Sign::Zero && sh != Sign::Zero && sl != sh);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_preserves_root(p in nonzero_upoly(5, 10), bits in 4u32..20) {
+        prop_assume!(!p.is_constant());
+        let eps = Rat::new(1i64.into(), cdb_num::Int::pow2(u64::from(bits)));
+        for loc in isolate_real_roots(&p) {
+            let iv = cdb_poly::refine_to_width(&p, &loc, &eps);
+            prop_assert!(iv.width() <= eps);
+            // Sign change or zero still inside.
+            let sf = p.squarefree();
+            if iv.width().is_zero() {
+                prop_assert_eq!(sf.sign_at(iv.lo()), Sign::Zero);
+            } else {
+                prop_assert!(sf.sign_at(iv.lo()) != sf.sign_at(iv.hi()));
+            }
+        }
+    }
+
+    #[test]
+    fn resultant_specialization(ax in -4i64..=4, bx in -4i64..=4, cx in -4i64..=4, dx in -4i64..=4, at in -5i64..=5) {
+        // p = x·y + ax·y² + bx, q = cx·y + dx (in vars x=0, y=1), random
+        // specialization x = at must commute with res_y as long as leading
+        // coefficients do not vanish under specialization.
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let cst = |v: i64| MPoly::constant(Rat::from(v), 2);
+        let p = &(&(&x * &y) + &(&cst(ax) * &y.pow(2))) + &cst(bx);
+        let q = &(&cst(cx) * &y) + &cst(dx);
+        prop_assume!(!p.is_zero() && !q.is_zero());
+        let py = p.as_upoly_in(1);
+        let qy = q.as_upoly_in(1);
+        let a = Rat::from(at);
+        prop_assume!(!py.last().unwrap().substitute(0, &a).is_zero());
+        prop_assume!(!qy.last().unwrap().substitute(0, &a).is_zero());
+        let r = resultant(&p, &q, 1);
+        let ps = p.substitute(0, &a).to_upoly_in(1).unwrap();
+        let qs = q.substitute(0, &a).to_upoly_in(1).unwrap();
+        let direct = resultant(
+            &MPoly::from_upoly(&ps, 0, 1),
+            &MPoly::from_upoly(&qs, 0, 1),
+            0,
+        );
+        prop_assert_eq!(
+            r.substitute(0, &a).to_constant().unwrap(),
+            direct.to_constant().unwrap()
+        );
+    }
+
+    #[test]
+    fn discriminant_zero_iff_multiple_root(r1 in -5i64..=5, r2 in -5i64..=5) {
+        // (x − r1)(x − r2): discriminant zero iff r1 == r2.
+        let x = MPoly::var(0, 1);
+        let f1 = &x - &MPoly::constant(Rat::from(r1), 1);
+        let f2 = &x - &MPoly::constant(Rat::from(r2), 1);
+        let p = &f1 * &f2;
+        let d = discriminant(&p, 0);
+        prop_assert_eq!(d.is_zero(), r1 == r2);
+    }
+
+    #[test]
+    fn realalg_sign_consistent_with_approx(c0 in -9i64..=9, c1 in -9i64..=9) {
+        // α = roots of x² + c1 x + c0; check sign_of(x - m) against approx.
+        let p = UPoly::from_ints(&[c0, c1, 1]);
+        for alpha in RealAlg::roots_of(&p) {
+            let a = alpha.approx(&"1/65536".parse().unwrap());
+            for m in [-3i64, 0, 2] {
+                let q = UPoly::from_coeffs(vec![Rat::from(-m), Rat::one()]);
+                let s = alpha.sign_of(&q);
+                let approx_val = &a - &Rat::from(m);
+                if approx_val.abs() > "1/1024".parse::<Rat>().unwrap() {
+                    prop_assert_eq!(s, approx_val.sign());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mpoly_eval_substitute_agree(ax in -5i64..=5, by in -5i64..=5, c in -5i64..=5, px in -4i64..=4, py in -4i64..=4) {
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let p = &(&(&MPoly::constant(Rat::from(ax), 2) * &x.pow(2))
+            + &(&MPoly::constant(Rat::from(by), 2) * &(&x * &y)))
+            + &MPoly::constant(Rat::from(c), 2);
+        let full = p.eval(&[Rat::from(px), Rat::from(py)]);
+        let step = p
+            .substitute(0, &Rat::from(px))
+            .substitute(1, &Rat::from(py))
+            .to_constant()
+            .unwrap();
+        prop_assert_eq!(full, step);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `squarefree_part` must preserve the zero set exactly — including
+    /// content factors (the regression that dropped the `x = 0` component
+    /// of `x·y`). Check products of random linear forms, where zeros are
+    /// easy to enumerate.
+    #[test]
+    fn mpoly_squarefree_preserves_zero_set(
+        factors in prop::collection::vec((-3i64..=3, -3i64..=3, -3i64..=3), 1..=3),
+        e0 in 1u32..=2, px in -4i64..=4, py in -4i64..=4,
+    ) {
+        use cdb_poly::squarefree_part;
+        let mk = |a: i64, b: i64, c: i64| {
+            let x = MPoly::var(0, 2);
+            let y = MPoly::var(1, 2);
+            &(&x.scale(&Rat::from(a)) + &y.scale(&Rat::from(b)))
+                + &MPoly::constant(Rat::from(c), 2)
+        };
+        let mut p = MPoly::constant(Rat::one(), 2);
+        for (i, &(a, b, c)) in factors.iter().enumerate() {
+            let f = mk(a, b, c);
+            if f.is_zero() || f.is_constant() {
+                continue;
+            }
+            let e = if i == 0 { e0 } else { 1 };
+            p = &p * &f.pow(e);
+        }
+        prop_assume!(!p.is_zero() && !p.is_constant());
+        let sf = squarefree_part(&p);
+        let pt = [Rat::from(px), Rat::from(py)];
+        prop_assert_eq!(
+            p.eval(&pt).is_zero(),
+            sf.eval(&pt).is_zero(),
+            "zero sets differ at ({}, {}): p = {}, sf = {}", px, py, p, sf
+        );
+    }
+}

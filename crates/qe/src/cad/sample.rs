@@ -1,0 +1,276 @@
+//! Sample points with rational and real algebraic coordinates, and exact
+//! sign evaluation of polynomials at them.
+
+use crate::{QeContext, QeError};
+use cdb_num::{Rat, RatInterval, Sign};
+use cdb_poly::{MPoly, RealAlg, UPoly};
+use std::fmt;
+
+/// One coordinate of a CAD sample point. Every algebraic coordinate carries
+/// its own minimal polynomial over `Q` (no field towers — see DESIGN.md).
+#[derive(Clone)]
+pub enum Coord {
+    /// Exact rational.
+    Rat(Rat),
+    /// Real algebraic number over `Q`.
+    Alg(RealAlg),
+}
+
+impl Coord {
+    /// Rational value if rational.
+    #[must_use]
+    pub fn as_rat(&self) -> Option<&Rat> {
+        match self {
+            Coord::Rat(r) => Some(r),
+            Coord::Alg(a) => {
+                // RealAlg may be exactly rational.
+                let _ = a;
+                None
+            }
+        }
+    }
+
+    /// `f64` approximation (for reporting).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            Coord::Rat(r) => r.to_f64(),
+            Coord::Alg(a) => a.to_f64(),
+        }
+    }
+
+    /// Enclosing interval.
+    #[must_use]
+    pub fn interval(&self) -> RatInterval {
+        match self {
+            Coord::Rat(r) => RatInterval::point(r.clone()),
+            Coord::Alg(a) => a.interval(),
+        }
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Coord::Rat(r) => write!(f, "{r}"),
+            Coord::Alg(a) => write!(f, "≈{:.6}", a.to_f64()),
+        }
+    }
+}
+
+/// Substitute the rational coordinates of `sample` into `p`. `sample[i]`
+/// corresponds to ambient variable `vars[i]`. Returns the reduced polynomial
+/// and the ambient indices of the remaining (algebraic) coordinates.
+#[must_use]
+pub fn substitute_rationals(
+    p: &MPoly,
+    vars: &[usize],
+    sample: &[Coord],
+) -> (MPoly, Vec<(usize, RealAlg)>) {
+    let mut q = p.clone();
+    let mut algs = Vec::new();
+    for (i, c) in sample.iter().enumerate() {
+        match c {
+            Coord::Rat(r) => q = q.substitute(vars[i], r),
+            Coord::Alg(a) => {
+                if let Some(r) = a.to_rat() {
+                    q = q.substitute(vars[i], &r);
+                } else {
+                    algs.push((vars[i], a.clone()));
+                }
+            }
+        }
+    }
+    // Only keep algebraic vars that still occur.
+    algs.retain(|(v, _)| q.uses_var(*v));
+    (q, algs)
+}
+
+/// Exact sign of `p` at the sample (coordinates for `vars`).
+///
+/// * All-rational: exact evaluation.
+/// * One algebraic coordinate: exact via [`RealAlg::sign_of`] (zero decided
+///   by gcd).
+/// * Several algebraic coordinates: interval refinement, which can *refute*
+///   but never prove zero — callers must only use this when the value is
+///   known nonzero, or accept [`QeError::IndeterminateSign`].
+pub fn sign_at(
+    p: &MPoly,
+    vars: &[usize],
+    sample: &[Coord],
+    ctx: &QeContext,
+) -> Result<Sign, QeError> {
+    ctx.sign_evals.set(ctx.sign_evals.get() + 1);
+    let (q, algs) = substitute_rationals(p, vars, sample);
+    if let Some(c) = q.to_constant() {
+        return Ok(c.sign());
+    }
+    match algs.len() {
+        0 => unreachable!("nonconstant polynomial with no remaining variables"),
+        1 => {
+            let (v, alpha) = &algs[0];
+            let u = q
+                .to_upoly_in(*v)
+                .expect("single remaining variable");
+            Ok(alpha.sign_of(&u))
+        }
+        _ => sign_by_refinement(&q, &algs),
+    }
+}
+
+/// Interval-refinement sign determination for ≥2 algebraic coordinates.
+fn sign_by_refinement(q: &MPoly, algs: &[(usize, RealAlg)]) -> Result<Sign, QeError> {
+    let mut current: Vec<(usize, RealAlg)> = algs.to_vec();
+    for _ in 0..64 {
+        let iv = eval_interval(q, &current);
+        if let Some(s) = iv.sign() {
+            return Ok(s);
+        }
+        // Halve every enclosure.
+        current = current
+            .iter()
+            .map(|(v, a)| {
+                let w = &a.interval().width() * &Rat::from_ints(1, 4);
+                let w = if w.is_zero() { Rat::from_ints(1, 1024) } else { w };
+                (*v, a.refined(&w))
+            })
+            .collect();
+    }
+    Err(QeError::IndeterminateSign(format!(
+        "interval refinement did not converge for {q}"
+    )))
+}
+
+/// Interval evaluation of `q` over enclosures of its algebraic coordinates.
+fn eval_interval(q: &MPoly, algs: &[(usize, RealAlg)]) -> RatInterval {
+    let mut acc = RatInterval::point(Rat::zero());
+    for (mono, coeff) in q.terms() {
+        let mut term = RatInterval::point(coeff.clone());
+        for (i, &e) in mono.iter().enumerate() {
+            if e == 0 {
+                continue;
+            }
+            // A missing enclosure is an internal invariant violation; in a
+            // release build silently treating the factor as 1 would return
+            // a *wrong sign*, so fail loudly instead.
+            let (_, a) = algs
+                .iter()
+                .find(|(v, _)| *v == i)
+                .unwrap_or_else(|| panic!("variable {i} has no enclosure"));
+            term = term.mul(&a.interval().pow(e));
+        }
+        acc = acc.add(&term);
+    }
+    acc
+}
+
+/// Reduce `q` (free of rational coordinates) to a polynomial in `Q[α][y]`:
+/// coefficients of `y = yvar` as univariate polynomials in the single
+/// algebraic coordinate `avar`.
+#[must_use]
+pub fn as_alg_coeff_poly(q: &MPoly, avar: usize, yvar: usize) -> Option<Vec<UPoly>> {
+    let coeffs = q.as_upoly_in(yvar);
+    coeffs.iter().map(|c| c.to_upoly_in(avar)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sqrt2() -> RealAlg {
+        RealAlg::roots_of(&UPoly::from_ints(&[-2, 0, 1]))
+            .pop()
+            .unwrap()
+    }
+
+    fn sqrt3() -> RealAlg {
+        RealAlg::roots_of(&UPoly::from_ints(&[-3, 0, 1]))
+            .pop()
+            .unwrap()
+    }
+
+    #[test]
+    fn all_rational_sign() {
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let p = &(&x * &y) - &MPoly::constant(Rat::from(2i64), 2);
+        let ctx = QeContext::exact();
+        let s = sign_at(
+            &p,
+            &[0, 1],
+            &[Coord::Rat(Rat::from(1i64)), Coord::Rat(Rat::from(2i64))],
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(s, Sign::Zero);
+        let s2 = sign_at(
+            &p,
+            &[0, 1],
+            &[Coord::Rat(Rat::from(1i64)), Coord::Rat(Rat::from(3i64))],
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(s2, Sign::Pos);
+    }
+
+    #[test]
+    fn one_algebraic_exact_zero() {
+        // p = x² − 2 at x = √2 (exact zero), y irrelevant.
+        let x = MPoly::var(0, 2);
+        let p = &x.pow(2) - &MPoly::constant(Rat::from(2i64), 2);
+        let ctx = QeContext::exact();
+        let s = sign_at(
+            &p,
+            &[0, 1],
+            &[Coord::Alg(sqrt2()), Coord::Rat(Rat::zero())],
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(s, Sign::Zero);
+    }
+
+    #[test]
+    fn two_algebraic_refinement() {
+        // √2·√3 − 2 > 0 (≈ 0.449); refinement must decide.
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let p = &(&x * &y) - &MPoly::constant(Rat::from(2i64), 2);
+        let ctx = QeContext::exact();
+        let s = sign_at(
+            &p,
+            &[0, 1],
+            &[Coord::Alg(sqrt2()), Coord::Alg(sqrt3())],
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(s, Sign::Pos);
+        // √2·√3 − 3 < 0 (≈ −0.551).
+        let q = &(&x * &y) - &MPoly::constant(Rat::from(3i64), 2);
+        let s2 = sign_at(
+            &q,
+            &[0, 1],
+            &[Coord::Alg(sqrt2()), Coord::Alg(sqrt3())],
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(s2, Sign::Neg);
+    }
+
+    #[test]
+    fn mixed_rational_algebraic() {
+        // p = x·y − √2·3: at (√2, 3) → 3√2 − 3√2 = 0? Use p = x·y − 3x:
+        // at (√2, 3): zero, detected exactly via the single-alg path.
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let p = &(&x * &y) - &x.scale(&Rat::from(3i64));
+        let ctx = QeContext::exact();
+        let s = sign_at(
+            &p,
+            &[0, 1],
+            &[Coord::Alg(sqrt2()), Coord::Rat(Rat::from(3i64))],
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(s, Sign::Zero);
+    }
+}

@@ -1,0 +1,516 @@
+//! CAD stack construction: lifting a cell of `R^{L−1}` to a stack of
+//! sections and sectors in `R^L` (Appendix I, third phase).
+//!
+//! Exactness strategy (DESIGN.md §5):
+//!
+//! * **All-rational sample** — substitute and isolate over `Q`.
+//! * **One algebraic coordinate `α`** — exact Sturm sequences in `Q(α)[y]`
+//!   ([`cdb_poly::algebraic::AlgUPoly`]); each root is then *promoted* to a
+//!   plain `RealAlg` over `Q` via the resultant `R(y) = res_x(m_α(x), p)`,
+//!   so downstream levels never see field towers.
+//! * **Several algebraic coordinates** — candidate roots from iterated
+//!   resultants against each coordinate's minimal polynomial; membership is
+//!   decided by exact sign changes at rational separators (sound because
+//!   the fiber polynomial is squarefree whenever the discriminant sign at
+//!   the base sample — known from the projection set — is nonzero;
+//!   otherwise a typed error is raised, never a guess).
+
+use super::sample::{as_alg_coeff_poly, sign_at, substitute_rationals, Coord};
+use crate::{QeContext, QeError};
+use cdb_num::{Int, Rat, Sign};
+use cdb_poly::algebraic::{AlgUPoly, NumberField};
+use cdb_poly::resultant::resultant;
+use cdb_poly::roots::RootLocation;
+use cdb_poly::sturm::SturmChain;
+use cdb_poly::{MPoly, RealAlg, UPoly};
+use std::collections::BTreeSet;
+
+/// A section of a stack: a root of one or more level polynomials.
+#[derive(Clone, Debug)]
+pub struct StackSection {
+    /// The root, as an algebraic number over `Q`.
+    pub root: RealAlg,
+    /// Global ids of the level polynomials vanishing at this section.
+    pub vanish: BTreeSet<usize>,
+}
+
+/// Result of analysing one fiber.
+pub struct Stack {
+    /// Sections in ascending order.
+    pub sections: Vec<StackSection>,
+    /// Level polynomials that vanish identically on the whole fiber.
+    pub nullified: BTreeSet<usize>,
+}
+
+/// Build the stack of level polynomials `polys` (global id, polynomial) over
+/// the sample point `sample` (coordinates of ambient variables `vars`),
+/// extending in variable `yvar`.
+///
+/// `is_zero_lower` decides exactly whether a *lower-level* polynomial
+/// vanishes at the base sample (resolved from the parent cell's sign vector
+/// over the projection set).
+pub fn build_stack(
+    polys: &[(usize, MPoly)],
+    vars: &[usize],
+    sample: &[Coord],
+    yvar: usize,
+    is_zero_lower: &dyn Fn(&MPoly) -> Result<bool, QeError>,
+    ctx: &QeContext,
+) -> Result<Stack, QeError> {
+    let mut nullified = BTreeSet::new();
+    let mut merged: Vec<StackSection> = Vec::new();
+    for (id, p) in polys {
+        let roots = roots_in_fiber(*id, p, vars, sample, yvar, is_zero_lower, ctx)?;
+        match roots {
+            FiberRoots::Nullified => {
+                nullified.insert(*id);
+            }
+            FiberRoots::Roots(rs) => {
+                for r in rs {
+                    merge_root(&mut merged, r, *id);
+                }
+            }
+        }
+    }
+    Ok(Stack { sections: merged, nullified })
+}
+
+enum FiberRoots {
+    /// The polynomial vanishes identically on the fiber.
+    Nullified,
+    /// Ascending distinct roots.
+    Roots(Vec<RealAlg>),
+}
+
+fn merge_root(merged: &mut Vec<StackSection>, root: RealAlg, id: usize) {
+    // Insert in order, merging with an equal existing root (exact compare).
+    for (i, s) in merged.iter_mut().enumerate() {
+        match root.cmp_alg(&s.root) {
+            std::cmp::Ordering::Equal => {
+                s.vanish.insert(id);
+                return;
+            }
+            std::cmp::Ordering::Less => {
+                merged.insert(
+                    i,
+                    StackSection { root, vanish: BTreeSet::from([id]) },
+                );
+                return;
+            }
+            std::cmp::Ordering::Greater => {}
+        }
+    }
+    merged.push(StackSection { root, vanish: BTreeSet::from([id]) });
+}
+
+/// Roots of `p` restricted to the fiber over `sample`.
+fn roots_in_fiber(
+    _id: usize,
+    p: &MPoly,
+    vars: &[usize],
+    sample: &[Coord],
+    yvar: usize,
+    is_zero_lower: &dyn Fn(&MPoly) -> Result<bool, QeError>,
+    ctx: &QeContext,
+) -> Result<FiberRoots, QeError> {
+    let (q, algs) = substitute_rationals(p, vars, sample);
+    ctx.observe_poly(&q)?;
+    match algs.len() {
+        0 => {
+            // Purely rational fiber polynomial.
+            let u = q
+                .to_upoly_in(yvar)
+                .expect("only the stack variable remains");
+            if u.is_zero() {
+                return Ok(FiberRoots::Nullified);
+            }
+            if u.is_constant() {
+                return Ok(FiberRoots::Roots(Vec::new()));
+            }
+            Ok(FiberRoots::Roots(RealAlg::roots_of(&u)))
+        }
+        1 => {
+            let (avar, alpha) = algs[0].clone();
+            if !q.uses_var(yvar) {
+                // Fiber polynomial is a function of α only.
+                let u = q.to_upoly_in(avar).expect("only alpha remains");
+                return Ok(if alpha.sign_of(&u) == Sign::Zero {
+                    FiberRoots::Nullified
+                } else {
+                    FiberRoots::Roots(Vec::new())
+                });
+            }
+            let coeffs = as_alg_coeff_poly(&q, avar, yvar)
+                .ok_or_else(|| QeError::Unsupported("mixed variables in fiber".into()))?;
+            let field = NumberField::new(alpha.clone());
+            let ap = AlgUPoly::new(field, coeffs);
+            if ap.is_zero() {
+                return Ok(FiberRoots::Nullified);
+            }
+            if ap.degree() == Some(0) {
+                return Ok(FiberRoots::Roots(Vec::new()));
+            }
+            // Minimal-polynomial candidates over Q via resultant.
+            let m_emb = MPoly::from_upoly(alpha.poly(), avar, q.nvars());
+            let r = resultant(&q, &m_emb, avar);
+            let ru = r
+                .to_upoly_in(yvar)
+                .ok_or_else(|| QeError::Unsupported("resultant kept variables".into()))?;
+            if ru.is_zero() {
+                return Err(QeError::Unsupported(
+                    "iterated resultant vanished identically".into(),
+                ));
+            }
+            let sf_r = ru.squarefree();
+            let chain = SturmChain::new(&sf_r);
+            let mut out = Vec::new();
+            for loc in ap.isolate_roots() {
+                out.push(promote_root(&ap, &loc, &sf_r, &chain)?);
+            }
+            Ok(FiberRoots::Roots(out))
+        }
+        _ => roots_multi_alg(p, &q, &algs, yvar, is_zero_lower, ctx),
+    }
+}
+
+/// Promote a root of a `Q(α)[y]` polynomial (held in a rational isolating
+/// location) to a `RealAlg` over `Q` with defining polynomial `sf_r`.
+fn promote_root(
+    ap: &AlgUPoly,
+    loc: &RootLocation,
+    sf_r: &UPoly,
+    chain: &SturmChain,
+) -> Result<RealAlg, QeError> {
+    if let RootLocation::Exact(r) = loc {
+        return Ok(RealAlg::from_rat(r.clone()));
+    }
+    // Refine the interval until it isolates exactly one root of sf_r with
+    // non-root endpoints; the enclosed q-root is a root of sf_r, so they
+    // then coincide.
+    let mut width = loc.interval().width();
+    for _ in 0..256 {
+        let iv = ap.refine(loc, &width);
+        if iv.width().is_zero() {
+            return Ok(RealAlg::from_rat(iv.midpoint()));
+        }
+        let lo_ok = sf_r.sign_at(iv.lo()) != Sign::Zero;
+        let hi_ok = sf_r.sign_at(iv.hi()) != Sign::Zero;
+        if lo_ok && hi_ok && chain.count_roots_half_open(iv.lo(), iv.hi()) == 1 {
+            return Ok(RealAlg::new(
+                sf_r.clone(),
+                RootLocation::Isolated(iv),
+            ));
+        }
+        width = &width * &Rat::from_ints(1, 4);
+    }
+    Err(QeError::IndeterminateSign(
+        "could not promote algebraic root to Q".into(),
+    ))
+}
+
+/// Root detection over a sample with ≥2 algebraic coordinates.
+fn roots_multi_alg(
+    p: &MPoly,
+    q: &MPoly,
+    algs: &[(usize, RealAlg)],
+    yvar: usize,
+    is_zero_lower: &dyn Fn(&MPoly) -> Result<bool, QeError>,
+    ctx: &QeContext,
+) -> Result<FiberRoots, QeError> {
+    // Effective degree via coefficient zero-tests at the base sample; the
+    // coefficients are lower-level polynomials whose signs are known from
+    // the projection set.
+    let coeffs = p.as_upoly_in(yvar);
+    let mut d_eff: Option<usize> = None;
+    for (j, c) in coeffs.iter().enumerate().rev() {
+        let zero = if let Some(v) = c.to_constant() {
+            v.is_zero()
+        } else {
+            is_zero_lower(c)?
+        };
+        if !zero {
+            d_eff = Some(j);
+            break;
+        }
+    }
+    let Some(d_eff) = d_eff else {
+        return Ok(FiberRoots::Nullified);
+    };
+    if d_eff == 0 {
+        return Ok(FiberRoots::Roots(Vec::new()));
+    }
+    if d_eff >= 2 {
+        // Squarefree-ness of the fiber polynomial: decided by the sign of
+        // the discriminant at the base sample (a projection polynomial).
+        let disc = cdb_poly::resultant::discriminant(p, yvar);
+        let disc_zero = if let Some(v) = disc.to_constant() {
+            v.is_zero()
+        } else {
+            is_zero_lower(&disc)?
+        };
+        if disc_zero {
+            return Err(QeError::IndeterminateSign(
+                "repeated fiber root over multi-algebraic sample".into(),
+            ));
+        }
+    }
+    // Candidates: eliminate every algebraic coordinate by resultants with
+    // its minimal polynomial.
+    let mut r = q.clone();
+    for (v, a) in algs {
+        let m_emb = MPoly::from_upoly(a.poly(), *v, q.nvars());
+        r = resultant(&r, &m_emb, *v);
+        ctx.observe_poly(&r)?;
+    }
+    let ru = r
+        .to_upoly_in(yvar)
+        .ok_or_else(|| QeError::Unsupported("resultant kept variables".into()))?;
+    if ru.is_zero() {
+        return Err(QeError::Unsupported(
+            "iterated resultant vanished identically".into(),
+        ));
+    }
+    if ru.is_constant() {
+        return Ok(FiberRoots::Roots(Vec::new()));
+    }
+    let sf_r = ru.squarefree();
+    let candidates = RealAlg::roots_of(&sf_r);
+    if candidates.is_empty() {
+        return Ok(FiberRoots::Roots(Vec::new()));
+    }
+    // Rational separators around every candidate.
+    let seps = separators(&candidates);
+    // Sign of q at each separator (nonzero by construction).
+    let mut signs = Vec::with_capacity(seps.len());
+    for s in &seps {
+        let qs = q.substitute(yvar, s);
+        let sg = sign_nonzero_at(&qs, algs, ctx)?;
+        signs.push(sg);
+    }
+    let mut out = Vec::new();
+    for (j, cand) in candidates.iter().enumerate() {
+        if signs[j] != signs[j + 1] {
+            out.push(cand.clone());
+        }
+    }
+    Ok(FiberRoots::Roots(out))
+}
+
+/// Rational points strictly interleaving the candidates: `seps[j] < root_j <
+/// seps[j+1]`, and no separator is a root of the candidates' polynomial.
+fn separators(candidates: &[RealAlg]) -> Vec<Rat> {
+    let mut seps = Vec::with_capacity(candidates.len() + 1);
+    let first = candidates.first().expect("nonempty").interval();
+    seps.push(&first.lo().clone() - &Rat::one());
+    for w in candidates.windows(2) {
+        let b = w[0].interval().hi().clone();
+        let a = w[1].interval().lo().clone();
+        if b == a {
+            seps.push(b);
+        } else {
+            seps.push(Rat::midpoint(&b, &a));
+        }
+    }
+    let last = candidates.last().expect("nonempty").interval();
+    seps.push(&last.hi().clone() + &Rat::one());
+    seps
+}
+
+/// Exact nonzero sign of a polynomial in algebraic coordinates only.
+fn sign_nonzero_at(
+    q: &MPoly,
+    algs: &[(usize, RealAlg)],
+    ctx: &QeContext,
+) -> Result<Sign, QeError> {
+    if let Some(c) = q.to_constant() {
+        return Ok(c.sign());
+    }
+    let used: Vec<&(usize, RealAlg)> =
+        algs.iter().filter(|(v, _)| q.uses_var(*v)).collect();
+    if used.len() == 1 {
+        let (v, a) = used[0];
+        let u = q.to_upoly_in(*v).expect("single variable");
+        return Ok(a.sign_of(&u));
+    }
+    // Multi-variable refinement (value is nonzero, so this terminates).
+    let coords: Vec<Coord> = algs.iter().map(|(_, a)| Coord::Alg(a.clone())).collect();
+    let vars: Vec<usize> = algs.iter().map(|(v, _)| *v).collect();
+    sign_at(q, &vars, &coords, ctx)
+}
+
+/// Pick rational sector sample points interleaving the sections: one below,
+/// one between each adjacent pair, one above. For an empty stack the single
+/// sector sample is 0.
+pub fn sector_samples(sections: &mut [StackSection]) -> Vec<Rat> {
+    if sections.is_empty() {
+        return vec![Rat::zero()];
+    }
+    separate(sections);
+    let mut out = Vec::with_capacity(sections.len() + 1);
+    let first = sections[0].root.interval();
+    out.push(Rat::from(first.lo().floor()) - Rat::one());
+    for i in 0..sections.len() - 1 {
+        let b = sections[i].root.interval().hi().clone();
+        let a = sections[i + 1].root.interval().lo().clone();
+        out.push(Rat::midpoint(&b, &a));
+    }
+    let last = sections[sections.len() - 1].root.interval();
+    out.push(Rat::from(last.hi().ceil()) + Rat::one());
+    out
+}
+
+/// Refine section roots until their intervals are strictly disjoint
+/// (`hi_i < lo_{i+1}`), so midpoints are valid sector samples.
+fn separate(sections: &mut [StackSection]) {
+    loop {
+        let mut ok = true;
+        for i in 0..sections.len().saturating_sub(1) {
+            let b = sections[i].root.interval();
+            let a = sections[i + 1].root.interval();
+            // Degenerate (exact) intervals satisfy this as soon as the
+            // neighbor's interval has been pushed past the point.
+            let strict = b.hi() < a.lo();
+            if !strict {
+                ok = false;
+            }
+        }
+        if ok {
+            return;
+        }
+        for s in sections.iter_mut() {
+            let w = &s.root.interval().width() * &Rat::from_ints(1, 4);
+            let w = if w.is_zero() {
+                Rat::new(Int::one(), Int::pow2(16))
+            } else {
+                w
+            };
+            s.root = s.root.refined(&w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: i64, n: usize) -> MPoly {
+        MPoly::constant(Rat::from(v), n)
+    }
+
+    fn no_lower(_: &MPoly) -> Result<bool, QeError> {
+        panic!("no lower-level zero-tests expected in this test")
+    }
+
+    #[test]
+    fn rational_base_stack() {
+        // Level polys in (x, y): circle x²+y²−1 and line y−x, over x = 0.
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let circle = &(&x.pow(2) + &y.pow(2)) - &c(1, 2);
+        let line = &y - &x;
+        let ctx = QeContext::exact();
+        let stack = build_stack(
+            &[(0, circle), (1, line)],
+            &[0],
+            &[Coord::Rat(Rat::zero())],
+            1,
+            &no_lower,
+            &ctx,
+        )
+        .unwrap();
+        // Roots over x=0: circle: y = ±1; line: y = 0. Three sections.
+        assert_eq!(stack.sections.len(), 3);
+        assert!(stack.nullified.is_empty());
+        assert_eq!(stack.sections[0].vanish, BTreeSet::from([0]));
+        assert_eq!(stack.sections[1].vanish, BTreeSet::from([1]));
+        assert_eq!(stack.sections[2].vanish, BTreeSet::from([0]));
+        // Sector samples: 4 of them, interleaved.
+        let mut sections = stack.sections;
+        let samples = sector_samples(&mut sections);
+        assert_eq!(samples.len(), 4);
+        for (i, s) in samples.iter().enumerate() {
+            if i > 0 {
+                assert_eq!(sections[i - 1].root.cmp_rat(s), std::cmp::Ordering::Less);
+            }
+            if i < sections.len() {
+                assert_eq!(sections[i].root.cmp_rat(s), std::cmp::Ordering::Greater);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_root_merges() {
+        // p = y² − 2 and q = y − x over x = √2: common root y = √2.
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let p = &y.pow(2) - &c(2, 2);
+        let q = &y - &x;
+        let sqrt2 = RealAlg::roots_of(&UPoly::from_ints(&[-2, 0, 1]))
+            .pop()
+            .unwrap();
+        let ctx = QeContext::exact();
+        let stack = build_stack(
+            &[(0, p), (1, q)],
+            &[0],
+            &[Coord::Alg(sqrt2)],
+            1,
+            &no_lower,
+            &ctx,
+        )
+        .unwrap();
+        // Sections: −√2 (p only) and √2 (both).
+        assert_eq!(stack.sections.len(), 2);
+        assert_eq!(stack.sections[0].vanish, BTreeSet::from([0]));
+        assert_eq!(stack.sections[1].vanish, BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn nullified_detection_rational() {
+        // p = x·y over x = 0: identically zero on the fiber.
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let p = &x * &y;
+        let ctx = QeContext::exact();
+        let stack = build_stack(
+            &[(0, p)],
+            &[0],
+            &[Coord::Rat(Rat::zero())],
+            1,
+            &no_lower,
+            &ctx,
+        )
+        .unwrap();
+        assert!(stack.sections.is_empty());
+        assert_eq!(stack.nullified, BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn algebraic_base_parabola() {
+        // p = y − x² over x = √2: root y = 2 (rational!).
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let p = &y - &x.pow(2);
+        let sqrt2 = RealAlg::roots_of(&UPoly::from_ints(&[-2, 0, 1]))
+            .pop()
+            .unwrap();
+        let ctx = QeContext::exact();
+        let stack = build_stack(
+            &[(7, p)],
+            &[0],
+            &[Coord::Alg(sqrt2)],
+            1,
+            &no_lower,
+            &ctx,
+        )
+        .unwrap();
+        assert_eq!(stack.sections.len(), 1);
+        let root = &stack.sections[0].root;
+        assert_eq!(root.cmp_rat(&Rat::from(2i64)), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn empty_stack_sector_sample() {
+        let mut sections: Vec<StackSection> = Vec::new();
+        assert_eq!(sector_samples(&mut sections), vec![Rat::zero()]);
+    }
+}

@@ -1,0 +1,123 @@
+#![warn(missing_docs)]
+
+//! `cdb-qe`: quantifier elimination engines and the query-evaluation
+//! pipeline of §2 / Appendix I.
+//!
+//! Three engines, matching the operator hierarchy of Proposition 4.6:
+//!
+//! * **Dense order** `FO(≤)` and **linear** `FO(≤, +)` — Fourier–Motzkin
+//!   elimination ([`linear`]), exact and fast; the paper's Theorem 4.2 class
+//!   where finite precision loses nothing.
+//! * **Polynomial** `FO(≤, +, ×)` — cylindrical algebraic decomposition
+//!   ([`cad`]): projection (coefficients + discriminants + pairwise
+//!   resultants), base-phase root isolation, stack lifting with exact
+//!   algebraic sample points, and Hong-style solution formula construction
+//!   with derivative augmentation.
+//!
+//! The [`pipeline`] module wires the paper's steps together: INSTANTIATION →
+//! QUANTIFIER ELIMINATION → NUMERICAL EVALUATION, with an optional bit-length
+//! budget that realizes the finite-precision satisfaction relation `⊨_QE^F`
+//! (exact arithmetic, undefined the moment any integer exceeds `k` bits).
+
+pub mod cad;
+pub mod linear;
+pub mod pipeline;
+
+pub use pipeline::{evaluate_query, numerical_evaluation, EvalOutput};
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Errors from quantifier elimination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QeError {
+    /// Query references an unknown relation or has an arity mismatch.
+    Schema(String),
+    /// The finite-precision bit budget was exceeded — the query is
+    /// *undefined* under `⊨_QE^F` (Theorem 4.1's partiality in action).
+    PrecisionExceeded {
+        /// The budget that was in force.
+        budget_bits: u64,
+        /// The bit length that tripped it.
+        seen_bits: u64,
+    },
+    /// The linear engine was handed a nonlinear atom.
+    NonLinear(String),
+    /// CAD could not decide a sign at a degenerate sample point
+    /// (documented limitation: repeated roots over multi-algebraic samples).
+    IndeterminateSign(String),
+    /// Solution formula construction failed even after augmentation.
+    FormulaConstruction(String),
+    /// Structural error (internal invariant broken or unsupported input).
+    Unsupported(String),
+}
+
+impl fmt::Display for QeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QeError::Schema(m) => write!(f, "schema error: {m}"),
+            QeError::PrecisionExceeded { budget_bits, seen_bits } => write!(
+                f,
+                "finite-precision semantics: undefined (needs {seen_bits} bits, budget {budget_bits})"
+            ),
+            QeError::NonLinear(m) => write!(f, "nonlinear atom in linear engine: {m}"),
+            QeError::IndeterminateSign(m) => write!(f, "indeterminate sign: {m}"),
+            QeError::FormulaConstruction(m) => {
+                write!(f, "solution formula construction failed: {m}")
+            }
+            QeError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QeError {}
+
+/// Execution context: optional finite-precision budget plus statistics.
+///
+/// The budget realizes §4's `Z_k` context: every polynomial produced during
+/// elimination is checked; exceeding `k` bits aborts the whole evaluation
+/// with [`QeError::PrecisionExceeded`] ("the value of terms might be
+/// undefined … caused by overflow").
+#[derive(Debug, Default)]
+pub struct QeContext {
+    /// Maximum allowed integer bit length (`None` = exact semantics).
+    pub budget_bits: Option<u64>,
+    /// Largest coefficient bit length observed.
+    pub max_bits_seen: Cell<u64>,
+    /// Number of CAD cells constructed.
+    pub cells_built: Cell<u64>,
+    /// Number of polynomial sign evaluations.
+    pub sign_evals: Cell<u64>,
+}
+
+impl QeContext {
+    /// Exact (unbounded) context.
+    #[must_use]
+    pub fn exact() -> QeContext {
+        QeContext::default()
+    }
+
+    /// Finite-precision context with bit budget `k`.
+    #[must_use]
+    pub fn with_budget(k: u64) -> QeContext {
+        QeContext { budget_bits: Some(k), ..QeContext::default() }
+    }
+
+    /// Record an observed bit length; error if over budget.
+    pub fn observe_bits(&self, bits: u64) -> Result<(), QeError> {
+        if bits > self.max_bits_seen.get() {
+            self.max_bits_seen.set(bits);
+        }
+        match self.budget_bits {
+            Some(k) if bits > k => {
+                Err(QeError::PrecisionExceeded { budget_bits: k, seen_bits: bits })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Check a polynomial's coefficients against the budget.
+    pub fn observe_poly(&self, p: &cdb_poly::MPoly) -> Result<(), QeError> {
+        self.observe_bits(p.max_coeff_bits())
+    }
+}

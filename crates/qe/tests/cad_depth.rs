@@ -1,0 +1,163 @@
+//! Integration tests driving the CAD through its hardest paths:
+//!
+//! * three-level decompositions whose samples stack *two* algebraic
+//!   coordinates (the iterated-resultant + rational-separator machinery of
+//!   DESIGN.md §5),
+//! * sentences mixing equations and inequalities at algebraic values,
+//! * solution formula construction needing derivative augmentation.
+
+use cdb_constraints::{Atom, Formula, Quantifier, RelOp};
+use cdb_num::Rat;
+use cdb_poly::MPoly;
+use cdb_qe::cad::{build_cad, decide_sentence};
+use cdb_qe::QeContext;
+
+fn c(v: i64, n: usize) -> MPoly {
+    MPoly::constant(Rat::from(v), n)
+}
+
+/// √2·√3 = √6 ≈ 2.449: deciding z ≥ q against it forces sign evaluation at
+/// a sample with two algebraic coordinates.
+#[test]
+fn sentence_over_two_algebraic_coordinates() {
+    let n = 3;
+    let x = MPoly::var(0, n);
+    let y = MPoly::var(1, n);
+    let z = MPoly::var(2, n);
+    let base = vec![
+        Formula::Atom(Atom::new(&x.pow(2) - &c(2, n), RelOp::Eq)),
+        Formula::Atom(Atom::new(&y.pow(2) - &c(3, n), RelOp::Eq)),
+        Formula::Atom(Atom::new(&z - &(&x * &y), RelOp::Eq)),
+    ];
+    let prefix = [
+        (Quantifier::Exists, 0),
+        (Quantifier::Exists, 1),
+        (Quantifier::Exists, 2),
+    ];
+    let ctx = QeContext::exact();
+    // ∃x∃y∃z: x²=2 ∧ y²=3 ∧ z = x·y ∧ z ≥ 2.4 — true (z = √6 ≈ 2.4495).
+    let mut sat = base.clone();
+    sat.push(Formula::Atom(Atom::new(
+        &c(12, n) - &z.scale(&Rat::from(5i64)),
+        RelOp::Le,
+    )));
+    assert!(decide_sentence(&Formula::And(sat), &prefix, n, &ctx).unwrap());
+    // …and z ≥ 2.45 ∧ z ≤ 2.5 — still true? √6 = 2.44948… < 2.45: false.
+    let mut unsat = base.clone();
+    unsat.push(Formula::Atom(Atom::new(
+        &c(49, n) - &z.scale(&Rat::from(20i64)),
+        RelOp::Le,
+    )));
+    unsat.push(Formula::Atom(Atom::new(&z - &c(3, n), RelOp::Le)));
+    assert!(!decide_sentence(&Formula::And(unsat), &prefix, n, &ctx).unwrap());
+}
+
+/// Full three-level CAD: stacks over (√2, √3)-type samples are built with
+/// the multi-algebraic candidate machinery; check the cell counts are sane
+/// and every level-3 poly got a sign everywhere.
+#[test]
+fn three_level_cad_structure() {
+    let n = 3;
+    let x = MPoly::var(0, n);
+    let y = MPoly::var(1, n);
+    let z = MPoly::var(2, n);
+    let polys = vec![
+        &x.pow(2) - &c(2, n),
+        &y.pow(2) - &c(3, n),
+        &z - &(&x * &y),
+    ];
+    let ctx = QeContext::exact();
+    let cad = build_cad(&polys, &[0, 1, 2], n, &ctx).unwrap();
+    assert_eq!(cad.levels.len(), 3);
+    // Level 1: roots ±√2 plus 0 (the projection of z − x·y contributes the
+    // coefficient x·y, whose own projection contributes x) → 7 cells.
+    // Level 2: polys {y² − 3, x·y}: over the six cells with x ≠ 0 the fiber
+    // roots are {−√3, 0, √3} → 7 cells; over the section x = 0 the poly
+    // x·y is nullified → 5 cells. Total 6·7 + 5 = 47.
+    // Level 3: z − x·y is a single section per fiber → 3 cells each.
+    assert_eq!(cad.levels[0].len(), 7);
+    assert_eq!(cad.levels[1].len(), 47);
+    assert_eq!(cad.levels[2].len(), 141);
+    // Every top cell has a sign recorded for every registered polynomial.
+    let ids: Vec<usize> = cad.registry.iter().map(|(i, _)| i).collect();
+    for cell in &cad.levels[2] {
+        for id in &ids {
+            assert!(
+                cell.signs.contains_key(id),
+                "missing sign for poly {id} at cell {:?}",
+                cell.index
+            );
+        }
+    }
+}
+
+/// z = x·y over x = √2, y = √3 has the (irrational) root √6: EVAL-style
+/// numeric extraction through a 3-var finite system.
+#[test]
+fn numeric_evaluation_of_sqrt6() {
+    let n = 3;
+    let x = MPoly::var(0, n);
+    let y = MPoly::var(1, n);
+    let z = MPoly::var(2, n);
+    let rel = cdb_constraints::ConstraintRelation::new(
+        n,
+        vec![cdb_constraints::GeneralizedTuple::new(
+            n,
+            vec![
+                Atom::new(&x.pow(2) - &c(2, n), RelOp::Eq),
+                Atom::new(x.clone(), RelOp::Ge),
+                Atom::new(&y.pow(2) - &c(3, n), RelOp::Eq),
+                Atom::new(y.clone(), RelOp::Ge),
+                Atom::new(&z - &(&x * &y), RelOp::Eq),
+            ],
+        )],
+    );
+    let ctx = QeContext::exact();
+    let eps: Rat = "1/1048576".parse().unwrap();
+    let pts = cdb_qe::pipeline::numerical_evaluation(&rel, &[0, 1, 2], &eps, &ctx)
+        .unwrap()
+        .expect("finite");
+    assert_eq!(pts.len(), 1);
+    let p = &pts[0];
+    assert!((p.coords[0].to_f64() - 2f64.sqrt()).abs() < 1e-5);
+    assert!((p.coords[1].to_f64() - 3f64.sqrt()).abs() < 1e-5);
+    assert!((p.coords[2].to_f64() - 6f64.sqrt()).abs() < 1e-5);
+}
+
+/// Formula construction where the initial projection signs collide:
+/// ∃y (y² = x) ⇔ x ≥ 0, whose free-space polys (just x) distinguish the
+/// cells directly; and a case needing augmentation: ∃y (y² = x²) is all of
+/// R — solution formula must not fracture.
+#[test]
+fn solution_formula_edge_cases() {
+    let n = 2;
+    let x = MPoly::var(0, n);
+    let y = MPoly::var(1, n);
+    let ctx = QeContext::exact();
+    let sqrt_region = cdb_qe::cad::eliminate(
+        &Formula::Atom(Atom::new(&y.pow(2) - &x, RelOp::Eq)),
+        &[(Quantifier::Exists, 1)],
+        &[0],
+        n,
+        &ctx,
+    )
+    .unwrap();
+    for (v, expect) in [("0", true), ("4", true), ("-1", false)] {
+        assert_eq!(
+            sqrt_region.satisfied_at(&[v.parse().unwrap(), Rat::zero()]),
+            expect,
+            "x = {v}"
+        );
+    }
+    let all_reals = cdb_qe::cad::eliminate(
+        &Formula::Atom(Atom::new(&y.pow(2) - &x.pow(2), RelOp::Eq)),
+        &[(Quantifier::Exists, 1)],
+        &[0],
+        n,
+        &ctx,
+    )
+    .unwrap();
+    for v in ["-3", "0", "5/2"] {
+        assert!(all_reals.satisfied_at(&[v.parse().unwrap(), Rat::zero()]), "x = {v}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Reproduces §2 and Figure 1 of Grumbach & Su, *Towards Practical
+//! Constraint Databases*: define S(x, y) ≡ 4x² − y − 20x + 25 ≤ 0, run the
+//! four-step evaluation pipeline (INSTANTIATION → QUANTIFIER ELIMINATION →
+//! NUMERICAL EVALUATION → AGGREGATE EVALUATION), and print each artifact.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use constraintdb::{ConstraintDb, Rat};
+
+fn main() {
+    let mut db = ConstraintDb::new();
+
+    // ---- Store the constraint relation S. --------------------------------
+    db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0")
+        .expect("definition compiles");
+    println!("S(x, y) := 4x^2 - y - 20x + 25 <= 0   (an infinite set, finitely represented)");
+
+    // ---- Simple membership tests (evaluate the polynomial). --------------
+    for (x, y) in [("5/2", "0"), ("0", "30"), ("0", "0")] {
+        let q = db.query("S(x, y)").expect("query evaluates");
+        let inside = q.contains(&[x.parse().unwrap(), y.parse().unwrap()]);
+        println!("  ({x}, {y}) in S?  {inside}");
+    }
+
+    // ---- Figure 1: Q(x) = exists y (S(x, y) and y <= 0). ------------------
+    let q = db
+        .query("exists y (S(x, y) and y <= 0)")
+        .expect("QE succeeds");
+    println!("\nFigure 1 pipeline:");
+    println!("  query:        exists y (S(x, y) and y <= 0)");
+    println!("  after QE:     {}", q.display());
+    let solutions = q.solve().expect("numeric step").expect("finite answer");
+    println!(
+        "  numeric eval: x = {}   (the paper's 2.5)",
+        solutions[0][0]
+    );
+    assert_eq!(solutions, vec![vec!["5/2".parse::<Rat>().unwrap()]]);
+
+    // ---- §2 / Example 5.4: the SURFACE aggregate. -------------------------
+    let s = db
+        .query("z = SURFACE[x, y]{ S(x, y) and y <= 9 }")
+        .expect("aggregate evaluates");
+    let area = s.points().expect("finite")[0][0].clone();
+    println!("\nAggregate evaluation:");
+    println!("  SURFACE[x, y]{{ S(x, y) and y <= 9 }} = {area}   (the paper computes 18)");
+    assert_eq!(area, Rat::from(18i64));
+    assert!(s.is_exact(), "polynomial bounds integrate exactly");
+
+    // ---- Finite precision semantics (§4). ---------------------------------
+    println!("\nFinite precision semantics (bit budget k):");
+    for k in [3u64, 8, 64] {
+        match db
+            .query_fp("exists y (S(x, y) and y <= 0)", k)
+            .expect("no hard error")
+        {
+            Some(out) => println!("  k = {k:>2}: defined, answer {}", out.display()),
+            None => println!("  k = {k:>2}: UNDEFINED (integers exceed the budget)"),
+        }
+    }
+}

