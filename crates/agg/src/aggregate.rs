@@ -94,7 +94,10 @@ pub fn apply_aggregate(
     ctx: &QeContext,
 ) -> Result<AggOutput, AggError> {
     if !agg.accepts_arity(vars.len()) {
-        return Err(AggError::Arity { expected: expected_arity(agg), got: vars.len() });
+        return Err(AggError::Arity {
+            expected: expected_arity(agg),
+            got: vars.len(),
+        });
     }
     Ok(match agg {
         Aggregate::Min => AggOutput::Scalar(min_of(rel, vars[0], eps, ctx)?),
@@ -107,15 +110,9 @@ pub fn apply_aggregate(
                 AggOutput::Scalar(arc_length(rel, vars[0], vars[1], eps, ctx)?)
             }
         }
-        Aggregate::Surface => {
-            AggOutput::Scalar(surface(rel, vars[0], vars[1], eps, ctx)?)
-        }
-        Aggregate::Volume => {
-            AggOutput::Scalar(volume(rel, vars[0], vars[1], vars[2], eps, ctx)?)
-        }
-        Aggregate::Eval => {
-            AggOutput::Relation(eval_aggregate(rel, vars, eps, ctx)?.relation())
-        }
+        Aggregate::Surface => AggOutput::Scalar(surface(rel, vars[0], vars[1], eps, ctx)?),
+        Aggregate::Volume => AggOutput::Scalar(volume(rel, vars[0], vars[1], vars[2], eps, ctx)?),
+        Aggregate::Eval => AggOutput::Relation(eval_aggregate(rel, vars, eps, ctx)?.relation()),
     })
 }
 
@@ -188,8 +185,8 @@ mod tests {
             )],
         );
         let ctx = QeContext::exact();
-        let out = apply_aggregate(Aggregate::Min, &rel, &[0], &"1/100".parse().unwrap(), &ctx)
-            .unwrap();
+        let out =
+            apply_aggregate(Aggregate::Min, &rel, &[0], &"1/100".parse().unwrap(), &ctx).unwrap();
         match out {
             AggOutput::Scalar(v) => assert_eq!(v.value, Rat::from(2i64)),
             AggOutput::Relation(_) => panic!("expected scalar"),

@@ -56,8 +56,7 @@ pub fn eval_aggregate(
                         .zip(&p.coords)
                         .map(|(&v, c)| {
                             Atom::new(
-                                &MPoly::var(v, nvars)
-                                    - &MPoly::constant(c.clone(), nvars),
+                                &MPoly::var(v, nvars) - &MPoly::constant(c.clone(), nvars),
                                 RelOp::Eq,
                             )
                         })

@@ -39,7 +39,10 @@ pub fn length(
             }
         }
     }
-    Ok(AggValue { value: total, exact })
+    Ok(AggValue {
+        value: total,
+        exact,
+    })
 }
 
 /// AVG of a unary relation: mean of a finite set, or centroid of a set of
@@ -59,13 +62,18 @@ pub fn avg(
         let mut exact = true;
         let mut n = 0i64;
         for cell in &region.cells {
-            let Cell1D::Point(p) = cell else { unreachable!() };
+            let Cell1D::Point(p) = cell else {
+                unreachable!()
+            };
             let (v, e) = endpoint(p, eps);
             sum = &sum + &v;
             exact = exact && e;
             n += 1;
         }
-        return Ok(AggValue { value: &sum / &Rat::from(n), exact });
+        return Ok(AggValue {
+            value: &sum / &Rat::from(n),
+            exact,
+        });
     }
     // Positive measure: centroid = ∫ x dx / measure, over the intervals.
     let mut measure = Rat::zero();
@@ -88,7 +96,10 @@ pub fn avg(
             }
         }
     }
-    Ok(AggValue { value: &moment / &measure, exact })
+    Ok(AggValue {
+        value: &moment / &measure,
+        exact,
+    })
 }
 
 /// Arc length of the one-dimensional pieces of a binary relation over
@@ -127,12 +138,7 @@ pub fn arc_length(
     Ok(AggValue::approx(total))
 }
 
-fn arc_piece_length(
-    region: &Region2D,
-    arc: &Arc,
-    a: f64,
-    b: f64,
-) -> Result<f64, AggError> {
+fn arc_piece_length(region: &Region2D, arc: &Arc, a: f64, b: f64) -> Result<f64, AggError> {
     let p = &arc.poly;
     let px = p.derivative(region.xvar);
     let py = p.derivative(region.yvar);
@@ -196,7 +202,10 @@ mod tests {
             vec![
                 GeneralizedTuple::new(
                     1,
-                    vec![Atom::new(-&x, RelOp::Le), Atom::new(&x - &c(2, 1), RelOp::Le)],
+                    vec![
+                        Atom::new(-&x, RelOp::Le),
+                        Atom::new(&x - &c(2, 1), RelOp::Le),
+                    ],
                 ),
                 GeneralizedTuple::new(
                     1,
@@ -288,7 +297,10 @@ mod tests {
             vec![
                 GeneralizedTuple::new(
                     1,
-                    vec![Atom::new(-&x, RelOp::Le), Atom::new(&x - &c(2, 1), RelOp::Le)],
+                    vec![
+                        Atom::new(-&x, RelOp::Le),
+                        Atom::new(&x - &c(2, 1), RelOp::Le),
+                    ],
                 ),
                 GeneralizedTuple::new(
                     1,
@@ -344,6 +356,10 @@ mod tests {
         let ctx = QeContext::exact();
         let l = arc_length(&rel, 0, 1, &eps(), &ctx).unwrap();
         let expect = (2.0 * 5f64.sqrt() + 2f64.asinh()) / 4.0;
-        assert!((l.to_f64() - expect).abs() < 1e-4, "{} vs {expect}", l.to_f64());
+        assert!(
+            (l.to_f64() - expect).abs() < 1e-4,
+            "{} vs {expect}",
+            l.to_f64()
+        );
     }
 }

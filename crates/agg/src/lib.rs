@@ -66,7 +66,10 @@ impl fmt::Display for AggError {
             AggError::InfiniteMeasure => write!(f, "aggregate undefined: infinite measure"),
             AggError::EmptyRegion => write!(f, "aggregate undefined: empty region"),
             AggError::Arity { expected, got } => {
-                write!(f, "aggregate arity mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "aggregate arity mismatch: expected {expected}, got {got}"
+                )
             }
             AggError::Qe(e) => write!(f, "aggregate: {e}"),
             AggError::Quadrature(m) => write!(f, "quadrature failure: {m}"),

@@ -47,7 +47,10 @@ pub fn max_of(
 fn value_of(p: &cdb_poly::RealAlg, eps: &Rat) -> AggValue {
     match p.to_rat() {
         Some(r) => AggValue::exact(r),
-        None => AggValue { value: p.approx(eps), exact: false },
+        None => AggValue {
+            value: p.approx(eps),
+            exact: false,
+        },
     }
 }
 
@@ -81,7 +84,10 @@ mod tests {
             Atom::new(&x() - &c(3), RelOp::Le),
         ]);
         let ctx = QeContext::exact();
-        assert_eq!(min_of(&r, 0, &eps(), &ctx).unwrap(), AggValue::exact(Rat::one()));
+        assert_eq!(
+            min_of(&r, 0, &eps(), &ctx).unwrap(),
+            AggValue::exact(Rat::one())
+        );
         assert_eq!(
             max_of(&r, 0, &eps(), &ctx).unwrap(),
             AggValue::exact(Rat::from(3i64))
@@ -103,7 +109,10 @@ mod tests {
     fn unbounded_is_undefined() {
         let r = rel(vec![Atom::new(&c(1) - &x(), RelOp::Le)]); // x ≥ 1
         let ctx = QeContext::exact();
-        assert_eq!(min_of(&r, 0, &eps(), &ctx).unwrap(), AggValue::exact(Rat::one()));
+        assert_eq!(
+            min_of(&r, 0, &eps(), &ctx).unwrap(),
+            AggValue::exact(Rat::one())
+        );
         assert_eq!(max_of(&r, 0, &eps(), &ctx), Err(AggError::Unbounded));
     }
 

@@ -46,7 +46,9 @@ impl Region1D {
         if polys.is_empty() {
             // Trivial relation: either all of R or empty; sample at 0.
             return Ok(if rel.satisfied_at(&vec![Rat::zero(); rel.nvars()]) {
-                Region1D { cells: vec![Cell1D::Interval(None, None)] }
+                Region1D {
+                    cells: vec![Cell1D::Interval(None, None)],
+                }
             } else {
                 Region1D { cells: Vec::new() }
             });
@@ -216,7 +218,10 @@ impl Region2D {
                         .find(|&&id| cell.signs.get(&id) == Some(&Sign::Zero))
                         .map(|&id| cad.registry.get(id).clone());
                     if let Some(poly) = poly {
-                        arcs.push(Arc { branch: pos / 2, poly });
+                        arcs.push(Arc {
+                            branch: pos / 2,
+                            poly,
+                        });
                     }
                 } else {
                     let lower = if pos == 1 {
@@ -227,13 +232,22 @@ impl Region2D {
                     let upper = if pos == max_y_index {
                         None
                     } else {
-                        Some(bound_of_section(&cad, children[ci + 1].1, yvar, pos / 2 + 1))
+                        Some(bound_of_section(
+                            &cad,
+                            children[ci + 1].1,
+                            yvar,
+                            pos / 2 + 1,
+                        ))
                     };
                     bands.push(Band { lower, upper });
                 }
             }
             if !bands.is_empty() || !arcs.is_empty() {
-                slabs.push(Slab { x_cell, bands, arcs });
+                slabs.push(Slab {
+                    x_cell,
+                    bands,
+                    arcs,
+                });
             }
         }
         Ok(Region2D {
@@ -434,10 +448,7 @@ mod tests {
             2,
             vec![GeneralizedTuple::new(
                 2,
-                vec![
-                    Atom::new(s, RelOp::Le),
-                    Atom::new(&y - &c(9, 2), RelOp::Le),
-                ],
+                vec![Atom::new(s, RelOp::Le), Atom::new(&y - &c(9, 2), RelOp::Le)],
             )],
         );
         let ctx = QeContext::exact();

@@ -44,7 +44,9 @@ pub fn volume(
                 // Slice area at x: SURFACE of rel with x substituted.
                 let slice_eps = eps.clone();
                 let integrand = |x: f64| -> f64 {
-                    let Some(xr) = Rat::from_f64(x) else { return f64::NAN };
+                    let Some(xr) = Rat::from_f64(x) else {
+                        return f64::NAN;
+                    };
                     let slice = rel.substitute(xvar, &xr).simplify();
                     let slice_ctx = QeContext::exact();
                     match surface(&slice, yvar, zvar, &slice_eps, &slice_ctx) {

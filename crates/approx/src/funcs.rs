@@ -81,9 +81,7 @@ impl AnalyticFn {
     #[must_use]
     pub fn in_domain(self, x: f64) -> bool {
         match self {
-            AnalyticFn::Exp | AnalyticFn::Sin | AnalyticFn::Cos | AnalyticFn::Atan => {
-                x.is_finite()
-            }
+            AnalyticFn::Exp | AnalyticFn::Sin | AnalyticFn::Cos | AnalyticFn::Atan => x.is_finite(),
             AnalyticFn::Ln => x > 0.0,
             AnalyticFn::Sqrt => x >= 0.0,
             AnalyticFn::Recip => x != 0.0,
@@ -166,8 +164,7 @@ impl AnalyticFn {
                     self.eval(x)
                 } else {
                     let h = 1e-4;
-                    (self.derivative(n - 1, x + h) - self.derivative(n - 1, x - h))
-                        / (2.0 * h)
+                    (self.derivative(n - 1, x + h) - self.derivative(n - 1, x - h)) / (2.0 * h)
                 }
             }
         }

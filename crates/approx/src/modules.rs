@@ -327,8 +327,7 @@ mod tests {
 
     #[test]
     fn taylor_exp_small_interval() {
-        let p = approximate(AnalyticFn::Exp, &rat(0), &rat(1), 6, ApproxMethod::Taylor)
-            .unwrap();
+        let p = approximate(AnalyticFn::Exp, &rat(0), &rat(1), 6, ApproxMethod::Taylor).unwrap();
         let err = sup_error(AnalyticFn::Exp, &p, 0.0, 1.0, 400);
         assert!(err < 1e-5, "taylor exp error {err}");
     }
@@ -337,10 +336,8 @@ mod tests {
     fn chebyshev_beats_lagrange_on_wide_interval() {
         let lo = rat(-4);
         let hi = rat(4);
-        let cheb =
-            approximate(AnalyticFn::Exp, &lo, &hi, 10, ApproxMethod::Chebyshev).unwrap();
-        let lag =
-            approximate(AnalyticFn::Exp, &lo, &hi, 10, ApproxMethod::Lagrange).unwrap();
+        let cheb = approximate(AnalyticFn::Exp, &lo, &hi, 10, ApproxMethod::Chebyshev).unwrap();
+        let lag = approximate(AnalyticFn::Exp, &lo, &hi, 10, ApproxMethod::Lagrange).unwrap();
         let e_cheb = sup_error(AnalyticFn::Exp, &cheb, -4.0, 4.0, 800);
         let e_lag = sup_error(AnalyticFn::Exp, &lag, -4.0, 4.0, 800);
         assert!(e_cheb < e_lag, "chebyshev {e_cheb} vs lagrange {e_lag}");
@@ -349,8 +346,7 @@ mod tests {
 
     #[test]
     fn interpolation_is_exact_at_nodes() {
-        let p = approximate(AnalyticFn::Sin, &rat(0), &rat(3), 5, ApproxMethod::Lagrange)
-            .unwrap();
+        let p = approximate(AnalyticFn::Sin, &rat(0), &rat(3), 5, ApproxMethod::Lagrange).unwrap();
         // Equispaced nodes at 0, 0.6, …, 3.0.
         for i in 0..=5 {
             let x = 0.6 * f64::from(i);
@@ -367,17 +363,20 @@ mod tests {
     fn domain_violation_detected() {
         let err = approximate(AnalyticFn::Ln, &rat(-1), &rat(1), 4, ApproxMethod::Taylor);
         assert!(matches!(err, Err(ApproxError::OutOfDomain { .. })));
-        let err2 =
-            approximate(AnalyticFn::Recip, &rat(-1), &rat(1), 4, ApproxMethod::Chebyshev);
+        let err2 = approximate(
+            AnalyticFn::Recip,
+            &rat(-1),
+            &rat(1),
+            4,
+            ApproxMethod::Chebyshev,
+        );
         assert!(err2.is_err());
     }
 
     #[test]
     fn piecewise_over_abase() {
         let abase = ABase::uniform(rat(0), rat(6), 6);
-        let pw =
-            approximate_on_abase(AnalyticFn::Sin, &abase, 4, ApproxMethod::Chebyshev)
-                .unwrap();
+        let pw = approximate_on_abase(AnalyticFn::Sin, &abase, 4, ApproxMethod::Chebyshev).unwrap();
         assert_eq!(pw.len(), 6);
         for i in 0..=60 {
             let x = 0.1 * f64::from(i);
@@ -392,9 +391,7 @@ mod tests {
         let coarse = ABase::uniform(rat(0), rat(4), 2);
         let fine = coarse.refined();
         let err = |ab: &ABase| {
-            let pw =
-                approximate_on_abase(AnalyticFn::Exp, ab, 3, ApproxMethod::Chebyshev)
-                    .unwrap();
+            let pw = approximate_on_abase(AnalyticFn::Exp, ab, 3, ApproxMethod::Chebyshev).unwrap();
             (0..=400)
                 .map(|i| {
                     let x = 0.01 * f64::from(i);
@@ -411,8 +408,7 @@ mod tests {
         // matching the natural boundary conditions.
         let abase = ABase::uniform(rat(0), rat(6), 8);
         let pw =
-            approximate_on_abase(AnalyticFn::Sin, &abase, 3, ApproxMethod::CubicSpline)
-                .unwrap();
+            approximate_on_abase(AnalyticFn::Sin, &abase, 3, ApproxMethod::CubicSpline).unwrap();
         assert_eq!(pw.len(), 8);
         // Exact at breakpoints.
         for p in abase.points() {
@@ -433,8 +429,14 @@ mod tests {
 
     #[test]
     fn rational_eval_matches_f64() {
-        let p = approximate(AnalyticFn::Cos, &rat(0), &rat(1), 5, ApproxMethod::Chebyshev)
-            .unwrap();
+        let p = approximate(
+            AnalyticFn::Cos,
+            &rat(0),
+            &rat(1),
+            5,
+            ApproxMethod::Chebyshev,
+        )
+        .unwrap();
         let at: Rat = "1/2".parse().unwrap();
         let exact = p.eval(&at).to_f64();
         assert!((exact - p.eval_f64(0.5)).abs() < 1e-12);

@@ -20,9 +20,7 @@ fn approx_build(c: &mut Criterion) {
                 BenchmarkId::new(name, k),
                 &(method, k),
                 |b, &(method, k)| {
-                    b.iter(|| {
-                        approximate_on_abase(AnalyticFn::Exp, &abase, k, method).unwrap()
-                    });
+                    b.iter(|| approximate_on_abase(AnalyticFn::Exp, &abase, k, method).unwrap());
                 },
             );
         }
@@ -36,8 +34,7 @@ fn spline_build(c: &mut Criterion) {
         let abase = ABase::uniform(Rat::from(-4i64), Rat::from(4i64), cells);
         group.bench_with_input(BenchmarkId::from_parameter(cells), &abase, |b, abase| {
             b.iter(|| {
-                approximate_on_abase(AnalyticFn::Sin, abase, 3, ApproxMethod::CubicSpline)
-                    .unwrap()
+                approximate_on_abase(AnalyticFn::Sin, abase, 3, ApproxMethod::CubicSpline).unwrap()
             });
         });
     }

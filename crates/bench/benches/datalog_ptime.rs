@@ -12,7 +12,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn tc_program() -> Program {
     Program {
         rules: vec![
-            Rule::new("T", vec![0, 1], vec![Literal::Rel("E".into(), vec![0, 1])], 2),
+            Rule::new(
+                "T",
+                vec![0, 1],
+                vec![Literal::Rel("E".into(), vec![0, 1])],
+                2,
+            ),
             Rule::new(
                 "T",
                 vec![0, 1],
@@ -73,19 +78,18 @@ fn datalog_dense_order(c: &mut Criterion) {
                                     RelOp::Le,
                                     &x + &MPoly::constant(Rat::one(), n),
                                 ),
-                                Atom::cmp(y.clone(), RelOp::Le, MPoly::constant(Rat::from(span), n)),
+                                Atom::cmp(
+                                    y.clone(),
+                                    RelOp::Le,
+                                    MPoly::constant(Rat::from(span), n),
+                                ),
                             ],
                         )],
                     ),
                 );
                 let program = Program {
                     rules: vec![
-                        Rule::new(
-                            "R",
-                            vec![0],
-                            vec![Literal::Rel("Start".into(), vec![0])],
-                            1,
-                        ),
+                        Rule::new("R", vec![0], vec![Literal::Rel("Start".into(), vec![0])], 1),
                         Rule::new(
                             "R",
                             vec![1],

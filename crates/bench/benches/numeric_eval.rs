@@ -45,5 +45,10 @@ fn refinement_vs_eps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, isolation_vs_bits, isolation_vs_degree, refinement_vs_eps);
+criterion_group!(
+    benches,
+    isolation_vs_bits,
+    isolation_vs_degree,
+    refinement_vs_eps
+);
 criterion_main!(benches);

@@ -1,8 +1,10 @@
-//! `repro` — regenerate every table/figure of the reproduction (E1–E15).
+//! `repro` — regenerate every table/figure of the reproduction (E1–E16).
 //!
 //! Usage: `cargo run --release -p cdb-bench --bin repro [-- e1 e2 …]`
 //! (no arguments = all experiments). Each experiment prints the paper's
 //! artifact next to the measured result; EXPERIMENTS.md records a full run.
+//! E16 additionally writes its parallel-QE speedup and cache statistics to
+//! `BENCH_qe.json` at the repository root.
 
 use cdb_approx::modules::{approximate_on_abase, ApproxMethod};
 use cdb_approx::{sup_error, ABase, AnalyticFn};
@@ -10,7 +12,7 @@ use cdb_bench::{gen_linear_relation, gen_poly_relation, gen_upoly, paper_db, tim
 use cdb_calcf::CalcFEngine;
 use cdb_constraints::{Atom, ConstraintRelation, Database, Formula, GeneralizedTuple, RelOp};
 use cdb_datalog::{Literal, Program, Rule};
-use cdb_fp::doubling::{add2k_lo, add2k_hi, mul2k_words, Pair};
+use cdb_fp::doubling::{add2k_hi, add2k_lo, mul2k_words, Pair};
 use cdb_fp::pathologies::{
     distributivity_counterexample, greatest_element, summation_order_counterexample,
 };
@@ -21,10 +23,10 @@ use cdb_qe::{evaluate_query, QeContext};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let known: Vec<String> = (1..=15).map(|i| format!("e{i}")).collect();
+    let known: Vec<String> = (1..=16).map(|i| format!("e{i}")).collect();
     for a in &args {
         if a != "all" && !known.iter().any(|k| k.eq_ignore_ascii_case(a)) {
-            eprintln!("unknown experiment id `{a}` (expected e1..e15 or all)");
+            eprintln!("unknown experiment id `{a}` (expected e1..e16 or all)");
             std::process::exit(2);
         }
     }
@@ -75,6 +77,9 @@ fn main() {
     if want("e15") {
         e15();
     }
+    if want("e16") {
+        e16();
+    }
 }
 
 fn header(id: &str, title: &str) {
@@ -83,14 +88,17 @@ fn header(id: &str, title: &str) {
 
 /// E1 — §2 relation figure: membership tests on S.
 fn e1() {
-    header("E1", "membership in S(x,y) = 4x^2 - y - 20x + 25 <= 0 (paper §2 figure)");
+    header(
+        "E1",
+        "membership in S(x,y) = 4x^2 - y - 20x + 25 <= 0 (paper §2 figure)",
+    );
     let db = paper_db();
     let s = db.get("S").unwrap();
     for (x, y, expect) in [
-        ("5/2", "0", true),   // parabola vertex
-        ("0", "25", true),    // on the curve
-        ("0", "24", false),   // below the curve
-        ("1", "9", true),     // the y=9 chord endpoint
+        ("5/2", "0", true), // parabola vertex
+        ("0", "25", true),  // on the curve
+        ("0", "24", false), // below the curve
+        ("1", "9", true),   // the y=9 chord endpoint
         ("4", "9", true),
         ("5", "9", false),
     ] {
@@ -102,7 +110,10 @@ fn e1() {
 
 /// E2 — Figure 1: the full pipeline.
 fn e2() {
-    header("E2", "Figure 1 pipeline: Q(x) = exists y (S(x,y) and y <= 0)");
+    header(
+        "E2",
+        "Figure 1 pipeline: Q(x) = exists y (S(x,y) and y <= 0)",
+    );
     let db = paper_db();
     let y = MPoly::var(1, 2);
     let query = Formula::exists(
@@ -114,7 +125,10 @@ fn e2() {
     );
     let ctx = QeContext::exact();
     let out = evaluate_query(&db, &query, 2, &ctx).unwrap();
-    println!("  after QE: {}   (paper: 4x^2 - 20x + 25 = 0)", out.relation);
+    println!(
+        "  after QE: {}   (paper: 4x^2 - 20x + 25 = 0)",
+        out.relation
+    );
     let pts = cdb_qe::pipeline::numerical_evaluation(
         &out.relation,
         &out.free_vars,
@@ -123,13 +137,19 @@ fn e2() {
     )
     .unwrap()
     .expect("finite");
-    println!("  numerical evaluation: x = {}   (paper: 2.5)", pts[0].coords[0]);
+    println!(
+        "  numerical evaluation: x = {}   (paper: 2.5)",
+        pts[0].coords[0]
+    );
     assert_eq!(pts[0].coords[0], "5/2".parse().unwrap());
 }
 
 /// E3 — §2/Example 5.4: SURFACE = 18.
 fn e3() {
-    header("E3", "SURFACE[x,y]{S(x,y) and y <= 9} (paper: 18, computed via the primitive F)");
+    header(
+        "E3",
+        "SURFACE[x,y]{S(x,y) and y <= 9} (paper: 18, computed via the primitive F)",
+    );
     let engine = CalcFEngine::default();
     let out = engine
         .evaluate(&paper_db(), "z = SURFACE[x, y]{ S(x, y) and y <= 9 }")
@@ -170,7 +190,10 @@ fn e4() {
 
 /// E5 — Theorem 3.2: numerical evaluation in PTIME.
 fn e5() {
-    header("E5", "NUMERICAL EVALUATION (Theorem 3.2): time vs coefficient bits and vs log(1/eps)");
+    header(
+        "E5",
+        "NUMERICAL EVALUATION (Theorem 3.2): time vs coefficient bits and vs log(1/eps)",
+    );
     println!("  {:<22} {:>12}", "coefficient bits", "isolate");
     for bits in [4u32, 8, 16, 32] {
         let p = gen_upoly(5, 9, bits);
@@ -196,7 +219,10 @@ fn e5() {
 
 /// E6 — Theorem 4.1: FOF_QE is strictly weaker (undefinedness vs budget).
 fn e6() {
-    header("E6", "finite precision partiality (Theorem 4.1): fraction of queries undefined vs budget k");
+    header(
+        "E6",
+        "finite precision partiality (Theorem 4.1): fraction of queries undefined vs budget k",
+    );
     let y = MPoly::var(1, 2);
     println!("  {:<8} {:>10} {:>12}", "k", "defined", "of queries");
     for k in [4u64, 8, 16, 32, 64, 256] {
@@ -224,7 +250,10 @@ fn e6() {
 
 /// E7 — Theorem 4.2: linear queries lose nothing under finite precision.
 fn e7() {
-    header("E7", "linear equivalence (Theorem 4.2): FP vs exact agreement on linear inputs");
+    header(
+        "E7",
+        "linear equivalence (Theorem 4.2): FP vs exact agreement on linear inputs",
+    );
     let mut disagreements_total = 0;
     let mut probes_total = 0;
     for seed in 0..8 {
@@ -247,8 +276,14 @@ fn e7() {
 
 /// E8 — Lemma 4.4: linear bit growth over K_{d,m}.
 fn e8() {
-    header("E8", "bit growth (Lemma 4.4): max intermediate bits vs input bits, fixed (d,m)");
-    println!("  {:<14} {:>14} {:>10}", "input bits", "observed bits", "ratio");
+    header(
+        "E8",
+        "bit growth (Lemma 4.4): max intermediate bits vs input bits, fixed (d,m)",
+    );
+    println!(
+        "  {:<14} {:>14} {:>10}",
+        "input bits", "observed bits", "ratio"
+    );
     for bits in [4u32, 8, 16, 32] {
         let rel = gen_linear_relation(300, 3, 2, bits);
         let mut db = Database::new();
@@ -268,7 +303,10 @@ fn e8() {
 
 /// E9 — Lemma 4.5: split-word doubling constructions.
 fn e9() {
-    header("E9", "Z_2k from Z_k split ops (Lemma 4.5): exhaustive check at k = 4");
+    header(
+        "E9",
+        "Z_2k from Z_k split ops (Lemma 4.5): exhaustive check at k = 4",
+    );
     let z = Zk::new(4);
     let m = 256i64; // 2k-bit values
     let mut checked = 0;
@@ -293,7 +331,10 @@ fn e9() {
 
 /// E10 — Proposition 4.6: the operator hierarchy.
 fn e10() {
-    header("E10", "hierarchy FOF(<=) ⊂ FOF(<=,+) ⊂ FOF(<=,+,x) (Prop 4.6): witness relations");
+    header(
+        "E10",
+        "hierarchy FOF(<=) ⊂ FOF(<=,+) ⊂ FOF(<=,+,x) (Prop 4.6): witness relations",
+    );
     // Order-only cannot define addition: the relation y = x + 1 is a line
     // with a slope, invariant only under shifts; order-definable relations
     // are invariant under *all* monotone bijections. Witness: the monotone
@@ -335,7 +376,10 @@ fn e10() {
 
 /// E11 — Theorem 4.7: Datalog¬_F is PTIME (iterations scale, budget cuts).
 fn e11() {
-    header("E11", "Datalog¬ under finite precision (Theorem 4.7): iterations vs db size");
+    header(
+        "E11",
+        "Datalog¬ under finite precision (Theorem 4.7): iterations vs db size",
+    );
     println!("  {:<10} {:>12} {:>12}", "chain n", "iterations", "time");
     for n in [2usize, 4, 8, 16] {
         let mut db = Database::new();
@@ -345,7 +389,12 @@ fn e11() {
         db.insert("E", ConstraintRelation::from_points(2, &pts));
         let program = Program {
             rules: vec![
-                Rule::new("T", vec![0, 1], vec![Literal::Rel("E".into(), vec![0, 1])], 2),
+                Rule::new(
+                    "T",
+                    vec![0, 1],
+                    vec![Literal::Rel("E".into(), vec![0, 1])],
+                    2,
+                ),
                 Rule::new(
                     "T",
                     vec![0, 1],
@@ -360,20 +409,22 @@ fn e11() {
         let ctx = QeContext::exact();
         let t0 = std::time::Instant::now();
         let (_, stats) = program.run(&db, &ctx, 64).unwrap();
-        println!(
-            "  {n:<10} {:>12} {:>12.2?}",
-            stats.iterations,
-            t0.elapsed()
-        );
+        println!("  {n:<10} {:>12} {:>12.2?}", stats.iterations, t0.elapsed());
     }
     println!("  (shape: n+1 iterations for linear-join TC; PTIME overall)");
 }
 
 /// E12 — Theorem 4.8: PTIME capture on dense-order inputs.
 fn e12() {
-    header("E12", "dense-order capture (Theorem 4.8): interval reachability program");
+    header(
+        "E12",
+        "dense-order capture (Theorem 4.8): interval reachability program",
+    );
     let mut db = Database::new();
-    db.insert("Start", ConstraintRelation::from_points(1, &[vec![Rat::zero()]]));
+    db.insert(
+        "Start",
+        ConstraintRelation::from_points(1, &[vec![Rat::zero()]]),
+    );
     let n = 2;
     let x = MPoly::var(0, n);
     let y = MPoly::var(1, n);
@@ -416,7 +467,10 @@ fn e12() {
 
 /// E13 — Theorem 5.5 / Corollary 5.6: CALC_F PTIME.
 fn e13() {
-    header("E13", "CALC_F complexity (Thm 5.5): time vs database size, aggregate query");
+    header(
+        "E13",
+        "CALC_F complexity (Thm 5.5): time vs database size, aggregate query",
+    );
     println!("  {:<10} {:>12}", "m tuples", "time");
     for m in [1usize, 2, 4, 8] {
         // m disjoint unit boxes; query the total area.
@@ -441,7 +495,9 @@ fn e13() {
         db.insert("B", ConstraintRelation::new(n, tuples));
         let engine = CalcFEngine::default();
         let t0 = std::time::Instant::now();
-        let out = engine.evaluate(&db, "z = SURFACE[x, y]{ B(x, y) }").unwrap();
+        let out = engine
+            .evaluate(&db, "z = SURFACE[x, y]{ B(x, y) }")
+            .unwrap();
         let area = out.as_points().unwrap()[0][0].clone();
         assert_eq!(area, Rat::from(m as i64));
         println!("  {m:<10} {:>12.2?}  (area = {area})", t0.elapsed());
@@ -451,7 +507,10 @@ fn e13() {
 
 /// E14 — approximation trade-off: error vs a-base granularity and order k.
 fn e14() {
-    header("E14", "approximation error vs a-base cells and order k (paper §5–6 trade-off)");
+    header(
+        "E14",
+        "approximation error vs a-base cells and order k (paper §5–6 trade-off)",
+    );
     println!(
         "  {:<8} {:<8} {:>14} {:>14} {:>14}",
         "cells", "order", "Taylor", "Lagrange", "Chebyshev"
@@ -463,9 +522,7 @@ fn e14() {
                 let pw = approximate_on_abase(AnalyticFn::Exp, &abase, k, method).unwrap();
                 pw.pieces
                     .iter()
-                    .map(|(lo, hi, p)| {
-                        sup_error(AnalyticFn::Exp, p, lo.to_f64(), hi.to_f64(), 200)
-                    })
+                    .map(|(lo, hi, p)| sup_error(AnalyticFn::Exp, p, lo.to_f64(), hi.to_f64(), 200))
                     .fold(0.0, f64::max)
             };
             println!(
@@ -481,7 +538,10 @@ fn e14() {
 
 /// E15 — §4 pathologies of F_k.
 fn e15() {
-    header("E15", "F_k pathologies (§4): greatest element, distributivity, evaluation order");
+    header(
+        "E15",
+        "F_k pathologies (§4): greatest element, distributivity, evaluation order",
+    );
     let params = FkParams::with_k(8);
     println!("  greatest element of F_8: {}", greatest_element(params));
     if let Some((a, b, c)) = distributivity_counterexample(params) {
@@ -510,4 +570,198 @@ fn e15() {
         assert_ne!(ltr, rtl);
     }
     println!("  (paper: F_k |= exists x forall y (y <= x); no distributive laws)");
+}
+
+/// E16 — parallel QE pipeline: sequential-vs-parallel speedup and memo-cache
+/// hit rates on multi-disjunct workloads; results land in `BENCH_qe.json`.
+fn e16() {
+    header(
+        "E16",
+        "parallel QE speedup + algebraic memo-cache (workers=1 vs available_parallelism)",
+    );
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Always exercise the scoped-thread fan-out, even on a single hardware
+    // thread (where it can only validate determinism, not win wall-clock).
+    let par_workers = hw.max(2);
+    println!("  hardware threads: {hw} (parallel runs use {par_workers} workers)");
+    let mut entries: Vec<String> = Vec::new();
+
+    // Workload A: multi-disjunct linear FM — 96 disjuncts, each with 6
+    // atoms of 32-bit coefficients; ∃x₁ distributes over the union.
+    {
+        let rel = gen_linear_relation(77, 96, 6, 32);
+        let run = |workers: usize| {
+            let ctx = QeContext::exact().with_workers(workers);
+            cdb_qe::linear::eliminate_exists(&rel, 1, &ctx).unwrap()
+        };
+        let out_seq = run(1);
+        let equal = out_seq == run(4) && out_seq == run(par_workers);
+        assert!(
+            equal,
+            "parallel linear elimination diverged from sequential"
+        );
+        let t_seq = time_median(5, || {
+            let _ = run(1);
+        });
+        let t_par = time_median(5, || {
+            let _ = run(par_workers);
+        });
+        let speedup = t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-12);
+        println!(
+            "  linear FM, 96 disjuncts: workers=1 {t_seq:.2?}  workers={par_workers} {t_par:.2?}  speedup {speedup:.2}x  outputs equal: {equal}"
+        );
+        entries.push(format!(
+            "{{\"name\": \"linear_fm_96_disjuncts\", \"disjuncts\": 96, \"workers_seq\": 1, \"workers_par\": {par_workers}, \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {speedup:.3}, \"outputs_equal\": {equal}}}",
+            t_seq.as_secs_f64() * 1e3,
+            t_par.as_secs_f64() * 1e3
+        ));
+    }
+
+    // Workload B: multi-disjunct CAD — 6 random conics; the lifting phase
+    // fans parent cells out across workers and the memo-cache absorbs the
+    // repeated resultants/discriminants/Sturm chains.
+    {
+        let rel = gen_poly_relation(79, 6, 2, 3);
+        let run = |workers: usize| {
+            let mut db = Database::new();
+            db.insert("R", rel.clone());
+            let q = Formula::exists(1, Formula::Rel("R".into(), vec![0, 1]));
+            let ctx = QeContext::exact().with_workers(workers);
+            let out = evaluate_query(&db, &q, 2, &ctx).unwrap();
+            (out.relation, ctx)
+        };
+        let (out_seq, _) = run(1);
+        let (out_par, ctx_par) = run(par_workers);
+        let equal = out_seq == out_par;
+        assert!(equal, "parallel CAD elimination diverged from sequential");
+        let hits = ctx_par.cache.hits();
+        let misses = ctx_par.cache.misses();
+        let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
+        let t_seq = time_median(3, || {
+            let _ = run(1);
+        });
+        let t_par = time_median(3, || {
+            let _ = run(par_workers);
+        });
+        let speedup = t_seq.as_secs_f64() / t_par.as_secs_f64().max(1e-12);
+        println!(
+            "  CAD, 6 conic disjuncts: workers=1 {t_seq:.2?}  workers={par_workers} {t_par:.2?}  speedup {speedup:.2}x  outputs equal: {equal}"
+        );
+        println!(
+            "  memo-cache: {hits} hits / {misses} misses (hit rate {:.1}%)",
+            hit_rate * 100.0
+        );
+        entries.push(format!(
+            "{{\"name\": \"cad_6_conic_disjuncts\", \"disjuncts\": 6, \"workers_seq\": 1, \"workers_par\": {par_workers}, \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {speedup:.3}, \"outputs_equal\": {equal}, \"cache_hits\": {hits}, \"cache_misses\": {misses}, \"cache_hit_rate\": {hit_rate:.3}}}",
+            t_seq.as_secs_f64() * 1e3,
+            t_par.as_secs_f64() * 1e3
+        ));
+    }
+
+    // Workload C: repeated queries over the same stored relation with one
+    // shared context (the server scenario) — the memo-cache absorbs every
+    // projection resultant/discriminant after the first query, a speedup
+    // that holds even on a single hardware thread.
+    {
+        let rel = gen_poly_relation(85, 6, 2, 3);
+        let reps = 4usize;
+        let query_once = |ctx: &QeContext| {
+            let mut db = Database::new();
+            db.insert("R", rel.clone());
+            let q = Formula::exists(1, Formula::Rel("R".into(), vec![0, 1]));
+            let out = evaluate_query(&db, &q, 2, ctx).unwrap();
+            out.relation
+        };
+        let t_cold = time_median(3, || {
+            for _ in 0..reps {
+                let ctx = QeContext::exact().with_workers(1);
+                let _ = query_once(&ctx);
+            }
+        });
+        let shared = QeContext::exact().with_workers(1);
+        let baseline = query_once(&shared); // warm the cache once
+        let t_warm = time_median(3, || {
+            for _ in 0..reps {
+                let r = query_once(&shared);
+                assert_eq!(r, baseline, "warm-cache result diverged");
+            }
+        });
+        let speedup = t_cold.as_secs_f64() / t_warm.as_secs_f64().max(1e-12);
+        let hits = shared.cache.hits();
+        let misses = shared.cache.misses();
+        let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
+        println!(
+            "  repeated query (x{reps}), shared cache: cold {t_cold:.2?}  warm {t_warm:.2?}  speedup {speedup:.2}x"
+        );
+        println!(
+            "  memo-cache: {hits} hits / {misses} misses (hit rate {:.1}%)",
+            hit_rate * 100.0
+        );
+        entries.push(format!(
+            "{{\"name\": \"warm_cache_repeated_query\", \"disjuncts\": 6, \"repetitions\": {reps}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"speedup\": {speedup:.3}, \"cache_hits\": {hits}, \"cache_misses\": {misses}, \"cache_hit_rate\": {hit_rate:.3}}}",
+            t_cold.as_secs_f64() * 1e3,
+            t_warm.as_secs_f64() * 1e3
+        ));
+    }
+
+    // Workload D: the projection kernel in isolation — all pairwise
+    // resultants of 12 random degree-4 bivariate polynomials, recomputed
+    // from scratch vs served from a warmed memo-cache. This isolates the
+    // cache's algorithmic win from thread scheduling, so it holds on any
+    // hardware (including a single core).
+    {
+        let polys: Vec<_> = gen_poly_relation(91, 12, 4, 10)
+            .tuples()
+            .iter()
+            .map(|t| t.atoms()[0].poly.clone())
+            .collect();
+        let npairs = polys.len() * (polys.len() - 1) / 2;
+        let direct = || {
+            for (i, p) in polys.iter().enumerate() {
+                for q in &polys[i + 1..] {
+                    let _ = cdb_poly::resultant::resultant(p, q, 1);
+                }
+            }
+        };
+        let cache = cdb_qe::AlgebraicCache::new();
+        for (i, p) in polys.iter().enumerate() {
+            for q in &polys[i + 1..] {
+                let _ = cache.resultant(p, q, 1); // warm
+            }
+        }
+        let cached = || {
+            for (i, p) in polys.iter().enumerate() {
+                for q in &polys[i + 1..] {
+                    let _ = cache.resultant(p, q, 1);
+                }
+            }
+        };
+        // Cached lookups agree with direct computation.
+        let equal = polys.iter().enumerate().all(|(i, p)| {
+            polys[i + 1..]
+                .iter()
+                .all(|q| cache.resultant(p, q, 1) == cdb_poly::resultant::resultant(p, q, 1))
+        });
+        assert!(equal, "cached resultant diverged from direct computation");
+        let t_direct = time_median(5, direct);
+        let t_cached = time_median(5, cached);
+        let speedup = t_direct.as_secs_f64() / t_cached.as_secs_f64().max(1e-12);
+        println!(
+            "  projection kernel, {npairs} resultants of degree-4 pairs: direct {t_direct:.2?}  warm cache {t_cached:.2?}  speedup {speedup:.2}x"
+        );
+        entries.push(format!(
+            "{{\"name\": \"projection_kernel_cached\", \"polys\": {}, \"resultant_pairs\": {npairs}, \"direct_ms\": {:.3}, \"cached_ms\": {:.3}, \"speedup\": {speedup:.3}, \"outputs_equal\": {equal}}}",
+            polys.len(),
+            t_direct.as_secs_f64() * 1e3,
+            t_cached.as_secs_f64() * 1e3
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e16_parallel_qe\",\n  \"hardware_threads\": {hw},\n  \"workloads\": [\n    {}\n  ]\n}}\n",
+        entries.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_qe.json");
+    std::fs::write(path, &json).expect("write BENCH_qe.json");
+    println!("  wrote {path}");
 }

@@ -110,8 +110,9 @@ pub fn gen_poly_relation(seed: u64, m: usize, degree: u32, bits: u32) -> Constra
 pub fn gen_upoly(seed: u64, degree: usize, bits: u32) -> cdb_poly::UPoly {
     let mut rng = StdRng::seed_from_u64(seed);
     let bound = 1i64 << bits.min(40);
-    let mut coeffs: Vec<i64> =
-        (0..=degree).map(|_| rng.gen_range(-bound..=bound)).collect();
+    let mut coeffs: Vec<i64> = (0..=degree)
+        .map(|_| rng.gen_range(-bound..=bound))
+        .collect();
     if coeffs[degree] == 0 {
         coeffs[degree] = 1;
     }

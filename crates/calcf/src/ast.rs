@@ -220,9 +220,7 @@ impl CFormula {
         fn term(t: &CTerm) -> usize {
             match t {
                 CTerm::Var(_) | CTerm::Const(_) => 0,
-                CTerm::Add(a, b) | CTerm::Sub(a, b) | CTerm::Mul(a, b) => {
-                    term(a).max(term(b))
-                }
+                CTerm::Add(a, b) | CTerm::Sub(a, b) | CTerm::Mul(a, b) => term(a).max(term(b)),
                 CTerm::Neg(a) | CTerm::Pow(a, _) | CTerm::Apply(_, a) => term(a),
                 CTerm::Agg(_, _, f) => 1 + f.aggregate_depth(),
             }

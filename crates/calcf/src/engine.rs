@@ -107,9 +107,7 @@ impl CalcFOutput {
         for (pos, &v) in self.free_vars.iter().enumerate() {
             map[v] = pos;
         }
-        let projected = self
-            .relation
-            .remap_vars(&map, self.free_vars.len().max(1));
+        let projected = self.relation.remap_vars(&map, self.free_vars.len().max(1));
         projected.as_finite_points()
     }
 
@@ -141,6 +139,9 @@ pub struct CalcFEngine {
     pub eps: Rat,
     /// Optional `Z_k` bit budget (finite precision semantics).
     pub budget_bits: Option<u64>,
+    /// Worker threads for independent aggregate DAG nodes and for the QE
+    /// stage (`1` = fully sequential evaluation).
+    pub workers: usize,
 }
 
 impl Default for CalcFEngine {
@@ -151,6 +152,7 @@ impl Default for CalcFEngine {
             method: ApproxMethod::Chebyshev,
             eps: Rat::new(1i64.into(), cdb_num::Int::pow2(30)),
             budget_bits: None,
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
         }
     }
 }
@@ -163,11 +165,7 @@ impl CalcFEngine {
     }
 
     /// Evaluate a parsed CALC_F formula.
-    pub fn evaluate_ast(
-        &self,
-        db: &Database,
-        query: &CFormula,
-    ) -> Result<CalcFOutput, CalcFError> {
+    pub fn evaluate_ast(&self, db: &Database, query: &CFormula) -> Result<CalcFOutput, CalcFError> {
         self.evaluate_with_vars(db, query, &[])
     }
 
@@ -230,17 +228,16 @@ impl CalcFEngine {
         let mut exact = true;
         let mut err = 0.0f64;
         // Stage 1: aggregates, innermost-first.
-        let agg_free =
-            self.eliminate_aggregates(db, query, &index, nvars, &mut exact, &mut err)?;
+        let agg_free = self.eliminate_aggregates(db, query, &index, nvars, &mut exact, &mut err)?;
         // Stage 2: NNF, then analytic terms → piecewise approximations.
         let nnf = cnnf(&agg_free, false);
-        let poly_formula =
-            self.eliminate_analytic(&nnf, &index, nvars, &mut exact, &mut err)?;
+        let poly_formula = self.eliminate_analytic(&nnf, &index, nvars, &mut exact, &mut err)?;
         // Stage 3: the polynomial QE pipeline.
         let ctx = match self.budget_bits {
             Some(k) => QeContext::with_budget(k),
             None => QeContext::exact(),
-        };
+        }
+        .with_workers(self.workers);
         let out = evaluate_query(db, &poly_formula, nvars, &ctx)?;
         let free_names = query.free_vars();
         let free_vars = free_names
@@ -281,10 +278,9 @@ impl CalcFEngine {
                 // Evaluate the body as a standalone relation over its own
                 // ring, apply EVAL, then express the result as a formula
                 // over the outer variables.
-                let inner =
-                    self.aggregate_input(db, Aggregate::Eval, vars, body, exact, err)?;
+                let inner = self.aggregate_input(db, Aggregate::Eval, vars, body, exact, err)?;
                 let (rel, inner_vars) = inner;
-                let ctx = QeContext::exact();
+                let ctx = QeContext::exact().with_workers(self.workers);
                 let out = apply_aggregate(Aggregate::Eval, &rel, &inner_vars, &self.eps, &ctx)?;
                 let AggOutput::Relation(result) = out else {
                     unreachable!("EVAL yields a relation")
@@ -303,16 +299,12 @@ impl CalcFEngine {
             CFormula::Not(g) => CFormula::Not(Box::new(
                 self.eliminate_aggregates(db, g, index, nvars, exact, err)?,
             )),
-            CFormula::And(fs) => CFormula::And(
-                fs.iter()
-                    .map(|g| self.eliminate_aggregates(db, g, index, nvars, exact, err))
-                    .collect::<Result<_, _>>()?,
-            ),
-            CFormula::Or(fs) => CFormula::Or(
-                fs.iter()
-                    .map(|g| self.eliminate_aggregates(db, g, index, nvars, exact, err))
-                    .collect::<Result<_, _>>()?,
-            ),
+            CFormula::And(fs) => {
+                CFormula::And(self.eliminate_aggregates_children(db, fs, index, nvars, exact, err)?)
+            }
+            CFormula::Or(fs) => {
+                CFormula::Or(self.eliminate_aggregates_children(db, fs, index, nvars, exact, err)?)
+            }
             CFormula::Exists(v, g) => CFormula::Exists(
                 v.clone(),
                 Box::new(self.eliminate_aggregates(db, g, index, nvars, exact, err)?),
@@ -322,6 +314,47 @@ impl CalcFEngine {
                 Box::new(self.eliminate_aggregates(db, g, index, nvars, exact, err)?),
             ),
         })
+    }
+
+    /// Eliminate aggregates in the children of an `And`/`Or` node. Siblings
+    /// of the aggregate DAG are independent (aggregates are parameter-free,
+    /// §5 assumption), so when at least two children actually contain
+    /// aggregates they are evaluated on separate workers; the exactness
+    /// flag is AND-merged and the error bound max-merged, both
+    /// order-insensitive, and the rewritten children are returned in input
+    /// order — identical to the sequential result.
+    #[allow(clippy::too_many_arguments)]
+    fn eliminate_aggregates_children(
+        &self,
+        db: &Database,
+        fs: &[CFormula],
+        index: &BTreeMap<String, usize>,
+        nvars: usize,
+        exact: &mut bool,
+        err: &mut f64,
+    ) -> Result<Vec<CFormula>, CalcFError> {
+        let heavy = fs.iter().filter(|g| contains_aggregate(g)).count();
+        if self.workers.max(1) <= 1 || heavy < 2 {
+            return fs
+                .iter()
+                .map(|g| self.eliminate_aggregates(db, g, index, nvars, exact, err))
+                .collect();
+        }
+        let results = par_indexed(fs.len(), self.workers, |i| {
+            let mut ex = true;
+            let mut er = 0.0f64;
+            let g = self.eliminate_aggregates(db, &fs[i], index, nvars, &mut ex, &mut er)?;
+            Ok((g, ex, er))
+        })?;
+        let mut out = Vec::with_capacity(fs.len());
+        for (g, ex, er) in results {
+            if !ex {
+                *exact = false;
+            }
+            *err = err.max(er);
+            out.push(g);
+        }
+        Ok(out)
     }
 
     fn eliminate_aggregates_term(
@@ -362,9 +395,8 @@ impl CalcFEngine {
                         "EVAL is a predicate, not a scalar term".into(),
                     ));
                 }
-                let (rel, inner_vars) =
-                    self.aggregate_input(db, *agg, vars, body, exact, err)?;
-                let ctx = QeContext::exact();
+                let (rel, inner_vars) = self.aggregate_input(db, *agg, vars, body, exact, err)?;
+                let ctx = QeContext::exact().with_workers(self.workers);
                 let out = apply_aggregate(*agg, &rel, &inner_vars, &self.eps, &ctx)?;
                 let AggOutput::Scalar(v) = out else {
                     unreachable!("scalar aggregate")
@@ -408,14 +440,9 @@ impl CalcFEngine {
         let inner_vars: Vec<usize> = vars
             .iter()
             .map(|v| {
-                sub.var_names
-                    .iter()
-                    .position(|n| n == v)
-                    .ok_or_else(|| {
-                        CalcFError::Semantic(format!(
-                            "aggregate variable {v} unused in its formula"
-                        ))
-                    })
+                sub.var_names.iter().position(|n| n == v).ok_or_else(|| {
+                    CalcFError::Semantic(format!("aggregate variable {v} unused in its formula"))
+                })
             })
             .collect::<Result<_, _>>()?;
         Ok((sub.relation, inner_vars))
@@ -436,14 +463,14 @@ impl CalcFEngine {
             CFormula::True => Formula::True,
             CFormula::False => Formula::False,
             CFormula::Rel(name, args) => {
-                let idx: Vec<usize> = args
-                    .iter()
-                    .map(|a| {
-                        index.get(a).copied().ok_or_else(|| {
-                            CalcFError::Semantic(format!("unknown variable {a}"))
+                let idx: Vec<usize> =
+                    args.iter()
+                        .map(|a| {
+                            index.get(a).copied().ok_or_else(|| {
+                                CalcFError::Semantic(format!("unknown variable {a}"))
+                            })
                         })
-                    })
-                    .collect::<Result<_, _>>()?;
+                        .collect::<Result<_, _>>()?;
                 Formula::Rel(name.clone(), idx)
             }
             CFormula::EvalPred(..) => {
@@ -521,16 +548,9 @@ impl CalcFEngine {
                 // Substitute h_e(arg) for the application.
                 let replaced = substitute_apply(t, &func, &arg, &h_e);
                 // Guard: lo ≤ arg ≤ hi.
-                let guard_lo = Atom::new(
-                    &MPoly::constant(lo, nvars) - &arg_poly,
-                    RelOp::Le,
-                );
-                let guard_hi = Atom::new(
-                    &arg_poly - &MPoly::constant(hi, nvars),
-                    RelOp::Le,
-                );
-                let inner =
-                    self.atom_to_formula(&replaced, op, index, nvars, exact, err)?;
+                let guard_lo = Atom::new(&MPoly::constant(lo, nvars) - &arg_poly, RelOp::Le);
+                let guard_hi = Atom::new(&arg_poly - &MPoly::constant(hi, nvars), RelOp::Le);
+                let inner = self.atom_to_formula(&replaced, op, index, nvars, exact, err)?;
                 branches.push(Formula::And(vec![
                     Formula::Atom(guard_lo),
                     Formula::Atom(guard_hi),
@@ -541,10 +561,7 @@ impl CalcFEngine {
                 return Err(CalcFError::Approx(
                     cdb_approx::modules::ApproxError::OutOfDomain {
                         func: func.name(),
-                        interval: format!(
-                            "the whole a-base span {:?}",
-                            self.abase.span()
-                        ),
+                        interval: format!("the whole a-base span {:?}", self.abase.span()),
                     },
                 ));
             }
@@ -556,14 +573,81 @@ impl CalcFEngine {
     }
 }
 
+/// Map `f` over `0..n` on up to `workers` scoped threads, results in index
+/// order; the reported error is the lowest-index one (indices are claimed
+/// monotonically, so everything below the first stored error completed).
+fn par_indexed<T: Send>(
+    n: usize,
+    workers: usize,
+    f: impl Fn(usize) -> Result<T, CalcFError> + Sync,
+) -> Result<Vec<T>, CalcFError> {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<T, CalcFError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                if r.is_err() {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("worker slot poisoned") = Some(r);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.into_inner().expect("worker slot poisoned") {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("unclaimed work slot without a prior error"),
+        }
+    }
+    Ok(out)
+}
+
+/// Whether a formula contains any aggregate predicate or aggregate term.
+fn contains_aggregate(f: &CFormula) -> bool {
+    match f {
+        CFormula::True | CFormula::False | CFormula::Rel(..) => false,
+        CFormula::EvalPred(..) => true,
+        CFormula::Cmp(a, _, b) => term_has_aggregate(a) || term_has_aggregate(b),
+        CFormula::Not(g) | CFormula::Exists(_, g) | CFormula::Forall(_, g) => contains_aggregate(g),
+        CFormula::And(fs) | CFormula::Or(fs) => fs.iter().any(contains_aggregate),
+    }
+}
+
+fn term_has_aggregate(t: &CTerm) -> bool {
+    match t {
+        CTerm::Var(_) | CTerm::Const(_) => false,
+        CTerm::Add(a, b) | CTerm::Sub(a, b) | CTerm::Mul(a, b) => {
+            term_has_aggregate(a) || term_has_aggregate(b)
+        }
+        CTerm::Neg(a) | CTerm::Pow(a, _) | CTerm::Apply(_, a) => term_has_aggregate(a),
+        CTerm::Agg(..) => true,
+    }
+}
+
 /// Reject quantifier shadowing (two bindings of the same name, or binding a
 /// name that is also free) — variable identity is by name.
 fn check_no_shadowing(f: &CFormula) -> Result<(), CalcFError> {
     fn go(f: &CFormula, bound: &mut Vec<String>) -> Result<(), CalcFError> {
         match f {
-            CFormula::True | CFormula::False | CFormula::Rel(..) | CFormula::Cmp(..) => {
-                Ok(())
-            }
+            CFormula::True | CFormula::False | CFormula::Rel(..) | CFormula::Cmp(..) => Ok(()),
             CFormula::EvalPred(_, g) => go(g, bound),
             CFormula::Not(g) => go(g, bound),
             CFormula::And(fs) | CFormula::Or(fs) => {
@@ -660,20 +744,13 @@ fn find_innermost_apply(t: &CTerm) -> Option<(cdb_approx::AnalyticFn, CTerm)> {
             find_innermost_apply(a).or_else(|| find_innermost_apply(b))
         }
         CTerm::Neg(a) | CTerm::Pow(a, _) => find_innermost_apply(a),
-        CTerm::Apply(f, a) => {
-            find_innermost_apply(a).or_else(|| Some((*f, (**a).clone())))
-        }
+        CTerm::Apply(f, a) => find_innermost_apply(a).or_else(|| Some((*f, (**a).clone()))),
         CTerm::Agg(..) => None,
     }
 }
 
 /// Replace occurrences of `func(arg)` in `t` by the polynomial `h(arg)`.
-fn substitute_apply(
-    t: &CTerm,
-    func: &cdb_approx::AnalyticFn,
-    arg: &CTerm,
-    h: &UPoly,
-) -> CTerm {
+fn substitute_apply(t: &CTerm, func: &cdb_approx::AnalyticFn, arg: &CTerm, h: &UPoly) -> CTerm {
     match t {
         CTerm::Apply(f, a) if f == func && a.as_ref() == arg => {
             // h(arg) as a term: Horner.
@@ -701,9 +778,7 @@ fn substitute_apply(
         ),
         CTerm::Neg(a) => CTerm::Neg(Box::new(substitute_apply(a, func, arg, h))),
         CTerm::Pow(a, n) => CTerm::Pow(Box::new(substitute_apply(a, func, arg, h)), *n),
-        CTerm::Apply(f, a) => {
-            CTerm::Apply(*f, Box::new(substitute_apply(a, func, arg, h)))
-        }
+        CTerm::Apply(f, a) => CTerm::Apply(*f, Box::new(substitute_apply(a, func, arg, h))),
         CTerm::Agg(..) => t.clone(),
     }
 }
@@ -722,15 +797,9 @@ fn term_to_mpoly(
             MPoly::var(i, nvars)
         }
         CTerm::Const(c) => MPoly::constant(c.clone(), nvars),
-        CTerm::Add(a, b) => {
-            &term_to_mpoly(a, index, nvars)? + &term_to_mpoly(b, index, nvars)?
-        }
-        CTerm::Sub(a, b) => {
-            &term_to_mpoly(a, index, nvars)? - &term_to_mpoly(b, index, nvars)?
-        }
-        CTerm::Mul(a, b) => {
-            &term_to_mpoly(a, index, nvars)? * &term_to_mpoly(b, index, nvars)?
-        }
+        CTerm::Add(a, b) => &term_to_mpoly(a, index, nvars)? + &term_to_mpoly(b, index, nvars)?,
+        CTerm::Sub(a, b) => &term_to_mpoly(a, index, nvars)? - &term_to_mpoly(b, index, nvars)?,
+        CTerm::Mul(a, b) => &term_to_mpoly(a, index, nvars)? * &term_to_mpoly(b, index, nvars)?,
         CTerm::Neg(a) => -&term_to_mpoly(a, index, nvars)?,
         CTerm::Pow(a, n) => term_to_mpoly(a, index, nvars)?.pow(*n),
         CTerm::Apply(f, _) => {
@@ -748,10 +817,7 @@ fn term_to_mpoly(
 }
 
 /// Express a DNF relation as a CALC_F formula (used to inline EVAL results).
-fn relation_to_cformula(
-    rel: &ConstraintRelation,
-    index: &BTreeMap<String, usize>,
-) -> CFormula {
+fn relation_to_cformula(rel: &ConstraintRelation, index: &BTreeMap<String, usize>) -> CFormula {
     let names: Vec<String> = {
         let mut v = vec![String::new(); index.len().max(rel.nvars())];
         for (n, &i) in index {
@@ -796,7 +862,11 @@ fn mpoly_to_cterm(p: &MPoly, names: &[String]) -> CTerm {
                 continue;
             }
             let var = CTerm::Var(names[i].clone());
-            let factor = if e == 1 { var } else { CTerm::Pow(Box::new(var), e) };
+            let factor = if e == 1 {
+                var
+            } else {
+                CTerm::Pow(Box::new(var), e)
+            };
             term = CTerm::Mul(Box::new(term), Box::new(factor));
         }
         acc = CTerm::Add(Box::new(acc), Box::new(term));
@@ -850,7 +920,9 @@ mod tests {
         let out = engine
             .evaluate(&db, "exists y (S(x, y) and y <= 0)")
             .unwrap();
-        assert!(out.relation.satisfied_at(&out.point(&["5/2".parse().unwrap()])));
+        assert!(out
+            .relation
+            .satisfied_at(&out.point(&["5/2".parse().unwrap()])));
         assert!(!out.relation.satisfied_at(&out.point(&[Rat::from(2i64)])));
         assert_eq!(out.var_names[out.free_vars[0]], "x");
     }
@@ -935,9 +1007,7 @@ mod tests {
     fn parameterized_aggregate_rejected() {
         let db = paper_db();
         let engine = CalcFEngine::default();
-        let err = engine
-            .evaluate(&db, "z = MIN[y]{ S(x, y) }")
-            .unwrap_err();
+        let err = engine.evaluate(&db, "z = MIN[y]{ S(x, y) }").unwrap_err();
         assert!(matches!(err, CalcFError::Semantic(_)), "{err}");
     }
 
@@ -965,10 +1035,16 @@ mod tests {
     #[test]
     fn finite_precision_budget() {
         let db = paper_db();
-        let engine = CalcFEngine { budget_bits: Some(3), ..CalcFEngine::default() };
+        let engine = CalcFEngine {
+            budget_bits: Some(3),
+            ..CalcFEngine::default()
+        };
         let err = engine
             .evaluate(&db, "exists y (S(x, y) and y <= 0)")
             .unwrap_err();
-        assert!(matches!(err, CalcFError::Qe(QeError::PrecisionExceeded { .. })));
+        assert!(matches!(
+            err,
+            CalcFError::Qe(QeError::PrecisionExceeded { .. })
+        ));
     }
 }

@@ -185,7 +185,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     out.push(Token::Ne);
                     i += 2;
                 } else {
-                    return Err(LexError { message: "expected '=' after '!'".into(), position: i });
+                    return Err(LexError {
+                        message: "expected '=' after '!'".into(),
+                        position: i,
+                    });
                 }
             }
             b'<' => match bytes.get(i + 1) {
@@ -220,9 +223,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -299,7 +300,11 @@ mod tests {
         let toks = tokenize("x -- this is a comment\n <= 1").unwrap();
         assert_eq!(
             toks,
-            vec![Token::Ident("x".into()), Token::Le, Token::Number("1".into())]
+            vec![
+                Token::Ident("x".into()),
+                Token::Le,
+                Token::Number("1".into())
+            ]
         );
     }
 

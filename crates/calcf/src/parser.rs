@@ -47,7 +47,9 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { message: e.to_string() }
+        ParseError {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -85,16 +87,24 @@ impl Parser {
     fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
         match self.next() {
             Some(ref got) if got == t => Ok(()),
-            Some(got) => Err(ParseError { message: format!("expected {t}, got {got}") }),
-            None => Err(ParseError { message: format!("expected {t}, got end of input") }),
+            Some(got) => Err(ParseError {
+                message: format!("expected {t}, got {got}"),
+            }),
+            None => Err(ParseError {
+                message: format!("expected {t}, got end of input"),
+            }),
         }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            Some(got) => Err(ParseError { message: format!("expected identifier, got {got}") }),
-            None => Err(ParseError { message: "expected identifier, got end of input".into() }),
+            Some(got) => Err(ParseError {
+                message: format!("expected identifier, got {got}"),
+            }),
+            None => Err(ParseError {
+                message: "expected identifier, got end of input".into(),
+            }),
         }
     }
 
@@ -210,8 +220,7 @@ impl Parser {
         // Relation atom: IDENT ( vars ) not followed by an operator, where
         // IDENT is not an analytic function or aggregate name.
         if let Some(Token::Ident(name)) = self.peek().cloned() {
-            let is_fn =
-                AnalyticFn::by_name(&name).is_some() || Aggregate::by_name(&name).is_some();
+            let is_fn = AnalyticFn::by_name(&name).is_some() || Aggregate::by_name(&name).is_some();
             if !is_fn && self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
                 let save = self.pos;
                 self.next(); // name
@@ -280,7 +289,9 @@ impl Parser {
                         });
                     };
                     if c.is_zero() {
-                        return Err(ParseError { message: "division by zero".into() });
+                        return Err(ParseError {
+                            message: "division by zero".into(),
+                        });
                     }
                     acc = CTerm::Mul(Box::new(acc), Box::new(CTerm::Const(c.recip())));
                 }
@@ -305,9 +316,9 @@ impl Parser {
             self.next();
             match self.next() {
                 Some(Token::Number(n)) if !n.contains('.') => {
-                    let e: u32 = n
-                        .parse()
-                        .map_err(|_| ParseError { message: format!("bad exponent {n}") })?;
+                    let e: u32 = n.parse().map_err(|_| ParseError {
+                        message: format!("bad exponent {n}"),
+                    })?;
                     base = CTerm::Pow(Box::new(base), e);
                 }
                 other => {
@@ -323,9 +334,9 @@ impl Parser {
     fn atom_term(&mut self) -> Result<CTerm, ParseError> {
         match self.next() {
             Some(Token::Number(n)) => {
-                let r: Rat = n
-                    .parse()
-                    .map_err(|_| ParseError { message: format!("bad number {n}") })?;
+                let r: Rat = n.parse().map_err(|_| ParseError {
+                    message: format!("bad number {n}"),
+                })?;
                 Ok(CTerm::Const(r))
             }
             Some(Token::LParen) => {
@@ -361,7 +372,9 @@ impl Parser {
                 }
                 Ok(CTerm::Var(name))
             }
-            other => Err(ParseError { message: format!("unexpected token in term: {other:?}") }),
+            other => Err(ParseError {
+                message: format!("unexpected token in term: {other:?}"),
+            }),
         }
     }
 }
@@ -420,14 +433,15 @@ mod tests {
     fn precedence() {
         // 1 + 2*x^2 parses as 1 + (2*(x^2)).
         let f = parse_formula("1 + 2*x^2 = 0").unwrap();
-        let CFormula::Cmp(lhs, _, _) = f else { panic!() };
+        let CFormula::Cmp(lhs, _, _) = f else {
+            panic!()
+        };
         assert_eq!(lhs.to_string(), "(1 + (2 * x^2))");
     }
 
     #[test]
     fn nested_parens_and_quantifiers() {
-        let f =
-            parse_formula("forall x (exists y (x < y) or (x = 0))").unwrap();
+        let f = parse_formula("forall x (exists y (x < y) or (x = 0))").unwrap();
         assert!(matches!(f, CFormula::Forall(_, _)));
         // Parenthesized comparison of a parenthesized term.
         let g = parse_formula("(x + 1) * 2 <= 4").unwrap();
@@ -451,10 +465,8 @@ mod tests {
 
     #[test]
     fn nested_aggregates() {
-        let f = parse_formula(
-            "w = MAX[v]{ v = SURFACE[x, y]{ S(x, y) and y <= 9 } or v = 0 }",
-        )
-        .unwrap();
+        let f = parse_formula("w = MAX[v]{ v = SURFACE[x, y]{ S(x, y) and y <= 9 } or v = 0 }")
+            .unwrap();
         assert_eq!(f.aggregate_depth(), 2);
     }
 

@@ -15,12 +15,9 @@ fn arb_term() -> impl Strategy<Value = CTerm> {
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| CTerm::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| CTerm::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| CTerm::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| CTerm::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| CTerm::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| CTerm::Mul(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| CTerm::Neg(Box::new(a))),
             (inner, 1u32..=3).prop_map(|(a, n)| CTerm::Pow(Box::new(a), n)),
         ]
@@ -39,14 +36,11 @@ fn arb_op() -> impl Strategy<Value = RelOp> {
 }
 
 fn arb_formula() -> impl Strategy<Value = CFormula> {
-    let atom = (arb_term(), arb_op(), arb_term())
-        .prop_map(|(a, op, b)| CFormula::Cmp(a, op, b));
+    let atom = (arb_term(), arb_op(), arb_term()).prop_map(|(a, op, b)| CFormula::Cmp(a, op, b));
     atom.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| CFormula::And(vec![a, b])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| CFormula::Or(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| CFormula::And(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| CFormula::Or(vec![a, b])),
             inner.clone().prop_map(|a| CFormula::Not(Box::new(a))),
         ]
     })

@@ -94,7 +94,10 @@ impl Atom {
     /// `lhs op rhs` convenience constructor (moves everything to the left).
     #[must_use]
     pub fn cmp(lhs: MPoly, op: RelOp, rhs: MPoly) -> Atom {
-        Atom { poly: &lhs - &rhs, op }
+        Atom {
+            poly: &lhs - &rhs,
+            op,
+        }
     }
 
     /// Number of variables in the ambient ring.
@@ -112,7 +115,10 @@ impl Atom {
     /// The negated atom.
     #[must_use]
     pub fn negated(&self) -> Atom {
-        Atom { poly: self.poly.clone(), op: self.op.negated() }
+        Atom {
+            poly: self.poly.clone(),
+            op: self.op.negated(),
+        }
     }
 
     /// Canonical form: polynomial in integer-primitive form with positive
@@ -132,16 +138,18 @@ impl Atom {
             .terms()
             .last()
             .map_or(Sign::Zero, |(_, c)| c.sign());
-        let op = if orig_lead == Sign::Neg { self.op.flipped() } else { self.op };
+        let op = if orig_lead == Sign::Neg {
+            self.op.flipped()
+        } else {
+            self.op
+        };
         CanonicalAtom::Atom(Atom { poly: prim, op })
     }
 
     /// True iff this atom is trivially constant.
     #[must_use]
     pub fn as_trivial(&self) -> Option<bool> {
-        self.poly
-            .to_constant()
-            .map(|c| self.op.accepts(c.sign()))
+        self.poly.to_constant().map(|c| self.op.accepts(c.sign()))
     }
 
     /// Render with the given variable names.
@@ -230,7 +238,10 @@ mod tests {
         match a.canonicalize() {
             CanonicalAtom::Atom(c) => {
                 assert_eq!(c.op, RelOp::Le);
-                assert_eq!(c.poly, &MPoly::var(0, 1) - &MPoly::constant(Rat::from(2i64), 1));
+                assert_eq!(
+                    c.poly,
+                    &MPoly::var(0, 1) - &MPoly::constant(Rat::from(2i64), 1)
+                );
             }
             CanonicalAtom::Trivial(_) => panic!("not trivial"),
         }

@@ -34,7 +34,9 @@ impl TupleBox {
     /// The unconstrained box.
     #[must_use]
     pub fn unbounded(k: usize) -> TupleBox {
-        TupleBox { sides: vec![(None, None); k] }
+        TupleBox {
+            sides: vec![(None, None); k],
+        }
     }
 
     /// Conservative hull of a tuple, from its univariate linear atoms.
@@ -59,7 +61,11 @@ impl TupleBox {
                 continue;
             };
             let bound = -(&c0 / &c1);
-            let op = if c1.sign() == Sign::Neg { atom.op.flipped() } else { atom.op };
+            let op = if c1.sign() == Sign::Neg {
+                atom.op.flipped()
+            } else {
+                atom.op
+            };
             match op {
                 RelOp::Le => bb.tighten_upper(v, bound, false),
                 RelOp::Lt => bb.tighten_upper(v, bound, true),
@@ -173,10 +179,7 @@ mod tests {
 
     #[test]
     fn pruning_preserves_semantics() {
-        let sat = GeneralizedTuple::new(
-            1,
-            vec![Atom::new(&x(1) - &c(5, 1), RelOp::Le)],
-        );
+        let sat = GeneralizedTuple::new(1, vec![Atom::new(&x(1) - &c(5, 1), RelOp::Le)]);
         let unsat = GeneralizedTuple::new(
             1,
             vec![
@@ -199,11 +202,44 @@ mod tests {
     #[test]
     fn nonlinear_atoms_never_prune() {
         // x² ≤ −1 is unsatisfiable but not box-detectable: kept (sound).
-        let t = GeneralizedTuple::new(
-            1,
-            vec![Atom::new(&x(1).pow(2) + &c(1, 1), RelOp::Le)],
-        );
+        let t = GeneralizedTuple::new(1, vec![Atom::new(&x(1).pow(2) + &c(1, 1), RelOp::Le)]);
         assert!(!TupleBox::of_tuple(&t).is_empty());
+    }
+
+    #[test]
+    fn prune_keeps_full_and_empty_relations_intact() {
+        // Full relation: the top tuple has an unbounded box — never pruned.
+        let full = ConstraintRelation::full(2).prune_empty_boxes();
+        assert_eq!(full, ConstraintRelation::full(2));
+        // Empty relation: nothing to prune, arity preserved.
+        let empty = ConstraintRelation::empty(2).prune_empty_boxes();
+        assert!(empty.is_syntactically_empty());
+        assert_eq!(empty.nvars(), 2);
+    }
+
+    #[test]
+    fn prune_drops_every_empty_box() {
+        let unsat = || {
+            GeneralizedTuple::new(
+                1,
+                vec![
+                    Atom::new(&c(7, 1) - &x(1), RelOp::Le),
+                    Atom::new(&x(1) - &c(3, 1), RelOp::Le),
+                ],
+            )
+        };
+        let rel = ConstraintRelation::new(1, vec![unsat(), unsat()]);
+        assert!(rel.prune_empty_boxes().is_syntactically_empty());
+    }
+
+    #[test]
+    fn prune_preserves_duplicate_disjuncts() {
+        // Pruning is a filter, not a simplifier: syntactic duplicates with
+        // nonempty boxes pass through untouched (dedup is simplify()'s job).
+        let sat = GeneralizedTuple::new(1, vec![Atom::new(&x(1) - &c(5, 1), RelOp::Le)]);
+        let rel = ConstraintRelation::new(1, vec![sat.clone(), sat]);
+        assert_eq!(rel.prune_empty_boxes(), rel);
+        assert_eq!(rel.simplify().tuples().len(), 1);
     }
 
     #[test]

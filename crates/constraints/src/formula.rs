@@ -161,9 +161,7 @@ impl Formula {
         match self {
             Formula::True | Formula::False | Formula::Atom(_) | Formula::Rel(..) => true,
             Formula::Not(b) => b.is_quantifier_free(),
-            Formula::And(fs) | Formula::Or(fs) => {
-                fs.iter().all(Formula::is_quantifier_free)
-            }
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(Formula::is_quantifier_free),
             Formula::Quant(..) => false,
         }
     }
@@ -206,9 +204,7 @@ impl Formula {
                     .map(|f| f.instantiate(db, nvars))
                     .collect::<Result<_, _>>()?,
             ),
-            Formula::Quant(q, v, b) => {
-                Formula::Quant(*q, *v, Box::new(b.instantiate(db, nvars)?))
-            }
+            Formula::Quant(q, v, b) => Formula::Quant(*q, *v, Box::new(b.instantiate(db, nvars)?)),
         })
     }
 
@@ -232,9 +228,7 @@ impl Formula {
                         Formula::False
                     }
                 }
-                Formula::Atom(a) => {
-                    Formula::Atom(if neg { a.negated() } else { a.clone() })
-                }
+                Formula::Atom(a) => Formula::Atom(if neg { a.negated() } else { a.clone() }),
                 Formula::Rel(name, args) => {
                     let r = Formula::Rel(name.clone(), args.clone());
                     if neg {
@@ -340,9 +334,7 @@ impl Formula {
                 Ok(acc)
             }
             Formula::Not(_) => Err("to_dnf requires NNF input (no Not nodes)".into()),
-            Formula::Rel(name, _) => {
-                Err(format!("to_dnf on uninstantiated relation {name}"))
-            }
+            Formula::Rel(name, _) => Err(format!("to_dnf on uninstantiated relation {name}")),
             Formula::Quant(..) => Err("to_dnf on quantified formula".into()),
         }
     }
@@ -442,7 +434,10 @@ mod tests {
         let x = MPoly::var(0, 2);
         let y = MPoly::var(1, 2);
         let c = |v: i64| MPoly::constant(Rat::from(v), 2);
-        Atom::new(&(&(&c(4) * &x.pow(2)) - &y) - &(&(&c(20) * &x) - &c(25)), RelOp::Le)
+        Atom::new(
+            &(&(&c(4) * &x.pow(2)) - &y) - &(&(&c(20) * &x) - &c(25)),
+            RelOp::Le,
+        )
     }
 
     fn y_le_0() -> Atom {
@@ -454,7 +449,10 @@ mod tests {
         // Q(x) ≡ ∃y (S(x,y) ∧ y ≤ 0)
         let q = Formula::exists(
             1,
-            Formula::and(Formula::Rel("S".into(), vec![0, 1]), Formula::Atom(y_le_0())),
+            Formula::and(
+                Formula::Rel("S".into(), vec![0, 1]),
+                Formula::Atom(y_le_0()),
+            ),
         );
         assert_eq!(q.free_vars().into_iter().collect::<Vec<_>>(), vec![0]);
         assert!(!q.is_pure());
@@ -466,14 +464,14 @@ mod tests {
         let mut db = Database::new();
         db.insert(
             "S",
-            ConstraintRelation::new(
-                2,
-                vec![GeneralizedTuple::new(2, vec![s_atom()])],
-            ),
+            ConstraintRelation::new(2, vec![GeneralizedTuple::new(2, vec![s_atom()])]),
         );
         let q = Formula::exists(
             1,
-            Formula::and(Formula::Rel("S".into(), vec![0, 1]), Formula::Atom(y_le_0())),
+            Formula::and(
+                Formula::Rel("S".into(), vec![0, 1]),
+                Formula::Atom(y_le_0()),
+            ),
         );
         let pure = q.instantiate(&db, 2).unwrap();
         assert!(pure.is_pure());
@@ -511,7 +509,10 @@ mod tests {
         for (px, py) in [(0i64, 0i64), (2, -1), (3, 10)] {
             let p = [Rat::from(px), Rat::from(py)];
             let direct = Formula::not(Formula::Atom(y_le_0())).eval_at(&p).unwrap();
-            let via_nnf = Formula::not(Formula::Atom(y_le_0())).to_nnf().eval_at(&p).unwrap();
+            let via_nnf = Formula::not(Formula::Atom(y_le_0()))
+                .to_nnf()
+                .eval_at(&p)
+                .unwrap();
             assert_eq!(direct, via_nnf);
         }
     }

@@ -17,13 +17,19 @@ impl GeneralizedTuple {
     /// The unconstrained tuple (all of `R^k`).
     #[must_use]
     pub fn top(nvars: usize) -> GeneralizedTuple {
-        GeneralizedTuple { nvars, atoms: Vec::new() }
+        GeneralizedTuple {
+            nvars,
+            atoms: Vec::new(),
+        }
     }
 
     /// From a conjunction of atoms.
     #[must_use]
     pub fn new(nvars: usize, atoms: Vec<Atom>) -> GeneralizedTuple {
-        assert!(atoms.iter().all(|a| a.nvars() == nvars), "atom arity mismatch");
+        assert!(
+            atoms.iter().all(|a| a.nvars() == nvars),
+            "atom arity mismatch"
+        );
         GeneralizedTuple { nvars, atoms }
     }
 
@@ -74,7 +80,10 @@ impl GeneralizedTuple {
         assert_eq!(self.nvars, other.nvars);
         let mut atoms = self.atoms.clone();
         atoms.extend(other.atoms.iter().cloned());
-        GeneralizedTuple { nvars: self.nvars, atoms }
+        GeneralizedTuple {
+            nvars: self.nvars,
+            atoms,
+        }
     }
 
     /// Truth at a rational point.
@@ -106,7 +115,10 @@ impl GeneralizedTuple {
                 }
             }
         }
-        Some(GeneralizedTuple { nvars: self.nvars, atoms })
+        Some(GeneralizedTuple {
+            nvars: self.nvars,
+            atoms,
+        })
     }
 
     /// All distinct polynomials appearing, in canonical primitive form.
@@ -155,7 +167,11 @@ impl GeneralizedTuple {
     /// accounting: the `k` of `Z_k ⊔ ⟨R̂₁, …⟩`).
     #[must_use]
     pub fn max_coeff_bits(&self) -> u64 {
-        self.atoms.iter().map(|a| a.poly.max_coeff_bits()).max().unwrap_or(0)
+        self.atoms
+            .iter()
+            .map(|a| a.poly.max_coeff_bits())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Render with names.

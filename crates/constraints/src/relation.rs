@@ -1,8 +1,8 @@
 //! Finitely representable relations: finite unions of generalized tuples.
 
-use crate::atom::RelOp;
 #[cfg(test)]
 use crate::atom::Atom;
+use crate::atom::RelOp;
 use crate::gtuple::GeneralizedTuple;
 use cdb_num::Rat;
 use cdb_poly::MPoly;
@@ -20,19 +20,28 @@ impl ConstraintRelation {
     /// The empty relation.
     #[must_use]
     pub fn empty(nvars: usize) -> ConstraintRelation {
-        ConstraintRelation { nvars, tuples: Vec::new() }
+        ConstraintRelation {
+            nvars,
+            tuples: Vec::new(),
+        }
     }
 
     /// All of `R^k`.
     #[must_use]
     pub fn full(nvars: usize) -> ConstraintRelation {
-        ConstraintRelation { nvars, tuples: vec![GeneralizedTuple::top(nvars)] }
+        ConstraintRelation {
+            nvars,
+            tuples: vec![GeneralizedTuple::top(nvars)],
+        }
     }
 
     /// From generalized tuples.
     #[must_use]
     pub fn new(nvars: usize, tuples: Vec<GeneralizedTuple>) -> ConstraintRelation {
-        assert!(tuples.iter().all(|t| t.nvars() == nvars), "tuple arity mismatch");
+        assert!(
+            tuples.iter().all(|t| t.nvars() == nvars),
+            "tuple arity mismatch"
+        );
         ConstraintRelation { nvars, tuples }
     }
 
@@ -83,7 +92,10 @@ impl ConstraintRelation {
                 tuples.push(t.clone());
             }
         }
-        ConstraintRelation { nvars: self.nvars, tuples }
+        ConstraintRelation {
+            nvars: self.nvars,
+            tuples,
+        }
     }
 
     /// Intersection by cross-product of conjunctions.
@@ -98,7 +110,10 @@ impl ConstraintRelation {
                 }
             }
         }
-        ConstraintRelation { nvars: self.nvars, tuples }
+        ConstraintRelation {
+            nvars: self.nvars,
+            tuples,
+        }
     }
 
     /// Complement, by De Morgan expansion (exponential in tuple sizes; used
@@ -134,7 +149,10 @@ impl ConstraintRelation {
                 }
             }
         }
-        ConstraintRelation { nvars: self.nvars, tuples }
+        ConstraintRelation {
+            nvars: self.nvars,
+            tuples,
+        }
     }
 
     /// All distinct polynomials (canonical primitive form) across tuples —
@@ -186,7 +204,11 @@ impl ConstraintRelation {
     pub fn remap_vars(&self, map: &[usize], new_nvars: usize) -> ConstraintRelation {
         ConstraintRelation {
             nvars: new_nvars,
-            tuples: self.tuples.iter().map(|t| t.remap_vars(map, new_nvars)).collect(),
+            tuples: self
+                .tuples
+                .iter()
+                .map(|t| t.remap_vars(map, new_nvars))
+                .collect(),
         }
     }
 
@@ -203,8 +225,7 @@ impl ConstraintRelation {
                 }
                 // Expect xᵢ − c (or c − xᵢ, or scaled): linear in exactly
                 // one variable with degree 1.
-                let vars: Vec<usize> =
-                    (0..self.nvars).filter(|&i| a.poly.uses_var(i)).collect();
+                let vars: Vec<usize> = (0..self.nvars).filter(|&i| a.poly.uses_var(i)).collect();
                 if vars.len() != 1 {
                     return None;
                 }
@@ -317,7 +338,10 @@ mod tests {
             1,
             vec![GeneralizedTuple::new(
                 1,
-                vec![Atom::new(&x - &MPoly::constant(Rat::from(2i64), 1), RelOp::Le)],
+                vec![Atom::new(
+                    &x - &MPoly::constant(Rat::from(2i64), 1),
+                    RelOp::Le,
+                )],
             )],
         );
         let ge0 = ConstraintRelation::new(
@@ -371,13 +395,19 @@ mod tests {
         let x = MPoly::var(0, 1);
         let contradiction = GeneralizedTuple::new(
             1,
-            vec![Atom::new(x.clone(), RelOp::Lt), Atom::new(x.clone(), RelOp::Gt)],
+            vec![
+                Atom::new(x.clone(), RelOp::Lt),
+                Atom::new(x.clone(), RelOp::Gt),
+            ],
         );
         // x<0 ∧ x>0 is not detected by the *cheap* syntactic check unless ops
         // are exact negations; x<0's negation is x≥0. Use that pair instead.
         let contradiction2 = GeneralizedTuple::new(
             1,
-            vec![Atom::new(x.clone(), RelOp::Lt), Atom::new(x.clone(), RelOp::Ge)],
+            vec![
+                Atom::new(x.clone(), RelOp::Lt),
+                Atom::new(x.clone(), RelOp::Ge),
+            ],
         );
         let ok = GeneralizedTuple::new(1, vec![Atom::new(x, RelOp::Le)]);
         let r = ConstraintRelation::new(1, vec![contradiction, contradiction2, ok.clone()]);
@@ -386,5 +416,69 @@ mod tests {
         // syntactic pass (semantics needs QE) — that is documented behavior.
         assert!(s.tuples().len() <= 2);
         assert!(s.tuples().contains(&ok));
+    }
+
+    #[test]
+    fn simplify_dedups_duplicate_disjuncts() {
+        let x = MPoly::var(0, 1);
+        let t = GeneralizedTuple::new(1, vec![Atom::new(x.clone(), RelOp::Le)]);
+        // Same disjunct three times, plus a scaled copy (2x ≤ 0) whose
+        // canonical form coincides with x ≤ 0.
+        let scaled =
+            GeneralizedTuple::new(1, vec![Atom::new(x.scale(&Rat::from(2i64)), RelOp::Le)]);
+        let r = ConstraintRelation::new(1, vec![t.clone(), t.clone(), scaled, t]);
+        let s = r.simplify();
+        assert_eq!(s.tuples().len(), 1);
+        for v in [-3i64, 0, 3] {
+            assert_eq!(
+                r.satisfied_at(&[Rat::from(v)]),
+                s.satisfied_at(&[Rat::from(v)]),
+                "at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn simplify_collapses_full_relation() {
+        let x = MPoly::var(0, 1);
+        // One disjunct is trivially true (−1 ≤ 0 only): the whole union is
+        // R^1 and everything else must collapse away.
+        let top = GeneralizedTuple::new(
+            1,
+            vec![Atom::new(MPoly::constant(Rat::from(-1i64), 1), RelOp::Le)],
+        );
+        let narrow = GeneralizedTuple::new(1, vec![Atom::new(x, RelOp::Le)]);
+        let r = ConstraintRelation::new(1, vec![narrow, top]);
+        let s = r.simplify();
+        assert_eq!(s, ConstraintRelation::full(1));
+        assert_eq!(s.tuples().len(), 1);
+        assert!(s.tuples()[0].is_top());
+        assert!(s.satisfied_at(&[Rat::from(1_000_000i64)]));
+    }
+
+    #[test]
+    fn simplify_of_empty_relation_is_empty() {
+        let r = ConstraintRelation::empty(2);
+        let s = r.simplify();
+        assert!(s.is_syntactically_empty());
+        assert_eq!(s.nvars(), 2);
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let x = MPoly::var(0, 1);
+        let dup = GeneralizedTuple::new(
+            1,
+            vec![
+                Atom::new(x.clone(), RelOp::Le),
+                Atom::new(x.clone(), RelOp::Le),
+                Atom::new(MPoly::constant(Rat::from(-2i64), 1), RelOp::Lt),
+            ],
+        );
+        let r = ConstraintRelation::new(1, vec![dup.clone(), dup]);
+        let once = r.simplify();
+        assert_eq!(once, once.simplify());
+        assert_eq!(once.tuples().len(), 1);
+        assert_eq!(once.tuples()[0].atoms().len(), 1);
     }
 }

@@ -55,10 +55,7 @@ fn parse_rule(src: &str) -> Result<Rule, DbError> {
             vars.len() - 1
         }
     };
-    let head_idx: Vec<usize> = head_vars
-        .iter()
-        .map(|v| var_index(v, &mut vars))
-        .collect();
+    let head_idx: Vec<usize> = head_vars.iter().map(|v| var_index(v, &mut vars)).collect();
     // Pass 1: split body literals and register relation-atom variables so
     // the ring is known before compiling constraints.
     let body_parts = split_literals(body_src);
@@ -75,9 +72,8 @@ fn parse_rule(src: &str) -> Result<Rule, DbError> {
             continue;
         }
         if let Some(rest) = part.strip_prefix("not ") {
-            let (name, args) = parse_atom_shape(rest.trim()).ok_or_else(|| {
-                DbError::Storage(format!("bad negated literal: {part}"))
-            })?;
+            let (name, args) = parse_atom_shape(rest.trim())
+                .ok_or_else(|| DbError::Storage(format!("bad negated literal: {part}")))?;
             for a in &args {
                 var_index(a, &mut vars);
             }
@@ -235,11 +231,7 @@ mod tests {
         assert_eq!(program.rules.len(), 3);
         let mut db = ConstraintDb::new();
         db.insert_points("Start", 1, &[vec![Rat::zero()]]);
-        db.insert_points(
-            "Dom",
-            1,
-            &[vec![Rat::one()], vec![Rat::from(5i64)]],
-        );
+        db.insert_points("Dom", 1, &[vec![Rat::one()], vec![Rat::from(5i64)]]);
         let ctx = QeContext::exact();
         let (out, _) = program.run(db.raw(), &ctx, 16).unwrap();
         let r = out.get("R").unwrap();

@@ -89,7 +89,9 @@ impl QueryResult {
     /// variable order) satisfy the answer?
     #[must_use]
     pub fn contains(&self, free_coords: &[Rat]) -> bool {
-        self.output.relation.satisfied_at(&self.output.point(free_coords))
+        self.output
+            .relation
+            .satisfied_at(&self.output.point(free_coords))
     }
 
     /// Render the answer with variable names.
@@ -137,13 +139,19 @@ impl ConstraintDb {
     /// approximations over a 32-cell a-base on [−16, 16], ε = 2⁻³⁰).
     #[must_use]
     pub fn new() -> ConstraintDb {
-        ConstraintDb { db: Database::new(), engine: CalcFEngine::default() }
+        ConstraintDb {
+            db: Database::new(),
+            engine: CalcFEngine::default(),
+        }
     }
 
     /// Use a custom engine configuration.
     #[must_use]
     pub fn with_engine(engine: CalcFEngine) -> ConstraintDb {
-        ConstraintDb { db: Database::new(), engine }
+        ConstraintDb {
+            db: Database::new(),
+            engine,
+        }
     }
 
     /// Engine configuration (mutable: adjust a-base, precision, budget).
@@ -161,12 +169,7 @@ impl ConstraintDb {
     /// `db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0")`.
     /// Definitions may use quantifiers, previously defined relations,
     /// analytic functions and aggregates.
-    pub fn define(
-        &mut self,
-        name: &str,
-        vars: &[&str],
-        src: &str,
-    ) -> Result<(), DbError> {
+    pub fn define(&mut self, name: &str, vars: &[&str], src: &str) -> Result<(), DbError> {
         let rel = self.engine.compile_relation(&self.db, vars, src)?;
         self.db.insert(name, rel);
         Ok(())
@@ -203,7 +206,10 @@ impl ConstraintDb {
     /// Evaluate a CALC_F query in closed form.
     pub fn query(&self, src: &str) -> Result<QueryResult, DbError> {
         let output = self.engine.evaluate(&self.db, src)?;
-        Ok(QueryResult { output, eps: self.engine.eps.clone() })
+        Ok(QueryResult {
+            output,
+            eps: self.engine.eps.clone(),
+        })
     }
 
     /// Evaluate under the finite precision semantics with bit budget `k`:
@@ -212,7 +218,10 @@ impl ConstraintDb {
         let mut engine = self.engine.clone();
         engine.budget_bits = Some(budget_bits);
         match engine.evaluate(&self.db, src) {
-            Ok(output) => Ok(Some(QueryResult { output, eps: engine.eps.clone() })),
+            Ok(output) => Ok(Some(QueryResult {
+                output,
+                eps: engine.eps.clone(),
+            })),
             Err(CalcFError::Qe(QeError::PrecisionExceeded { .. })) => Ok(None),
             Err(e) => Err(e.into()),
         }
@@ -225,7 +234,8 @@ mod tests {
 
     fn paper_db() -> ConstraintDb {
         let mut db = ConstraintDb::new();
-        db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0").unwrap();
+        db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0")
+            .unwrap();
         db
     }
 
@@ -258,7 +268,8 @@ mod tests {
     fn derived_definitions() {
         let mut db = paper_db();
         // Define the Figure 1 answer as a stored relation.
-        db.define("Q", &["x"], "exists y (S(x, y) and y <= 0)").unwrap();
+        db.define("Q", &["x"], "exists y (S(x, y) and y <= 0)")
+            .unwrap();
         let q = db.query("Q(x)").unwrap();
         assert!(q.contains(&["5/2".parse().unwrap()]));
         assert!(!q.contains(&[Rat::from(3i64)]));
@@ -267,8 +278,14 @@ mod tests {
     #[test]
     fn finite_precision_query() {
         let db = paper_db();
-        assert!(db.query_fp("exists y (S(x, y) and y <= 0)", 3).unwrap().is_none());
-        assert!(db.query_fp("exists y (S(x, y) and y <= 0)", 64).unwrap().is_some());
+        assert!(db
+            .query_fp("exists y (S(x, y) and y <= 0)", 3)
+            .unwrap()
+            .is_none());
+        assert!(db
+            .query_fp("exists y (S(x, y) and y <= 0)", 64)
+            .unwrap()
+            .is_some());
     }
 
     #[test]

@@ -29,7 +29,9 @@ impl BoundingBox {
     /// Unbounded box in `k` dimensions.
     #[must_use]
     pub fn unbounded(k: usize) -> BoundingBox {
-        BoundingBox { sides: vec![(Bound::Open, Bound::Open); k] }
+        BoundingBox {
+            sides: vec![(Bound::Open, Bound::Open); k],
+        }
     }
 
     /// Conservative box of a generalized tuple: scan its atoms for
@@ -57,7 +59,11 @@ impl BoundingBox {
             };
             // a·x + b σ 0 ⇔ x σ' −b/a.
             let bound = -(&c0 / &c1);
-            let op = if c1.sign() == Sign::Neg { atom.op.flipped() } else { atom.op };
+            let op = if c1.sign() == Sign::Neg {
+                atom.op.flipped()
+            } else {
+                atom.op
+            };
             match op {
                 RelOp::Le | RelOp::Lt => bb.tighten_upper(v, &bound),
                 RelOp::Ge | RelOp::Gt => bb.tighten_lower(v, &bound),
@@ -133,8 +139,16 @@ impl BoxIndex {
     /// Build the index.
     #[must_use]
     pub fn build(relation: ConstraintRelation) -> BoxIndex {
-        let boxes = relation.tuples().iter().map(BoundingBox::of_tuple).collect();
-        BoxIndex { boxes, relation, last_pruned: std::cell::Cell::new(0) }
+        let boxes = relation
+            .tuples()
+            .iter()
+            .map(BoundingBox::of_tuple)
+            .collect();
+        BoxIndex {
+            boxes,
+            relation,
+            last_pruned: std::cell::Cell::new(0),
+        }
     }
 
     /// The indexed relation.
@@ -200,20 +214,29 @@ mod tests {
     #[test]
     fn boxes_extracted() {
         let bb = BoundingBox::of_tuple(&square_at(3, 4));
-        assert_eq!(bb.sides[0], (Bound::At(Rat::from(3i64)), Bound::At(Rat::from(4i64))));
-        assert_eq!(bb.sides[1], (Bound::At(Rat::from(4i64)), Bound::At(Rat::from(5i64))));
+        assert_eq!(
+            bb.sides[0],
+            (Bound::At(Rat::from(3i64)), Bound::At(Rat::from(4i64)))
+        );
+        assert_eq!(
+            bb.sides[1],
+            (Bound::At(Rat::from(4i64)), Bound::At(Rat::from(5i64)))
+        );
     }
 
     #[test]
     fn membership_with_pruning() {
-        let tuples: Vec<GeneralizedTuple> =
-            (0..50).map(|i| square_at(2 * i, 0)).collect();
+        let tuples: Vec<GeneralizedTuple> = (0..50).map(|i| square_at(2 * i, 0)).collect();
         let rel = ConstraintRelation::new(2, tuples);
         let idx = BoxIndex::build(rel.clone());
         let p = [Rat::from(20i64), "1/2".parse().unwrap()];
         assert_eq!(idx.contains(&p), rel.satisfied_at(&p));
         assert!(idx.contains(&p));
-        assert!(idx.last_pruned.get() >= 9, "pruned {}", idx.last_pruned.get());
+        assert!(
+            idx.last_pruned.get() >= 9,
+            "pruned {}",
+            idx.last_pruned.get()
+        );
         let q = ["43/2".parse().unwrap(), "1/2".parse().unwrap()]; // gap between squares
         assert!(!idx.contains(&q));
         assert_eq!(idx.last_pruned.get(), 50);

@@ -41,10 +41,10 @@ pub use cdb_agg::Aggregate;
 pub use cdb_approx::{ABase, AnalyticFn};
 pub use cdb_calcf::{CalcFEngine, CalcFError, CalcFOutput};
 pub use cdb_constraints::{Atom, ConstraintRelation, Database, Formula, GeneralizedTuple, RelOp};
+pub use cdb_datalog::{Literal, Program, Rule};
 pub use cdb_num::{Int, Rat};
 pub use cdb_poly::{MPoly, UPoly};
 pub use cdb_qe::{QeContext, QeError};
-pub use cdb_datalog::{Literal, Program, Rule};
 pub use datalog_text::parse_program;
 pub use facade::{ConstraintDb, DbError, QueryResult};
 pub use index::BoxIndex;

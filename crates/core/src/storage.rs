@@ -31,8 +31,7 @@ pub fn save(db: &ConstraintDb) -> String {
             if t.atoms().is_empty() {
                 out.push_str("true");
             } else {
-                let parts: Vec<String> =
-                    t.atoms().iter().map(|a| a.display_with(&refs)).collect();
+                let parts: Vec<String> = t.atoms().iter().map(|a| a.display_with(&refs)).collect();
                 out.push_str(&parts.join(" and "));
             }
             out.push('\n');
@@ -52,7 +51,9 @@ pub fn load(text: &str) -> Result<ConstraintDb, DbError> {
             continue;
         }
         let Some(head) = line.strip_prefix("relation ") else {
-            return Err(DbError::Storage(format!("expected 'relation', got: {line}")));
+            return Err(DbError::Storage(format!(
+                "expected 'relation', got: {line}"
+            )));
         };
         let (name, vars) = parse_relation_head(head)?;
         let mut tuples_src: Vec<String> = Vec::new();
@@ -67,11 +68,7 @@ pub fn load(text: &str) -> Result<ConstraintDb, DbError> {
                         "expected 'tuple' or 'end', got: {other}"
                     )))
                 }
-                None => {
-                    return Err(DbError::Storage(format!(
-                        "unterminated relation {name}"
-                    )))
-                }
+                None => return Err(DbError::Storage(format!("unterminated relation {name}"))),
             }
         }
         let refs: Vec<&str> = vars.iter().map(String::as_str).collect();
@@ -90,11 +87,7 @@ pub fn load(text: &str) -> Result<ConstraintDb, DbError> {
 impl ConstraintDb {
     /// Compile a quantifier-free source fragment over named variables
     /// (storage helper; uses the engine but not the stored relations).
-    fn query_compile(
-        &self,
-        vars: &[&str],
-        src: &str,
-    ) -> Result<ConstraintRelation, DbError> {
+    fn query_compile(&self, vars: &[&str], src: &str) -> Result<ConstraintRelation, DbError> {
         let mut scratch = ConstraintDb::new();
         scratch.define("__tmp", vars, src)?;
         Ok(scratch.remove("__tmp").expect("just defined"))
@@ -128,12 +121,9 @@ mod tests {
     #[test]
     fn roundtrip_paper_relation() {
         let mut db = ConstraintDb::new();
-        db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0").unwrap();
-        db.insert_points(
-            "P",
-            1,
-            &[vec![Rat::one()], vec!["5/2".parse().unwrap()]],
-        );
+        db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0")
+            .unwrap();
+        db.insert_points("P", 1, &[vec![Rat::one()], vec!["5/2".parse().unwrap()]]);
         let text = save(&db);
         assert!(text.contains("relation S(v0, v1)"));
         let back = load(&text).unwrap();

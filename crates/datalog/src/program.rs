@@ -43,7 +43,12 @@ impl Rule {
             assert!(v < nvars, "head variable out of range");
             assert!(seen.insert(v), "repeated head variable");
         }
-        Rule { head: head.into(), head_vars, body, nvars }
+        Rule {
+            head: head.into(),
+            head_vars,
+            body,
+            nvars,
+        }
     }
 
     /// The body as a first-order formula with existentials over non-head
@@ -268,7 +273,12 @@ mod tests {
         // T(x,y) :- E(x,y).  T(x,y) :- T(x,z), E(z,y).
         let program = Program {
             rules: vec![
-                Rule::new("T", vec![0, 1], vec![Literal::Rel("E".into(), vec![0, 1])], 2),
+                Rule::new(
+                    "T",
+                    vec![0, 1],
+                    vec![Literal::Rel("E".into(), vec![0, 1])],
+                    2,
+                ),
                 Rule::new(
                     "T",
                     vec![0, 1],
@@ -312,7 +322,10 @@ mod tests {
         let x = MPoly::var(0, n);
         let y = MPoly::var(1, n);
         let mut db = Database::new();
-        db.insert("Start", ConstraintRelation::from_points(1, &[vec![Rat::zero()]]));
+        db.insert(
+            "Start",
+            ConstraintRelation::from_points(1, &[vec![Rat::zero()]]),
+        );
         db.insert(
             "Step",
             ConstraintRelation::new(
@@ -344,12 +357,15 @@ mod tests {
         let ctx = QeContext::exact();
         let (out, stats) = program.run(&db, &ctx, 20).unwrap();
         let r = out.get("R").unwrap();
-        for (v, expect) in [("0", true), ("1/2", true), ("2", true), ("3", true), ("7/2", false), ("-1", false)] {
-            assert_eq!(
-                r.satisfied_at(&[v.parse().unwrap()]),
-                expect,
-                "R({v})"
-            );
+        for (v, expect) in [
+            ("0", true),
+            ("1/2", true),
+            ("2", true),
+            ("3", true),
+            ("7/2", false),
+            ("-1", false),
+        ] {
+            assert_eq!(r.satisfied_at(&[v.parse().unwrap()]), expect, "R({v})");
         }
         // Saturation in ~4 rounds (step extends reach by 1 per round).
         assert!(stats.iterations <= 8, "iterations {}", stats.iterations);
@@ -364,7 +380,11 @@ mod tests {
             "Domain",
             ConstraintRelation::from_points(
                 1,
-                &[vec![Rat::one()], vec![Rat::from(2i64)], vec![Rat::from(3i64)]],
+                &[
+                    vec![Rat::one()],
+                    vec![Rat::from(2i64)],
+                    vec![Rat::from(3i64)],
+                ],
             ),
         );
         db.insert(
@@ -401,7 +421,10 @@ mod tests {
         let x = MPoly::var(0, n);
         let y = MPoly::var(1, n);
         let mut db = Database::new();
-        db.insert("Init", ConstraintRelation::from_points(1, &[vec![Rat::one()]]));
+        db.insert(
+            "Init",
+            ConstraintRelation::from_points(1, &[vec![Rat::one()]]),
+        );
         db.insert(
             "Double",
             ConstraintRelation::new(

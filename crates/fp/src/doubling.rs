@@ -87,7 +87,10 @@ pub fn add2k_hi(z: &Zk, a: &Pair, b: &Pair) -> Pair {
     // Total carry out = c1 + c2 (each 0/1; they cannot both be 1 and push
     // past one bit of carry for word sizes ≥ 1).
     let hi_carry = z.add_lo(&c1, &c2);
-    Pair { lo: hi_carry, hi: Int::zero() }
+    Pair {
+        lo: hi_carry,
+        hi: Int::zero(),
+    }
 }
 
 /// Lemma 4.5 multiplication: the four `k`-bit words of `a·b` (a `4k`-bit
@@ -109,7 +112,7 @@ pub fn mul2k_words(z: &Zk, a: &Pair, b: &Pair) -> [Int; 4] {
     let (s1, c1a) = (z.add_lo(&ll_h, &lh_l), z.add_hi(&ll_h, &lh_l));
     let (w1, c1b) = (z.add_lo(&s1, &hl_l), z.add_hi(&s1, &hl_l));
     let carry1 = z.add_lo(&c1a, &c1b); // ≤ 2, fits in k bits for k ≥ 2
-    // Column 2: lh_h + hl_h + hh_l + carry1.
+                                       // Column 2: lh_h + hl_h + hh_l + carry1.
     let (s2, c2a) = (z.add_lo(&lh_h, &hl_h), z.add_hi(&lh_h, &hl_h));
     let (s3, c2b) = (z.add_lo(&s2, &hh_l), z.add_hi(&s2, &hh_l));
     let (w2, c2c) = (z.add_lo(&s3, &carry1), z.add_hi(&s3, &carry1));
@@ -250,11 +253,7 @@ mod tests {
         let z = z4();
         for a in [0i64, 1, 15, 16, 100, 255] {
             for b in [0i64, 3, 16, 99, 255] {
-                assert_eq!(
-                    le2k(&z, &pair(&z, a), &pair(&z, b)),
-                    a <= b,
-                    "{a} <= {b}"
-                );
+                assert_eq!(le2k(&z, &pair(&z, a), &pair(&z, b)), a <= b, "{a} <= {b}");
             }
         }
     }
@@ -266,11 +265,7 @@ mod tests {
             for b in 0i64..64 {
                 let got = add2k_partial(&z, &pair(&z, a), &pair(&z, b));
                 if a + b < 64 {
-                    assert_eq!(
-                        got.map(|p| p.value(&z)),
-                        Some(Int::from(a + b)),
-                        "{a}+{b}"
-                    );
+                    assert_eq!(got.map(|p| p.value(&z)), Some(Int::from(a + b)), "{a}+{b}");
                 } else {
                     assert!(got.is_none(), "{a}+{b} should overflow");
                 }

@@ -48,16 +48,10 @@ pub fn distributivity_counterexample(params: FkParams) -> Option<(Fk, Fk, Fk)> {
 /// between left-to-right and right-to-left association. Returns
 /// `(values, sum_ltr, sum_rtl)`.
 #[must_use]
-pub fn summation_order_counterexample(
-    params: FkParams,
-) -> Option<(Vec<Fk>, Fk, Fk)> {
+pub fn summation_order_counterexample(params: FkParams) -> Option<(Vec<Fk>, Fk, Fk)> {
     // One large value plus many small ones: absorbed one-by-one (each too
     // small to register), but summed together first they contribute.
-    let big = Fk::from_rat_round(
-        &Rat::from(1i64 << params.mantissa_bits.min(40)),
-        params,
-    )
-    .ok()?;
+    let big = Fk::from_rat_round(&Rat::from(1i64 << params.mantissa_bits.min(40)), params).ok()?;
     let one = Fk::one(params);
     let mut values = vec![big];
     for _ in 0..4 {
@@ -111,7 +105,10 @@ mod tests {
         assert_eq!(values.len(), 5);
         assert_ne!(ltr, rtl);
         // Right-to-left (small values first) is the more accurate sum.
-        let exact: Rat = values.iter().map(Fk::to_rat).fold(Rat::zero(), |a, b| &a + &b);
+        let exact: Rat = values
+            .iter()
+            .map(Fk::to_rat)
+            .fold(Rat::zero(), |a, b| &a + &b);
         let err_ltr = (&ltr.to_rat() - &exact).abs();
         let err_rtl = (&rtl.to_rat() - &exact).abs();
         assert!(err_rtl < err_ltr);

@@ -52,9 +52,7 @@ pub fn input_bit_length(db: &Database, query: &Formula) -> u64 {
             Formula::True | Formula::False | Formula::Rel(..) => 0,
             Formula::Atom(a) => a.poly.max_coeff_bits(),
             Formula::Not(b) | Formula::Quant(_, _, b) => formula_bits(b),
-            Formula::And(fs) | Formula::Or(fs) => {
-                fs.iter().map(formula_bits).max().unwrap_or(0)
-            }
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().map(formula_bits).max().unwrap_or(0),
         }
     }
     db.max_coeff_bits().max(formula_bits(query)).max(1)
@@ -71,9 +69,13 @@ pub fn fp_evaluate_query(
     let ctx = QeContext::with_budget(budget_bits);
     match evaluate_query(db, query, nvars, &ctx) {
         Ok(out) => Ok(FpOutcome::Defined(out)),
-        Err(QeError::PrecisionExceeded { budget_bits, seen_bits }) => {
-            Ok(FpOutcome::Undefined { budget_bits, needed_bits: seen_bits })
-        }
+        Err(QeError::PrecisionExceeded {
+            budget_bits,
+            seen_bits,
+        }) => Ok(FpOutcome::Undefined {
+            budget_bits,
+            needed_bits: seen_bits,
+        }),
         Err(e) => Err(e),
     }
 }

@@ -34,13 +34,19 @@ impl FkParams {
     /// i.e. `|e| < 2^ceil(log2 k) ~ k`.
     #[must_use]
     pub fn with_k(k: u32) -> FkParams {
-        FkParams { mantissa_bits: k, exp_bound: i64::from(k.max(2)) }
+        FkParams {
+            mantissa_bits: k,
+            exp_bound: i64::from(k.max(2)),
+        }
     }
 
     /// IEEE-double-like shape (53-bit mantissa).
     #[must_use]
     pub fn double_like() -> FkParams {
-        FkParams { mantissa_bits: 53, exp_bound: 1023 }
+        FkParams {
+            mantissa_bits: 53,
+            exp_bound: 1023,
+        }
     }
 }
 
@@ -77,13 +83,21 @@ impl Fk {
     /// Zero in the given structure.
     #[must_use]
     pub fn zero(params: FkParams) -> Fk {
-        Fk { mant: Int::zero(), exp: 0, params }
+        Fk {
+            mant: Int::zero(),
+            exp: 0,
+            params,
+        }
     }
 
     /// One in the given structure.
     #[must_use]
     pub fn one(params: FkParams) -> Fk {
-        Fk { mant: Int::one(), exp: 0, params }
+        Fk {
+            mant: Int::one(),
+            exp: 0,
+            params,
+        }
     }
 
     /// Construct from mantissa and exponent, normalizing. `Err` if the value
@@ -331,7 +345,10 @@ mod tests {
 
     #[test]
     fn exponent_overflow() {
-        assert_eq!(Fk::new(Int::one(), 100, p8()).unwrap_err(), FkError::ExponentOverflow);
+        assert_eq!(
+            Fk::new(Int::one(), 100, p8()).unwrap_err(),
+            FkError::ExponentOverflow
+        );
         let m = Fk::max_value(p8());
         assert!(m.mul_round(&m).is_err());
     }
@@ -375,7 +392,10 @@ mod tests {
     #[test]
     fn rounding_ties_to_even() {
         // 5/2 rounds... exactly representable. Use a tiny mantissa space:
-        let params = FkParams { mantissa_bits: 2, exp_bound: 32 };
+        let params = FkParams {
+            mantissa_bits: 2,
+            exp_bound: 32,
+        };
         // 5 = 101b needs 3 bits; round to 2 bits: candidates 4 (=100b -> 1*2^2)
         // and 6 (=11*2). 5 is equidistant; ties-to-even picks 4 (mantissa 1).
         let r = Fk::from_rat_round(&Rat::from(5i64), params).unwrap();

@@ -31,7 +31,10 @@ impl Int {
     /// The integer 0.
     #[must_use]
     pub fn zero() -> Int {
-        Int { sign: Sign::Zero, mag: Vec::new() }
+        Int {
+            sign: Sign::Zero,
+            mag: Vec::new(),
+        }
     }
 
     /// The integer 1.
@@ -73,7 +76,14 @@ impl Int {
     /// Absolute value.
     #[must_use]
     pub fn abs(&self) -> Int {
-        Int { sign: if self.is_zero() { Sign::Zero } else { Sign::Pos }, mag: self.mag.clone() }
+        Int {
+            sign: if self.is_zero() {
+                Sign::Zero
+            } else {
+                Sign::Pos
+            },
+            mag: self.mag.clone(),
+        }
     }
 
     /// Number of bits in the magnitude; 0 for the integer 0.
@@ -84,9 +94,7 @@ impl Int {
     pub fn bit_length(&self) -> u64 {
         match self.mag.last() {
             None => 0,
-            Some(&top) => {
-                (self.mag.len() as u64 - 1) * 64 + (64 - u64::from(top.leading_zeros()))
-            }
+            Some(&top) => (self.mag.len() as u64 - 1) * 64 + (64 - u64::from(top.leading_zeros())),
         }
     }
 
@@ -291,7 +299,11 @@ impl Int {
                 q[i] = (cur / u128::from(d)) as u64;
                 rem = cur % u128::from(d);
             }
-            let r = if rem == 0 { Vec::new() } else { vec![rem as u64] };
+            let r = if rem == 0 {
+                Vec::new()
+            } else {
+                vec![rem as u64]
+            };
             return (Int::trim(q), r);
         }
         // Normalize so the divisor's top limb has its high bit set. The shift
@@ -455,7 +467,10 @@ impl Int {
         let limb = (e / 64) as usize;
         let mut mag = vec![0u64; limb + 1];
         mag[limb] = 1u64 << (e % 64);
-        Int { sign: Sign::Pos, mag }
+        Int {
+            sign: Sign::Pos,
+            mag,
+        }
     }
 
     /// Decimal string of the magnitude.
@@ -495,8 +510,14 @@ impl From<i64> for Int {
     fn from(v: i64) -> Int {
         match v.cmp(&0) {
             Ordering::Equal => Int::zero(),
-            Ordering::Greater => Int { sign: Sign::Pos, mag: vec![v as u64] },
-            Ordering::Less => Int { sign: Sign::Neg, mag: vec![(v as i128).unsigned_abs() as u64] },
+            Ordering::Greater => Int {
+                sign: Sign::Pos,
+                mag: vec![v as u64],
+            },
+            Ordering::Less => Int {
+                sign: Sign::Neg,
+                mag: vec![(v as i128).unsigned_abs() as u64],
+            },
         }
     }
 }
@@ -506,7 +527,10 @@ impl From<u64> for Int {
         if v == 0 {
             Int::zero()
         } else {
-            Int { sign: Sign::Pos, mag: vec![v] }
+            Int {
+                sign: Sign::Pos,
+                mag: vec![v],
+            }
         }
     }
 }
@@ -830,7 +854,10 @@ mod tests {
     fn pow() {
         assert_eq!(Int::from(3).pow(0), Int::from(1));
         assert_eq!(Int::from(3).pow(5), Int::from(243));
-        assert_eq!(Int::from(10).pow(30), int("1000000000000000000000000000000"));
+        assert_eq!(
+            Int::from(10).pow(30),
+            int("1000000000000000000000000000000")
+        );
         assert_eq!(Int::from(-2).pow(3), Int::from(-8));
     }
 

@@ -27,7 +27,10 @@ impl RatInterval {
     /// A degenerate point interval.
     #[must_use]
     pub fn point(v: Rat) -> RatInterval {
-        RatInterval { lo: v.clone(), hi: v }
+        RatInterval {
+            lo: v.clone(),
+            hi: v,
+        }
     }
 
     /// Lower endpoint.
@@ -80,19 +83,28 @@ impl RatInterval {
     /// Interval sum.
     #[must_use]
     pub fn add(&self, other: &RatInterval) -> RatInterval {
-        RatInterval { lo: &self.lo + &other.lo, hi: &self.hi + &other.hi }
+        RatInterval {
+            lo: &self.lo + &other.lo,
+            hi: &self.hi + &other.hi,
+        }
     }
 
     /// Interval difference.
     #[must_use]
     pub fn sub(&self, other: &RatInterval) -> RatInterval {
-        RatInterval { lo: &self.lo - &other.hi, hi: &self.hi - &other.lo }
+        RatInterval {
+            lo: &self.lo - &other.hi,
+            hi: &self.hi - &other.lo,
+        }
     }
 
     /// Interval negation.
     #[must_use]
     pub fn neg(&self) -> RatInterval {
-        RatInterval { lo: -&self.hi, hi: -&self.lo }
+        RatInterval {
+            lo: -&self.hi,
+            hi: -&self.lo,
+        }
     }
 
     /// Interval product (min/max of the four corner products).
@@ -121,9 +133,15 @@ impl RatInterval {
     #[must_use]
     pub fn scale(&self, c: &Rat) -> RatInterval {
         if c.sign() == Sign::Neg {
-            RatInterval { lo: &self.hi * c, hi: &self.lo * c }
+            RatInterval {
+                lo: &self.hi * c,
+                hi: &self.lo * c,
+            }
         } else {
-            RatInterval { lo: &self.lo * c, hi: &self.hi * c }
+            RatInterval {
+                lo: &self.lo * c,
+                hi: &self.hi * c,
+            }
         }
     }
 
@@ -135,15 +153,24 @@ impl RatInterval {
         }
         if n % 2 == 1 {
             // Odd power is monotone.
-            return RatInterval { lo: self.lo.pow(n as i32), hi: self.hi.pow(n as i32) };
+            return RatInterval {
+                lo: self.lo.pow(n as i32),
+                hi: self.hi.pow(n as i32),
+            };
         }
         // Even power: minimum at the point closest to 0.
         let lo_p = self.lo.pow(n as i32);
         let hi_p = self.hi.pow(n as i32);
         if self.contains_zero() {
-            RatInterval { lo: Rat::zero(), hi: Rat::max(lo_p, hi_p) }
+            RatInterval {
+                lo: Rat::zero(),
+                hi: Rat::max(lo_p, hi_p),
+            }
         } else {
-            RatInterval { lo: Rat::min(lo_p.clone(), hi_p.clone()), hi: Rat::max(lo_p, hi_p) }
+            RatInterval {
+                lo: Rat::min(lo_p.clone(), hi_p.clone()),
+                hi: Rat::max(lo_p, hi_p),
+            }
         }
     }
 
@@ -153,7 +180,10 @@ impl RatInterval {
         if other.contains_zero() {
             return None;
         }
-        let inv = RatInterval { lo: other.hi.recip(), hi: other.lo.recip() };
+        let inv = RatInterval {
+            lo: other.hi.recip(),
+            hi: other.lo.recip(),
+        };
         Some(self.mul(&inv))
     }
 
@@ -170,8 +200,14 @@ impl RatInterval {
     pub fn bisect(&self) -> (RatInterval, RatInterval) {
         let m = self.midpoint();
         (
-            RatInterval { lo: self.lo.clone(), hi: m.clone() },
-            RatInterval { lo: m, hi: self.hi.clone() },
+            RatInterval {
+                lo: self.lo.clone(),
+                hi: m.clone(),
+            },
+            RatInterval {
+                lo: m,
+                hi: self.hi.clone(),
+            },
         )
     }
 }

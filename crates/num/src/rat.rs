@@ -24,20 +24,30 @@ impl Rat {
     /// 0/1.
     #[must_use]
     pub fn zero() -> Rat {
-        Rat { num: Int::zero(), den: Int::one() }
+        Rat {
+            num: Int::zero(),
+            den: Int::one(),
+        }
     }
 
     /// 1/1.
     #[must_use]
     pub fn one() -> Rat {
-        Rat { num: Int::one(), den: Int::one() }
+        Rat {
+            num: Int::one(),
+            den: Int::one(),
+        }
     }
 
     /// Construct and normalize `num/den`. Panics if `den == 0`.
     #[must_use]
     pub fn new(num: Int, den: Int) -> Rat {
         assert!(!den.is_zero(), "rational with zero denominator");
-        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        let (num, den) = if den.is_negative() {
+            (-num, -den)
+        } else {
+            (num, den)
+        };
         if num.is_zero() {
             return Rat::zero();
         }
@@ -45,7 +55,10 @@ impl Rat {
         if g.is_one() {
             Rat { num, den }
         } else {
-            Rat { num: num.div_exact(&g), den: den.div_exact(&g) }
+            Rat {
+                num: num.div_exact(&g),
+                den: den.div_exact(&g),
+            }
         }
     }
 
@@ -88,7 +101,10 @@ impl Rat {
     /// Absolute value.
     #[must_use]
     pub fn abs(&self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den.clone() }
+        Rat {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse. Panics on 0.
@@ -218,7 +234,10 @@ impl Default for Rat {
 
 impl From<Int> for Rat {
     fn from(v: Int) -> Rat {
-        Rat { num: v, den: Int::one() }
+        Rat {
+            num: v,
+            den: Int::one(),
+        }
     }
 }
 
@@ -298,7 +317,10 @@ impl Ord for Rat {
 impl Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

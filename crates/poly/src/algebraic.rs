@@ -17,10 +17,9 @@ use crate::roots::{isolate_real_roots, RootLocation};
 use crate::sturm::SturmChain;
 use crate::upoly::UPoly;
 use cdb_num::{Rat, RatInterval, Sign};
-use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// A real algebraic number: the unique root of `poly` (squarefree) inside
 /// `interval` (open, endpoints not roots), or an exact rational.
@@ -34,7 +33,7 @@ pub struct RealAlg {
     /// Squarefree defining polynomial (monic). For `Exact` values this is
     /// `x − r`.
     poly: UPoly,
-    loc: Rc<RefCell<RootLocation>>,
+    loc: Arc<Mutex<RootLocation>>,
 }
 
 impl RealAlg {
@@ -42,7 +41,10 @@ impl RealAlg {
     #[must_use]
     pub fn from_rat(r: Rat) -> RealAlg {
         let poly = UPoly::from_coeffs(vec![-r.clone(), Rat::one()]);
-        RealAlg { poly, loc: Rc::new(RefCell::new(RootLocation::Exact(r))) }
+        RealAlg {
+            poly,
+            loc: Arc::new(Mutex::new(RootLocation::Exact(r))),
+        }
     }
 
     /// From a squarefree polynomial and an isolating location. The caller
@@ -50,7 +52,10 @@ impl RealAlg {
     #[must_use]
     pub fn new(poly: UPoly, loc: RootLocation) -> RealAlg {
         debug_assert!(!poly.is_constant());
-        RealAlg { poly: poly.monic(), loc: Rc::new(RefCell::new(loc)) }
+        RealAlg {
+            poly: poly.monic(),
+            loc: Arc::new(Mutex::new(loc)),
+        }
     }
 
     /// All real roots of `p` as algebraic numbers, ascending.
@@ -78,7 +83,7 @@ impl RealAlg {
     /// Exact rational value, when the number is rational.
     #[must_use]
     pub fn to_rat(&self) -> Option<Rat> {
-        match &*self.loc.borrow() {
+        match &*self.loc.lock().expect("RealAlg lock poisoned") {
             RootLocation::Exact(r) => Some(r.clone()),
             RootLocation::Isolated(_) => None,
         }
@@ -87,13 +92,13 @@ impl RealAlg {
     /// Current enclosing interval (degenerate for rationals).
     #[must_use]
     pub fn interval(&self) -> RatInterval {
-        self.loc.borrow().interval()
+        self.loc.lock().expect("RealAlg lock poisoned").interval()
     }
 
     /// A rational approximation within `eps`.
     #[must_use]
     pub fn approx(&self, eps: &Rat) -> Rat {
-        let loc = self.loc.borrow().clone();
+        let loc = self.loc.lock().expect("RealAlg lock poisoned").clone();
         match loc {
             RootLocation::Exact(r) => r,
             RootLocation::Isolated(_) => {
@@ -106,7 +111,7 @@ impl RealAlg {
 
     /// Persist a refined enclosure into the shared cell.
     fn store_refinement(&self, iv: &RatInterval) {
-        let mut loc = self.loc.borrow_mut();
+        let mut loc = self.loc.lock().expect("RealAlg lock poisoned");
         if matches!(&*loc, RootLocation::Isolated(_)) {
             *loc = if iv.width().is_zero() {
                 RootLocation::Exact(iv.midpoint())
@@ -119,14 +124,15 @@ impl RealAlg {
     /// `f64` approximation.
     #[must_use]
     pub fn to_f64(&self) -> f64 {
-        self.approx(&Rat::new(cdb_num::Int::one(), cdb_num::Int::pow2(60))).to_f64()
+        self.approx(&Rat::new(cdb_num::Int::one(), cdb_num::Int::pow2(60)))
+            .to_f64()
     }
 
     /// A copy with the isolating interval refined to width `<= eps`
     /// (refinement is persisted in the shared cell).
     #[must_use]
     pub fn refined(&self, eps: &Rat) -> RealAlg {
-        let loc = self.loc.borrow().clone();
+        let loc = self.loc.lock().expect("RealAlg lock poisoned").clone();
         match loc {
             RootLocation::Exact(_) => self.clone(),
             RootLocation::Isolated(_) => {
@@ -289,7 +295,7 @@ impl RealAlg {
 
 impl fmt::Display for RealAlg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &*self.loc.borrow() {
+        match &*self.loc.lock().expect("RealAlg lock poisoned") {
             RootLocation::Exact(r) => write!(f, "{r}"),
             RootLocation::Isolated(iv) => {
                 write!(f, "root of {} in {}", self.poly, iv)
@@ -339,13 +345,17 @@ impl NumberField {
     /// Embed a rational.
     #[must_use]
     pub fn from_rat(&self, r: Rat) -> NfElem {
-        NfElem { rep: UPoly::constant(r) }
+        NfElem {
+            rep: UPoly::constant(r),
+        }
     }
 
     /// Embed a `Q`-polynomial evaluated at `α` (i.e., reduce mod minpoly).
     #[must_use]
     pub fn from_upoly(&self, p: &UPoly) -> NfElem {
-        NfElem { rep: p.divrem(self.modulus()).1 }
+        NfElem {
+            rep: p.divrem(self.modulus()).1,
+        }
     }
 
     /// The generator as an element.
@@ -357,19 +367,25 @@ impl NumberField {
     /// Addition.
     #[must_use]
     pub fn add(&self, a: &NfElem, b: &NfElem) -> NfElem {
-        NfElem { rep: &a.rep + &b.rep }
+        NfElem {
+            rep: &a.rep + &b.rep,
+        }
     }
 
     /// Subtraction.
     #[must_use]
     pub fn sub(&self, a: &NfElem, b: &NfElem) -> NfElem {
-        NfElem { rep: &a.rep - &b.rep }
+        NfElem {
+            rep: &a.rep - &b.rep,
+        }
     }
 
     /// Multiplication (reduced).
     #[must_use]
     pub fn mul(&self, a: &NfElem, b: &NfElem) -> NfElem {
-        NfElem { rep: (&a.rep * &b.rep).divrem(self.modulus()).1 }
+        NfElem {
+            rep: (&a.rep * &b.rep).divrem(self.modulus()).1,
+        }
     }
 
     /// Negation.
@@ -405,17 +421,27 @@ impl NumberField {
         // If g is constant, u/g is the inverse.
         if g.is_constant() {
             let c = g.coeff(0);
-            return NfElem { rep: u.scale(&c.recip()).divrem(self.modulus()).1 };
+            return NfElem {
+                rep: u.scale(&c.recip()).divrem(self.modulus()).1,
+            };
         }
         // g is a nontrivial common factor; α is a root of the modulus but
         // not of rep (nonzero), so α is a root of mod/g. Work there.
         let reduced = NumberField {
             alpha: RealAlg {
                 poly: self.modulus().div_exact(&g).monic(),
-                loc: Rc::new(RefCell::new(self.alpha.loc.borrow().clone())),
+                loc: Arc::new(Mutex::new(
+                    self.alpha
+                        .loc
+                        .lock()
+                        .expect("RealAlg lock poisoned")
+                        .clone(),
+                )),
             },
         };
-        let inv = reduced.inv(&NfElem { rep: a.rep.divrem(reduced.modulus()).1 });
+        let inv = reduced.inv(&NfElem {
+            rep: a.rep.divrem(reduced.modulus()).1,
+        });
         NfElem { rep: inv.rep }
     }
 
@@ -458,8 +484,7 @@ impl AlgUPoly {
     /// Leading coefficients that denote zero are stripped *exactly*.
     #[must_use]
     pub fn new(field: NumberField, coeffs: Vec<UPoly>) -> AlgUPoly {
-        let mut elems: Vec<NfElem> =
-            coeffs.iter().map(|c| field.from_upoly(c)).collect();
+        let mut elems: Vec<NfElem> = coeffs.iter().map(|c| field.from_upoly(c)).collect();
         while let Some(last) = elems.last() {
             if field.is_zero(last) {
                 elems.pop();
@@ -467,7 +492,10 @@ impl AlgUPoly {
                 break;
             }
         }
-        AlgUPoly { field, coeffs: elems }
+        AlgUPoly {
+            field,
+            coeffs: elems,
+        }
     }
 
     /// True iff the zero polynomial.
@@ -503,16 +531,24 @@ impl AlgUPoly {
     #[must_use]
     fn derivative(&self) -> AlgUPoly {
         if self.coeffs.len() <= 1 {
-            return AlgUPoly { field: self.field.clone(), coeffs: Vec::new() };
+            return AlgUPoly {
+                field: self.field.clone(),
+                coeffs: Vec::new(),
+            };
         }
         let coeffs = self
             .coeffs
             .iter()
             .enumerate()
             .skip(1)
-            .map(|(i, c)| NfElem { rep: c.rep.scale(&Rat::from(i as i64)) })
+            .map(|(i, c)| NfElem {
+                rep: c.rep.scale(&Rat::from(i as i64)),
+            })
             .collect();
-        AlgUPoly { field: self.field.clone(), coeffs }
+        AlgUPoly {
+            field: self.field.clone(),
+            coeffs,
+        }
     }
 
     /// Division with remainder in `Q(α)[y]` (exact field arithmetic).
@@ -524,7 +560,10 @@ impl AlgUPoly {
         let mut rem = self.coeffs.clone();
         if rem.len() <= dd {
             return (
-                AlgUPoly { field: f.clone(), coeffs: Vec::new() },
+                AlgUPoly {
+                    field: f.clone(),
+                    coeffs: Vec::new(),
+                },
                 self.clone(),
             );
         }
@@ -548,8 +587,14 @@ impl AlgUPoly {
         };
         rem.truncate(dd);
         (
-            AlgUPoly { field: f.clone(), coeffs: strip(quot) },
-            AlgUPoly { field: f.clone(), coeffs: strip(rem) },
+            AlgUPoly {
+                field: f.clone(),
+                coeffs: strip(quot),
+            },
+            AlgUPoly {
+                field: f.clone(),
+                coeffs: strip(rem),
+            },
         )
     }
 
@@ -654,9 +699,7 @@ impl AlgUPoly {
             // Fall through to bisection below to localize it in Q-intervals.
         }
         let chain = sf.sturm_chain();
-        let var_at = |y: &Rat| -> usize {
-            count_variations(chain.iter().map(|p| p.sign_at(y)))
-        };
+        let var_at = |y: &Rat| -> usize { count_variations(chain.iter().map(|p| p.sign_at(y))) };
         let bound = sf.root_bound();
         let lo = -bound.clone();
         let hi = bound;
@@ -790,8 +833,10 @@ mod tests {
         // Same number via different polynomials: √2 as root of (x²−2)(x²−5).
         let c = RealAlg::roots_of(&(&p(&[-2, 0, 1]) * &p(&[-5, 0, 1])))
             .into_iter()
-            .find(|r| r.cmp_rat(&Rat::one()) == Ordering::Greater
-                && r.cmp_rat(&Rat::from(2i64)) == Ordering::Less)
+            .find(|r| {
+                r.cmp_rat(&Rat::one()) == Ordering::Greater
+                    && r.cmp_rat(&Rat::from(2i64)) == Ordering::Less
+            })
             .unwrap();
         assert!(a.eq_alg(&c));
     }
@@ -809,7 +854,10 @@ mod tests {
         let f = NumberField::new(sqrt2());
         let a = f.gen(); // √2
         let two = f.mul(&a, &a);
-        assert_eq!(f.sign(&f.sub(&two, &f.from_rat(Rat::from(2i64)))), Sign::Zero);
+        assert_eq!(
+            f.sign(&f.sub(&two, &f.from_rat(Rat::from(2i64)))),
+            Sign::Zero
+        );
         // (1 + √2)(−1 + √2) = 1
         let u = f.add(&f.from_rat(Rat::one()), &a);
         let v = f.add(&f.from_rat(Rat::from(-1i64)), &a);
@@ -817,7 +865,12 @@ mod tests {
         assert_eq!(f.sign(&f.sub(&prod, &f.from_rat(Rat::one()))), Sign::Zero);
         // Inverse: 1/√2 = √2/2.
         let inv = f.inv(&a);
-        let check = f.sub(&inv, &NfElem { rep: UPoly::from_coeffs(vec![Rat::zero(), "1/2".parse().unwrap()]) });
+        let check = f.sub(
+            &inv,
+            &NfElem {
+                rep: UPoly::from_coeffs(vec![Rat::zero(), "1/2".parse().unwrap()]),
+            },
+        );
         assert!(f.is_zero(&check));
     }
 
@@ -828,8 +881,10 @@ mod tests {
         let m = &p(&[-2, 0, 1]) * &p(&[-3, 0, 1]);
         let alpha = RealAlg::roots_of(&m)
             .into_iter()
-            .find(|r| r.sign_of(&p(&[-2, 0, 1])) == Sign::Zero
-                && r.cmp_rat(&Rat::zero()) == Ordering::Greater)
+            .find(|r| {
+                r.sign_of(&p(&[-2, 0, 1])) == Sign::Zero
+                    && r.cmp_rat(&Rat::zero()) == Ordering::Greater
+            })
             .unwrap();
         let f = NumberField::new(alpha);
         let a = f.gen();
@@ -842,10 +897,7 @@ mod tests {
     fn alg_poly_roots_sqrt_alpha() {
         // q(y) = y² − α with α = √2: roots ±2^(1/4).
         let f = NumberField::new(sqrt2());
-        let q = AlgUPoly::new(
-            f,
-            vec![-&UPoly::x(), UPoly::zero(), UPoly::one()],
-        );
+        let q = AlgUPoly::new(f, vec![-&UPoly::x(), UPoly::zero(), UPoly::one()]);
         let roots = q.isolate_roots();
         assert_eq!(roots.len(), 2);
         let eps: Rat = "1/1000000".parse().unwrap();
@@ -860,10 +912,7 @@ mod tests {
         // (α² − 2)·y² + y − 1 has a zero leading coefficient at α = √2:
         // effectively linear, one root at 1.
         let f = NumberField::new(sqrt2());
-        let q = AlgUPoly::new(
-            f,
-            vec![p(&[-1]), p(&[1]), p(&[-2, 0, 1])],
-        );
+        let q = AlgUPoly::new(f, vec![p(&[-1]), p(&[1]), p(&[-2, 0, 1])]);
         assert_eq!(q.degree(), Some(1));
         let roots = q.isolate_roots();
         assert_eq!(roots.len(), 1);
@@ -874,10 +923,7 @@ mod tests {
     fn alg_poly_with_double_root() {
         // (y − α)² = y² − 2αy + α²  → squarefree isolation finds one root ≈ √2.
         let f = NumberField::new(sqrt2());
-        let q = AlgUPoly::new(
-            f,
-            vec![p(&[0, 0, 1]), p(&[0, -2]), p(&[1])],
-        );
+        let q = AlgUPoly::new(f, vec![p(&[0, 0, 1]), p(&[0, -2]), p(&[1])]);
         let roots = q.isolate_roots();
         assert_eq!(roots.len(), 1);
         let eps: Rat = "1/100000".parse().unwrap();

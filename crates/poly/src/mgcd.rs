@@ -15,7 +15,11 @@ use cdb_num::Rat;
 pub fn mgcd(p: &MPoly, q: &MPoly) -> MPoly {
     assert_eq!(p.nvars(), q.nvars());
     if p.is_zero() {
-        return if q.is_zero() { q.clone() } else { q.primitive() };
+        return if q.is_zero() {
+            q.clone()
+        } else {
+            q.primitive()
+        };
     }
     if q.is_zero() {
         return p.primitive();

@@ -19,7 +19,11 @@ use std::ops::{Add, Mul, Neg, Sub};
 pub type Monomial = Vec<u32>;
 
 /// A sparse multivariate polynomial in a fixed number of variables.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// The representation is canonical: no zero coefficients are stored and the
+/// term map is keyed by exponent vector, so structurally equal polynomials
+/// hash equal — which makes `MPoly` usable directly as a memo-cache key.
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct MPoly {
     nvars: usize,
     /// Nonzero terms only.
@@ -30,7 +34,10 @@ impl MPoly {
     /// The zero polynomial in `nvars` variables.
     #[must_use]
     pub fn zero(nvars: usize) -> MPoly {
-        MPoly { nvars, terms: BTreeMap::new() }
+        MPoly {
+            nvars,
+            terms: BTreeMap::new(),
+        }
     }
 
     /// A constant polynomial.
@@ -338,8 +345,7 @@ impl MPoly {
             let qc = &rc / &dc;
             let t = div.mul_term(&qm, &qc);
             rem = &rem - &t;
-            quot = &quot
-                + &MPoly::from_terms(self.nvars, [(qm, qc)]);
+            quot = &quot + &MPoly::from_terms(self.nvars, [(qm, qc)]);
         }
         quot
     }
@@ -365,7 +371,11 @@ impl MPoly {
         }
         let scale = &lr / &Rat::from(g);
         let lead_sign = self.leading_term().expect("nonzero").1.sign();
-        let scale = if lead_sign == Sign::Neg { -scale } else { scale };
+        let scale = if lead_sign == Sign::Neg {
+            -scale
+        } else {
+            scale
+        };
         self.scale(&scale)
     }
 
@@ -444,7 +454,10 @@ impl Add for &MPoly {
             *e = &*e + c;
         }
         terms.retain(|_, c| !c.is_zero());
-        MPoly { nvars: self.nvars, terms }
+        MPoly {
+            nvars: self.nvars,
+            terms,
+        }
     }
 }
 
@@ -460,7 +473,11 @@ impl Neg for &MPoly {
     fn neg(self) -> MPoly {
         MPoly {
             nvars: self.nvars,
-            terms: self.terms.iter().map(|(m, c)| (m.clone(), -c.clone())).collect(),
+            terms: self
+                .terms
+                .iter()
+                .map(|(m, c)| (m.clone(), -c.clone()))
+                .collect(),
         }
     }
 }
@@ -478,7 +495,10 @@ impl Mul for &MPoly {
             }
         }
         terms.retain(|_, c| !c.is_zero());
-        MPoly { nvars: self.nvars, terms }
+        MPoly {
+            nvars: self.nvars,
+            terms,
+        }
     }
 }
 

@@ -74,7 +74,10 @@ pub fn discriminant(p: &MPoly, var: usize) -> MPoly {
 #[must_use]
 pub fn bareiss_determinant(mut m: Vec<Vec<MPoly>>) -> MPoly {
     let n = m.len();
-    assert!(n > 0 && m.iter().all(|r| r.len() == n), "square matrix required");
+    assert!(
+        n > 0 && m.iter().all(|r| r.len() == n),
+        "square matrix required"
+    );
     let nvars = m[0][0].nvars();
     if n == 1 {
         return m[0][0].clone();
@@ -110,7 +113,6 @@ pub fn bareiss_determinant(mut m: Vec<Vec<MPoly>>) -> MPoly {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn c(v: i64, nvars: usize) -> MPoly {
         MPoly::constant(Rat::from(v), nvars)
@@ -193,16 +195,13 @@ mod tests {
     #[test]
     fn bareiss_matches_known_determinant() {
         // |1 2; 3 4| = −2 over constants.
-        let m = vec![
-            vec![c(1, 1), c(2, 1)],
-            vec![c(3, 1), c(4, 1)],
-        ];
-        assert_eq!(bareiss_determinant(m).to_constant().unwrap(), Rat::from(-2i64));
+        let m = vec![vec![c(1, 1), c(2, 1)], vec![c(3, 1), c(4, 1)]];
+        assert_eq!(
+            bareiss_determinant(m).to_constant().unwrap(),
+            Rat::from(-2i64)
+        );
         // Singular matrix.
-        let s = vec![
-            vec![c(1, 1), c(2, 1)],
-            vec![c(2, 1), c(4, 1)],
-        ];
+        let s = vec![vec![c(1, 1), c(2, 1)], vec![c(2, 1), c(4, 1)]];
         assert!(bareiss_determinant(s).is_zero());
     }
 
@@ -231,7 +230,11 @@ mod tests {
             let pm = MPoly::from_upoly(&pu, 0, 1);
             let qm = MPoly::from_upoly(&qu, 0, 1);
             let direct = resultant(&pm, &qm, 0).to_constant().unwrap();
-            assert_eq!(r.substitute(0, &ar).to_constant().unwrap(), direct, "at x={a}");
+            assert_eq!(
+                r.substitute(0, &ar).to_constant().unwrap(),
+                direct,
+                "at x={a}"
+            );
         }
     }
 }

@@ -40,7 +40,11 @@ impl SturmChain {
             let neg = -&r;
             let prim = neg.primitive();
             // primitive() flips to positive lead; restore the true sign.
-            let signed = if neg.leading().sign() == Sign::Neg { -&prim } else { prim };
+            let signed = if neg.leading().sign() == Sign::Neg {
+                -&prim
+            } else {
+                prim
+            };
             seq.push(signed);
             if seq.last().unwrap().is_constant() {
                 break;
@@ -162,7 +166,10 @@ mod tests {
         let f = p(&[0, 1]); // x, root at 0
         let chain = SturmChain::new(&f);
         // (−1, 0] contains the root; (0, 1] does not.
-        assert_eq!(chain.count_roots_half_open(&Rat::from(-1i64), &Rat::zero()), 1);
+        assert_eq!(
+            chain.count_roots_half_open(&Rat::from(-1i64), &Rat::zero()),
+            1
+        );
         assert_eq!(chain.count_roots_half_open(&Rat::zero(), &Rat::one()), 0);
     }
 

@@ -176,7 +176,9 @@ impl UPoly {
         if c.is_zero() {
             return UPoly::zero();
         }
-        UPoly { coeffs: self.coeffs.iter().map(|a| a * c).collect() }
+        UPoly {
+            coeffs: self.coeffs.iter().map(|a| a * c).collect(),
+        }
     }
 
     /// Make monic (leading coefficient 1); panics on zero.
@@ -271,7 +273,11 @@ impl UPoly {
     #[must_use]
     pub fn gcd(&self, other: &UPoly) -> UPoly {
         if self.is_zero() {
-            return if other.is_zero() { UPoly::zero() } else { other.monic() };
+            return if other.is_zero() {
+                UPoly::zero()
+            } else {
+                other.monic()
+            };
         }
         if other.is_zero() {
             return self.monic();
@@ -284,7 +290,11 @@ impl UPoly {
         while !b.is_zero() {
             let (_, r) = a.divrem(&b);
             a = b;
-            b = if r.is_zero() { UPoly::zero() } else { r.primitive() };
+            b = if r.is_zero() {
+                UPoly::zero()
+            } else {
+                r.primitive()
+            };
         }
         if a.is_constant() {
             UPoly::one()
@@ -485,7 +495,9 @@ impl Mul for &UPoly {
 impl Neg for &UPoly {
     type Output = UPoly;
     fn neg(self) -> UPoly {
-        UPoly { coeffs: self.coeffs.iter().map(|c| -c.clone()).collect() }
+        UPoly {
+            coeffs: self.coeffs.iter().map(|c| -c.clone()).collect(),
+        }
     }
 }
 
@@ -556,7 +568,8 @@ mod tests {
     #[test]
     fn squarefree_decomposition() {
         // (x-1)(x-2)^2(x-3)^3
-        let f = &(&p(&[-1, 1]) * &p(&[2, -1]).pow(0)) * &(&p(&[-2, 1]).pow(2) * &p(&[-3, 1]).pow(3));
+        let f =
+            &(&p(&[-1, 1]) * &p(&[2, -1]).pow(0)) * &(&p(&[-2, 1]).pow(2) * &p(&[-3, 1]).pow(3));
         let dec = f.squarefree_decomposition();
         assert_eq!(dec.len(), 3);
         assert_eq!(dec[0], (p(&[-1, 1]), 1));
@@ -566,10 +579,7 @@ mod tests {
 
     #[test]
     fn primitive_form() {
-        let f = UPoly::from_coeffs(vec![
-            "1/2".parse().unwrap(),
-            "3/4".parse().unwrap(),
-        ]);
+        let f = UPoly::from_coeffs(vec!["1/2".parse().unwrap(), "3/4".parse().unwrap()]);
         assert_eq!(f.primitive(), p(&[2, 3]));
         let g = p(&[-4, -6]);
         assert_eq!(g.primitive(), p(&[2, 3])); // sign normalized positive lead

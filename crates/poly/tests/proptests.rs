@@ -9,8 +9,7 @@ use cdb_poly::{isolate_real_roots, MPoly, RealAlg, RootLocation, UPoly};
 use proptest::prelude::*;
 
 fn arb_upoly(max_deg: usize, coeff: i64) -> impl Strategy<Value = UPoly> {
-    prop::collection::vec(-coeff..=coeff, 1..=max_deg + 1)
-        .prop_map(|v| UPoly::from_ints(&v))
+    prop::collection::vec(-coeff..=coeff, 1..=max_deg + 1).prop_map(|v| UPoly::from_ints(&v))
 }
 
 fn nonzero_upoly(max_deg: usize, coeff: i64) -> impl Strategy<Value = UPoly> {

@@ -1,0 +1,268 @@
+//! Shared algebraic memo-cache for the QE hot path.
+//!
+//! CAD projection and root isolation recompute the same resultants,
+//! discriminants, and Sturm sequences many times: projection emits pairwise
+//! resultants level by level, and every lifted stack re-derives minimal
+//! polynomials by iterated resultants against the same coordinate moduli.
+//! All three operations are *pure* functions of their (canonicalized)
+//! polynomial arguments, so memoizing them cannot change any result — only
+//! skip redundant work.
+//!
+//! # Cache key canonicalization
+//!
+//! [`MPoly`] and [`UPoly`] store polynomials canonically (sorted monomial
+//! maps / trimmed coefficient vectors, no explicit zeros, normalized
+//! rationals), so structural equality coincides with mathematical equality
+//! and the polynomial itself serves as the key — no separate canonical form
+//! is computed. Resultant keys are *ordered* pairs `(p, q, var)`:
+//! `res(p, q)` and `res(q, p)` differ by sign, so the two orders are cached
+//! independently rather than folded together.
+//!
+//! # Concurrency
+//!
+//! The table is sharded (`Arc<[Mutex<HashMap>]>`): the shard index is
+//! derived from the key hash, so concurrent workers contend only when they
+//! touch the same slice of the key space. Values are computed *outside* the
+//! shard lock; two workers racing on the same missing key may both compute
+//! it, but the functions are pure so either result is identical and the
+//! insert is idempotent.
+
+use cdb_poly::resultant as resfn;
+use cdb_poly::sturm::SturmChain;
+use cdb_poly::{MPoly, UPoly};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independent lock shards; a small power of two keeps the
+/// modulo cheap while comfortably exceeding typical worker counts.
+const SHARD_COUNT: usize = 16;
+
+/// Memoized operation + canonicalized arguments.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Key {
+    /// `res_var(p, q)` — ordered pair (resultant is antisymmetric up to sign).
+    Resultant(MPoly, MPoly, usize),
+    /// `disc_var(p)`.
+    Discriminant(MPoly, usize),
+    /// Sturm chain of a univariate polynomial.
+    Sturm(UPoly),
+}
+
+#[derive(Clone)]
+enum Value {
+    Poly(MPoly),
+    Sturm(Arc<SturmChain>),
+}
+
+type Shard = Mutex<HashMap<Key, Value>>;
+
+/// Sharded, thread-safe memo-cache for resultants, discriminants, and Sturm
+/// sequences. One instance lives on [`crate::QeContext`] and is shared by
+/// every worker of a parallel elimination.
+pub struct AlgebraicCache {
+    shards: Arc<[Shard]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for AlgebraicCache {
+    fn default() -> AlgebraicCache {
+        AlgebraicCache::new()
+    }
+}
+
+impl std::fmt::Debug for AlgebraicCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlgebraicCache")
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl AlgebraicCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> AlgebraicCache {
+        let shards: Vec<Shard> = (0..SHARD_COUNT)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
+        AlgebraicCache {
+            shards: shards.into(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &Key) -> &Shard {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Look up `key`, or compute it with `f` (outside the shard lock) and
+    /// insert. Pure `f` makes the compute-twice race benign.
+    fn get_or_insert(&self, key: Key, f: impl FnOnce() -> Value) -> Value {
+        let shard = self.shard_of(&key);
+        if let Some(v) = shard.lock().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = f();
+        shard
+            .lock()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .or_insert(v)
+            .clone()
+    }
+
+    /// Memoized `res_var(p, q)`.
+    #[must_use]
+    pub fn resultant(&self, p: &MPoly, q: &MPoly, var: usize) -> MPoly {
+        let v = self.get_or_insert(Key::Resultant(p.clone(), q.clone(), var), || {
+            Value::Poly(resfn::resultant(p, q, var))
+        });
+        match v {
+            Value::Poly(r) => r,
+            Value::Sturm(_) => unreachable!("resultant key holds a polynomial"),
+        }
+    }
+
+    /// Memoized `disc_var(p)` (requires `degree_in(var) >= 1`, as the
+    /// underlying [`cdb_poly::resultant::discriminant`] does).
+    #[must_use]
+    pub fn discriminant(&self, p: &MPoly, var: usize) -> MPoly {
+        let v = self.get_or_insert(Key::Discriminant(p.clone(), var), || {
+            Value::Poly(resfn::discriminant(p, var))
+        });
+        match v {
+            Value::Poly(r) => r,
+            Value::Sturm(_) => unreachable!("discriminant key holds a polynomial"),
+        }
+    }
+
+    /// Memoized Sturm chain of `p` (shared, so repeated isolations of roots
+    /// of the same polynomial reuse one chain).
+    #[must_use]
+    pub fn sturm(&self, p: &UPoly) -> Arc<SturmChain> {
+        let v = self.get_or_insert(Key::Sturm(p.clone()), || {
+            Value::Sturm(Arc::new(SturmChain::new(p)))
+        });
+        match v {
+            Value::Sturm(c) => c,
+            Value::Poly(_) => unreachable!("sturm key holds a chain"),
+        }
+    }
+
+    /// Total lookups that found an entry.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups that had to compute.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdb_num::Rat;
+
+    fn xy_poly() -> MPoly {
+        // x² + y² − 1 in 2 vars.
+        MPoly::from_terms(
+            2,
+            vec![
+                (vec![2, 0], Rat::one()),
+                (vec![0, 2], Rat::one()),
+                (vec![0, 0], -Rat::one()),
+            ],
+        )
+    }
+
+    #[test]
+    fn resultant_hits_on_repeat() {
+        let cache = AlgebraicCache::new();
+        let p = xy_poly();
+        let q = &MPoly::var(0, 2) - &MPoly::var(1, 2);
+        let r1 = cache.resultant(&p, &q, 1);
+        let r2 = cache.resultant(&p, &q, 1);
+        assert_eq!(r1, r2);
+        assert_eq!(r1, resfn::resultant(&p, &q, 1));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn ordered_pair_keys_are_distinct() {
+        let cache = AlgebraicCache::new();
+        let p = xy_poly();
+        let q = &MPoly::var(0, 2) - &MPoly::var(1, 2);
+        let _ = cache.resultant(&p, &q, 1);
+        let _ = cache.resultant(&q, &p, 1);
+        assert_eq!(cache.misses(), 2, "res(p,q) and res(q,p) differ by sign");
+    }
+
+    #[test]
+    fn discriminant_and_sturm_memoized() {
+        let cache = AlgebraicCache::new();
+        let p = xy_poly();
+        let d1 = cache.discriminant(&p, 1);
+        let d2 = cache.discriminant(&p, 1);
+        assert_eq!(d1, d2);
+        assert_eq!(d1, resfn::discriminant(&p, 1));
+
+        let u = UPoly::from_ints(&[-2, 0, 1]); // x² − 2
+        let c1 = cache.sturm(&u);
+        let c2 = cache.sturm(&u);
+        assert!(Arc::ptr_eq(&c1, &c2), "second lookup must share the chain");
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = AlgebraicCache::new();
+        let p = xy_poly();
+        let q = &MPoly::var(0, 2) - &MPoly::var(1, 2);
+        let expect = resfn::resultant(&p, &q, 1);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        assert_eq!(cache.resultant(&p, &q, 1), expect);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.hits() + cache.misses(), 32);
+        assert!(cache.misses() >= 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

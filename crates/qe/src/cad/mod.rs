@@ -22,6 +22,7 @@ use project::{normalize, Registry};
 use sample::Coord;
 use stack::{build_stack, sector_samples};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Hard cap on the number of cells, to fail fast instead of thrashing.
 const MAX_CELLS: usize = 500_000;
@@ -100,8 +101,8 @@ pub fn build_cad(
     let mut registry = Registry::default();
     let mut level_poly_ids: Vec<Vec<usize>> = vec![Vec::new(); n];
     let add = |p: MPoly,
-                   registry: &mut Registry,
-                   level_poly_ids: &mut Vec<Vec<usize>>|
+               registry: &mut Registry,
+               level_poly_ids: &mut Vec<Vec<usize>>|
      -> Result<(), QeError> {
         ctx.observe_poly(&p)?;
         if let Some(norm) = normalize(&p) {
@@ -140,7 +141,7 @@ pub fn build_cad(
     };
     for l in 1..=n {
         let cells = build_level(&cad, l, ctx)?;
-        ctx.cells_built.set(ctx.cells_built.get() + cells.len() as u64);
+        ctx.cells_built.add(cells.len() as u64);
         cad.levels.push(cells);
     }
     Ok(cad)
@@ -167,56 +168,118 @@ fn build_level(cad: &Cad, l: usize, ctx: &QeContext) -> Result<Vec<CadCell>, QeE
     } else {
         &cad.levels[l - 2]
     };
-    let mut out: Vec<CadCell> = Vec::new();
-    for (pi, parent) in parents.iter().enumerate() {
-        let is_zero_lower = |p: &MPoly| -> Result<bool, QeError> {
-            zeroness_at_parent(cad, parent, p, &parent_vars, ctx)
-        };
-        let mut stack = build_stack(
+    let workers = ctx.effective_workers();
+    if workers <= 1 || parents.len() <= 1 {
+        let mut out: Vec<CadCell> = Vec::new();
+        for (pi, parent) in parents.iter().enumerate() {
+            let cells = lift_parent(
+                cad,
+                l,
+                pi,
+                parent,
+                &polys,
+                &parent_vars,
+                &level_vars,
+                yvar,
+                out.len(),
+                ctx,
+            )?;
+            out.extend(cells);
+        }
+        return Ok(out);
+    }
+    // Parallel lifting: each parent's stack is independent of its siblings
+    // (the stack depends only on the parent sample and the level
+    // polynomials), so parents fan out across workers and the per-parent
+    // cell runs are concatenated back in parent order — the exact sequence
+    // the sequential loop produces. The cell-count guard uses a shared
+    // running total so a runaway decomposition still fails fast.
+    let total = AtomicUsize::new(0);
+    let indexed: Vec<(usize, &CadCell)> = parents.iter().enumerate().collect();
+    let per_parent = crate::par::par_map_result(&indexed, workers, |&(pi, parent)| {
+        let base = total.load(Ordering::Relaxed);
+        let cells = lift_parent(
+            cad,
+            l,
+            pi,
+            parent,
             &polys,
             &parent_vars,
-            &parent.sample,
+            &level_vars,
             yvar,
-            &is_zero_lower,
+            base,
             ctx,
         )?;
-        let sectors = sector_samples(&mut stack.sections);
-        let parent_idx = if l == 1 { None } else { Some(pi) };
-        // Interleave: sector 1, section 2, sector 3, …
-        for (k, sec_sample) in sectors.iter().enumerate() {
-            // Sector k (1-based stack index 2k+1).
+        total.fetch_add(cells.len(), Ordering::Relaxed);
+        Ok(cells)
+    })?;
+    Ok(per_parent.into_iter().flatten().collect())
+}
+
+/// Lift one parent cell: build its stack over `yvar` and emit the
+/// interleaved sector/section cells. `cells_so_far` seeds the `MAX_CELLS`
+/// guard with the number of cells already built at this level.
+#[allow(clippy::too_many_arguments)]
+fn lift_parent(
+    cad: &Cad,
+    l: usize,
+    pi: usize,
+    parent: &CadCell,
+    polys: &[(usize, MPoly)],
+    parent_vars: &[usize],
+    level_vars: &[usize],
+    yvar: usize,
+    cells_so_far: usize,
+    ctx: &QeContext,
+) -> Result<Vec<CadCell>, QeError> {
+    let is_zero_lower = |p: &MPoly| -> Result<bool, QeError> {
+        zeroness_at_parent(cad, parent, p, parent_vars, ctx)
+    };
+    let mut stack = build_stack(
+        polys,
+        parent_vars,
+        &parent.sample,
+        yvar,
+        &is_zero_lower,
+        ctx,
+    )?;
+    let sectors = sector_samples(&mut stack.sections);
+    let parent_idx = if l == 1 { None } else { Some(pi) };
+    let mut out: Vec<CadCell> = Vec::new();
+    // Interleave: sector 1, section 2, sector 3, …
+    for (k, sec_sample) in sectors.iter().enumerate() {
+        // Sector k (1-based stack index 2k+1).
+        out.push(make_cell(
+            cad,
+            parent,
+            parent_idx,
+            Coord::Rat(sec_sample.clone()),
+            2 * k + 1,
+            polys,
+            &stack,
+            None,
+            level_vars,
+            ctx,
+        )?);
+        if k < stack.sections.len() {
+            let section = &stack.sections[k];
             out.push(make_cell(
                 cad,
                 parent,
                 parent_idx,
-                Coord::Rat(sec_sample.clone()),
-                2 * k + 1,
-                &polys,
+                Coord::Alg(section.root.clone()),
+                2 * (k + 1),
+                polys,
                 &stack,
-                None,
-                &level_vars,
+                Some(k),
+                level_vars,
                 ctx,
             )?);
-            if k < stack.sections.len() {
-                let section = &stack.sections[k];
-                out.push(make_cell(
-                    cad,
-                    parent,
-                    parent_idx,
-                    Coord::Alg(section.root.clone()),
-                    2 * (k + 1),
-                    &polys,
-                    &stack,
-                    Some(k),
-                    &level_vars,
-                    ctx,
-                )?);
-            }
-            if out.len() > MAX_CELLS {
-                return Err(QeError::Unsupported(format!(
-                    "CAD exceeded {MAX_CELLS} cells"
-                )));
-            }
+        }
+        if cells_so_far + out.len() > MAX_CELLS {
+            return Err(QeError::Unsupported(format!(
+                "CAD exceeded {MAX_CELLS} cells"
+            )));
         }
     }
     Ok(out)
@@ -279,7 +342,12 @@ fn make_cell(
         };
         signs.insert(*id, s);
     }
-    Ok(CadCell { parent: parent_idx, sample, index, signs })
+    Ok(CadCell {
+        parent: parent_idx,
+        sample,
+        index,
+        signs,
+    })
 }
 
 /// Exact sign of an arbitrary polynomial at a cell's sample point, using
@@ -305,10 +373,7 @@ pub fn sign_of_poly_at_cell(
                 // stored sign determines the sign — negated when
                 // primitive() flipped a negative lex-leading coefficient.
                 if &p.primitive() == cad.registry.get(id) {
-                    let lead_sign = p
-                        .terms()
-                        .last()
-                        .map_or(Sign::Zero, |(_, c)| c.sign());
+                    let lead_sign = p.terms().last().map_or(Sign::Zero, |(_, c)| c.sign());
                     return Ok(if lead_sign == Sign::Neg { s.neg() } else { *s });
                 }
                 // Otherwise p differs from its normal form by repeated
@@ -354,9 +419,7 @@ pub fn eval_formula_at_cell(
         Formula::Rel(name, _) => Err(QeError::Schema(format!(
             "uninstantiated relation {name} in CAD matrix"
         ))),
-        Formula::Quant(..) => Err(QeError::Unsupported(
-            "quantifier inside CAD matrix".into(),
-        )),
+        Formula::Quant(..) => Err(QeError::Unsupported("quantifier inside CAD matrix".into())),
     }
 }
 
@@ -442,9 +505,7 @@ pub fn decide_sentence(
 ) -> Result<bool, QeError> {
     if prefix.is_empty() {
         // Variable-free matrix.
-        return matrix
-            .eval_at(&[])
-            .map_err(QeError::Unsupported);
+        return matrix.eval_at(&[]).map_err(QeError::Unsupported);
     }
     let order: Vec<usize> = prefix.iter().map(|(_, v)| *v).collect();
     let mut polys = Vec::new();

@@ -14,7 +14,6 @@
 //! documented in DESIGN.md).
 
 use crate::{QeContext, QeError};
-use cdb_poly::resultant::{discriminant, resultant};
 use cdb_poly::{squarefree_part, MPoly};
 
 /// Normalize a polynomial for membership in a CAD level set: primitive
@@ -82,11 +81,7 @@ impl Registry {
 /// One projection step: eliminate variable `v` from `polys` (all of which
 /// use `v`). Returns normalized output polynomials (not yet deduplicated
 /// against other levels).
-pub fn project(
-    polys: &[MPoly],
-    v: usize,
-    ctx: &QeContext,
-) -> Result<Vec<MPoly>, QeError> {
+pub fn project(polys: &[MPoly], v: usize, ctx: &QeContext) -> Result<Vec<MPoly>, QeError> {
     let mut out: Vec<MPoly> = Vec::new();
     let mut push = |p: MPoly, ctx: &QeContext| -> Result<(), QeError> {
         ctx.observe_poly(&p)?;
@@ -104,15 +99,15 @@ pub fn project(
         for c in p.as_upoly_in(v) {
             push(c, ctx)?;
         }
-        // Discriminant.
+        // Discriminant (memoized across repeated projections).
         if p.degree_in(v) >= 2 {
-            push(discriminant(p, v), ctx)?;
+            push(ctx.cache.discriminant(p, v), ctx)?;
         }
     }
-    // Pairwise resultants.
+    // Pairwise resultants (memoized).
     for (i, p) in polys.iter().enumerate() {
         for q in &polys[i + 1..] {
-            push(resultant(p, q, v), ctx)?;
+            push(ctx.cache.resultant(p, q, v), ctx)?;
         }
     }
     Ok(out)

@@ -100,7 +100,7 @@ pub fn sign_at(
     sample: &[Coord],
     ctx: &QeContext,
 ) -> Result<Sign, QeError> {
-    ctx.sign_evals.set(ctx.sign_evals.get() + 1);
+    ctx.sign_evals.add(1);
     let (q, algs) = substitute_rationals(p, vars, sample);
     if let Some(c) = q.to_constant() {
         return Ok(c.sign());
@@ -109,9 +109,7 @@ pub fn sign_at(
         0 => unreachable!("nonconstant polynomial with no remaining variables"),
         1 => {
             let (v, alpha) = &algs[0];
-            let u = q
-                .to_upoly_in(*v)
-                .expect("single remaining variable");
+            let u = q.to_upoly_in(*v).expect("single remaining variable");
             Ok(alpha.sign_of(&u))
         }
         _ => sign_by_refinement(&q, &algs),
@@ -131,7 +129,11 @@ fn sign_by_refinement(q: &MPoly, algs: &[(usize, RealAlg)]) -> Result<Sign, QeEr
             .iter()
             .map(|(v, a)| {
                 let w = &a.interval().width() * &Rat::from_ints(1, 4);
-                let w = if w.is_zero() { Rat::from_ints(1, 1024) } else { w };
+                let w = if w.is_zero() {
+                    Rat::from_ints(1, 1024)
+                } else {
+                    w
+                };
                 (*v, a.refined(&w))
             })
             .collect();

@@ -50,7 +50,10 @@ pub fn evaluate_truth(
                 Quantifier::Exists => truth.iter().any(|&t| t),
                 Quantifier::Forall => truth.iter().all(|&t| t),
             };
-            return Ok(TruthTable { free_cell_truth: Vec::new(), root_truth: verdict });
+            return Ok(TruthTable {
+                free_cell_truth: Vec::new(),
+                root_truth: verdict,
+            });
         }
         let parent_count = cad.levels[l - 2].len();
         let mut folded = vec![
@@ -69,7 +72,10 @@ pub fn evaluate_truth(
         }
         truth = folded;
     }
-    Ok(TruthTable { free_cell_truth: truth, root_truth: false })
+    Ok(TruthTable {
+        free_cell_truth: truth,
+        root_truth: false,
+    })
 }
 
 /// A cell's sign signature over the free-space projection polynomials.
@@ -85,7 +91,10 @@ pub fn construct_formula(
     nvars: usize,
     _ctx: &QeContext,
 ) -> Result<ConstraintRelation, QeError> {
-    assert!(free_levels >= 1, "sentence case is handled by decide_sentence");
+    assert!(
+        free_levels >= 1,
+        "sentence case is handled by decide_sentence"
+    );
     let cells = &cad.levels[free_levels - 1];
     debug_assert_eq!(cells.len(), truth.free_cell_truth.len());
     // Group signatures.
@@ -104,8 +113,7 @@ pub fn construct_formula(
             }
         }
     }
-    let false_sigs: Vec<&Signature> =
-        groups.iter().filter(|(_, &t)| !t).map(|(s, _)| s).collect();
+    let false_sigs: Vec<&Signature> = groups.iter().filter(|(_, &t)| !t).map(|(s, _)| s).collect();
     let mut tuples: Vec<GeneralizedTuple> = Vec::new();
     for (sig, t) in &groups {
         if !*t {
@@ -122,9 +130,9 @@ pub fn construct_formula(
             let excludes_all = false_sigs.iter().all(|fs| {
                 // A false signature escapes if it satisfies every remaining
                 // condition.
-                !trial.iter().all(|(id, s)| {
-                    fs.iter().any(|(fid, fsig)| fid == id && fsig == s)
-                })
+                !trial
+                    .iter()
+                    .all(|(id, s)| fs.iter().any(|(fid, fsig)| fid == id && fsig == s))
             });
             if excludes_all {
                 kept.remove(i);
@@ -175,14 +183,8 @@ mod tests {
             Formula::Atom(Atom::new(y.clone(), RelOp::Le)),
         );
         let ctx = QeContext::exact();
-        let rel = crate::cad::eliminate(
-            &matrix,
-            &[(Quantifier::Exists, 1)],
-            &[0],
-            2,
-            &ctx,
-        )
-        .unwrap();
+        let rel =
+            crate::cad::eliminate(&matrix, &[(Quantifier::Exists, 1)], &[0], 2, &ctx).unwrap();
         // The answer is exactly {x = 5/2}.
         assert!(rel.satisfied_at(&["5/2".parse().unwrap(), Rat::zero()]));
         for v in ["0", "2", "3", "-5", "249/100", "251/100"] {
@@ -206,14 +208,8 @@ mod tests {
         let circle = &(&x.pow(2) + &y.pow(2)) - &c(1, 2);
         let matrix = Formula::Atom(Atom::new(circle, RelOp::Lt));
         let ctx = QeContext::exact();
-        let rel = crate::cad::eliminate(
-            &matrix,
-            &[(Quantifier::Exists, 1)],
-            &[0],
-            2,
-            &ctx,
-        )
-        .unwrap();
+        let rel =
+            crate::cad::eliminate(&matrix, &[(Quantifier::Exists, 1)], &[0], 2, &ctx).unwrap();
         for (v, expect) in [
             ("0", true),
             ("99/100", true),
@@ -239,17 +235,15 @@ mod tests {
         let p = &y.pow(2) - &x;
         let matrix = Formula::Atom(Atom::new(p, RelOp::Ge));
         let ctx = QeContext::exact();
-        let rel = crate::cad::eliminate(
-            &matrix,
-            &[(Quantifier::Forall, 1)],
-            &[0],
-            2,
-            &ctx,
-        )
-        .unwrap();
-        for (v, expect) in
-            [("0", true), ("-1", true), ("-100", true), ("1/100", false), ("4", false)]
-        {
+        let rel =
+            crate::cad::eliminate(&matrix, &[(Quantifier::Forall, 1)], &[0], 2, &ctx).unwrap();
+        for (v, expect) in [
+            ("0", true),
+            ("-1", true),
+            ("-100", true),
+            ("1/100", false),
+            ("4", false),
+        ] {
             assert_eq!(
                 rel.satisfied_at(&[v.parse().unwrap(), Rat::zero()]),
                 expect,
@@ -319,14 +313,8 @@ mod tests {
             Formula::Atom(Atom::new(&y - &c(1, 2), RelOp::Ge)),
         );
         let ctx = QeContext::exact();
-        let rel = crate::cad::eliminate(
-            &matrix,
-            &[(Quantifier::Exists, 1)],
-            &[0],
-            2,
-            &ctx,
-        )
-        .unwrap();
+        let rel =
+            crate::cad::eliminate(&matrix, &[(Quantifier::Exists, 1)], &[0], 2, &ctx).unwrap();
         for (v, expect) in [("0", false), ("1/2", false), ("1", true), ("4", true)] {
             assert_eq!(
                 rel.satisfied_at(&[v.parse().unwrap(), Rat::zero()]),
@@ -346,8 +334,10 @@ mod tests {
         assert_eq!(cad.levels.len(), 1);
         // 2 sections + 3 sectors.
         assert_eq!(cad.levels[0].len(), 5);
-        let dims: Vec<usize> =
-            cad.levels[0].iter().map(super::super::CadCell::dimension).collect();
+        let dims: Vec<usize> = cad.levels[0]
+            .iter()
+            .map(super::super::CadCell::dimension)
+            .collect();
         assert_eq!(dims, vec![1, 0, 1, 0, 1]);
     }
 }

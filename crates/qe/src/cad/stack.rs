@@ -19,7 +19,6 @@ use super::sample::{as_alg_coeff_poly, sign_at, substitute_rationals, Coord};
 use crate::{QeContext, QeError};
 use cdb_num::{Int, Rat, Sign};
 use cdb_poly::algebraic::{AlgUPoly, NumberField};
-use cdb_poly::resultant::resultant;
 use cdb_poly::roots::RootLocation;
 use cdb_poly::sturm::SturmChain;
 use cdb_poly::{MPoly, RealAlg, UPoly};
@@ -72,7 +71,10 @@ pub fn build_stack(
             }
         }
     }
-    Ok(Stack { sections: merged, nullified })
+    Ok(Stack {
+        sections: merged,
+        nullified,
+    })
 }
 
 enum FiberRoots {
@@ -93,14 +95,20 @@ fn merge_root(merged: &mut Vec<StackSection>, root: RealAlg, id: usize) {
             std::cmp::Ordering::Less => {
                 merged.insert(
                     i,
-                    StackSection { root, vanish: BTreeSet::from([id]) },
+                    StackSection {
+                        root,
+                        vanish: BTreeSet::from([id]),
+                    },
                 );
                 return;
             }
             std::cmp::Ordering::Greater => {}
         }
     }
-    merged.push(StackSection { root, vanish: BTreeSet::from([id]) });
+    merged.push(StackSection {
+        root,
+        vanish: BTreeSet::from([id]),
+    });
 }
 
 /// Roots of `p` restricted to the fiber over `sample`.
@@ -152,7 +160,7 @@ fn roots_in_fiber(
             }
             // Minimal-polynomial candidates over Q via resultant.
             let m_emb = MPoly::from_upoly(alpha.poly(), avar, q.nvars());
-            let r = resultant(&q, &m_emb, avar);
+            let r = ctx.cache.resultant(&q, &m_emb, avar);
             let ru = r
                 .to_upoly_in(yvar)
                 .ok_or_else(|| QeError::Unsupported("resultant kept variables".into()))?;
@@ -162,7 +170,7 @@ fn roots_in_fiber(
                 ));
             }
             let sf_r = ru.squarefree();
-            let chain = SturmChain::new(&sf_r);
+            let chain = ctx.cache.sturm(&sf_r);
             let mut out = Vec::new();
             for loc in ap.isolate_roots() {
                 out.push(promote_root(&ap, &loc, &sf_r, &chain)?);
@@ -196,10 +204,7 @@ fn promote_root(
         let lo_ok = sf_r.sign_at(iv.lo()) != Sign::Zero;
         let hi_ok = sf_r.sign_at(iv.hi()) != Sign::Zero;
         if lo_ok && hi_ok && chain.count_roots_half_open(iv.lo(), iv.hi()) == 1 {
-            return Ok(RealAlg::new(
-                sf_r.clone(),
-                RootLocation::Isolated(iv),
-            ));
+            return Ok(RealAlg::new(sf_r.clone(), RootLocation::Isolated(iv)));
         }
         width = &width * &Rat::from_ints(1, 4);
     }
@@ -242,7 +247,7 @@ fn roots_multi_alg(
     if d_eff >= 2 {
         // Squarefree-ness of the fiber polynomial: decided by the sign of
         // the discriminant at the base sample (a projection polynomial).
-        let disc = cdb_poly::resultant::discriminant(p, yvar);
+        let disc = ctx.cache.discriminant(p, yvar);
         let disc_zero = if let Some(v) = disc.to_constant() {
             v.is_zero()
         } else {
@@ -259,7 +264,7 @@ fn roots_multi_alg(
     let mut r = q.clone();
     for (v, a) in algs {
         let m_emb = MPoly::from_upoly(a.poly(), *v, q.nvars());
-        r = resultant(&r, &m_emb, *v);
+        r = ctx.cache.resultant(&r, &m_emb, *v);
         ctx.observe_poly(&r)?;
     }
     let ru = r
@@ -317,16 +322,11 @@ fn separators(candidates: &[RealAlg]) -> Vec<Rat> {
 }
 
 /// Exact nonzero sign of a polynomial in algebraic coordinates only.
-fn sign_nonzero_at(
-    q: &MPoly,
-    algs: &[(usize, RealAlg)],
-    ctx: &QeContext,
-) -> Result<Sign, QeError> {
+fn sign_nonzero_at(q: &MPoly, algs: &[(usize, RealAlg)], ctx: &QeContext) -> Result<Sign, QeError> {
     if let Some(c) = q.to_constant() {
         return Ok(c.sign());
     }
-    let used: Vec<&(usize, RealAlg)> =
-        algs.iter().filter(|(v, _)| q.uses_var(*v)).collect();
+    let used: Vec<&(usize, RealAlg)> = algs.iter().filter(|(v, _)| q.uses_var(*v)).collect();
     if used.len() == 1 {
         let (v, a) = used[0];
         let u = q.to_upoly_in(*v).expect("single variable");
@@ -494,15 +494,7 @@ mod tests {
             .pop()
             .unwrap();
         let ctx = QeContext::exact();
-        let stack = build_stack(
-            &[(7, p)],
-            &[0],
-            &[Coord::Alg(sqrt2)],
-            1,
-            &no_lower,
-            &ctx,
-        )
-        .unwrap();
+        let stack = build_stack(&[(7, p)], &[0], &[Coord::Alg(sqrt2)], 1, &no_lower, &ctx).unwrap();
         assert_eq!(stack.sections.len(), 1);
         let root = &stack.sections[0].root;
         assert_eq!(root.cmp_rat(&Rat::from(2i64)), std::cmp::Ordering::Equal);

@@ -19,14 +19,17 @@
 //! budget that realizes the finite-precision satisfaction relation `⊨_QE^F`
 //! (exact arithmetic, undefined the moment any integer exceeds `k` bits).
 
+pub mod cache;
 pub mod cad;
 pub mod linear;
+pub(crate) mod par;
 pub mod pipeline;
 
+pub use cache::AlgebraicCache;
 pub use pipeline::{evaluate_query, numerical_evaluation, EvalOutput};
 
-use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Errors from quantifier elimination.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,22 +75,76 @@ impl fmt::Display for QeError {
 
 impl std::error::Error for QeError {}
 
-/// Execution context: optional finite-precision budget plus statistics.
+/// A thread-safe statistic counter (relaxed atomic).
+///
+/// Keeps the `get`/`set` API the old `Cell<u64>` counters exposed, so
+/// observers in other crates read it unchanged, while letting parallel
+/// elimination workers update it through a shared `&QeContext`.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value (single-writer use only; racing writers should
+    /// use [`Counter::add`] or [`Counter::record_max`]).
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Atomically increment by `v`.
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Atomically raise the value to at least `v`.
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// Execution context: optional finite-precision budget plus statistics,
+/// worker-pool size, and the shared algebraic memo-cache.
 ///
 /// The budget realizes §4's `Z_k` context: every polynomial produced during
 /// elimination is checked; exceeding `k` bits aborts the whole evaluation
 /// with [`QeError::PrecisionExceeded`] ("the value of terms might be
 /// undefined … caused by overflow").
-#[derive(Debug, Default)]
+///
+/// The context is `Sync`: one instance is shared by reference across all
+/// workers of a parallel elimination.
+#[derive(Debug)]
 pub struct QeContext {
     /// Maximum allowed integer bit length (`None` = exact semantics).
     pub budget_bits: Option<u64>,
     /// Largest coefficient bit length observed.
-    pub max_bits_seen: Cell<u64>,
+    pub max_bits_seen: Counter,
     /// Number of CAD cells constructed.
-    pub cells_built: Cell<u64>,
+    pub cells_built: Counter,
     /// Number of polynomial sign evaluations.
-    pub sign_evals: Cell<u64>,
+    pub sign_evals: Counter,
+    /// Worker threads for disjunct/stack-level parallelism. `1` (or `0`)
+    /// runs the original sequential code path; the default is
+    /// [`std::thread::available_parallelism`].
+    pub workers: usize,
+    /// Shared memo-cache for resultants, discriminants, and Sturm chains.
+    pub cache: AlgebraicCache,
+}
+
+impl Default for QeContext {
+    fn default() -> QeContext {
+        QeContext {
+            budget_bits: None,
+            max_bits_seen: Counter::default(),
+            cells_built: Counter::default(),
+            sign_evals: Counter::default(),
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cache: AlgebraicCache::new(),
+        }
+    }
 }
 
 impl QeContext {
@@ -100,18 +157,33 @@ impl QeContext {
     /// Finite-precision context with bit budget `k`.
     #[must_use]
     pub fn with_budget(k: u64) -> QeContext {
-        QeContext { budget_bits: Some(k), ..QeContext::default() }
+        QeContext {
+            budget_bits: Some(k),
+            ..QeContext::default()
+        }
+    }
+
+    /// Same context with an explicit worker count (`1` = sequential).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> QeContext {
+        self.workers = workers;
+        self
+    }
+
+    /// Effective worker count: at least 1.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        self.workers.max(1)
     }
 
     /// Record an observed bit length; error if over budget.
     pub fn observe_bits(&self, bits: u64) -> Result<(), QeError> {
-        if bits > self.max_bits_seen.get() {
-            self.max_bits_seen.set(bits);
-        }
+        self.max_bits_seen.record_max(bits);
         match self.budget_bits {
-            Some(k) if bits > k => {
-                Err(QeError::PrecisionExceeded { budget_bits: k, seen_bits: bits })
-            }
+            Some(k) if bits > k => Err(QeError::PrecisionExceeded {
+                budget_bits: k,
+                seen_bits: bits,
+            }),
             _ => Ok(()),
         }
     }

@@ -22,20 +22,48 @@ pub fn is_linear(rel: &ConstraintRelation) -> bool {
 }
 
 /// Eliminate `∃ var` from a DNF relation of linear constraints.
+///
+/// `∃x` distributes over the union of generalized tuples, so each disjunct
+/// is independent: with `ctx.workers > 1` they are fanned out over scoped
+/// threads and the per-tuple results merged back **in input order** (the
+/// cross-tuple dedup then sees elements in exactly the sequential order, so
+/// the output is identical to `workers = 1`).
 pub fn eliminate_exists(
     rel: &ConstraintRelation,
     var: usize,
     ctx: &QeContext,
 ) -> Result<ConstraintRelation, QeError> {
     let nvars = rel.nvars();
+    let tuples = rel.tuples();
     let mut out_tuples: Vec<GeneralizedTuple> = Vec::new();
-    for tuple in rel.tuples() {
-        for split in split_ne(tuple, var) {
-            if let Some(t) = eliminate_from_tuple(&split, var, ctx)? {
-                if let Some(s) = t.simplify() {
-                    if !out_tuples.contains(&s) {
-                        out_tuples.push(s);
+    if ctx.effective_workers() <= 1 || tuples.len() <= 1 {
+        for tuple in tuples {
+            for split in split_ne(tuple, var) {
+                if let Some(t) = eliminate_from_tuple(&split, var, ctx)? {
+                    if let Some(s) = t.simplify() {
+                        if !out_tuples.contains(&s) {
+                            out_tuples.push(s);
+                        }
                     }
+                }
+            }
+        }
+    } else {
+        let per_tuple = crate::par::par_map_result(tuples, ctx.effective_workers(), |tuple| {
+            let mut results = Vec::new();
+            for split in split_ne(tuple, var) {
+                if let Some(t) = eliminate_from_tuple(&split, var, ctx)? {
+                    if let Some(s) = t.simplify() {
+                        results.push(s);
+                    }
+                }
+            }
+            Ok(results)
+        })?;
+        for results in per_tuple {
+            for s in results {
+                if !out_tuples.contains(&s) {
+                    out_tuples.push(s);
                 }
             }
         }
@@ -91,7 +119,11 @@ fn isolate(atom: &Atom, var: usize) -> Result<Option<Isolated>, QeError> {
     let coeff = coeffs[1]
         .to_constant()
         .ok_or_else(|| QeError::NonLinear(atom.poly.to_string()))?;
-    Ok(Some(Isolated { coeff, rest: coeffs[0].clone(), op: atom.op }))
+    Ok(Some(Isolated {
+        coeff,
+        rest: coeffs[0].clone(),
+        op: atom.op,
+    }))
 }
 
 /// Core FM step on one conjunction. Returns `None` when the tuple is
@@ -261,10 +293,7 @@ mod tests {
     #[test]
     fn unbounded_is_true() {
         let n = 2;
-        let t = GeneralizedTuple::new(
-            n,
-            vec![Atom::cmp(var(1, n), RelOp::Ge, var(0, n))],
-        );
+        let t = GeneralizedTuple::new(n, vec![Atom::cmp(var(1, n), RelOp::Ge, var(0, n))]);
         let rel = ConstraintRelation::new(n, vec![t]);
         let out = eliminate_exists(&rel, 1, &QeContext::exact()).unwrap();
         for v in [-10i64, 0, 10] {

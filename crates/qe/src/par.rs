@@ -1,0 +1,100 @@
+//! Deterministic scoped-thread fan-out for the QE pipeline.
+//!
+//! The build environment is offline (no `rayon`), so parallelism is plain
+//! [`std::thread::scope`] over a shared atomic work queue. Determinism
+//! contract: results are collected **in input order**, and the reported
+//! error (if any) is the lowest-index error — the same one the sequential
+//! loop would have hit first. Indices are claimed monotonically, so every
+//! index below the first stored error has completed successfully by the
+//! time the scope joins.
+
+use crate::QeError;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` on up to `workers` scoped threads, preserving input
+/// order. With `workers <= 1` (or at most one item) this degenerates to the
+/// plain sequential iterator — no threads are spawned.
+pub(crate) fn par_map_result<T: Sync, U: Send>(
+    items: &[T],
+    workers: usize,
+    f: impl Fn(&T) -> Result<U, QeError> + Sync,
+) -> Result<Vec<U>, QeError> {
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<U, QeError>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                if r.is_err() {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("worker slot poisoned") = Some(r);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.into_inner().expect("worker slot poisoned") {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            // Unclaimed slots only exist past the first error, which the
+            // scan above returns before reaching them.
+            None => unreachable!("unclaimed work slot without a prior error"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map_result(&items, 8, |&x| Ok(x * x)).unwrap();
+        assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_degenerate_case() {
+        let items = [1u64, 2, 3];
+        let out = par_map_result(&items, 1, |&x| Ok(x + 1)).unwrap();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn reports_lowest_index_error() {
+        let items: Vec<u64> = (0..64).collect();
+        let err = par_map_result(&items, 8, |&x| {
+            if x >= 10 {
+                Err(QeError::Unsupported(format!("item {x}")))
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, QeError::Unsupported("item 10".into()));
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: [u64; 0] = [];
+        let out = par_map_result(&items, 4, |&x| Ok(x)).unwrap();
+        assert!(out.is_empty());
+    }
+}

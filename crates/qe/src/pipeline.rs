@@ -34,9 +34,7 @@ pub fn evaluate_query(
     ctx: &QeContext,
 ) -> Result<EvalOutput, QeError> {
     // Step 1: INSTANTIATION.
-    let pure = query
-        .instantiate(db, nvars)
-        .map_err(QeError::Schema)?;
+    let pure = query.instantiate(db, nvars).map_err(QeError::Schema)?;
     let free_vars: Vec<usize> = pure.free_vars().into_iter().collect();
     // Normalize: NNF, then prenex.
     let nnf = pure.to_nnf();
@@ -74,7 +72,10 @@ pub fn evaluate_query(
             cad::eliminate(&matrix, &prefix, &free_vars, nvars, ctx)?
         }
     };
-    Ok(EvalOutput { relation, free_vars })
+    Ok(EvalOutput {
+        relation,
+        free_vars,
+    })
 }
 
 /// An ε-approximated solution point.
@@ -164,7 +165,10 @@ mod tests {
         let mut db = Database::new();
         db.insert(
             "S",
-            ConstraintRelation::new(2, vec![GeneralizedTuple::new(2, vec![Atom::new(p, RelOp::Le)])]),
+            ConstraintRelation::new(
+                2,
+                vec![GeneralizedTuple::new(2, vec![Atom::new(p, RelOp::Le)])],
+            ),
         );
         db
     }
@@ -185,7 +189,9 @@ mod tests {
         let out = evaluate_query(&db, &query, 2, &ctx).unwrap();
         assert_eq!(out.free_vars, vec![0]);
         // QE result is semantically {x = 5/2}.
-        assert!(out.relation.satisfied_at(&["5/2".parse().unwrap(), Rat::zero()]));
+        assert!(out
+            .relation
+            .satisfied_at(&["5/2".parse().unwrap(), Rat::zero()]));
         assert!(!out.relation.satisfied_at(&[Rat::from(2i64), Rat::zero()]));
         // Numerical evaluation extracts the root.
         let pts = numerical_evaluation(
@@ -233,7 +239,8 @@ mod tests {
         let out = evaluate_query(&db, &query, n, &ctx).unwrap();
         for (v, expect) in [("0", true), ("10", true), ("11", false), ("-1", false)] {
             assert_eq!(
-                out.relation.satisfied_at(&[v.parse().unwrap(), Rat::zero()]),
+                out.relation
+                    .satisfied_at(&[v.parse().unwrap(), Rat::zero()]),
                 expect,
                 "x = {v}"
             );

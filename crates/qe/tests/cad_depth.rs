@@ -61,11 +61,7 @@ fn three_level_cad_structure() {
     let x = MPoly::var(0, n);
     let y = MPoly::var(1, n);
     let z = MPoly::var(2, n);
-    let polys = vec![
-        &x.pow(2) - &c(2, n),
-        &y.pow(2) - &c(3, n),
-        &z - &(&x * &y),
-    ];
+    let polys = vec![&x.pow(2) - &c(2, n), &y.pow(2) - &c(3, n), &z - &(&x * &y)];
     let ctx = QeContext::exact();
     let cad = build_cad(&polys, &[0, 1, 2], n, &ctx).unwrap();
     assert_eq!(cad.levels.len(), 3);
@@ -158,6 +154,9 @@ fn solution_formula_edge_cases() {
     )
     .unwrap();
     for v in ["-3", "0", "5/2"] {
-        assert!(all_reals.satisfied_at(&[v.parse().unwrap(), Rat::zero()]), "x = {v}");
+        assert!(
+            all_reals.satisfied_at(&[v.parse().unwrap(), Rat::zero()]),
+            "x = {v}"
+        );
     }
 }

@@ -14,8 +14,7 @@ use proptest::prelude::*;
 
 fn linear_atom(a: i64, b: i64, d: i64, op: u8) -> Atom {
     let n = 2;
-    let poly = &(&MPoly::var(0, n).scale(&Rat::from(a))
-        + &MPoly::var(1, n).scale(&Rat::from(b)))
+    let poly = &(&MPoly::var(0, n).scale(&Rat::from(a)) + &MPoly::var(1, n).scale(&Rat::from(b)))
         + &MPoly::constant(Rat::from(d), n);
     let op = match op % 4 {
         0 => RelOp::Le,
@@ -155,6 +154,79 @@ proptest! {
                     small.satisfied_at(&[x.clone(), Rat::zero()]),
                     big.satisfied_at(&[x.clone(), Rat::zero()])
                 );
+            }
+        }
+    }
+
+    /// Disjunct-level parallelism is invisible: eliminating with one worker
+    /// (the verbatim sequential path) and with many workers produces
+    /// structurally identical relations, atom for atom, in the same order.
+    #[test]
+    fn fm_parallel_matches_sequential(
+        disjuncts in prop::collection::vec(
+            prop::collection::vec((-3i64..=3, -3i64..=3, -4i64..=4, 0u8..4), 1..=3),
+            1..=6,
+        ),
+    ) {
+        let n = 2;
+        let tuples = disjuncts
+            .iter()
+            .map(|atoms| {
+                GeneralizedTuple::new(
+                    n,
+                    atoms.iter().map(|&(a, b, d, op)| linear_atom(a, b, d, op)).collect(),
+                )
+            })
+            .collect();
+        let rel = ConstraintRelation::new(n, tuples);
+        let seq = linear::eliminate_exists(&rel, 1, &QeContext::exact().with_workers(1)).unwrap();
+        for workers in [2, 4, 8] {
+            let par = linear::eliminate_exists(
+                &rel,
+                1,
+                &QeContext::exact().with_workers(workers),
+            )
+            .unwrap();
+            prop_assert_eq!(&seq, &par, "workers = {}", workers);
+        }
+    }
+
+    /// CAD lifting parallelism is likewise invisible, and the shared
+    /// memo-cache does not perturb results.
+    #[test]
+    fn cad_parallel_matches_sequential(
+        a in -2i64..=2, b in -2i64..=2, c in -2i64..=2,
+        a2 in -2i64..=2, b2 in -2i64..=2, c2 in -2i64..=2,
+    ) {
+        let n = 2;
+        let conic = |a: i64, b: i64, c: i64| {
+            let p = &(&(&MPoly::var(0, n).pow(2).scale(&Rat::from(a))
+                + &MPoly::var(1, n).pow(2).scale(&Rat::from(b)))
+                + &MPoly::var(0, n).scale(&Rat::from(c)))
+                - &MPoly::constant(Rat::from(1i64), n);
+            Atom::new(p, RelOp::Le)
+        };
+        let matrix = Formula::Or(vec![
+            Formula::Atom(conic(a, b, c)),
+            Formula::Atom(conic(a2, b2, c2)),
+        ])
+        .to_nnf();
+        let run = |workers: usize| {
+            cdb_qe::cad::eliminate(
+                &matrix,
+                &[(cdb_constraints::Quantifier::Exists, 1)],
+                &[0],
+                n,
+                &QeContext::exact().with_workers(workers),
+            )
+        };
+        // Degenerate conics can be rejected by CAD (e.g. identically
+        // vanishing iterated resultants); the contract under test only
+        // concerns inputs the sequential engine accepts.
+        if let Ok(seq) = run(1) {
+            for workers in [2, 4] {
+                let par = run(workers).expect("parallel run failed where sequential succeeded");
+                prop_assert_eq!(&seq, &par, "workers = {}", workers);
             }
         }
     }

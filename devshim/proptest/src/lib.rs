@@ -1,0 +1,278 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! minimal property-testing harness implementing exactly the API surface the
+//! test suites use: the `proptest!` macro (with `#![proptest_config(..)]`),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, `prop_oneof!`, `Just`,
+//! `any::<T>()`, integer/float range strategies, tuple strategies,
+//! `prop::collection::vec`, and the `prop_map`/`prop_filter`/
+//! `prop_recursive`/`boxed` combinators.
+//!
+//! Differences from upstream: no shrinking (failures report the original
+//! case), and generation distributions are plain uniform rather than
+//! edge-biased. Case streams are deterministic per test name, so failures
+//! reproduce across runs.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for i128 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u128() as i128
+        }
+    }
+
+    impl Arbitrary for u128 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u128()
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            // Full bit-pattern coverage (callers `prop_assume!` finiteness
+            // where it matters), mixed with tame magnitudes so typical runs
+            // exercise ordinary arithmetic too.
+            if rng.next_u64() & 3 == 0 {
+                f64::from_bits(rng.next_u64())
+            } else {
+                let mag = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let scale = 10f64.powi((rng.next_u64() % 19) as i32 - 9);
+                let s = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+                s * mag * scale
+            }
+        }
+    }
+
+    /// Strategy wrapper produced by [`any`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary + Clone + 'static> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> Result<T, crate::strategy::Reject> {
+            Ok(T::arbitrary_value(rng))
+        }
+    }
+
+    /// The canonical strategy for `T`'s whole domain.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Reject, Strategy};
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive element-count range for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "collection size range is empty");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "collection size range is empty");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+            let len = self.size.lo + rng.below(self.size.hi - self.size.lo + 1);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element_strategy, size_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Reject the current case (it does not count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::borrow::Cow::Borrowed(concat!("assumption failed: ", stringify!($cond))),
+            ));
+        }
+    };
+}
+
+/// Fail the current case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::borrow::Cow::Owned(::std::format!($($fmt)*)),
+            ));
+        }
+    };
+}
+
+/// Equality assertion with value reporting.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __l,
+            __r,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion with value reporting.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?}` == `{:?}`", __l, __r);
+    }};
+}
+
+/// Uniform choice between heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// The main property-test macro: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            #[allow(unreachable_code)]
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run_proptest(
+                    &__config,
+                    stringify!($name),
+                    |__rng| {
+                        $(
+                            let $pat = match $crate::strategy::Strategy::sample(&($strat), __rng) {
+                                ::core::result::Result::Ok(v) => v,
+                                ::core::result::Result::Err(r) => {
+                                    return ::core::result::Result::Err(
+                                        $crate::test_runner::TestCaseError::Reject(r.0),
+                                    )
+                                }
+                            };
+                        )+
+                        let __outcome: $crate::test_runner::TestCaseResult = (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                        __outcome
+                    },
+                );
+            }
+        )*
+    };
+}

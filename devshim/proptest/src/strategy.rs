@@ -1,0 +1,232 @@
+//! Value-generation strategies: uniform primitives, combinators, unions,
+//! and bounded recursion. No shrinking — see the crate docs.
+
+use crate::test_runner::TestRng;
+use std::borrow::Cow;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A strategy declined to produce a value (e.g. a filter failed); the whole
+/// test case is re-drawn without counting toward the case budget.
+#[derive(Clone, Debug)]
+pub struct Reject(pub Cow<'static, str>);
+
+/// How a value of `Self::Value` is generated.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Result<Self::Value, Reject>;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values passing `pred`. Retries locally before rejecting the
+    /// whole case.
+    fn prop_filter<F>(self, whence: impl Into<Cow<'static, str>>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Bounded recursive strategy: `self` generates leaves; `recurse` builds
+    /// one level on top of a strategy for the level below. `_desired_size`
+    /// and `_expected_branch_size` are accepted for API compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            // Mix in leaves at every level so expected size stays bounded.
+            current = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A reference-counted, type-erased strategy (cheaply cloneable).
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Result<T, Reject> {
+        self.0.sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> Result<T, Reject> {
+        Ok(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> Result<U, Reject> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: Cow<'static, str>,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Result<S::Value, Reject> {
+        for _ in 0..32 {
+            let v = self.inner.sample(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Reject(self.whence.clone()))
+    }
+}
+
+/// Uniform choice among type-erased alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Result<T, Reject> {
+        let idx = rng.below(self.options.len());
+        self.options[idx].sample(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let r = rng.next_u128() % span;
+                Ok(((self.start as i128).wrapping_add(r as i128)) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range is empty");
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128 + 1;
+                let r = rng.next_u128() % span;
+                Ok(((lo as i128).wrapping_add(r as i128)) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> Result<f64, Reject> {
+        assert!(self.start < self.end, "strategy range is empty");
+        Ok(self.start + (self.end - self.start) * rng.unit_f64())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> Result<f64, Reject> {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "strategy range is empty");
+        Ok(lo + (hi - lo) * rng.unit_f64())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Ok(($($name.sample(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}

@@ -1,0 +1,195 @@
+//! Deterministic case runner and RNG for the vendored proptest shim.
+
+use std::borrow::Cow;
+
+/// Per-suite configuration (only the fields the workspace uses).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required per test.
+    pub cases: u32,
+    /// Rejections tolerated before the test aborts as over-constrained.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 96,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// Case does not apply (`prop_assume!` / filter miss); redrawn for free.
+    Reject(Cow<'static, str>),
+    /// Property violated.
+    Fail(Cow<'static, str>),
+}
+
+impl TestCaseError {
+    #[must_use]
+    pub fn reject(msg: impl Into<Cow<'static, str>>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+
+    #[must_use]
+    pub fn fail(msg: impl Into<Cow<'static, str>>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic xoshiro256++ stream seeded from the test name.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Uniform index in `0..bound` (`bound` > 0).
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0);
+        (self.next_u128() % bound as u128) as usize
+    }
+
+    /// Uniform in `[0, 1]` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+    }
+}
+
+/// FNV-1a — stable test-name hashing for per-test seeds.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drive `case` until `config.cases` successful executions. Panics on the
+/// first failing case with its case index and seed so reruns reproduce it.
+pub fn run_proptest(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let base = fnv1a(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while accepted < config.cases {
+        let seed = base ^ attempt.wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut rng = TestRng::new(seed);
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(why)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest `{name}`: too many rejected cases \
+                     ({rejected}, last: {why}) — over-constrained generator"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed at case {accepted} \
+                     (attempt {attempt}, seed {seed:#x}): {msg}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_counts_successes() {
+        let mut n = 0;
+        run_proptest(&ProptestConfig::with_cases(10), "t", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn rejections_do_not_count() {
+        let mut total = 0u32;
+        run_proptest(&ProptestConfig::with_cases(5), "t2", |rng| {
+            total += 1;
+            if rng.next_u64() % 2 == 0 {
+                return Err(TestCaseError::reject("even"));
+            }
+            Ok(())
+        });
+        assert!(total >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic() {
+        run_proptest(&ProptestConfig::with_cases(5), "t3", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = TestRng::new(1);
+        let mut b = TestRng::new(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

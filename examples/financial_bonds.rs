@@ -74,16 +74,10 @@ fn main() {
     assert_eq!(value_avg, Rat::from(102i64));
 
     // ---- Times when the bond trades at par or better. ----------------------
-    let at_par = db
-        .query("exists p (Bond(t, p) and p >= 100)")
-        .expect("QE");
+    let at_par = db.query("exists p (Bond(t, p) and p >= 100)").expect("QE");
     println!("t with price ≥ 100: {}", at_par.display());
     for (t, expect) in [("0", true), ("3/2", true), ("9/5", false), ("5/2", true)] {
-        assert_eq!(
-            at_par.contains(&[t.parse().unwrap()]),
-            expect,
-            "at t = {t}"
-        );
+        assert_eq!(at_par.contains(&[t.parse().unwrap()]), expect, "at t = {t}");
     }
 
     // ---- Continuous discounting with exp (analytic function). --------------

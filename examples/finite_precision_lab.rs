@@ -64,18 +64,27 @@ fn main() {
     );
     println!(
         "  a × b 8-bit words (low→high): [{}]",
-        words.iter().map(Int::to_string).collect::<Vec<_>>().join(", ")
+        words
+            .iter()
+            .map(Int::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     println!("  a ≤ b by the defining formula: {}", le2k(&z, &a, &b));
 
     // ---- Theorem 4.1 / 4.2: defined vs undefined queries. ------------------
     let mut db = ConstraintDb::new();
-    db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0").unwrap();
-    db.define("L", &["x", "y"], "y = 3*x + 1 and x >= 0 and x <= 10").unwrap();
+    db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0")
+        .unwrap();
+    db.define("L", &["x", "y"], "y = 3*x + 1 and x >= 0 and x <= 10")
+        .unwrap();
     println!("\nFinite precision semantics (⊨_QE^F):");
     for (label, query) in [
         ("linear  ∃y L(x,y)", "exists y L(x, y)"),
-        ("polynomial ∃y (S(x,y) ∧ y ≤ 0)", "exists y (S(x, y) and y <= 0)"),
+        (
+            "polynomial ∃y (S(x,y) ∧ y ≤ 0)",
+            "exists y (S(x, y) and y <= 0)",
+        ),
     ] {
         print!("  {label}: defined at k =");
         for k in [4u64, 6, 8, 12, 24, 64] {
@@ -91,10 +100,8 @@ fn main() {
 
     // ---- Theorem 4.2 empirically: linear agreement whenever defined. -------
     let raw = db.raw().clone();
-    let q = cdb_constraints::Formula::exists(
-        1,
-        cdb_constraints::Formula::Rel("L".into(), vec![0, 1]),
-    );
+    let q =
+        cdb_constraints::Formula::exists(1, cdb_constraints::Formula::Rel("L".into(), vec![0, 1]));
     let k = input_bit_length(&raw, &q);
     let div = compare_semantics(&raw, &q, 2, 8 * k, 10).unwrap();
     println!(

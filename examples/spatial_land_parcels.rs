@@ -18,12 +18,8 @@ fn main() {
     let mut db = ConstraintDb::new();
 
     // Parcel A: the triangle with vertices (0,0), (8,0), (0,8).
-    db.define(
-        "ParcelA",
-        &["x", "y"],
-        "x >= 0 and y >= 0 and x + y <= 8",
-    )
-    .expect("triangle");
+    db.define("ParcelA", &["x", "y"], "x >= 0 and y >= 0 and x + y <= 8")
+        .expect("triangle");
 
     // Parcel B: the unit-square-ish lot [5, 9] × [1, 5].
     db.define(
@@ -34,8 +30,12 @@ fn main() {
     .expect("square lot");
 
     // The river bank: everything below the parabola y = x²/8 is wetland.
-    db.define("Wetland", &["x", "y"], "8*y <= x^2 and y >= 0 and x >= 0 and x <= 9")
-        .expect("river bank");
+    db.define(
+        "Wetland",
+        &["x", "y"],
+        "8*y <= x^2 and y >= 0 and x >= 0 and x <= 9",
+    )
+    .expect("river bank");
 
     println!("cadastre: {:?}", db.schema());
 
@@ -115,11 +115,16 @@ fn main() {
         .clone();
     // The bank meets the parcel edge where x²/8 = 8 − x: x = 4√5 − 4.
     let expect = 4.0 * 5f64.sqrt() - 4.0;
-    println!("easternmost dry-or-bank x ≈ {:.6} (expected 4√5−4 ≈ {expect:.6})", east.to_f64());
+    println!(
+        "easternmost dry-or-bank x ≈ {:.6} (expected 4√5−4 ≈ {expect:.6})",
+        east.to_f64()
+    );
     assert!((east.to_f64() - expect).abs() < 1e-6);
 
     // And the strictly-dry MAX is undefined — the paper's partial aggregate:
     let open_max = db.query("m = MAX[x]{ exists y BuildableA(x, y) }");
-    println!("MAX over the open dry region: {:?} (undefined, as the paper specifies)",
-        open_max.err().map(|e| e.to_string()));
+    println!(
+        "MAX over the open dry region: {:?} (undefined, as the paper specifies)",
+        open_max.err().map(|e| e.to_string())
+    );
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, and the tier-1 verify from ROADMAP.md.
+# Run from anywhere; operates on the workspace containing this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 verify: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "All checks passed."

@@ -10,8 +10,14 @@ use constraintdb::{storage, BoxIndex, ConstraintDb, Rat};
 #[test]
 fn storage_roundtrip_preserves_query_answers() {
     let mut db = ConstraintDb::new();
-    db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0").unwrap();
-    db.define("Box", &["x", "y"], "x >= 0 and x <= 2 and y >= 0 and y <= 2").unwrap();
+    db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0")
+        .unwrap();
+    db.define(
+        "Box",
+        &["x", "y"],
+        "x >= 0 and x <= 2 and y >= 0 and y <= 2",
+    )
+    .unwrap();
     let text = storage::save(&db);
     let back = storage::load(&text).unwrap();
     // Same schema.
@@ -24,8 +30,16 @@ fn storage_roundtrip_preserves_query_answers() {
         assert_eq!(q1.contains(std::slice::from_ref(&x)), q2.contains(&[x]));
     }
     // And the surface aggregate survives the round trip.
-    let a1 = db.query("z = SURFACE[x, y]{ Box(x, y) }").unwrap().points().unwrap();
-    let a2 = back.query("z = SURFACE[x, y]{ Box(x, y) }").unwrap().points().unwrap();
+    let a1 = db
+        .query("z = SURFACE[x, y]{ Box(x, y) }")
+        .unwrap()
+        .points()
+        .unwrap();
+    let a2 = back
+        .query("z = SURFACE[x, y]{ Box(x, y) }")
+        .unwrap()
+        .points()
+        .unwrap();
     assert_eq!(a1, a2);
     assert_eq!(a1, vec![vec![Rat::from(4i64)]]);
 }
@@ -35,7 +49,8 @@ fn derived_relations_chain() {
     let mut db = ConstraintDb::new();
     db.define("Disk", &["x", "y"], "x^2 + y^2 <= 4").unwrap();
     // Derived: the right half-disk.
-    db.define("Half", &["x", "y"], "Disk(x, y) and x >= 0").unwrap();
+    db.define("Half", &["x", "y"], "Disk(x, y) and x >= 0")
+        .unwrap();
     // Derived from derived: its x-projection.
     db.define("Shadow", &["x"], "exists y Half(x, y)").unwrap();
     let q = db.query("Shadow(x)").unwrap();
@@ -59,10 +74,16 @@ fn datalog_over_facade_database() {
     // database: one-dimensional interval reachability.
     let mut fdb = ConstraintDb::new();
     fdb.insert_points("Start", 1, &[vec![Rat::zero()]]);
-    fdb.define("Step", &["x", "y"], "x <= y and y <= x + 2 and y <= 5").unwrap();
+    fdb.define("Step", &["x", "y"], "x <= y and y <= x + 2 and y <= 5")
+        .unwrap();
     let program = Program {
         rules: vec![
-            Rule::new("Reach", vec![0], vec![Literal::Rel("Start".into(), vec![0])], 1),
+            Rule::new(
+                "Reach",
+                vec![0],
+                vec![Literal::Rel("Start".into(), vec![0])],
+                1,
+            ),
             Rule::new(
                 "Reach",
                 vec![1],
@@ -77,8 +98,18 @@ fn datalog_over_facade_database() {
     let ctx = QeContext::exact();
     let (saturated, stats) = program.run(fdb.raw(), &ctx, 16).unwrap();
     let reach = saturated.get("Reach").unwrap();
-    for (v, expect) in [("0", true), ("3/2", true), ("5", true), ("11/2", false), ("-1", false)] {
-        assert_eq!(reach.satisfied_at(&[v.parse().unwrap()]), expect, "Reach({v})");
+    for (v, expect) in [
+        ("0", true),
+        ("3/2", true),
+        ("5", true),
+        ("11/2", false),
+        ("-1", false),
+    ] {
+        assert_eq!(
+            reach.satisfied_at(&[v.parse().unwrap()]),
+            expect,
+            "Reach({v})"
+        );
     }
     assert!(stats.iterations <= 6);
 }
@@ -88,18 +119,15 @@ fn analytic_query_against_stored_relation() {
     // Price curve p = 100·e^{t/10}-ish via the exp approximation: find
     // where the curve exceeds a stored threshold relation.
     let mut db = ConstraintDb::new();
-    db.engine_mut().abase =
-        constraintdb::ABase::uniform(Rat::from(-1i64), Rat::from(3i64), 8);
+    db.engine_mut().abase = constraintdb::ABase::uniform(Rat::from(-1i64), Rat::from(3i64), 8);
     db.define("Window", &["t"], "t >= 0 and t <= 2").unwrap();
-    let q = db
-        .query("Window(t) and exp(t) >= 2")
-        .unwrap();
+    let q = db.query("Window(t) and exp(t) >= 2").unwrap();
     // exp(t) ≥ 2 ⇔ t ≥ ln 2 ≈ 0.6931.
     assert!(!q.contains(&["1/2".parse().unwrap()]));
     assert!(q.contains(&[Rat::one()]));
     assert!(q.contains(&[Rat::from(2i64)]));
     assert!(!q.contains(&["5/2".parse().unwrap()])); // outside the window
-    // The boundary is within the approximation error of ln 2.
+                                                     // The boundary is within the approximation error of ln 2.
     let lo = db.query("m = MIN[t]{ Window(t) and exp(t) >= 2 }").unwrap();
     let m = lo.points().unwrap()[0][0].to_f64();
     assert!((m - std::f64::consts::LN_2).abs() < 1e-3, "{m}");
@@ -129,10 +157,14 @@ fn box_index_agrees_with_relation() {
 #[test]
 fn finite_precision_facade_flow() {
     let mut db = ConstraintDb::new();
-    db.define("L", &["x", "y"], "y = 5*x and x >= 0 and x <= 100").unwrap();
+    db.define("L", &["x", "y"], "y = 5*x and x >= 0 and x <= 100")
+        .unwrap();
     // Linear queries are defined at modest budgets and agree with exact.
     let exact = db.query("exists y L(x, y)").unwrap();
-    let fp = db.query_fp("exists y L(x, y)", 64).unwrap().expect("defined");
+    let fp = db
+        .query_fp("exists y L(x, y)", 64)
+        .unwrap()
+        .expect("defined");
     for i in -5..=105 {
         let x = Rat::from(i as i64);
         assert_eq!(exact.contains(std::slice::from_ref(&x)), fp.contains(&[x]));

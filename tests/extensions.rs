@@ -75,7 +75,8 @@ fn volume_aggregate_through_calcf() {
 #[test]
 fn three_variable_cad() {
     let mut db = ConstraintDb::new();
-    db.define("Ball", &["x", "y", "z"], "x^2 + y^2 + z^2 <= 1").unwrap();
+    db.define("Ball", &["x", "y", "z"], "x^2 + y^2 + z^2 <= 1")
+        .unwrap();
     let q = db.query("exists y (exists z Ball(x, y, z))").unwrap();
     for (v, expect) in [
         ("0", true),
@@ -92,12 +93,8 @@ fn three_variable_cad() {
 #[test]
 fn curve_length_through_calcf() {
     let mut db = ConstraintDb::new();
-    db.define(
-        "Diag",
-        &["x", "y"],
-        "y = x and x >= 0 and x <= 4",
-    )
-    .unwrap();
+    db.define("Diag", &["x", "y"], "y = x and x >= 0 and x <= 4")
+        .unwrap();
     let len = db
         .query("m = LENGTH[x, y]{ Diag(x, y) }")
         .unwrap()

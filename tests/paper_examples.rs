@@ -11,7 +11,8 @@ use constraintdb::{ConstraintDb, Rat};
 
 fn paper_db() -> ConstraintDb {
     let mut db = ConstraintDb::new();
-    db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0").unwrap();
+    db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0")
+        .unwrap();
     db
 }
 
@@ -58,7 +59,8 @@ fn section3_generalized_tuple_triangle() {
     // "(x ≤ y ∧ x ≥ 0 ∧ y ≤ 10)" is a binary generalized tuple
     // representing a filled triangle.
     let mut db = ConstraintDb::new();
-    db.define("Tri", &["x", "y"], "x <= y and x >= 0 and y <= 10").unwrap();
+    db.define("Tri", &["x", "y"], "x <= y and x >= 0 and y <= 10")
+        .unwrap();
     let q = db.query("Tri(x, y)").unwrap();
     assert!(q.contains(&[Rat::zero(), Rat::zero()]));
     assert!(q.contains(&[Rat::from(5i64), Rat::from(7i64)]));
@@ -94,7 +96,9 @@ fn section4_partiality_of_finite_precision() {
 fn section5_calcf_with_nested_aggregate_and_eval() {
     let db = paper_db();
     // EVAL extracts the finite solution set of the Figure 1 system.
-    let ev = db.query("EVAL[x]{ exists y (S(x, y) and y <= 0) }").unwrap();
+    let ev = db
+        .query("EVAL[x]{ exists y (S(x, y) and y <= 0) }")
+        .unwrap();
     let pts = ev.points().expect("finite");
     assert_eq!(pts.len(), 1);
     assert!((&pts[0][0] - &"5/2".parse().unwrap()).abs() < "1/1000".parse().unwrap());
@@ -126,10 +130,9 @@ fn forall_queries_through_the_facade() {
 #[test]
 fn min_max_avg_length_on_intervals() {
     let mut db = ConstraintDb::new();
-    db.define("I", &["t"], "(t >= 1 and t <= 3) or (t >= 5 and t <= 9)").unwrap();
-    let get = |src: &str| -> Rat {
-        db.query(src).unwrap().points().unwrap()[0][0].clone()
-    };
+    db.define("I", &["t"], "(t >= 1 and t <= 3) or (t >= 5 and t <= 9)")
+        .unwrap();
+    let get = |src: &str| -> Rat { db.query(src).unwrap().points().unwrap()[0][0].clone() };
     assert_eq!(get("m = MIN[t]{ I(t) }"), Rat::one());
     assert_eq!(get("m = MAX[t]{ I(t) }"), Rat::from(9i64));
     assert_eq!(get("m = LENGTH[t]{ I(t) }"), Rat::from(6i64));

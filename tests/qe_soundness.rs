@@ -5,7 +5,9 @@
 //! engine (Fourier–Motzkin) must agree with the CAD engine on linear
 //! inputs.
 
-use cdb_constraints::{Atom, ConstraintRelation, Database, Formula, GeneralizedTuple, Quantifier, RelOp};
+use cdb_constraints::{
+    Atom, ConstraintRelation, Database, Formula, GeneralizedTuple, Quantifier, RelOp,
+};
 use cdb_num::Rat;
 use cdb_poly::MPoly;
 use cdb_qe::{evaluate_query, QeContext};
@@ -21,8 +23,7 @@ fn random_linear_atom(rng: &mut StdRng, n: usize) -> Atom {
     let a = rng.gen_range(-4i64..=4);
     let b = rng.gen_range(-4i64..=4);
     let d = rng.gen_range(-6i64..=6);
-    let poly = &(&MPoly::var(0, n).scale(&Rat::from(a))
-        + &MPoly::var(1, n).scale(&Rat::from(b)))
+    let poly = &(&MPoly::var(0, n).scale(&Rat::from(a)) + &MPoly::var(1, n).scale(&Rat::from(b)))
         + &c(d, n);
     let op = match rng.gen_range(0..4) {
         0 => RelOp::Le,
@@ -38,10 +39,8 @@ fn fourier_motzkin_matches_brute_force() {
     let mut rng = StdRng::seed_from_u64(0xC0FFEE);
     let n = 2;
     for case in 0..40 {
-        let tuple = GeneralizedTuple::new(
-            n,
-            (0..3).map(|_| random_linear_atom(&mut rng, n)).collect(),
-        );
+        let tuple =
+            GeneralizedTuple::new(n, (0..3).map(|_| random_linear_atom(&mut rng, n)).collect());
         let rel = ConstraintRelation::new(n, vec![tuple]);
         let mut db = Database::new();
         db.insert("R", rel.clone());
@@ -57,12 +56,14 @@ fn fourier_motzkin_matches_brute_force() {
         // testing implication both ways only for non-degenerate rows).
         for xi in -12..=12 {
             let x = Rat::from_ints(xi, 2);
-            let witness = (-240..=240).any(|yi| {
-                rel.satisfied_at(&[x.clone(), Rat::from_ints(yi, 8)])
-            });
+            let witness =
+                (-240..=240).any(|yi| rel.satisfied_at(&[x.clone(), Rat::from_ints(yi, 8)]));
             let claimed = out.relation.satisfied_at(&[x.clone(), Rat::zero()]);
             if witness {
-                assert!(claimed, "case {case}: witness exists but QE says empty at x={x}");
+                assert!(
+                    claimed,
+                    "case {case}: witness exists but QE says empty at x={x}"
+                );
             }
             if !claimed {
                 assert!(!witness, "case {case}: QE false but witness at x={x}");
@@ -86,14 +87,9 @@ fn cad_agrees_with_fm_on_linear_inputs() {
         let q = Formula::exists(1, Formula::Rel("R".into(), vec![0, 1]));
         let fm = evaluate_query(&db, &q, n, &ctx).unwrap();
         // CAD path, forced.
-        let cad = cdb_qe::cad::eliminate(
-            &matrix.to_nnf(),
-            &[(Quantifier::Exists, 1)],
-            &[0],
-            n,
-            &ctx,
-        )
-        .unwrap();
+        let cad =
+            cdb_qe::cad::eliminate(&matrix.to_nnf(), &[(Quantifier::Exists, 1)], &[0], n, &ctx)
+                .unwrap();
         for xi in -16..=16 {
             let x = Rat::from_ints(xi, 2);
             assert_eq!(
@@ -111,32 +107,35 @@ fn cad_soundness_on_random_conics() {
     let n = 2;
     for case in 0..10 {
         // a x² + b y² + c x + d y + e σ 0
-        let poly = &(&(&MPoly::var(0, n).pow(2).scale(&Rat::from(rng.gen_range(-2i64..=2)))
-            + &MPoly::var(1, n).pow(2).scale(&Rat::from(rng.gen_range(-2i64..=2))))
+        let poly = &(&(&MPoly::var(0, n)
+            .pow(2)
+            .scale(&Rat::from(rng.gen_range(-2i64..=2)))
+            + &MPoly::var(1, n)
+                .pow(2)
+                .scale(&Rat::from(rng.gen_range(-2i64..=2))))
             + &(&MPoly::var(0, n).scale(&Rat::from(rng.gen_range(-3i64..=3)))
                 + &MPoly::var(1, n).scale(&Rat::from(rng.gen_range(-3i64..=3)))))
             + &c(rng.gen_range(-5i64..=5), n);
         if poly.is_constant() {
             continue;
         }
-        let op = if rng.gen_bool(0.5) { RelOp::Le } else { RelOp::Lt };
+        let op = if rng.gen_bool(0.5) {
+            RelOp::Le
+        } else {
+            RelOp::Lt
+        };
         let matrix = Formula::Atom(Atom::new(poly.clone(), op));
         let ctx = QeContext::exact();
-        let out = cdb_qe::cad::eliminate(
-            &matrix,
-            &[(Quantifier::Exists, 1)],
-            &[0],
-            n,
-            &ctx,
-        );
+        let out = cdb_qe::cad::eliminate(&matrix, &[(Quantifier::Exists, 1)], &[0], n, &ctx);
         let Ok(out) = out else {
             continue; // degenerate formula-construction cases are typed errors
         };
         // ∃y (p(x,y) σ 0) vs scan over y grid.
         for xi in -10..=10 {
             let x = Rat::from_ints(xi, 2);
-            let witness = (-200..=200)
-                .any(|yi| Atom::new(poly.clone(), op).satisfied_at(&[x.clone(), Rat::from_ints(yi, 10)]));
+            let witness = (-200..=200).any(|yi| {
+                Atom::new(poly.clone(), op).satisfied_at(&[x.clone(), Rat::from_ints(yi, 10)])
+            });
             let claimed = out.satisfied_at(&[x.clone(), Rat::zero()]);
             if witness {
                 assert!(claimed, "case {case}: grid witness but QE empty at x = {x}");
@@ -172,7 +171,11 @@ fn numerical_evaluation_is_epsilon_close() {
         expect.dedup();
         assert_eq!(pts.len(), expect.len());
         for (got, want) in pts.iter().zip(&expect) {
-            assert!((&got.coords[0] - want).abs() <= eps, "{} vs {want}", got.coords[0]);
+            assert!(
+                (&got.coords[0] - want).abs() <= eps,
+                "{} vs {want}",
+                got.coords[0]
+            );
         }
     }
 }
