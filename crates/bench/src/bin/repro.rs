@@ -1,10 +1,11 @@
-//! `repro` — regenerate every table/figure of the reproduction (E1–E16).
+//! `repro` — regenerate every table/figure of the reproduction (E1–E17).
 //!
 //! Usage: `cargo run --release -p cdb-bench --bin repro [-- e1 e2 …]`
 //! (no arguments = all experiments). Each experiment prints the paper's
 //! artifact next to the measured result; EXPERIMENTS.md records a full run.
 //! E16 additionally writes its parallel-QE speedup and cache statistics to
-//! `BENCH_qe.json` at the repository root.
+//! `BENCH_qe.json`, and E17 its naive-vs-semi-naive fixpoint comparison to
+//! `BENCH_datalog.json`, both at the repository root.
 
 use cdb_approx::modules::{approximate_on_abase, ApproxMethod};
 use cdb_approx::{sup_error, ABase, AnalyticFn};
@@ -23,10 +24,10 @@ use cdb_qe::{evaluate_query, QeContext};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let known: Vec<String> = (1..=16).map(|i| format!("e{i}")).collect();
+    let known: Vec<String> = (1..=17).map(|i| format!("e{i}")).collect();
     for a in &args {
         if a != "all" && !known.iter().any(|k| k.eq_ignore_ascii_case(a)) {
-            eprintln!("unknown experiment id `{a}` (expected e1..e16 or all)");
+            eprintln!("unknown experiment id `{a}` (expected e1..e17 or all)");
             std::process::exit(2);
         }
     }
@@ -79,6 +80,9 @@ fn main() {
     }
     if want("e16") {
         e16();
+    }
+    if want("e17") {
+        e17();
     }
 }
 
@@ -690,15 +694,22 @@ fn e16() {
         let hits = shared.cache.hits();
         let misses = shared.cache.misses();
         let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
+        let entries_now = shared.cache.len();
+        let capacity = shared.cache.capacity();
+        let evictions = shared.cache.evictions();
+        assert!(
+            entries_now <= capacity,
+            "cache occupancy {entries_now} exceeds capacity {capacity}"
+        );
         println!(
             "  repeated query (x{reps}), shared cache: cold {t_cold:.2?}  warm {t_warm:.2?}  speedup {speedup:.2}x"
         );
         println!(
-            "  memo-cache: {hits} hits / {misses} misses (hit rate {:.1}%)",
+            "  memo-cache: {hits} hits / {misses} misses (hit rate {:.1}%), {entries_now}/{capacity} entries, {evictions} evictions",
             hit_rate * 100.0
         );
         entries.push(format!(
-            "{{\"name\": \"warm_cache_repeated_query\", \"disjuncts\": 6, \"repetitions\": {reps}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"speedup\": {speedup:.3}, \"cache_hits\": {hits}, \"cache_misses\": {misses}, \"cache_hit_rate\": {hit_rate:.3}}}",
+            "{{\"name\": \"warm_cache_repeated_query\", \"disjuncts\": 6, \"repetitions\": {reps}, \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"speedup\": {speedup:.3}, \"cache_hits\": {hits}, \"cache_misses\": {misses}, \"cache_hit_rate\": {hit_rate:.3}, \"cache_entries\": {entries_now}, \"cache_capacity\": {capacity}, \"cache_evictions\": {evictions}}}",
             t_cold.as_secs_f64() * 1e3,
             t_warm.as_secs_f64() * 1e3
         ));
@@ -757,11 +768,145 @@ fn e16() {
         ));
     }
 
+    // Workload E: bounded cache under a long-lived context — far more
+    // distinct Sturm chains than the capacity admits; the LRU eviction
+    // keeps occupancy at the cap instead of growing without bound.
+    {
+        let capacity = 64usize;
+        let cache = cdb_qe::AlgebraicCache::with_capacity(capacity);
+        let keys = 10 * capacity;
+        for i in 0..keys {
+            // x² − i: a fresh cache key per polynomial.
+            let p =
+                cdb_poly::UPoly::from_coeffs(vec![Rat::from(-(i as i64)), Rat::zero(), Rat::one()]);
+            let _ = cache.sturm(&p);
+        }
+        let occupancy = cache.len();
+        let evictions = cache.evictions();
+        let shard_counts = cache.shard_entry_counts();
+        assert!(
+            occupancy <= capacity,
+            "bounded cache grew past its capacity: {occupancy} > {capacity}"
+        );
+        assert!(evictions > 0, "no evictions despite {keys} distinct keys");
+        println!(
+            "  bounded cache, {keys} distinct keys at capacity {capacity}: occupancy {occupancy}, {evictions} evictions"
+        );
+        entries.push(format!(
+            "{{\"name\": \"bounded_cache_eviction\", \"distinct_keys\": {keys}, \"cache_capacity\": {capacity}, \"cache_entries\": {occupancy}, \"cache_evictions\": {evictions}, \"shard_entry_counts\": {shard_counts:?}}}"
+        ));
+    }
+
     let json = format!(
         "{{\n  \"experiment\": \"e16_parallel_qe\",\n  \"hardware_threads\": {hw},\n  \"workloads\": [\n    {}\n  ]\n}}\n",
         entries.join(",\n    ")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_qe.json");
     std::fs::write(path, &json).expect("write BENCH_qe.json");
+    println!("  wrote {path}");
+}
+
+/// E17 — semi-naive parallel fixpoint vs the naive reference evaluator:
+/// QE-call counts, iterations, delta decay, and wall-clock on chain and
+/// cyclic transitive-closure inputs; results land in `BENCH_datalog.json`.
+fn e17() {
+    header(
+        "E17",
+        "semi-naive parallel Datalog¬ fixpoint vs naive reference (QE calls + wall-clock)",
+    );
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let tc_program = || Program {
+        rules: vec![
+            Rule::new(
+                "T",
+                vec![0, 1],
+                vec![Literal::Rel("E".into(), vec![0, 1])],
+                2,
+            ),
+            Rule::new(
+                "T",
+                vec![0, 1],
+                vec![
+                    Literal::Rel("T".into(), vec![0, 2]),
+                    Literal::Rel("E".into(), vec![2, 1]),
+                ],
+                3,
+            ),
+        ],
+    };
+    let mut entries: Vec<String> = Vec::new();
+    println!(
+        "  {:<16} {:>6} {:>10} {:>10} {:>9} {:>9} {:>10}",
+        "input", "iters", "naive QE", "semi QE", "naive t", "semi t", "equal"
+    );
+    for (name, edges) in [
+        ("chain_8", (0..8i64).map(|i| (i, i + 1)).collect::<Vec<_>>()),
+        (
+            "chain_12",
+            (0..12i64).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        ),
+        ("cycle_8", {
+            let mut v: Vec<_> = (0..8i64).map(|i| (i, i + 1)).collect();
+            v.push((8, 0));
+            v
+        }),
+    ] {
+        let pts: Vec<Vec<Rat>> = edges
+            .iter()
+            .map(|&(a, b)| vec![Rat::from(a), Rat::from(b)])
+            .collect();
+        let mut db = Database::new();
+        db.insert("E", ConstraintRelation::from_points(2, &pts));
+        let program = tc_program();
+
+        let ctx_naive = QeContext::exact().with_workers(1);
+        let (out_naive, stats_naive) = program.run_naive(&db, &ctx_naive, 64).unwrap();
+        let ctx_semi = QeContext::exact().with_workers(hw.max(2));
+        let (out_semi, stats_semi) = program.run(&db, &ctx_semi, 64).unwrap();
+        // Determinism across worker counts, and agreement with the naive
+        // reference (finite inputs stay finite, so extents are canonical
+        // point sets and compare structurally).
+        let ctx_one = QeContext::exact().with_workers(1);
+        let (out_one, _) = program.run(&db, &ctx_one, 64).unwrap();
+        let equal =
+            out_semi.get("T") == out_one.get("T") && out_semi.get("T") == out_naive.get("T");
+        assert!(equal, "{name}: semi-naive diverged from naive reference");
+        assert!(
+            stats_semi.qe_calls < stats_naive.qe_calls,
+            "{name}: semi-naive issued {} QE calls vs naive {}",
+            stats_semi.qe_calls,
+            stats_naive.qe_calls
+        );
+        let deltas: Vec<usize> = stats_semi
+            .per_iteration
+            .iter()
+            .map(|it| it.delta_tuples.iter().map(|(_, n)| n).sum())
+            .collect();
+        println!(
+            "  {name:<16} {:>6} {:>10} {:>10} {:>9.2?} {:>9.2?} {:>10}",
+            stats_semi.iterations,
+            stats_naive.qe_calls,
+            stats_semi.qe_calls,
+            stats_naive.wall,
+            stats_semi.wall,
+            equal
+        );
+        println!("    delta tuples per round: {deltas:?}");
+        entries.push(format!(
+            "{{\"name\": \"{name}\", \"edges\": {}, \"iterations\": {}, \"naive_qe_calls\": {}, \"semi_naive_qe_calls\": {}, \"naive_ms\": {:.3}, \"semi_naive_ms\": {:.3}, \"delta_tuples_per_round\": {deltas:?}, \"outputs_equal\": {equal}}}",
+            edges.len(),
+            stats_semi.iterations,
+            stats_naive.qe_calls,
+            stats_semi.qe_calls,
+            stats_naive.wall.as_secs_f64() * 1e3,
+            stats_semi.wall.as_secs_f64() * 1e3
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"e17_semi_naive_fixpoint\",\n  \"hardware_threads\": {hw},\n  \"inputs\": [\n    {}\n  ]\n}}\n",
+        entries.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_datalog.json");
+    std::fs::write(path, &json).expect("write BENCH_datalog.json");
     println!("  wrote {path}");
 }

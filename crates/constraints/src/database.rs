@@ -3,12 +3,19 @@
 use crate::relation::ConstraintRelation;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A constraint database `⟨R̂₁, …, R̂ₙ⟩` over a schema of named relation
 /// symbols, in the context of the real field.
+///
+/// Relations are stored behind `Arc`, so cloning a database is a shallow
+/// copy-on-write snapshot: `clone()` bumps one reference count per relation,
+/// and `insert` replaces only the named entry. Iterative evaluators (the
+/// Datalog fixpoint) rely on this to take per-round snapshots without
+/// deep-copying every extent.
 #[derive(Clone, Default, PartialEq)]
 pub struct Database {
-    relations: BTreeMap<String, ConstraintRelation>,
+    relations: BTreeMap<String, Arc<ConstraintRelation>>,
 }
 
 impl Database {
@@ -20,18 +27,32 @@ impl Database {
 
     /// Insert or replace a relation.
     pub fn insert(&mut self, name: impl Into<String>, rel: ConstraintRelation) {
+        self.relations.insert(name.into(), Arc::new(rel));
+    }
+
+    /// Insert or replace a relation through a shared handle (no deep copy).
+    pub fn insert_shared(&mut self, name: impl Into<String>, rel: Arc<ConstraintRelation>) {
         self.relations.insert(name.into(), rel);
     }
 
     /// Look up a relation.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&ConstraintRelation> {
-        self.relations.get(name)
+        self.relations.get(name).map(Arc::as_ref)
+    }
+
+    /// Look up a relation as a shared handle (cheap to clone into another
+    /// database snapshot).
+    #[must_use]
+    pub fn get_shared(&self, name: &str) -> Option<Arc<ConstraintRelation>> {
+        self.relations.get(name).cloned()
     }
 
     /// Remove a relation.
     pub fn remove(&mut self, name: &str) -> Option<ConstraintRelation> {
-        self.relations.remove(name)
+        self.relations
+            .remove(name)
+            .map(|rel| Arc::try_unwrap(rel).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Schema: names with arities.
@@ -45,7 +66,7 @@ impl Database {
 
     /// Iterate relations.
     pub fn iter(&self) -> impl Iterator<Item = (&String, &ConstraintRelation)> {
-        self.relations.iter()
+        self.relations.iter().map(|(n, r)| (n, r.as_ref()))
     }
 
     /// Number of relations.
@@ -69,7 +90,7 @@ impl Database {
     pub fn max_coeff_bits(&self) -> u64 {
         self.relations
             .values()
-            .map(ConstraintRelation::max_coeff_bits)
+            .map(|rel| rel.max_coeff_bits())
             .max()
             .unwrap_or(0)
     }

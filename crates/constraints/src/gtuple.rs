@@ -137,6 +137,12 @@ impl GeneralizedTuple {
         out
     }
 
+    /// True iff some atom's polynomial mentions variable `i`.
+    #[must_use]
+    pub fn uses_var(&self, i: usize) -> bool {
+        self.atoms.iter().any(|a| a.poly.uses_var(i))
+    }
+
     /// Substitute a rational for variable `i` in every atom (arity kept).
     #[must_use]
     pub fn substitute(&self, i: usize, v: &Rat) -> GeneralizedTuple {

@@ -190,6 +190,12 @@ impl ConstraintRelation {
             .unwrap_or(0)
     }
 
+    /// True iff some tuple constrains variable `i`.
+    #[must_use]
+    pub fn uses_var(&self, i: usize) -> bool {
+        self.tuples.iter().any(|t| t.uses_var(i))
+    }
+
     /// Substitute a rational for one variable in every tuple.
     #[must_use]
     pub fn substitute(&self, i: usize, v: &Rat) -> ConstraintRelation {

@@ -95,18 +95,13 @@ fn main() {
             }
             "datalog" => match std::fs::read_to_string(rest) {
                 Ok(src) => match parse_program(&src) {
-                    Ok(program) => {
-                        let ctx = constraintdb::QeContext::exact();
-                        match program.run(db.raw(), &ctx, 64) {
-                            Ok((saturated, stats)) => {
-                                println!("fixpoint in {} iterations", stats.iterations);
-                                for (name, rel) in saturated.iter() {
-                                    db.insert(name, rel.clone());
-                                }
-                            }
-                            Err(e) => println!("error: {e}"),
-                        }
-                    }
+                    Ok(program) => match db.run_datalog(&program, 64) {
+                        Ok(stats) => println!(
+                            "fixpoint in {} iterations ({} QE calls, {:.2?})",
+                            stats.iterations, stats.qe_calls, stats.wall
+                        ),
+                        Err(e) => println!("error: {e}"),
+                    },
                     Err(e) => println!("parse error: {e}"),
                 },
                 Err(e) => println!("cannot read {rest}: {e}"),

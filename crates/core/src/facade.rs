@@ -2,6 +2,7 @@
 
 use cdb_calcf::{CalcFEngine, CalcFError, CalcFOutput};
 use cdb_constraints::{ConstraintRelation, Database};
+use cdb_datalog::{DatalogError, FixpointStats, Program};
 use cdb_num::Rat;
 use cdb_qe::pipeline::numerical_evaluation;
 use cdb_qe::{QeContext, QeError};
@@ -14,6 +15,8 @@ pub enum DbError {
     CalcF(CalcFError),
     /// QE failure during numeric evaluation.
     Qe(QeError),
+    /// Datalog¬ fixpoint failure.
+    Datalog(DatalogError),
     /// Schema problem.
     Schema(String),
     /// Storage format problem.
@@ -25,6 +28,7 @@ impl fmt::Display for DbError {
         match self {
             DbError::CalcF(e) => write!(f, "{e}"),
             DbError::Qe(e) => write!(f, "{e}"),
+            DbError::Datalog(e) => write!(f, "{e}"),
             DbError::Schema(m) => write!(f, "schema error: {m}"),
             DbError::Storage(m) => write!(f, "storage error: {m}"),
         }
@@ -42,6 +46,12 @@ impl From<CalcFError> for DbError {
 impl From<QeError> for DbError {
     fn from(e: QeError) -> Self {
         DbError::Qe(e)
+    }
+}
+
+impl From<DatalogError> for DbError {
+    fn from(e: DatalogError) -> Self {
+        DbError::Datalog(e)
     }
 }
 
@@ -212,6 +222,25 @@ impl ConstraintDb {
         })
     }
 
+    /// Run a Datalog¬ program to its inflationary fixpoint with the
+    /// semi-naive parallel evaluator, merging the saturated head relations
+    /// back into this database. Honors the engine's `workers` and
+    /// `budget_bits` settings; returns the run's [`FixpointStats`].
+    ///
+    /// Programs are built directly ([`cdb_datalog::Rule`]) or parsed from
+    /// text with [`crate::parse_program`].
+    pub fn run_datalog(
+        &mut self,
+        program: &Program,
+        max_iterations: usize,
+    ) -> Result<FixpointStats, DbError> {
+        let mut ctx = QeContext::exact().with_workers(self.engine.workers);
+        ctx.budget_bits = self.engine.budget_bits;
+        let (saturated, stats) = program.run(&self.db, &ctx, max_iterations)?;
+        self.db = saturated;
+        Ok(stats)
+    }
+
     /// Evaluate under the finite precision semantics with bit budget `k`:
     /// `Ok(None)` when the query is *undefined* (`⊨_QE^F` partiality).
     pub fn query_fp(&self, src: &str, budget_bits: u64) -> Result<Option<QueryResult>, DbError> {
@@ -304,5 +333,30 @@ mod tests {
         let mut db = ConstraintDb::new();
         let err = db.define("R", &["x"], "x <= y");
         assert!(err.is_err(), "undeclared variable must be rejected");
+    }
+
+    #[test]
+    fn run_datalog_saturates_into_database() {
+        let mut db = ConstraintDb::new();
+        db.insert_points(
+            "E",
+            2,
+            &[
+                vec![Rat::one(), Rat::from(2i64)],
+                vec![Rat::from(2i64), Rat::from(3i64)],
+            ],
+        );
+        let program = crate::parse_program(
+            "T(x, y) :- E(x, y).\n\
+             T(x, y) :- T(x, z), E(z, y).",
+        )
+        .unwrap();
+        let stats = db.run_datalog(&program, 32).unwrap();
+        assert!(stats.iterations >= 2);
+        assert!(stats.qe_calls >= stats.iterations);
+        // The saturated head is queryable like any stored relation.
+        let q = db.query("T(x, y)").unwrap();
+        assert!(q.contains(&[Rat::one(), Rat::from(3i64)]));
+        assert!(!q.contains(&[Rat::from(3i64), Rat::one()]));
     }
 }

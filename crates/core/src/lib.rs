@@ -41,7 +41,7 @@ pub use cdb_agg::Aggregate;
 pub use cdb_approx::{ABase, AnalyticFn};
 pub use cdb_calcf::{CalcFEngine, CalcFError, CalcFOutput};
 pub use cdb_constraints::{Atom, ConstraintRelation, Database, Formula, GeneralizedTuple, RelOp};
-pub use cdb_datalog::{Literal, Program, Rule};
+pub use cdb_datalog::{DatalogError, FixpointStats, Literal, Program, Rule};
 pub use cdb_num::{Int, Rat};
 pub use cdb_poly::{MPoly, UPoly};
 pub use cdb_qe::{QeContext, QeError};

@@ -1,9 +1,39 @@
 //! Datalog¬ programs and their inflationary fixpoint evaluation.
+//!
+//! Two evaluators share the same semantics:
+//!
+//! * [`Program::run`] — the default **semi-naive, parallel** fixpoint
+//!   (Balbin–Ramamohanarao delta rewriting): each round tracks the tuples
+//!   derived in the previous round per head relation (the *delta*), rewrites
+//!   every recursive rule into variants where one positive IDB literal binds
+//!   to the delta instead of the full extent, and evaluates the round's QE
+//!   jobs concurrently through [`cdb_qe::par_map_result`]. Results merge in
+//!   job order, so the output is byte-identical for every worker count.
+//! * [`Program::run_naive`] — the reference evaluator: every rule body
+//!   against the full extents, sequentially, every round. Kept for
+//!   differential testing and the E17 before/after benchmark.
+//!
+//! Delta rewriting is sound here *because* the semantics is inflationary:
+//! extents only grow, so negated IDB literals only shrink, and any body
+//! binding drawn entirely from pre-delta extents was already derivable (and
+//! derived) in the previous round — the union never loses it. New tuples
+//! therefore require at least one delta tuple in a positive IDB position,
+//! which is exactly what the rewritten variants enumerate.
 
-use cdb_constraints::{Atom, ConstraintRelation, Database, Formula};
-use cdb_qe::{evaluate_query, QeContext, QeError};
-use std::collections::BTreeSet;
+use cdb_constraints::{Atom, ConstraintRelation, Database, Formula, GeneralizedTuple};
+use cdb_qe::{evaluate_query, par_map_result, QeContext, QeError};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Reserved relation-name prefix for per-round delta extents. Input
+/// databases must not define relations under it.
+pub const DELTA_PREFIX: &str = "Δ:";
+
+/// The delta relation name for `name`.
+fn delta_name(name: &str) -> String {
+    format!("{DELTA_PREFIX}{name}")
+}
 
 /// A body literal. Variables are indices into the rule's local ring.
 #[derive(Debug, Clone)]
@@ -52,12 +82,20 @@ impl Rule {
     }
 
     /// The body as a first-order formula with existentials over non-head
-    /// variables, against the given database extents.
-    fn body_formula(&self) -> Formula {
+    /// variables. With `delta_pos = Some(i)`, the positive literal at body
+    /// position `i` reads the delta relation instead of the full extent.
+    fn body_formula_inner(&self, delta_pos: Option<usize>) -> Formula {
         let mut conj: Vec<Formula> = Vec::with_capacity(self.body.len());
-        for lit in &self.body {
+        for (i, lit) in self.body.iter().enumerate() {
             conj.push(match lit {
-                Literal::Rel(name, args) => Formula::Rel(name.clone(), args.clone()),
+                Literal::Rel(name, args) => {
+                    let name = if delta_pos == Some(i) {
+                        delta_name(name)
+                    } else {
+                        name.clone()
+                    };
+                    Formula::Rel(name, args.clone())
+                }
                 Literal::NegRel(name, args) => {
                     Formula::not(Formula::Rel(name.clone(), args.clone()))
                 }
@@ -73,6 +111,24 @@ impl Rule {
             }
         }
         f
+    }
+
+    /// The plain body formula against the full extents.
+    fn body_formula(&self) -> Formula {
+        self.body_formula_inner(None)
+    }
+
+    /// Body positions of positive literals over intensional relations —
+    /// the candidates for delta binding.
+    fn positive_idb_positions(&self, idb: &BTreeSet<&str>) -> Vec<usize> {
+        self.body
+            .iter()
+            .enumerate()
+            .filter_map(|(i, lit)| match lit {
+                Literal::Rel(name, _) if idb.contains(name.as_str()) => Some(i),
+                _ => None,
+            })
+            .collect()
     }
 }
 
@@ -93,6 +149,17 @@ pub enum DatalogError {
     IterationCap(usize),
     /// Head arity conflicts with an existing relation.
     Arity(String),
+    /// QE left a residual constraint over a quantified-away body variable,
+    /// so the head projection is undefined (it would alias a head column).
+    ResidualVariable {
+        /// Head relation of the offending rule.
+        head: String,
+        /// The rule-ring variable that survived elimination.
+        var: usize,
+    },
+    /// The input database defines a relation under the reserved
+    /// [`DELTA_PREFIX`] namespace.
+    ReservedName(String),
 }
 
 impl fmt::Display for DatalogError {
@@ -103,6 +170,16 @@ impl fmt::Display for DatalogError {
                 write!(f, "datalog: no fixpoint within {n} iterations")
             }
             DatalogError::Arity(m) => write!(f, "datalog arity conflict: {m}"),
+            DatalogError::ResidualVariable { head, var } => write!(
+                f,
+                "datalog: residual constraint over eliminated variable x{var} in a rule for {head}"
+            ),
+            DatalogError::ReservedName(n) => {
+                write!(
+                    f,
+                    "datalog: relation name {n} uses the reserved prefix {DELTA_PREFIX}"
+                )
+            }
         }
     }
 }
@@ -115,27 +192,56 @@ impl From<QeError> for DatalogError {
     }
 }
 
-/// Statistics of a fixpoint run (experiment E11 reads these).
+/// Per-iteration measurements of a fixpoint run.
+#[derive(Debug, Clone, Default)]
+pub struct IterationStats {
+    /// QE calls issued for rule bodies this round.
+    pub qe_calls: usize,
+    /// Per-head count of syntactically new tuples derived this round
+    /// (the next round's delta sizes), sorted by head name.
+    pub delta_tuples: Vec<(String, usize)>,
+    /// Wall-clock time of the round.
+    pub wall: Duration,
+}
+
+/// Statistics of a fixpoint run (experiments E11 and E17 read these).
 #[derive(Debug, Clone, Default)]
 pub struct FixpointStats {
     /// Iterations executed (including the final no-change pass).
     pub iterations: usize,
     /// Largest coefficient bit length observed across all QE calls.
     pub max_bits_seen: u64,
+    /// Total QE calls issued for rule bodies (excludes fixpoint subset
+    /// checks).
+    pub qe_calls: usize,
+    /// QE calls per rule, indexed like [`Program::rules`].
+    pub qe_calls_per_rule: Vec<usize>,
+    /// Per-iteration breakdown.
+    pub per_iteration: Vec<IterationStats>,
+    /// Total wall-clock time of the run.
+    pub wall: Duration,
+}
+
+/// One QE job of a fixpoint round: a rule index and the (possibly
+/// delta-rewritten) body formula to evaluate.
+struct QeJob {
+    rule_idx: usize,
+    formula: Formula,
 }
 
 impl Program {
-    /// Run the inflationary fixpoint on (a copy of) the database. Head
-    /// relations are created empty if absent. Returns the saturated
-    /// database and run statistics.
-    pub fn run(
-        &self,
-        db: &Database,
-        ctx: &QeContext,
-        max_iterations: usize,
-    ) -> Result<(Database, FixpointStats), DatalogError> {
-        let mut db = db.clone();
-        // Create empty extents for intensional relations.
+    /// Names of the intensional relations (rule heads).
+    fn idb_names(&self) -> BTreeSet<&str> {
+        self.rules.iter().map(|r| r.head.as_str()).collect()
+    }
+
+    /// Validate head arities and create empty extents for absent heads.
+    fn init_heads(&self, db: &mut Database) -> Result<(), DatalogError> {
+        for (name, _) in db.iter() {
+            if name.starts_with(DELTA_PREFIX) {
+                return Err(DatalogError::ReservedName(name.clone()));
+            }
+        }
         for rule in &self.rules {
             let arity = rule.head_vars.len();
             match db.get(&rule.head) {
@@ -151,40 +257,180 @@ impl Program {
                 None => db.insert(rule.head.clone(), ConstraintRelation::empty(arity)),
             }
         }
-        let mut stats = FixpointStats::default();
+        Ok(())
+    }
+
+    /// Run the inflationary fixpoint on (a copy of) the database with the
+    /// **semi-naive parallel** evaluator. Head relations are created empty
+    /// if absent. Returns the saturated database and run statistics.
+    ///
+    /// Determinism: the round's QE jobs and their merge order are fixed by
+    /// the program text, so the result is identical for every
+    /// `ctx.workers` value; `workers = 1` runs them sequentially.
+    pub fn run(
+        &self,
+        db: &Database,
+        ctx: &QeContext,
+        max_iterations: usize,
+    ) -> Result<(Database, FixpointStats), DatalogError> {
+        let t0 = Instant::now();
+        let mut db = db.clone();
+        self.init_heads(&mut db)?;
+        let idb = self.idb_names();
+        let mut stats = FixpointStats {
+            qe_calls_per_rule: vec![0; self.rules.len()],
+            ..FixpointStats::default()
+        };
+        // Tuples derived in the previous round, per head (the delta).
+        let mut deltas: BTreeMap<String, ConstraintRelation> = BTreeMap::new();
         for it in 1..=max_iterations {
+            let round_t0 = Instant::now();
+            stats.iterations = it;
+            // Round 1 evaluates every rule against the full extents (the
+            // delta *is* the initial database); later rounds evaluate one
+            // variant per (recursive rule, positive IDB literal) pair whose
+            // delta is nonempty.
+            let jobs: Vec<QeJob> = if it == 1 {
+                self.rules
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| QeJob {
+                        rule_idx: i,
+                        formula: r.body_formula(),
+                    })
+                    .collect()
+            } else {
+                let mut out = Vec::new();
+                for (i, r) in self.rules.iter().enumerate() {
+                    for pos in r.positive_idb_positions(&idb) {
+                        let Literal::Rel(name, _) = &r.body[pos] else {
+                            unreachable!("positive position holds a Rel literal")
+                        };
+                        let nonempty = deltas
+                            .get(name)
+                            .is_some_and(|d| !d.is_syntactically_empty());
+                        if nonempty {
+                            out.push(QeJob {
+                                rule_idx: i,
+                                formula: r.body_formula_inner(Some(pos)),
+                            });
+                        }
+                    }
+                }
+                out
+            };
+            if jobs.is_empty() {
+                // No recursive rule can fire: the extents are saturated.
+                stats.per_iteration.push(IterationStats {
+                    wall: round_t0.elapsed(),
+                    ..IterationStats::default()
+                });
+                stats.wall = t0.elapsed();
+                return Ok((db, stats));
+            }
+            // Snapshot for this round: base extents plus the previous
+            // round's deltas under their reserved names. `Database` clones
+            // are shallow (Arc per relation), so this is cheap.
+            let eval_db = {
+                let mut e = db.clone();
+                for (name, d) in &deltas {
+                    e.insert(delta_name(name), d.clone());
+                }
+                e
+            };
+            let results = par_map_result(&jobs, ctx.effective_workers(), |job| {
+                evaluate_query(&eval_db, &job.formula, self.rules[job.rule_idx].nvars, ctx)
+            })?;
+            stats.qe_calls += jobs.len();
+            for job in &jobs {
+                stats.qe_calls_per_rule[job.rule_idx] += 1;
+            }
+            stats.max_bits_seen = stats.max_bits_seen.max(ctx.max_bits_seen.get());
+            // Merge in job order — deterministic for every worker count.
+            let mut changed = false;
+            let mut grown: BTreeMap<String, ConstraintRelation> = BTreeMap::new();
+            for (job, out) in jobs.iter().zip(results) {
+                let rule = &self.rules[job.rule_idx];
+                let derived = project_to_head(rule, &out.relation)?;
+                let current = grown.entry(rule.head.clone()).or_insert_with(|| {
+                    db.get(&rule.head).expect("head extent initialized").clone()
+                });
+                if !subset_of(&derived, current, ctx)? {
+                    changed = true;
+                }
+                *current = canonicalize_extent(current.union(&derived).simplify());
+            }
+            // Next round's deltas: the syntactically new tuples per head.
+            // Stale deltas (heads untouched this round) drop out — every
+            // consumer already ran against them in this round's jobs.
+            deltas = grown
+                .iter()
+                .map(|(name, g)| {
+                    let old = db.get(name).expect("head extent initialized");
+                    let fresh: Vec<GeneralizedTuple> = g
+                        .tuples()
+                        .iter()
+                        .filter(|t| !old.tuples().contains(t))
+                        .cloned()
+                        .collect();
+                    (name.clone(), ConstraintRelation::new(g.nvars(), fresh))
+                })
+                .collect();
+            stats.per_iteration.push(IterationStats {
+                qe_calls: jobs.len(),
+                delta_tuples: deltas
+                    .iter()
+                    .map(|(n, d)| (n.clone(), d.tuples().len()))
+                    .collect(),
+                wall: round_t0.elapsed(),
+            });
+            // Copy-on-write commit: only the touched heads are replaced.
+            for (name, g) in grown {
+                db.insert(name, g);
+            }
+            if !changed {
+                stats.wall = t0.elapsed();
+                return Ok((db, stats));
+            }
+        }
+        Err(DatalogError::IterationCap(max_iterations))
+    }
+
+    /// The reference evaluator: every rule body against the full extents,
+    /// sequentially, every round. Semantically equivalent to [`Program::run`]
+    /// (property-tested); kept for differential testing and as the E17
+    /// baseline.
+    pub fn run_naive(
+        &self,
+        db: &Database,
+        ctx: &QeContext,
+        max_iterations: usize,
+    ) -> Result<(Database, FixpointStats), DatalogError> {
+        let t0 = Instant::now();
+        let mut db = db.clone();
+        self.init_heads(&mut db)?;
+        let heads: BTreeSet<&str> = self.idb_names();
+        let mut stats = FixpointStats {
+            qe_calls_per_rule: vec![0; self.rules.len()],
+            ..FixpointStats::default()
+        };
+        for it in 1..=max_iterations {
+            let round_t0 = Instant::now();
             stats.iterations = it;
             let mut changed = false;
             let mut next = db.clone();
-            for rule in &self.rules {
+            for (ri, rule) in self.rules.iter().enumerate() {
                 let q = rule.body_formula();
                 let out = evaluate_query(&db, &q, rule.nvars, ctx)?;
+                stats.qe_calls += 1;
+                stats.qe_calls_per_rule[ri] += 1;
                 stats.max_bits_seen = stats.max_bits_seen.max(ctx.max_bits_seen.get());
-                // Project the rule-ring relation onto the head's ring.
-                let mut map = vec![0usize; rule.nvars];
-                for (pos, &v) in rule.head_vars.iter().enumerate() {
-                    map[v] = pos;
-                }
-                let derived = out
-                    .relation
-                    .remap_vars(&map, rule.head_vars.len().max(1))
-                    .simplify();
+                let derived = project_to_head(rule, &out.relation)?;
                 let current = next
                     .get(&rule.head)
                     .expect("head extent initialized")
                     .clone();
-                let grown = current.union(&derived).simplify();
-                // Canonicalize finite point sets (QE may render the same
-                // point with differently-ordered atoms, defeating the
-                // syntactic dedup and bloating the extent).
-                let grown = match grown.as_finite_points() {
-                    Some(mut pts) => {
-                        pts.sort();
-                        pts.dedup();
-                        ConstraintRelation::from_points(grown.nvars(), &pts)
-                    }
-                    None => grown,
-                };
+                let grown = canonicalize_extent(current.union(&derived).simplify());
                 // Inflationary growth test: anything new? Derived \ current
                 // must be empty for a fixpoint.
                 if !subset_of(&derived, &current, ctx)? {
@@ -192,8 +438,26 @@ impl Program {
                 }
                 next.insert(rule.head.clone(), grown);
             }
+            stats.per_iteration.push(IterationStats {
+                qe_calls: self.rules.len(),
+                delta_tuples: heads
+                    .iter()
+                    .map(|h| {
+                        let old = db.get(h).expect("head extent initialized");
+                        let new = next.get(h).expect("head extent initialized");
+                        let fresh = new
+                            .tuples()
+                            .iter()
+                            .filter(|t| !old.tuples().contains(t))
+                            .count();
+                        ((*h).to_owned(), fresh)
+                    })
+                    .collect(),
+                wall: round_t0.elapsed(),
+            });
             db = next;
             if !changed {
+                stats.wall = t0.elapsed();
                 return Ok((db, stats));
             }
         }
@@ -201,10 +465,77 @@ impl Program {
     }
 }
 
+/// Project a rule-ring QE answer onto the head's ring.
+///
+/// Only head variables receive a target column; every other rule variable
+/// must have been eliminated by QE. A residual constraint over a
+/// quantified-away variable is an error — under the old `vec![0; nvars]`
+/// default map it would silently alias head column 0.
+fn project_to_head(
+    rule: &Rule,
+    derived: &ConstraintRelation,
+) -> Result<ConstraintRelation, DatalogError> {
+    let head_arity = rule.head_vars.len().max(1);
+    let mut map: Vec<Option<usize>> = vec![None; rule.nvars];
+    for (pos, &v) in rule.head_vars.iter().enumerate() {
+        map[v] = Some(pos);
+    }
+    let mut remap = vec![0usize; rule.nvars];
+    for (v, target) in map.iter().enumerate() {
+        match target {
+            Some(pos) => remap[v] = *pos,
+            None => {
+                if derived.uses_var(v) {
+                    return Err(DatalogError::ResidualVariable {
+                        head: rule.head.clone(),
+                        var: v,
+                    });
+                }
+                // Unused in `derived`: the 0 entry is never read.
+            }
+        }
+    }
+    Ok(derived.remap_vars(&remap, head_arity).simplify())
+}
+
+/// Canonicalize finite point sets (QE may render the same point with
+/// differently-ordered atoms, defeating the syntactic dedup and bloating
+/// the extent).
+fn canonicalize_extent(rel: ConstraintRelation) -> ConstraintRelation {
+    match rel.as_finite_points() {
+        Some(mut pts) => {
+            pts.sort();
+            pts.dedup();
+            ConstraintRelation::from_points(rel.nvars(), &pts)
+        }
+        None => rel,
+    }
+}
+
+/// Tuple-count cap beyond which `subset_of` refuses to De-Morgan-expand
+/// `¬b` and falls back to the per-tuple containment loop.
+const COMPLEMENT_TUPLE_CAP: usize = 8;
+
+/// Cap on the estimated DNF size of `¬b` (product of per-tuple atom
+/// counts) for the same fallback.
+const COMPLEMENT_EXPANSION_CAP: usize = 512;
+
+/// Estimated disjunct count of the De Morgan expansion of `¬b`.
+fn complement_expansion_estimate(b: &ConstraintRelation) -> usize {
+    b.tuples()
+        .iter()
+        .map(|t| t.atoms().len().max(1))
+        .try_fold(1usize, |acc, n| acc.checked_mul(n))
+        .unwrap_or(usize::MAX)
+}
+
 /// Semantic subset test `a ⊆ b`, with fast paths: finite point sets are
 /// compared directly, syntactically subsumed tuples are skipped, and only
-/// the remainder goes through QE (`¬∃x̄ (a ∧ ¬b)` — whose De Morgan
-/// expansion is exponential in b's tuple count, so it must stay small).
+/// the remainder goes through QE (`¬∃x̄ (a ∧ ¬b)`). The De Morgan expansion
+/// of `¬b` is exponential in b's tuple count, so past
+/// [`COMPLEMENT_TUPLE_CAP`] / [`COMPLEMENT_EXPANSION_CAP`] the test falls
+/// back to a per-tuple containment loop (sound, conservatively incomplete:
+/// a `false` may cost an extra fixpoint round, never a wrong answer).
 fn subset_of(
     a: &ConstraintRelation,
     b: &ConstraintRelation,
@@ -227,11 +558,57 @@ fn subset_of(
     if remaining.is_empty() {
         return Ok(true);
     }
+    if b.tuples().len() > COMPLEMENT_TUPLE_CAP
+        || complement_expansion_estimate(b) > COMPLEMENT_EXPANSION_CAP
+    {
+        // Per-tuple fallback: every remaining tuple must lie inside some
+        // single tuple of `b`. Each check negates one conjunction only, so
+        // the formulas stay linear in the atom counts.
+        'tuples: for ta in &remaining {
+            for tb in b.tuples() {
+                if tuple_contained_in(ta, tb, ctx)? {
+                    continue 'tuples;
+                }
+            }
+            return Ok(false); // possibly covered only by a union — report ⊄
+        }
+        return Ok(true);
+    }
     let a = &ConstraintRelation::new(a.nvars(), remaining);
     let nvars = a.nvars();
     let fa = cdb_constraints::formula::relation_to_formula(a);
     let fb = cdb_constraints::formula::relation_to_formula(b);
-    let mut diff = Formula::and(fa, Formula::not(fb));
+    sentence_is_empty(Formula::and(fa, Formula::not(fb)), nvars, ctx)
+}
+
+/// Single-tuple containment `ta ⊆ tb`, decided as `¬∃x̄ (ta ∧ ¬tb)`.
+fn tuple_contained_in(
+    ta: &GeneralizedTuple,
+    tb: &GeneralizedTuple,
+    ctx: &QeContext,
+) -> Result<bool, QeError> {
+    if tb.is_top() {
+        return Ok(true);
+    }
+    let nvars = ta.nvars();
+    let fa = if ta.is_top() {
+        Formula::True
+    } else {
+        Formula::And(ta.atoms().iter().cloned().map(Formula::Atom).collect())
+    };
+    let not_tb = Formula::Or(
+        tb.atoms()
+            .iter()
+            .map(|at| Formula::Atom(at.negated()))
+            .collect(),
+    );
+    sentence_is_empty(Formula::and(fa, not_tb), nvars, ctx)
+}
+
+/// Close `diff` existentially over all `nvars` variables and decide whether
+/// the sentence is false (the set it describes is empty).
+fn sentence_is_empty(diff: Formula, nvars: usize, ctx: &QeContext) -> Result<bool, QeError> {
+    let mut diff = diff;
     for v in 0..nvars {
         diff = Formula::exists(v, diff);
     }
@@ -271,25 +648,7 @@ mod tests {
             ),
         );
         // T(x,y) :- E(x,y).  T(x,y) :- T(x,z), E(z,y).
-        let program = Program {
-            rules: vec![
-                Rule::new(
-                    "T",
-                    vec![0, 1],
-                    vec![Literal::Rel("E".into(), vec![0, 1])],
-                    2,
-                ),
-                Rule::new(
-                    "T",
-                    vec![0, 1],
-                    vec![
-                        Literal::Rel("T".into(), vec![0, 2]),
-                        Literal::Rel("E".into(), vec![2, 1]),
-                    ],
-                    3,
-                ),
-            ],
-        };
+        let program = tc_program();
         let ctx = QeContext::exact();
         let (out, stats) = program.run(&db, &ctx, 16).unwrap();
         let t = out.get("T").unwrap();
@@ -308,16 +667,45 @@ mod tests {
             );
         }
         assert!(stats.iterations <= 5);
+        assert_eq!(stats.qe_calls_per_rule.len(), 2);
+        assert_eq!(stats.per_iteration.len(), stats.iterations);
+        // Semi-naive: after round 1, only the recursive rule fires.
+        assert_eq!(
+            stats.qe_calls_per_rule[0], 1,
+            "{:?}",
+            stats.qe_calls_per_rule
+        );
+    }
+
+    /// The canonical TC program used by several tests.
+    fn tc_program() -> Program {
+        Program {
+            rules: vec![
+                Rule::new(
+                    "T",
+                    vec![0, 1],
+                    vec![Literal::Rel("E".into(), vec![0, 1])],
+                    2,
+                ),
+                Rule::new(
+                    "T",
+                    vec![0, 1],
+                    vec![
+                        Literal::Rel("T".into(), vec![0, 2]),
+                        Literal::Rel("E".into(), vec![2, 1]),
+                    ],
+                    3,
+                ),
+            ],
+        }
     }
 
     /// Dense-order reachability (Theorem 4.8 flavor): intervals as segment
     /// sets; reach extends the right endpoint through overlapping segments.
     #[test]
     fn dense_order_reachability() {
-        // Seg = [0,1]×… : pairs (x,y) with x in [0,1], y in [x, x+1]… use a
-        // simpler dense-order program: R(x) :- Start(x). R(y) :- R(x),
-        // Step(x, y). With Step(x,y) ≡ x ≤ y ∧ y ≤ x+1 over [0, 3] and
-        // Start = {0}: R saturates to [0, 3]-ish region in ≤ few rounds.
+        // R(x) :- Start(x). R(y) :- R(x), Step(x, y). With Step(x,y) ≡
+        // x ≤ y ∧ y ≤ x+1 ∧ y ≤ 3 and Start = {0}: R saturates to [0, 3].
         let n = 2;
         let x = MPoly::var(0, n);
         let y = MPoly::var(1, n);
@@ -410,11 +798,8 @@ mod tests {
         assert!(u.satisfied_at(&[Rat::from(3i64)]));
     }
 
-    /// Finite precision: a program whose derived constants grow without
-    /// bound is cut off by the bit budget (Theorem 4.7's guarantee that
-    /// `Datalog¬_F` cannot run forever).
-    #[test]
-    fn budget_bounds_divergent_program() {
+    /// The divergent-doubling program used by the budget tests.
+    fn divergent_program() -> (Database, Program) {
         // D(x) :- Init(x).  D(y) :- D(x), Double(x, y) with y = 2x: the
         // extent {1, 2, 4, 8, …} grows forever under exact semantics.
         let n = 2;
@@ -449,6 +834,15 @@ mod tests {
                 ),
             ],
         };
+        (db, program)
+    }
+
+    /// Finite precision: a program whose derived constants grow without
+    /// bound is cut off by the bit budget (Theorem 4.7's guarantee that
+    /// `Datalog¬_F` cannot run forever).
+    #[test]
+    fn budget_bounds_divergent_program() {
+        let (db, program) = divergent_program();
         // Exact semantics: hits the iteration cap.
         let ctx = QeContext::exact();
         let err = program.run(&db, &ctx, 6).unwrap_err();
@@ -460,6 +854,23 @@ mod tests {
             matches!(err2, DatalogError::Qe(QeError::PrecisionExceeded { .. })),
             "{err2:?}"
         );
+    }
+
+    /// The budget cut-off must survive parallel evaluation, with the same
+    /// error surfaced for every worker count (lowest-index job wins).
+    #[test]
+    fn budget_precision_exceeded_under_parallel_evaluation() {
+        let (db, program) = divergent_program();
+        let mut errors = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let fp = QeContext::with_budget(8).with_workers(workers);
+            let err = program.run(&db, &fp, 64).unwrap_err();
+            match err {
+                DatalogError::Qe(qe @ QeError::PrecisionExceeded { .. }) => errors.push(qe),
+                other => panic!("workers={workers}: expected PrecisionExceeded, got {other:?}"),
+            }
+        }
+        assert!(errors.windows(2).all(|w| w[0] == w[1]), "{errors:?}");
     }
 
     /// Fixpoint over already-saturated input terminates in one pass.
@@ -481,5 +892,149 @@ mod tests {
         let ctx = QeContext::exact();
         let (_, stats) = program.run(&db, &ctx, 8).unwrap();
         assert_eq!(stats.iterations, 1);
+    }
+
+    /// Satellite-1 regression: a residual constraint over a quantified-away
+    /// variable must be rejected — under the old `vec![0; nvars]` default
+    /// map it silently aliased head column 0.
+    #[test]
+    fn projection_rejects_residual_variable() {
+        let n = 2;
+        let rule = Rule::new("T", vec![0], vec![], n);
+        let leaky = ConstraintRelation::new(
+            n,
+            vec![GeneralizedTuple::new(
+                n,
+                vec![Atom::cmp(MPoly::var(1, n), RelOp::Eq, c(7, n))],
+            )],
+        );
+        let err = project_to_head(&rule, &leaky).unwrap_err();
+        assert!(
+            matches!(&err, DatalogError::ResidualVariable { head, var: 1 } if head == "T"),
+            "{err:?}"
+        );
+        // A clean answer over the head variable alone projects fine.
+        let clean = ConstraintRelation::new(
+            n,
+            vec![GeneralizedTuple::new(
+                n,
+                vec![Atom::cmp(MPoly::var(0, n), RelOp::Eq, c(7, n))],
+            )],
+        );
+        let projected = project_to_head(&rule, &clean).unwrap();
+        assert_eq!(projected.nvars(), 1);
+        assert!(projected.satisfied_at(&[Rat::from(7i64)]));
+        assert!(!projected.satisfied_at(&[Rat::from(8i64)]));
+    }
+
+    /// Satellite-2 regression: a many-disjunct right-hand side must not be
+    /// De-Morgan-expanded (2^n blowup); the per-tuple fallback still
+    /// answers correctly in both directions.
+    #[test]
+    fn subset_cap_many_disjunct_extent() {
+        let n = 1;
+        let x = || MPoly::var(0, 1);
+        // b = {0, …, 19} ∪ [100, ∞): 21 disjuncts, far over the tuple cap.
+        let mut tuples: Vec<GeneralizedTuple> = (0..20)
+            .map(|i| GeneralizedTuple::point(&[Rat::from(i as i64)]))
+            .collect();
+        tuples.push(GeneralizedTuple::new(
+            n,
+            vec![Atom::cmp(x(), RelOp::Ge, c(100, n))],
+        ));
+        let b = ConstraintRelation::new(n, tuples);
+        assert!(b.tuples().len() > COMPLEMENT_TUPLE_CAP);
+        let interval = |lo: i64, hi: i64| {
+            ConstraintRelation::new(
+                n,
+                vec![GeneralizedTuple::new(
+                    n,
+                    vec![
+                        Atom::cmp(x(), RelOp::Ge, c(lo, n)),
+                        Atom::cmp(x(), RelOp::Le, c(hi, n)),
+                    ],
+                )],
+            )
+        };
+        let ctx = QeContext::exact().with_workers(1);
+        // Point 5 (written as a two-sided inequality, so no verbatim match)
+        // lies inside the b-disjunct x = 5.
+        assert!(subset_of(&interval(5, 5), &b, &ctx).unwrap());
+        // Point 50 is outside every disjunct.
+        assert!(!subset_of(&interval(50, 50), &b, &ctx).unwrap());
+        // [150, 160] sits inside the unbounded tail disjunct.
+        assert!(subset_of(&interval(150, 160), &b, &ctx).unwrap());
+    }
+
+    /// Differential check: the semi-naive parallel evaluator agrees with
+    /// the naive reference on TC, is byte-identical across worker counts,
+    /// and issues strictly fewer QE calls.
+    #[test]
+    fn semi_naive_matches_naive_with_fewer_qe_calls() {
+        let mut db = Database::new();
+        db.insert(
+            "E",
+            ConstraintRelation::from_points(
+                2,
+                &[
+                    vec![Rat::from(1i64), Rat::from(2i64)],
+                    vec![Rat::from(2i64), Rat::from(3i64)],
+                    vec![Rat::from(3i64), Rat::from(4i64)],
+                    vec![Rat::from(4i64), Rat::from(1i64)], // cycle
+                ],
+            ),
+        );
+        let program = tc_program();
+        let ctx1 = QeContext::exact().with_workers(1);
+        let (naive, naive_stats) = program.run_naive(&db, &ctx1, 32).unwrap();
+        let mut outputs = Vec::new();
+        let mut semi_stats = None;
+        for workers in [1usize, 2, 4] {
+            let ctx = QeContext::exact().with_workers(workers);
+            let (out, stats) = program.run(&db, &ctx, 32).unwrap();
+            outputs.push(out);
+            semi_stats.get_or_insert(stats);
+        }
+        // Determinism: identical extents for every worker count.
+        let t1 = outputs[0].get("T").unwrap();
+        for out in &outputs[1..] {
+            assert_eq!(Some(t1), out.get("T"));
+        }
+        // Semantic agreement with the reference evaluator on the node grid.
+        let tn = naive.get("T").unwrap();
+        for a in 1..=4i64 {
+            for b in 1..=4i64 {
+                let p = [Rat::from(a), Rat::from(b)];
+                assert_eq!(tn.satisfied_at(&p), t1.satisfied_at(&p), "T({a},{b})");
+            }
+        }
+        let semi_stats = semi_stats.unwrap();
+        assert!(
+            semi_stats.qe_calls < naive_stats.qe_calls,
+            "semi-naive {} vs naive {}",
+            semi_stats.qe_calls,
+            naive_stats.qe_calls
+        );
+    }
+
+    /// Input relations under the reserved delta prefix are rejected.
+    #[test]
+    fn reserved_delta_prefix_rejected() {
+        let mut db = Database::new();
+        db.insert(
+            format!("{DELTA_PREFIX}E"),
+            ConstraintRelation::from_points(1, &[vec![Rat::zero()]]),
+        );
+        let program = Program {
+            rules: vec![Rule::new(
+                "P",
+                vec![0],
+                vec![Literal::Rel("P".into(), vec![0])],
+                1,
+            )],
+        };
+        let ctx = QeContext::exact();
+        let err = program.run(&db, &ctx, 4).unwrap_err();
+        assert!(matches!(err, DatalogError::ReservedName(_)), "{err:?}");
     }
 }

@@ -26,6 +26,15 @@
 //! shard lock; two workers racing on the same missing key may both compute
 //! it, but the functions are pure so either result is identical and the
 //! insert is idempotent.
+//!
+//! # Eviction
+//!
+//! Each shard is bounded: once it reaches its per-shard capacity, inserting
+//! a new key evicts the least-recently-used entry (recency is a global
+//! atomic tick stamped on every hit and insert). This keeps long-lived
+//! server contexts from growing without bound while preserving the working
+//! set of a hot query mix; evictions are counted and reported next to
+//! hits/misses (experiment E16 writes all three to `BENCH_qe.json`).
 
 use cdb_poly::resultant as resfn;
 use cdb_poly::sturm::SturmChain;
@@ -39,6 +48,12 @@ use std::sync::{Arc, Mutex};
 /// Number of independent lock shards; a small power of two keeps the
 /// modulo cheap while comfortably exceeding typical worker counts.
 const SHARD_COUNT: usize = 16;
+
+/// Default total entry capacity (spread across the shards). Each entry is a
+/// polynomial or Sturm chain — tens of thousands comfortably fit in memory
+/// while covering every workload in the test and bench suites without a
+/// single eviction.
+pub const DEFAULT_CAPACITY: usize = 65_536;
 
 /// Memoized operation + canonicalized arguments.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -57,15 +72,27 @@ enum Value {
     Sturm(Arc<SturmChain>),
 }
 
-type Shard = Mutex<HashMap<Key, Value>>;
+/// A cached value plus its last-access tick (for LRU eviction).
+struct Entry {
+    value: Value,
+    last_used: u64,
+}
 
-/// Sharded, thread-safe memo-cache for resultants, discriminants, and Sturm
-/// sequences. One instance lives on [`crate::QeContext`] and is shared by
-/// every worker of a parallel elimination.
+type Shard = Mutex<HashMap<Key, Entry>>;
+
+/// Sharded, thread-safe, size-bounded memo-cache for resultants,
+/// discriminants, and Sturm sequences. One instance lives on
+/// [`crate::QeContext`] and is shared by every worker of a parallel
+/// elimination.
 pub struct AlgebraicCache {
     shards: Arc<[Shard]>,
+    /// Maximum entries *per shard*; reaching it evicts the shard's LRU entry.
+    per_shard_capacity: usize,
+    /// Global recency clock, stamped on every hit and insert.
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for AlgebraicCache {
@@ -78,23 +105,35 @@ impl std::fmt::Debug for AlgebraicCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AlgebraicCache")
             .field("entries", &self.len())
+            .field("capacity", &self.capacity())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
 
 impl AlgebraicCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity ([`DEFAULT_CAPACITY`]).
     #[must_use]
     pub fn new() -> AlgebraicCache {
+        AlgebraicCache::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An empty cache bounded at roughly `capacity` total entries (rounded
+    /// up to a multiple of the shard count; at least one entry per shard).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> AlgebraicCache {
         let shards: Vec<Shard> = (0..SHARD_COUNT)
             .map(|_| Mutex::new(HashMap::new()))
             .collect();
         AlgebraicCache {
             shards: shards.into(),
+            per_shard_capacity: capacity.div_ceil(SHARD_COUNT).max(1),
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -105,20 +144,38 @@ impl AlgebraicCache {
     }
 
     /// Look up `key`, or compute it with `f` (outside the shard lock) and
-    /// insert. Pure `f` makes the compute-twice race benign.
+    /// insert, evicting the shard's least-recently-used entry when full.
+    /// Pure `f` makes the compute-twice race benign.
     fn get_or_insert(&self, key: Key, f: impl FnOnce() -> Value) -> Value {
         let shard = self.shard_of(&key);
-        if let Some(v) = shard.lock().expect("cache shard poisoned").get(&key) {
+        if let Some(e) = shard.lock().expect("cache shard poisoned").get_mut(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return v.clone();
+            e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+            return e.value.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let v = f();
-        shard
-            .lock()
-            .expect("cache shard poisoned")
+        let mut guard = shard.lock().expect("cache shard poisoned");
+        if !guard.contains_key(&key) && guard.len() >= self.per_shard_capacity {
+            // Evict the LRU entry (O(shard) scan — shards are small and
+            // eviction is the rare path, so a scan beats an intrusive list).
+            if let Some(victim) = guard
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                guard.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        guard
             .entry(key)
-            .or_insert(v)
+            .or_insert(Entry {
+                value: v,
+                last_used,
+            })
+            .value
             .clone()
     }
 
@@ -172,13 +229,31 @@ impl AlgebraicCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of memoized entries across all shards.
+    /// Total entries displaced by the size bound.
     #[must_use]
-    pub fn len(&self) -> usize {
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total entry capacity across all shards.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    /// Current entry count of each shard (index = shard number).
+    #[must_use]
+    pub fn shard_entry_counts(&self) -> Vec<usize> {
         self.shards
             .iter()
             .map(|s| s.lock().expect("cache shard poisoned").len())
-            .sum()
+            .collect()
+    }
+
+    /// Number of memoized entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shard_entry_counts().iter().sum()
     }
 
     /// Whether the cache holds no entries.
@@ -244,6 +319,55 @@ mod tests {
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.len(), 2);
+    }
+
+    /// Long-lived-context bound: a stream of distinct keys far exceeding the
+    /// configured capacity must leave the entry count at or below the cap,
+    /// with the overflow reported as evictions.
+    #[test]
+    fn eviction_bounds_long_lived_context() {
+        let cap = 32;
+        let cache = AlgebraicCache::with_capacity(cap);
+        assert_eq!(cache.capacity(), cap);
+        for i in 0..10 * cap as i64 {
+            // Distinct Sturm keys: x² − i has a distinct canonical form.
+            let _ = cache.sturm(&UPoly::from_ints(&[-i, 0, 1]));
+        }
+        assert!(
+            cache.len() <= cache.capacity(),
+            "len {} exceeds capacity {}",
+            cache.len(),
+            cache.capacity()
+        );
+        assert!(cache.evictions() > 0, "overflow must evict");
+        assert_eq!(cache.misses(), 10 * cap as u64);
+        let per_shard = cache.capacity() / SHARD_COUNT;
+        for (i, n) in cache.shard_entry_counts().iter().enumerate() {
+            assert!(*n <= per_shard, "shard {i} holds {n} > {per_shard}");
+        }
+        // Evicted entries are recomputed on re-access and shared thereafter.
+        let u = UPoly::from_ints(&[-1, 0, 1]);
+        let c1 = cache.sturm(&u);
+        let c2 = cache.sturm(&u);
+        assert!(Arc::ptr_eq(&c1, &c2), "recomputed chain must be shared");
+    }
+
+    /// LRU keeps the hot entry: re-touching a key between cold inserts
+    /// protects it, so across a long churn the hot key misses exactly once.
+    #[test]
+    fn lru_retains_recently_used() {
+        let cache = AlgebraicCache::with_capacity(2 * SHARD_COUNT); // 2/shard
+        let hot = UPoly::from_ints(&[-2, 0, 1]);
+        let _ = cache.sturm(&hot); // miss #1 — the only hot miss allowed
+        let cold = 190u64;
+        for i in 10..(10 + cold as i64) {
+            let _ = cache.sturm(&UPoly::from_ints(&[-i, 0, 1]));
+            let _ = cache.sturm(&hot); // re-touch: hot is never the LRU
+        }
+        // Every miss is accounted for by the distinct cold keys + the first
+        // hot access; any eviction of the hot entry would add to this.
+        assert_eq!(cache.misses(), cold + 1, "hot entry was evicted");
+        assert!(cache.evictions() > 0, "cold churn must evict");
     }
 
     #[test]

@@ -22,10 +22,11 @@
 pub mod cache;
 pub mod cad;
 pub mod linear;
-pub(crate) mod par;
+pub mod par;
 pub mod pipeline;
 
 pub use cache::AlgebraicCache;
+pub use par::par_map_result;
 pub use pipeline::{evaluate_query, numerical_evaluation, EvalOutput};
 
 use std::fmt;
@@ -167,6 +168,15 @@ impl QeContext {
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> QeContext {
         self.workers = workers;
+        self
+    }
+
+    /// Same context with a fresh memo-cache bounded at roughly `capacity`
+    /// total entries (long-lived server contexts tune this; see
+    /// [`AlgebraicCache::with_capacity`]).
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> QeContext {
+        self.cache = AlgebraicCache::with_capacity(capacity);
         self
     }
 

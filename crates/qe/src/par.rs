@@ -15,7 +15,11 @@ use std::sync::Mutex;
 /// Map `f` over `items` on up to `workers` scoped threads, preserving input
 /// order. With `workers <= 1` (or at most one item) this degenerates to the
 /// plain sequential iterator — no threads are spawned.
-pub(crate) fn par_map_result<T: Sync, U: Send>(
+///
+/// Shared export: the same fan-out drives disjunct-level parallelism inside
+/// this crate and the per-rule QE jobs of the `cdb-datalog` semi-naive
+/// fixpoint.
+pub fn par_map_result<T: Sync, U: Send>(
     items: &[T],
     workers: usize,
     f: impl Fn(&T) -> Result<U, QeError> + Sync,
