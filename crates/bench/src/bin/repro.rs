@@ -1,11 +1,12 @@
-//! `repro` — regenerate every table/figure of the reproduction (E1–E17).
+//! `repro` — regenerate every table/figure of the reproduction (E1–E18).
 //!
 //! Usage: `cargo run --release -p cdb-bench --bin repro [-- e1 e2 …]`
 //! (no arguments = all experiments). Each experiment prints the paper's
 //! artifact next to the measured result; EXPERIMENTS.md records a full run.
 //! E16 additionally writes its parallel-QE speedup and cache statistics to
-//! `BENCH_qe.json`, and E17 its naive-vs-semi-naive fixpoint comparison to
-//! `BENCH_datalog.json`, both at the repository root.
+//! `BENCH_qe.json`, E17 its naive-vs-semi-naive fixpoint comparison to
+//! `BENCH_datalog.json`, and E18 its split-word filter before/after to
+//! `BENCH_kernels.json`, all at the repository root.
 
 use cdb_approx::modules::{approximate_on_abase, ApproxMethod};
 use cdb_approx::{sup_error, ABase, AnalyticFn};
@@ -19,15 +20,15 @@ use cdb_fp::pathologies::{
 };
 use cdb_fp::semantics::{compare_semantics, fp_evaluate_query, input_bit_length, FpOutcome};
 use cdb_num::{FkParams, Int, Rat, Zk};
-use cdb_poly::{isolate_real_roots, refine_to_width, MPoly};
+use cdb_poly::{isolate_real_roots, refine_to_width, MPoly, UPoly};
 use cdb_qe::{evaluate_query, QeContext};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let known: Vec<String> = (1..=17).map(|i| format!("e{i}")).collect();
+    let known: Vec<String> = (1..=18).map(|i| format!("e{i}")).collect();
     for a in &args {
         if a != "all" && !known.iter().any(|k| k.eq_ignore_ascii_case(a)) {
-            eprintln!("unknown experiment id `{a}` (expected e1..e17 or all)");
+            eprintln!("unknown experiment id `{a}` (expected e1..e18 or all)");
             std::process::exit(2);
         }
     }
@@ -83,6 +84,9 @@ fn main() {
     }
     if want("e17") {
         e17();
+    }
+    if want("e18") {
+        e18();
     }
 }
 
@@ -908,5 +912,196 @@ fn e17() {
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_datalog.json");
     std::fs::write(path, &json).expect("write BENCH_datalog.json");
+    println!("  wrote {path}");
+}
+
+/// E18 — split-word float filter under the algebraic hot kernels: filter
+/// hit rates and before/after wall-clock on root isolation and the E16 CAD
+/// workloads, with a byte-identity differential check (filter on vs off);
+/// results land in `BENCH_kernels.json`.
+///
+/// The filter only short-circuits sign decisions the exact path would have
+/// confirmed (DESIGN.md §8), so every workload asserts that the filtered run
+/// produces *byte-identical* output before reporting its speedup.
+fn e18() {
+    header(
+        "E18",
+        "split-word float filter + small-int fast path (filter off vs on, exact outputs)",
+    );
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("  hardware threads: {hw} (all runs sequential: workers=1)");
+    let mut entries: Vec<String> = Vec::new();
+    let mut total_hits = 0u64;
+    let mut total_fallbacks = 0u64;
+    let mut all_equal = true;
+
+    // Workload A: root-isolation microbench — Sturm isolation plus
+    // bisection refinement of 24 random degree-9 polynomials with 12-bit
+    // coefficients. Every Sturm-chain sign evaluation goes through the
+    // filter; the exact path runs only on zero-straddles.
+    {
+        let polys: Vec<UPoly> = (0..24).map(|i| gen_upoly(1800 + i, 9, 12)).collect();
+        let eps: Rat = "1/1048576".parse().unwrap();
+        let run = || {
+            let mut widths = Vec::new();
+            for p in &polys {
+                for loc in isolate_real_roots(p) {
+                    widths.push(refine_to_width(p, &loc, &eps));
+                }
+            }
+            widths
+        };
+        cdb_num::fintv::set_filter_enabled(false);
+        let out_off = run();
+        let t_off = time_median(3, || {
+            let _ = run();
+        });
+        cdb_num::fintv::set_filter_enabled(true);
+        let (h0, f0) = cdb_num::fintv::filter_counters();
+        let out_on = run();
+        let (h1, f1) = cdb_num::fintv::filter_counters();
+        let t_on = time_median(3, || {
+            let _ = run();
+        });
+        let equal = out_off == out_on;
+        assert!(equal, "filtered root isolation diverged from exact");
+        let (hits, fallbacks) = (h1 - h0, f1 - f0);
+        let hit_rate = hits as f64 / ((hits + fallbacks) as f64).max(1.0);
+        let speedup = t_off.as_secs_f64() / t_on.as_secs_f64().max(1e-12);
+        total_hits += hits;
+        total_fallbacks += fallbacks;
+        all_equal &= equal;
+        println!(
+            "  root isolation, 24 degree-9 polys ({} roots): filter off {t_off:.2?}  on {t_on:.2?}  speedup {speedup:.2}x  outputs equal: {equal}",
+            out_on.len()
+        );
+        println!(
+            "  filter: {hits} hits / {fallbacks} exact fallbacks (hit rate {:.1}%)",
+            hit_rate * 100.0
+        );
+        entries.push(format!(
+            "{{\"name\": \"root_isolation_refine\", \"polys\": 24, \"degree\": 9, \"roots\": {}, \"filter_off_ms\": {:.3}, \"filter_on_ms\": {:.3}, \"speedup\": {speedup:.3}, \"filter_hits\": {hits}, \"filter_fallbacks\": {fallbacks}, \"filter_hit_rate\": {hit_rate:.3}, \"outputs_equal\": {equal}}}",
+            out_on.len(),
+            t_off.as_secs_f64() * 1e3,
+            t_on.as_secs_f64() * 1e3
+        ));
+    }
+
+    // Workload B: the E16 conic CAD workload (6 random conics, ∃x₁),
+    // sequential, filter off vs on. Byte-identity is checked on the printed
+    // form of the output relation — the strongest observable equality.
+    {
+        let rel = gen_poly_relation(79, 6, 2, 3);
+        let run = || {
+            let mut db = Database::new();
+            db.insert("R", rel.clone());
+            let q = Formula::exists(1, Formula::Rel("R".into(), vec![0, 1]));
+            let ctx = QeContext::exact().with_workers(1);
+            let out = evaluate_query(&db, &q, 2, &ctx).unwrap();
+            (format!("{}", out.relation), ctx)
+        };
+        cdb_num::fintv::set_filter_enabled(false);
+        let (s_off, _) = run();
+        let t_off = time_median(3, || {
+            let _ = run();
+        });
+        cdb_num::fintv::set_filter_enabled(true);
+        let (s_on, ctx_on) = run();
+        let t_on = time_median(3, || {
+            let _ = run();
+        });
+        let equal = s_off == s_on;
+        assert!(
+            equal,
+            "filtered CAD output diverged from exact (byte-level)"
+        );
+        let (hits, fallbacks) = (ctx_on.filter_hits(), ctx_on.filter_fallbacks());
+        let hit_rate = hits as f64 / ((hits + fallbacks) as f64).max(1.0);
+        let speedup = t_off.as_secs_f64() / t_on.as_secs_f64().max(1e-12);
+        total_hits += hits;
+        total_fallbacks += fallbacks;
+        all_equal &= equal;
+        println!(
+            "  CAD, 6 conic disjuncts: filter off {t_off:.2?}  on {t_on:.2?}  speedup {speedup:.2}x  outputs byte-equal: {equal}"
+        );
+        println!(
+            "  filter: {hits} hits / {fallbacks} exact fallbacks (hit rate {:.1}%)",
+            hit_rate * 100.0
+        );
+        entries.push(format!(
+            "{{\"name\": \"cad_6_conic_disjuncts\", \"disjuncts\": 6, \"workers\": 1, \"filter_off_ms\": {:.3}, \"filter_on_ms\": {:.3}, \"speedup\": {speedup:.3}, \"filter_hits\": {hits}, \"filter_fallbacks\": {fallbacks}, \"filter_hit_rate\": {hit_rate:.3}, \"outputs_equal\": {equal}}}",
+            t_off.as_secs_f64() * 1e3,
+            t_on.as_secs_f64() * 1e3
+        ));
+    }
+
+    // Workload C: E16's repeated-query scenario (4 cold repetitions over a
+    // fresh context each) — shows the filter win is complementary to the
+    // memo-cache: it compounds on the cache-cold part of the work.
+    {
+        let rel = gen_poly_relation(85, 6, 2, 3);
+        let reps = 4usize;
+        let run = || {
+            let mut last = String::new();
+            for _ in 0..reps {
+                let mut db = Database::new();
+                db.insert("R", rel.clone());
+                let q = Formula::exists(1, Formula::Rel("R".into(), vec![0, 1]));
+                let ctx = QeContext::exact().with_workers(1);
+                let out = evaluate_query(&db, &q, 2, &ctx).unwrap();
+                last = format!("{}", out.relation);
+            }
+            last
+        };
+        cdb_num::fintv::set_filter_enabled(false);
+        let s_off = run();
+        let t_off = time_median(3, || {
+            let _ = run();
+        });
+        cdb_num::fintv::set_filter_enabled(true);
+        let (h0, f0) = cdb_num::fintv::filter_counters();
+        let s_on = run();
+        let (h1, f1) = cdb_num::fintv::filter_counters();
+        let t_on = time_median(3, || {
+            let _ = run();
+        });
+        let equal = s_off == s_on;
+        assert!(equal, "filtered repeated query diverged from exact");
+        let (hits, fallbacks) = (h1 - h0, f1 - f0);
+        let hit_rate = hits as f64 / ((hits + fallbacks) as f64).max(1.0);
+        let speedup = t_off.as_secs_f64() / t_on.as_secs_f64().max(1e-12);
+        total_hits += hits;
+        total_fallbacks += fallbacks;
+        all_equal &= equal;
+        println!(
+            "  repeated query (x{reps}, cold contexts): filter off {t_off:.2?}  on {t_on:.2?}  speedup {speedup:.2}x  outputs byte-equal: {equal}"
+        );
+        println!(
+            "  filter: {hits} hits / {fallbacks} exact fallbacks (hit rate {:.1}%)",
+            hit_rate * 100.0
+        );
+        entries.push(format!(
+            "{{\"name\": \"repeated_query_cold\", \"disjuncts\": 6, \"repetitions\": {reps}, \"filter_off_ms\": {:.3}, \"filter_on_ms\": {:.3}, \"speedup\": {speedup:.3}, \"filter_hits\": {hits}, \"filter_fallbacks\": {fallbacks}, \"filter_hit_rate\": {hit_rate:.3}, \"outputs_equal\": {equal}}}",
+            t_off.as_secs_f64() * 1e3,
+            t_on.as_secs_f64() * 1e3
+        ));
+    }
+
+    // CI smoke assertions: the filter must actually fire, and every
+    // workload must have produced byte-identical output.
+    let total_rate = total_hits as f64 / ((total_hits + total_fallbacks) as f64).max(1.0);
+    assert!(total_hits > 0, "float filter never fired across E18");
+    assert!(all_equal, "some E18 workload diverged under the filter");
+    println!(
+        "  overall: {total_hits} hits / {total_fallbacks} fallbacks (hit rate {:.1}%), all outputs byte-identical",
+        total_rate * 100.0
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e18_kernel_filter\",\n  \"hardware_threads\": {hw},\n  \"total_filter_hits\": {total_hits},\n  \"total_filter_fallbacks\": {total_fallbacks},\n  \"total_filter_hit_rate\": {total_rate:.3},\n  \"all_outputs_equal\": {all_equal},\n  \"workloads\": [\n    {}\n  ]\n}}\n",
+        entries.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, &json).expect("write BENCH_kernels.json");
     println!("  wrote {path}");
 }

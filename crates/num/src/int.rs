@@ -4,6 +4,10 @@
 //! environment): sign-magnitude representation over little-endian `u64`
 //! limbs, schoolbook + Karatsuba multiplication, Knuth Algorithm D division.
 //!
+//! Magnitudes that fit one `u64` are stored inline ([`Mag::Small`]) so the
+//! small coefficients that dominate CAD/Sturm workloads never touch the heap;
+//! add/mul/cmp/gcd/divrem all have allocation-free single-limb fast paths.
+//!
 //! Bit lengths are first-class here ([`Int::bit_length`]) because the paper's
 //! finite-precision semantics (§4) is defined by bounding the bit length of
 //! every integer the QE algorithm manipulates.
@@ -14,15 +18,28 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Rem, Shl, Shr, Sub, SubAssign};
 use std::str::FromStr;
 
+/// Magnitude storage: inline single limb or heap-allocated limb vector.
+///
+/// Canonical form (required for derived `PartialEq`/`Hash` to coincide with
+/// numeric equality): the value 0 is always `Small(0)` (paired with
+/// `Sign::Zero`); any magnitude fitting one limb is `Small`; `Big` always
+/// holds >= 2 limbs with a nonzero top limb.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Mag {
+    /// Inline single-limb magnitude (no heap allocation).
+    Small(u64),
+    /// Little-endian magnitude limbs, length >= 2, top limb nonzero.
+    Big(Vec<u64>),
+}
+
 /// Arbitrary-precision signed integer.
 ///
-/// Invariants: `mag` has no trailing (most-significant) zero limbs; `sign`
-/// is `Zero` iff `mag` is empty.
+/// Invariants: `mag` is in canonical form (see [`Mag`]); `sign` is `Zero`
+/// iff the magnitude is zero.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Int {
     sign: Sign,
-    /// Little-endian magnitude limbs.
-    mag: Vec<u64>,
+    mag: Mag,
 }
 
 const KARATSUBA_THRESHOLD: usize = 32;
@@ -33,7 +50,7 @@ impl Int {
     pub fn zero() -> Int {
         Int {
             sign: Sign::Zero,
-            mag: Vec::new(),
+            mag: Mag::Small(0),
         }
     }
 
@@ -52,7 +69,7 @@ impl Int {
     /// True iff this is 1.
     #[must_use]
     pub fn is_one(&self) -> bool {
-        self.sign == Sign::Pos && self.mag.len() == 1 && self.mag[0] == 1
+        self.sign == Sign::Pos && matches!(self.mag, Mag::Small(1))
     }
 
     /// Sign of the integer.
@@ -70,7 +87,7 @@ impl Int {
     /// True iff even (0 is even).
     #[must_use]
     pub fn is_even(&self) -> bool {
-        self.mag.first().is_none_or(|l| l & 1 == 0)
+        self.limbs().first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Absolute value.
@@ -86,15 +103,51 @@ impl Int {
         }
     }
 
+    /// Magnitude limbs as a little-endian slice (empty for 0).
+    fn limbs(&self) -> &[u64] {
+        match &self.mag {
+            Mag::Small(0) => &[],
+            Mag::Small(l) => std::slice::from_ref(l),
+            Mag::Big(v) => v,
+        }
+    }
+
+    /// Canonical single-limb constructor; `m == 0` yields [`Int::zero`].
+    fn small(sign: Sign, m: u64) -> Int {
+        if m == 0 {
+            Int::zero()
+        } else {
+            debug_assert!(sign != Sign::Zero);
+            Int {
+                sign,
+                mag: Mag::Small(m),
+            }
+        }
+    }
+
+    /// Canonical constructor from a `u128` magnitude.
+    fn from_u128_mag(sign: Sign, m: u128) -> Int {
+        let hi = (m >> 64) as u64;
+        if hi == 0 {
+            Int::small(sign, m as u64)
+        } else {
+            Int {
+                sign,
+                mag: Mag::Big(vec![m as u64, hi]),
+            }
+        }
+    }
+
     /// Number of bits in the magnitude; 0 for the integer 0.
     ///
     /// This is the quantity bounded by the finite-precision semantics: an
     /// integer `n` "occurs with bit length `bit_length(n)`".
     #[must_use]
     pub fn bit_length(&self) -> u64 {
-        match self.mag.last() {
+        let limbs = self.limbs();
+        match limbs.last() {
             None => 0,
-            Some(&top) => (self.mag.len() as u64 - 1) * 64 + (64 - u64::from(top.leading_zeros())),
+            Some(&top) => (limbs.len() as u64 - 1) * 64 + (64 - u64::from(top.leading_zeros())),
         }
     }
 
@@ -105,7 +158,7 @@ impl Int {
             return None;
         }
         let mut total = 0u64;
-        for &limb in &self.mag {
+        for &limb in self.limbs() {
             if limb == 0 {
                 total += 64;
             } else {
@@ -124,10 +177,16 @@ impl Int {
 
     fn from_mag(sign: Sign, mag: Vec<u64>) -> Int {
         let mag = Int::trim(mag);
-        if mag.is_empty() {
-            Int::zero()
-        } else {
-            Int { sign, mag }
+        match mag.len() {
+            0 => Int::zero(),
+            1 => Int {
+                sign,
+                mag: Mag::Small(mag[0]),
+            },
+            _ => Int {
+                sign,
+                mag: Mag::Big(mag),
+            },
         }
     }
 
@@ -372,7 +431,13 @@ impl Int {
         if self.is_zero() {
             return (Int::zero(), Int::zero());
         }
-        let (qm, rm) = Int::divrem_mag(&self.mag, &other.mag);
+        if let (Mag::Small(a), Mag::Small(b)) = (&self.mag, &other.mag) {
+            return (
+                Int::small(self.sign.mul(other.sign), a / b),
+                Int::small(self.sign, a % b),
+            );
+        }
+        let (qm, rm) = Int::divrem_mag(self.limbs(), other.limbs());
         let qsign = self.sign.mul(other.sign);
         (Int::from_mag(qsign, qm), Int::from_mag(self.sign, rm))
     }
@@ -403,9 +468,22 @@ impl Int {
     /// Greatest common divisor (always non-negative).
     #[must_use]
     pub fn gcd(&self, other: &Int) -> Int {
+        fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+            while b != 0 {
+                let r = a % b;
+                a = b;
+                b = r;
+            }
+            a
+        }
         let mut a = self.abs();
         let mut b = other.abs();
         while !b.is_zero() {
+            // Euclid's magnitudes shrink monotonically, so most of the loop
+            // runs in the allocation-free single-limb regime.
+            if let (Mag::Small(x), Mag::Small(y)) = (&a.mag, &b.mag) {
+                return Int::small(Sign::Pos, gcd_u64(*x, *y));
+            }
             let r = a.divrem(&b).1;
             a = b;
             b = r;
@@ -434,7 +512,7 @@ impl Int {
     #[must_use]
     pub fn to_f64(&self) -> f64 {
         let mut v = 0.0f64;
-        for &limb in self.mag.iter().rev() {
+        for &limb in self.limbs().iter().rev() {
             v = v * 1.8446744073709552e19 + limb as f64; // 2^64
         }
         if self.sign == Sign::Neg {
@@ -444,32 +522,82 @@ impl Int {
         }
     }
 
+    /// Guaranteed two-sided `f64` enclosure: returns `(lo, hi)` with
+    /// `lo <= self <= hi` as real numbers.
+    ///
+    /// The enclosure is exact (`lo == hi`) whenever the value fits in 53
+    /// bits; otherwise it is outward-rounded from the top 64 bits of the
+    /// magnitude via [`f64::next_down`]/[`f64::next_up`] — the `+l`/`+u`
+    /// directed roundings of the paper's split-word arithmetic (Thm 4.3).
+    /// Values beyond the finite `f64` range yield an infinite endpoint on
+    /// the far side and `±f64::MAX` on the near side, so the enclosure
+    /// stays valid.
+    #[must_use]
+    pub fn to_f64_interval(&self) -> (f64, f64) {
+        let bits = self.bit_length();
+        if bits == 0 {
+            return (0.0, 0.0);
+        }
+        let (mlo, mhi) = if bits <= 53 {
+            let v = self.limbs()[0] as f64; // exact: fits the mantissa
+            (v, v)
+        } else if bits <= 64 {
+            let v = self.limbs()[0] as f64; // correctly rounded: off by <= ulp/2
+            (v.next_down(), v.next_up())
+        } else {
+            // top = magnitude >> shift has exactly 64 bits (MSB set), so
+            // top <= |self| / 2^shift < top + 1, and ulp(top as f64) = 2048:
+            // one step of directed rounding absorbs both the cast error
+            // (<= 1024) and the truncated low bits (< 1).
+            let shift = bits - 64;
+            let top = Int::shr_mag(self.limbs(), shift);
+            debug_assert_eq!(top.len(), 1);
+            let t = top[0] as f64;
+            // Exact power of two 2^shift (infinite once past the f64 range).
+            let scale = if shift > 1023 {
+                f64::INFINITY
+            } else {
+                f64::from_bits((1023 + shift) << 52)
+            };
+            let lo = t.next_down() * scale;
+            let hi = t.next_up() * scale;
+            (if lo.is_finite() { lo } else { f64::MAX }, hi)
+        };
+        match self.sign {
+            Sign::Neg => (-mhi, -mlo),
+            _ => (mlo, mhi),
+        }
+    }
+
     /// Convert to `i64` if it fits.
     #[must_use]
     pub fn to_i64(&self) -> Option<i64> {
-        match self.mag.len() {
-            0 => Some(0),
-            1 => {
-                let m = self.mag[0];
-                match self.sign {
-                    Sign::Pos if m <= i64::MAX as u64 => Some(m as i64),
-                    Sign::Neg if m <= 1u64 << 63 => Some((m as i128).wrapping_neg() as i64),
-                    _ => None,
-                }
-            }
-            _ => None,
+        match &self.mag {
+            Mag::Small(m) => match self.sign {
+                Sign::Zero => Some(0),
+                Sign::Pos if *m <= i64::MAX as u64 => Some(*m as i64),
+                Sign::Neg if *m <= 1u64 << 63 => Some((*m as i128).wrapping_neg() as i64),
+                _ => None,
+            },
+            Mag::Big(_) => None,
         }
     }
 
     /// Construct `2^e`.
     #[must_use]
     pub fn pow2(e: u64) -> Int {
+        if e < 64 {
+            return Int {
+                sign: Sign::Pos,
+                mag: Mag::Small(1u64 << e),
+            };
+        }
         let limb = (e / 64) as usize;
         let mut mag = vec![0u64; limb + 1];
         mag[limb] = 1u64 << (e % 64);
         Int {
             sign: Sign::Pos,
-            mag,
+            mag: Mag::Big(mag),
         }
     }
 
@@ -480,7 +608,7 @@ impl Int {
         }
         // Repeated division by 10^19 (largest power of ten in u64).
         const CHUNK: u64 = 10_000_000_000_000_000_000;
-        let mut mag = self.mag.clone();
+        let mut mag = self.limbs().to_vec();
         let mut chunks: Vec<u64> = Vec::new();
         while !mag.is_empty() {
             let mut rem = 0u128;
@@ -510,28 +638,15 @@ impl From<i64> for Int {
     fn from(v: i64) -> Int {
         match v.cmp(&0) {
             Ordering::Equal => Int::zero(),
-            Ordering::Greater => Int {
-                sign: Sign::Pos,
-                mag: vec![v as u64],
-            },
-            Ordering::Less => Int {
-                sign: Sign::Neg,
-                mag: vec![(v as i128).unsigned_abs() as u64],
-            },
+            Ordering::Greater => Int::small(Sign::Pos, v as u64),
+            Ordering::Less => Int::small(Sign::Neg, (v as i128).unsigned_abs() as u64),
         }
     }
 }
 
 impl From<u64> for Int {
     fn from(v: u64) -> Int {
-        if v == 0 {
-            Int::zero()
-        } else {
-            Int {
-                sign: Sign::Pos,
-                mag: vec![v],
-            }
-        }
+        Int::small(Sign::Pos, v)
     }
 }
 
@@ -547,11 +662,7 @@ impl From<i128> for Int {
             return Int::zero();
         }
         let sign = if v > 0 { Sign::Pos } else { Sign::Neg };
-        let m = v.unsigned_abs();
-        let lo = m as u64;
-        let hi = (m >> 64) as u64;
-        let mag = if hi == 0 { vec![lo] } else { vec![lo, hi] };
-        Int { sign, mag }
+        Int::from_u128_mag(sign, v.unsigned_abs())
     }
 }
 
@@ -616,13 +727,21 @@ impl PartialOrd for Int {
 
 impl Ord for Int {
     fn cmp(&self, other: &Int) -> Ordering {
+        if let (Mag::Small(a), Mag::Small(b)) = (&self.mag, &other.mag) {
+            // Branch-light single-limb path: compare signed (sign, mag) keys.
+            return match (self.sign, other.sign) {
+                (Sign::Neg, Sign::Neg) => b.cmp(a),
+                (sa, sb) if sa != sb => sa.to_i32().cmp(&sb.to_i32()),
+                _ => a.cmp(b),
+            };
+        }
         match (self.sign, other.sign) {
-            (Sign::Neg, Sign::Neg) => Int::cmp_mag(&other.mag, &self.mag),
+            (Sign::Neg, Sign::Neg) => Int::cmp_mag(other.limbs(), self.limbs()),
             (Sign::Neg, _) => Ordering::Less,
             (Sign::Zero, Sign::Neg) => Ordering::Greater,
             (Sign::Zero, Sign::Zero) => Ordering::Equal,
             (Sign::Zero, Sign::Pos) => Ordering::Less,
-            (Sign::Pos, Sign::Pos) => Int::cmp_mag(&self.mag, &other.mag),
+            (Sign::Pos, Sign::Pos) => Int::cmp_mag(self.limbs(), other.limbs()),
             (Sign::Pos, _) => Ordering::Greater,
         }
     }
@@ -643,17 +762,57 @@ impl Neg for &Int {
     }
 }
 
+impl Int {
+    /// Allocation-free signed addition of two single-limb magnitudes.
+    fn add_small(sa: Sign, a: u64, sb: Sign, b: u64) -> Int {
+        match (sa, sb) {
+            (Sign::Zero, _) => Int::small(sb, b),
+            (_, Sign::Zero) => Int::small(sa, a),
+            _ if sa == sb => {
+                let (s, carry) = a.overflowing_add(b);
+                if carry {
+                    Int {
+                        sign: sa,
+                        mag: Mag::Big(vec![s, 1]),
+                    }
+                } else {
+                    Int {
+                        sign: sa,
+                        mag: Mag::Small(s),
+                    }
+                }
+            }
+            _ => match a.cmp(&b) {
+                Ordering::Equal => Int::zero(),
+                Ordering::Greater => Int {
+                    sign: sa,
+                    mag: Mag::Small(a - b),
+                },
+                Ordering::Less => Int {
+                    sign: sb,
+                    mag: Mag::Small(b - a),
+                },
+            },
+        }
+    }
+}
+
 impl Add for &Int {
     type Output = Int;
     fn add(self, rhs: &Int) -> Int {
+        if let (Mag::Small(a), Mag::Small(b)) = (&self.mag, &rhs.mag) {
+            return Int::add_small(self.sign, *a, rhs.sign, *b);
+        }
         match (self.sign, rhs.sign) {
             (Sign::Zero, _) => rhs.clone(),
             (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => Int::from_mag(a, Int::add_mag(&self.mag, &rhs.mag)),
-            _ => match Int::cmp_mag(&self.mag, &rhs.mag) {
+            (a, b) if a == b => Int::from_mag(a, Int::add_mag(self.limbs(), rhs.limbs())),
+            _ => match Int::cmp_mag(self.limbs(), rhs.limbs()) {
                 Ordering::Equal => Int::zero(),
-                Ordering::Greater => Int::from_mag(self.sign, Int::sub_mag(&self.mag, &rhs.mag)),
-                Ordering::Less => Int::from_mag(rhs.sign, Int::sub_mag(&rhs.mag, &self.mag)),
+                Ordering::Greater => {
+                    Int::from_mag(self.sign, Int::sub_mag(self.limbs(), rhs.limbs()))
+                }
+                Ordering::Less => Int::from_mag(rhs.sign, Int::sub_mag(rhs.limbs(), self.limbs())),
             },
         }
     }
@@ -662,6 +821,9 @@ impl Add for &Int {
 impl Sub for &Int {
     type Output = Int;
     fn sub(self, rhs: &Int) -> Int {
+        if let (Mag::Small(a), Mag::Small(b)) = (&self.mag, &rhs.mag) {
+            return Int::add_small(self.sign, *a, rhs.sign.neg(), *b);
+        }
         self + &(-rhs.clone())
     }
 }
@@ -672,7 +834,13 @@ impl Mul for &Int {
         if self.is_zero() || rhs.is_zero() {
             return Int::zero();
         }
-        Int::from_mag(self.sign.mul(rhs.sign), Int::mul_mag(&self.mag, &rhs.mag))
+        if let (Mag::Small(a), Mag::Small(b)) = (&self.mag, &rhs.mag) {
+            return Int::from_u128_mag(self.sign.mul(rhs.sign), u128::from(*a) * u128::from(*b));
+        }
+        Int::from_mag(
+            self.sign.mul(rhs.sign),
+            Int::mul_mag(self.limbs(), rhs.limbs()),
+        )
     }
 }
 
@@ -696,7 +864,15 @@ impl Shl<u64> for &Int {
         if self.is_zero() {
             return Int::zero();
         }
-        Int::from_mag(self.sign, Int::shl_mag(&self.mag, bits))
+        if let Mag::Small(m) = &self.mag {
+            if u64::from(m.leading_zeros()) >= bits {
+                return Int {
+                    sign: self.sign,
+                    mag: Mag::Small(m << bits),
+                };
+            }
+        }
+        Int::from_mag(self.sign, Int::shl_mag(self.limbs(), bits))
     }
 }
 
@@ -704,7 +880,11 @@ impl Shr<u64> for &Int {
     type Output = Int;
     fn shr(self, bits: u64) -> Int {
         // Arithmetic-toward-zero shift of the magnitude.
-        Int::from_mag(self.sign, Int::shr_mag(&self.mag, bits))
+        if let Mag::Small(m) = &self.mag {
+            let r = if bits >= 64 { 0 } else { m >> bits };
+            return Int::small(self.sign, r);
+        }
+        Int::from_mag(self.sign, Int::shr_mag(self.limbs(), bits))
     }
 }
 

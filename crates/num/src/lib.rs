@@ -20,14 +20,19 @@
 //!   Theorem 4.3.
 //!
 //! Rational interval arithmetic ([`interval::RatInterval`]) supports exact
-//! sign determination at real algebraic points during CAD lifting.
+//! sign determination at real algebraic points during CAD lifting, and
+//! outward-rounded machine-float intervals ([`fintv::FIntv`]) provide the
+//! split-word *filter* layer that short-circuits exact sign computations
+//! whenever a cheap f64 enclosure already excludes zero.
 
+pub mod fintv;
 pub mod fk;
 pub mod int;
 pub mod interval;
 pub mod rat;
 pub mod zk;
 
+pub use fintv::FIntv;
 pub use fk::{Fk, FkError, FkParams};
 pub use int::Int;
 pub use interval::RatInterval;

@@ -184,3 +184,80 @@ proptest! {
         prop_assert_eq!(prod, &wa * &wb);
     }
 }
+
+/// Exact rational value of a finite `f64` (every finite float is dyadic).
+fn dyadic(x: f64) -> Option<Rat> {
+    if !x.is_finite() {
+        return None;
+    }
+    let bits = x.to_bits();
+    let sign = if bits >> 63 == 1 { -1i64 } else { 1 };
+    let exp = ((bits >> 52) & 0x7ff) as i64;
+    let frac = (bits & ((1u64 << 52) - 1)) as i64;
+    let (m, e) = if exp == 0 {
+        (sign * frac, -1074i64)
+    } else {
+        (sign * (frac + (1 << 52)), exp - 1075)
+    };
+    Some(if e >= 0 {
+        Rat::new(&Int::from(m) * &Int::pow2(e as u64), Int::one())
+    } else {
+        Rat::new(Int::from(m), Int::pow2((-e) as u64))
+    })
+}
+
+/// `r` lies inside the outward-rounded enclosure `iv` (exact comparison:
+/// finite endpoints are compared as dyadic rationals, infinite ones hold
+/// trivially).
+fn encloses(iv: &cdb_num::FIntv, r: &Rat) -> bool {
+    let lo_ok = dyadic(iv.lo()).is_none_or(|lo| &lo <= r);
+    let hi_ok = dyadic(iv.hi()).is_none_or(|hi| r <= &hi);
+    lo_ok && hi_ok
+}
+
+proptest! {
+    /// The split-word conversion encloses the exact rational, including
+    /// multi-limb numerators/denominators from the shifted generator.
+    #[test]
+    fn fintv_from_rat_encloses(r in arb_rat(), sh in 0u64..200) {
+        let wide = Rat::new(r.numer() << sh, r.denom().clone());
+        prop_assert!(encloses(&cdb_num::FIntv::from(&r), &r));
+        prop_assert!(encloses(&cdb_num::FIntv::from(&wide), &wide));
+    }
+
+    /// Enclosure is preserved by +, −, × (Thm 4.3's split-word ops with
+    /// outward rounding): the float interval always contains the exact
+    /// rational result.
+    #[test]
+    fn fintv_ops_enclose_exact(a in arb_rat(), b in arb_rat()) {
+        let (fa, fb) = (cdb_num::FIntv::from(&a), cdb_num::FIntv::from(&b));
+        prop_assert!(encloses(&fa.add(&fb), &(&a + &b)));
+        prop_assert!(encloses(&fa.sub(&fb), &(&a - &b)));
+        prop_assert!(encloses(&fa.mul(&fb), &(&a * &b)));
+    }
+
+    /// A definite filter sign is never wrong: when the enclosure of a single
+    /// rational decides a sign, it is the exact sign.
+    #[test]
+    fn fintv_definite_sign_is_exact(a in arb_rat(), b in arb_rat()) {
+        let v = &a * &b;
+        let fv = cdb_num::FIntv::from(&a).mul(&cdb_num::FIntv::from(&b));
+        if let Some(s) = fv.sign() {
+            prop_assert_eq!(s, v.sign());
+        }
+    }
+
+    /// The small-limb fast paths agree with the generic multi-limb route:
+    /// push both operands past the single-limb boundary and compare.
+    #[test]
+    fn int_small_and_big_paths_agree(a in any::<i64>(), b in any::<i64>(), sh in 0u64..130) {
+        let (sa, sb) = (Int::from(a), Int::from(b));
+        let (ba, bb) = (&sa << sh, &sb << sh);
+        prop_assert_eq!(&(&sa + &sb) << sh, &ba + &bb);
+        prop_assert_eq!(&(&sa * &sb) << (2 * sh), &ba * &bb);
+        prop_assert_eq!(sa.cmp(&sb), ba.cmp(&bb));
+        if !sa.is_zero() || !sb.is_zero() {
+            prop_assert_eq!(&sa.gcd(&sb) << sh, ba.gcd(&bb));
+        }
+    }
+}

@@ -16,10 +16,31 @@
 use crate::roots::{isolate_real_roots, RootLocation};
 use crate::sturm::SturmChain;
 use crate::upoly::UPoly;
-use cdb_num::{Rat, RatInterval, Sign};
+use cdb_num::{fintv, FIntv, Rat, RatInterval, Sign};
 use std::cmp::Ordering;
 use std::fmt;
 use std::sync::{Arc, Mutex};
+
+/// Filtered sign of `q` over an exact rational interval: evaluate over the
+/// outward-rounded float hull first and certify with the exact
+/// `eval_interval` only on straddle. Since the float enclosure contains the
+/// exact interval evaluation, a definite float sign implies the exact
+/// interval sign is the same — so callers take byte-identical branches with
+/// the filter on or off. `None` means even the exact evaluation is
+/// indefinite (the caller must refine).
+fn filtered_interval_sign(q: &UPoly, iv: &RatInterval) -> Option<Sign> {
+    if fintv::filter_enabled() {
+        if let Some(s) = q
+            .eval_fintv(&FIntv::from_rat_endpoints(iv.lo(), iv.hi()))
+            .sign()
+        {
+            fintv::note_filter_hit();
+            return Some(s);
+        }
+        fintv::note_filter_fallback();
+    }
+    q.eval_interval(iv).sign()
+}
 
 /// A real algebraic number: the unique root of `poly` (squarefree) inside
 /// `interval` (open, endpoints not roots), or an exact rational.
@@ -154,7 +175,7 @@ impl RealAlg {
             return Sign::Zero;
         }
         if let Some(r) = self.to_rat() {
-            return q.sign_at(&r);
+            return q.fsign_at(&r);
         }
         // Fast path: a few rounds of interval refinement decide every
         // nonzero sign cheaply; the (expensive) gcd zero-test only runs when
@@ -162,17 +183,17 @@ impl RealAlg {
         // refinement is persisted in the shared cell, so repeated probes of
         // the same number get cheaper and cheaper.
         let mut iv = self.interval();
-        let s_hi = self.poly.sign_at(iv.hi());
+        let s_hi = self.poly.fsign_at(iv.hi());
         let bisect = |iv: &RatInterval| -> Result<RatInterval, Sign> {
             let mid = iv.midpoint();
-            match self.poly.sign_at(&mid) {
-                Sign::Zero => Err(q.sign_at(&mid)),
+            match self.poly.fsign_at(&mid) {
+                Sign::Zero => Err(q.fsign_at(&mid)),
                 s if s == s_hi => Ok(RatInterval::new(iv.lo().clone(), mid)),
                 _ => Ok(RatInterval::new(mid, iv.hi().clone())),
             }
         };
         for _ in 0..6 {
-            if let Some(s) = q.eval_interval(&iv).sign() {
+            if let Some(s) = filtered_interval_sign(q, &iv) {
                 self.store_refinement(&iv);
                 return s;
             }
@@ -196,7 +217,7 @@ impl RealAlg {
         }
         // q(α) != 0: refine until the interval evaluation is definite.
         loop {
-            if let Some(s) = q.eval_interval(&iv).sign() {
+            if let Some(s) = filtered_interval_sign(q, &iv) {
                 self.store_refinement(&iv);
                 debug_assert_ne!(s, Sign::Zero);
                 return s;
@@ -276,7 +297,7 @@ impl RealAlg {
                     let lo = Rat::min(ia.lo().clone(), ib.lo().clone());
                     let hi = Rat::max(ia.hi().clone(), ib.hi().clone());
                     let mut count = chain.count_roots_half_open(&lo, &hi);
-                    if g.sign_at(&lo) == Sign::Zero {
+                    if g.fsign_at(&lo) == Sign::Zero {
                         count += 1;
                     }
                     if count == 1 {

@@ -178,10 +178,19 @@ impl MPoly {
 
     /// `self^n`.
     #[must_use]
-    pub fn pow(&self, n: u32) -> MPoly {
+    pub fn pow(&self, mut n: u32) -> MPoly {
+        // Binary exponentiation: O(log n) polynomial multiplications instead
+        // of n (the resultant base cases raise constants to degree-sized n).
         let mut acc = MPoly::constant(Rat::one(), self.nvars);
-        for _ in 0..n {
-            acc = &acc * self;
+        let mut base = self.clone();
+        while n > 0 {
+            if n & 1 == 1 {
+                acc = &acc * &base;
+            }
+            n >>= 1;
+            if n > 0 {
+                base = &base * &base;
+            }
         }
         acc
     }
@@ -190,12 +199,32 @@ impl MPoly {
     #[must_use]
     pub fn eval(&self, point: &[Rat]) -> Rat {
         assert_eq!(point.len(), self.nvars);
+        // Per-variable power tables: each `point[i]^e` is computed once per
+        // call instead of once per term mentioning `x_i^e`.
+        let mut max_exp = vec![0u32; self.nvars];
+        for m in self.terms.keys() {
+            for (me, &e) in max_exp.iter_mut().zip(m.iter()) {
+                *me = (*me).max(e);
+            }
+        }
+        let powers: Vec<Vec<Rat>> = point
+            .iter()
+            .zip(&max_exp)
+            .map(|(x, &me)| {
+                let mut tab = Vec::with_capacity(me as usize + 1);
+                tab.push(Rat::one());
+                for _ in 0..me {
+                    tab.push(tab.last().unwrap() * x);
+                }
+                tab
+            })
+            .collect();
         let mut acc = Rat::zero();
         for (m, c) in &self.terms {
             let mut t = c.clone();
             for (i, &e) in m.iter().enumerate() {
                 if e > 0 {
-                    t = &t * &point[i].pow(e as i32);
+                    t = &t * &powers[i][e as usize];
                 }
             }
             acc = &acc + &t;

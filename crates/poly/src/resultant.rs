@@ -29,7 +29,7 @@ pub fn resultant(p: &MPoly, q: &MPoly, var: usize) -> MPoly {
         return MPoly::constant(Rat::one(), nvars);
     }
     if m == 0 {
-        // res(c, q) = c^deg(q)
+        // res(c, q) = c^deg(q) — binary exponentiation via MPoly::pow.
         return pc[0].pow(n as u32);
     }
     if n == 0 {

@@ -91,10 +91,10 @@ pub fn isolate_real_roots(p: &UPoly) -> Vec<RootLocation> {
                 if let RootLocation::Isolated(iv) = loc {
                     let mut lo = iv.lo().clone();
                     let mut hi = iv.hi().clone();
-                    let s_hi = sf.sign_at(&hi);
+                    let s_hi = sf.fsign_at(&hi);
                     while exacts.iter().any(|r| &lo <= r && r <= &hi) {
                         let mid = Rat::midpoint(&lo, &hi);
-                        match sf.sign_at(&mid) {
+                        match sf.fsign_at(&mid) {
                             Sign::Zero => {
                                 *loc = RootLocation::Exact(mid);
                                 break;
@@ -173,7 +173,7 @@ fn rational_roots(sf: &UPoly) -> Vec<Rat> {
             }
             for s in [1i64, -1] {
                 let cand = Rat::new(Int::from(s * p), Int::from(q));
-                if sf.eval(&cand).is_zero() {
+                if sf.fsign_at(&cand) == Sign::Zero {
                     out.push(cand);
                 }
             }
@@ -198,7 +198,7 @@ fn isolate_in(
     }
     if count == 1 {
         // Check whether the right endpoint is the root itself.
-        if sf.sign_at(&hi) == Sign::Zero {
+        if sf.fsign_at(&hi) == Sign::Zero {
             out.push(RootLocation::Exact(hi));
             return;
         }
@@ -207,9 +207,9 @@ fn isolate_in(
         // until it no longer is, keeping exactly one root inside.
         let mut lo = lo;
         let mut hi = hi;
-        while sf.sign_at(&lo) == Sign::Zero {
+        while sf.fsign_at(&lo) == Sign::Zero {
             let mid = Rat::midpoint(&lo, &hi);
-            if sf.sign_at(&mid) == Sign::Zero {
+            if sf.fsign_at(&mid) == Sign::Zero {
                 out.push(RootLocation::Exact(mid));
                 return;
             }
@@ -240,11 +240,11 @@ pub fn refine_to_width(p: &UPoly, loc: &RootLocation, eps: &Rat) -> RatInterval 
         RootLocation::Isolated(iv) => {
             let mut lo = iv.lo().clone();
             let mut hi = iv.hi().clone();
-            let s_hi = sf.sign_at(&hi);
+            let s_hi = sf.fsign_at(&hi);
             debug_assert_ne!(s_hi, Sign::Zero);
             while &(&hi - &lo) > eps {
                 let mid = Rat::midpoint(&lo, &hi);
-                match sf.sign_at(&mid) {
+                match sf.fsign_at(&mid) {
                     Sign::Zero => return RatInterval::point(mid),
                     s if s == s_hi => hi = mid,
                     _ => lo = mid,

@@ -6,7 +6,7 @@
 //! the number of sign variations of the Sturm chain at `x`.
 
 use crate::upoly::UPoly;
-use cdb_num::{Rat, Sign};
+use cdb_num::{FIntv, Rat, Sign};
 
 /// A precomputed Sturm chain for one polynomial.
 #[derive(Debug, Clone)]
@@ -60,9 +60,15 @@ impl SturmChain {
     }
 
     /// Number of sign variations at `x`.
+    ///
+    /// Each chain member's sign is first filtered through the cheap
+    /// outward-rounded float enclosure ([`UPoly::fsign_at_enclosed`]); the
+    /// exact big-rational evaluation runs only for members whose enclosure
+    /// straddles zero, so the count is identical to the unfiltered one.
     #[must_use]
     pub fn variations_at(&self, x: &Rat) -> usize {
-        count_variations(self.seq.iter().map(|q| q.sign_at(x)))
+        let fx = FIntv::from(x);
+        count_variations(self.seq.iter().map(|q| q.fsign_at_enclosed(x, &fx)))
     }
 
     /// Number of sign variations at `+inf` (signs of leading coefficients).

@@ -1,6 +1,6 @@
 //! Dense univariate polynomials over `Q`.
 
-use cdb_num::{Int, Rat, RatInterval, Sign};
+use cdb_num::{fintv, FIntv, Int, Rat, RatInterval, Sign};
 use std::fmt;
 use std::ops::{Add, Mul, Neg, Sub};
 
@@ -129,6 +129,55 @@ impl UPoly {
             acc = acc.mul(x).add(&RatInterval::point(c.clone()));
         }
         acc
+    }
+
+    /// Split-word interval extension: Horner over outward-rounded `f64`
+    /// enclosures. The result is a guaranteed enclosure of the exact value
+    /// of the polynomial over `x` (inclusion-monotone interval arithmetic
+    /// with directed rounding), so a definite [`FIntv::sign`] of the result
+    /// is the true sign everywhere on `x`.
+    #[must_use]
+    pub fn eval_fintv(&self, x: &FIntv) -> FIntv {
+        match self.coeffs.last() {
+            None => FIntv::zero(),
+            Some(top) => {
+                let mut acc = FIntv::from(top);
+                for c in self.coeffs.iter().rev().skip(1) {
+                    acc = acc.mul(x).add(&FIntv::from(c));
+                }
+                acc
+            }
+        }
+    }
+
+    /// Filtered sign at a rational point: try the cheap outward-rounded
+    /// float enclosure first and certify with exact arithmetic only when
+    /// the enclosure straddles zero. Always equal to [`UPoly::sign_at`].
+    #[must_use]
+    pub fn fsign_at(&self, x: &Rat) -> Sign {
+        if fintv::filter_enabled() {
+            if let Some(s) = self.eval_fintv(&FIntv::from(x)).sign() {
+                fintv::note_filter_hit();
+                return s;
+            }
+            fintv::note_filter_fallback();
+        }
+        self.sign_at(x)
+    }
+
+    /// Filtered sign at a pre-converted float enclosure of a rational
+    /// point; `x` is the exact point, `fx` must enclose it. Used by hot
+    /// loops (Sturm chains) that evaluate many polynomials at one point.
+    #[must_use]
+    pub fn fsign_at_enclosed(&self, x: &Rat, fx: &FIntv) -> Sign {
+        if fintv::filter_enabled() {
+            if let Some(s) = self.eval_fintv(fx).sign() {
+                fintv::note_filter_hit();
+                return s;
+            }
+            fintv::note_filter_fallback();
+        }
+        self.sign_at(x)
     }
 
     /// Formal derivative.
@@ -395,10 +444,18 @@ impl UPoly {
 
     /// `self^n`.
     #[must_use]
-    pub fn pow(&self, n: u32) -> UPoly {
+    pub fn pow(&self, mut n: u32) -> UPoly {
+        // Binary exponentiation: O(log n) polynomial multiplications.
         let mut acc = UPoly::one();
-        for _ in 0..n {
-            acc = &acc * self;
+        let mut base = self.clone();
+        while n > 0 {
+            if n & 1 == 1 {
+                acc = &acc * &base;
+            }
+            n >>= 1;
+            if n > 0 {
+                base = &base * &base;
+            }
         }
         acc
     }

@@ -265,3 +265,57 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The float-filtered sign (`fsign_at`) always agrees with the exact
+    /// sign: a definite split-word enclosure is trusted only when it cannot
+    /// lie, and a straddle falls back to exact arithmetic.
+    #[test]
+    fn filtered_sign_agrees_with_exact(
+        p in arb_upoly(7, 50),
+        n in -200i64..=200,
+        d in 1i64..=16,
+    ) {
+        let x = Rat::new(n.into(), d.into());
+        prop_assert_eq!(p.fsign_at(&x), p.sign_at(&x));
+    }
+
+    /// A definite sign of the split-word Horner evaluation is the sign of
+    /// the exact value (the enclosure property, at the polynomial level).
+    #[test]
+    fn fintv_horner_sign_is_exact(
+        p in arb_upoly(7, 50),
+        n in -200i64..=200,
+        d in 1i64..=16,
+    ) {
+        let x = Rat::new(n.into(), d.into());
+        if let Some(s) = p.eval_fintv(&cdb_num::FIntv::from(&x)).sign() {
+            prop_assert_eq!(s, p.eval(&x).sign());
+        }
+    }
+
+    /// Filtered Sturm variation counts equal the exact per-element counts,
+    /// so root isolation takes identical branches with the filter on or off.
+    #[test]
+    fn filtered_sturm_variations_agree(
+        p in nonzero_upoly(6, 30),
+        n in -100i64..=100,
+        d in 1i64..=8,
+    ) {
+        prop_assume!(!p.is_constant());
+        let chain = SturmChain::new(&p);
+        let x = Rat::new(n.into(), d.into());
+        let exact = {
+            let signs: Vec<Sign> = chain
+                .sequence()
+                .iter()
+                .map(|q| q.sign_at(&x))
+                .filter(|s| *s != Sign::Zero)
+                .collect();
+            signs.windows(2).filter(|w| w[0] != w[1]).count()
+        };
+        prop_assert_eq!(chain.variations_at(&x), exact);
+    }
+}

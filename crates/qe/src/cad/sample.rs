@@ -2,7 +2,7 @@
 //! sign evaluation of polynomials at them.
 
 use crate::{QeContext, QeError};
-use cdb_num::{Rat, RatInterval, Sign};
+use cdb_num::{fintv, FIntv, Rat, RatInterval, Sign};
 use cdb_poly::{MPoly, RealAlg, UPoly};
 use std::fmt;
 
@@ -117,9 +117,24 @@ pub fn sign_at(
 }
 
 /// Interval-refinement sign determination for ≥2 algebraic coordinates.
+///
+/// Each round first evaluates over outward-rounded `f64` enclosures
+/// ([`eval_fintv`]); the exact `RatInterval` evaluation only runs when the
+/// float enclosure straddles zero. A definite float sign implies the exact
+/// evaluation over the same enclosures is definite with the same sign
+/// (float intervals contain the exact ones), so the refinement trajectory —
+/// and therefore every downstream byte of output — is identical with the
+/// filter on or off.
 fn sign_by_refinement(q: &MPoly, algs: &[(usize, RealAlg)]) -> Result<Sign, QeError> {
     let mut current: Vec<(usize, RealAlg)> = algs.to_vec();
     for _ in 0..64 {
+        if fintv::filter_enabled() {
+            if let Some(s) = eval_fintv(q, &current).sign() {
+                fintv::note_filter_hit();
+                return Ok(s);
+            }
+            fintv::note_filter_fallback();
+        }
         let iv = eval_interval(q, &current);
         if let Some(s) = iv.sign() {
             return Ok(s);
@@ -141,6 +156,35 @@ fn sign_by_refinement(q: &MPoly, algs: &[(usize, RealAlg)]) -> Result<Sign, QeEr
     Err(QeError::IndeterminateSign(format!(
         "interval refinement did not converge for {q}"
     )))
+}
+
+/// Split-word float evaluation of `q` over outward-rounded hulls of its
+/// algebraic coordinates' isolating intervals. The result encloses the exact
+/// [`eval_interval`] result over the same enclosures.
+fn eval_fintv(q: &MPoly, algs: &[(usize, RealAlg)]) -> FIntv {
+    let hulls: Vec<(usize, FIntv)> = algs
+        .iter()
+        .map(|(v, a)| {
+            let iv = a.interval();
+            (*v, FIntv::from_rat_endpoints(iv.lo(), iv.hi()))
+        })
+        .collect();
+    let mut acc = FIntv::zero();
+    for (mono, coeff) in q.terms() {
+        let mut term = FIntv::from(coeff);
+        for (i, &e) in mono.iter().enumerate() {
+            if e == 0 {
+                continue;
+            }
+            let (_, h) = hulls
+                .iter()
+                .find(|(v, _)| *v == i)
+                .unwrap_or_else(|| panic!("variable {i} has no enclosure"));
+            term = term.mul(&h.pow(e));
+        }
+        acc = acc.add(&term);
+    }
+    acc
 }
 
 /// Interval evaluation of `q` over enclosures of its algebraic coordinates.

@@ -133,6 +133,13 @@ pub struct QeContext {
     pub workers: usize,
     /// Shared memo-cache for resultants, discriminants, and Sturm chains.
     pub cache: AlgebraicCache,
+    /// Baseline snapshot of the process-global float-filter `(hits,
+    /// fallbacks)` counters (see [`cdb_num::fintv::filter_counters`]),
+    /// taken at construction so [`QeContext::filter_hits`] /
+    /// [`QeContext::filter_fallbacks`] report activity attributable to this
+    /// context. Contexts running concurrently also observe each other's
+    /// filter traffic — acceptable for instrumentation.
+    filter_base: (u64, u64),
 }
 
 impl Default for QeContext {
@@ -144,6 +151,7 @@ impl Default for QeContext {
             sign_evals: Counter::default(),
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             cache: AlgebraicCache::new(),
+            filter_base: cdb_num::fintv::filter_counters(),
         }
     }
 }
@@ -201,5 +209,24 @@ impl QeContext {
     /// Check a polynomial's coefficients against the budget.
     pub fn observe_poly(&self, p: &cdb_poly::MPoly) -> Result<(), QeError> {
         self.observe_bits(p.max_coeff_bits())
+    }
+
+    /// Float-filter hits (sign decisions settled by the split-word f64
+    /// enclosure) since this context was created. Reported next to the
+    /// cache hit/miss counters in E16/E18.
+    #[must_use]
+    pub fn filter_hits(&self) -> u64 {
+        cdb_num::fintv::filter_counters()
+            .0
+            .saturating_sub(self.filter_base.0)
+    }
+
+    /// Float-filter fallbacks (straddles certified by exact arithmetic)
+    /// since this context was created.
+    #[must_use]
+    pub fn filter_fallbacks(&self) -> u64 {
+        cdb_num::fintv::filter_counters()
+            .1
+            .saturating_sub(self.filter_base.1)
     }
 }
