@@ -99,20 +99,25 @@ pub fn apply_aggregate(
             got: vars.len(),
         });
     }
-    Ok(match agg {
-        Aggregate::Min => AggOutput::Scalar(min_of(rel, vars[0], eps, ctx)?),
-        Aggregate::Max => AggOutput::Scalar(max_of(rel, vars[0], eps, ctx)?),
-        Aggregate::Avg => AggOutput::Scalar(avg(rel, vars[0], eps, ctx)?),
-        Aggregate::Length => {
-            if vars.len() == 1 {
-                AggOutput::Scalar(length(rel, vars[0], eps, ctx)?)
-            } else {
-                AggOutput::Scalar(arc_length(rel, vars[0], vars[1], eps, ctx)?)
-            }
+    Ok(match (agg, vars) {
+        (Aggregate::Min, &[v]) => AggOutput::Scalar(min_of(rel, v, eps, ctx)?),
+        (Aggregate::Max, &[v]) => AggOutput::Scalar(max_of(rel, v, eps, ctx)?),
+        (Aggregate::Avg, &[v]) => AggOutput::Scalar(avg(rel, v, eps, ctx)?),
+        (Aggregate::Length, &[v]) => AggOutput::Scalar(length(rel, v, eps, ctx)?),
+        (Aggregate::Length, &[x, y]) => AggOutput::Scalar(arc_length(rel, x, y, eps, ctx)?),
+        (Aggregate::Surface, &[x, y]) => AggOutput::Scalar(surface(rel, x, y, eps, ctx)?),
+        (Aggregate::Volume, &[x, y, z]) => AggOutput::Scalar(volume(rel, x, y, z, eps, ctx)?),
+        (Aggregate::Eval, _) => {
+            AggOutput::Relation(eval_aggregate(rel, vars, eps, ctx)?.relation())
         }
-        Aggregate::Surface => AggOutput::Scalar(surface(rel, vars[0], vars[1], eps, ctx)?),
-        Aggregate::Volume => AggOutput::Scalar(volume(rel, vars[0], vars[1], vars[2], eps, ctx)?),
-        Aggregate::Eval => AggOutput::Relation(eval_aggregate(rel, vars, eps, ctx)?.relation()),
+        // `accepts_arity` above admits exactly the shapes matched here; a
+        // fall-through is the same arity error, kept for totality.
+        _ => {
+            return Err(AggError::Arity {
+                expected: expected_arity(agg),
+                got: vars.len(),
+            })
+        }
     })
 }
 

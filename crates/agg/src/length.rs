@@ -6,6 +6,7 @@
 //! a set of positive measure — the paper's motivating "average value of a
 //! bond over a period of time".
 
+// cdb-lint: allow-file(float) — §5 approximate aggregates: arc length falls back to f64 quadrature when no exact antiderivative exists; results are flagged inexact
 use crate::quad::adaptive_simpson;
 use crate::region::{Arc, Cell1D, Region1D, Region2D};
 use crate::{AggError, AggValue};
@@ -63,7 +64,9 @@ pub fn avg(
         let mut n = 0i64;
         for cell in &region.cells {
             let Cell1D::Point(p) = cell else {
-                unreachable!()
+                return Err(AggError::Internal(
+                    "finite-set region produced a non-point cell".to_owned(),
+                ));
             };
             let (v, e) = endpoint(p, eps);
             sum = &sum + &v;
@@ -91,7 +94,7 @@ pub fn avg(
                 exact = exact && el && eh;
                 measure = &measure + &(&h - &l);
                 // ∫ₗʰ x dx = (h² − l²)/2.
-                let half: Rat = "1/2".parse().expect("const");
+                let half = Rat::from_ints(1, 2);
                 moment = &moment + &(&(&(&h * &h) - &(&l * &l)) * &half);
             }
         }

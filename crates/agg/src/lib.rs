@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 //! `cdb-agg`: aggregate evaluation modules (§5, Definition 5.3).
@@ -56,6 +58,9 @@ pub enum AggError {
     Qe(cdb_qe::QeError),
     /// Numerical integration failed to converge.
     Quadrature(String),
+    /// Invariant violation inside the aggregate machinery (a bug in the
+    /// CAD/region plumbing, not a user error).
+    Internal(String),
 }
 
 impl fmt::Display for AggError {
@@ -73,6 +78,7 @@ impl fmt::Display for AggError {
             }
             AggError::Qe(e) => write!(f, "aggregate: {e}"),
             AggError::Quadrature(m) => write!(f, "quadrature failure: {m}"),
+            AggError::Internal(m) => write!(f, "aggregate internal error: {m}"),
         }
     }
 }
@@ -103,6 +109,8 @@ impl AggValue {
 
     /// Approximate value from an f64.
     #[must_use]
+    // cdb-lint: allow(float) — the one inward door for §5 quadrature results;
+    // the value is tagged `exact: false` so callers cannot mistake it
     pub fn approx(v: f64) -> AggValue {
         AggValue {
             value: cdb_num::Rat::from_f64(v).unwrap_or_else(cdb_num::Rat::zero),
@@ -112,6 +120,7 @@ impl AggValue {
 
     /// As f64.
     #[must_use]
+    // cdb-lint: allow(float) — reporting-only conversion for display/tests
     pub fn to_f64(&self) -> f64 {
         self.value.to_f64()
     }

@@ -1,6 +1,7 @@
 //! Adaptive Simpson quadrature — the "numerical computation module"
 //! backing the measure aggregates when exact integration is unavailable.
 
+// cdb-lint: allow-file(float) — §5 approximate aggregates: adaptive Simpson quadrature is the paper's sanctioned approximate integration path; results are flagged inexact
 /// Adaptive Simpson integration of `f` over `[a, b]` to absolute tolerance
 /// `tol`. `max_depth` bounds recursion (returns the best estimate past it).
 #[must_use]

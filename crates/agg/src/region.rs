@@ -6,6 +6,7 @@
 //! provides ("the cells are indexed in a simple way which permits to
 //! determine their dimension and their relative positions in the stacks").
 
+// cdb-lint: allow-file(float) — §5 approximate aggregates: region scanning feeds the quadrature paths, whose results are explicitly flagged inexact via AggValue::exact
 use crate::AggError;
 use cdb_constraints::formula::relation_to_formula;
 use cdb_constraints::ConstraintRelation;
@@ -55,30 +56,35 @@ impl Region1D {
         }
         let cad = build_cad(&polys, &[var], rel.nvars(), ctx)?;
         let matrix = relation_to_formula(rel);
-        let cells = &cad.levels[0];
-        let max_index = cells.last().expect("nonempty CAD").index[0];
+        let Some(cells) = cad.levels.first() else {
+            return Err(AggError::Internal("1-D CAD has no levels".to_owned()));
+        };
+        let Some(last) = cells.last() else {
+            return Ok(Region1D { cells: Vec::new() });
+        };
+        let max_index = cell_index(last, 0)?;
         let mut out = Vec::new();
         for (i, cell) in cells.iter().enumerate() {
             if !eval_formula_at_cell(&cad, cell, &matrix, ctx)? {
                 continue;
             }
-            let pos = cell.index[0];
+            let pos = cell_index(cell, 0)?;
             if pos % 2 == 0 {
                 // Section.
-                let Coord::Alg(root) = &cell.sample[0] else {
-                    unreachable!("sections carry algebraic coordinates")
+                let Coord::Alg(root) = cell_coord(cell, 0)? else {
+                    return Err(AggError::Internal(
+                        "section cell carries a rational sample, not a root".to_owned(),
+                    ));
                 };
                 out.push(Cell1D::Point(root.clone()));
             } else {
-                let lo = if pos == 1 {
-                    None
-                } else {
-                    Some(section_root(&cells[i - 1].sample[0]))
+                let lo = match i.checked_sub(1).and_then(|j| cells.get(j)) {
+                    Some(below) if pos != 1 => Some(section_root(cell_coord(below, 0)?)),
+                    _ => None,
                 };
-                let hi = if pos == max_index {
-                    None
-                } else {
-                    Some(section_root(&cells[i + 1].sample[0]))
+                let hi = match cells.get(i + 1) {
+                    Some(above) if pos != max_index => Some(section_root(cell_coord(above, 0)?)),
+                    _ => None,
                 };
                 out.push(Cell1D::Interval(lo, hi));
             }
@@ -97,6 +103,22 @@ impl Region1D {
     pub fn is_finite_set(&self) -> bool {
         self.cells.iter().all(|c| matches!(c, Cell1D::Point(_)))
     }
+}
+
+/// Index entry of a CAD cell at `level` (cells at level ℓ carry ℓ+1 entries).
+fn cell_index(cell: &cdb_qe::cad::CadCell, level: usize) -> Result<usize, AggError> {
+    cell.index.get(level).copied().ok_or_else(|| {
+        AggError::Internal(format!("CAD cell carries no index entry at level {level}"))
+    })
+}
+
+/// Sample coordinate of a CAD cell at `level`.
+fn cell_coord(cell: &cdb_qe::cad::CadCell, level: usize) -> Result<&Coord, AggError> {
+    cell.sample.get(level).ok_or_else(|| {
+        AggError::Internal(format!(
+            "CAD cell carries no sample coordinate at level {level}"
+        ))
+    })
 }
 
 fn section_root(c: &Coord) -> RealAlg {
@@ -172,13 +194,22 @@ impl Region2D {
         let polys = rel.polynomials();
         let cad = build_cad(&polys, &[xvar, yvar], rel.nvars(), ctx)?;
         let matrix = relation_to_formula(rel);
-        let fiber_polys: Vec<MPoly> = cad.level_poly_ids[1]
+        let Some(fiber_ids) = cad.level_poly_ids.get(1) else {
+            return Err(AggError::Internal(
+                "2-D CAD has no level-2 polynomials".to_owned(),
+            ));
+        };
+        let fiber_polys: Vec<MPoly> = fiber_ids
             .iter()
             .map(|&id| cad.registry.get(id).clone())
             .collect();
-        let level1 = &cad.levels[0];
-        let level2 = &cad.levels[1];
-        let max_x_index = level1.last().map_or(1, |c| c.index[0]);
+        let (Some(level1), Some(level2)) = (cad.levels.first(), cad.levels.get(1)) else {
+            return Err(AggError::Internal("2-D CAD is missing a level".to_owned()));
+        };
+        let max_x_index = match level1.last() {
+            Some(c) => cell_index(c, 0)?,
+            None => 1,
+        };
         // Group level-2 cells by parent.
         let mut slabs = Vec::new();
         for (pi, parent) in level1.iter().enumerate() {
@@ -187,19 +218,21 @@ impl Region2D {
                 .enumerate()
                 .filter(|(_, c)| c.parent == Some(pi))
                 .collect();
-            let max_y_index = children.last().map_or(1, |(_, c)| c.index[1]);
-            let x_cell = if parent.index[0] % 2 == 0 {
-                Cell1D::Point(section_root(&parent.sample[0]))
+            let max_y_index = match children.last() {
+                Some((_, c)) => cell_index(c, 1)?,
+                None => 1,
+            };
+            let px = cell_index(parent, 0)?;
+            let x_cell = if px % 2 == 0 {
+                Cell1D::Point(section_root(cell_coord(parent, 0)?))
             } else {
-                let lo = if parent.index[0] == 1 {
-                    None
-                } else {
-                    Some(section_root(&level1[pi - 1].sample[0]))
+                let lo = match pi.checked_sub(1).and_then(|j| level1.get(j)) {
+                    Some(below) if px != 1 => Some(section_root(cell_coord(below, 0)?)),
+                    _ => None,
                 };
-                let hi = if parent.index[0] == max_x_index {
-                    None
-                } else {
-                    Some(section_root(&level1[pi + 1].sample[0]))
+                let hi = match level1.get(pi + 1) {
+                    Some(above) if px != max_x_index => Some(section_root(cell_coord(above, 0)?)),
+                    _ => None,
                 };
                 Cell1D::Interval(lo, hi)
             };
@@ -210,10 +243,10 @@ impl Region2D {
                 if !eval_formula_at_cell(&cad, cell, &matrix, ctx)? {
                     continue;
                 }
-                let pos = cell.index[1];
+                let pos = cell_index(cell, 1)?;
                 if pos % 2 == 0 {
                     // Section: find a vanishing level-2 polynomial.
-                    let poly = cad.level_poly_ids[1]
+                    let poly = fiber_ids
                         .iter()
                         .find(|&&id| cell.signs.get(&id) == Some(&Sign::Zero))
                         .map(|&id| cad.registry.get(id).clone());
@@ -300,7 +333,7 @@ impl Region2D {
                 all.push(r.to_f64());
             }
         }
-        all.sort_by(|a, b| a.partial_cmp(b).expect("finite roots"));
+        all.sort_by(f64::total_cmp);
         all.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
         Ok(all)
     }
@@ -354,7 +387,7 @@ fn bound_of_section(
     yvar: usize,
     branch: usize,
 ) -> BoundFn {
-    for &id in &cad.level_poly_ids[1] {
+    for &id in cad.level_poly_ids.get(1).into_iter().flatten() {
         if cell.signs.get(&id) != Some(&Sign::Zero) {
             continue;
         }
@@ -363,12 +396,14 @@ fn bound_of_section(
             continue;
         }
         let coeffs = p.as_upoly_in(yvar);
-        let Some(c1) = coeffs[1].to_constant() else {
+        let Some(c1) = coeffs.get(1).and_then(MPoly::to_constant) else {
             continue;
         };
         // y = −c0(x)/c1; exact only when c0 is univariate in x.
-        let xvar = cad.order[0];
-        if let Some(c0) = coeffs[0].to_upoly_in(xvar) {
+        let Some(&xvar) = cad.order.first() else {
+            break;
+        };
+        if let Some(c0) = coeffs.first().and_then(|c| c.to_upoly_in(xvar)) {
             return BoundFn::Poly(c0.scale(&-(c1.recip())));
         }
     }

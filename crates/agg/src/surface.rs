@@ -8,6 +8,7 @@
 //! everything else falls back to adaptive Simpson quadrature on the branch
 //! root functions.
 
+// cdb-lint: allow-file(float) — §5 approximate aggregates: SURFACE integrates band areas by f64 quadrature; results are flagged inexact
 use crate::quad::adaptive_simpson;
 use crate::region::{Band, BoundFn, Cell1D, Region2D};
 use crate::{AggError, AggValue};
@@ -80,10 +81,9 @@ fn integrate_band_numeric(
             },
         }
     };
-    let (lower, upper) = (
-        band.lower.as_ref().expect("checked bounded"),
-        band.upper.as_ref().expect("checked bounded"),
-    );
+    let (Some(lower), Some(upper)) = (band.lower.as_ref(), band.upper.as_ref()) else {
+        return Err(AggError::Unbounded);
+    };
     let integrand = |x: f64| eval_bound(upper, x) - eval_bound(lower, x);
     // Shrink marginally to dodge branch collisions at cell boundaries.
     let w = (b - a).max(1e-12);

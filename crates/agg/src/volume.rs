@@ -4,6 +4,7 @@
 //! Simpson. ("Functions such as SURFACE and VOLUME, very useful in most of
 //! the related applications…")
 
+// cdb-lint: allow-file(float) — §5 approximate aggregates: VOLUME integrates slab cross-sections by f64 quadrature; results are flagged inexact
 use crate::quad::adaptive_simpson;
 use crate::region::{Cell1D, Region1D};
 use crate::surface::surface;

@@ -21,7 +21,7 @@ impl ABase {
     pub fn new(points: Vec<Rat>) -> ABase {
         assert!(points.len() >= 2, "a-base needs at least two breakpoints");
         assert!(
-            points.windows(2).all(|w| w[0] < w[1]),
+            points.windows(2).all(|w| matches!(w, [a, b] if a < b)),
             "a-base breakpoints must be strictly increasing"
         );
         ABase { points }
@@ -66,7 +66,9 @@ impl ABase {
     #[must_use]
     pub fn span(&self) -> (Rat, Rat) {
         (
+            // cdb-lint: allow(panic) — every constructor asserts ≥ 2 breakpoints
             self.points.first().expect("nonempty").clone(),
+            // cdb-lint: allow(panic) — every constructor asserts ≥ 2 breakpoints
             self.points.last().expect("nonempty").clone(),
         )
     }
@@ -94,10 +96,11 @@ impl ABase {
     pub fn refined(&self) -> ABase {
         let mut points = Vec::with_capacity(self.points.len() * 2 - 1);
         for w in self.points.windows(2) {
-            points.push(w[0].clone());
-            points.push(Rat::midpoint(&w[0], &w[1]));
+            let [a, b] = w else { continue };
+            points.push(a.clone());
+            points.push(Rat::midpoint(a, b));
         }
-        points.push(self.points.last().expect("nonempty").clone());
+        points.extend(self.points.last().cloned());
         ABase { points }
     }
 }

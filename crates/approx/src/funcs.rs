@@ -5,6 +5,7 @@
 //! functions admits quantifier elimination — which is exactly why CALC_F
 //! replaces them by polynomial approximations before QE.
 
+// cdb-lint: allow-file(float) — §5 analytic-function catalogue: functions are evaluated in f64 only to fit and audit approximants, never to decide exact queries
 use std::fmt;
 
 /// A builtin analytic function of one variable.

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 //! `cdb-approx`: k-order approximation modules (§5, Definition 5.2).

@@ -1,6 +1,7 @@
 //! The k-order approximation modules (Definition 5.2) and piecewise
 //! approximation over an a-base.
 
+// cdb-lint: allow-file(float) — §5 approximation modules build float-coefficient interpolants by design; coefficients are quantized to rationals before reaching QE
 use crate::abase::ABase;
 use crate::funcs::AnalyticFn;
 use cdb_num::Rat;
@@ -176,7 +177,9 @@ fn shift_polynomial(coeffs_at_c: &[f64], c: f64) -> Vec<f64> {
             carry = *v;
             *v = nv;
         }
-        out[0] += coef;
+        if let Some(first) = out.first_mut() {
+            *first += coef;
+        }
     }
     out
 }
@@ -223,7 +226,9 @@ fn newton_interpolation(f: AnalyticFn, nodes: &[f64]) -> Vec<f64> {
             carry = *v;
             *v = nv;
         }
-        out[0] += dd[i];
+        if let Some(first) = out.first_mut() {
+            *first += dd[i];
+        }
     }
     out
 }
@@ -241,17 +246,23 @@ fn natural_spline(f: AnalyticFn, abase: &ABase) -> Result<PiecewisePoly, ApproxE
         });
     }
     let ys: Vec<f64> = xs.iter().map(|&x| f.eval(x)).collect();
-    if n == 2 {
+    if let (&[x0, x1], &[y0, y1]) = (xs.as_slice(), ys.as_slice()) {
         // Single linear piece.
-        let slope = (ys[1] - ys[0]) / (xs[1] - xs[0]);
-        let p = vec![ys[0] - slope * xs[0], slope];
+        let slope = (y1 - y0) / (x1 - x0);
+        let p = vec![y0 - slope * x0, slope];
         return Ok(PiecewisePoly {
             pieces: vec![(lo, hi, to_rat_poly(&p))],
         });
     }
     // Solve for second derivatives m with natural boundary m₀ = mₙ₋₁ = 0
     // (tridiagonal, Thomas algorithm).
-    let h: Vec<f64> = xs.windows(2).map(|w| w[1] - w[0]).collect();
+    let h: Vec<f64> = xs
+        .windows(2)
+        .filter_map(|w| match w {
+            [a, b] => Some(b - a),
+            _ => None,
+        })
+        .collect();
     let m = {
         let dim = n - 2;
         let mut diag = vec![0.0; dim];
@@ -308,6 +319,7 @@ fn to_rat_poly(coeffs: &[f64]) -> UPoly {
                 let q = (c * scale).round();
                 assert!(q.is_finite(), "non-finite approximation coefficient");
                 Rat::new(
+                    // cdb-lint: allow(panic) — finiteness asserted on the line above
                     Rat::from_f64(q).expect("finite").numer().clone(),
                     cdb_num::Int::pow2(40),
                 )

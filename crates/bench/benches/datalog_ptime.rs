@@ -17,7 +17,8 @@ fn tc_program() -> Program {
                 vec![0, 1],
                 vec![Literal::Rel("E".into(), vec![0, 1])],
                 2,
-            ),
+            )
+            .unwrap(),
             Rule::new(
                 "T",
                 vec![0, 1],
@@ -26,7 +27,8 @@ fn tc_program() -> Program {
                     Literal::Rel("E".into(), vec![2, 1]),
                 ],
                 3,
-            ),
+            )
+            .unwrap(),
         ],
     }
 }
@@ -89,7 +91,8 @@ fn datalog_dense_order(c: &mut Criterion) {
                 );
                 let program = Program {
                     rules: vec![
-                        Rule::new("R", vec![0], vec![Literal::Rel("Start".into(), vec![0])], 1),
+                        Rule::new("R", vec![0], vec![Literal::Rel("Start".into(), vec![0])], 1)
+                            .unwrap(),
                         Rule::new(
                             "R",
                             vec![1],
@@ -98,7 +101,8 @@ fn datalog_dense_order(c: &mut Criterion) {
                                 Literal::Rel("Step".into(), vec![0, 1]),
                             ],
                             2,
-                        ),
+                        )
+                        .unwrap(),
                     ],
                 };
                 let ctx = QeContext::exact();

@@ -23,6 +23,9 @@ use cdb_num::{FkParams, Int, Rat, Zk};
 use cdb_poly::{isolate_real_roots, refine_to_width, MPoly, UPoly};
 use cdb_qe::{evaluate_query, QeContext};
 
+// Bench driver, not library code: a bad experiment id should abort the run
+// immediately with the conventional usage exit code.
+#[allow(clippy::disallowed_methods)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let known: Vec<String> = (1..=18).map(|i| format!("e{i}")).collect();
@@ -402,7 +405,8 @@ fn e11() {
                     vec![0, 1],
                     vec![Literal::Rel("E".into(), vec![0, 1])],
                     2,
-                ),
+                )
+                .unwrap(),
                 Rule::new(
                     "T",
                     vec![0, 1],
@@ -411,7 +415,8 @@ fn e11() {
                         Literal::Rel("E".into(), vec![2, 1]),
                     ],
                     3,
-                ),
+                )
+                .unwrap(),
             ],
         };
         let ctx = QeContext::exact();
@@ -452,7 +457,7 @@ fn e12() {
     );
     let program = Program {
         rules: vec![
-            Rule::new("R", vec![0], vec![Literal::Rel("Start".into(), vec![0])], 1),
+            Rule::new("R", vec![0], vec![Literal::Rel("Start".into(), vec![0])], 1).unwrap(),
             Rule::new(
                 "R",
                 vec![1],
@@ -461,7 +466,8 @@ fn e12() {
                     Literal::Rel("Step".into(), vec![0, 1]),
                 ],
                 2,
-            ),
+            )
+            .unwrap(),
         ],
     };
     let ctx = QeContext::exact();
@@ -826,7 +832,8 @@ fn e17() {
                 vec![0, 1],
                 vec![Literal::Rel("E".into(), vec![0, 1])],
                 2,
-            ),
+            )
+            .unwrap(),
             Rule::new(
                 "T",
                 vec![0, 1],
@@ -835,7 +842,8 @@ fn e17() {
                     Literal::Rel("E".into(), vec![2, 1]),
                 ],
                 3,
-            ),
+            )
+            .unwrap(),
         ],
     };
     let mut entries: Vec<String> = Vec::new();

@@ -34,6 +34,9 @@ pub enum CalcFError {
     Qe(QeError),
     /// Static semantic error (shadowing, parameterized aggregate, arity…).
     Semantic(String),
+    /// An internal evaluator invariant was broken — never expected; returned
+    /// instead of panicking so embedding applications can recover.
+    Internal(String),
 }
 
 impl fmt::Display for CalcFError {
@@ -44,6 +47,7 @@ impl fmt::Display for CalcFError {
             CalcFError::Approx(e) => write!(f, "{e}"),
             CalcFError::Qe(e) => write!(f, "{e}"),
             CalcFError::Semantic(m) => write!(f, "semantic error: {m}"),
+            CalcFError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -86,6 +90,9 @@ pub struct CalcFOutput {
     /// approximations used anywhere in the evaluation (0.0 when exact).
     /// The paper leaves error analysis open (§5: "Error analysis remains an
     /// interesting issue"); this is the measured bound of our modules.
+    // cdb-lint: allow(float) — diagnostic-only error *bound* reported beside
+    // the answer; the answer relation itself is exact (§5 leaves error
+    // analysis open, so this stays instrumentation, never a result).
     pub approx_sup_error: f64,
 }
 
@@ -226,6 +233,8 @@ impl CalcFEngine {
             .collect();
         let nvars = var_names.len().max(1);
         let mut exact = true;
+        // cdb-lint: allow(float) — accumulator for the diagnostic sup-norm
+        // bound (see `CalcFOutput::approx_sup_error`).
         let mut err = 0.0f64;
         // Stage 1: aggregates, innermost-first.
         let agg_free = self.eliminate_aggregates(db, query, &index, nvars, &mut exact, &mut err)?;
@@ -240,10 +249,12 @@ impl CalcFEngine {
         .with_workers(self.workers);
         let out = evaluate_query(db, &poly_formula, nvars, &ctx)?;
         let free_names = query.free_vars();
-        let free_vars = free_names
-            .iter()
-            .map(|n| index.get(n).copied().expect("free var indexed"))
-            .collect();
+        let mut free_vars = Vec::with_capacity(free_names.len());
+        for n in &free_names {
+            free_vars.push(index.get(n).copied().ok_or_else(|| {
+                CalcFError::Internal(format!("free variable {n} missing from the ring index"))
+            })?);
+        }
         Ok(CalcFOutput {
             relation: out.relation,
             var_names,
@@ -263,6 +274,7 @@ impl CalcFEngine {
         index: &BTreeMap<String, usize>,
         nvars: usize,
         exact: &mut bool,
+        // cdb-lint: allow(float) — diagnostic sup-norm bound (see above).
         err: &mut f64,
     ) -> Result<CFormula, CalcFError> {
         Ok(match f {
@@ -283,7 +295,9 @@ impl CalcFEngine {
                 let ctx = QeContext::exact().with_workers(self.workers);
                 let out = apply_aggregate(Aggregate::Eval, &rel, &inner_vars, &self.eps, &ctx)?;
                 let AggOutput::Relation(result) = out else {
-                    unreachable!("EVAL yields a relation")
+                    return Err(CalcFError::Internal(
+                        "EVAL aggregate did not yield a relation".to_owned(),
+                    ));
                 };
                 // Remap: inner ring variable i corresponds to outer
                 // variable index[vars[pos]] where inner_vars[pos] = i.
@@ -331,6 +345,7 @@ impl CalcFEngine {
         index: &BTreeMap<String, usize>,
         nvars: usize,
         exact: &mut bool,
+        // cdb-lint: allow(float) — diagnostic sup-norm bound (see above).
         err: &mut f64,
     ) -> Result<Vec<CFormula>, CalcFError> {
         let heavy = fs.iter().filter(|g| contains_aggregate(g)).count();
@@ -342,6 +357,7 @@ impl CalcFEngine {
         }
         let results = par_indexed(fs.len(), self.workers, |i| {
             let mut ex = true;
+            // cdb-lint: allow(float) — diagnostic sup-norm bound (see above).
             let mut er = 0.0f64;
             let g = self.eliminate_aggregates(db, &fs[i], index, nvars, &mut ex, &mut er)?;
             Ok((g, ex, er))
@@ -362,6 +378,7 @@ impl CalcFEngine {
         db: &Database,
         t: &CTerm,
         exact: &mut bool,
+        // cdb-lint: allow(float) — diagnostic sup-norm bound (see above).
         err: &mut f64,
     ) -> Result<CTerm, CalcFError> {
         Ok(match t {
@@ -399,7 +416,9 @@ impl CalcFEngine {
                 let ctx = QeContext::exact().with_workers(self.workers);
                 let out = apply_aggregate(*agg, &rel, &inner_vars, &self.eps, &ctx)?;
                 let AggOutput::Scalar(v) = out else {
-                    unreachable!("scalar aggregate")
+                    return Err(CalcFError::Internal(
+                        "non-EVAL aggregate did not yield a scalar".to_owned(),
+                    ));
                 };
                 if !v.exact {
                     *exact = false;
@@ -420,6 +439,7 @@ impl CalcFEngine {
         vars: &[String],
         body: &CFormula,
         exact: &mut bool,
+        // cdb-lint: allow(float) — diagnostic sup-norm bound (see above).
         err: &mut f64,
     ) -> Result<(ConstraintRelation, Vec<usize>), CalcFError> {
         // The paper's technical assumption: no free parameters.
@@ -457,6 +477,7 @@ impl CalcFEngine {
         index: &BTreeMap<String, usize>,
         nvars: usize,
         exact: &mut bool,
+        // cdb-lint: allow(float) — diagnostic sup-norm bound (see above).
         err: &mut f64,
     ) -> Result<Formula, CalcFError> {
         Ok(match f {
@@ -474,7 +495,9 @@ impl CalcFEngine {
                 Formula::Rel(name.clone(), idx)
             }
             CFormula::EvalPred(..) => {
-                unreachable!("EVAL predicates eliminated in stage 1")
+                return Err(CalcFError::Internal(
+                    "EVAL predicate survived stage-1 aggregate elimination".to_owned(),
+                ))
             }
             CFormula::Cmp(a, op, b) => {
                 let t = CTerm::Sub(Box::new(a.clone()), Box::new(b.clone()));
@@ -519,6 +542,7 @@ impl CalcFEngine {
         index: &BTreeMap<String, usize>,
         nvars: usize,
         exact: &mut bool,
+        // cdb-lint: allow(float) — diagnostic sup-norm bound (see above).
         err: &mut f64,
     ) -> Result<Formula, CalcFError> {
         // Find an innermost analytic application.
@@ -587,6 +611,10 @@ fn par_indexed<T: Send>(
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
+    // SeqCst per the determinism rule: claim order and the stop flag gate
+    // which slots get filled. A poisoned slot mutex means a worker panicked
+    // mid-store; the stored value (if any) is a fully-written `Some(r)`, so
+    // recovering the inner value is sound.
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let slots: Vec<Mutex<Option<Result<T, CalcFError>>>> =
@@ -594,27 +622,38 @@ fn par_indexed<T: Send>(
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
-                if stop.load(Ordering::Relaxed) {
+                if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let i = next.fetch_add(1, Ordering::Relaxed);
+                let i = next.fetch_add(1, Ordering::SeqCst);
                 if i >= n {
                     break;
                 }
                 let r = f(i);
                 if r.is_err() {
-                    stop.store(true, Ordering::Relaxed);
+                    stop.store(true, Ordering::SeqCst);
                 }
-                *slots[i].lock().expect("worker slot poisoned") = Some(r);
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
             });
         }
     });
     let mut out = Vec::with_capacity(n);
     for slot in slots {
-        match slot.into_inner().expect("worker slot poisoned") {
+        match slot
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
             Some(Ok(v)) => out.push(v),
             Some(Err(e)) => return Err(e),
-            None => unreachable!("unclaimed work slot without a prior error"),
+            // Unclaimed slots only exist past the first error, which the
+            // scan above returns before reaching them.
+            None => {
+                return Err(CalcFError::Internal(
+                    "parallel fan-out: unclaimed work slot without a prior error".to_owned(),
+                ))
+            }
         }
     }
     Ok(out)
@@ -846,10 +885,13 @@ fn relation_to_cformula(rel: &ConstraintRelation, index: &BTreeMap<String, usize
             CFormula::And(conj)
         });
     }
-    if disjuncts.len() == 1 {
-        disjuncts.pop().expect("one")
-    } else {
-        CFormula::Or(disjuncts)
+    match disjuncts.pop() {
+        Some(only) if disjuncts.is_empty() => only,
+        Some(last) => {
+            disjuncts.push(last);
+            CFormula::Or(disjuncts)
+        }
+        None => CFormula::Or(disjuncts),
     }
 }
 

@@ -114,10 +114,13 @@ impl Parser {
             self.next();
             parts.push(self.and_formula()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("one element")
-        } else {
-            CFormula::Or(parts)
+        Ok(match parts.pop() {
+            Some(only) if parts.is_empty() => only,
+            Some(last) => {
+                parts.push(last);
+                CFormula::Or(parts)
+            }
+            None => CFormula::Or(parts),
         })
     }
 
@@ -127,10 +130,13 @@ impl Parser {
             self.next();
             parts.push(self.unary_formula()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("one element")
-        } else {
-            CFormula::And(parts)
+        Ok(match parts.pop() {
+            Some(only) if parts.is_empty() => only,
+            Some(last) => {
+                parts.push(last);
+                CFormula::And(parts)
+            }
+            None => CFormula::And(parts),
         })
     }
 
@@ -453,6 +459,25 @@ mod tests {
         assert!(parse_formula("x / 2 <= 1").is_ok());
         assert!(parse_formula("1 / x <= 1").is_err());
         assert!(parse_formula("x / 0 <= 1").is_err());
+    }
+
+    /// Regression (panic-surface triage): the single-element `And`/`Or`
+    /// folds were rewritten without `pop().expect`; parse shapes must be
+    /// unchanged on both the one-element and many-element paths.
+    #[test]
+    fn single_element_folds_keep_shape() {
+        assert!(matches!(
+            parse_formula("x <= 1").unwrap(),
+            CFormula::Cmp(..)
+        ));
+        assert!(matches!(
+            parse_formula("x <= 1 or x >= 2").unwrap(),
+            CFormula::Or(_)
+        ));
+        assert!(matches!(
+            parse_formula("x <= 1 and x >= 0").unwrap(),
+            CFormula::And(_)
+        ));
     }
 
     #[test]

@@ -374,7 +374,7 @@ pub fn relation_to_formula(rel: &ConstraintRelation) -> Formula {
     if rel.tuples().is_empty() {
         return Formula::False;
     }
-    let disjuncts: Vec<Formula> = rel
+    let mut disjuncts: Vec<Formula> = rel
         .tuples()
         .iter()
         .map(|t| {
@@ -385,10 +385,13 @@ pub fn relation_to_formula(rel: &ConstraintRelation) -> Formula {
             }
         })
         .collect();
-    if disjuncts.len() == 1 {
-        disjuncts.into_iter().next().expect("one disjunct")
-    } else {
-        Formula::Or(disjuncts)
+    match disjuncts.pop() {
+        Some(only) if disjuncts.is_empty() => only,
+        Some(last) => {
+            disjuncts.push(last);
+            Formula::Or(disjuncts)
+        }
+        None => Formula::False,
     }
 }
 

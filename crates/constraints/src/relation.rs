@@ -235,12 +235,14 @@ impl ConstraintRelation {
                 if vars.len() != 1 {
                     return None;
                 }
-                let i = vars[0];
+                let &[i] = vars.as_slice() else {
+                    return None;
+                };
                 if a.poly.degree_in(i) != 1 {
                     return None;
                 }
                 let coeffs = a.poly.as_upoly_in(i);
-                let c1 = coeffs[1].to_constant()?;
+                let c1 = coeffs.get(1)?.to_constant()?;
                 let c0 = coeffs
                     .first()
                     .map(|p| p.to_constant())

@@ -120,19 +120,19 @@ fn parse_rule(src: &str) -> Result<Rule, DbError> {
                     .compile_relation(&scratch, &refs, src)
                     .map_err(|e| DbError::Storage(format!("in constraint '{src}': {e}")))?;
                 let tuples = rel.tuples();
-                if tuples.len() != 1 {
+                let [tuple] = tuples else {
                     return Err(DbError::Storage(format!(
                         "constraint '{src}' must be a conjunction (one tuple), got {}",
                         tuples.len()
                     )));
-                }
-                for atom in tuples[0].atoms() {
+                };
+                for atom in tuple.atoms() {
                     body.push(Literal::Constraint(atom.clone()));
                 }
             }
         }
     }
-    Ok(Rule::new(head_name, head_idx, body, nvars))
+    Rule::new(head_name, head_idx, body, nvars).map_err(|e| DbError::Storage(e.to_string()))
 }
 
 /// Parse `Name(v1, v2, …)`; `None` if the string is not of that shape.
@@ -191,6 +191,15 @@ mod tests {
     use crate::ConstraintDb;
     use cdb_num::Rat;
     use cdb_qe::QeContext;
+
+    /// Regression (panic-surface triage): a textual rule with a repeated
+    /// head variable used to panic inside `Rule::new`; it must surface as a
+    /// parse-stage error instead.
+    #[test]
+    fn repeated_head_variable_is_an_error_not_a_panic() {
+        let err = parse_program("T(x, x) :- E(x, y).").unwrap_err();
+        assert!(err.to_string().contains("repeated head variable"), "{err}");
+    }
 
     #[test]
     fn parse_transitive_closure() {

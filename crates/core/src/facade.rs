@@ -91,6 +91,8 @@ impl QueryResult {
     /// Measured sup-norm error bound of the analytic-function
     /// approximations used in this evaluation (0.0 when exact).
     #[must_use]
+    // cdb-lint: allow(float) — diagnostic-only sup-norm bound surfaced to the
+    // caller (§5 approximate aggregates); never feeds back into exact decisions
     pub fn approx_error(&self) -> f64 {
         self.output.approx_sup_error
     }

@@ -46,13 +46,15 @@ impl BoundingBox {
             if vars.len() != 1 {
                 continue;
             }
-            let v = vars[0];
+            let &[v] = vars.as_slice() else {
+                continue;
+            };
             if atom.poly.degree_in(v) != 1 {
                 continue;
             }
             let coeffs = atom.poly.as_upoly_in(v);
             let (Some(c1), Some(c0)) = (
-                coeffs[1].to_constant(),
+                coeffs.get(1).and_then(cdb_poly::MPoly::to_constant),
                 coeffs.first().and_then(cdb_poly::MPoly::to_constant),
             ) else {
                 continue;

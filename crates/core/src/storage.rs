@@ -90,7 +90,9 @@ impl ConstraintDb {
     fn query_compile(&self, vars: &[&str], src: &str) -> Result<ConstraintRelation, DbError> {
         let mut scratch = ConstraintDb::new();
         scratch.define("__tmp", vars, src)?;
-        Ok(scratch.remove("__tmp").expect("just defined"))
+        scratch
+            .remove("__tmp")
+            .ok_or_else(|| DbError::Storage("scratch relation vanished after define".to_owned()))
     }
 }
 

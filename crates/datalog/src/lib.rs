@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 //! `cdb-datalog`: Datalog with inflationary negation over constraint

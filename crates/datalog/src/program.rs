@@ -24,6 +24,9 @@ use cdb_constraints::{Atom, ConstraintRelation, Database, Formula, GeneralizedTu
 use cdb_qe::{evaluate_query, par_map_result, QeContext, QeError};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+// cdb-lint: allow(determinism) — wall-clock readings feed only the
+// `Duration` fields of `IterationStats`/`FixpointStats` (E11/E17 timing
+// instrumentation); derived relations never depend on them.
 use std::time::{Duration, Instant};
 
 /// Reserved relation-name prefix for per-round delta extents. Input
@@ -61,24 +64,35 @@ pub struct Rule {
 }
 
 impl Rule {
-    /// Construct with sanity checks.
+    /// Construct with sanity checks. Head variables must be distinct and
+    /// within the rule's variable ring; violations are reachable from user
+    /// input (the text frontend), so they surface as
+    /// [`DatalogError::RuleHead`] rather than a panic.
     pub fn new(
         head: impl Into<String>,
         head_vars: Vec<usize>,
         body: Vec<Literal>,
         nvars: usize,
-    ) -> Rule {
+    ) -> Result<Rule, DatalogError> {
         let mut seen = BTreeSet::new();
         for &v in &head_vars {
-            assert!(v < nvars, "head variable out of range");
-            assert!(seen.insert(v), "repeated head variable");
+            if v >= nvars {
+                return Err(DatalogError::RuleHead(format!(
+                    "head variable x{v} out of range (rule ring has {nvars} variables)"
+                )));
+            }
+            if !seen.insert(v) {
+                return Err(DatalogError::RuleHead(format!(
+                    "repeated head variable x{v}"
+                )));
+            }
         }
-        Rule {
+        Ok(Rule {
             head: head.into(),
             head_vars,
             body,
             nvars,
-        }
+        })
     }
 
     /// The body as a first-order formula with existentials over non-head
@@ -160,6 +174,12 @@ pub enum DatalogError {
     /// The input database defines a relation under the reserved
     /// [`DELTA_PREFIX`] namespace.
     ReservedName(String),
+    /// Rule construction rejected: a head variable is out of range or
+    /// repeated (reachable from user input via the text frontend).
+    RuleHead(String),
+    /// An internal evaluator invariant was broken — never expected; returned
+    /// instead of panicking so callers (servers, REPLs) can recover.
+    Internal(String),
 }
 
 impl fmt::Display for DatalogError {
@@ -180,6 +200,8 @@ impl fmt::Display for DatalogError {
                     "datalog: relation name {n} uses the reserved prefix {DELTA_PREFIX}"
                 )
             }
+            DatalogError::RuleHead(m) => write!(f, "datalog rule head: {m}"),
+            DatalogError::Internal(m) => write!(f, "datalog internal error: {m}"),
         }
     }
 }
@@ -273,6 +295,7 @@ impl Program {
         ctx: &QeContext,
         max_iterations: usize,
     ) -> Result<(Database, FixpointStats), DatalogError> {
+        // cdb-lint: allow(determinism) — stats-only timing (see module `use`).
         let t0 = Instant::now();
         let mut db = db.clone();
         self.init_heads(&mut db)?;
@@ -284,6 +307,7 @@ impl Program {
         // Tuples derived in the previous round, per head (the delta).
         let mut deltas: BTreeMap<String, ConstraintRelation> = BTreeMap::new();
         for it in 1..=max_iterations {
+            // cdb-lint: allow(determinism) — stats-only timing (see module `use`).
             let round_t0 = Instant::now();
             stats.iterations = it;
             // Round 1 evaluates every rule against the full extents (the
@@ -304,7 +328,9 @@ impl Program {
                 for (i, r) in self.rules.iter().enumerate() {
                     for pos in r.positive_idb_positions(&idb) {
                         let Literal::Rel(name, _) = &r.body[pos] else {
-                            unreachable!("positive position holds a Rel literal")
+                            return Err(DatalogError::Internal(
+                                "positive IDB position does not hold a Rel literal".to_owned(),
+                            ));
                         };
                         let nonempty = deltas
                             .get(name)
@@ -352,9 +378,16 @@ impl Program {
             for (job, out) in jobs.iter().zip(results) {
                 let rule = &self.rules[job.rule_idx];
                 let derived = project_to_head(rule, &out.relation)?;
-                let current = grown.entry(rule.head.clone()).or_insert_with(|| {
-                    db.get(&rule.head).expect("head extent initialized").clone()
-                });
+                let current = match grown.entry(rule.head.clone()) {
+                    std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        let base = db
+                            .get(&rule.head)
+                            .ok_or_else(|| missing_head(&rule.head))?
+                            .clone();
+                        slot.insert(base)
+                    }
+                };
                 if !subset_of(&derived, current, ctx)? {
                     changed = true;
                 }
@@ -363,19 +396,17 @@ impl Program {
             // Next round's deltas: the syntactically new tuples per head.
             // Stale deltas (heads untouched this round) drop out — every
             // consumer already ran against them in this round's jobs.
-            deltas = grown
-                .iter()
-                .map(|(name, g)| {
-                    let old = db.get(name).expect("head extent initialized");
-                    let fresh: Vec<GeneralizedTuple> = g
-                        .tuples()
-                        .iter()
-                        .filter(|t| !old.tuples().contains(t))
-                        .cloned()
-                        .collect();
-                    (name.clone(), ConstraintRelation::new(g.nvars(), fresh))
-                })
-                .collect();
+            deltas = BTreeMap::new();
+            for (name, g) in &grown {
+                let old = db.get(name).ok_or_else(|| missing_head(name))?;
+                let fresh: Vec<GeneralizedTuple> = g
+                    .tuples()
+                    .iter()
+                    .filter(|t| !old.tuples().contains(t))
+                    .cloned()
+                    .collect();
+                deltas.insert(name.clone(), ConstraintRelation::new(g.nvars(), fresh));
+            }
             stats.per_iteration.push(IterationStats {
                 qe_calls: jobs.len(),
                 delta_tuples: deltas
@@ -406,6 +437,7 @@ impl Program {
         ctx: &QeContext,
         max_iterations: usize,
     ) -> Result<(Database, FixpointStats), DatalogError> {
+        // cdb-lint: allow(determinism) — stats-only timing (see module `use`).
         let t0 = Instant::now();
         let mut db = db.clone();
         self.init_heads(&mut db)?;
@@ -415,6 +447,7 @@ impl Program {
             ..FixpointStats::default()
         };
         for it in 1..=max_iterations {
+            // cdb-lint: allow(determinism) — stats-only timing (see module `use`).
             let round_t0 = Instant::now();
             stats.iterations = it;
             let mut changed = false;
@@ -428,7 +461,7 @@ impl Program {
                 let derived = project_to_head(rule, &out.relation)?;
                 let current = next
                     .get(&rule.head)
-                    .expect("head extent initialized")
+                    .ok_or_else(|| missing_head(&rule.head))?
                     .clone();
                 let grown = canonicalize_extent(current.union(&derived).simplify());
                 // Inflationary growth test: anything new? Derived \ current
@@ -438,21 +471,20 @@ impl Program {
                 }
                 next.insert(rule.head.clone(), grown);
             }
+            let mut delta_tuples = Vec::with_capacity(heads.len());
+            for h in &heads {
+                let old = db.get(h).ok_or_else(|| missing_head(h))?;
+                let new = next.get(h).ok_or_else(|| missing_head(h))?;
+                let fresh = new
+                    .tuples()
+                    .iter()
+                    .filter(|t| !old.tuples().contains(t))
+                    .count();
+                delta_tuples.push(((*h).to_owned(), fresh));
+            }
             stats.per_iteration.push(IterationStats {
                 qe_calls: self.rules.len(),
-                delta_tuples: heads
-                    .iter()
-                    .map(|h| {
-                        let old = db.get(h).expect("head extent initialized");
-                        let new = next.get(h).expect("head extent initialized");
-                        let fresh = new
-                            .tuples()
-                            .iter()
-                            .filter(|t| !old.tuples().contains(t))
-                            .count();
-                        ((*h).to_owned(), fresh)
-                    })
-                    .collect(),
+                delta_tuples,
                 wall: round_t0.elapsed(),
             });
             db = next;
@@ -463,6 +495,12 @@ impl Program {
         }
         Err(DatalogError::IterationCap(max_iterations))
     }
+}
+
+/// The internal error for a head extent that [`Program::init_heads`] should
+/// have created — returned instead of panicking so callers can recover.
+fn missing_head(name: &str) -> DatalogError {
+    DatalogError::Internal(format!("head extent for {name} not initialized"))
 }
 
 /// Project a rule-ring QE answer onto the head's ring.
@@ -677,6 +715,17 @@ mod tests {
         );
     }
 
+    /// Regression (panic-surface triage): invalid head variables surface as
+    /// `RuleHead` errors instead of panicking — they are reachable from user
+    /// input via the text frontend.
+    #[test]
+    fn rule_new_rejects_bad_head_vars() {
+        let err = Rule::new("R", vec![2], vec![], 2).unwrap_err();
+        assert!(matches!(err, DatalogError::RuleHead(_)), "{err:?}");
+        let err = Rule::new("R", vec![0, 0], vec![], 2).unwrap_err();
+        assert!(matches!(err, DatalogError::RuleHead(_)), "{err:?}");
+    }
+
     /// The canonical TC program used by several tests.
     fn tc_program() -> Program {
         Program {
@@ -686,7 +735,8 @@ mod tests {
                     vec![0, 1],
                     vec![Literal::Rel("E".into(), vec![0, 1])],
                     2,
-                ),
+                )
+                .unwrap(),
                 Rule::new(
                     "T",
                     vec![0, 1],
@@ -695,7 +745,8 @@ mod tests {
                         Literal::Rel("E".into(), vec![2, 1]),
                     ],
                     3,
-                ),
+                )
+                .unwrap(),
             ],
         }
     }
@@ -730,7 +781,7 @@ mod tests {
         );
         let program = Program {
             rules: vec![
-                Rule::new("R", vec![0], vec![Literal::Rel("Start".into(), vec![0])], 1),
+                Rule::new("R", vec![0], vec![Literal::Rel("Start".into(), vec![0])], 1).unwrap(),
                 Rule::new(
                     "R",
                     vec![1],
@@ -739,7 +790,8 @@ mod tests {
                         Literal::Rel("Step".into(), vec![0, 1]),
                     ],
                     2,
-                ),
+                )
+                .unwrap(),
             ],
         };
         let ctx = QeContext::exact();
@@ -788,7 +840,8 @@ mod tests {
                     Literal::NegRel("Marked".into(), vec![0]),
                 ],
                 1,
-            )],
+            )
+            .unwrap()],
         };
         let ctx = QeContext::exact();
         let (out, _) = program.run(&db, &ctx, 8).unwrap();
@@ -822,7 +875,7 @@ mod tests {
         );
         let program = Program {
             rules: vec![
-                Rule::new("D", vec![0], vec![Literal::Rel("Init".into(), vec![0])], 1),
+                Rule::new("D", vec![0], vec![Literal::Rel("Init".into(), vec![0])], 1).unwrap(),
                 Rule::new(
                     "D",
                     vec![1],
@@ -831,7 +884,8 @@ mod tests {
                         Literal::Rel("Double".into(), vec![0, 1]),
                     ],
                     2,
-                ),
+                )
+                .unwrap(),
             ],
         };
         (db, program)
@@ -882,12 +936,9 @@ mod tests {
             ConstraintRelation::from_points(1, &[vec![Rat::zero()]]),
         );
         let program = Program {
-            rules: vec![Rule::new(
-                "P",
-                vec![0],
-                vec![Literal::Rel("P".into(), vec![0])],
-                1,
-            )],
+            rules: vec![
+                Rule::new("P", vec![0], vec![Literal::Rel("P".into(), vec![0])], 1).unwrap(),
+            ],
         };
         let ctx = QeContext::exact();
         let (_, stats) = program.run(&db, &ctx, 8).unwrap();
@@ -900,7 +951,7 @@ mod tests {
     #[test]
     fn projection_rejects_residual_variable() {
         let n = 2;
-        let rule = Rule::new("T", vec![0], vec![], n);
+        let rule = Rule::new("T", vec![0], vec![], n).unwrap();
         let leaky = ConstraintRelation::new(
             n,
             vec![GeneralizedTuple::new(
@@ -1026,12 +1077,9 @@ mod tests {
             ConstraintRelation::from_points(1, &[vec![Rat::zero()]]),
         );
         let program = Program {
-            rules: vec![Rule::new(
-                "P",
-                vec![0],
-                vec![Literal::Rel("P".into(), vec![0])],
-                1,
-            )],
+            rules: vec![
+                Rule::new("P", vec![0], vec![Literal::Rel("P".into(), vec![0])], 1).unwrap(),
+            ],
         };
         let ctx = QeContext::exact();
         let err = program.run(&db, &ctx, 4).unwrap_err();

@@ -23,7 +23,8 @@ fn tc_program() -> Program {
                 vec![0, 1],
                 vec![Literal::Rel("E".into(), vec![0, 1])],
                 2,
-            ),
+            )
+            .unwrap(),
             Rule::new(
                 "T",
                 vec![0, 1],
@@ -32,7 +33,8 @@ fn tc_program() -> Program {
                     Literal::Rel("E".into(), vec![2, 1]),
                 ],
                 3,
-            ),
+            )
+            .unwrap(),
         ],
     }
 }

@@ -199,6 +199,9 @@ impl Wide {
                 let hi = ahi.add_lo(bhi, z).add_lo(&carry, z);
                 Wide::Node(Box::new(lo), Box::new(hi))
             }
+            // cdb-lint: allow(panic) — mixed-depth operands violate the Wide
+            // construction invariant (both sides of every Lemma 4.5 doubling
+            // step come from the same `Zk`); the numeric API has no error channel.
             _ => panic!("width mismatch"),
         }
     }
@@ -220,6 +223,9 @@ impl Wide {
                 let zero = alo.zero_like(z);
                 Wide::Node(Box::new(total), Box::new(zero))
             }
+            // cdb-lint: allow(panic) — mixed-depth operands violate the Wide
+            // construction invariant (both sides of every Lemma 4.5 doubling
+            // step come from the same `Zk`); the numeric API has no error channel.
             _ => panic!("width mismatch"),
         }
     }

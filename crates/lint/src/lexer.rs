@@ -1,0 +1,444 @@
+//! A minimal handwritten Rust lexer for `cdb-lint`.
+//!
+//! The linter never needs a parse tree: every rule family is decidable from
+//! a token stream with line numbers, provided the stream is faithful about
+//! the things that defeat grep — comments (line, nested block), string
+//! literals (plain, raw, byte, C), char literals vs. lifetimes, and float
+//! vs. integer literals. Comments are captured separately so allow
+//! directives can be parsed; string/char contents are dropped entirely so a
+//! message like `"use f64 here"` can never trip a rule.
+
+/// Token kind. String and char literal *contents* are intentionally not
+/// represented — rules must never match inside them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (including hex/octal/binary and integer-suffixed).
+    Int,
+    /// Float literal: has a fractional part, an exponent, or an `f32`/`f64`
+    /// suffix.
+    Float,
+    /// A string, byte-string, or char literal (contents dropped).
+    Literal,
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// Any single punctuation character.
+    Punct(char),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind (and ident text where applicable).
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// A comment, captured for directive parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Raw comment text without the `//`/`/*` introducers.
+    pub text: String,
+    /// True when a code token precedes the comment on its own line
+    /// (a trailing comment annotates that line, not the next one).
+    pub has_code_before: bool,
+}
+
+/// Lexer output: the token stream plus the comment side channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`. The lexer is total: malformed input degrades to `Punct`
+/// tokens rather than failing, so the linter can always report *something*
+/// about a file that rustc itself would reject.
+pub fn lex(src: &str) -> Lexed {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_of_last_tok: u32 = 0;
+    let n = bytes.len();
+
+    // Advance over `count` chars starting at `i`, bumping `line`.
+    macro_rules! bump {
+        ($count:expr) => {{
+            let c = $count;
+            for k in 0..c {
+                if let Some('\n') = bytes.get(i + k) {
+                    line += 1;
+                }
+            }
+            i += c;
+        }};
+    }
+
+    while i < n {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if next == Some('/') => {
+                // Line comment (includes `///` and `//!`).
+                let start = i + 2;
+                let mut j = start;
+                while j < n && bytes[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: bytes.get(start..j).unwrap_or(&[]).iter().collect(),
+                    has_code_before: line_of_last_tok == line,
+                });
+                i = j;
+            }
+            '/' if next == Some('*') => {
+                // Block comment, nested.
+                let start_line = line;
+                let text_start = i + 2;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if bytes[j] == '/' && bytes.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && bytes.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if bytes[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                let text_end = j.saturating_sub(2).max(text_start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: bytes
+                        .get(text_start..text_end)
+                        .unwrap_or(&[])
+                        .iter()
+                        .collect(),
+                    has_code_before: line_of_last_tok == start_line,
+                });
+                i = j;
+            }
+            '"' => {
+                let tok_line = line;
+                bump!(string_len(&bytes, i, 0));
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    line: tok_line,
+                });
+                line_of_last_tok = tok_line;
+            }
+            '\'' => {
+                // Lifetime or char literal. `'a` followed by anything but a
+                // closing quote is a lifetime; otherwise a char literal.
+                let tok_line = line;
+                let is_lifetime = match next {
+                    Some(c2) if c2.is_alphabetic() || c2 == '_' => {
+                        let mut j = i + 1;
+                        while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                            j += 1;
+                        }
+                        bytes.get(j) != Some(&'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    i = j;
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        line: tok_line,
+                    });
+                } else {
+                    bump!(char_literal_len(&bytes, i));
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        line: tok_line,
+                    });
+                }
+                line_of_last_tok = tok_line;
+            }
+            c if c.is_ascii_digit() => {
+                let tok_line = line;
+                let (len, is_float) = number_len(&bytes, i);
+                i += len;
+                out.toks.push(Tok {
+                    kind: if is_float {
+                        TokKind::Float
+                    } else {
+                        TokKind::Int
+                    },
+                    line: tok_line,
+                });
+                line_of_last_tok = tok_line;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let tok_line = line;
+                // Raw / byte string prefixes and raw identifiers.
+                if let Some(len) = raw_or_byte_string_len(&bytes, i) {
+                    bump!(len);
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        line: tok_line,
+                    });
+                    line_of_last_tok = tok_line;
+                    continue;
+                }
+                let mut j = i;
+                if c == 'r' && next == Some('#') {
+                    // Raw identifier `r#type`.
+                    j += 2;
+                }
+                let word_start = j;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let word: String = bytes.get(word_start..j).unwrap_or(&[]).iter().collect();
+                i = j;
+                out.toks.push(Tok {
+                    kind: TokKind::Ident(word),
+                    line: tok_line,
+                });
+                line_of_last_tok = tok_line;
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct(c),
+                    line,
+                });
+                line_of_last_tok = line;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Length in chars of the string literal starting at `i` (which holds `"`),
+/// for a raw string with `hashes` trailing `#` markers (0 = plain string).
+fn string_len(bytes: &[char], i: usize, hashes: usize) -> usize {
+    let n = bytes.len();
+    let mut j = i + 1;
+    while j < n {
+        if hashes == 0 {
+            match bytes[j] {
+                '\\' => j += 2,
+                '"' => return j + 1 - i,
+                _ => j += 1,
+            }
+        } else if bytes[j] == '"'
+            && bytes
+                .get(j + 1..j + 1 + hashes)
+                .is_some_and(|w| w.iter().all(|&c| c == '#'))
+        {
+            return j + 1 + hashes - i;
+        } else {
+            j += 1;
+        }
+    }
+    n - i
+}
+
+/// Length of the char literal starting at `i` (which holds `'`).
+fn char_literal_len(bytes: &[char], i: usize) -> usize {
+    let n = bytes.len();
+    let mut j = i + 1;
+    while j < n {
+        match bytes[j] {
+            '\\' => j += 2,
+            '\'' => return j + 1 - i,
+            _ => j += 1,
+        }
+    }
+    n - i
+}
+
+/// If a raw/byte string literal starts at `i`, return its total length.
+/// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `c"..."`.
+fn raw_or_byte_string_len(bytes: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    let n = bytes.len();
+    // Optional b/c prefix, optional r, then hashes, then a quote.
+    if j < n && (bytes[j] == 'b' || bytes[j] == 'c') {
+        j += 1;
+    }
+    let raw = j < n && bytes[j] == 'r';
+    if raw {
+        j += 1;
+    }
+    let hash_start = j;
+    while j < n && bytes[j] == '#' {
+        j += 1;
+    }
+    let hashes = j - hash_start;
+    if j >= n || bytes[j] != '"' || (hashes > 0 && !raw) {
+        return None;
+    }
+    if !raw && j == i {
+        // A bare `"` is handled by the caller.
+        return None;
+    }
+    Some(j - i + string_len(bytes, j, if raw { hashes } else { 0 }))
+}
+
+/// Length and floatness of the numeric literal starting at `i`.
+fn number_len(bytes: &[char], i: usize) -> (usize, bool) {
+    let n = bytes.len();
+    let mut j = i;
+    // Radix prefixes are always integers (suffix chars may include e/f).
+    if bytes[j] == '0'
+        && matches!(
+            bytes.get(j + 1),
+            Some('x') | Some('o') | Some('b') | Some('X')
+        )
+    {
+        j += 2;
+        while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+            j += 1;
+        }
+        return (j - i, false);
+    }
+    let mut is_float = false;
+    while j < n && (bytes[j].is_ascii_digit() || bytes[j] == '_') {
+        j += 1;
+    }
+    // Fractional part: `.` followed by a digit, or a trailing `.` that is
+    // not `..` (range) and not `.ident` (field/method access).
+    if j < n && bytes[j] == '.' {
+        match bytes.get(j + 1) {
+            Some(c) if c.is_ascii_digit() => {
+                is_float = true;
+                j += 1;
+                while j < n && (bytes[j].is_ascii_digit() || bytes[j] == '_') {
+                    j += 1;
+                }
+            }
+            Some('.') => {}
+            Some(c) if c.is_alphabetic() || *c == '_' => {}
+            _ => {
+                is_float = true;
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if j < n && (bytes[j] == 'e' || bytes[j] == 'E') {
+        let mut k = j + 1;
+        if matches!(bytes.get(k), Some('+') | Some('-')) {
+            k += 1;
+        }
+        if bytes.get(k).is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            j = k;
+            while j < n && (bytes[j].is_ascii_digit() || bytes[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Suffix.
+    let suffix_start = j;
+    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+        j += 1;
+    }
+    let suffix: String = bytes.get(suffix_start..j).unwrap_or(&[]).iter().collect();
+    if suffix.starts_with("f32") || suffix.starts_with("f64") {
+        is_float = true;
+    }
+    (j - i, is_float)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let l = lex("let x = \"f64 unwrap()\"; // f64 here\n/* unwrap() */ let y = 1;");
+        assert!(idents("let x = \"f64 unwrap()\";")
+            .iter()
+            .all(|s| s != "f64"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].has_code_before);
+    }
+
+    #[test]
+    fn raw_strings() {
+        let l = lex(r##"let s = r#"f64 "quoted" unwrap()"#; let t = 2;"##);
+        let ids = l
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Ident(_)))
+            .count();
+        assert_eq!(ids, 4); // let s let t
+    }
+
+    #[test]
+    fn float_vs_int() {
+        let kinds: Vec<TokKind> = lex("1 1.5 1e3 2f64 0x1f 1..2 v.0 7u32 2.")
+            .toks
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(kinds[0], TokKind::Int);
+        assert_eq!(kinds[1], TokKind::Float);
+        assert_eq!(kinds[2], TokKind::Float);
+        assert_eq!(kinds[3], TokKind::Float);
+        assert_eq!(kinds[4], TokKind::Int);
+        // 1..2 → Int Punct Punct Int
+        assert_eq!(kinds[5], TokKind::Int);
+        assert_eq!(kinds[8], TokKind::Int); // v.0 field access
+        let last = kinds.len() - 1;
+        assert_eq!(kinds[last], TokKind::Float); // trailing-dot float
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let kinds: Vec<TokKind> = lex("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }")
+            .toks
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        assert!(kinds.contains(&TokKind::Lifetime));
+        assert_eq!(kinds.iter().filter(|k| **k == TokKind::Literal).count(), 2);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let l = lex("a\nb\n  c");
+        let lines: Vec<u32> = l.toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,475 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+//! `cdb-lint`: the workspace invariant checker.
+//!
+//! The QE pipeline's correctness story (`⊨_QE^F`, Thms 4.1–4.3) depends on
+//! invariants that rustc cannot see: floats may enter only through the
+//! outward-rounded `FIntv` boundary, result-producing modules must be
+//! deterministic for every worker count, library crates must surface typed
+//! errors instead of panicking, and lock acquisition must stay flat. This
+//! crate tokenizes every non-test `.rs` file in the workspace (handwritten
+//! lexer — no dependencies) and enforces four rule families:
+//!
+//! | id            | family            | guards                               |
+//! |---------------|-------------------|--------------------------------------|
+//! | `float`       | float confinement | Thm 4.3 split-word boundary          |
+//! | `determinism` | determinism       | byte-identical parallel merges       |
+//! | `panic`       | panic surface     | typed-error robustness               |
+//! | `lock`        | lock discipline   | deadlock-freedom of the fan-out      |
+//!
+//! Every rule has a machine-readable escape hatch:
+//!
+//! ```text
+//! // cdb-lint: allow(<rule>) — <reason>        (this line or the next)
+//! // cdb-lint: allow-file(<rule>) — <reason>   (whole file)
+//! ```
+//!
+//! A directive without a written reason is itself a diagnostic, as is an
+//! allow that suppresses nothing (`unused-allow`) — annotations cannot rot
+//! silently in either direction.
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::{lex, Comment, Tok, TokKind};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The four rule families (plus directive hygiene, which is not
+/// suppressible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// F: float confinement to the `FIntv` boundary.
+    Float,
+    /// D: determinism of result-producing modules.
+    Determinism,
+    /// P: panic surface of library crates.
+    Panic,
+    /// L: lock discipline.
+    Lock,
+}
+
+impl Rule {
+    /// The machine-readable rule id used in directives and diagnostics.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Float => "float",
+            Rule::Determinism => "determinism",
+            Rule::Panic => "panic",
+            Rule::Lock => "lock",
+        }
+    }
+
+    /// Parse a rule id.
+    pub fn from_id(s: &str) -> Option<Rule> {
+        match s {
+            "float" => Some(Rule::Float),
+            "determinism" => Some(Rule::Determinism),
+            "panic" => Some(Rule::Panic),
+            "lock" => Some(Rule::Lock),
+            _ => None,
+        }
+    }
+}
+
+/// One finding, keyed by workspace-relative path and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`float`, `determinism`, `panic`, `lock`, `directive`,
+    /// `unused-allow`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rule families apply to a file, derived from its workspace path.
+#[derive(Debug, Clone, Copy)]
+pub struct FileClass {
+    /// Rule F applies (everywhere except the FIntv boundary and `cdb-fp`).
+    pub float: bool,
+    /// Rule D applies (result-producing crates: qe, datalog, calcf, agg).
+    pub determinism: bool,
+    /// Rule P applies (library code; binaries may panic on startup).
+    pub panic: bool,
+    /// Rule L applies (everywhere).
+    pub lock: bool,
+}
+
+/// Classify a workspace-relative path (`/`-separated).
+pub fn classify(rel: &str) -> FileClass {
+    let is_bin = rel.contains("/src/bin/") || rel.ends_with("/main.rs");
+    FileClass {
+        float: rel != "crates/num/src/fintv.rs" && !rel.starts_with("crates/fp/"),
+        determinism: [
+            "crates/qe/",
+            "crates/datalog/",
+            "crates/calcf/",
+            "crates/agg/",
+        ]
+        .iter()
+        .any(|p| rel.starts_with(p)),
+        panic: !is_bin,
+        lock: true,
+    }
+}
+
+/// Directory names never scanned: build output, VCS, vendored dev shims,
+/// test/bench/example code (rule families target library code; fixtures
+/// under `tests/` are the linter's own corpus).
+const SKIP_DIRS: &[&str] = &[
+    "target", ".git", "devshim", "tests", "benches", "examples", "fixtures",
+];
+
+/// Path prefixes never scanned (bench code is an allowed float zone and is
+/// not part of the library panic surface).
+const SKIP_PREFIXES: &[&str] = &["crates/bench/"];
+
+/// An allow directive parsed from a comment.
+#[derive(Debug)]
+struct AllowDirective {
+    rules: Vec<Rule>,
+    /// None = file scope.
+    target_line: Option<u32>,
+    /// Line the directive itself is on (for unused-allow reporting).
+    at_line: u32,
+    used: std::cell::Cell<bool>,
+}
+
+/// Result of linting one file.
+fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let class = classify(rel);
+    let lexed = lex(src);
+    let (toks, skipped) = strip_test_scopes(&lexed.toks);
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut allows: Vec<AllowDirective> = Vec::new();
+    for c in &lexed.comments {
+        if skipped.iter().any(|&(lo, hi)| c.line >= lo && c.line <= hi) {
+            continue;
+        }
+        parse_directive(rel, c, &toks, &mut allows, &mut diags);
+    }
+
+    let raw = rules::check(&toks, class);
+    for d in raw {
+        let rule = Rule::from_id(d.rule);
+        let suppressed = rule.is_some_and(|r| {
+            allows.iter().any(|a| {
+                a.rules.contains(&r)
+                    && match a.target_line {
+                        None => true,
+                        Some(t) => t == d.line,
+                    }
+                    && {
+                        a.used.set(true);
+                        true
+                    }
+            })
+        });
+        if !suppressed {
+            diags.push(Diagnostic {
+                file: rel.to_owned(),
+                line: d.line,
+                rule: d.rule,
+                message: d.message,
+            });
+        }
+    }
+
+    for a in &allows {
+        if !a.used.get() {
+            diags.push(Diagnostic {
+                file: rel.to_owned(),
+                line: a.at_line,
+                rule: "unused-allow",
+                message: "allow directive suppresses nothing; remove it".to_owned(),
+            });
+        }
+    }
+
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// Parse a `cdb-lint:` directive out of one comment, if present.
+fn parse_directive(
+    rel: &str,
+    c: &Comment,
+    toks: &[Tok],
+    allows: &mut Vec<AllowDirective>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let text = c.text.trim_start_matches(['/', '!']).trim();
+    let Some(rest) = text.strip_prefix("cdb-lint:") else {
+        return;
+    };
+    let rest = rest.trim();
+    let mut bad = |msg: String| {
+        diags.push(Diagnostic {
+            file: rel.to_owned(),
+            line: c.line,
+            rule: "directive",
+            message: msg,
+        });
+    };
+    let (file_scope, body) = if let Some(b) = rest.strip_prefix("allow-file(") {
+        (true, b)
+    } else if let Some(b) = rest.strip_prefix("allow(") {
+        (false, b)
+    } else {
+        bad(format!("unknown cdb-lint directive: `{rest}`"));
+        return;
+    };
+    let Some(close) = body.find(')') else {
+        bad("unterminated rule list in allow directive".to_owned());
+        return;
+    };
+    let mut rules_list = Vec::new();
+    for name in body[..close].split(',') {
+        let name = name.trim();
+        match Rule::from_id(name) {
+            Some(r) => rules_list.push(r),
+            None => {
+                bad(format!(
+                    "unknown rule `{name}` (expected float, determinism, panic, or lock)"
+                ));
+                return;
+            }
+        }
+    }
+    if rules_list.is_empty() {
+        bad("empty rule list in allow directive".to_owned());
+        return;
+    }
+    // Reason: everything after the `)`, stripped of a dash separator.
+    let reason = body[close + 1..]
+        .trim()
+        .trim_start_matches(['—', '–', '-'])
+        .trim();
+    if reason.is_empty() {
+        bad("allow directive without a written reason (use `— <why>`)".to_owned());
+        return;
+    }
+    let target_line = if file_scope {
+        None
+    } else if c.has_code_before {
+        Some(c.line)
+    } else {
+        // The next line bearing a code token.
+        toks.iter().map(|t| t.line).find(|&l| l > c.line)
+    };
+    if !file_scope && target_line.is_none() {
+        bad("allow directive with no following code line".to_owned());
+        return;
+    }
+    allows.push(AllowDirective {
+        rules: rules_list,
+        target_line,
+        at_line: c.line,
+        used: std::cell::Cell::new(false),
+    });
+}
+
+/// Drop tokens inside `#[cfg(test)]` items and `mod tests { … }` blocks.
+/// Returns the surviving tokens and the skipped line ranges (inclusive), so
+/// directives inside test code are ignored too.
+fn strip_test_scopes(toks: &[Tok]) -> (Vec<Tok>, Vec<(u32, u32)>) {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut skipped = Vec::new();
+    let mut i = 0usize;
+    let n = toks.len();
+    let ident =
+        |t: Option<&Tok>, w: &str| matches!(t, Some(Tok { kind: TokKind::Ident(s), .. }) if s == w);
+    let punct = |t: Option<&Tok>, c: char| matches!(t, Some(Tok { kind: TokKind::Punct(p), .. }) if *p == c);
+    while i < n {
+        // `#[...]` outer attribute: scan it; if it is a cfg(test)-style
+        // attribute, skip the attributed item (including stacked attrs).
+        if punct(toks.get(i), '#') && punct(toks.get(i + 1), '[') {
+            let (attr_end, is_test) = scan_attr(toks, i);
+            if is_test {
+                let start_line = toks[i].line;
+                let mut j = attr_end;
+                // Skip any further attributes on the same item.
+                while punct(toks.get(j), '#') && punct(toks.get(j + 1), '[') {
+                    let (e, _) = scan_attr(toks, j);
+                    j = e;
+                }
+                let end = skip_item(toks, j);
+                let end_line = toks
+                    .get(end.saturating_sub(1))
+                    .map_or(start_line, |t| t.line);
+                skipped.push((start_line, end_line));
+                i = end;
+                continue;
+            }
+            // Keep the attribute tokens.
+            for t in toks.get(i..attr_end).unwrap_or(&[]) {
+                out.push(t.clone());
+            }
+            i = attr_end;
+            continue;
+        }
+        // `mod tests {` / `mod test {` without an attribute.
+        if ident(toks.get(i), "mod")
+            && (ident(toks.get(i + 1), "tests") || ident(toks.get(i + 1), "test"))
+            && punct(toks.get(i + 2), '{')
+        {
+            let start_line = toks[i].line;
+            let end = skip_item(toks, i);
+            let end_line = toks
+                .get(end.saturating_sub(1))
+                .map_or(start_line, |t| t.line);
+            skipped.push((start_line, end_line));
+            i = end;
+            continue;
+        }
+        out.push(toks[i].clone());
+        i += 1;
+    }
+    (out, skipped)
+}
+
+/// Scan the attribute starting at `i` (`#` `[` …). Returns the index one
+/// past the closing `]` and whether the attribute mentions `cfg` + `test`
+/// (covers `#[cfg(test)]` and `#[cfg(any(test, …))]`).
+fn scan_attr(toks: &[Tok], i: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, saw_cfg && saw_test && !saw_not);
+                }
+            }
+            TokKind::Ident(s) if s == "cfg" => saw_cfg = true,
+            TokKind::Ident(s) if s == "test" => saw_test = true,
+            TokKind::Ident(s) if s == "not" => saw_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (toks.len(), false)
+}
+
+/// Skip one item starting at `i`: to the `;` closing a bodyless item, or to
+/// the `}` matching its first `{`.
+fn skip_item(toks: &[Tok], i: usize) -> usize {
+    let mut j = i;
+    let mut depth = 0usize;
+    while j < toks.len() {
+        match toks[j].kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            TokKind::Punct(';') if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Lint one file given its workspace-relative path and contents. Exposed
+/// for the fixture tests.
+pub fn lint_file(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    lint_source(rel_path, src)
+}
+
+/// A whole-tree lint report.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by (file, line).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lint every non-test `.rs` file under `root`.
+pub fn run_root(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut diagnostics = Vec::new();
+    let files_scanned = files.len();
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .to_str()
+            .map(|s| s.replace('\\', "/"))
+            .unwrap_or_default();
+        diagnostics.extend(lint_source(&rel_str, &src));
+    }
+    Ok(Report {
+        diagnostics,
+        files_scanned,
+    })
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            if SKIP_PREFIXES
+                .iter()
+                .any(|p| format!("{rel_str}/").starts_with(p))
+            {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Find the enclosing workspace root: the nearest ancestor of `start`
+/// whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        cur = dir.parent();
+    }
+    None
+}

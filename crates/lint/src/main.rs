@@ -1,0 +1,87 @@
+//! `cdb-lint` CLI: lint the enclosing workspace (or `--root <dir>`).
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("cdb-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "cdb-lint — workspace invariant checker\n\n\
+                     USAGE: cdb-lint [--root <dir>]\n\n\
+                     Rule families (suppress with `// cdb-lint: allow(<rule>) — <reason>`\n\
+                     on the offending line or the line above, or\n\
+                     `// cdb-lint: allow-file(<rule>) — <reason>` for a whole file):\n\
+                     \x20 float        f64/f32 outside crates/num/src/fintv.rs and crates/fp\n\
+                     \x20 determinism  HashMap/HashSet, Instant/SystemTime, Ordering::Relaxed\n\
+                     \x20               in qe/datalog/calcf/agg\n\
+                     \x20 panic        unwrap/expect/panic!/unreachable!/constant-subscript\n\
+                     \x20               indexing in library code\n\
+                     \x20 lock         nested .lock() in one statement; guards live across\n\
+                     \x20               par_map_result"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("cdb-lint: unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cdb-lint: cannot determine current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match cdb_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "cdb-lint: no [workspace] Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match cdb_lint::run_root(&root) {
+        Ok(report) => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            if report.diagnostics.is_empty() {
+                eprintln!("cdb-lint: clean ({} files scanned)", report.files_scanned);
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "cdb-lint: {} diagnostic(s) across {} files scanned",
+                    report.diagnostics.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("cdb-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Fixture corpus: each directory under `tests/fixtures/` holds an
+//! `input.rs`, a `path.txt` with the pretend workspace-relative path (rule
+//! applicability is path-derived), and a golden `expected.txt` with the
+//! diagnostics the linter must emit — empty for a clean fixture.
+//!
+//! Regenerate goldens with `UPDATE_FIXTURES=1 cargo test -p cdb-lint` and
+//! review the diff like any other code change.
+
+use std::path::Path;
+
+fn run_case(dir: &Path) -> (String, String) {
+    let src = std::fs::read_to_string(dir.join("input.rs")).expect("fixture input.rs");
+    let rel = std::fs::read_to_string(dir.join("path.txt"))
+        .expect("fixture path.txt")
+        .trim()
+        .to_owned();
+    let got: String = cdb_lint::lint_file(&rel, &src)
+        .iter()
+        .map(|d| format!("{d}\n"))
+        .collect();
+    let expected_path = dir.join("expected.txt");
+    if std::env::var_os("UPDATE_FIXTURES").is_some() {
+        std::fs::write(&expected_path, &got).expect("write golden");
+    }
+    let expected = std::fs::read_to_string(&expected_path).unwrap_or_default();
+    (got, expected)
+}
+
+#[test]
+fn fixture_corpus_matches_goldens() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut cases: Vec<_> = std::fs::read_dir(&root)
+        .expect("fixtures dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    cases.sort();
+    assert!(cases.len() >= 7, "fixture corpus went missing");
+    let mut failures = Vec::new();
+    for dir in &cases {
+        let (got, expected) = run_case(dir);
+        if got != expected {
+            failures.push(format!(
+                "== {}\n-- expected --\n{expected}-- got --\n{got}",
+                dir.file_name().unwrap_or_default().to_string_lossy()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+/// The linter's reason-for-being: the workspace itself must be clean. Runs
+/// the same entry point as the CLI over the real tree.
+#[test]
+fn workspace_is_clean() {
+    let ws = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let report = cdb_lint::run_root(&ws).expect("scan workspace");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint findings:\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.files_scanned > 40,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+}

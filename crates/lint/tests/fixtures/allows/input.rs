@@ -1,0 +1,21 @@
+//! Directive grammar: a justified allow suppresses its finding; a missing
+//! reason, an unknown rule, and an unused allow are each findings.
+
+/// Suppressed by a same-line allow with a reason.
+pub fn narrowed(num: i64) -> f64 {
+    num as f64 // cdb-lint: allow(float) — audited reporting-only conversion
+}
+
+// cdb-lint: allow(float)
+/// The directive above has no written reason.
+pub fn no_reason(num: i64) -> f64 {
+    num as f64
+}
+
+// cdb-lint: allow(speed) — not a rule family
+/// The directive above names an unknown rule.
+pub fn unknown_rule() {}
+
+// cdb-lint: allow(panic) — nothing on the next line can panic
+/// The directive above suppresses nothing.
+pub fn unused_allow() {}

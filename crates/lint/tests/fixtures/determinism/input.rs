@@ -1,0 +1,19 @@
+//! Result-producing crate: unordered containers, wall clocks, and relaxed
+//! atomics are findings.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Accumulate counts in hash order (nondeterministic iteration).
+pub fn tally(keys: &[String]) -> usize {
+    let started = Instant::now();
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for k in keys {
+        *seen.entry(k.clone()).or_default() += 1;
+    }
+    let ticks = AtomicU64::new(0);
+    ticks.fetch_add(1, Ordering::Relaxed);
+    let _ = started;
+    seen.len()
+}

@@ -1,0 +1,6 @@
+//! Inside `crates/fp/` the float rule is off: this file must lint clean.
+
+/// Split-word doubling works on raw doubles by design (Lemma 4.5).
+pub fn twice(x: f64) -> f64 {
+    x * 2.0
+}

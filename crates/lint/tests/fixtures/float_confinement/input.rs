@@ -1,0 +1,7 @@
+//! A library file outside the FIntv boundary: every float use is a finding.
+
+/// Narrowing a rational to hardware precision loses soundness.
+pub fn narrow(num: i64, den: i64) -> f64 {
+    let scale = 0.5;
+    (num as f64) / (den as f64) * scale
+}

@@ -1,0 +1,16 @@
+//! Library panic surface: unwrap/expect/panic!/unreachable!/todo! and
+//! constant-subscript indexing are findings.
+
+/// Head of a coefficient list, with every forbidden idiom in one place.
+pub fn head(v: &[i64], flag: bool) -> i64 {
+    if flag {
+        panic!("flag set");
+    }
+    match v.len() {
+        0 => unreachable!(),
+        1 => v.first().copied().unwrap(),
+        2 => v.first().copied().expect("two elements"),
+        3 => todo!(),
+        _ => v[0],
+    }
+}

@@ -1,0 +1,21 @@
+//! Test-only code is out of scope: the same unwrap that is a finding in
+//! library code is fine inside `#[cfg(test)]` or `mod tests`.
+
+/// Library code: this unwrap IS a finding.
+pub fn lib_head(v: &[i64]) -> i64 {
+    v.first().copied().unwrap()
+}
+
+#[cfg(test)]
+fn helper_head(v: &[i64]) -> i64 {
+    v.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn heads() {
+        assert_eq!(super::lib_head(&[1]), 1);
+        assert_eq!(super::helper_head(&[2]), 2);
+    }
+}

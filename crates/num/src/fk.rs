@@ -128,6 +128,9 @@ impl Fk {
     #[must_use]
     pub fn max_value(params: FkParams) -> Fk {
         let mant = &Int::pow2(u64::from(params.mantissa_bits)) - &Int::one();
+        // cdb-lint: allow(panic) — (2^m − 1) · 2^exp_bound is representable by
+        // construction: the mantissa has exactly `mantissa_bits` bits and the
+        // exponent equals the bound, so `Fk::new` cannot reject it.
         Fk::new(mant, params.exp_bound, params).expect("max value is representable")
     }
 

@@ -110,20 +110,18 @@ impl RatInterval {
     /// Interval product (min/max of the four corner products).
     #[must_use]
     pub fn mul(&self, other: &RatInterval) -> RatInterval {
-        let products = [
-            &self.lo * &other.lo,
+        let mut lo = &self.lo * &other.lo;
+        let mut hi = lo.clone();
+        for p in [
             &self.lo * &other.hi,
             &self.hi * &other.lo,
             &self.hi * &other.hi,
-        ];
-        let mut lo = products[0].clone();
-        let mut hi = products[0].clone();
-        for p in &products[1..] {
-            if *p < lo {
+        ] {
+            if p < lo {
                 lo = p.clone();
             }
-            if *p > hi {
-                hi = p.clone();
+            if p > hi {
+                hi = p;
             }
         }
         RatInterval { lo, hi }

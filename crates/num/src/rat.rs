@@ -144,19 +144,21 @@ impl Rat {
 
     /// Lossy conversion to `f64`.
     #[must_use]
+    // cdb-lint: allow(float) — audited exact↔f64 conversion boundary (Thm 4.3): callers needing soundness must go through FIntv
     pub fn to_f64(&self) -> f64 {
         // Scale so the quotient retains ~80 bits of precision before the
         // floating division, avoiding premature overflow/underflow.
+        // cdb-lint: allow(float) — audited exact↔f64 conversion boundary (Thm 4.3): callers needing soundness must go through FIntv
         fn ldexp(mut x: f64, mut e: i64) -> f64 {
             while e > 1000 {
-                x *= 2f64.powi(1000);
+                x *= 2f64.powi(1000); // cdb-lint: allow(float) — audited exact↔f64 conversion boundary (Thm 4.3): callers needing soundness must go through FIntv
                 e -= 1000;
             }
             while e < -1000 {
-                x *= 2f64.powi(-1000);
+                x *= 2f64.powi(-1000); // cdb-lint: allow(float) — audited exact↔f64 conversion boundary (Thm 4.3): callers needing soundness must go through FIntv
                 e += 1000;
             }
-            x * 2f64.powi(e as i32)
+            x * 2f64.powi(e as i32) // cdb-lint: allow(float) — audited exact↔f64 conversion boundary (Thm 4.3): callers needing soundness must go through FIntv
         }
         let nb = self.num.bit_length() as i64;
         let db = self.den.bit_length() as i64;
@@ -174,10 +176,12 @@ impl Rat {
     ///
     /// Returns `None` for NaN/infinite inputs.
     #[must_use]
+    // cdb-lint: allow(float) — audited exact↔f64 conversion boundary (Thm 4.3): callers needing soundness must go through FIntv
     pub fn from_f64(v: f64) -> Option<Rat> {
         if !v.is_finite() {
             return None;
         }
+        // cdb-lint: allow(float) — audited exact↔f64 conversion boundary (Thm 4.3): callers needing soundness must go through FIntv
         if v == 0.0 {
             return Some(Rat::zero());
         }

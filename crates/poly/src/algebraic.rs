@@ -104,7 +104,11 @@ impl RealAlg {
     /// Exact rational value, when the number is rational.
     #[must_use]
     pub fn to_rat(&self) -> Option<Rat> {
-        match &*self.loc.lock().expect("RealAlg lock poisoned") {
+        match &*self
+            .loc
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
             RootLocation::Exact(r) => Some(r.clone()),
             RootLocation::Isolated(_) => None,
         }
@@ -113,13 +117,20 @@ impl RealAlg {
     /// Current enclosing interval (degenerate for rationals).
     #[must_use]
     pub fn interval(&self) -> RatInterval {
-        self.loc.lock().expect("RealAlg lock poisoned").interval()
+        self.loc
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .interval()
     }
 
     /// A rational approximation within `eps`.
     #[must_use]
     pub fn approx(&self, eps: &Rat) -> Rat {
-        let loc = self.loc.lock().expect("RealAlg lock poisoned").clone();
+        let loc = self
+            .loc
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
         match loc {
             RootLocation::Exact(r) => r,
             RootLocation::Isolated(_) => {
@@ -132,7 +143,10 @@ impl RealAlg {
 
     /// Persist a refined enclosure into the shared cell.
     fn store_refinement(&self, iv: &RatInterval) {
-        let mut loc = self.loc.lock().expect("RealAlg lock poisoned");
+        let mut loc = self
+            .loc
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if matches!(&*loc, RootLocation::Isolated(_)) {
             *loc = if iv.width().is_zero() {
                 RootLocation::Exact(iv.midpoint())
@@ -144,6 +158,8 @@ impl RealAlg {
 
     /// `f64` approximation.
     #[must_use]
+    // cdb-lint: allow(float) — reporting-only conversion; exact comparisons go
+    // through `cmp_alg`/`sign_of`, never through this value
     pub fn to_f64(&self) -> f64 {
         self.approx(&Rat::new(cdb_num::Int::one(), cdb_num::Int::pow2(60)))
             .to_f64()
@@ -153,7 +169,11 @@ impl RealAlg {
     /// (refinement is persisted in the shared cell).
     #[must_use]
     pub fn refined(&self, eps: &Rat) -> RealAlg {
-        let loc = self.loc.lock().expect("RealAlg lock poisoned").clone();
+        let loc = self
+            .loc
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
         match loc {
             RootLocation::Exact(_) => self.clone(),
             RootLocation::Isolated(_) => {
@@ -262,8 +282,8 @@ impl RealAlg {
         // plausibly equal.
         let a = self.clone();
         let b = other.clone();
-        let quarter: Rat = "1/4".parse().expect("const");
-        let fallback: Rat = "1/1024".parse().expect("const");
+        let quarter = Rat::from_ints(1, 4);
+        let fallback = Rat::from_ints(1, 1024);
         // `None` = not yet computed; `Some(None)` = provably distinct;
         // `Some(Some(..))` = both are roots of the gcd.
         let mut gchain: Option<Option<(UPoly, SturmChain)>> = None;
@@ -310,13 +330,20 @@ impl RealAlg {
             let _ = a.refined(&w);
             let _ = b.refined(&w);
         }
+        // cdb-lint: allow(panic) — the `for round in 0..` loop above only exits
+        // via `return`: every pair of distinct reals separates under refinement
+        // and the gcd test decides equality, so this line is never reached.
         unreachable!("refinement loop decides every comparison")
     }
 }
 
 impl fmt::Display for RealAlg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &*self.loc.lock().expect("RealAlg lock poisoned") {
+        match &*self
+            .loc
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
             RootLocation::Exact(r) => write!(f, "{r}"),
             RootLocation::Isolated(iv) => {
                 write!(f, "root of {} in {}", self.poly, iv)
@@ -455,7 +482,7 @@ impl NumberField {
                     self.alpha
                         .loc
                         .lock()
-                        .expect("RealAlg lock poisoned")
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
                         .clone(),
                 )),
             },
@@ -622,7 +649,7 @@ impl AlgUPoly {
     /// Sturm chain in `Q(α)[y]`.
     fn sturm_chain(&self) -> Vec<AlgUPoly> {
         let mut seq = vec![self.clone(), self.derivative()];
-        while !seq.last().unwrap().is_zero() {
+        while seq.last().is_some_and(|tail| !tail.is_zero()) {
             let n = seq.len();
             let (_, r) = seq[n - 2].divrem(&seq[n - 1]);
             if r.is_zero() {
@@ -665,7 +692,7 @@ impl AlgUPoly {
         let f = &self.field;
         let d = self.coeffs.len() - 1;
         // Approximate |c_i(α)| from above, |c_d(α)| from below.
-        let eps: Rat = "1/1048576".parse().unwrap();
+        let eps = Rat::from_ints(1, 1 << 20);
         let alpha = f.alpha().refined(&eps);
         let iv = alpha.interval();
         let lead_iv = self.coeffs[d].rep.eval_interval(&iv);
@@ -679,7 +706,7 @@ impl AlgUPoly {
             if liv.sign().is_some() && liv.sign() != Some(Sign::Zero) {
                 break;
             }
-            let w = &a.interval().width() * &"1/16".parse().unwrap();
+            let w = &a.interval().width() * &Rat::from_ints(1, 16);
             let w = if w.is_zero() { break } else { w };
             a = a.refined(&w);
         }
@@ -709,11 +736,11 @@ impl AlgUPoly {
             return Vec::new();
         }
         let sf = self.squarefree();
-        if sf.coeffs.len() == 2 {
+        if let [c0, c1] = sf.coeffs.as_slice() {
             // Linear with algebraic coefficients: root = −c0/c1 ∈ Q(α); only
             // report as exact when rational.
             let f = &sf.field;
-            let root = f.neg(&f.div(&sf.coeffs[0], &sf.coeffs[1]));
+            let root = f.neg(&f.div(c0, c1));
             if root.rep.is_constant() {
                 return vec![RootLocation::Exact(root.rep.coeff(0))];
             }

@@ -28,10 +28,14 @@ pub fn mgcd(p: &MPoly, q: &MPoly) -> MPoly {
         return MPoly::constant(Rat::one(), p.nvars());
     }
     // Main variable: highest-index variable used by either.
-    let v = (0..p.nvars())
+    let Some(v) = (0..p.nvars())
         .rev()
         .find(|&i| p.uses_var(i) || q.uses_var(i))
-        .expect("nonconstant polynomials use a variable");
+    else {
+        // Unreachable: both were checked nonconstant above, and a
+        // nonconstant polynomial uses some variable. Constant gcd is inert.
+        return MPoly::constant(Rat::one(), p.nvars());
+    };
     if !p.uses_var(v) || !q.uses_var(v) {
         // One of them is free of v: gcd divides the content of the other.
         let (with_v, without) = if p.uses_var(v) { (p, q) } else { (q, p) };
@@ -135,10 +139,10 @@ pub fn squarefree_part(p: &MPoly) -> MPoly {
     if p.is_zero() || p.is_constant() {
         return p.clone();
     }
-    let v = (0..p.nvars())
-        .rev()
-        .find(|&i| p.uses_var(i))
-        .expect("nonconstant");
+    let Some(v) = (0..p.nvars()).rev().find(|&i| p.uses_var(i)) else {
+        // Unreachable: `p` was checked nonconstant above.
+        return p.clone();
+    };
     let cont = content_wrt(p, v);
     let pp = p.div_exact(&cont);
     let sf_cont = squarefree_part(&cont);

@@ -212,10 +212,12 @@ impl MPoly {
             .zip(&max_exp)
             .map(|(x, &me)| {
                 let mut tab = Vec::with_capacity(me as usize + 1);
-                tab.push(Rat::one());
+                let mut pw = Rat::one();
                 for _ in 0..me {
-                    tab.push(tab.last().unwrap() * x);
+                    tab.push(pw.clone());
+                    pw = &pw * x;
                 }
+                tab.push(pw);
                 tab
             })
             .collect();
@@ -352,15 +354,12 @@ impl MPoly {
         }
         let mut rem = self.clone();
         let mut quot = MPoly::zero(self.nvars);
-        let (dm, dc) = {
-            let (m, c) = div.leading_term().expect("nonzero divisor");
-            (m.clone(), c.clone())
+        let Some((dm, dc)) = div.leading_term().map(|(m, c)| (m.clone(), c.clone())) else {
+            // Unreachable after the zero checks above; a zero divisor is
+            // already rejected by the assert, so an empty quotient is inert.
+            return quot;
         };
-        while !rem.is_zero() {
-            let (rm, rc) = {
-                let (m, c) = rem.leading_term().expect("nonzero remainder");
-                (m.clone(), c.clone())
-            };
+        while let Some((rm, rc)) = rem.leading_term().map(|(m, c)| (m.clone(), c.clone())) {
             let mut qm = rm.clone();
             let mut divisible = true;
             for (q, d) in qm.iter_mut().zip(&dm) {
@@ -399,7 +398,7 @@ impl MPoly {
             g = g.gcd((c * &lr).numer());
         }
         let scale = &lr / &Rat::from(g);
-        let lead_sign = self.leading_term().expect("nonzero").1.sign();
+        let lead_sign = self.leading_term().map_or(Sign::Zero, |(_, c)| c.sign());
         let scale = if lead_sign == Sign::Neg {
             -scale
         } else {

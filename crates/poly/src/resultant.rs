@@ -28,12 +28,12 @@ pub fn resultant(p: &MPoly, q: &MPoly, var: usize) -> MPoly {
     if m == 0 && n == 0 {
         return MPoly::constant(Rat::one(), nvars);
     }
-    if m == 0 {
-        // res(c, q) = c^deg(q) — binary exponentiation via MPoly::pow.
-        return pc[0].pow(n as u32);
+    // res(c, q) = c^deg(q) — binary exponentiation via MPoly::pow.
+    if let [c] = pc.as_slice() {
+        return c.pow(n as u32);
     }
-    if n == 0 {
-        return qc[0].pow(m as u32);
+    if let [c] = qc.as_slice() {
+        return c.pow(m as u32);
     }
     // Sylvester matrix: n rows of p's coefficients, m rows of q's, each row
     // listing coefficients from the highest power.
@@ -60,6 +60,8 @@ pub fn discriminant(p: &MPoly, var: usize) -> MPoly {
     assert!(d >= 1, "discriminant needs degree >= 1 in the variable");
     let dp = p.derivative(var);
     let res = resultant(p, &dp, var);
+    // cdb-lint: allow(panic) — `d >= 1` is asserted above, so the coefficient
+    // list has at least two entries and `pop` cannot fail.
     let lc = p.as_upoly_in(var).pop().expect("nonzero degree");
     let q = res.div_exact(&lc);
     if (u64::from(d) * (u64::from(d) - 1) / 2) % 2 == 1 {
@@ -78,9 +80,9 @@ pub fn bareiss_determinant(mut m: Vec<Vec<MPoly>>) -> MPoly {
         n > 0 && m.iter().all(|r| r.len() == n),
         "square matrix required"
     );
-    let nvars = m[0][0].nvars();
+    let nvars = m[0][0].nvars(); // cdb-lint: allow(panic) — square + nonempty asserted above
     if n == 1 {
-        return m[0][0].clone();
+        return m[0][0].clone(); // cdb-lint: allow(panic) — square + nonempty asserted above
     }
     let mut sign_flip = false;
     let mut prev = MPoly::constant(Rat::one(), nvars);

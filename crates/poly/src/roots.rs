@@ -82,9 +82,9 @@ pub fn isolate_real_roots(p: &UPoly) -> Vec<RootLocation> {
             // not just of the deflated `sf`).
             let exacts: Vec<Rat> = out[..split]
                 .iter()
-                .map(|l| match l {
-                    RootLocation::Exact(r) => r.clone(),
-                    RootLocation::Isolated(_) => unreachable!(),
+                .filter_map(|l| match l {
+                    RootLocation::Exact(r) => Some(r.clone()),
+                    RootLocation::Isolated(_) => None,
                 })
                 .collect();
             for loc in &mut out[split..] {

@@ -45,8 +45,9 @@ impl SturmChain {
             } else {
                 prim
             };
+            let done = signed.is_constant();
             seq.push(signed);
-            if seq.last().unwrap().is_constant() {
+            if done {
                 break;
             }
         }

@@ -113,8 +113,10 @@ impl UPoly {
 
     /// Horner evaluation at an `f64` point (fast, approximate).
     #[must_use]
+    // cdb-lint: allow(float) — approximate fast path for diagnostics/plotting;
+    // every exact decision goes through `sign_at`/`eval_interval` instead
     pub fn eval_f64(&self, x: f64) -> f64 {
-        let mut acc = 0.0;
+        let mut acc = 0.0; // cdb-lint: allow(float) — same approximate fast path
         for c in self.coeffs.iter().rev() {
             acc = acc * x + c.to_f64();
         }

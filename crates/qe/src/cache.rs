@@ -40,6 +40,11 @@ use cdb_poly::resultant as resfn;
 use cdb_poly::sturm::SturmChain;
 use cdb_poly::{MPoly, UPoly};
 use std::collections::hash_map::DefaultHasher;
+#[allow(clippy::disallowed_types)]
+// cdb-lint: allow(determinism) — bounded memo table: access is by key only,
+// iteration happens solely to pick the LRU victim (recency ticks are unique,
+// so the minimum is order-independent), and cached values are pure functions
+// of the key, so cache contents can never alter a result.
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -78,6 +83,8 @@ struct Entry {
     last_used: u64,
 }
 
+#[allow(clippy::disallowed_types)]
+// cdb-lint: allow(determinism) — see the `use` above: keyed access only.
 type Shard = Mutex<HashMap<Key, Entry>>;
 
 /// Sharded, thread-safe, size-bounded memo-cache for resultants,
@@ -125,7 +132,11 @@ impl AlgebraicCache {
     #[must_use]
     pub fn with_capacity(capacity: usize) -> AlgebraicCache {
         let shards: Vec<Shard> = (0..SHARD_COUNT)
-            .map(|_| Mutex::new(HashMap::new()))
+            .map(|_| {
+                #[allow(clippy::disallowed_types)]
+                // cdb-lint: allow(determinism) — see the `use` above: keyed access only.
+                Mutex::new(HashMap::new())
+            })
             .collect();
         AlgebraicCache {
             shards: shards.into(),
@@ -145,30 +156,41 @@ impl AlgebraicCache {
 
     /// Look up `key`, or compute it with `f` (outside the shard lock) and
     /// insert, evicting the shard's least-recently-used entry when full.
-    /// Pure `f` makes the compute-twice race benign.
+    /// Pure `f` makes the compute-twice race benign. A poisoned shard holds
+    /// a structurally valid map (std's `HashMap` never unwinds mid-rehash
+    /// into an invalid state) of fully-constructed pure entries, so poison
+    /// recovery is sound here.
     fn get_or_insert(&self, key: Key, f: impl FnOnce() -> Value) -> Value {
         let shard = self.shard_of(&key);
-        if let Some(e) = shard.lock().expect("cache shard poisoned").get_mut(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            e.last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        if let Some(e) = shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get_mut(&key)
+        {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+            e.last_used = self.tick.fetch_add(1, Ordering::SeqCst);
             return e.value.clone();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::SeqCst);
         let v = f();
-        let mut guard = shard.lock().expect("cache shard poisoned");
+        let mut guard = shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if !guard.contains_key(&key) && guard.len() >= self.per_shard_capacity {
             // Evict the LRU entry (O(shard) scan — shards are small and
             // eviction is the rare path, so a scan beats an intrusive list).
+            // Recency ticks are unique, so the minimum is iteration-order
+            // independent.
             if let Some(victim) = guard
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
             {
                 guard.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::SeqCst);
             }
         }
-        let last_used = self.tick.fetch_add(1, Ordering::Relaxed);
+        let last_used = self.tick.fetch_add(1, Ordering::SeqCst);
         guard
             .entry(key)
             .or_insert(Entry {
@@ -187,6 +209,9 @@ impl AlgebraicCache {
         });
         match v {
             Value::Poly(r) => r,
+            // cdb-lint: allow(panic) — Key::Resultant is only ever inserted
+            // with Value::Poly two lines above; the pairing is local to this
+            // file and enforced by these three accessors.
             Value::Sturm(_) => unreachable!("resultant key holds a polynomial"),
         }
     }
@@ -200,6 +225,8 @@ impl AlgebraicCache {
         });
         match v {
             Value::Poly(r) => r,
+            // cdb-lint: allow(panic) — Key::Discriminant is only ever
+            // inserted with Value::Poly (see `resultant` above).
             Value::Sturm(_) => unreachable!("discriminant key holds a polynomial"),
         }
     }
@@ -213,6 +240,8 @@ impl AlgebraicCache {
         });
         match v {
             Value::Sturm(c) => c,
+            // cdb-lint: allow(panic) — Key::Sturm is only ever inserted with
+            // Value::Sturm (see `resultant` above).
             Value::Poly(_) => unreachable!("sturm key holds a chain"),
         }
     }
@@ -220,19 +249,19 @@ impl AlgebraicCache {
     /// Total lookups that found an entry.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.load(Ordering::SeqCst)
     }
 
     /// Total lookups that had to compute.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.load(Ordering::SeqCst)
     }
 
     /// Total entries displaced by the size bound.
     #[must_use]
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.load(Ordering::SeqCst)
     }
 
     /// Total entry capacity across all shards.
@@ -246,7 +275,11 @@ impl AlgebraicCache {
     pub fn shard_entry_counts(&self) -> Vec<usize> {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
             .collect()
     }
 

@@ -197,7 +197,7 @@ fn build_level(cad: &Cad, l: usize, ctx: &QeContext) -> Result<Vec<CadCell>, QeE
     let total = AtomicUsize::new(0);
     let indexed: Vec<(usize, &CadCell)> = parents.iter().enumerate().collect();
     let per_parent = crate::par::par_map_result(&indexed, workers, |&(pi, parent)| {
-        let base = total.load(Ordering::Relaxed);
+        let base = total.load(Ordering::SeqCst);
         let cells = lift_parent(
             cad,
             l,
@@ -210,7 +210,7 @@ fn build_level(cad: &Cad, l: usize, ctx: &QeContext) -> Result<Vec<CadCell>, QeE
             base,
             ctx,
         )?;
-        total.fetch_add(cells.len(), Ordering::Relaxed);
+        total.fetch_add(cells.len(), Ordering::SeqCst);
         Ok(cells)
     })?;
     Ok(per_parent.into_iter().flatten().collect())

@@ -32,6 +32,9 @@ impl Coord {
 
     /// `f64` approximation (for reporting).
     #[must_use]
+    // cdb-lint: allow(float) — display/reporting widening only: the value
+    // feeds `Debug` output and CLI summaries, never a sign decision or a
+    // stored relation (those go through `interval()` / exact arithmetic).
     pub fn to_f64(&self) -> f64 {
         match self {
             Coord::Rat(r) => r.to_f64(),
@@ -105,11 +108,16 @@ pub fn sign_at(
     if let Some(c) = q.to_constant() {
         return Ok(c.sign());
     }
-    match algs.len() {
-        0 => unreachable!("nonconstant polynomial with no remaining variables"),
-        1 => {
-            let (v, alpha) = &algs[0];
-            let u = q.to_upoly_in(*v).expect("single remaining variable");
+    match algs.as_slice() {
+        [] => Err(QeError::Unsupported(format!(
+            "sign_at: nonconstant polynomial {q} with no remaining variables"
+        ))),
+        [(v, alpha)] => {
+            let u = q.to_upoly_in(*v).ok_or_else(|| {
+                QeError::Unsupported(format!(
+                    "sign_at: {q} not univariate in its single remaining variable"
+                ))
+            })?;
             Ok(alpha.sign_of(&u))
         }
         _ => sign_by_refinement(&q, &algs),
@@ -179,6 +187,9 @@ fn eval_fintv(q: &MPoly, algs: &[(usize, RealAlg)]) -> FIntv {
             let (_, h) = hulls
                 .iter()
                 .find(|(v, _)| *v == i)
+                // cdb-lint: allow(panic) — a missing enclosure is an internal
+                // invariant violation; treating the factor as 1 would return a
+                // wrong *sign*, so failing loudly is the safe behaviour.
                 .unwrap_or_else(|| panic!("variable {i} has no enclosure"));
             term = term.mul(&h.pow(e));
         }
@@ -202,6 +213,8 @@ fn eval_interval(q: &MPoly, algs: &[(usize, RealAlg)]) -> RatInterval {
             let (_, a) = algs
                 .iter()
                 .find(|(v, _)| *v == i)
+                // cdb-lint: allow(panic) — same invariant as `eval_fintv`:
+                // a silent fallback would yield a wrong sign, so fail loudly.
                 .unwrap_or_else(|| panic!("variable {i} has no enclosure"));
             term = term.mul(&a.interval().pow(e));
         }

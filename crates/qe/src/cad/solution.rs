@@ -64,7 +64,9 @@ pub fn evaluate_truth(
             parent_count
         ];
         for (cell, t) in cells.iter().zip(&truth) {
-            let p = cell.parent.expect("non-base cells have parents");
+            let p = cell.parent.ok_or_else(|| {
+                QeError::Unsupported("truth fold: non-base cell without a parent".to_owned())
+            })?;
             match q {
                 Quantifier::Exists => folded[p] = folded[p] || *t,
                 Quantifier::Forall => folded[p] = folded[p] && *t,

@@ -123,12 +123,14 @@ fn roots_in_fiber(
 ) -> Result<FiberRoots, QeError> {
     let (q, algs) = substitute_rationals(p, vars, sample);
     ctx.observe_poly(&q)?;
-    match algs.len() {
-        0 => {
+    match algs.as_slice() {
+        [] => {
             // Purely rational fiber polynomial.
-            let u = q
-                .to_upoly_in(yvar)
-                .expect("only the stack variable remains");
+            let u = q.to_upoly_in(yvar).ok_or_else(|| {
+                QeError::Unsupported(
+                    "fiber polynomial kept variables besides the stack variable".into(),
+                )
+            })?;
             if u.is_zero() {
                 return Ok(FiberRoots::Nullified);
             }
@@ -137,11 +139,13 @@ fn roots_in_fiber(
             }
             Ok(FiberRoots::Roots(RealAlg::roots_of(&u)))
         }
-        1 => {
-            let (avar, alpha) = algs[0].clone();
+        [one] => {
+            let (avar, alpha) = one.clone();
             if !q.uses_var(yvar) {
                 // Fiber polynomial is a function of α only.
-                let u = q.to_upoly_in(avar).expect("only alpha remains");
+                let u = q.to_upoly_in(avar).ok_or_else(|| {
+                    QeError::Unsupported("fiber polynomial kept variables besides alpha".into())
+                })?;
                 return Ok(if alpha.sign_of(&u) == Sign::Zero {
                     FiberRoots::Nullified
                 } else {
@@ -304,20 +308,22 @@ fn roots_multi_alg(
 /// Rational points strictly interleaving the candidates: `seps[j] < root_j <
 /// seps[j+1]`, and no separator is a root of the candidates' polynomial.
 fn separators(candidates: &[RealAlg]) -> Vec<Rat> {
+    let (Some(first), Some(last)) = (candidates.first(), candidates.last()) else {
+        return Vec::new(); // no roots → no separators needed
+    };
     let mut seps = Vec::with_capacity(candidates.len() + 1);
-    let first = candidates.first().expect("nonempty").interval();
-    seps.push(&first.lo().clone() - &Rat::one());
+    seps.push(&first.interval().lo().clone() - &Rat::one());
     for w in candidates.windows(2) {
-        let b = w[0].interval().hi().clone();
-        let a = w[1].interval().lo().clone();
+        let [below, above] = w else { continue };
+        let b = below.interval().hi().clone();
+        let a = above.interval().lo().clone();
         if b == a {
             seps.push(b);
         } else {
             seps.push(Rat::midpoint(&b, &a));
         }
     }
-    let last = candidates.last().expect("nonempty").interval();
-    seps.push(&last.hi().clone() + &Rat::one());
+    seps.push(&last.interval().hi().clone() + &Rat::one());
     seps
 }
 
@@ -327,10 +333,11 @@ fn sign_nonzero_at(q: &MPoly, algs: &[(usize, RealAlg)], ctx: &QeContext) -> Res
         return Ok(c.sign());
     }
     let used: Vec<&(usize, RealAlg)> = algs.iter().filter(|(v, _)| q.uses_var(*v)).collect();
-    if used.len() == 1 {
-        let (v, a) = used[0];
-        let u = q.to_upoly_in(*v).expect("single variable");
-        return Ok(a.sign_of(&u));
+    if let [(v, a)] = used.as_slice() {
+        if let Some(u) = q.to_upoly_in(*v) {
+            return Ok(a.sign_of(&u));
+        }
+        // Not univariate after all — fall through to interval refinement.
     }
     // Multi-variable refinement (value is nonzero, so this terminates).
     let coords: Vec<Coord> = algs.iter().map(|(_, a)| Coord::Alg(a.clone())).collect();
@@ -342,20 +349,19 @@ fn sign_nonzero_at(q: &MPoly, algs: &[(usize, RealAlg)], ctx: &QeContext) -> Res
 /// one between each adjacent pair, one above. For an empty stack the single
 /// sector sample is 0.
 pub fn sector_samples(sections: &mut [StackSection]) -> Vec<Rat> {
-    if sections.is_empty() {
-        return vec![Rat::zero()];
-    }
     separate(sections);
+    let (Some(first), Some(last)) = (sections.first(), sections.last()) else {
+        return vec![Rat::zero()];
+    };
     let mut out = Vec::with_capacity(sections.len() + 1);
-    let first = sections[0].root.interval();
-    out.push(Rat::from(first.lo().floor()) - Rat::one());
-    for i in 0..sections.len() - 1 {
-        let b = sections[i].root.interval().hi().clone();
-        let a = sections[i + 1].root.interval().lo().clone();
+    out.push(Rat::from(first.root.interval().lo().floor()) - Rat::one());
+    for w in sections.windows(2) {
+        let [below, above] = w else { continue };
+        let b = below.root.interval().hi().clone();
+        let a = above.root.interval().lo().clone();
         out.push(Rat::midpoint(&b, &a));
     }
-    let last = sections[sections.len() - 1].root.interval();
-    out.push(Rat::from(last.hi().ceil()) + Rat::one());
+    out.push(Rat::from(last.root.interval().hi().ceil()) + Rat::one());
     out
 }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 //! `cdb-qe`: quantifier elimination engines and the query-evaluation
@@ -76,34 +78,37 @@ impl fmt::Display for QeError {
 
 impl std::error::Error for QeError {}
 
-/// A thread-safe statistic counter (relaxed atomic).
+/// A thread-safe statistic counter.
 ///
 /// Keeps the `get`/`set` API the old `Cell<u64>` counters exposed, so
 /// observers in other crates read it unchanged, while letting parallel
 /// elimination workers update it through a shared `&QeContext`.
+/// Sequentially consistent per the determinism rule (cdb-lint `determinism`):
+/// counters feed budget decisions via [`QeContext::observe_bits`], so their
+/// ordering must not depend on the memory model.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
 
 impl Counter {
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::SeqCst)
     }
 
     /// Overwrite the value (single-writer use only; racing writers should
     /// use [`Counter::add`] or [`Counter::record_max`]).
     pub fn set(&self, v: u64) {
-        self.0.store(v, Ordering::Relaxed);
+        self.0.store(v, Ordering::SeqCst);
     }
 
     /// Atomically increment by `v`.
     pub fn add(&self, v: u64) {
-        self.0.fetch_add(v, Ordering::Relaxed);
+        self.0.fetch_add(v, Ordering::SeqCst);
     }
 
     /// Atomically raise the value to at least `v`.
     pub fn record_max(&self, v: u64) {
-        self.0.fetch_max(v, Ordering::Relaxed);
+        self.0.fetch_max(v, Ordering::SeqCst);
     }
 }
 

@@ -115,13 +115,17 @@ fn isolate(atom: &Atom, var: usize) -> Result<Option<Isolated>, QeError> {
         return Ok(None);
     }
     let coeffs = atom.poly.as_upoly_in(var);
-    debug_assert_eq!(coeffs.len(), 2);
-    let coeff = coeffs[1]
+    // Degree ≤ 1 and `uses_var` hold above, so the coefficient vector is
+    // exactly [rest, coeff]; anything else is a nonlinear atom.
+    let [rest, lead] = coeffs.as_slice() else {
+        return Err(QeError::NonLinear(atom.poly.to_string()));
+    };
+    let coeff = lead
         .to_constant()
         .ok_or_else(|| QeError::NonLinear(atom.poly.to_string()))?;
     Ok(Some(Isolated {
         coeff,
-        rest: coeffs[0].clone(),
+        rest: rest.clone(),
         op: atom.op,
     }))
 }
@@ -159,7 +163,11 @@ fn eliminate_from_tuple(
                     RelOp::Le => uppers.push((bound, false)),
                     RelOp::Gt => lowers.push((bound, true)),
                     RelOp::Ge => lowers.push((bound, false)),
-                    RelOp::Ne => unreachable!("Ne split beforehand"),
+                    RelOp::Ne => {
+                        return Err(QeError::Unsupported(
+                            "Fourier–Motzkin: `≠` atom not split before elimination".into(),
+                        ))
+                    }
                 }
             }
         }

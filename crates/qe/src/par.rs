@@ -29,35 +29,49 @@ pub fn par_map_result<T: Sync, U: Send>(
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
+    // SeqCst per the determinism rule: claim order and the stop flag gate
+    // which slots get filled, so their ordering must not be architecture-
+    // dependent. A poisoned slot mutex means a worker panicked mid-store;
+    // the stored value (if any) is a fully-written `Some(r)`, so recovering
+    // the inner value is sound.
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let slots: Vec<Mutex<Option<Result<U, QeError>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
-                if stop.load(Ordering::Relaxed) {
+                if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                let i = next.fetch_add(1, Ordering::Relaxed);
+                let i = next.fetch_add(1, Ordering::SeqCst);
                 if i >= n {
                     break;
                 }
                 let r = f(&items[i]);
                 if r.is_err() {
-                    stop.store(true, Ordering::Relaxed);
+                    stop.store(true, Ordering::SeqCst);
                 }
-                *slots[i].lock().expect("worker slot poisoned") = Some(r);
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
             });
         }
     });
     let mut out = Vec::with_capacity(n);
     for slot in slots {
-        match slot.into_inner().expect("worker slot poisoned") {
+        match slot
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
             Some(Ok(v)) => out.push(v),
             Some(Err(e)) => return Err(e),
             // Unclaimed slots only exist past the first error, which the
             // scan above returns before reaching them.
-            None => unreachable!("unclaimed work slot without a prior error"),
+            None => {
+                return Err(QeError::Unsupported(
+                    "parallel fan-out: unclaimed work slot without a prior error".to_owned(),
+                ))
+            }
         }
     }
     Ok(out)

@@ -11,6 +11,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cdb-lint (exact-arithmetic hygiene, determinism, panic surface)"
+cargo run -p cdb-lint --
+
 echo "==> tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q

@@ -83,7 +83,8 @@ fn datalog_over_facade_database() {
                 vec![0],
                 vec![Literal::Rel("Start".into(), vec![0])],
                 1,
-            ),
+            )
+            .unwrap(),
             Rule::new(
                 "Reach",
                 vec![1],
@@ -92,7 +93,8 @@ fn datalog_over_facade_database() {
                     Literal::Rel("Step".into(), vec![0, 1]),
                 ],
                 2,
-            ),
+            )
+            .unwrap(),
         ],
     };
     let ctx = QeContext::exact();
