@@ -1,12 +1,14 @@
-//! `repro` — regenerate every table/figure of the reproduction (E1–E18).
+//! `repro` — regenerate every table/figure of the reproduction (E1–E19).
 //!
 //! Usage: `cargo run --release -p cdb-bench --bin repro [-- e1 e2 …]`
 //! (no arguments = all experiments). Each experiment prints the paper's
 //! artifact next to the measured result; EXPERIMENTS.md records a full run.
 //! E16 additionally writes its parallel-QE speedup and cache statistics to
 //! `BENCH_qe.json`, E17 its naive-vs-semi-naive fixpoint comparison to
-//! `BENCH_datalog.json`, and E18 its split-word filter before/after to
-//! `BENCH_kernels.json`, all at the repository root.
+//! `BENCH_datalog.json`, E18 its split-word filter before/after to
+//! `BENCH_kernels.json`, and E19 its interned-vs-seed polynomial
+//! representation comparison to `BENCH_poly.json`, all at the repository
+//! root.
 
 use cdb_approx::modules::{approximate_on_abase, ApproxMethod};
 use cdb_approx::{sup_error, ABase, AnalyticFn};
@@ -28,10 +30,10 @@ use cdb_qe::{evaluate_query, QeContext};
 #[allow(clippy::disallowed_methods)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let known: Vec<String> = (1..=18).map(|i| format!("e{i}")).collect();
+    let known: Vec<String> = (1..=19).map(|i| format!("e{i}")).collect();
     for a in &args {
         if a != "all" && !known.iter().any(|k| k.eq_ignore_ascii_case(a)) {
-            eprintln!("unknown experiment id `{a}` (expected e1..e18 or all)");
+            eprintln!("unknown experiment id `{a}` (expected e1..e19 or all)");
             std::process::exit(2);
         }
     }
@@ -90,6 +92,9 @@ fn main() {
     }
     if want("e18") {
         e18();
+    }
+    if want("e19") {
+        e19();
     }
 }
 
@@ -587,7 +592,9 @@ fn e15() {
 }
 
 /// E16 — parallel QE pipeline: sequential-vs-parallel speedup and memo-cache
-/// hit rates on multi-disjunct workloads; results land in `BENCH_qe.json`.
+/// hit rates on multi-disjunct workloads, plus the polynomial-interner
+/// occupancy/traffic snapshot (the memo-cache's keys are interned handles);
+/// results land in `BENCH_qe.json`.
 fn e16() {
     header(
         "E16",
@@ -807,8 +814,29 @@ fn e16() {
         ));
     }
 
+    // Polynomial-interner snapshot beside the memo-cache stats: every cache
+    // key above is an interned handle (O(1) hash), so the two caches'
+    // behaviour belongs in one artifact.
+    let ist = cdb_poly::intern::stats();
+    println!(
+        "  poly interner: {} entries (peak {}), {} hits / {} misses (hit rate {}), {} evictions, ~{} bytes shared",
+        ist.entries,
+        ist.peak_entries,
+        ist.hits,
+        ist.misses,
+        ist.hit_rate(),
+        ist.evictions,
+        ist.bytes_shared_estimate
+    );
     let json = format!(
-        "{{\n  \"experiment\": \"e16_parallel_qe\",\n  \"hardware_threads\": {hw},\n  \"workloads\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"e16_parallel_qe\",\n  \"hardware_threads\": {hw},\n  \"interner\": {{\"entries\": {}, \"peak_entries\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {}, \"evictions\": {}, \"bytes_shared_estimate\": {}}},\n  \"workloads\": [\n    {}\n  ]\n}}\n",
+        ist.entries,
+        ist.peak_entries,
+        ist.hits,
+        ist.misses,
+        ist.hit_rate(),
+        ist.evictions,
+        ist.bytes_shared_estimate,
         entries.join(",\n    ")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_qe.json");
@@ -1111,5 +1139,395 @@ fn e18() {
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    println!("  wrote {path}");
+}
+
+/// E19 workload-B helper: a warm memo-table (keys inserted once) served
+/// `reps` times, returning the median lookup wall-clock and whether every
+/// lookup produced the inserted value. Keyed access only — iteration order
+/// never reaches any output (the same contract as cdb-qe's memo shards),
+/// hence the use-site allow.
+#[allow(clippy::disallowed_types)]
+fn warm_memo_lookups<K: std::hash::Hash + Eq, V: PartialEq>(
+    keys: &[K],
+    values: &[V],
+    reps: u32,
+) -> (std::time::Duration, bool) {
+    let map: std::collections::HashMap<&K, &V> = keys.iter().zip(values.iter()).collect();
+    let ok = keys
+        .iter()
+        .zip(values)
+        .all(|(k, v)| map.get(k).is_some_and(|got| **got == *v));
+    let t = time_median(3, || {
+        let mut served = 0usize;
+        for _ in 0..reps {
+            for k in keys {
+                if map.contains_key(k) {
+                    served += 1;
+                }
+            }
+        }
+        let _ = std::hint::black_box(served);
+    });
+    (t, ok)
+}
+
+/// E19 — hash-consed polynomial interner + flat-term representation: the
+/// interned `MPoly` against the retained seed representation
+/// (`cdb_poly::refimpl`) on the E16 conic-CAD workload, warm-cache repeated
+/// queries, the cache-key hashing cost, and the raw `mul`/`resultant`/`eval`
+/// kernels; results land in `BENCH_poly.json`.
+///
+/// Interning changes sharing, never values (DESIGN.md §10), so every
+/// workload asserts byte-identical output before reporting its speedup.
+fn e19() {
+    use cdb_poly::intern;
+    use cdb_poly::refimpl::{ref_resultant, RefPoly};
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    header(
+        "E19",
+        "polynomial interner + flat terms (interned vs seed representation, exact outputs)",
+    );
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("  hardware threads: {hw} (all runs sequential: workers=1)");
+    let mut entries: Vec<String> = Vec::new();
+    let mut all_equal = true;
+
+    // Workload A: the E16 conic-CAD workload (6 random conics, ∃x₁),
+    // interner on vs off. Hash-consing must be invisible to results: byte
+    // identity is checked on the printed output relation.
+    {
+        let rel = gen_poly_relation(79, 6, 2, 3);
+        let run = || {
+            let mut db = Database::new();
+            db.insert("R", rel.clone());
+            let q = Formula::exists(1, Formula::Rel("R".into(), vec![0, 1]));
+            let ctx = QeContext::exact().with_workers(1);
+            let out = evaluate_query(&db, &q, 2, &ctx).unwrap();
+            format!("{}", out.relation)
+        };
+        intern::set_enabled(false);
+        let s_off = run();
+        let t_off = time_median(3, || {
+            let _ = run();
+        });
+        intern::set_enabled(true);
+        intern::clear();
+        intern::reset_metrics();
+        let s_on = run();
+        let st = intern::stats();
+        let t_on = time_median(3, || {
+            let _ = run();
+        });
+        let equal = s_off == s_on;
+        assert!(
+            equal,
+            "interned CAD output diverged from uninterned (byte-level)"
+        );
+        all_equal &= equal;
+        let speedup = t_off.as_secs_f64() / t_on.as_secs_f64().max(1e-12);
+        println!(
+            "  CAD, 6 conic disjuncts: interner off {t_off:.2?}  on {t_on:.2?}  speedup {speedup:.2}x  outputs byte-equal: {equal}"
+        );
+        println!(
+            "  interner: {} entries (peak {}), {} hits / {} misses (hit rate {}), {} evictions",
+            st.entries,
+            st.peak_entries,
+            st.hits,
+            st.misses,
+            st.hit_rate(),
+            st.evictions
+        );
+        entries.push(format!(
+            "{{\"name\": \"cad_6_conic_disjuncts\", \"disjuncts\": 6, \"workers\": 1, \"interner_off_ms\": {:.3}, \"interner_on_ms\": {:.3}, \"speedup\": {speedup:.3}, \"interner_entries\": {}, \"interner_peak_entries\": {}, \"interner_hits\": {}, \"interner_misses\": {}, \"interner_hit_rate\": {}, \"outputs_equal\": {equal}}}",
+            t_off.as_secs_f64() * 1e3,
+            t_on.as_secs_f64() * 1e3,
+            st.entries,
+            st.peak_entries,
+            st.hits,
+            st.misses,
+            st.hit_rate()
+        ));
+    }
+
+    // Workload B: repeated warm-cache queries — a projection memo-table
+    // (all 66 pairwise resultants of 12 random degree-4 conics, warmed
+    // once) served repeatedly under each key representation. A warm hit
+    // costs one key hash plus one equality check: the interned handle
+    // writes a precomputed u64 and compares by pointer, while the seed key
+    // re-walks its whole term map for both. This is the per-query cost the
+    // new representation removes from the server scenario.
+    {
+        let polys: Vec<MPoly> = gen_poly_relation(91, 12, 4, 10)
+            .tuples()
+            .iter()
+            .map(|t| t.atoms()[0].poly.clone())
+            .collect();
+        let ref_polys: Vec<RefPoly> = polys.iter().map(RefPoly::from_mpoly).collect();
+        let pairs: Vec<(usize, usize)> = (0..polys.len())
+            .flat_map(|i| (i + 1..polys.len()).map(move |j| (i, j)))
+            .collect();
+        let keys: Vec<(MPoly, MPoly)> = pairs
+            .iter()
+            .map(|&(i, j)| (polys[i].clone(), polys[j].clone()))
+            .collect();
+        let vals: Vec<MPoly> = pairs
+            .iter()
+            .map(|&(i, j)| cdb_poly::resultant::resultant(&polys[i], &polys[j], 1))
+            .collect();
+        let ref_keys: Vec<(RefPoly, RefPoly)> = pairs
+            .iter()
+            .map(|&(i, j)| (ref_polys[i].clone(), ref_polys[j].clone()))
+            .collect();
+        let ref_vals: Vec<RefPoly> = pairs
+            .iter()
+            .map(|&(i, j)| ref_resultant(&ref_polys[i], &ref_polys[j], 1))
+            .collect();
+        let t_direct = time_median(3, || {
+            for &(i, j) in &pairs {
+                let _ = cdb_poly::resultant::resultant(&polys[i], &polys[j], 1);
+            }
+        });
+        let reps = 300u32;
+        let (t_interned, ok_new) = warm_memo_lookups(&keys, &vals, reps);
+        let (t_seed, ok_seed) = warm_memo_lookups(&ref_keys, &ref_vals, reps);
+        let equal = ok_new
+            && ok_seed
+            && vals
+                .iter()
+                .zip(&ref_vals)
+                .all(|(a, b)| a.to_string() == b.to_string());
+        assert!(equal, "warm-cache lookups diverged between representations");
+        all_equal &= equal;
+        let lookups = reps as usize * keys.len();
+        let speedup = t_seed.as_secs_f64() / t_interned.as_secs_f64().max(1e-12);
+        let per_pass = t_interned.as_secs_f64() / f64::from(reps);
+        let vs_recompute = t_direct.as_secs_f64() / per_pass.max(1e-12);
+        println!(
+            "  warm-cache repeated queries, {lookups} lookups over {} resultants: seed keys {t_seed:.2?}  interned keys {t_interned:.2?}  speedup {speedup:.2}x  outputs equal: {equal}",
+            keys.len()
+        );
+        println!(
+            "  (one warm pass vs recomputing all {} resultants: {vs_recompute:.0}x)",
+            keys.len()
+        );
+        entries.push(format!(
+            "{{\"name\": \"warm_cache_repeated_query\", \"resultant_pairs\": {}, \"repetitions\": {reps}, \"lookups\": {lookups}, \"direct_ms\": {:.3}, \"seed_keys_ms\": {:.3}, \"interned_keys_ms\": {:.3}, \"speedup\": {speedup:.3}, \"speedup_vs_recompute\": {vs_recompute:.3}, \"outputs_equal\": {equal}}}",
+            keys.len(),
+            t_direct.as_secs_f64() * 1e3,
+            t_seed.as_secs_f64() * 1e3,
+            t_interned.as_secs_f64() * 1e3
+        ));
+    }
+
+    // Workload C: cache-key hashing cost in isolation. The seed
+    // representation re-walks every (monomial, coefficient) pair on each
+    // `Hash`; the interned handle writes one precomputed u64. Keys are the
+    // squares of 12 random degree-4 bivariate polynomials (dozens of terms
+    // each — the size a projection memo-key actually has).
+    {
+        let pool: Vec<MPoly> = gen_poly_relation(91, 12, 4, 10)
+            .tuples()
+            .iter()
+            .map(|t| t.atoms()[0].poly.clone())
+            .collect();
+        let keys: Vec<MPoly> = pool.iter().map(|p| p * p).collect();
+        let ref_keys: Vec<RefPoly> = keys.iter().map(RefPoly::from_mpoly).collect();
+        let equal = keys
+            .iter()
+            .zip(&ref_keys)
+            .all(|(a, b)| a.to_string() == b.to_string());
+        assert!(equal, "seed conversion of hashing keys diverged");
+        all_equal &= equal;
+        let rounds = 4_000u32;
+        let t_interned = time_median(3, || {
+            let mut acc = 0u64;
+            for _ in 0..rounds {
+                for k in &keys {
+                    let mut h = DefaultHasher::new();
+                    k.hash(&mut h);
+                    acc ^= h.finish();
+                }
+            }
+            let _ = std::hint::black_box(acc);
+        });
+        let t_seed = time_median(3, || {
+            let mut acc = 0u64;
+            for _ in 0..rounds {
+                for k in &ref_keys {
+                    let mut h = DefaultHasher::new();
+                    k.hash(&mut h);
+                    acc ^= h.finish();
+                }
+            }
+            let _ = std::hint::black_box(acc);
+        });
+        let reduction = t_seed.as_secs_f64() / t_interned.as_secs_f64().max(1e-12);
+        let hashes = rounds as usize * keys.len();
+        println!(
+            "  cache-key hashing, {hashes} hashes of {}-key set: seed {t_seed:.2?}  interned {t_interned:.2?}  cost reduction {reduction:.1}x",
+            keys.len()
+        );
+        entries.push(format!(
+            "{{\"name\": \"cache_key_hashing\", \"keys\": {}, \"hashes\": {hashes}, \"seed_ms\": {:.3}, \"interned_ms\": {:.3}, \"hash_cost_reduction\": {reduction:.3}, \"outputs_equal\": {equal}}}",
+            keys.len(),
+            t_seed.as_secs_f64() * 1e3,
+            t_interned.as_secs_f64() * 1e3
+        ));
+    }
+
+    // Workload D: the raw kernels head-to-head — all pairwise products and
+    // resultants of 12 random degree-4 bivariate polynomials, plus a 9-point
+    // grid evaluation, in both representations. Every rendered result (and
+    // every evaluated `Rat`) must agree byte-for-byte.
+    {
+        let polys: Vec<MPoly> = gen_poly_relation(91, 12, 4, 10)
+            .tuples()
+            .iter()
+            .map(|t| t.atoms()[0].poly.clone())
+            .collect();
+        let ref_polys: Vec<RefPoly> = polys.iter().map(RefPoly::from_mpoly).collect();
+        let npairs = polys.len() * (polys.len() - 1) / 2;
+        let pts: Vec<[Rat; 2]> = (-1i64..=1)
+            .flat_map(|x| (-1i64..=1).map(move |y| [Rat::from(x), Rat::from(y)]))
+            .collect();
+
+        let mul_new = || -> Vec<MPoly> {
+            let mut out = Vec::new();
+            for (i, p) in polys.iter().enumerate() {
+                for q in &polys[i + 1..] {
+                    out.push(p * q);
+                }
+            }
+            out
+        };
+        let mul_seed = || -> Vec<RefPoly> {
+            let mut out = Vec::new();
+            for (i, p) in ref_polys.iter().enumerate() {
+                for q in &ref_polys[i + 1..] {
+                    out.push(p * q);
+                }
+            }
+            out
+        };
+        let res_new = || -> Vec<MPoly> {
+            let mut out = Vec::new();
+            for (i, p) in polys.iter().enumerate() {
+                for q in &polys[i + 1..] {
+                    out.push(cdb_poly::resultant::resultant(p, q, 1));
+                }
+            }
+            out
+        };
+        let res_seed = || -> Vec<RefPoly> {
+            let mut out = Vec::new();
+            for (i, p) in ref_polys.iter().enumerate() {
+                for q in &ref_polys[i + 1..] {
+                    out.push(ref_resultant(p, q, 1));
+                }
+            }
+            out
+        };
+        let eval_new = || -> Vec<Rat> {
+            polys
+                .iter()
+                .flat_map(|p| pts.iter().map(|pt| p.eval(pt)))
+                .collect()
+        };
+        let eval_seed = || -> Vec<Rat> {
+            ref_polys
+                .iter()
+                .flat_map(|p| pts.iter().map(|pt| p.eval(pt)))
+                .collect()
+        };
+
+        let same = |a: &[MPoly], b: &[RefPoly]| {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_string() == y.to_string())
+        };
+        let mut equal = same(&mul_new(), &mul_seed());
+        equal &= same(&res_new(), &res_seed());
+        equal &= eval_new() == eval_seed();
+        assert!(equal, "raw kernel outputs diverged between representations");
+        all_equal &= equal;
+
+        let t_mul_new = time_median(5, || {
+            let _ = mul_new();
+        });
+        let t_mul_seed = time_median(5, || {
+            let _ = mul_seed();
+        });
+        let t_res_new = time_median(5, || {
+            let _ = res_new();
+        });
+        let t_res_seed = time_median(5, || {
+            let _ = res_seed();
+        });
+        let t_eval_new = time_median(5, || {
+            let _ = eval_new();
+        });
+        let t_eval_seed = time_median(5, || {
+            let _ = eval_seed();
+        });
+        let sp = |seed: std::time::Duration, new: std::time::Duration| {
+            seed.as_secs_f64() / new.as_secs_f64().max(1e-12)
+        };
+        let (sp_mul, sp_res, sp_eval) = (
+            sp(t_mul_seed, t_mul_new),
+            sp(t_res_seed, t_res_new),
+            sp(t_eval_seed, t_eval_new),
+        );
+        println!(
+            "  raw kernels, {npairs} pairs / {} grid evals:",
+            polys.len() * pts.len()
+        );
+        println!(
+            "    mul:       seed {t_mul_seed:.2?}  interned {t_mul_new:.2?}  speedup {sp_mul:.2}x"
+        );
+        println!(
+            "    resultant: seed {t_res_seed:.2?}  interned {t_res_new:.2?}  speedup {sp_res:.2}x"
+        );
+        println!(
+            "    eval:      seed {t_eval_seed:.2?}  interned {t_eval_new:.2?}  speedup {sp_eval:.2}x"
+        );
+        entries.push(format!(
+            "{{\"name\": \"raw_kernels\", \"polys\": {}, \"pairs\": {npairs}, \"grid_points\": {}, \"mul_seed_ms\": {:.3}, \"mul_interned_ms\": {:.3}, \"mul_speedup\": {sp_mul:.3}, \"resultant_seed_ms\": {:.3}, \"resultant_interned_ms\": {:.3}, \"resultant_speedup\": {sp_res:.3}, \"eval_seed_ms\": {:.3}, \"eval_interned_ms\": {:.3}, \"eval_speedup\": {sp_eval:.3}, \"outputs_equal\": {equal}}}",
+            polys.len(),
+            pts.len(),
+            t_mul_seed.as_secs_f64() * 1e3,
+            t_mul_new.as_secs_f64() * 1e3,
+            t_res_seed.as_secs_f64() * 1e3,
+            t_res_new.as_secs_f64() * 1e3,
+            t_eval_seed.as_secs_f64() * 1e3,
+            t_eval_new.as_secs_f64() * 1e3
+        ));
+    }
+
+    // CI smoke assertion: every workload produced byte-identical output.
+    assert!(
+        all_equal,
+        "some E19 workload diverged between representations"
+    );
+    let st = intern::stats();
+    println!(
+        "  overall: all outputs byte-identical; interner {} entries (peak {}), hit rate {}",
+        st.entries,
+        st.peak_entries,
+        st.hit_rate()
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e19_poly_interner\",\n  \"hardware_threads\": {hw},\n  \"interner_entries\": {},\n  \"interner_peak_entries\": {},\n  \"interner_hits\": {},\n  \"interner_misses\": {},\n  \"interner_hit_rate\": {},\n  \"interner_evictions\": {},\n  \"interner_bytes_shared_estimate\": {},\n  \"all_outputs_equal\": {all_equal},\n  \"workloads\": [\n    {}\n  ]\n}}\n",
+        st.entries,
+        st.peak_entries,
+        st.hits,
+        st.misses,
+        st.hit_rate(),
+        st.evictions,
+        st.bytes_shared_estimate,
+        entries.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_poly.json");
+    std::fs::write(path, &json).expect("write BENCH_poly.json");
     println!("  wrote {path}");
 }

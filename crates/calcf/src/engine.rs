@@ -899,7 +899,7 @@ fn mpoly_to_cterm(p: &MPoly, names: &[String]) -> CTerm {
     let mut acc = CTerm::Const(Rat::zero());
     for (mono, coeff) in p.terms() {
         let mut term = CTerm::Const(coeff.clone());
-        for (i, &e) in mono.iter().enumerate() {
+        for (i, e) in mono.exps().enumerate() {
             if e == 0 {
                 continue;
             }

@@ -192,7 +192,11 @@ fn check_panic(toks: &[Tok], out: &mut Vec<RawDiag>) {
 /// Rule L — lock discipline. Two `.lock(` acquisitions inside one
 /// statement risk deadlock under any second lock order; a `Mutex` guard
 /// bound by `let` and still live when `par_map_result` fans out serializes
-/// the pool or deadlocks it if workers need the same lock.
+/// the pool or deadlocks it if workers need the same lock. The polynomial
+/// interner's entry point (`canonicalize`, reached by every `MPoly`
+/// construction, i.e. every polynomial arithmetic op) takes an interner
+/// shard lock itself, so calling it — or naming the `intern` module in an
+/// expression — while a guard is live nests two lock scopes the same way.
 fn check_lock(toks: &[Tok], out: &mut Vec<RawDiag>) {
     // (a) nested acquisition in one statement.
     let mut locks_in_stmt = 0usize;
@@ -280,6 +284,30 @@ fn check_lock(toks: &[Tok], out: &mut Vec<RawDiag>) {
                     message: format!(
                         "`par_map_result` fan-out while mutex guard(s) `{}` may still be \
                          live: drop the guard before spawning workers",
+                        held.join("`, `")
+                    ),
+                });
+            }
+            // Interner entry points: `canonicalize(…)` (the shard-locking
+            // entry itself) or an `intern::…` path in expression position.
+            // Polynomial arithmetic interns every result, so doing either
+            // under a live guard nests the caller's lock inside the interner
+            // shard lock. `use crate::intern;` at module scope has no live
+            // guards and is not flagged.
+            TokKind::Ident(s)
+                if !guards.is_empty()
+                    && (s == "canonicalize"
+                        || (s == "intern" && punct_at(toks, i + 1) == Some(':'))) =>
+            {
+                let held: Vec<&str> = guards.iter().map(|(g, _)| g.as_str()).collect();
+                out.push(RawDiag {
+                    line: toks[i].line,
+                    rule: "lock",
+                    message: format!(
+                        "interner entry (`{}`) while mutex guard(s) `{}` may still be live: \
+                         polynomial construction takes an interner shard lock; drop the \
+                         guard first",
+                        s,
                         held.join("`, `")
                     ),
                 });

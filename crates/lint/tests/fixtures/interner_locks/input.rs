@@ -1,0 +1,35 @@
+//! Interner lock discipline: `canonicalize` (every `MPoly` construction)
+//! takes an interner shard lock, so reaching it — or any `intern::` path —
+//! while a caller-side mutex guard is live nests two lock scopes.
+
+use std::sync::Mutex;
+
+/// Interning while the registry guard is still live.
+pub fn register(registry: &Mutex<Vec<u64>>, terms: Vec<u64>) -> u64 {
+    let guard = registry.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let id = canonicalize(terms);
+    guard.len() as u64 + id
+}
+
+/// Same hazard through the module path.
+pub fn register_via_path(registry: &Mutex<Vec<u64>>, n: u64) -> bool {
+    let state = registry.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    intern::set_enabled(n > 0);
+    state.is_empty()
+}
+
+/// Dropping the guard first is clean.
+pub fn register_clean(registry: &Mutex<Vec<u64>>, terms: Vec<u64>) -> u64 {
+    let guard = registry.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let len = guard.len() as u64;
+    drop(guard);
+    len + canonicalize(terms)
+}
+
+fn canonicalize(terms: Vec<u64>) -> u64 {
+    terms.iter().sum()
+}
+
+mod intern {
+    pub fn set_enabled(_on: bool) {}
+}

@@ -17,11 +17,19 @@
 //!   used for CAD stack construction;
 //! * sparse multivariate polynomials ([`MPoly`]) with exact division, and
 //!   fraction-free (Bareiss) resultants/discriminants used by the CAD
-//!   projection operator `PROJ` ([`resultant`]).
+//!   projection operator `PROJ` ([`resultant`]);
+//! * a hash-consing **interner** ([`intern`]) behind which canonical
+//!   polynomials are stored once, so handles clone by pointer bump and
+//!   hash/compare in O(1) (DESIGN.md §10), with a packed monomial
+//!   representation ([`mono::Mono`]) and a retained seed reference
+//!   implementation ([`refimpl`]) for differential testing.
 
 pub mod algebraic;
+pub mod intern;
 pub mod mgcd;
+pub mod mono;
 pub mod mpoly;
+pub mod refimpl;
 pub mod resultant;
 pub mod roots;
 pub mod sturm;
@@ -29,6 +37,7 @@ pub mod upoly;
 
 pub use algebraic::RealAlg;
 pub use mgcd::{mgcd, squarefree_part};
-pub use mpoly::MPoly;
+pub use mono::Mono;
+pub use mpoly::{MPoly, PolyId};
 pub use roots::{isolate_real_roots, refine_to_width, RootLocation};
 pub use upoly::UPoly;

@@ -1,0 +1,326 @@
+//! Packed monomial exponent vectors.
+//!
+//! The flat-term representation of [`crate::MPoly`] stores one [`Mono`] per
+//! nonzero term. Almost every polynomial in the CAD/QE workload lives in
+//! rings of at most a handful of variables with single-digit exponents, so
+//! the common case packs the whole exponent vector into one `u64` — eight
+//! bytes, one per variable, variable 0 in the **most significant** byte so
+//! that the native `u64` ordering coincides with the lexicographic order on
+//! exponent vectors. Vectors of more than [`PACK_VARS`] variables, or with
+//! any exponent above [`PACK_MAX_EXP`], spill to a heap vector.
+//!
+//! The representation is **canonical**: a given exponent vector always has
+//! exactly one representation (packed iff it fits), so the derived
+//! `PartialEq`/`Hash` coincide with equality of exponent vectors.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Maximum number of variables the inline representation holds.
+pub const PACK_VARS: usize = 8;
+
+/// Maximum per-variable exponent the inline representation holds.
+pub const PACK_MAX_EXP: u32 = 0xFF;
+
+/// Mask of the high bit of every byte lane; when clear in both operands,
+/// bytewise addition of the two packs cannot carry between lanes.
+const HIGH_BITS: u64 = 0x8080_8080_8080_8080;
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    /// `nvars <= 8` and all exponents `<= 255`: one byte per variable,
+    /// variable 0 in the most significant byte (lex order = `u64` order).
+    Packed { nvars: u8, bits: u64 },
+    /// Anything larger.
+    Spilled(Vec<u32>),
+}
+
+/// An exponent vector; entry `i` is the exponent of variable `i`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Mono(Repr);
+
+/// Byte shift for variable `i` (variable 0 occupies the top byte).
+fn shift(i: usize) -> u32 {
+    debug_assert!(i < PACK_VARS);
+    (56 - 8 * i) as u32
+}
+
+impl Mono {
+    /// The all-zero exponent vector in `nvars` variables.
+    #[must_use]
+    pub fn zero(nvars: usize) -> Mono {
+        if nvars <= PACK_VARS {
+            Mono(Repr::Packed {
+                nvars: nvars as u8,
+                bits: 0,
+            })
+        } else {
+            Mono(Repr::Spilled(vec![0; nvars]))
+        }
+    }
+
+    /// Build from a slice of exponents (canonical representation chosen
+    /// automatically).
+    #[must_use]
+    pub fn from_exps(exps: &[u32]) -> Mono {
+        if exps.len() <= PACK_VARS && exps.iter().all(|&e| e <= PACK_MAX_EXP) {
+            let mut bits = 0u64;
+            for (i, &e) in exps.iter().enumerate() {
+                bits |= u64::from(e) << shift(i);
+            }
+            Mono(Repr::Packed {
+                nvars: exps.len() as u8,
+                bits,
+            })
+        } else {
+            Mono(Repr::Spilled(exps.to_vec()))
+        }
+    }
+
+    /// Build from an owned vector (avoids the copy on the spill path).
+    #[must_use]
+    pub fn from_vec(exps: Vec<u32>) -> Mono {
+        if exps.len() <= PACK_VARS && exps.iter().all(|&e| e <= PACK_MAX_EXP) {
+            Mono::from_exps(&exps)
+        } else {
+            Mono(Repr::Spilled(exps))
+        }
+    }
+
+    /// Number of variables of the ambient ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Packed { nvars, .. } => *nvars as usize,
+            Repr::Spilled(v) => v.len(),
+        }
+    }
+
+    /// True iff the ambient ring has no variables.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exponent of variable `i` (must be `< len()`).
+    #[must_use]
+    pub fn get(&self, i: usize) -> u32 {
+        match &self.0 {
+            Repr::Packed { nvars, bits } => {
+                assert!(i < *nvars as usize, "variable index out of range");
+                ((bits >> shift(i)) & 0xFF) as u32
+            }
+            Repr::Spilled(v) => v[i],
+        }
+    }
+
+    /// Iterate the exponents in variable order (by value).
+    pub fn exps(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// The exponents as a plain vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u32> {
+        match &self.0 {
+            Repr::Packed { .. } => self.exps().collect(),
+            Repr::Spilled(v) => v.clone(),
+        }
+    }
+
+    /// Sum of all exponents (the term's total degree).
+    #[must_use]
+    pub fn total_degree(&self) -> u32 {
+        match &self.0 {
+            Repr::Packed { nvars, bits } => {
+                let mut sum = 0u32;
+                for i in 0..*nvars as usize {
+                    sum += ((bits >> shift(i)) & 0xFF) as u32;
+                }
+                sum
+            }
+            Repr::Spilled(v) => v.iter().sum(),
+        }
+    }
+
+    /// True iff every exponent is zero (the constant monomial).
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        match &self.0 {
+            Repr::Packed { bits, .. } => *bits == 0,
+            Repr::Spilled(v) => v.iter().all(|&e| e == 0),
+        }
+    }
+
+    /// Product of monomials: exponent vectors add. Both operands must have
+    /// the same arity.
+    #[must_use]
+    pub fn mul(&self, other: &Mono) -> Mono {
+        debug_assert_eq!(self.len(), other.len(), "monomial arity mismatch");
+        if let (Repr::Packed { nvars, bits: a }, Repr::Packed { bits: b, .. }) = (&self.0, &other.0)
+        {
+            // No byte lane of either operand has its high bit set, so the
+            // bytewise sums all stay below 255 and cannot carry across lanes.
+            if (a | b) & HIGH_BITS == 0 {
+                return Mono(Repr::Packed {
+                    nvars: *nvars,
+                    bits: a + b,
+                });
+            }
+        }
+        Mono::from_vec(self.exps().zip(other.exps()).map(|(a, b)| a + b).collect())
+    }
+
+    /// Exact quotient of monomials: `self / other` when every exponent of
+    /// `other` is bounded by the matching exponent of `self`, else `None`.
+    #[must_use]
+    pub fn try_div(&self, other: &Mono) -> Option<Mono> {
+        debug_assert_eq!(self.len(), other.len(), "monomial arity mismatch");
+        let mut out = Vec::with_capacity(self.len());
+        for (a, b) in self.exps().zip(other.exps()) {
+            if a < b {
+                return None;
+            }
+            out.push(a - b);
+        }
+        Some(Mono::from_vec(out))
+    }
+
+    /// Copy with variable `i`'s exponent replaced by zero.
+    #[must_use]
+    pub fn zeroed(&self, i: usize) -> Mono {
+        match &self.0 {
+            Repr::Packed { nvars, bits } => {
+                assert!(i < *nvars as usize, "variable index out of range");
+                Mono(Repr::Packed {
+                    nvars: *nvars,
+                    bits: bits & !(0xFFu64 << shift(i)),
+                })
+            }
+            Repr::Spilled(v) => {
+                let mut v = v.clone();
+                v[i] = 0;
+                // Zeroing an exponent can make a spilled vector packable only
+                // if the arity fits, which it does not for spilled arities.
+                Mono::from_vec(v)
+            }
+        }
+    }
+
+    /// Copy with variable `i`'s exponent replaced by `e`.
+    #[must_use]
+    pub fn with_exp(&self, i: usize, e: u32) -> Mono {
+        if let Repr::Packed { nvars, bits } = &self.0 {
+            assert!(i < *nvars as usize, "variable index out of range");
+            if e <= PACK_MAX_EXP {
+                let cleared = bits & !(0xFFu64 << shift(i));
+                return Mono(Repr::Packed {
+                    nvars: *nvars,
+                    bits: cleared | (u64::from(e) << shift(i)),
+                });
+            }
+        }
+        let mut v = self.to_vec();
+        v[i] = e;
+        Mono::from_vec(v)
+    }
+}
+
+impl Ord for Mono {
+    /// Lexicographic order on exponent vectors, identical to the `Ord` of
+    /// the corresponding `Vec<u32>`s (elementwise, then by length).
+    fn cmp(&self, other: &Mono) -> Ordering {
+        if let (Repr::Packed { nvars: na, bits: a }, Repr::Packed { nvars: nb, bits: b }) =
+            (&self.0, &other.0)
+        {
+            if na == nb {
+                return a.cmp(b);
+            }
+        }
+        self.exps().cmp(other.exps())
+    }
+}
+
+impl PartialOrd for Mono {
+    fn partial_cmp(&self, other: &Mono) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Mono {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mono{:?}", self.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_packing() {
+        let small = Mono::from_exps(&[1, 2, 3]);
+        assert!(matches!(small.0, Repr::Packed { .. }));
+        assert_eq!(small.to_vec(), vec![1, 2, 3]);
+        let wide = Mono::from_exps(&[0; 9]);
+        assert!(matches!(wide.0, Repr::Spilled(_)));
+        let tall = Mono::from_exps(&[256, 0]);
+        assert!(matches!(tall.0, Repr::Spilled(_)));
+        assert_eq!(tall.get(0), 256);
+    }
+
+    #[test]
+    fn order_matches_vec_lex() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![1],
+            vec![0, 0],
+            vec![0, 2],
+            vec![1, 0],
+            vec![1, 1],
+            vec![255, 255],
+            vec![256, 0],
+            vec![0, 0, 0, 0, 0, 0, 0, 0, 1],
+        ];
+        for a in &cases {
+            for b in &cases {
+                assert_eq!(
+                    Mono::from_exps(a).cmp(&Mono::from_exps(b)),
+                    a.cmp(b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_and_div() {
+        let a = Mono::from_exps(&[1, 2]);
+        let b = Mono::from_exps(&[3, 4]);
+        assert_eq!(a.mul(&b).to_vec(), vec![4, 6]);
+        assert_eq!(b.try_div(&a).unwrap().to_vec(), vec![2, 2]);
+        assert!(a.try_div(&b).is_none());
+        // Carry across the packed boundary: 200 + 100 > 255 must spill.
+        let c = Mono::from_exps(&[200, 0]);
+        let d = Mono::from_exps(&[100, 0]);
+        let cd = c.mul(&d);
+        assert_eq!(cd.to_vec(), vec![300, 0]);
+        assert!(matches!(cd.0, Repr::Spilled(_)));
+        // And dividing back re-packs canonically.
+        let back = cd.try_div(&d).unwrap();
+        assert_eq!(back, c);
+        assert!(matches!(back.0, Repr::Packed { .. }));
+    }
+
+    #[test]
+    fn edits() {
+        let a = Mono::from_exps(&[1, 2, 3]);
+        assert_eq!(a.zeroed(1).to_vec(), vec![1, 0, 3]);
+        assert_eq!(a.with_exp(2, 9).to_vec(), vec![1, 2, 9]);
+        assert_eq!(a.with_exp(0, 300).to_vec(), vec![300, 2, 3]);
+        assert_eq!(a.total_degree(), 6);
+        assert!(!a.is_constant());
+        assert!(Mono::zero(4).is_constant());
+    }
+}

@@ -1,106 +1,224 @@
-//! Sparse multivariate polynomials over `Q`.
+//! Sparse multivariate polynomials over `Q`, hash-consed.
 //!
 //! Generalized tuples constrain points of `R^k` with polynomials in `k`
 //! variables; the CAD projection phase manipulates them as univariate
 //! polynomials in the eliminated variable with multivariate coefficients
 //! ([`MPoly::as_upoly_in`]).
 //!
-//! Monomials are exponent vectors ordered lexicographically (the `BTreeMap`
-//! key order), which is a valid monomial order; exact division
+//! Representation: a canonical **sorted flat `Vec<(Mono, Rat)>`** (ascending
+//! lexicographic monomial order, no zero coefficients, no duplicate
+//! monomials) stored once behind `Arc` in the [`crate::intern`] shards.
+//! An `MPoly` is a handle: `Clone` is a pointer bump, `Hash` writes one
+//! precomputed content hash, and `Eq` short-circuits on pointer identity
+//! before falling back to a hash-guarded structural compare — so `MPoly`
+//! stays usable directly as a memo-cache key, now at O(1) per probe.
+//! Total degree and per-variable degrees are computed once at construction
+//! ([`MPoly::total_degree`]/[`MPoly::degree_in`] are O(1) reads).
+//!
+//! Lexicographic order is a valid monomial order; exact division
 //! ([`MPoly::div_exact`]) uses it for leading-term reduction.
 
+use crate::intern;
+use crate::mono::Mono;
 use crate::upoly::UPoly;
 use cdb_num::{Rat, Sign};
-use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{Add, Mul, Neg, Sub};
+use std::sync::Arc;
 
-/// Exponent vector; `mono[i]` is the exponent of variable `i`.
+/// Exponent vector as a plain vector; `mono[i]` is the exponent of variable
+/// `i`. Retained as the [`MPoly::from_terms`] input currency; internal
+/// storage uses the packed [`Mono`].
 pub type Monomial = Vec<u32>;
+
+/// Deterministic identity of a canonical polynomial: the content hash of
+/// `(nvars, terms)` under the fixed-key `DefaultHasher`. Equal polynomials
+/// always carry equal ids, across threads, runs, and interner states
+/// (ids derive from content, not insertion order). Distinct polynomials
+/// collide only with `DefaultHasher` probability, so ids are for
+/// diagnostics and hash-keying — `Eq` still verifies structure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PolyId(u64);
+
+impl PolyId {
+    /// The raw 64-bit id.
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// The interned payload: canonical terms plus caches computed once at
+/// construction. Immutable after interning.
+pub(crate) struct PolyData {
+    pub(crate) nvars: usize,
+    /// Nonzero terms, ascending lex monomial order, duplicates merged.
+    pub(crate) terms: Vec<(Mono, Rat)>,
+    /// Content hash of `(nvars, terms)` (fixed-key `DefaultHasher`).
+    pub(crate) hash: u64,
+    /// Max total degree over terms (0 for the zero polynomial).
+    pub(crate) total_degree: u32,
+    /// `var_degrees[i]` = max exponent of variable `i` (0 if absent).
+    pub(crate) var_degrees: Vec<u32>,
+}
 
 /// A sparse multivariate polynomial in a fixed number of variables.
 ///
-/// The representation is canonical: no zero coefficients are stored and the
-/// term map is keyed by exponent vector, so structurally equal polynomials
-/// hash equal — which makes `MPoly` usable directly as a memo-cache key.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// The representation is canonical and hash-consed: no zero coefficients
+/// are stored, terms are sorted by exponent vector, and equal polynomials
+/// usually share one allocation — so structurally equal polynomials hash
+/// equal (in O(1)), which makes `MPoly` usable directly as a memo-cache key.
+#[derive(Clone)]
 pub struct MPoly {
-    nvars: usize,
-    /// Nonzero terms only.
-    terms: BTreeMap<Monomial, Rat>,
+    data: Arc<PolyData>,
+}
+
+impl PartialEq for MPoly {
+    fn eq(&self, other: &MPoly) -> bool {
+        // Interned handles to equal polynomials are usually the same Arc.
+        Arc::ptr_eq(&self.data, &other.data)
+            || (self.data.hash == other.data.hash
+                && self.data.nvars == other.data.nvars
+                && self.data.terms == other.data.terms)
+    }
+}
+
+impl Eq for MPoly {}
+
+impl Hash for MPoly {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // O(1): the content hash was computed once at construction.
+        state.write_u64(self.data.hash);
+    }
+}
+
+/// Content hash of canonical `(nvars, terms)` under the fixed-key
+/// `DefaultHasher` (deterministic across processes; same idiom as the
+/// `AlgebraicCache` shard router).
+fn content_hash(nvars: usize, terms: &[(Mono, Rat)]) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    h.write_usize(nvars);
+    terms.hash(&mut h);
+    h.finish()
 }
 
 impl MPoly {
+    /// Seal a vector that is already canonical (sorted, distinct monomials,
+    /// no zero coefficients): compute caches and intern.
+    fn from_canonical(nvars: usize, terms: Vec<(Mono, Rat)>) -> MPoly {
+        debug_assert!(
+            terms
+                .iter()
+                .zip(terms.iter().skip(1))
+                .all(|(a, b)| a.0 < b.0),
+            "terms not sorted"
+        );
+        debug_assert!(terms.iter().all(|(_, c)| !c.is_zero()), "zero coefficient");
+        let mut total_degree = 0u32;
+        let mut var_degrees = vec![0u32; nvars];
+        for (m, _) in &terms {
+            total_degree = total_degree.max(m.total_degree());
+            for (d, e) in var_degrees.iter_mut().zip(m.exps()) {
+                *d = (*d).max(e);
+            }
+        }
+        let hash = content_hash(nvars, &terms);
+        MPoly {
+            data: intern::canonicalize(PolyData {
+                nvars,
+                terms,
+                hash,
+                total_degree,
+                var_degrees,
+            }),
+        }
+    }
+
+    /// Canonicalize an arbitrary term list: sort, merge duplicate monomials,
+    /// drop zero coefficients, then intern.
+    fn canonical(nvars: usize, mut pairs: Vec<(Mono, Rat)>) -> MPoly {
+        pairs.retain(|(_, c)| !c.is_zero());
+        pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut terms: Vec<(Mono, Rat)> = Vec::with_capacity(pairs.len());
+        for (m, c) in pairs {
+            match terms.last_mut() {
+                Some(last) if last.0 == m => last.1 = &last.1 + &c,
+                _ => terms.push((m, c)),
+            }
+        }
+        terms.retain(|(_, c)| !c.is_zero());
+        MPoly::from_canonical(nvars, terms)
+    }
+
     /// The zero polynomial in `nvars` variables.
     #[must_use]
     pub fn zero(nvars: usize) -> MPoly {
-        MPoly {
-            nvars,
-            terms: BTreeMap::new(),
-        }
+        MPoly::from_canonical(nvars, Vec::new())
     }
 
     /// A constant polynomial.
     #[must_use]
     pub fn constant(c: Rat, nvars: usize) -> MPoly {
-        let mut terms = BTreeMap::new();
-        if !c.is_zero() {
-            terms.insert(vec![0; nvars], c);
+        if c.is_zero() {
+            return MPoly::zero(nvars);
         }
-        MPoly { nvars, terms }
+        MPoly::from_canonical(nvars, vec![(Mono::zero(nvars), c)])
     }
 
     /// The variable `x_i`.
     #[must_use]
     pub fn var(i: usize, nvars: usize) -> MPoly {
         assert!(i < nvars);
-        let mut mono = vec![0; nvars];
-        mono[i] = 1;
-        let mut terms = BTreeMap::new();
-        terms.insert(mono, Rat::one());
-        MPoly { nvars, terms }
+        MPoly::from_canonical(nvars, vec![(Mono::zero(nvars).with_exp(i, 1), Rat::one())])
     }
 
     /// Build from `(monomial, coefficient)` pairs (summing duplicates).
     #[must_use]
     pub fn from_terms(nvars: usize, pairs: impl IntoIterator<Item = (Monomial, Rat)>) -> MPoly {
-        let mut terms: BTreeMap<Monomial, Rat> = BTreeMap::new();
-        for (m, c) in pairs {
-            assert_eq!(m.len(), nvars, "monomial arity mismatch");
-            let e = terms.entry(m).or_default();
-            *e = &*e + &c;
-        }
-        terms.retain(|_, c| !c.is_zero());
-        MPoly { nvars, terms }
+        let pairs: Vec<(Mono, Rat)> = pairs
+            .into_iter()
+            .map(|(m, c)| {
+                assert_eq!(m.len(), nvars, "monomial arity mismatch");
+                (Mono::from_vec(m), c)
+            })
+            .collect();
+        MPoly::canonical(nvars, pairs)
+    }
+
+    /// Deterministic content-derived identity (see [`PolyId`]).
+    #[must_use]
+    pub fn id(&self) -> PolyId {
+        PolyId(self.data.hash)
     }
 
     /// Number of variables of the ambient ring.
     #[must_use]
     pub fn nvars(&self) -> usize {
-        self.nvars
+        self.data.nvars
     }
 
     /// Nonzero terms (lexicographic monomial order, ascending).
-    pub fn terms(&self) -> impl Iterator<Item = (&Monomial, &Rat)> {
-        self.terms.iter()
+    pub fn terms(&self) -> impl DoubleEndedIterator<Item = (&Mono, &Rat)> {
+        self.data.terms.iter().map(|(m, c)| (m, c))
     }
 
     /// Number of nonzero terms.
     #[must_use]
     pub fn num_terms(&self) -> usize {
-        self.terms.len()
+        self.data.terms.len()
     }
 
     /// True iff the zero polynomial.
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        self.terms.is_empty()
+        self.data.terms.is_empty()
     }
 
-    /// True iff constant (possibly zero).
+    /// True iff constant (possibly zero). O(1) via the degree cache.
     #[must_use]
     pub fn is_constant(&self) -> bool {
-        self.terms.keys().all(|m| m.iter().all(|&e| e == 0))
+        self.data.total_degree == 0
     }
 
     /// The constant value, if constant.
@@ -110,70 +228,68 @@ impl MPoly {
             return Some(Rat::zero());
         }
         if self.is_constant() {
-            return self.terms.values().next().cloned();
+            return self.data.terms.first().map(|(_, c)| c.clone());
         }
         None
     }
 
-    /// Degree in variable `i` (0 for the zero polynomial).
+    /// Degree in variable `i` (0 for the zero polynomial). O(1): cached at
+    /// construction.
     #[must_use]
     pub fn degree_in(&self, i: usize) -> u32 {
-        self.terms.keys().map(|m| m[i]).max().unwrap_or(0)
+        self.data.var_degrees.get(i).copied().unwrap_or(0)
     }
 
-    /// Total degree (0 for the zero polynomial).
+    /// Total degree (0 for the zero polynomial). O(1): cached at
+    /// construction.
     #[must_use]
     pub fn total_degree(&self) -> u32 {
-        self.terms
-            .keys()
-            .map(|m| m.iter().sum::<u32>())
-            .max()
-            .unwrap_or(0)
+        self.data.total_degree
     }
 
-    /// True iff variable `i` occurs.
+    /// True iff variable `i` occurs. O(1) via the degree cache.
     #[must_use]
     pub fn uses_var(&self, i: usize) -> bool {
-        self.terms.keys().any(|m| m[i] > 0)
+        self.degree_in(i) > 0
     }
 
     /// Leading term under lex order.
-    fn leading_term(&self) -> Option<(&Monomial, &Rat)> {
-        self.terms.last_key_value()
+    fn leading_term(&self) -> Option<(&Mono, &Rat)> {
+        self.data.terms.last().map(|(m, c)| (m, c))
     }
 
     /// Multiply by a scalar.
     #[must_use]
     pub fn scale(&self, c: &Rat) -> MPoly {
         if c.is_zero() {
-            return MPoly::zero(self.nvars);
+            return MPoly::zero(self.data.nvars);
         }
-        MPoly {
-            nvars: self.nvars,
-            terms: self.terms.iter().map(|(m, a)| (m.clone(), a * c)).collect(),
-        }
+        // Scaling by a nonzero rational preserves order and nonzeroness.
+        MPoly::from_canonical(
+            self.data.nvars,
+            self.data
+                .terms
+                .iter()
+                .map(|(m, a)| (m.clone(), a * c))
+                .collect(),
+        )
     }
 
     /// Multiply by a single term.
-    #[must_use]
-    fn mul_term(&self, mono: &Monomial, c: &Rat) -> MPoly {
+    fn mul_term(&self, mono: &Mono, c: &Rat) -> MPoly {
         if c.is_zero() {
-            return MPoly::zero(self.nvars);
+            return MPoly::zero(self.data.nvars);
         }
-        MPoly {
-            nvars: self.nvars,
-            terms: self
+        // Adding a fixed exponent vector is strictly monotone in lex order,
+        // so the result is canonical without re-sorting.
+        MPoly::from_canonical(
+            self.data.nvars,
+            self.data
                 .terms
                 .iter()
-                .map(|(m, a)| {
-                    let mut nm = m.clone();
-                    for (e, me) in nm.iter_mut().zip(mono) {
-                        *e += me;
-                    }
-                    (nm, a * c)
-                })
+                .map(|(m, a)| (m.mul(mono), a * c))
                 .collect(),
-        }
+        )
     }
 
     /// `self^n`.
@@ -181,7 +297,7 @@ impl MPoly {
     pub fn pow(&self, mut n: u32) -> MPoly {
         // Binary exponentiation: O(log n) polynomial multiplications instead
         // of n (the resultant base cases raise constants to degree-sized n).
-        let mut acc = MPoly::constant(Rat::one(), self.nvars);
+        let mut acc = MPoly::constant(Rat::one(), self.data.nvars);
         let mut base = self.clone();
         while n > 0 {
             if n & 1 == 1 {
@@ -198,18 +314,13 @@ impl MPoly {
     /// Full evaluation at a rational point.
     #[must_use]
     pub fn eval(&self, point: &[Rat]) -> Rat {
-        assert_eq!(point.len(), self.nvars);
+        assert_eq!(point.len(), self.data.nvars);
         // Per-variable power tables: each `point[i]^e` is computed once per
-        // call instead of once per term mentioning `x_i^e`.
-        let mut max_exp = vec![0u32; self.nvars];
-        for m in self.terms.keys() {
-            for (me, &e) in max_exp.iter_mut().zip(m.iter()) {
-                *me = (*me).max(e);
-            }
-        }
+        // call instead of once per term mentioning `x_i^e`; table sizes come
+        // straight from the cached per-variable degrees.
         let powers: Vec<Vec<Rat>> = point
             .iter()
-            .zip(&max_exp)
+            .zip(&self.data.var_degrees)
             .map(|(x, &me)| {
                 let mut tab = Vec::with_capacity(me as usize + 1);
                 let mut pw = Rat::one();
@@ -222,9 +333,9 @@ impl MPoly {
             })
             .collect();
         let mut acc = Rat::zero();
-        for (m, c) in &self.terms {
+        for (m, c) in &self.data.terms {
             let mut t = c.clone();
-            for (i, &e) in m.iter().enumerate() {
+            for (i, e) in m.exps().enumerate() {
                 if e > 0 {
                     t = &t * &powers[i][e as usize];
                 }
@@ -238,28 +349,37 @@ impl MPoly {
     /// ambient arity; variable `i` no longer occurs).
     #[must_use]
     pub fn substitute(&self, i: usize, v: &Rat) -> MPoly {
-        assert!(i < self.nvars);
-        let pairs = self.terms.iter().map(|(m, c)| {
-            let mut nm = m.clone();
-            let e = nm[i];
-            nm[i] = 0;
-            (nm, c * &v.pow(e as i32))
-        });
-        MPoly::from_terms(self.nvars, pairs)
+        assert!(i < self.data.nvars);
+        let pairs = self
+            .data
+            .terms
+            .iter()
+            .map(|(m, c)| {
+                let e = m.get(i);
+                (m.zeroed(i), c * &v.pow(e as i32))
+            })
+            .collect();
+        MPoly::canonical(self.data.nvars, pairs)
     }
 
     /// Partial derivative with respect to variable `i`.
     #[must_use]
     pub fn derivative(&self, i: usize) -> MPoly {
-        let pairs = self.terms.iter().filter_map(|(m, c)| {
-            if m[i] == 0 {
-                return None;
-            }
-            let mut nm = m.clone();
-            nm[i] -= 1;
-            Some((nm, c * &Rat::from(i64::from(m[i]))))
-        });
-        MPoly::from_terms(self.nvars, pairs)
+        // Decrementing one coordinate on every surviving term preserves both
+        // lex order and distinctness, so the result is canonical as built.
+        let terms = self
+            .data
+            .terms
+            .iter()
+            .filter_map(|(m, c)| {
+                let e = m.get(i);
+                if e == 0 {
+                    return None;
+                }
+                Some((m.with_exp(i, e - 1), c * &Rat::from(i64::from(e))))
+            })
+            .collect();
+        MPoly::from_canonical(self.data.nvars, terms)
     }
 
     /// View as a univariate polynomial in variable `i`: coefficients (in the
@@ -267,45 +387,44 @@ impl MPoly {
     #[must_use]
     pub fn as_upoly_in(&self, i: usize) -> Vec<MPoly> {
         let d = self.degree_in(i) as usize;
-        let mut coeffs = vec![MPoly::zero(self.nvars); d + 1];
-        for (m, c) in &self.terms {
-            let e = m[i] as usize;
-            let mut nm = m.clone();
-            nm[i] = 0;
-            let entry = coeffs[e].terms.entry(nm).or_default();
-            *entry = &*entry + c;
+        let mut buckets: Vec<Vec<(Mono, Rat)>> = vec![Vec::new(); d + 1];
+        for (m, c) in &self.data.terms {
+            // Terms sharing an `x_i` power keep their relative lex order and
+            // distinctness after zeroing coordinate `i`, so each bucket is
+            // canonical as collected.
+            buckets[m.get(i) as usize].push((m.zeroed(i), c.clone()));
         }
-        for p in &mut coeffs {
-            p.terms.retain(|_, c| !c.is_zero());
-        }
-        coeffs
+        buckets
+            .into_iter()
+            .map(|b| MPoly::from_canonical(self.data.nvars, b))
+            .collect()
     }
 
     /// Inverse of [`MPoly::as_upoly_in`].
     #[must_use]
     pub fn from_upoly_in(i: usize, coeffs: &[MPoly], nvars: usize) -> MPoly {
-        let mut out = MPoly::zero(nvars);
+        let mut pairs = Vec::new();
         for (e, c) in coeffs.iter().enumerate() {
-            assert_eq!(c.nvars, nvars);
+            assert_eq!(c.data.nvars, nvars);
             assert!(!c.uses_var(i), "coefficient uses the main variable");
-            let mut mono = vec![0; nvars];
-            mono[i] = e as u32;
-            out = &out + &c.mul_term(&mono, &Rat::one());
+            for (m, a) in &c.data.terms {
+                pairs.push((m.with_exp(i, e as u32), a.clone()));
+            }
         }
-        out
+        MPoly::canonical(nvars, pairs)
     }
 
     /// Convert to [`UPoly`] if only variable `i` occurs.
     #[must_use]
     pub fn to_upoly_in(&self, i: usize) -> Option<UPoly> {
         let mut coeffs = vec![Rat::zero(); self.degree_in(i) as usize + 1];
-        for (m, c) in &self.terms {
-            for (j, &e) in m.iter().enumerate() {
+        for (m, c) in &self.data.terms {
+            for (j, e) in m.exps().enumerate() {
                 if j != i && e > 0 {
                     return None;
                 }
             }
-            coeffs[m[i] as usize] = c.clone();
+            coeffs[m.get(i) as usize] = c.clone();
         }
         Some(UPoly::from_coeffs(coeffs))
     }
@@ -313,12 +432,14 @@ impl MPoly {
     /// Lift a univariate polynomial into variable `i` of an `nvars`-ring.
     #[must_use]
     pub fn from_upoly(p: &UPoly, i: usize, nvars: usize) -> MPoly {
-        let pairs = p.coeffs().iter().enumerate().map(|(e, c)| {
-            let mut mono = vec![0; nvars];
-            mono[i] = e as u32;
-            (mono, c.clone())
-        });
-        MPoly::from_terms(nvars, pairs)
+        let base = Mono::zero(nvars);
+        let pairs = p
+            .coeffs()
+            .iter()
+            .enumerate()
+            .map(|(e, c)| (base.with_exp(i, e as u32), c.clone()))
+            .collect();
+        MPoly::canonical(nvars, pairs)
     }
 
     /// Rename variables: variable `i` becomes `map[i]` in a ring of
@@ -326,18 +447,23 @@ impl MPoly {
     /// instantiated as `R(u, w)` inside a query (INSTANTIATION step).
     #[must_use]
     pub fn remap_vars(&self, map: &[usize], new_nvars: usize) -> MPoly {
-        assert_eq!(map.len(), self.nvars);
+        assert_eq!(map.len(), self.data.nvars);
         assert!(map.iter().all(|&m| m < new_nvars));
-        let pairs = self.terms.iter().map(|(m, c)| {
-            // Mapping two sources onto one target is legal (diagonals like
-            // R(x, x)); exponents add up.
-            let mut nm = vec![0u32; new_nvars];
-            for (i, &e) in m.iter().enumerate() {
-                nm[map[i]] += e;
-            }
-            (nm, c.clone())
-        });
-        MPoly::from_terms(new_nvars, pairs)
+        let pairs = self
+            .data
+            .terms
+            .iter()
+            .map(|(m, c)| {
+                // Mapping two sources onto one target is legal (diagonals like
+                // R(x, x)); exponents add up.
+                let mut nm = vec![0u32; new_nvars];
+                for (i, e) in m.exps().enumerate() {
+                    nm[map[i]] += e;
+                }
+                (Mono::from_vec(nm), c.clone())
+            })
+            .collect();
+        MPoly::canonical(new_nvars, pairs)
     }
 
     /// Exact division: `self / div`; panics if not exact (callers guarantee
@@ -345,35 +471,31 @@ impl MPoly {
     #[must_use]
     pub fn div_exact(&self, div: &MPoly) -> MPoly {
         assert!(!div.is_zero(), "MPoly division by zero");
-        assert_eq!(self.nvars, div.nvars);
+        assert_eq!(self.data.nvars, div.data.nvars);
         if self.is_zero() {
-            return MPoly::zero(self.nvars);
+            return MPoly::zero(self.data.nvars);
         }
         if let Some(c) = div.to_constant() {
             return self.scale(&c.recip());
         }
         let mut rem = self.clone();
-        let mut quot = MPoly::zero(self.nvars);
+        let mut quot = MPoly::zero(self.data.nvars);
         let Some((dm, dc)) = div.leading_term().map(|(m, c)| (m.clone(), c.clone())) else {
             // Unreachable after the zero checks above; a zero divisor is
             // already rejected by the assert, so an empty quotient is inert.
             return quot;
         };
         while let Some((rm, rc)) = rem.leading_term().map(|(m, c)| (m.clone(), c.clone())) {
-            let mut qm = rm.clone();
-            let mut divisible = true;
-            for (q, d) in qm.iter_mut().zip(&dm) {
-                if *q < *d {
-                    divisible = false;
-                    break;
-                }
-                *q -= d;
-            }
-            assert!(divisible, "MPoly::div_exact: not divisible");
+            let step = rm.try_div(&dm);
+            assert!(step.is_some(), "MPoly::div_exact: not divisible");
+            let Some(qm) = step else {
+                // Unreachable: the assert above fired first.
+                return quot;
+            };
             let qc = &rc / &dc;
             let t = div.mul_term(&qm, &qc);
             rem = &rem - &t;
-            quot = &quot + &MPoly::from_terms(self.nvars, [(qm, qc)]);
+            quot = &quot + &MPoly::from_canonical(self.data.nvars, vec![(qm, qc)]);
         }
         quot
     }
@@ -387,14 +509,14 @@ impl MPoly {
         }
         // Scale by lcm of denominators / gcd of numerators.
         let mut l = cdb_num::Int::one();
-        for c in self.terms.values() {
+        for (_, c) in &self.data.terms {
             let d = c.denom();
             let g = l.gcd(d);
             l = &(&l / &g) * d;
         }
         let lr = Rat::from(l);
         let mut g = cdb_num::Int::zero();
-        for c in self.terms.values() {
+        for (_, c) in &self.data.terms {
             g = g.gcd((c * &lr).numer());
         }
         let scale = &lr / &Rat::from(g);
@@ -410,19 +532,24 @@ impl MPoly {
     /// Maximum bit length over coefficients.
     #[must_use]
     pub fn max_coeff_bits(&self) -> u64 {
-        self.terms.values().map(Rat::bit_length).max().unwrap_or(0)
+        self.data
+            .terms
+            .iter()
+            .map(|(_, c)| c.bit_length())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Render with the given variable names.
     #[must_use]
     pub fn display_with(&self, names: &[&str]) -> String {
-        assert!(names.len() >= self.nvars);
+        assert!(names.len() >= self.data.nvars);
         if self.is_zero() {
             return "0".to_owned();
         }
         let mut out = String::new();
         // Highest terms first for readability.
-        for (m, c) in self.terms.iter().rev() {
+        for (m, c) in self.data.terms.iter().rev() {
             let neg = c.sign() == Sign::Neg;
             if out.is_empty() {
                 if neg {
@@ -432,7 +559,7 @@ impl MPoly {
                 out.push_str(if neg { " - " } else { " + " });
             }
             let a = c.abs();
-            let is_const_mono = m.iter().all(|&e| e == 0);
+            let is_const_mono = m.is_constant();
             if a != Rat::one() || is_const_mono {
                 out.push_str(&a.to_string());
                 if !is_const_mono {
@@ -440,7 +567,7 @@ impl MPoly {
                 }
             }
             let mut first = true;
-            for (i, &e) in m.iter().enumerate() {
+            for (i, e) in m.exps().enumerate() {
                 if e == 0 {
                     continue;
                 }
@@ -460,7 +587,7 @@ impl MPoly {
 
 impl fmt::Display for MPoly {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let names: Vec<String> = (0..self.nvars).map(|i| format!("x{i}")).collect();
+        let names: Vec<String> = (0..self.data.nvars).map(|i| format!("x{i}")).collect();
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
         write!(f, "{}", self.display_with(&refs))
     }
@@ -475,58 +602,86 @@ impl fmt::Debug for MPoly {
 impl Add for &MPoly {
     type Output = MPoly;
     fn add(self, rhs: &MPoly) -> MPoly {
-        assert_eq!(self.nvars, rhs.nvars);
-        let mut terms = self.terms.clone();
-        for (m, c) in &rhs.terms {
-            let e = terms.entry(m.clone()).or_default();
-            *e = &*e + c;
-        }
-        terms.retain(|_, c| !c.is_zero());
-        MPoly {
-            nvars: self.nvars,
-            terms,
-        }
+        assert_eq!(self.data.nvars, rhs.data.nvars);
+        MPoly::from_canonical(
+            self.data.nvars,
+            merge(&self.data.terms, &rhs.data.terms, false),
+        )
     }
 }
 
 impl Sub for &MPoly {
     type Output = MPoly;
     fn sub(self, rhs: &MPoly) -> MPoly {
-        self + &(-rhs)
+        assert_eq!(self.data.nvars, rhs.data.nvars);
+        MPoly::from_canonical(
+            self.data.nvars,
+            merge(&self.data.terms, &rhs.data.terms, true),
+        )
     }
+}
+
+/// Merge two canonical term vectors (`a ± b`): one linear pass, output
+/// canonical by construction.
+fn merge(a: &[(Mono, Rat)], b: &[(Mono, Rat)], negate_b: bool) -> Vec<(Mono, Rat)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ia = 0usize;
+    let mut ib = 0usize;
+    let bc = |c: &Rat| if negate_b { -c.clone() } else { c.clone() };
+    while ia < a.len() && ib < b.len() {
+        match a[ia].0.cmp(&b[ib].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[ia].clone());
+                ia += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push((b[ib].0.clone(), bc(&b[ib].1)));
+                ib += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let c = if negate_b {
+                    &a[ia].1 - &b[ib].1
+                } else {
+                    &a[ia].1 + &b[ib].1
+                };
+                if !c.is_zero() {
+                    out.push((a[ia].0.clone(), c));
+                }
+                ia += 1;
+                ib += 1;
+            }
+        }
+    }
+    out.extend(a[ia..].iter().cloned());
+    out.extend(b[ib..].iter().map(|(m, c)| (m.clone(), bc(c))));
+    out
 }
 
 impl Neg for &MPoly {
     type Output = MPoly;
     fn neg(self) -> MPoly {
-        MPoly {
-            nvars: self.nvars,
-            terms: self
+        MPoly::from_canonical(
+            self.data.nvars,
+            self.data
                 .terms
                 .iter()
                 .map(|(m, c)| (m.clone(), -c.clone()))
                 .collect(),
-        }
+        )
     }
 }
 
 impl Mul for &MPoly {
     type Output = MPoly;
     fn mul(self, rhs: &MPoly) -> MPoly {
-        assert_eq!(self.nvars, rhs.nvars);
-        let mut terms: BTreeMap<Monomial, Rat> = BTreeMap::new();
-        for (ma, ca) in &self.terms {
-            for (mb, cb) in &rhs.terms {
-                let mono: Monomial = ma.iter().zip(mb).map(|(a, b)| a + b).collect();
-                let e = terms.entry(mono).or_default();
-                *e = &*e + &(ca * cb);
+        assert_eq!(self.data.nvars, rhs.data.nvars);
+        let mut pairs = Vec::with_capacity(self.data.terms.len() * rhs.data.terms.len());
+        for (ma, ca) in &self.data.terms {
+            for (mb, cb) in &rhs.data.terms {
+                pairs.push((ma.mul(mb), ca * cb));
             }
         }
-        terms.retain(|_, c| !c.is_zero());
-        MPoly {
-            nvars: self.nvars,
-            terms,
-        }
+        MPoly::canonical(self.data.nvars, pairs)
     }
 }
 
@@ -634,5 +789,36 @@ mod tests {
     fn display_human_readable() {
         let p = paper_poly();
         assert_eq!(p.display_with(&["x", "y"]), "4*x^2 - 20*x - y + 25");
+    }
+
+    #[test]
+    fn interning_shares_and_ids_are_content_derived() {
+        let p = paper_poly();
+        let q = paper_poly();
+        // Equal content → equal id, equal handle.
+        assert_eq!(p, q);
+        assert_eq!(p.id(), q.id());
+        // And (with the interner enabled by default) one shared allocation.
+        if crate::intern::enabled() {
+            assert!(Arc::ptr_eq(&p.data, &q.data));
+        }
+        // Clones are pointer bumps.
+        let r = p.clone();
+        assert!(Arc::ptr_eq(&p.data, &r.data));
+        // Different content → different id (hash collision aside).
+        assert_ne!(p.id(), MPoly::var(0, 2).id());
+    }
+
+    #[test]
+    fn hash_is_content_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        let p = paper_poly();
+        let q = paper_poly();
+        let h = |x: &MPoly| {
+            let mut s = DefaultHasher::new();
+            x.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&p), h(&q));
     }
 }

@@ -2,22 +2,48 @@
 
 use cdb_num::{fintv, FIntv, Int, Rat, RatInterval, Sign};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{Add, Mul, Neg, Sub};
+use std::sync::Arc;
 
 /// A univariate polynomial with rational coefficients, dense representation,
 /// normalized so the leading coefficient is nonzero (the zero polynomial has
 /// an empty coefficient vector).
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// Coefficients live behind `Arc`, so `Clone` is a pointer bump (Sturm
+/// chains clone polynomials freely), and the content hash is computed once
+/// at construction so `Hash` is O(1) — `AlgebraicCache` keys no longer
+/// re-hash every coefficient per probe.
+#[derive(Clone)]
 pub struct UPoly {
     /// `coeffs[i]` is the coefficient of `x^i`.
-    coeffs: Vec<Rat>,
+    coeffs: Arc<[Rat]>,
+    /// Content hash of the coefficient list (fixed-key `DefaultHasher`).
+    hash: u64,
+}
+
+impl PartialEq for UPoly {
+    fn eq(&self, other: &UPoly) -> bool {
+        Arc::ptr_eq(&self.coeffs, &other.coeffs)
+            || (self.hash == other.hash && self.coeffs[..] == other.coeffs[..])
+    }
+}
+
+impl Eq for UPoly {}
+
+impl Hash for UPoly {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // O(1): equal coefficient lists always carry equal precomputed
+        // hashes, so this is consistent with `Eq`.
+        state.write_u64(self.hash);
+    }
 }
 
 impl UPoly {
     /// The zero polynomial.
     #[must_use]
     pub fn zero() -> UPoly {
-        UPoly { coeffs: Vec::new() }
+        UPoly::from_coeffs(Vec::new())
     }
 
     /// The constant polynomial 1.
@@ -44,7 +70,15 @@ impl UPoly {
         while coeffs.last().is_some_and(Rat::is_zero) {
             coeffs.pop();
         }
-        UPoly { coeffs }
+        // Content hash under the fixed-key `DefaultHasher` (deterministic
+        // across threads and processes; the `AlgebraicCache` idiom).
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        h.write_usize(coeffs.len());
+        coeffs.hash(&mut h);
+        UPoly {
+            coeffs: coeffs.into(),
+            hash: h.finish(),
+        }
     }
 
     /// From integer coefficients, low-to-high.
@@ -227,9 +261,9 @@ impl UPoly {
         if c.is_zero() {
             return UPoly::zero();
         }
-        UPoly {
-            coeffs: self.coeffs.iter().map(|a| a * c).collect(),
-        }
+        // Scaling by a nonzero rational keeps the leading coefficient
+        // nonzero; `from_coeffs` recomputes the content hash.
+        UPoly::from_coeffs(self.coeffs.iter().map(|a| a * c).collect())
     }
 
     /// Make monic (leading coefficient 1); panics on zero.
@@ -246,7 +280,7 @@ impl UPoly {
         if self.deg() < div.deg() || self.is_zero() {
             return (UPoly::zero(), self.clone());
         }
-        let mut rem = self.coeffs.clone();
+        let mut rem = self.coeffs.to_vec();
         let dd = div.deg();
         let lead_inv = div.leading().recip();
         let mut q = vec![Rat::zero(); rem.len() - dd];
@@ -283,7 +317,7 @@ impl UPoly {
         }
         // lcm of denominators.
         let mut l = Int::one();
-        for c in &self.coeffs {
+        for c in self.coeffs.iter() {
             let d = c.denom();
             let g = l.gcd(d);
             l = &(&l / &g) * d;
@@ -554,9 +588,7 @@ impl Mul for &UPoly {
 impl Neg for &UPoly {
     type Output = UPoly;
     fn neg(self) -> UPoly {
-        UPoly {
-            coeffs: self.coeffs.iter().map(|c| -c.clone()).collect(),
-        }
+        UPoly::from_coeffs(self.coeffs.iter().map(|c| -c.clone()).collect())
     }
 }
 

@@ -1,0 +1,245 @@
+//! Differential tests: the interned flat-term representation must agree
+//! with the retained seed reference implementation (`cdb_poly::refimpl`) —
+//! same values, byte-identical `Display` — on random inputs, for
+//! `add`/`mul`/`div_exact`/`resultant`/Sturm chains, under 1 and 4 worker
+//! threads, and with the interner enabled or disabled.
+
+use cdb_num::Rat;
+use cdb_poly::refimpl::{ref_resultant, ref_sturm_chain, RefPoly, RefUPoly};
+use cdb_poly::resultant::resultant;
+use cdb_poly::sturm::SturmChain;
+use cdb_poly::{intern, MPoly, UPoly};
+use proptest::prelude::*;
+
+/// Build both representations from one term list.
+fn both(nvars: usize, terms: &[(Vec<u32>, i64)]) -> (MPoly, RefPoly) {
+    let pairs: Vec<(Vec<u32>, Rat)> = terms
+        .iter()
+        .map(|(m, c)| (m.clone(), Rat::from(*c)))
+        .collect();
+    (
+        MPoly::from_terms(nvars, pairs.clone()),
+        RefPoly::from_terms(nvars, pairs),
+    )
+}
+
+fn terms2(raw: &[(u32, u32, i64)]) -> Vec<(Vec<u32>, i64)> {
+    raw.iter().map(|&(e0, e1, c)| (vec![e0, e1], c)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ring operations agree with the seed representation, down to the
+    /// rendered string.
+    #[test]
+    fn add_sub_mul_match_reference(
+        ra in prop::collection::vec((0u32..=4, 0u32..=4, -9i64..=9), 0..=6),
+        rb in prop::collection::vec((0u32..=4, 0u32..=4, -9i64..=9), 0..=6),
+    ) {
+        let (a, fa) = both(2, &terms2(&ra));
+        let (b, fb) = both(2, &terms2(&rb));
+        prop_assert_eq!((&a + &b).to_string(), (&fa + &fb).to_string());
+        prop_assert_eq!((&a - &b).to_string(), (&fa - &fb).to_string());
+        prop_assert_eq!((&a * &b).to_string(), (&fa * &fb).to_string());
+        prop_assert_eq!((-&a).to_string(), (-&fa).to_string());
+        // And the evaluation semantics agree.
+        let pt = [Rat::from(3i64), Rat::from(-2i64)];
+        prop_assert_eq!((&a * &b).eval(&pt), (&fa * &fb).eval(&pt));
+    }
+
+    /// Exact division of a constructed multiple agrees with the seed.
+    #[test]
+    fn div_exact_matches_reference(
+        ra in prop::collection::vec((0u32..=3, 0u32..=3, -6i64..=6), 1..=4),
+        rb in prop::collection::vec((0u32..=3, 0u32..=3, -6i64..=6), 1..=4),
+    ) {
+        let (a, fa) = both(2, &terms2(&ra));
+        let (b, fb) = both(2, &terms2(&rb));
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let prod = &a * &b;
+        let fprod = &fa * &fb;
+        prop_assert_eq!(prod.div_exact(&a).to_string(), fprod.div_exact(&fa).to_string());
+        prop_assert_eq!(prod.div_exact(&b).to_string(), fprod.div_exact(&fb).to_string());
+    }
+
+    /// Bareiss resultants agree with the seed algorithm byte-for-byte.
+    #[test]
+    fn resultant_matches_reference(
+        ra in prop::collection::vec((0u32..=2, 0u32..=2, -5i64..=5), 1..=4),
+        rb in prop::collection::vec((0u32..=2, 0u32..=2, -5i64..=5), 1..=4),
+        var in 0usize..=1,
+    ) {
+        let (a, fa) = both(2, &terms2(&ra));
+        let (b, fb) = both(2, &terms2(&rb));
+        prop_assert_eq!(
+            resultant(&a, &b, var).to_string(),
+            ref_resultant(&fa, &fb, var).to_string()
+        );
+    }
+
+    /// Sturm chains agree member-by-member with the seed algorithm.
+    #[test]
+    fn sturm_chain_matches_reference(coeffs in prop::collection::vec(-20i64..=20, 1..=7)) {
+        let p = UPoly::from_ints(&coeffs);
+        let rp = RefUPoly::from_coeffs(coeffs.iter().map(|&c| Rat::from(c)).collect());
+        let chain = SturmChain::new(&p);
+        let rchain = ref_sturm_chain(&rp);
+        let got: Vec<String> = chain.sequence().iter().map(|q| q.to_string()).collect();
+        let want: Vec<String> = rchain.iter().map(|q| q.to_string()).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Eq/Hash invariants: equal content built along different construction
+    /// paths yields equal handles and equal content-derived ids.
+    #[test]
+    fn eq_hash_id_consistent(
+        ra in prop::collection::vec((0u32..=4, 0u32..=4, -9i64..=9), 0..=6),
+    ) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let (a, fa) = both(2, &terms2(&ra));
+        // Rebuild by summing single-term polynomials: same content.
+        let mut b = MPoly::zero(2);
+        for (m, c) in fa.to_mpoly().terms() {
+            b = &b + &MPoly::from_terms(2, [(m.to_vec(), c.clone())]);
+        }
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.id(), b.id());
+        let h = |p: &MPoly| {
+            let mut s = DefaultHasher::new();
+            p.hash(&mut s);
+            s.finish()
+        };
+        prop_assert_eq!(h(&a), h(&b));
+    }
+}
+
+/// Deterministic splitmix-style generator for the thread matrix below.
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn rand_terms(state: &mut u64, nterms: usize) -> Vec<(u32, u32, i64)> {
+    (0..nterms)
+        .map(|_| {
+            (
+                (next(state) % 4) as u32,
+                (next(state) % 4) as u32,
+                (next(state) % 15) as i64 - 7,
+            )
+        })
+        .collect()
+}
+
+/// One work item: multiply, divide back, take a resultant; return the
+/// rendered results.
+fn work_item(seed: u64) -> Vec<String> {
+    let mut st = seed;
+    let (a, _) = both(2, &terms2(&rand_terms(&mut st, 4)));
+    let (b, _) = both(2, &terms2(&rand_terms(&mut st, 4)));
+    let prod = &a * &b;
+    let mut out = vec![prod.to_string()];
+    if !a.is_zero() {
+        out.push(prod.div_exact(&a).to_string());
+    }
+    out.push(resultant(&a, &b, 1).to_string());
+    out
+}
+
+fn reference_item(seed: u64) -> Vec<String> {
+    let mut st = seed;
+    let (_, fa) = both(2, &terms2(&rand_terms(&mut st, 4)));
+    let (_, fb) = both(2, &terms2(&rand_terms(&mut st, 4)));
+    let prod = &fa * &fb;
+    let mut out = vec![prod.to_string()];
+    if !fa.is_zero() {
+        out.push(prod.div_exact(&fa).to_string());
+    }
+    out.push(ref_resultant(&fa, &fb, 1).to_string());
+    out
+}
+
+/// The same work sharded over 1 and 4 worker threads produces byte-identical
+/// output, equal to the seed reference — interning (a shared global
+/// structure) must not make results depend on thread schedule.
+#[test]
+fn workers_1_and_4_byte_identical() {
+    const TASKS: u64 = 24;
+    let want: Vec<Vec<String>> = (0..TASKS).map(reference_item).collect();
+    for workers in [1usize, 4] {
+        let mut got: Vec<Option<Vec<String>>> = vec![None; TASKS as usize];
+        let chunks: Vec<Vec<u64>> = (0..workers)
+            .map(|w| {
+                (0..TASKS)
+                    .filter(|t| (*t as usize) % workers == w)
+                    .collect()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|t| (t, work_item(t)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (t, res) in h.join().expect("worker panicked") {
+                    got[t as usize] = Some(res);
+                }
+            }
+        });
+        let got: Vec<Vec<String>> = got.into_iter().map(|r| r.expect("task ran")).collect();
+        assert_eq!(got, want, "workers = {workers}");
+    }
+}
+
+/// Disabling the interner changes sharing, never values: every rendered
+/// result and every content-derived id is identical either way.
+#[test]
+fn interner_toggle_is_invisible() {
+    let on: Vec<Vec<String>> = (100..112u64).map(work_item).collect();
+    let ids_on: Vec<_> = (100..112u64)
+        .map(|s| {
+            let mut st = s;
+            let (a, _) = both(2, &terms2(&rand_terms(&mut st, 4)));
+            a.id()
+        })
+        .collect();
+    intern::set_enabled(false);
+    let off: Vec<Vec<String>> = (100..112u64).map(work_item).collect();
+    let ids_off: Vec<_> = (100..112u64)
+        .map(|s| {
+            let mut st = s;
+            let (a, _) = both(2, &terms2(&rand_terms(&mut st, 4)));
+            a.id()
+        })
+        .collect();
+    intern::set_enabled(true);
+    assert_eq!(on, off);
+    assert_eq!(ids_on, ids_off);
+}
+
+/// Spilled monomials (exponent > 255) and packed ones agree with the seed.
+#[test]
+fn spilled_monomials_match_reference() {
+    let (a, fa) = both(2, &[(vec![300, 1], 3), (vec![2, 0], -1), (vec![0, 0], 7)]);
+    let (b, fb) = both(2, &[(vec![260, 0], 2), (vec![0, 1], 5)]);
+    assert_eq!((&a * &b).to_string(), (&fa * &fb).to_string());
+    assert_eq!((&a + &b).to_string(), (&fa + &fb).to_string());
+    assert_eq!(a.degree_in(0), fa.degree_in(0));
+    let prod = &a * &b;
+    assert_eq!(
+        prod.div_exact(&a).to_string(),
+        (&fa * &fb).div_exact(&fa).to_string()
+    );
+}

@@ -180,7 +180,7 @@ fn eval_fintv(q: &MPoly, algs: &[(usize, RealAlg)]) -> FIntv {
     let mut acc = FIntv::zero();
     for (mono, coeff) in q.terms() {
         let mut term = FIntv::from(coeff);
-        for (i, &e) in mono.iter().enumerate() {
+        for (i, e) in mono.exps().enumerate() {
             if e == 0 {
                 continue;
             }
@@ -203,7 +203,7 @@ fn eval_interval(q: &MPoly, algs: &[(usize, RealAlg)]) -> RatInterval {
     let mut acc = RatInterval::point(Rat::zero());
     for (mono, coeff) in q.terms() {
         let mut term = RatInterval::point(coeff.clone());
-        for (i, &e) in mono.iter().enumerate() {
+        for (i, e) in mono.exps().enumerate() {
             if e == 0 {
                 continue;
             }
