@@ -1,4 +1,4 @@
-//! `repro` — regenerate every table/figure of the reproduction (E1–E19).
+//! `repro` — regenerate every table/figure of the reproduction (E1–E20).
 //!
 //! Usage: `cargo run --release -p cdb-bench --bin repro [-- e1 e2 …]`
 //! (no arguments = all experiments). Each experiment prints the paper's
@@ -6,9 +6,10 @@
 //! E16 additionally writes its parallel-QE speedup and cache statistics to
 //! `BENCH_qe.json`, E17 its naive-vs-semi-naive fixpoint comparison to
 //! `BENCH_datalog.json`, E18 its split-word filter before/after to
-//! `BENCH_kernels.json`, and E19 its interned-vs-seed polynomial
-//! representation comparison to `BENCH_poly.json`, all at the repository
-//! root.
+//! `BENCH_kernels.json`, E19 its interned-vs-seed polynomial
+//! representation comparison to `BENCH_poly.json`, and E20 its modular
+//! resultant kernel comparison to `BENCH_resultant.json`, all at the
+//! repository root.
 
 use cdb_approx::modules::{approximate_on_abase, ApproxMethod};
 use cdb_approx::{sup_error, ABase, AnalyticFn};
@@ -30,10 +31,10 @@ use cdb_qe::{evaluate_query, QeContext};
 #[allow(clippy::disallowed_methods)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let known: Vec<String> = (1..=19).map(|i| format!("e{i}")).collect();
+    let known: Vec<String> = (1..=20).map(|i| format!("e{i}")).collect();
     for a in &args {
         if a != "all" && !known.iter().any(|k| k.eq_ignore_ascii_case(a)) {
-            eprintln!("unknown experiment id `{a}` (expected e1..e19 or all)");
+            eprintln!("unknown experiment id `{a}` (expected e1..e20 or all)");
             std::process::exit(2);
         }
     }
@@ -95,6 +96,9 @@ fn main() {
     }
     if want("e19") {
         e19();
+    }
+    if want("e20") {
+        e20();
     }
 }
 
@@ -658,6 +662,11 @@ fn e16() {
         let hits = ctx_par.cache.hits();
         let misses = ctx_par.cache.misses();
         let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
+        let strat = ctx_par.resultant_strategies();
+        println!(
+            "  resultant kernels: {} PRS / {} eval-interp / {} CRT ({} fallbacks)",
+            strat.prs, strat.eval_interp, strat.crt, strat.fallbacks
+        );
         let t_seq = time_median(3, || {
             let _ = run(1);
         });
@@ -673,9 +682,13 @@ fn e16() {
             hit_rate * 100.0
         );
         entries.push(format!(
-            "{{\"name\": \"cad_6_conic_disjuncts\", \"disjuncts\": 6, \"workers_seq\": 1, \"workers_par\": {par_workers}, \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {speedup:.3}, \"outputs_equal\": {equal}, \"cache_hits\": {hits}, \"cache_misses\": {misses}, \"cache_hit_rate\": {hit_rate:.3}}}",
+            "{{\"name\": \"cad_6_conic_disjuncts\", \"disjuncts\": 6, \"workers_seq\": 1, \"workers_par\": {par_workers}, \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {speedup:.3}, \"outputs_equal\": {equal}, \"cache_hits\": {hits}, \"cache_misses\": {misses}, \"cache_hit_rate\": {hit_rate:.3}, \"resultant_prs\": {}, \"resultant_eval_interp\": {}, \"resultant_crt\": {}, \"resultant_fallbacks\": {}}}",
             t_seq.as_secs_f64() * 1e3,
-            t_par.as_secs_f64() * 1e3
+            t_par.as_secs_f64() * 1e3,
+            strat.prs,
+            strat.eval_interp,
+            strat.crt,
+            strat.fallbacks
         ));
     }
 
@@ -1529,5 +1542,284 @@ fn e19() {
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_poly.json");
     std::fs::write(path, &json).expect("write BENCH_poly.json");
+    println!("  wrote {path}");
+}
+
+/// E20 — modular resultant kernels (DESIGN.md §11): the CRT and
+/// evaluation–interpolation tiers behind the `resultant` dispatcher versus
+/// the seed Bareiss/PRS path, with byte-identical outputs asserted across
+/// every applicable strategy. Writes `BENCH_resultant.json`.
+fn e20() {
+    use cdb_poly::resultant::{
+        resultant, resultant_with_strategy, set_fast_enabled, strategy_counters, Strategy,
+    };
+    header(
+        "E20",
+        "modular resultant kernels: CRT + eval-interp vs seed Bareiss PRS (exact outputs)",
+    );
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("  hardware threads: {hw} (all runs sequential: workers=1)");
+    let mut entries: Vec<String> = Vec::new();
+    let mut all_equal = true;
+    let base = strategy_counters();
+
+    // Compare the dispatcher result against every forced strategy that
+    // claims applicability, byte-for-byte.
+    let check_pairs =
+        |polys: &[MPoly], pairs: &[(usize, usize)], var: usize, want: &[String]| -> bool {
+            let mut ok = true;
+            for strat in [Strategy::Prs, Strategy::EvalInterp, Strategy::Crt] {
+                for (k, &(i, j)) in pairs.iter().enumerate() {
+                    if let Some(r) = resultant_with_strategy(&polys[i], &polys[j], var, strat) {
+                        ok &= r.to_string() == want[k];
+                    }
+                }
+            }
+            ok
+        };
+
+    // Workload A: the raw resultant kernel — all 66 pairwise resultants of
+    // 12 random degree-4 bivariate polynomials (the E19 Workload D set),
+    // fast kernels on (dispatcher: these route to CRT) vs off (the seed
+    // Bareiss/PRS path — the PR 5 baseline).
+    let raw_speedup;
+    {
+        let polys: Vec<MPoly> = gen_poly_relation(91, 12, 4, 10)
+            .tuples()
+            .iter()
+            .map(|t| t.atoms()[0].poly.clone())
+            .collect();
+        let pairs: Vec<(usize, usize)> = (0..polys.len())
+            .flat_map(|i| (i + 1..polys.len()).map(move |j| (i, j)))
+            .collect();
+        let run = || -> Vec<String> {
+            pairs
+                .iter()
+                .map(|&(i, j)| resultant(&polys[i], &polys[j], 1).to_string())
+                .collect()
+        };
+        set_fast_enabled(false);
+        let out_prs = run();
+        let t_prs = time_median(5, || {
+            let _ = run();
+        });
+        set_fast_enabled(true);
+        let out_fast = run();
+        let t_fast = time_median(5, || {
+            let _ = run();
+        });
+        let equal = out_prs == out_fast && check_pairs(&polys, &pairs, 1, &out_prs);
+        assert!(equal, "fast resultant kernels diverged from the seed PRS");
+        all_equal &= equal;
+        raw_speedup = t_prs.as_secs_f64() / t_fast.as_secs_f64().max(1e-12);
+        println!(
+            "  raw kernel, {} degree-4 pairs: PRS {t_prs:.2?}  fast {t_fast:.2?}  speedup {raw_speedup:.2}x  outputs byte-equal: {equal}",
+            pairs.len()
+        );
+        entries.push(format!(
+            "{{\"name\": \"raw_resultant_deg4_pairs\", \"polys\": {}, \"pairs\": {}, \"prs_ms\": {:.3}, \"fast_ms\": {:.3}, \"speedup\": {raw_speedup:.3}, \"outputs_equal\": {equal}}}",
+            polys.len(),
+            pairs.len(),
+            t_prs.as_secs_f64() * 1e3,
+            t_fast.as_secs_f64() * 1e3
+        ));
+    }
+
+    // Workload B: wide integer coefficients (~96 bits) — each CRT call needs
+    // several 62-bit primes and an exact symmetric-range reconstruction
+    // against the Hadamard-style bound.
+    {
+        let polys: Vec<MPoly> = gen_poly_relation(91, 6, 4, 10)
+            .tuples()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let big = Rat::from(&Int::pow2(96) + &Int::from(2 * i as i64 + 1));
+                &(&t.atoms()[0].poly * &MPoly::constant(big, 2)) + &MPoly::var(0, 2)
+            })
+            .collect();
+        let pairs: Vec<(usize, usize)> = (0..polys.len())
+            .flat_map(|i| (i + 1..polys.len()).map(move |j| (i, j)))
+            .collect();
+        let run = || -> Vec<String> {
+            pairs
+                .iter()
+                .map(|&(i, j)| resultant(&polys[i], &polys[j], 1).to_string())
+                .collect()
+        };
+        set_fast_enabled(false);
+        let out_prs = run();
+        let t_prs = time_median(3, || {
+            let _ = run();
+        });
+        set_fast_enabled(true);
+        let out_fast = run();
+        let t_fast = time_median(3, || {
+            let _ = run();
+        });
+        let equal = out_prs == out_fast && check_pairs(&polys, &pairs, 1, &out_prs);
+        assert!(equal, "multi-prime CRT diverged from the seed PRS");
+        all_equal &= equal;
+        let speedup = t_prs.as_secs_f64() / t_fast.as_secs_f64().max(1e-12);
+        println!(
+            "  96-bit coefficients, {} pairs (multi-prime CRT): PRS {t_prs:.2?}  fast {t_fast:.2?}  speedup {speedup:.2}x  outputs byte-equal: {equal}",
+            pairs.len()
+        );
+        entries.push(format!(
+            "{{\"name\": \"raw_resultant_96bit_coeffs\", \"polys\": {}, \"pairs\": {}, \"prs_ms\": {:.3}, \"fast_ms\": {:.3}, \"speedup\": {speedup:.3}, \"outputs_equal\": {equal}}}",
+            polys.len(),
+            pairs.len(),
+            t_prs.as_secs_f64() * 1e3,
+            t_fast.as_secs_f64() * 1e3
+        ));
+    }
+
+    // Workload C: strictly univariate degree-5 pairs — no surviving
+    // variable, so tier 1 is a single rational Euclid per pair with no
+    // interpolation step, and the dispatcher routes small-coefficient
+    // univariate calls there. This is the shape of the iterated-resultant
+    // tails in algebraic sample-point arithmetic.
+    {
+        let polys: Vec<MPoly> = (0..12)
+            .map(|i| MPoly::from_upoly(&gen_upoly(300 + i, 5, 8), 0, 1))
+            .collect();
+        let pairs: Vec<(usize, usize)> = (0..polys.len())
+            .flat_map(|i| (i + 1..polys.len()).map(move |j| (i, j)))
+            .collect();
+        let run = || -> Vec<String> {
+            pairs
+                .iter()
+                .map(|&(i, j)| resultant(&polys[i], &polys[j], 0).to_string())
+                .collect()
+        };
+        set_fast_enabled(false);
+        let out_prs = run();
+        let t_prs = time_median(5, || {
+            let _ = run();
+        });
+        set_fast_enabled(true);
+        let out_fast = run();
+        let t_fast = time_median(5, || {
+            let _ = run();
+        });
+        let equal = out_prs == out_fast && check_pairs(&polys, &pairs, 0, &out_prs);
+        assert!(equal, "univariate eval-interp diverged from the seed PRS");
+        all_equal &= equal;
+        let speedup = t_prs.as_secs_f64() / t_fast.as_secs_f64().max(1e-12);
+        println!(
+            "  univariate degree-5, {} pairs (tier-1 rational Euclid): PRS {t_prs:.2?}  fast {t_fast:.2?}  speedup {speedup:.2}x  outputs byte-equal: {equal}",
+            pairs.len()
+        );
+        entries.push(format!(
+            "{{\"name\": \"raw_resultant_univariate_deg5\", \"polys\": {}, \"pairs\": {}, \"prs_ms\": {:.3}, \"fast_ms\": {:.3}, \"speedup\": {speedup:.3}, \"outputs_equal\": {equal}}}",
+            polys.len(),
+            pairs.len(),
+            t_prs.as_secs_f64() * 1e3,
+            t_fast.as_secs_f64() * 1e3
+        ));
+    }
+
+    // Workload D: end-to-end conic CAD — the E16 workload (6 random conic
+    // disjuncts, ∃x₁) with kernels on vs off. Conic projections carry a
+    // surviving variable, so the dispatcher sends them to the modular CRT
+    // tier; the per-context strategy counters surface through
+    // `QeContext::resultant_strategies`.
+    {
+        let rel = gen_poly_relation(79, 6, 2, 3);
+        let run = || -> (String, cdb_qe::ResultantStrategies) {
+            let mut db = Database::new();
+            db.insert("R", rel.clone());
+            let q = Formula::exists(1, Formula::Rel("R".into(), vec![0, 1]));
+            let ctx = QeContext::exact().with_workers(1);
+            let out = evaluate_query(&db, &q, 2, &ctx).unwrap();
+            (format!("{}", out.relation), ctx.resultant_strategies())
+        };
+        set_fast_enabled(false);
+        let (s_off, _) = run();
+        let t_off = time_median(3, || {
+            let _ = run();
+        });
+        set_fast_enabled(true);
+        let (s_on, strat) = run();
+        let t_on = time_median(3, || {
+            let _ = run();
+        });
+        let equal = s_off == s_on;
+        assert!(equal, "CAD output changed under the fast resultant kernels");
+        all_equal &= equal;
+        let speedup = t_off.as_secs_f64() / t_on.as_secs_f64().max(1e-12);
+        println!(
+            "  conic CAD, 6 disjuncts: kernels off {t_off:.2?}  on {t_on:.2?}  speedup {speedup:.2}x  outputs byte-equal: {equal}"
+        );
+        println!(
+            "  CAD strategy counters: {} PRS / {} eval-interp / {} CRT ({} fallbacks)",
+            strat.prs, strat.eval_interp, strat.crt, strat.fallbacks
+        );
+        entries.push(format!(
+            "{{\"name\": \"cad_6_conic_disjuncts\", \"disjuncts\": 6, \"workers\": 1, \"kernels_off_ms\": {:.3}, \"kernels_on_ms\": {:.3}, \"speedup\": {speedup:.3}, \"cad_prs\": {}, \"cad_eval_interp\": {}, \"cad_crt\": {}, \"cad_fallbacks\": {}, \"outputs_equal\": {equal}}}",
+            t_off.as_secs_f64() * 1e3,
+            t_on.as_secs_f64() * 1e3,
+            strat.prs,
+            strat.eval_interp,
+            strat.crt,
+            strat.fallbacks
+        ));
+    }
+
+    // Workload E: dispatcher coverage — shapes that must stay on PRS: a
+    // linear pair (2×2 Sylvester matrix) and a trivariate pair (two
+    // auxiliary variables, outside the bivariate fast kernels).
+    {
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let lin_p = &(&x + &y) + &MPoly::constant(Rat::from(3), 2);
+        let lin_q = &(&x - &y) + &MPoly::constant(Rat::from(1), 2);
+        let x3 = MPoly::var(0, 3);
+        let y3 = MPoly::var(1, 3);
+        let z3 = MPoly::var(2, 3);
+        let tri_p = &(&x3 * &x3) + &(&y3 * &z3);
+        let tri_q = &(&x3 * &y3) - &z3;
+        for (p, q) in [(&lin_p, &lin_q), (&tri_p, &tri_q)] {
+            set_fast_enabled(false);
+            let slow = resultant(p, q, 0).to_string();
+            set_fast_enabled(true);
+            let fast = resultant(p, q, 0).to_string();
+            let equal = slow == fast;
+            assert!(equal, "PRS-shaped input diverged under the dispatcher");
+            all_equal &= equal;
+        }
+        println!("  PRS-shaped inputs (linear pair, trivariate pair): outputs byte-equal: true");
+        entries.push(
+            "{\"name\": \"prs_shapes_linear_and_trivariate\", \"pairs\": 2, \"outputs_equal\": true}"
+                .to_string(),
+        );
+    }
+
+    // CI smoke assertions: byte identity everywhere, and the dispatcher
+    // exercised all three strategies at least once across the workloads.
+    let after = strategy_counters();
+    let (d_prs, d_eval, d_crt, d_fb) = (
+        after.0 - base.0,
+        after.1 - base.1,
+        after.2 - base.2,
+        after.3 - base.3,
+    );
+    let strategies_all_exercised = d_prs > 0 && d_eval > 0 && d_crt > 0;
+    assert!(all_equal, "some E20 workload diverged between strategies");
+    assert!(
+        strategies_all_exercised,
+        "E20 must exercise PRS, eval-interp and CRT at least once \
+         (got {d_prs}/{d_eval}/{d_crt})"
+    );
+    println!(
+        "  overall: all outputs byte-identical; strategies exercised: {d_prs} PRS / {d_eval} eval-interp / {d_crt} CRT ({d_fb} fallbacks); raw-kernel speedup {raw_speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e20_resultant_kernels\",\n  \"hardware_threads\": {hw},\n  \"raw_resultant_speedup\": {raw_speedup:.3},\n  \"strategy_prs\": {d_prs},\n  \"strategy_eval_interp\": {d_eval},\n  \"strategy_crt\": {d_crt},\n  \"strategy_fallbacks\": {d_fb},\n  \"strategies_all_exercised\": {strategies_all_exercised},\n  \"all_outputs_equal\": {all_equal},\n  \"workloads\": [\n    {}\n  ]\n}}\n",
+        entries.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_resultant.json");
+    std::fs::write(path, &json).expect("write BENCH_resultant.json");
     println!("  wrote {path}");
 }

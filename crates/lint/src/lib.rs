@@ -123,7 +123,13 @@ pub fn classify(rel: &str) -> FileClass {
             "crates/agg/",
         ]
         .iter()
-        .any(|p| rel.starts_with(p)),
+        .any(|p| rel.starts_with(p))
+            // The modular-arithmetic substrate of the resultant kernels
+            // (DESIGN.md §11) produces result bytes directly (CRT residues
+            // become polynomial coefficients), so it answers to the same
+            // determinism bar as the result-producing crates: u64 modular
+            // arithmetic is fine, HashMap/Relaxed/wall-clocks are not.
+            || rel == "crates/num/src/modp.rs",
         panic: !is_bin,
         lock: true,
     }

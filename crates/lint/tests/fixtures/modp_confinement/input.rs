@@ -1,0 +1,33 @@
+//! Pretend `cdb_num::modp`: the modular-arithmetic substrate is covered by
+//! BOTH the float-confinement rule (it is not the `fintv` boundary) and the
+//! determinism rule (CRT residues become result bytes). Plain u64 modular
+//! arithmetic must pass untouched; floats, unordered containers, and
+//! relaxed atomics are findings.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fine: pure u64/u128 residue arithmetic.
+pub fn mul_mod(a: u64, b: u64, p: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(p)) as u64
+}
+
+/// Finding (float): an f64 shortcut has no place in the exact kernel.
+pub fn approx_inverse(a: u64, p: u64) -> u64 {
+    let guess = (p as f64) / (a as f64);
+    guess as u64
+}
+
+/// Finding (determinism): hash-order iteration over residues.
+pub fn residue_table(rs: &[u64]) -> usize {
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    for &r in rs {
+        *seen.entry(r).or_default() += 1;
+    }
+    seen.len()
+}
+
+/// Finding (determinism): relaxed counter in the reconstruction path.
+pub fn count_bad_primes(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}

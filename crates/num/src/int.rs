@@ -621,6 +621,21 @@ impl Int {
         }
     }
 
+    /// Magnitude modulo `m` (sign ignored): `|self| mod m`, in `[0, m)`.
+    ///
+    /// Single pass over the limbs, high to low, with a 128-bit running
+    /// remainder — this is the hot reduction of the CRT resultant kernel
+    /// ([`crate::modp`]), so it never allocates.
+    #[must_use]
+    pub fn mod_u64(&self, m: u64) -> u64 {
+        assert!(m != 0, "modulus must be nonzero");
+        let mut rem = 0u128;
+        for &limb in self.limbs().iter().rev() {
+            rem = ((rem << 64) | u128::from(limb)) % u128::from(m);
+        }
+        rem as u64
+    }
+
     /// Decimal string of the magnitude.
     fn mag_to_decimal(&self) -> String {
         if self.is_zero() {
@@ -1098,5 +1113,102 @@ mod tests {
         assert_eq!(Int::from(1).trailing_zeros(), Some(0));
         assert_eq!(Int::from(8).trailing_zeros(), Some(3));
         assert_eq!(Int::pow2(130).trailing_zeros(), Some(130));
+    }
+
+    // ── Single-limb edge cases the CRT resultant path leans on ──────────
+
+    #[test]
+    fn u64_max_boundary_add_carries() {
+        // u64::MAX + 1 must carry out of the inline limb into Big storage.
+        let max = Int::from(u64::MAX);
+        let succ = &max + &Int::one();
+        assert_eq!(succ, Int::pow2(64));
+        assert_eq!(succ.bit_length(), 65);
+        // … and subtracting brings it back down to a canonical Small.
+        assert_eq!(&succ - &Int::one(), max);
+        assert_eq!((&succ - &Int::one()).bit_length(), 64);
+        // MAX + MAX = 2^65 − 2 straddles the limb boundary from both sides.
+        let doubled = &max + &max;
+        assert_eq!(doubled, &Int::pow2(65) - &Int::from(2));
+        assert_eq!(&doubled - &max, max);
+    }
+
+    #[test]
+    fn u64_max_boundary_mul_carries() {
+        // MAX² = 2^128 − 2^65 + 1: the full-width single-limb product.
+        let max = Int::from(u64::MAX);
+        let sq = &max * &max;
+        let expect = &(&Int::pow2(128) - &Int::pow2(65)) + &Int::one();
+        assert_eq!(sq, expect);
+        assert_eq!(sq.bit_length(), 128);
+        // Exact division recovers the factor, and mod_u64 sees residue 0.
+        assert_eq!(sq.div_exact(&max), max);
+        assert_eq!(sq.mod_u64(u64::MAX), 0);
+        assert_eq!((&sq + &Int::one()).mod_u64(u64::MAX), 1);
+    }
+
+    #[test]
+    fn to_f64_interval_at_2_to_53() {
+        // 2^53 − 1 is the largest odd integer that fits the mantissa: the
+        // enclosure must be a point there (bit_length = 53, exact branch).
+        let exact = Int::pow2(53);
+        let below = &exact - &Int::one();
+        assert_eq!(
+            below.to_f64_interval(),
+            (9007199254740991.0, 9007199254740991.0)
+        );
+        // 2^53 itself has bit_length 54, so it crosses into the
+        // correctly-rounded branch: the enclosure widens outward by one ulp
+        // step each way but must still contain the exact value.
+        let (lo, hi) = exact.to_f64_interval();
+        assert!(lo <= 9007199254740992.0 && 9007199254740992.0 <= hi);
+        assert!(hi - lo <= 4.0, "enclosure stays within 2 ulps at 2^53");
+        // 2^53 + 1 (odd, 54 bits) cannot be an f64 at all: the enclosure
+        // must properly straddle the true value.
+        let above = &exact + &Int::one();
+        let (lo, hi) = above.to_f64_interval();
+        assert!(lo < hi, "2^53 + 1 is not an f64; interval must widen");
+        assert!(lo <= 9007199254740992.0 && 9007199254740994.0 <= hi);
+        // Negative mirror.
+        let (nlo, nhi) = (-&above).to_f64_interval();
+        assert_eq!((nlo, nhi), (-hi, -lo));
+    }
+
+    #[test]
+    fn gcd_of_mixed_small_and_big_magnitudes() {
+        // gcd(2^100 · 3, 6) = 6: one operand Big, one Small.
+        let big = &Int::pow2(100) * &Int::from(3);
+        assert_eq!(big.gcd(&Int::from(6)), Int::from(6));
+        assert_eq!(Int::from(6).gcd(&big), Int::from(6));
+        // Coprime mix in either order, and sign-insensitivity.
+        let p = &Int::pow2(89) - &Int::one(); // Mersenne prime M89
+        assert_eq!(p.gcd(&Int::from(u64::MAX)), Int::one());
+        assert_eq!((-&p).gcd(&Int::from(-6)), Int::one());
+        // Shared Big factor found through a Small cofactor:
+        // gcd(m · 7, 7) where m · 7 is multi-limb.
+        let m7 = &p * &Int::from(7);
+        assert_eq!(m7.gcd(&Int::from(7)), Int::from(7));
+        // Zero identities at the boundary.
+        assert_eq!(big.gcd(&Int::zero()), big.abs());
+        assert_eq!(Int::zero().gcd(&Int::from(u64::MAX)), Int::from(u64::MAX));
+    }
+
+    #[test]
+    fn mod_u64_matches_divrem() {
+        let samples = [
+            Int::zero(),
+            Int::from(1),
+            Int::from(-1),
+            Int::from(u64::MAX),
+            &Int::pow2(64) + &Int::from(5),
+            &Int::pow2(200) - &Int::from(3),
+            -&(&Int::pow2(130) + &Int::from(911)),
+        ];
+        for m in [1u64, 2, 97, u64::MAX, 4611686018427387847] {
+            for v in &samples {
+                let (_, r) = v.abs().divrem(&Int::from(m));
+                assert_eq!(Int::from(v.mod_u64(m)), r, "v = {v}, m = {m}");
+            }
+        }
     }
 }

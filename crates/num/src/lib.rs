@@ -20,6 +20,9 @@
 //! * **Bounded integers** ([`zk::Zk`]) — the §4 structure `Z_k` of integers of
 //!   bit length at most `k`, with the split-word operations `+l/+u/×l/×u` of
 //!   Theorem 4.3.
+//! * **Word-size prime fields** ([`modp::ModP`]) — `Z_p` residue arithmetic
+//!   and Chinese-remainder reconstruction ([`modp::Crt`]) powering the
+//!   modular resultant kernels of DESIGN.md §11.
 //!
 //! Rational interval arithmetic ([`interval::RatInterval`]) supports exact
 //! sign determination at real algebraic points during CAD lifting, and
@@ -31,6 +34,7 @@ pub mod fintv;
 pub mod fk;
 pub mod int;
 pub mod interval;
+pub mod modp;
 pub mod rat;
 pub mod zk;
 
@@ -38,6 +42,7 @@ pub use fintv::FIntv;
 pub use fk::{Fk, FkError, FkParams};
 pub use int::Int;
 pub use interval::RatInterval;
+pub use modp::ModP;
 pub use rat::Rat;
 pub use zk::Zk;
 

@@ -1,0 +1,527 @@
+//! Word-size prime fields `Z_p` and Chinese-remainder reconstruction.
+//!
+//! This is the arithmetic substrate of the modular resultant kernel
+//! (DESIGN.md §11): multivariate resultants are mapped into `Z_p` for a
+//! sequence of word-size primes, computed there entirely in `u64`
+//! arithmetic, and recombined exactly with [`Crt`]. It extends the §4
+//! bounded-word philosophy of [`crate::Zk`] — spend as few exact big-number
+//! operations as possible and let cheap fixed-width arithmetic carry the
+//! bulk — from the *semantics* layer down into the *algebra* kernels.
+//!
+//! Elements of `Z_p` are plain least non-negative residues in `u64`; the
+//! field context [`ModP`] carries the modulus. Products go through `u128`
+//! (no Montgomery form: a 128-bit multiply + remainder is branch-free and
+//! deterministic, and profiling the resultant kernel shows reduction is not
+//! the bottleneck — interpolation is). All primes in [`PRIMES`] sit just
+//! below `2^62`, so sums of two reduced residues never overflow a `u64` and
+//! every prime contributes at least 61 bits to a CRT modulus.
+//!
+//! Determinism: this module is pure integer arithmetic — no floats, no
+//! hash-order iteration, no relaxed atomics (enforced by `cdb-lint`, which
+//! applies both the float-confinement and the determinism rule here).
+
+use crate::int::Int;
+use crate::Sign;
+
+/// Word-size primes just below `2^62`, in decreasing order.
+///
+/// Forty primes × ≥61 bits each ≈ 2440 bits of CRT capacity — far beyond
+/// any resultant the CAD projection operator encounters in practice; the
+/// kernel falls back to the fraction-free PRS path if a workload ever
+/// exhausts the list (see `cdb_poly::resultant`).
+pub const PRIMES: [u64; 40] = [
+    4611686018427387847,
+    4611686018427387817,
+    4611686018427387787,
+    4611686018427387761,
+    4611686018427387751,
+    4611686018427387737,
+    4611686018427387733,
+    4611686018427387709,
+    4611686018427387701,
+    4611686018427387631,
+    4611686018427387617,
+    4611686018427387587,
+    4611686018427387461,
+    4611686018427387421,
+    4611686018427387409,
+    4611686018427387329,
+    4611686018427387323,
+    4611686018427387301,
+    4611686018427387271,
+    4611686018427387241,
+    4611686018427387139,
+    4611686018427387131,
+    4611686018427387127,
+    4611686018427387113,
+    4611686018427387091,
+    4611686018427387073,
+    4611686018427386981,
+    4611686018427386923,
+    4611686018427386911,
+    4611686018427386903,
+    4611686018427386897,
+    4611686018427386887,
+    4611686018427386707,
+    4611686018427386663,
+    4611686018427386611,
+    4611686018427386551,
+    4611686018427386471,
+    4611686018427386389,
+    4611686018427386351,
+    4611686018427386329,
+];
+
+/// Every prime in [`PRIMES`] exceeds `2^PRIME_BITS`, so `k` primes give a
+/// CRT modulus of more than `k · PRIME_BITS` bits.
+pub const PRIME_BITS: u64 = 61;
+
+/// A word-size prime field `Z_p`. Elements are least non-negative residues
+/// stored as raw `u64`; all operations return reduced values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModP {
+    p: u64,
+}
+
+impl ModP {
+    /// Field context for modulus `p`.
+    ///
+    /// `p` must be an odd prime below `2^62`; the arithmetic here silently
+    /// assumes primality (inverses via Fermat), so callers should draw
+    /// moduli from [`PRIMES`] or check with [`is_prime_u64`].
+    #[must_use]
+    pub fn new(p: u64) -> ModP {
+        assert!(p > 2 && p & 1 == 1 && p < 1 << 62, "odd prime below 2^62");
+        ModP { p }
+    }
+
+    /// The modulus `p`.
+    #[must_use]
+    pub fn modulus(&self) -> u64 {
+        self.p
+    }
+
+    /// Reduce an arbitrary `u64`.
+    #[must_use]
+    pub fn reduce(&self, a: u64) -> u64 {
+        a % self.p
+    }
+
+    /// `a + b mod p` for reduced inputs.
+    #[must_use]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        // Both summands are < p < 2^62, so the sum fits a u64.
+        let s = a + b;
+        if s >= self.p {
+            s - self.p
+        } else {
+            s
+        }
+    }
+
+    /// `a - b mod p` for reduced inputs.
+    #[must_use]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        if a >= b {
+            a - b
+        } else {
+            a + (self.p - b)
+        }
+    }
+
+    /// `-a mod p` for a reduced input.
+    #[must_use]
+    pub fn neg(&self, a: u64) -> u64 {
+        if a == 0 {
+            0
+        } else {
+            self.p - a
+        }
+    }
+
+    /// `a · b mod p` for reduced inputs (via a 128-bit product).
+    #[must_use]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        ((u128::from(a) * u128::from(b)) % u128::from(self.p)) as u64
+    }
+
+    /// `a^e mod p` by binary exponentiation (`0^0 = 1`).
+    #[must_use]
+    pub fn pow(&self, mut a: u64, mut e: u64) -> u64 {
+        let mut acc = 1u64 % self.p;
+        a = self.reduce(a);
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, a);
+            }
+            a = self.mul(a, a);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse of `a`, or `None` for `a ≡ 0`.
+    ///
+    /// Uses Fermat's little theorem (`a^{p−2}`), which is why the modulus
+    /// must be prime.
+    #[must_use]
+    pub fn inv(&self, a: u64) -> Option<u64> {
+        let a = self.reduce(a);
+        if a == 0 {
+            None
+        } else {
+            Some(self.pow(a, self.p - 2))
+        }
+    }
+
+    /// Reduce an arbitrary-precision integer into `Z_p`.
+    #[must_use]
+    pub fn from_int(&self, v: &Int) -> u64 {
+        let m = v.mod_u64(self.p);
+        match v.sign() {
+            Sign::Neg => self.neg(m),
+            _ => m,
+        }
+    }
+
+    /// Simultaneous inverses of `xs` (Montgomery's trick): `3(n−1)` products
+    /// and a *single* Fermat exponentiation, versus one exponentiation per
+    /// element. `None` if any element is `≡ 0` (nothing is inverted then).
+    ///
+    /// The resultant kernels lean on this: Newton divided differences and
+    /// per-evaluation-point denominators arrive as a batch, and the batch
+    /// inverse turns the kernel's `O(n²)` inversions into `O(n²)` plain
+    /// multiplications plus one `pow`.
+    #[must_use]
+    pub fn batch_inv(&self, xs: &[u64]) -> Option<Vec<u64>> {
+        if xs.is_empty() {
+            return Some(Vec::new());
+        }
+        // prefix[k] = xs[0] · … · xs[k]
+        let mut prefix = Vec::with_capacity(xs.len());
+        let mut acc = 1u64;
+        for &x in xs {
+            acc = self.mul(acc, self.reduce(x));
+            prefix.push(acc);
+        }
+        let mut inv_acc = self.inv(acc)?; // 0 iff some xs[k] ≡ 0
+        let mut out = vec![0u64; xs.len()];
+        for k in (1..xs.len()).rev() {
+            out[k] = self.mul(inv_acc, prefix[k - 1]);
+            inv_acc = self.mul(inv_acc, self.reduce(xs[k]));
+        }
+        out[0] = inv_acc; // cdb-lint: allow(panic) — xs (hence out) is non-empty: the empty case returned above
+        Some(out)
+    }
+}
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64`.
+///
+/// The witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} is known to
+/// be complete below `3.3 · 10^24`, which covers the whole `u64` range.
+#[must_use]
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &small in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n.is_multiple_of(small) {
+            return n == small;
+        }
+    }
+    let s = (n - 1).trailing_zeros();
+    let d = (n - 1) >> s;
+    let mulmod = |a: u64, b: u64| ((u128::from(a) * u128::from(b)) % u128::from(n)) as u64;
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = {
+            let mut acc = 1u64;
+            let mut base = a % n;
+            let mut e = d;
+            while e > 0 {
+                if e & 1 == 1 {
+                    acc = mulmod(acc, base);
+                }
+                base = mulmod(base, base);
+                e >>= 1;
+            }
+            acc
+        };
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mulmod(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Incremental Chinese-remainder accumulator (Garner form).
+///
+/// Feed it one residue per pairwise-coprime modulus with [`Crt::push`]; at
+/// any point [`Crt::symmetric`] yields the unique representative of the
+/// accumulated residue in `(−M/2, M/2]`, where `M` is the product of the
+/// moduli so far. The modular resultant kernel reconstructs every integer
+/// coefficient this way once the product exceeds twice its Hadamard bound.
+#[derive(Debug, Clone)]
+pub struct Crt {
+    /// Least non-negative residue of the solution modulo `modulus`.
+    value: Int,
+    /// Product of all moduli pushed so far.
+    modulus: Int,
+}
+
+impl Default for Crt {
+    fn default() -> Crt {
+        Crt::new()
+    }
+}
+
+impl Crt {
+    /// Empty accumulator (solution `0` modulo `1`).
+    #[must_use]
+    pub fn new() -> Crt {
+        Crt {
+            value: Int::zero(),
+            modulus: Int::one(),
+        }
+    }
+
+    /// Product of the moduli accumulated so far.
+    #[must_use]
+    pub fn modulus(&self) -> &Int {
+        &self.modulus
+    }
+
+    /// Incorporate `residue` modulo `p`.
+    ///
+    /// `p` must be prime (or at least coprime to every modulus pushed
+    /// before); returns `false` without changing the accumulator if the
+    /// running modulus is not invertible mod `p` (a repeated prime).
+    pub fn push(&mut self, residue: u64, p: u64) -> bool {
+        let fp = ModP::new(p);
+        let m_mod_p = fp.from_int(&self.modulus);
+        let Some(m_inv) = fp.inv(m_mod_p) else {
+            return false;
+        };
+        self.push_with_inv(residue, fp, m_inv);
+        true
+    }
+
+    /// Incorporate one residue per accumulator, all modulo the same new
+    /// prime `p`, for accumulators advanced in lockstep (identical prime
+    /// sequence, hence identical `modulus`). The Garner inverse
+    /// `modulus⁻¹ mod p` depends only on the shared modulus, so it is
+    /// computed once for the whole batch instead of once per accumulator —
+    /// this is how the CRT resultant kernel recombines all coefficients of
+    /// a `y`-polynomial per prime.
+    ///
+    /// Returns `false` without changing anything if `p` is not coprime to
+    /// the shared modulus (a repeated prime), like [`Crt::push`].
+    ///
+    /// # Panics
+    /// If the accumulators' moduli differ (they were not in lockstep) or
+    /// `residues.len() != crts.len()`.
+    pub fn push_batch(crts: &mut [Crt], residues: &[u64], p: u64) -> bool {
+        assert_eq!(crts.len(), residues.len(), "one residue per accumulator");
+        let Some(first) = crts.first() else {
+            return true;
+        };
+        let shared = first.modulus.clone();
+        let fp = ModP::new(p);
+        let m_mod_p = fp.from_int(&shared);
+        let Some(m_inv) = fp.inv(m_mod_p) else {
+            return false;
+        };
+        for (crt, &residue) in crts.iter_mut().zip(residues) {
+            assert_eq!(
+                crt.modulus, shared,
+                "push_batch requires lockstep accumulators"
+            );
+            crt.push_with_inv(residue, fp, m_inv);
+        }
+        true
+    }
+
+    /// Garner step with a precomputed `m_inv = modulus⁻¹ mod p`.
+    fn push_with_inv(&mut self, residue: u64, fp: ModP, m_inv: u64) {
+        // delta = (residue − value) · modulus⁻¹ mod p, then
+        // value += modulus · delta;  the new value is < modulus · p.
+        let v_mod_p = fp.from_int(&self.value);
+        let delta = fp.mul(fp.sub(fp.reduce(residue), v_mod_p), m_inv);
+        self.value = &self.value + &(&self.modulus * &Int::from(delta));
+        self.modulus = &self.modulus * &Int::from(fp.modulus());
+    }
+
+    /// The unique representative in the symmetric range `(−M/2, M/2]`.
+    #[must_use]
+    pub fn symmetric(&self) -> Int {
+        let doubled = &self.value + &self.value;
+        if doubled > self.modulus {
+            &self.value - &self.modulus
+        } else {
+            self.value.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_table_is_prime_and_sized() {
+        for &p in &PRIMES {
+            assert!(is_prime_u64(p), "{p} must be prime");
+            assert!(p > 1 << PRIME_BITS, "{p} must exceed 2^{PRIME_BITS}");
+            assert!(p < 1 << 62, "{p} must stay below 2^62");
+        }
+        // Strictly decreasing, hence pairwise distinct (CRT needs coprime).
+        for w in PRIMES.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn miller_rabin_agrees_with_trial_division() {
+        let naive = |n: u64| {
+            n >= 2
+                && (2..n)
+                    .take_while(|d| d * d <= n)
+                    .all(|d| !n.is_multiple_of(d))
+        };
+        for n in 0..2000 {
+            assert_eq!(is_prime_u64(n), naive(n), "n = {n}");
+        }
+        assert!(is_prime_u64(u64::MAX - 58)); // 2^64 − 59 is prime
+        assert!(!is_prime_u64(u64::MAX)); // 3 · 5 · 17 · 257 · 641 · 65537 · 6700417
+    }
+
+    #[test]
+    fn field_ops_roundtrip() {
+        let fp = ModP::new(PRIMES[0]);
+        let p = fp.modulus();
+        for a in [0u64, 1, 2, p - 1, p / 2, 123456789] {
+            assert_eq!(fp.add(a, fp.neg(a)), 0);
+            assert_eq!(fp.sub(a, a), 0);
+            if a != 0 {
+                let inv = fp.inv(a).unwrap();
+                assert_eq!(fp.mul(a, inv), 1, "a·a⁻¹ = 1 for a = {a}");
+            }
+        }
+        assert_eq!(fp.inv(0), None);
+        assert_eq!(fp.pow(3, 4), 81);
+        assert_eq!(fp.pow(0, 0), 1);
+        // (p−1)² ≡ 1: exercises the full-width u128 product path.
+        assert_eq!(fp.mul(p - 1, p - 1), 1);
+    }
+
+    #[test]
+    fn from_int_handles_signs_and_multiple_limbs() {
+        let fp = ModP::new(PRIMES[0]);
+        assert_eq!(fp.from_int(&Int::from(7i64)), 7);
+        assert_eq!(fp.from_int(&Int::from(-7i64)), fp.neg(7));
+        assert_eq!(fp.from_int(&Int::zero()), 0);
+        // A value larger than one limb reduces consistently with Int math.
+        let big = &Int::pow2(200) + &Int::from(12345i64);
+        let direct = fp.from_int(&big);
+        let via_parts = fp.add(fp.from_int(&Int::pow2(200)), 12345);
+        assert_eq!(direct, via_parts);
+    }
+
+    #[test]
+    fn crt_reconstructs_known_values() {
+        for value in [0i64, 1, -1, 123456789, -987654321] {
+            let v = Int::from(value);
+            let mut crt = Crt::new();
+            for &p in &PRIMES[..3] {
+                crt.push(ModP::new(p).from_int(&v), p);
+            }
+            assert_eq!(crt.symmetric(), v, "value = {value}");
+        }
+    }
+
+    #[test]
+    fn crt_symmetric_range_boundaries() {
+        // Single modulus p: representatives must lie in (−p/2, p/2].
+        let p = PRIMES[0];
+        let fp = ModP::new(p);
+        let half = Int::from(p / 2); // p odd: floor(p/2)
+        let mut crt = Crt::new();
+        crt.push(fp.from_int(&half), p);
+        assert_eq!(crt.symmetric(), half); // p/2 ≤ M/2 stays positive
+        let mut crt = Crt::new();
+        crt.push(fp.from_int(&(&half + &Int::one())), p);
+        assert_eq!(crt.symmetric(), -&half); // (p+1)/2 ≡ −(p−1)/2
+    }
+
+    #[test]
+    fn batch_inv_matches_single_inversions() {
+        let fp = ModP::new(PRIMES[0]);
+        let xs = [1u64, 2, 3, 123456789, fp.modulus() - 1, 42];
+        let invs = fp.batch_inv(&xs).unwrap();
+        for (&x, &ix) in xs.iter().zip(&invs) {
+            assert_eq!(ix, fp.inv(x).unwrap(), "x = {x}");
+            assert_eq!(fp.mul(x, ix), 1);
+        }
+        assert_eq!(fp.batch_inv(&[]).unwrap(), Vec::<u64>::new());
+        assert_eq!(fp.batch_inv(&[3, 0, 5]), None, "zero poisons the batch");
+    }
+
+    #[test]
+    fn push_batch_matches_sequential_pushes() {
+        let values = [0i64, 1, -1, 987654321, -123456789];
+        let ints: Vec<Int> = values.iter().map(|&v| Int::from(v)).collect();
+        let mut batched: Vec<Crt> = vec![Crt::new(); ints.len()];
+        let mut sequential: Vec<Crt> = vec![Crt::new(); ints.len()];
+        for &p in &PRIMES[..3] {
+            let fp = ModP::new(p);
+            let residues: Vec<u64> = ints.iter().map(|v| fp.from_int(v)).collect();
+            assert!(Crt::push_batch(&mut batched, &residues, p));
+            for (crt, &r) in sequential.iter_mut().zip(&residues) {
+                assert!(crt.push(r, p));
+            }
+        }
+        for ((b, s), v) in batched.iter().zip(&sequential).zip(&ints) {
+            assert_eq!(b.symmetric(), *v);
+            assert_eq!(s.symmetric(), *v);
+            assert_eq!(b.modulus(), s.modulus());
+        }
+        // Repeated prime: rejected as a unit, nothing mutated.
+        let before = batched[0].symmetric();
+        assert!(!Crt::push_batch(&mut batched, &[0; 5], PRIMES[0]));
+        assert_eq!(batched[0].symmetric(), before);
+        // Empty batch is trivially fine.
+        assert!(Crt::push_batch(&mut [], &[], PRIMES[0]));
+    }
+
+    #[test]
+    fn crt_rejects_repeated_prime() {
+        let p = PRIMES[0];
+        let mut crt = Crt::new();
+        assert!(crt.push(5, p));
+        assert!(!crt.push(5, p), "repeated modulus must be rejected");
+        assert_eq!(crt.symmetric(), Int::from(5i64));
+    }
+
+    #[test]
+    fn crt_two_prime_product_exceeds_single_word() {
+        // Reconstruct a 100-bit integer: needs two 62-bit primes.
+        let v = &Int::pow2(100) + &Int::from(77i64);
+        let mut crt = Crt::new();
+        for &p in &PRIMES[..2] {
+            crt.push(ModP::new(p).from_int(&v), p);
+        }
+        assert_eq!(crt.symmetric(), v);
+        let neg = -&v;
+        let mut crt = Crt::new();
+        for &p in &PRIMES[..2] {
+            crt.push(ModP::new(p).from_int(&neg), p);
+        }
+        assert_eq!(crt.symmetric(), neg);
+    }
+}

@@ -1,14 +1,98 @@
-//! Resultants and discriminants via fraction-free (Bareiss) elimination on
-//! the Sylvester matrix.
+//! Resultants and discriminants: modular / evaluation–interpolation kernels
+//! with a fraction-free (Bareiss) fallback.
 //!
 //! These are the workhorses of the CAD projection operator `PROJ` (Appendix
 //! I: "Polynomials of PROJ(P_i) are formed by addition, subtraction, and
 //! multiplication of the coefficients … with the technique of
-//! subresultants"). Bareiss elimination keeps every intermediate entry a
-//! polynomial (divisions are exact), avoiding rational-function blowup.
+//! subresultants"). Three strategies compute the *same* mathematical object
+//! — the determinant of the Sylvester matrix — so their outputs are
+//! byte-identical, and a per-call dispatcher picks the cheapest one
+//! (DESIGN.md §11):
+//!
+//! * **PRS** ([`Strategy::Prs`]) — Bareiss fraction-free elimination on the
+//!   Sylvester matrix over `MPoly`. Fully general (any number of
+//!   variables); every intermediate is polynomial, divisions exact. This is
+//!   the seed algorithm and the guaranteed fallback.
+//! * **Evaluation–interpolation** ([`Strategy::EvalInterp`]) — for inputs
+//!   that are (at most) bivariate `{var, y}`: specialize `y` at enough
+//!   rational points (Brown's bound `deg_y(res) ≤ deg_y(p)·deg_x(q) +
+//!   deg_y(q)·deg_x(p)`), take univariate resultants over `Q` via the
+//!   Euclidean product formula, and Newton-interpolate the coefficients.
+//! * **Modular CRT** ([`Strategy::Crt`]) — content-extract to primitive
+//!   integer polynomials, map into `Z_p` for word-size primes
+//!   ([`cdb_num::modp`]), run the whole evaluation–interpolation kernel in
+//!   `u64` arithmetic, and Chinese-remainder the integer coefficients back
+//!   against a Hadamard-style bound. Bad primes (leading coefficient
+//!   vanishing mod `p`) are detected and skipped; exhausting the prime
+//!   table falls back to PRS.
+//!
+//! Strategy decisions are counted in process-global counters
+//! ([`strategy_counters`]) that `cdb_qe::QeContext` snapshots the same way
+//! it snapshots the PR 3 float-filter stats.
 
 use crate::mpoly::MPoly;
-use cdb_num::Rat;
+use crate::upoly::UPoly;
+use cdb_num::modp::{Crt, ModP, PRIMES, PRIME_BITS};
+use cdb_num::{Int, Rat};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+// ───────────────────────── dispatcher instrumentation ─────────────────────
+
+/// Master switch for the fast kernels (default on). Disabled, every call
+/// runs the seed Bareiss PRS — used by benches to measure the PR 5 baseline
+/// and by differential tests to compare paths.
+static FAST_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Calls answered by the Bareiss PRS path (including fallbacks).
+static STRAT_PRS: AtomicU64 = AtomicU64::new(0);
+/// Calls answered by rational evaluation–interpolation.
+static STRAT_EVAL: AtomicU64 = AtomicU64::new(0);
+/// Calls answered by the modular CRT kernel.
+static STRAT_CRT: AtomicU64 = AtomicU64::new(0);
+/// Fast-path attempts that had to fall back to PRS (bad primes exhausted,
+/// coefficient bound beyond the prime table, …).
+static STRAT_FALLBACK: AtomicU64 = AtomicU64::new(0);
+
+/// Are the modular / evaluation–interpolation kernels enabled?
+#[must_use]
+pub fn fast_enabled() -> bool {
+    FAST_ENABLED.load(Ordering::SeqCst)
+}
+
+/// Enable or disable the fast kernels process-wide (outputs are
+/// byte-identical either way; only speed changes).
+pub fn set_fast_enabled(on: bool) {
+    FAST_ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Process-global dispatcher counters `(prs, eval_interp, crt, fallbacks)`.
+///
+/// `prs` counts every call answered by Bareiss (dispatch choice *or*
+/// fallback); `fallbacks` additionally counts how many of those began on a
+/// fast path that could not finish. Snapshot-and-delta consumers mirror
+/// [`cdb_num::fintv::filter_counters`].
+#[must_use]
+pub fn strategy_counters() -> (u64, u64, u64, u64) {
+    (
+        STRAT_PRS.load(Ordering::SeqCst),
+        STRAT_EVAL.load(Ordering::SeqCst),
+        STRAT_CRT.load(Ordering::SeqCst),
+        STRAT_FALLBACK.load(Ordering::SeqCst),
+    )
+}
+
+/// One of the three resultant kernels (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Bareiss fraction-free PRS over `MPoly` (seed algorithm, any arity).
+    Prs,
+    /// Rational evaluation–interpolation (bivariate-after-projection).
+    EvalInterp,
+    /// Modular CRT over word-size primes (bivariate, integer content).
+    Crt,
+}
+
+// ───────────────────────────── public entry points ─────────────────────────
 
 /// Resultant of `p` and `q` with respect to variable `var`.
 ///
@@ -35,21 +119,78 @@ pub fn resultant(p: &MPoly, q: &MPoly, var: usize) -> MPoly {
     if let [c] = qc.as_slice() {
         return c.pow(m as u32);
     }
-    // Sylvester matrix: n rows of p's coefficients, m rows of q's, each row
-    // listing coefficients from the highest power.
-    let size = m + n;
-    let mut mat = vec![vec![MPoly::zero(nvars); size]; size];
-    for (row, mrow) in mat.iter_mut().enumerate().take(n) {
-        for (j, c) in pc.iter().rev().enumerate() {
-            mrow[row + j] = c.clone();
+    // Dispatch: the analysis is cheap (degree bookkeeping only).
+    if fast_enabled() {
+        if let Some(shape) = Bivar::analyze(p, q, var) {
+            match shape.choose() {
+                Strategy::Crt => {
+                    if let Some(r) = crt_resultant(p, q, var, &shape) {
+                        STRAT_CRT.fetch_add(1, Ordering::SeqCst);
+                        return r;
+                    }
+                    // Prime table exhausted or non-integer degenerate:
+                    // guaranteed fallback to the seed path.
+                    STRAT_FALLBACK.fetch_add(1, Ordering::SeqCst);
+                }
+                Strategy::EvalInterp => {
+                    if let Some(r) = eval_interp_resultant(p, q, var, &shape) {
+                        STRAT_EVAL.fetch_add(1, Ordering::SeqCst);
+                        return r;
+                    }
+                    STRAT_FALLBACK.fetch_add(1, Ordering::SeqCst);
+                }
+                Strategy::Prs => {}
+            }
         }
     }
-    for row in 0..m {
-        for (j, c) in qc.iter().rev().enumerate() {
-            mat[n + row][row + j] = c.clone();
+    STRAT_PRS.fetch_add(1, Ordering::SeqCst);
+    prs_resultant(&pc, &qc, nvars)
+}
+
+/// Run one specific kernel, bypassing the dispatcher (differential tests
+/// and the E20 bench compare strategies pairwise with this).
+///
+/// Returns `None` when the strategy does not apply to the input shape
+/// (e.g. a fast kernel on a ≥3-variable resultant, or the CRT kernel when
+/// the coefficient bound exceeds the prime table). [`Strategy::Prs`] always
+/// succeeds. Degenerate base cases (zero/constant arguments) are answered
+/// directly, as in [`resultant`], whatever the requested strategy.
+#[must_use]
+pub fn resultant_with_strategy(
+    p: &MPoly,
+    q: &MPoly,
+    var: usize,
+    strategy: Strategy,
+) -> Option<MPoly> {
+    assert_eq!(p.nvars(), q.nvars());
+    let nvars = p.nvars();
+    if p.is_zero() || q.is_zero() {
+        return Some(MPoly::zero(nvars));
+    }
+    let pc = p.as_upoly_in(var);
+    let qc = q.as_upoly_in(var);
+    let m = pc.len() - 1;
+    let n = qc.len() - 1;
+    if m == 0 && n == 0 {
+        return Some(MPoly::constant(Rat::one(), nvars));
+    }
+    if let [c] = pc.as_slice() {
+        return Some(c.pow(n as u32));
+    }
+    if let [c] = qc.as_slice() {
+        return Some(c.pow(m as u32));
+    }
+    match strategy {
+        Strategy::Prs => Some(prs_resultant(&pc, &qc, nvars)),
+        Strategy::EvalInterp => {
+            let shape = Bivar::analyze(p, q, var)?;
+            eval_interp_resultant(p, q, var, &shape)
+        }
+        Strategy::Crt => {
+            let shape = Bivar::analyze(p, q, var)?;
+            crt_resultant(p, q, var, &shape)
         }
     }
-    bareiss_determinant(mat)
 }
 
 /// Discriminant of `p` with respect to `var`:
@@ -69,6 +210,31 @@ pub fn discriminant(p: &MPoly, var: usize) -> MPoly {
     } else {
         q
     }
+}
+
+// ──────────────────────────── PRS (seed) kernel ────────────────────────────
+
+/// Seed path: build the Sylvester matrix from the coefficient lists and run
+/// Bareiss. `pc`/`qc` are ascending coefficient lists in the eliminated
+/// variable, both of degree ≥ 1.
+fn prs_resultant(pc: &[MPoly], qc: &[MPoly], nvars: usize) -> MPoly {
+    let m = pc.len() - 1;
+    let n = qc.len() - 1;
+    // Sylvester matrix: n rows of p's coefficients, m rows of q's, each row
+    // listing coefficients from the highest power.
+    let size = m + n;
+    let mut mat = vec![vec![MPoly::zero(nvars); size]; size];
+    for (row, mrow) in mat.iter_mut().enumerate().take(n) {
+        for (j, c) in pc.iter().rev().enumerate() {
+            mrow[row + j] = c.clone();
+        }
+    }
+    for row in 0..m {
+        for (j, c) in qc.iter().rev().enumerate() {
+            mat[n + row][row + j] = c.clone();
+        }
+    }
+    bareiss_determinant(mat)
 }
 
 /// Determinant via Bareiss fraction-free elimination. Consumes the matrix.
@@ -110,6 +276,519 @@ pub fn bareiss_determinant(mut m: Vec<Vec<MPoly>>) -> MPoly {
     } else {
         det
     }
+}
+
+// ─────────────────────────── shape analysis / dispatch ─────────────────────
+
+/// Shape of a resultant call the fast kernels can take on: at most one
+/// auxiliary variable besides the eliminated one.
+struct Bivar {
+    /// The surviving variable (`None`: both inputs univariate in `var`).
+    yvar: Option<usize>,
+    /// `deg_var(p)` — at least 1 when analysis succeeds.
+    m: usize,
+    /// `deg_var(q)` — at least 1 when analysis succeeds.
+    n: usize,
+    /// Brown's bound on `deg_y(res)`: `dy(p)·n + dy(q)·m`.
+    bound_deg: usize,
+    /// Max coefficient bit length across both inputs (numerator or
+    /// denominator — the dispatch heuristic only needs an order of
+    /// magnitude).
+    coeff_bits: u64,
+}
+
+impl Bivar {
+    /// `Some` iff the call is at most bivariate and both degrees in `var`
+    /// are ≥ 1 (base cases were peeled off by the caller).
+    fn analyze(p: &MPoly, q: &MPoly, var: usize) -> Option<Bivar> {
+        let mut yvar = None;
+        for i in 0..p.nvars() {
+            if i == var || !(p.uses_var(i) || q.uses_var(i)) {
+                continue;
+            }
+            if yvar.is_some() {
+                return None; // two or more auxiliary variables → PRS
+            }
+            yvar = Some(i);
+        }
+        let m = p.degree_in(var) as usize;
+        let n = q.degree_in(var) as usize;
+        debug_assert!(m >= 1 && n >= 1);
+        let (dyp, dyq) = match yvar {
+            Some(y) => (p.degree_in(y) as usize, q.degree_in(y) as usize),
+            None => (0, 0),
+        };
+        Some(Bivar {
+            yvar,
+            m,
+            n,
+            bound_deg: dyp * n + dyq * m,
+            coeff_bits: p.max_coeff_bits().max(q.max_coeff_bits()),
+        })
+    }
+
+    /// Dispatch heuristic (DESIGN.md §11), tuned against forced-strategy
+    /// probes: tiny Sylvester matrices stay on PRS (a 2×2 determinant beats
+    /// any kernel's setup cost); strictly univariate small-coefficient calls
+    /// take tier 1 directly — with no surviving variable the rational path
+    /// is a single Euclid, no interpolation, and skips the modular tier's
+    /// reduction/reconstruction plumbing; every other bivariate shape goes
+    /// modular, where CRT measured fastest across conic through degree-4
+    /// and wide-coefficient workloads (rational evaluation–interpolation
+    /// loses to it everywhere interpolation is actually needed, and loses
+    /// to PRS outright once coefficients get huge). The CRT kernel itself
+    /// reports inapplicability (bound beyond the prime table), upon which
+    /// the caller falls back to PRS.
+    fn choose(&self) -> Strategy {
+        if self.m + self.n <= 2 {
+            return Strategy::Prs; // 2×2 determinant: nothing to save
+        }
+        if self.yvar.is_none() && self.coeff_bits <= 20 {
+            return Strategy::EvalInterp;
+        }
+        Strategy::Crt
+    }
+}
+
+// ─────────────────── tier 1: evaluation–interpolation over Q ───────────────
+
+/// Univariate resultant over `Q` via the Euclidean product formula:
+/// `res(A, B) = (−1)^{deg A · deg B} · lc(B)^{deg A − deg R} · res(B, R)`
+/// with `R = A rem B`, terminating at `res(A, c) = c^{deg A}`.
+fn upoly_res_rat(a: &UPoly, b: &UPoly) -> Rat {
+    if a.is_zero() || b.is_zero() {
+        return Rat::zero();
+    }
+    let mut a = a.clone();
+    let mut b = b.clone();
+    let mut acc = Rat::one();
+    let mut negate = false;
+    loop {
+        let da = a.deg();
+        let db = b.deg();
+        if db == 0 {
+            let base = &acc * &b.coeff(0).pow(da as i32);
+            return if negate { -&base } else { base };
+        }
+        if da < db {
+            if da * db % 2 == 1 {
+                negate = !negate;
+            }
+            std::mem::swap(&mut a, &mut b);
+            continue;
+        }
+        let (_, r) = a.divrem(&b);
+        if r.is_zero() {
+            return Rat::zero(); // common factor of positive degree
+        }
+        if da * db % 2 == 1 {
+            negate = !negate;
+        }
+        acc = &acc * &b.leading().pow((da - r.deg()) as i32);
+        a = b;
+        b = r;
+    }
+}
+
+/// Newton interpolation over `Q`: the unique polynomial of degree
+/// `< pts.len()` through `(pts[i], vals[i])`, as a dense [`UPoly`].
+fn interpolate_rat(pts: &[Rat], vals: &[Rat]) -> UPoly {
+    let n = pts.len();
+    debug_assert!(n >= 1 && vals.len() == n);
+    // Divided differences, in place.
+    let mut dd = vals.to_vec();
+    for j in 1..n {
+        for i in (j..n).rev() {
+            let denom = &pts[i] - &pts[i - j];
+            dd[i] = &(&dd[i] - &dd[i - 1]) / &denom;
+        }
+    }
+    // Horner expansion of the Newton form.
+    let mut poly = UPoly::constant(dd[n - 1].clone());
+    for i in (0..n - 1).rev() {
+        // poly ← poly·(x − pts[i]) + dd[i]
+        let shifted = &poly * &UPoly::from_coeffs(vec![-pts[i].clone(), Rat::one()]);
+        poly = &shifted + &UPoly::constant(dd[i].clone());
+    }
+    poly
+}
+
+/// Tier 1: rational evaluation–interpolation. Specialize the auxiliary
+/// variable at integer points where neither leading coefficient vanishes,
+/// take univariate resultants over `Q`, and interpolate. Exact: the true
+/// resultant has degree ≤ `bound_deg`, and specialization commutes with the
+/// resultant whenever the leading coefficients survive, so agreeing at
+/// `bound_deg + 1` points pins it down.
+fn eval_interp_resultant(p: &MPoly, q: &MPoly, var: usize, shape: &Bivar) -> Option<MPoly> {
+    let nvars = p.nvars();
+    let Some(y) = shape.yvar else {
+        // Both inputs univariate in `var`: one resultant, no interpolation.
+        let pu = p.to_upoly_in(var)?;
+        let qu = q.to_upoly_in(var)?;
+        return Some(MPoly::constant(upoly_res_rat(&pu, &qu), nvars));
+    };
+    // Leading coefficients as univariate polynomials in y.
+    let lcp = p.as_upoly_in(var).pop()?.to_upoly_in(y)?;
+    let lcq = q.as_upoly_in(var).pop()?.to_upoly_in(y)?;
+    let needed = shape.bound_deg + 1;
+    let mut pts: Vec<Rat> = Vec::with_capacity(needed);
+    let mut vals: Vec<Rat> = Vec::with_capacity(needed);
+    // Points 0, 1, −1, 2, −2, …; at most dy(p)+dy(q) of them are roots of a
+    // leading coefficient, so the stream always yields enough good points.
+    let mut k: i64 = 0;
+    while pts.len() < needed {
+        let t = Rat::from(k);
+        k = if k > 0 { -k } else { -k + 1 };
+        if lcp.eval(&t).is_zero() || lcq.eval(&t).is_zero() {
+            continue;
+        }
+        let pu = p.substitute(y, &t).to_upoly_in(var)?;
+        let qu = q.substitute(y, &t).to_upoly_in(var)?;
+        vals.push(upoly_res_rat(&pu, &qu));
+        pts.push(t);
+    }
+    let interp = interpolate_rat(&pts, &vals);
+    Some(MPoly::from_upoly(&interp, y, nvars))
+}
+
+// ───────────────────── tier 2: modular CRT over word primes ────────────────
+
+/// Trim trailing zeros of a dense `Z_p` coefficient vector.
+fn trim_modp(v: &mut Vec<u64>) {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+}
+
+/// Pseudo-remainder of `a` by `b` in `Z_p[x]` (dense ascending
+/// coefficients, `b` trimmed and nonconstant): `lc(b)^{deg a − deg b + 1} ·
+/// a mod b`, computed without any inversion. Result is trimmed.
+fn prem_modp(fp: ModP, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let db = b.len() - 1;
+    let lb = b[db];
+    let mut r = a.to_vec();
+    for k in (db..r.len()).rev() {
+        // r ← lb · r − r[k] · x^{k−db} · b: multiply unconditionally (even
+        // for a zero pivot) so the pseudo-remainder is exactly
+        // lb^{da−db+1} · (a mod b) with a deterministic exponent.
+        let c = r[k];
+        for rc in r.iter_mut().take(k) {
+            *rc = fp.mul(*rc, lb);
+        }
+        for (j, &bc) in b.iter().enumerate().take(db) {
+            r[k - db + j] = fp.sub(r[k - db + j], fp.mul(c, bc));
+        }
+        r[k] = 0; // lb·r[k] − r[k]·lc(b) cancels exactly
+    }
+    r.truncate(db);
+    trim_modp(&mut r);
+    r
+}
+
+/// Univariate resultant in `Z_p[x]` as an uninverted fraction
+/// `(num, den)` with `den ≢ 0`: the Euclidean recurrence of
+/// [`upoly_res_rat`] run on *pseudo*-remainders, so the whole chain costs
+/// zero inversions — each step `R = lc(b)^e · (a mod b)` contributes
+/// `lc(b)^{da − dr}` to the numerator and `lc(b)^{e·db}` to the denominator
+/// (from `res(b, c·r) = c^{deg b} · res(b, r)`). Callers batch-invert the
+/// denominators across evaluation points (Montgomery's trick), one Fermat
+/// exponentiation per batch.
+fn upoly_res_modp_frac(fp: ModP, mut a: Vec<u64>, mut b: Vec<u64>) -> (u64, u64) {
+    trim_modp(&mut a);
+    trim_modp(&mut b);
+    if a.is_empty() || b.is_empty() {
+        return (0, 1);
+    }
+    let mut num = 1u64;
+    let mut den = 1u64;
+    let mut negate = false;
+    loop {
+        let da = a.len() - 1;
+        let db = b.len() - 1;
+        if db == 0 {
+            // cdb-lint: allow(panic) — db == 0 means b has exactly one entry
+            num = fp.mul(num, fp.pow(b[0], da as u64));
+            return (if negate { fp.neg(num) } else { num }, den);
+        }
+        if da < db {
+            if da * db % 2 == 1 {
+                negate = !negate;
+            }
+            std::mem::swap(&mut a, &mut b);
+            continue;
+        }
+        let r = prem_modp(fp, &a, &b);
+        if r.is_empty() {
+            return (0, 1);
+        }
+        if da * db % 2 == 1 {
+            negate = !negate;
+        }
+        let lb = b[db];
+        num = fp.mul(num, fp.pow(lb, (da - (r.len() - 1)) as u64));
+        den = fp.mul(den, fp.pow(lb, ((da - db + 1) * db) as u64));
+        a = b;
+        b = r;
+    }
+}
+
+/// Univariate resultant in `Z_p[x]`: the fraction form resolved with a
+/// single inversion.
+fn upoly_res_modp(fp: ModP, a: Vec<u64>, b: Vec<u64>) -> u64 {
+    let (num, den) = upoly_res_modp_frac(fp, a, b);
+    // den is a product of leading coefficients, never ≡ 0.
+    fp.mul(num, fp.pow(den, fp.modulus() - 2))
+}
+
+/// Newton interpolation in `Z_p`: dense coefficients of the unique
+/// polynomial of degree `< pts.len()` through `(pts[i], vals[i])`. All
+/// divided-difference denominators are inverted in one batch (a single
+/// Fermat exponentiation for the whole table).
+fn interpolate_modp(fp: ModP, pts: &[u64], vals: &[u64]) -> Vec<u64> {
+    let n = pts.len();
+    debug_assert!(n >= 1 && vals.len() == n);
+    // Denominators pts[i] − pts[i−j], in the exact order the divided-
+    // difference loop consumes them. Points are distinct field elements,
+    // so every difference is nonzero and the batch inverse is total.
+    let mut denoms = Vec::with_capacity(n * (n - 1) / 2);
+    for j in 1..n {
+        for i in (j..n).rev() {
+            denoms.push(fp.sub(pts[i], pts[i - j]));
+        }
+    }
+    let invs = fp
+        .batch_inv(&denoms)
+        .expect("interpolation points are distinct"); // cdb-lint: allow(panic) — differences of distinct reduced points are nonzero, so the batch inverse is total
+    let mut next_inv = invs.iter();
+    let mut dd = vals.to_vec();
+    for j in 1..n {
+        for i in (j..n).rev() {
+            // cdb-lint: allow(panic) — invs has exactly one entry per denominator pushed by the identical loop above
+            let inv = *next_inv.next().expect("one inverse per denominator");
+            dd[i] = fp.mul(fp.sub(dd[i], dd[i - 1]), inv);
+        }
+    }
+    let mut coeffs = vec![0u64; n];
+    coeffs[0] = dd[n - 1]; // cdb-lint: allow(panic) — n >= 1 is debug-asserted above; both vectors have length n
+    for (deg, i) in (0..n - 1).rev().enumerate() {
+        // coeffs ← coeffs·(x − pts[i]) + dd[i]
+        let neg_t = fp.neg(pts[i]);
+        for k in (0..=deg).rev() {
+            let c = coeffs[k];
+            coeffs[k + 1] = fp.add(coeffs[k + 1], c);
+            coeffs[k] = fp.mul(c, neg_t);
+        }
+        // The shift above moved every term up; rebuild the constant slot.
+        coeffs[0] = fp.add(coeffs[0], dd[i]); // cdb-lint: allow(panic) — coeffs has length n >= 1 by construction
+    }
+    coeffs
+}
+
+/// A primitive-integer view of one input: `poly = factor · Σ grid[i][j] ·
+/// var^i · y^j` with `grid` holding `Int` coefficients of content 1.
+struct IntGrid {
+    /// `grid[i][j]` = integer coefficient of `var^i y^j`; rows `0..=deg_var`.
+    grid: Vec<Vec<Int>>,
+    /// Rational content: original = `factor · grid`.
+    factor: Rat,
+    /// Max bit length over the grid.
+    coeff_bits: u64,
+}
+
+impl IntGrid {
+    /// Content-extract `poly` (nonzero) into a primitive integer grid.
+    fn build(poly: &MPoly, var: usize, yvar: Option<usize>) -> Option<IntGrid> {
+        // Dense rational grid.
+        let rows = poly.as_upoly_in(var);
+        let mut rat_grid: Vec<Vec<Rat>> = Vec::with_capacity(rows.len());
+        for row in &rows {
+            match yvar {
+                Some(y) => {
+                    let ycoeffs = row.as_upoly_in(y);
+                    let mut dense = Vec::with_capacity(ycoeffs.len());
+                    for c in &ycoeffs {
+                        dense.push(c.to_constant()?);
+                    }
+                    rat_grid.push(dense);
+                }
+                None => rat_grid.push(vec![row.to_constant()?]),
+            }
+        }
+        // lcm of denominators, then gcd of the scaled numerators.
+        let mut lcm = Int::one();
+        for c in rat_grid.iter().flatten() {
+            let g = lcm.gcd(c.denom());
+            lcm = &lcm.div_exact(&g) * c.denom();
+        }
+        let mut ints: Vec<Vec<Int>> = Vec::with_capacity(rat_grid.len());
+        let mut gcd = Int::zero();
+        for row in &rat_grid {
+            let mut irow = Vec::with_capacity(row.len());
+            for c in row {
+                let v = &(c.numer() * &lcm).div_exact(c.denom());
+                gcd = gcd.gcd(v);
+                irow.push(v.clone());
+            }
+            ints.push(irow);
+        }
+        debug_assert!(!gcd.is_zero(), "nonzero polynomial has nonzero content");
+        let mut coeff_bits = 0u64;
+        for row in &mut ints {
+            for c in row.iter_mut() {
+                *c = c.div_exact(&gcd);
+                coeff_bits = coeff_bits.max(c.bit_length());
+            }
+        }
+        Some(IntGrid {
+            grid: ints,
+            factor: Rat::new(gcd, lcm),
+            coeff_bits,
+        })
+    }
+
+    /// Reduce the grid into `Z_p`. Returns `None` for a *bad prime*: one
+    /// where the leading `var`-coefficient row vanishes identically mod `p`
+    /// (the Sylvester determinant of the reduction would have lost rows).
+    fn reduce(&self, fp: ModP) -> Option<Vec<Vec<u64>>> {
+        let reduced: Vec<Vec<u64>> = self
+            .grid
+            .iter()
+            .map(|row| row.iter().map(|c| fp.from_int(c)).collect())
+            .collect();
+        match reduced.last() {
+            Some(top) if top.iter().any(|&c| c != 0) => Some(reduced),
+            _ => None,
+        }
+    }
+}
+
+/// Ceiling of `log2` of the Hadamard-style coefficient bound for
+/// `res_var(P, Q)` with primitive integer grids `P`, `Q`: the determinant
+/// of the `(m+n)²` Sylvester matrix expands into at most `(m+n)!` products
+/// of `m+n` entries, each entry a `y`-polynomial with ≤ `d+1` terms of at
+/// most `hp`/`hq` bits, so every coefficient is bounded by
+/// `(m+n)! · (d+1)^{m+n−1} · Hp^n · Hq^m`.
+fn crt_bound_bits(m: usize, n: usize, ydeg: usize, hp: u64, hq: u64) -> u64 {
+    let s = (m + n) as u64;
+    // log2(s!) ≤ Σ bit_length(i): an overestimate is harmless (one extra
+    // prime at worst).
+    let fact_bits: u64 = (2..=s).map(|i| 64 - u64::from(i.leading_zeros())).sum();
+    let d_bits = 64 - u64::from(((ydeg + 1) as u64).leading_zeros());
+    fact_bits + (s - 1) * d_bits + (n as u64) * hp + (m as u64) * hq
+}
+
+/// Tier 2: modular CRT. Returns `None` (→ caller falls back) when the
+/// coefficient bound exceeds the prime table's capacity or too many primes
+/// are bad. Exact by construction: the CRT modulus is kept strictly above
+/// twice the Hadamard bound, so the symmetric representatives *are* the
+/// integer coefficients of `res(P, Q)`.
+fn crt_resultant(p: &MPoly, q: &MPoly, var: usize, shape: &Bivar) -> Option<MPoly> {
+    let nvars = p.nvars();
+    let pg = IntGrid::build(p, var, shape.yvar)?;
+    let qg = IntGrid::build(q, var, shape.yvar)?;
+    let ydeg = pg
+        .grid
+        .iter()
+        .chain(qg.grid.iter())
+        .map(|row| row.len().saturating_sub(1))
+        .max()
+        .unwrap_or(0);
+    // +2: one bit of sign headroom for the symmetric range, one of slack.
+    let bound_bits = crt_bound_bits(shape.m, shape.n, ydeg, pg.coeff_bits, qg.coeff_bits) + 2;
+    let primes_needed = (bound_bits / PRIME_BITS) as usize + 1;
+    if primes_needed > PRIMES.len() {
+        return None;
+    }
+    let ncoeffs = shape.bound_deg + 1;
+    let mut crts = vec![Crt::new(); ncoeffs];
+    let mut good = 0usize;
+    for &prime in PRIMES.iter() {
+        let fp = ModP::new(prime);
+        // Bad-prime detection: either leading coefficient row ≡ 0 mod p
+        // drops the `var`-degree of the reduction.
+        let (Some(pm), Some(qm)) = (pg.reduce(fp), qg.reduce(fp)) else {
+            continue;
+        };
+        let Some(mut res_mod) = bivar_res_modp(fp, &pm, &qm, ncoeffs) else {
+            continue; // unlucky prime for point selection (practically unreachable)
+        };
+        // The accumulators advance in lockstep over the same prime
+        // sequence, so the Garner inverse is shared across coefficients.
+        res_mod.resize(ncoeffs, 0);
+        Crt::push_batch(&mut crts, &res_mod, prime);
+        good += 1;
+        if good == primes_needed {
+            break;
+        }
+    }
+    if good < primes_needed {
+        return None; // prime table exhausted by bad primes
+    }
+    // Symmetric reconstruction, then undo the content extraction:
+    // res(p, q) = factor_p^n · factor_q^m · res(P, Q).
+    let coeffs: Vec<Rat> = crts.iter().map(|c| Rat::from(c.symmetric())).collect();
+    let scale = &pg.factor.pow(shape.n as i32) * &qg.factor.pow(shape.m as i32);
+    let result = match shape.yvar {
+        Some(y) => MPoly::from_upoly(&UPoly::from_coeffs(coeffs), y, nvars),
+        None => MPoly::constant(coeffs.first().cloned().unwrap_or_else(Rat::zero), nvars),
+    };
+    Some(result.scale(&scale))
+}
+
+/// Bivariate resultant in `Z_p` by evaluation–interpolation: specialize `y`
+/// at `ncoeffs` points where neither leading coefficient vanishes, run the
+/// `u64` Euclidean resultant per point, and Newton-interpolate. The grids
+/// have a nonzero leading row mod `p` (checked by the caller), which keeps
+/// the count of unusable points below `deg_y(lc_p) + deg_y(lc_q) < p`.
+fn bivar_res_modp(fp: ModP, pm: &[Vec<u64>], qm: &[Vec<u64>], ncoeffs: usize) -> Option<Vec<u64>> {
+    let eval_row = |row: &[u64], a: u64| -> u64 {
+        row.iter()
+            .rev()
+            .fold(0u64, |acc, &c| fp.add(fp.mul(acc, a), c))
+    };
+    if ncoeffs == 1 && pm.iter().chain(qm.iter()).all(|row| row.len() <= 1) {
+        // Univariate inputs: a single resultant, no interpolation.
+        let a: Vec<u64> = pm
+            .iter()
+            .map(|row| row.first().copied().unwrap_or(0))
+            .collect();
+        let b: Vec<u64> = qm
+            .iter()
+            .map(|row| row.first().copied().unwrap_or(0))
+            .collect();
+        return Some(vec![upoly_res_modp(fp, a, b)]);
+    }
+    let lcp = &pm[pm.len() - 1];
+    let lcq = &qm[qm.len() - 1];
+    let mut pts = Vec::with_capacity(ncoeffs);
+    let mut nums = Vec::with_capacity(ncoeffs);
+    let mut dens = Vec::with_capacity(ncoeffs);
+    let max_bad = lcp.len() + lcq.len(); // > #roots of either leading coeff
+    let mut a = 0u64;
+    while pts.len() < ncoeffs {
+        if a as usize > ncoeffs + max_bad + 4 || a >= fp.modulus() {
+            return None; // cannot happen with 62-bit primes; defensive
+        }
+        let point = a;
+        a += 1;
+        if eval_row(lcp, point) == 0 || eval_row(lcq, point) == 0 {
+            continue;
+        }
+        let pa: Vec<u64> = pm.iter().map(|row| eval_row(row, point)).collect();
+        let qa: Vec<u64> = qm.iter().map(|row| eval_row(row, point)).collect();
+        let (num, den) = upoly_res_modp_frac(fp, pa, qa);
+        nums.push(num);
+        dens.push(den);
+        pts.push(point);
+    }
+    // One Fermat exponentiation resolves every point's denominator.
+    let invs = fp.batch_inv(&dens)?; // dens are products of nonzero lcs
+    let vals: Vec<u64> = nums
+        .iter()
+        .zip(&invs)
+        .map(|(&num, &inv)| fp.mul(num, inv))
+        .collect();
+    Some(interpolate_modp(fp, &pts, &vals))
 }
 
 #[cfg(test)]
@@ -238,5 +917,165 @@ mod tests {
                 "at x={a}"
             );
         }
+    }
+
+    // ── fast-kernel specific tests ──────────────────────────────────────
+
+    /// Deterministic bivariate polynomial with pseudo-random coefficients.
+    fn dense_bivar(seed: &mut u64, dx: u32, dy: u32, bits: u32) -> MPoly {
+        let mut terms = Vec::new();
+        for i in 0..=dx {
+            for j in 0..=dy {
+                *seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let mask = (1i64 << bits) - 1;
+                let v = ((*seed >> 17) as i64 & mask) - (mask / 2);
+                if v != 0 {
+                    terms.push((vec![i, j], Rat::from(v)));
+                }
+            }
+        }
+        // Guarantee full degree so the Sylvester shape is as requested.
+        terms.push((vec![dx, dy], Rat::one()));
+        MPoly::from_terms(2, terms)
+    }
+
+    #[test]
+    fn all_strategies_agree_on_random_bivariate() {
+        let mut seed = 7u64;
+        for (dx, dy, bits) in [(2, 2, 4), (3, 2, 8), (4, 4, 10), (5, 3, 16)] {
+            let p = dense_bivar(&mut seed, dx, dy, bits);
+            let q = dense_bivar(&mut seed, dx.max(1), dy, bits);
+            for var in [0usize, 1] {
+                let prs = resultant_with_strategy(&p, &q, var, Strategy::Prs).unwrap();
+                let ev = resultant_with_strategy(&p, &q, var, Strategy::EvalInterp).unwrap();
+                let crt = resultant_with_strategy(&p, &q, var, Strategy::Crt).unwrap();
+                assert_eq!(
+                    prs, ev,
+                    "eval-interp vs PRS at ({dx},{dy},{bits}), var {var}"
+                );
+                assert_eq!(prs, crt, "CRT vs PRS at ({dx},{dy},{bits}), var {var}");
+                assert_eq!(prs.to_string(), ev.to_string());
+                assert_eq!(prs.to_string(), crt.to_string());
+            }
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_rational_coefficients() {
+        // Denominators exercise the content-extraction path of the CRT
+        // kernel and the rational arithmetic of eval-interp.
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let half = MPoly::constant(Rat::from_ints(1, 2), 2);
+        let third = MPoly::constant(Rat::from_ints(-2, 3), 2);
+        let p = &(&half * &x.pow(3)) + &(&(&y.pow(2) * &x) + &third);
+        let q = &(&third * &(&x.pow(2) * &y)) - &(&half + &x);
+        let prs = resultant_with_strategy(&p, &q, 0, Strategy::Prs).unwrap();
+        let ev = resultant_with_strategy(&p, &q, 0, Strategy::EvalInterp).unwrap();
+        let crt = resultant_with_strategy(&p, &q, 0, Strategy::Crt).unwrap();
+        assert_eq!(prs, ev);
+        assert_eq!(prs, crt);
+    }
+
+    #[test]
+    fn strategies_agree_on_shared_factor_zero_resultant() {
+        // p and q share (x + y): all kernels must return exactly zero.
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let shared = &x + &y;
+        let p = &shared * &(&x.pow(2) - &y);
+        let q = &shared * &(&(&x * &y) + &c(2, 2));
+        for strat in [Strategy::Prs, Strategy::EvalInterp, Strategy::Crt] {
+            let r = resultant_with_strategy(&p, &q, 0, strat).unwrap();
+            assert!(r.is_zero(), "{strat:?} must detect the common factor");
+        }
+    }
+
+    #[test]
+    fn fast_kernels_decline_three_variable_inputs() {
+        let x = MPoly::var(0, 3);
+        let y = MPoly::var(1, 3);
+        let z = MPoly::var(2, 3);
+        let p = &(&x.pow(2) + &(&y * &z)) - &c(1, 3);
+        let q = &(&x * &y) + &z;
+        assert!(resultant_with_strategy(&p, &q, 0, Strategy::EvalInterp).is_none());
+        assert!(resultant_with_strategy(&p, &q, 0, Strategy::Crt).is_none());
+        // The dispatcher still answers (via PRS) and matches the direct path.
+        let via_dispatch = resultant(&p, &q, 0);
+        let via_prs = resultant_with_strategy(&p, &q, 0, Strategy::Prs).unwrap();
+        assert_eq!(via_dispatch, via_prs);
+    }
+
+    #[test]
+    fn crt_handles_large_coefficients() {
+        // 120-bit coefficients force a multi-prime CRT reconstruction.
+        let big: Rat = Rat::from(&(&Int::pow2(120) + &Int::from(7i64)) * &Int::one());
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let bigc = MPoly::constant(big, 2);
+        let p = &(&x.pow(3) * &bigc) + &(&y.pow(2) - &c(5, 2));
+        let q = &(&x.pow(2) - &(&bigc * &y)) + &c(1, 2);
+        let prs = resultant_with_strategy(&p, &q, 0, Strategy::Prs).unwrap();
+        let crt = resultant_with_strategy(&p, &q, 0, Strategy::Crt).unwrap();
+        assert_eq!(prs, crt);
+        assert_eq!(prs.to_string(), crt.to_string());
+    }
+
+    #[test]
+    fn dispatcher_counters_advance() {
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let p = &(&x.pow(2) + &y.pow(2)) - &c(1, 2);
+        let q = &(&x * &y) - &c(1, 2);
+        let before = strategy_counters();
+        let _ = resultant(&p, &q, 0);
+        let after = strategy_counters();
+        let total_before = before.0 + before.1 + before.2;
+        let total_after = after.0 + after.1 + after.2;
+        assert!(total_after > total_before, "some strategy must be counted");
+    }
+
+    #[test]
+    fn toggle_forces_prs_and_output_is_unchanged() {
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let p = &(&x.pow(3) + &(&y.pow(2) * &x)) - &c(4, 2);
+        let q = &(&x.pow(2) * &y) + &(&x - &c(2, 2));
+        let fast = resultant(&p, &q, 0);
+        set_fast_enabled(false);
+        let slow = resultant(&p, &q, 0);
+        set_fast_enabled(true);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.to_string(), slow.to_string());
+    }
+
+    #[test]
+    fn univariate_resultants_through_fast_kernels() {
+        // Strictly univariate inputs (yvar = None) through both kernels.
+        let x = MPoly::var(0, 1);
+        let p = &(&x.pow(4) - &(&c(3, 1) * &x.pow(2))) + &c(2, 1);
+        let q = &(&c(2, 1) * &x.pow(3)) - &(&x + &c(5, 1));
+        let prs = resultant_with_strategy(&p, &q, 0, Strategy::Prs).unwrap();
+        let ev = resultant_with_strategy(&p, &q, 0, Strategy::EvalInterp).unwrap();
+        let crt = resultant_with_strategy(&p, &q, 0, Strategy::Crt).unwrap();
+        assert_eq!(prs, ev);
+        assert_eq!(prs, crt);
+    }
+
+    #[test]
+    fn vanishing_leading_coefficient_points_are_skipped() {
+        // lc_x(p) = y: evaluation at y = 0 would drop the degree; the
+        // kernels must skip that point and still agree with PRS.
+        let x = MPoly::var(0, 2);
+        let y = MPoly::var(1, 2);
+        let p = &(&(&y * &x.pow(2)) + &x) + &c(1, 2); // y·x² + x + 1
+        let q = &(&x.pow(2) + &y.pow(2)) - &c(3, 2);
+        let prs = resultant_with_strategy(&p, &q, 0, Strategy::Prs).unwrap();
+        let ev = resultant_with_strategy(&p, &q, 0, Strategy::EvalInterp).unwrap();
+        let crt = resultant_with_strategy(&p, &q, 0, Strategy::Crt).unwrap();
+        assert_eq!(prs, ev);
+        assert_eq!(prs, crt);
     }
 }

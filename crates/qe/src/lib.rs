@@ -145,6 +145,28 @@ pub struct QeContext {
     /// context. Contexts running concurrently also observe each other's
     /// filter traffic — acceptable for instrumentation.
     filter_base: (u64, u64),
+    /// Baseline snapshot of the process-global resultant-dispatcher
+    /// counters `(prs, eval_interp, crt, fallbacks)` (see
+    /// [`cdb_poly::resultant::strategy_counters`]), taken at construction —
+    /// the same snapshot-and-delta idiom as `filter_base`, so
+    /// [`QeContext::resultant_strategies`] reports kernel choices
+    /// attributable to this context.
+    resultant_base: (u64, u64, u64, u64),
+}
+
+/// Per-context view of the resultant dispatcher's decisions (DESIGN.md
+/// §11): how many projection resultants/discriminants each kernel answered
+/// since the context was created.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultantStrategies {
+    /// Calls answered by the Bareiss fraction-free PRS (incl. fallbacks).
+    pub prs: u64,
+    /// Calls answered by rational evaluation–interpolation.
+    pub eval_interp: u64,
+    /// Calls answered by the modular CRT kernel.
+    pub crt: u64,
+    /// Fast-path attempts that fell back to PRS.
+    pub fallbacks: u64,
 }
 
 impl Default for QeContext {
@@ -157,6 +179,7 @@ impl Default for QeContext {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             cache: AlgebraicCache::new(),
             filter_base: cdb_num::fintv::filter_counters(),
+            resultant_base: cdb_poly::resultant::strategy_counters(),
         }
     }
 }
@@ -233,5 +256,18 @@ impl QeContext {
         cdb_num::fintv::filter_counters()
             .1
             .saturating_sub(self.filter_base.1)
+    }
+
+    /// Resultant-kernel dispatch decisions since this context was created
+    /// (reported next to the cache and filter counters in E16/E20).
+    #[must_use]
+    pub fn resultant_strategies(&self) -> ResultantStrategies {
+        let (prs, ev, crt, fb) = cdb_poly::resultant::strategy_counters();
+        ResultantStrategies {
+            prs: prs.saturating_sub(self.resultant_base.0),
+            eval_interp: ev.saturating_sub(self.resultant_base.1),
+            crt: crt.saturating_sub(self.resultant_base.2),
+            fallbacks: fb.saturating_sub(self.resultant_base.3),
+        }
     }
 }
