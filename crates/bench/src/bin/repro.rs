@@ -1,4 +1,4 @@
-//! `repro` — regenerate every table/figure of the reproduction (E1–E20).
+//! `repro` — regenerate every table/figure of the reproduction (E1–E21).
 //!
 //! Usage: `cargo run --release -p cdb-bench --bin repro [-- e1 e2 …]`
 //! (no arguments = all experiments). Each experiment prints the paper's
@@ -8,8 +8,9 @@
 //! `BENCH_datalog.json`, E18 its split-word filter before/after to
 //! `BENCH_kernels.json`, E19 its interned-vs-seed polynomial
 //! representation comparison to `BENCH_poly.json`, and E20 its modular
-//! resultant kernel comparison to `BENCH_resultant.json`, all at the
-//! repository root.
+//! resultant kernel comparison to `BENCH_resultant.json`, and E21 its
+//! incremental-view-maintenance vs full-recompute comparison to
+//! `BENCH_ivm.json`, all at the repository root.
 
 use cdb_approx::modules::{approximate_on_abase, ApproxMethod};
 use cdb_approx::{sup_error, ABase, AnalyticFn};
@@ -31,10 +32,10 @@ use cdb_qe::{evaluate_query, QeContext};
 #[allow(clippy::disallowed_methods)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let known: Vec<String> = (1..=20).map(|i| format!("e{i}")).collect();
+    let known: Vec<String> = (1..=21).map(|i| format!("e{i}")).collect();
     for a in &args {
         if a != "all" && !known.iter().any(|k| k.eq_ignore_ascii_case(a)) {
-            eprintln!("unknown experiment id `{a}` (expected e1..e20 or all)");
+            eprintln!("unknown experiment id `{a}` (expected e1..e21 or all)");
             std::process::exit(2);
         }
     }
@@ -99,6 +100,9 @@ fn main() {
     }
     if want("e20") {
         e20();
+    }
+    if want("e21") {
+        e21();
     }
 }
 
@@ -1821,5 +1825,156 @@ fn e20() {
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_resultant.json");
     std::fs::write(path, &json).expect("write BENCH_resultant.json");
+    println!("  wrote {path}");
+}
+
+/// E21 — incremental view maintenance under updates: `insert_tuples` on a
+/// materialized transitive closure (delta-seeded semi-naive resume) vs a
+/// from-scratch `run_datalog` of the updated base, swept over update batch
+/// sizes, with a byte-identity differential for workers ∈ {1, 4}; plus the
+/// retraction path (full recompute + cache invalidation) and a stale-cache
+/// differential. Results land in `BENCH_ivm.json`.
+fn e21() {
+    header(
+        "E21",
+        "incremental view maintenance vs full recompute (update path)",
+    );
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let base_len = 24i64;
+    let tc = constraintdb::parse_program(
+        "T(x, y) :- E(x, y).\n\
+         T(x, y) :- T(x, z), E(z, y).",
+    )
+    .unwrap();
+    let base_edges: Vec<Vec<Rat>> = (0..base_len)
+        .map(|i| vec![Rat::from(i), Rat::from(i + 1)])
+        .collect();
+    let t_display =
+        |db: &constraintdb::ConstraintDb| db.relation("T").unwrap().display_with(&["x", "y"]);
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut all_equal = true;
+    println!(
+        "  {:<8} {:>8} {:>12} {:>12} {:>9} {:>7}",
+        "batch", "inc runs", "incr t", "scratch t", "speedup", "equal"
+    );
+    for batch in [1usize, 2, 4, 8] {
+        let delta_points: Vec<Vec<Rat>> = (0..batch as i64)
+            .map(|k| vec![Rat::from(base_len + k), Rat::from(base_len + k + 1)])
+            .collect();
+        let delta: Vec<GeneralizedTuple> = delta_points
+            .iter()
+            .map(|p| GeneralizedTuple::point(p))
+            .collect();
+        let mut displays: Vec<String> = Vec::new();
+        let mut inc_ms = 0.0f64;
+        let mut full_ms = 0.0f64;
+        let mut inc_reruns = 0usize;
+        for workers in [1usize, 4] {
+            // Incremental: materialize on the base, then update.
+            let mut db = constraintdb::ConstraintDb::new();
+            db.engine_mut().workers = workers;
+            db.insert_points("E", 2, &base_edges).unwrap();
+            db.run_datalog(&tc, 64).unwrap();
+            let t0 = std::time::Instant::now();
+            let report = db.insert_tuples("E", &delta).unwrap();
+            let inc_wall = t0.elapsed();
+            assert_eq!(report.full_reruns, 0, "insert must stay incremental");
+            assert!(!report.cache_invalidated, "pure inserts keep the cache");
+
+            // From scratch: the final base state, evaluated cold.
+            let mut all_edges = base_edges.clone();
+            all_edges.extend(delta_points.iter().cloned());
+            let mut scratch = constraintdb::ConstraintDb::new();
+            scratch.engine_mut().workers = workers;
+            scratch.insert_points("E", 2, &all_edges).unwrap();
+            let t1 = std::time::Instant::now();
+            scratch.run_datalog(&tc, 64).unwrap();
+            let full_wall = t1.elapsed();
+
+            displays.push(t_display(&db));
+            displays.push(t_display(&scratch));
+            if workers == 1 {
+                inc_ms = inc_wall.as_secs_f64() * 1e3;
+                full_ms = full_wall.as_secs_f64() * 1e3;
+                inc_reruns = report.incremental_reruns;
+            }
+        }
+        let equal = displays.windows(2).all(|w| w[0] == w[1]);
+        assert!(equal, "batch {batch}: incremental ≢ from-scratch");
+        all_equal &= equal;
+        let speedup = full_ms / inc_ms.max(1e-9);
+        println!(
+            "  {batch:<8} {inc_reruns:>8} {:>10.3}ms {:>10.3}ms {speedup:>8.2}x {equal:>7}",
+            inc_ms, full_ms
+        );
+        entries.push(format!(
+            "{{\"batch\": {batch}, \"base_edges\": {base_len}, \"incremental_reruns\": {inc_reruns}, \"incremental_ms\": {inc_ms:.3}, \"from_scratch_ms\": {full_ms:.3}, \"speedup\": {speedup:.3}, \"outputs_equal\": {equal}}}"
+        ));
+    }
+
+    // Retraction takes the destructive path: full recompute from base-head
+    // snapshots plus memo-cache invalidation, agreeing byte-for-byte with a
+    // from-scratch evaluation of the shrunken base.
+    let mut db = constraintdb::ConstraintDb::new();
+    db.insert_points("E", 2, &base_edges).unwrap();
+    db.run_datalog(&tc, 64).unwrap();
+    let mid = base_len / 2;
+    let report = db
+        .retract_tuples(
+            "E",
+            &[GeneralizedTuple::point(&[
+                Rat::from(mid),
+                Rat::from(mid + 1),
+            ])],
+        )
+        .unwrap();
+    let mut scratch = constraintdb::ConstraintDb::new();
+    let shrunk: Vec<Vec<Rat>> = base_edges
+        .iter()
+        .filter(|p| p[0] != Rat::from(mid))
+        .cloned()
+        .collect();
+    scratch.insert_points("E", 2, &shrunk).unwrap();
+    scratch.run_datalog(&tc, 64).unwrap();
+    let retract_full_recompute = report.full_reruns >= 1 && report.cache_invalidated;
+    let retract_consistent = t_display(&db) == t_display(&scratch);
+    assert!(retract_full_recompute, "{report:?}");
+    assert!(retract_consistent, "retraction diverged from from-scratch");
+    println!(
+        "  retract: full_reruns={} cache_invalidated={} consistent={retract_consistent}",
+        report.full_reruns, report.cache_invalidated
+    );
+
+    // Stale-cache differential: warm the shared memo-cache on a nonlinear
+    // relation, destructively replace the relation, and check the answer
+    // matches a database that never saw the old state (cold cache).
+    let mut warm = constraintdb::ConstraintDb::new();
+    warm.define("C", &["x", "y"], "x^2 + y^2 - 25 <= 0")
+        .unwrap();
+    let _ = warm
+        .query("exists y (C(x, y) and y^2 - x - 1 <= 0)")
+        .unwrap();
+    warm.define("C", &["x", "y"], "x^2 - y = 0").unwrap();
+    let after = warm.query("exists y (C(x, y) and y <= 4)").unwrap();
+    let mut cold = constraintdb::ConstraintDb::new();
+    cold.define("C", &["x", "y"], "x^2 - y = 0").unwrap();
+    let fresh = cold.query("exists y (C(x, y) and y <= 4)").unwrap();
+    let no_stale_cache_hits =
+        warm.cache().invalidations() >= 1 && after.display() == fresh.display();
+    assert!(no_stale_cache_hits, "stale cache answer after invalidation");
+    println!(
+        "  stale-cache differential: invalidations={} answers_equal={}",
+        warm.cache().invalidations(),
+        after.display() == fresh.display()
+    );
+
+    let all_outputs_equal = all_equal && retract_consistent && no_stale_cache_hits;
+    let json = format!(
+        "{{\n  \"experiment\": \"e21_incremental_view_maintenance\",\n  \"hardware_threads\": {hw},\n  \"all_outputs_equal\": {all_outputs_equal},\n  \"retract_full_recompute\": {retract_full_recompute},\n  \"no_stale_cache_hits\": {no_stale_cache_hits},\n  \"updates\": [\n    {}\n  ]\n}}\n",
+        entries.join(",\n    ")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ivm.json");
+    std::fs::write(path, &json).expect("write BENCH_ivm.json");
     println!("  wrote {path}");
 }

@@ -149,6 +149,12 @@ pub struct CalcFEngine {
     /// Worker threads for independent aggregate DAG nodes and for the QE
     /// stage (`1` = fully sequential evaluation).
     pub workers: usize,
+    /// Memo-cache for resultants/discriminants/Sturm chains in the QE
+    /// stage. Cloning an engine shares the cache (it is an [`Arc`]-backed
+    /// handle), so a long-lived engine amortizes algebra across queries.
+    ///
+    /// [`Arc`]: std::sync::Arc
+    pub cache: cdb_qe::AlgebraicCache,
 }
 
 impl Default for CalcFEngine {
@@ -160,6 +166,7 @@ impl Default for CalcFEngine {
             eps: Rat::new(1i64.into(), cdb_num::Int::pow2(30)),
             budget_bits: None,
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cache: cdb_qe::AlgebraicCache::default(),
         }
     }
 }
@@ -246,7 +253,8 @@ impl CalcFEngine {
             Some(k) => QeContext::with_budget(k),
             None => QeContext::exact(),
         }
-        .with_workers(self.workers);
+        .with_workers(self.workers)
+        .with_cache(&self.cache);
         let out = evaluate_query(db, &poly_formula, nvars, &ctx)?;
         let free_names = query.free_vars();
         let mut free_vars = Vec::with_capacity(free_names.len());

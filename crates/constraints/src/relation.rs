@@ -76,6 +76,42 @@ impl ConstraintRelation {
         self.tuples.is_empty()
     }
 
+    /// Canonical representative when the extent is a finite point set:
+    /// points sorted and deduplicated, so any two derivations of the same
+    /// set — from-scratch vs incremental, any merge order — print
+    /// byte-identically. Non-finite extents are returned unchanged (their
+    /// tuple order is the derivation order, which evaluators keep
+    /// deterministic by construction).
+    #[must_use]
+    pub fn canonicalized(self) -> ConstraintRelation {
+        match self.as_finite_points() {
+            Some(mut pts) => {
+                pts.sort();
+                pts.dedup();
+                ConstraintRelation::from_points(self.nvars, &pts)
+            }
+            None => self,
+        }
+    }
+
+    /// The relation minus the tuples *syntactically* equal to one of
+    /// `remove` — the retraction primitive. Semantic containment is not
+    /// decided here (that needs QE); the update path retracts exactly the
+    /// generalized tuples the caller names, which for finite point
+    /// relations in canonical form is exact point deletion.
+    #[must_use]
+    pub fn without_tuples(&self, remove: &[GeneralizedTuple]) -> ConstraintRelation {
+        ConstraintRelation {
+            nvars: self.nvars,
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| !remove.contains(t))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Truth at a rational point.
     #[must_use]
     pub fn satisfied_at(&self, point: &[Rat]) -> bool {

@@ -106,9 +106,12 @@ fn main() {
                 },
                 Err(e) => println!("cannot read {rest}: {e}"),
             },
-            "save" => match std::fs::write(rest, storage::save(&db)) {
-                Ok(()) => println!("saved to {rest}"),
-                Err(e) => println!("cannot write {rest}: {e}"),
+            "save" => match storage::save(&db) {
+                Ok(text) => match std::fs::write(rest, text) {
+                    Ok(()) => println!("saved to {rest}"),
+                    Err(e) => println!("cannot write {rest}: {e}"),
+                },
+                Err(e) => println!("cannot serialize: {e}"),
             },
             "load" => match std::fs::read_to_string(rest) {
                 Ok(text) => match storage::load(&text) {

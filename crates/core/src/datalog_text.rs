@@ -220,7 +220,8 @@ mod tests {
                 vec![Rat::one(), Rat::from(2i64)],
                 vec![Rat::from(2i64), Rat::from(3i64)],
             ],
-        );
+        )
+        .unwrap();
         let ctx = QeContext::exact();
         let (out, _) = program.run(db.raw(), &ctx, 8).unwrap();
         let t = out.get("T").unwrap();
@@ -239,8 +240,9 @@ mod tests {
         .unwrap();
         assert_eq!(program.rules.len(), 3);
         let mut db = ConstraintDb::new();
-        db.insert_points("Start", 1, &[vec![Rat::zero()]]);
-        db.insert_points("Dom", 1, &[vec![Rat::one()], vec![Rat::from(5i64)]]);
+        db.insert_points("Start", 1, &[vec![Rat::zero()]]).unwrap();
+        db.insert_points("Dom", 1, &[vec![Rat::one()], vec![Rat::from(5i64)]])
+            .unwrap();
         let ctx = QeContext::exact();
         let (out, _) = program.run(db.raw(), &ctx, 16).unwrap();
         let r = out.get("R").unwrap();

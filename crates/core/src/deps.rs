@@ -1,0 +1,161 @@
+//! Dependency tracking for the update path.
+//!
+//! Every derived relation — a [`crate::ConstraintDb::define`]d view or a
+//! Datalog¬ head materialized by [`crate::ConstraintDb::run_datalog`] —
+//! is recorded here with the set of relations its definition *reads*.
+//! When a base relation changes, [`DepTracker::affected_by`] closes the
+//! read edges transitively to name exactly the derived relations whose
+//! stored extents may no longer match their definitions; the update path
+//! (`crate::update`) then refreshes those and nothing else.
+//!
+//! The tracker stores names only — no extents, no formulas — so it stays
+//! cheap to clone with the database (`ConstraintDb` is `Clone`) and
+//! trivially deterministic (`BTreeMap`/`BTreeSet` throughout).
+
+use cdb_calcf::{CFormula, CTerm};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which derived relations read which others, recorded at definition /
+/// materialization time.
+#[derive(Debug, Clone, Default)]
+pub struct DepTracker {
+    /// target → relations its definition reads (direct edges only).
+    reads: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl DepTracker {
+    /// An empty tracker.
+    #[must_use]
+    pub fn new() -> DepTracker {
+        DepTracker::default()
+    }
+
+    /// Record (or replace) the read set of `target`.
+    pub fn record(&mut self, target: &str, reads: BTreeSet<String>) {
+        self.reads.insert(target.to_owned(), reads);
+    }
+
+    /// Drop `target`'s edges (it was removed or is no longer derived).
+    pub fn forget(&mut self, target: &str) {
+        self.reads.remove(target);
+    }
+
+    /// Direct read set of `target`, if it is a tracked derived relation.
+    #[must_use]
+    pub fn reads_of(&self, target: &str) -> Option<&BTreeSet<String>> {
+        self.reads.get(target)
+    }
+
+    /// Derived relations that directly read `source`.
+    #[must_use]
+    pub fn dependents_of(&self, source: &str) -> BTreeSet<String> {
+        self.reads
+            .iter()
+            .filter(|(_, reads)| reads.contains(source))
+            .map(|(target, _)| target.clone())
+            .collect()
+    }
+
+    /// Every derived relation whose stored extent may be stale after the
+    /// relations in `changed` changed: the transitive closure of the
+    /// dependent edges. Self-edges (a recursive head reading itself) and
+    /// cycles terminate because the result only grows.
+    #[must_use]
+    pub fn affected_by(&self, changed: &BTreeSet<String>) -> BTreeSet<String> {
+        let mut affected = BTreeSet::new();
+        let mut frontier: BTreeSet<String> = changed.clone();
+        while !frontier.is_empty() {
+            let mut next = BTreeSet::new();
+            for source in &frontier {
+                for dep in self.dependents_of(source) {
+                    if !changed.contains(&dep) && affected.insert(dep.clone()) {
+                        next.insert(dep);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        affected
+    }
+}
+
+/// Relation names a CALC_F formula reads — the read set recorded for a
+/// `define`d view. Descends into aggregate bodies (`AGG[ȳ]{φ}` reads
+/// whatever φ reads).
+#[must_use]
+pub fn formula_reads(formula: &CFormula) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    collect_formula(formula, &mut out);
+    out
+}
+
+fn collect_formula(formula: &CFormula, out: &mut BTreeSet<String>) {
+    match formula {
+        CFormula::True | CFormula::False => {}
+        CFormula::Cmp(a, _, b) => {
+            collect_term(a, out);
+            collect_term(b, out);
+        }
+        CFormula::Rel(name, _) => {
+            out.insert(name.clone());
+        }
+        CFormula::EvalPred(_, f) | CFormula::Not(f) => collect_formula(f, out),
+        CFormula::And(fs) | CFormula::Or(fs) => {
+            for f in fs {
+                collect_formula(f, out);
+            }
+        }
+        CFormula::Exists(_, f) | CFormula::Forall(_, f) => collect_formula(f, out),
+    }
+}
+
+fn collect_term(term: &CTerm, out: &mut BTreeSet<String>) {
+    match term {
+        CTerm::Var(_) | CTerm::Const(_) => {}
+        CTerm::Add(a, b) | CTerm::Sub(a, b) | CTerm::Mul(a, b) => {
+            collect_term(a, out);
+            collect_term(b, out);
+        }
+        CTerm::Neg(a) | CTerm::Pow(a, _) | CTerm::Apply(_, a) => collect_term(a, out),
+        CTerm::Agg(_, _, f) => collect_formula(f, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn transitive_dependents() {
+        let mut deps = DepTracker::new();
+        deps.record("V", set(&["B"]));
+        deps.record("W", set(&["V"]));
+        deps.record("U", set(&["C"]));
+        assert_eq!(deps.dependents_of("B"), set(&["V"]));
+        assert_eq!(deps.affected_by(&set(&["B"])), set(&["V", "W"]));
+        assert_eq!(deps.affected_by(&set(&["C"])), set(&["U"]));
+        assert_eq!(deps.affected_by(&set(&["Z"])), set(&[]));
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let mut deps = DepTracker::new();
+        // A recursive head reads itself and its base.
+        deps.record("T", set(&["E", "T"]));
+        deps.record("V", set(&["T"]));
+        assert_eq!(deps.affected_by(&set(&["E"])), set(&["T", "V"]));
+        // A changed relation is not its own "affected" entry.
+        assert_eq!(deps.affected_by(&set(&["T"])), set(&["V"]));
+    }
+
+    #[test]
+    fn formula_reads_descend_into_aggregates() {
+        let f = cdb_calcf::parse_formula("exists y (S(x, y) and z = LENGTH[w]{ P(w) and Q(w) })")
+            .unwrap();
+        assert_eq!(formula_reads(&f), set(&["P", "Q", "S"]));
+    }
+}

@@ -1,11 +1,14 @@
 //! The user-facing constraint database.
 
+use crate::deps::{formula_reads, DepTracker};
+use crate::update::Materialization;
 use cdb_calcf::{CalcFEngine, CalcFError, CalcFOutput};
 use cdb_constraints::{ConstraintRelation, Database};
-use cdb_datalog::{DatalogError, FixpointStats, Program};
+use cdb_datalog::{DatalogError, FixpointStats, Program, DELTA_PREFIX};
 use cdb_num::Rat;
 use cdb_qe::pipeline::numerical_evaluation;
-use cdb_qe::{QeContext, QeError};
+use cdb_qe::{AlgebraicCache, QeContext, QeError};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Errors from the facade.
@@ -21,6 +24,16 @@ pub enum DbError {
     Schema(String),
     /// Storage format problem.
     Storage(String),
+    /// An operation addressed an existing relation with the wrong arity
+    /// (the write is rejected; nothing is overwritten).
+    ArityMismatch {
+        /// The relation addressed.
+        name: String,
+        /// Its stored arity.
+        existing: usize,
+        /// The arity the operation supplied.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -31,6 +44,14 @@ impl fmt::Display for DbError {
             DbError::Datalog(e) => write!(f, "{e}"),
             DbError::Schema(m) => write!(f, "schema error: {m}"),
             DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::ArityMismatch {
+                name,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "arity mismatch on {name}: stored relation has arity {existing}, got {requested}"
+            ),
         }
     }
 }
@@ -61,6 +82,12 @@ impl From<DatalogError> for DbError {
 pub struct QueryResult {
     output: CalcFOutput,
     eps: Rat,
+    /// Engine configuration captured at query time, so the numeric step
+    /// runs under the same workers / bit budget / memo-cache as the
+    /// symbolic one.
+    workers: usize,
+    budget_bits: Option<u64>,
+    cache: AlgebraicCache,
 }
 
 impl QueryResult {
@@ -122,7 +149,10 @@ impl QueryResult {
     /// NUMERICAL EVALUATION (paper §2 step 3): if the answer is a finite
     /// set, ε-approximate all solution points; `None` for infinite answers.
     pub fn solve(&self) -> Result<Option<Vec<Vec<Rat>>>, DbError> {
-        let ctx = QeContext::exact();
+        let mut ctx = QeContext::exact()
+            .with_workers(self.workers)
+            .with_cache(&self.cache);
+        ctx.budget_bits = self.budget_bits;
         let pts = numerical_evaluation(
             &self.output.relation,
             &self.output.free_vars,
@@ -133,11 +163,37 @@ impl QueryResult {
     }
 }
 
+/// Catalog entry: what the schema knows about a relation beyond its
+/// extent — declared variable names (round-tripped by [`crate::storage`])
+/// and, for `define`d views, the source text updates recompile from.
+#[derive(Debug, Clone)]
+pub(crate) struct RelMeta {
+    pub(crate) var_names: Vec<String>,
+    pub(crate) view_src: Option<String>,
+}
+
 /// A constraint database with a CALC_F query engine.
+///
+/// Beyond evaluation, the database is *updatable*: [`Self::insert_tuples`]
+/// / [`Self::retract_tuples`] change named relations in place and
+/// propagate the change to every `define`d view and materialized Datalog¬
+/// head that (transitively) reads them — incrementally where the change
+/// permits, by recompute where it does not (see `crate::update`).
 #[derive(Debug, Clone)]
 pub struct ConstraintDb {
-    db: Database,
-    engine: CalcFEngine,
+    pub(crate) db: Database,
+    pub(crate) engine: CalcFEngine,
+    /// Persistent algebraic memo-cache, threaded into every evaluation
+    /// context built by the facade (shared handle; see
+    /// [`AlgebraicCache`]'s module docs).
+    pub(crate) cache: AlgebraicCache,
+    /// Per-relation schema metadata (variable names, view sources).
+    pub(crate) catalog: BTreeMap<String, RelMeta>,
+    /// Which derived relations read which others.
+    pub(crate) deps: DepTracker,
+    /// Datalog¬ programs whose heads are materialized in `db`, kept for
+    /// re-running under updates.
+    pub(crate) programs: Vec<Materialization>,
 }
 
 impl Default for ConstraintDb {
@@ -151,18 +207,24 @@ impl ConstraintDb {
     /// approximations over a 32-cell a-base on [−16, 16], ε = 2⁻³⁰).
     #[must_use]
     pub fn new() -> ConstraintDb {
-        ConstraintDb {
-            db: Database::new(),
-            engine: CalcFEngine::default(),
-        }
+        ConstraintDb::with_engine(CalcFEngine::default())
     }
 
     /// Use a custom engine configuration.
     #[must_use]
     pub fn with_engine(engine: CalcFEngine) -> ConstraintDb {
+        // One memo-cache for the whole database: the engine's handle and
+        // the facade's are the same Arc-backed storage, so CALC_F queries,
+        // Datalog runs, and the update path all share (and invalidate)
+        // the same entries.
+        let cache = engine.cache.clone();
         ConstraintDb {
             db: Database::new(),
             engine,
+            cache,
+            catalog: BTreeMap::new(),
+            deps: DepTracker::new(),
+            programs: Vec::new(),
         }
     }
 
@@ -177,25 +239,165 @@ impl ConstraintDb {
         &self.db
     }
 
+    /// The shared algebraic memo-cache the facade threads into every
+    /// evaluation context it builds (a cheap handle; cloning shares it).
+    #[must_use]
+    pub fn cache(&self) -> &AlgebraicCache {
+        &self.cache
+    }
+
+    /// Drop every memoized algebraic result *and* the process-wide
+    /// polynomial interner pool, returning how many entries were removed
+    /// from the memo-cache. Neither store can serve stale data (entries
+    /// are pure functions of their keys), so this is a memory-reclamation
+    /// hook — destructive updates call the cache half automatically; the
+    /// interner half is explicit because the pool is shared process-wide.
+    pub fn invalidate_caches(&self) -> usize {
+        let removed = self.cache.invalidate();
+        cdb_poly::intern::clear();
+        removed
+    }
+
+    /// The evaluation context carrying the engine's full configuration:
+    /// worker count, bit budget, and the shared memo-cache.
+    pub(crate) fn qe_context(&self) -> QeContext {
+        let mut ctx = QeContext::exact()
+            .with_workers(self.engine.workers)
+            .with_cache(&self.cache);
+        ctx.budget_bits = self.engine.budget_bits;
+        ctx
+    }
+
+    /// Reject names the evaluator reserves and arity-0 schemas (the
+    /// storage format cannot represent a nullary relation, and a 0-ary
+    /// extent is a sentence, not a relation).
+    fn check_schema(name: &str, arity: usize) -> Result<(), DbError> {
+        if name.is_empty() {
+            return Err(DbError::Schema("empty relation name".to_owned()));
+        }
+        if name.starts_with(DELTA_PREFIX) {
+            return Err(DbError::Schema(format!(
+                "relation name {name} uses the reserved prefix {DELTA_PREFIX}"
+            )));
+        }
+        if arity == 0 {
+            return Err(DbError::Schema(format!(
+                "relation {name} has arity 0; nullary relations are not supported"
+            )));
+        }
+        Ok(())
+    }
+
+    /// [`DbError::ArityMismatch`] if `name` exists with an arity other
+    /// than `requested`.
+    fn check_arity(&self, name: &str, requested: usize) -> Result<(), DbError> {
+        match self.db.get(name) {
+            Some(existing) if existing.nvars() != requested => Err(DbError::ArityMismatch {
+                name: name.to_owned(),
+                existing: existing.nvars(),
+                requested,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Default `v0, v1, …` variable names for relations inserted without
+    /// declared names.
+    pub(crate) fn default_var_names(arity: usize) -> Vec<String> {
+        (0..arity).map(|i| format!("v{i}")).collect()
+    }
+
+    /// Drop derived-relation bookkeeping for `name`: its dependency edges,
+    /// and any materialized program one of whose heads it is (the caller
+    /// is taking manual control of the extent).
+    fn unregister_derived(&mut self, name: &str) {
+        self.deps.forget(name);
+        let mut dropped_heads = Vec::new();
+        self.programs.retain(|m| {
+            let heads = m.program.head_names();
+            if heads.contains(name) {
+                dropped_heads.extend(heads);
+                false
+            } else {
+                true
+            }
+        });
+        for head in dropped_heads {
+            self.deps.forget(&head);
+        }
+    }
+
     /// Define a relation from CALC_F source over the named variables:
     /// `db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0")`.
     /// Definitions may use quantifiers, previously defined relations,
     /// analytic functions and aggregates.
+    ///
+    /// The definition is recorded: when a relation it reads is later
+    /// updated, the view is recompiled automatically. Redefining an
+    /// existing relation keeps its arity ([`DbError::ArityMismatch`]
+    /// otherwise) and refreshes everything that reads *it*.
     pub fn define(&mut self, name: &str, vars: &[&str], src: &str) -> Result<(), DbError> {
+        Self::check_schema(name, vars.len())?;
+        self.check_arity(name, vars.len())?;
         let rel = self.engine.compile_relation(&self.db, vars, src)?;
-        self.db.insert(name, rel);
+        let reads = formula_reads(&cdb_calcf::parse_formula(src).map_err(CalcFError::from)?);
+        let replacing = self.db.get(name).is_some();
+        if replacing {
+            self.unregister_derived(name);
+        }
+        self.db.insert(name, rel.canonicalized());
+        self.catalog.insert(
+            name.to_owned(),
+            RelMeta {
+                var_names: vars.iter().map(|v| (*v).to_owned()).collect(),
+                view_src: Some(src.to_owned()),
+            },
+        );
+        self.deps.record(name, reads);
+        if replacing {
+            self.refresh_dependents_of(name)?;
+        }
         Ok(())
     }
 
-    /// Insert a pre-built relation.
-    pub fn insert(&mut self, name: &str, rel: ConstraintRelation) {
-        self.db.insert(name, rel);
+    /// Insert (or replace) a pre-built relation. Replacing requires the
+    /// arity to match ([`DbError::ArityMismatch`]) and refreshes every
+    /// view / materialized head that transitively reads `name`.
+    pub fn insert(&mut self, name: &str, rel: ConstraintRelation) -> Result<(), DbError> {
+        Self::check_schema(name, rel.nvars())?;
+        self.check_arity(name, rel.nvars())?;
+        let replacing = self.db.get(name).is_some();
+        if replacing {
+            self.unregister_derived(name);
+        }
+        let arity = rel.nvars();
+        self.db.insert(name, rel.canonicalized());
+        let keep_names = self
+            .catalog
+            .get(name)
+            .filter(|m| m.var_names.len() == arity)
+            .map(|m| m.var_names.clone());
+        self.catalog.insert(
+            name.to_owned(),
+            RelMeta {
+                var_names: keep_names.unwrap_or_else(|| Self::default_var_names(arity)),
+                view_src: None,
+            },
+        );
+        if replacing {
+            self.refresh_dependents_of(name)?;
+        }
+        Ok(())
     }
 
-    /// Insert a finite relation from explicit points.
-    pub fn insert_points(&mut self, name: &str, arity: usize, points: &[Vec<Rat>]) {
-        self.db
-            .insert(name, ConstraintRelation::from_points(arity, points));
+    /// Insert (or replace) a finite relation from explicit points.
+    pub fn insert_points(
+        &mut self,
+        name: &str,
+        arity: usize,
+        points: &[Vec<Rat>],
+    ) -> Result<(), DbError> {
+        self.insert(name, ConstraintRelation::from_points(arity, points))
     }
 
     /// Look up a stored relation.
@@ -204,9 +406,54 @@ impl ConstraintDb {
         self.db.get(name)
     }
 
-    /// Remove a relation.
+    /// Declared variable names of a stored relation (defaults `v0, v1, …`
+    /// when it was inserted without names).
+    #[must_use]
+    pub fn var_names(&self, name: &str) -> Option<&[String]> {
+        self.catalog.get(name).map(|m| m.var_names.as_slice())
+    }
+
+    /// Declare the variable names of an existing relation (count must
+    /// match its arity). The names are cosmetic — display and storage —
+    /// so no recompilation happens.
+    pub fn rename_vars(&mut self, name: &str, vars: &[&str]) -> Result<(), DbError> {
+        let Some(rel) = self.db.get(name) else {
+            return Err(DbError::Schema(format!("no relation named {name}")));
+        };
+        if rel.nvars() != vars.len() {
+            return Err(DbError::ArityMismatch {
+                name: name.to_owned(),
+                existing: rel.nvars(),
+                requested: vars.len(),
+            });
+        }
+        let var_names: Vec<String> = vars.iter().map(|v| (*v).to_owned()).collect();
+        match self.catalog.get_mut(name) {
+            Some(meta) => meta.var_names = var_names,
+            None => {
+                self.catalog.insert(
+                    name.to_owned(),
+                    RelMeta {
+                        var_names,
+                        view_src: None,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove a relation. Derived relations that read it keep their last
+    /// materialized extents (they can no longer be refreshed); the
+    /// memo-cache is invalidated.
     pub fn remove(&mut self, name: &str) -> Option<ConstraintRelation> {
-        self.db.remove(name)
+        let removed = self.db.remove(name);
+        if removed.is_some() {
+            self.catalog.remove(name);
+            self.unregister_derived(name);
+            self.cache.invalidate();
+        }
+        removed
     }
 
     /// Schema: `(name, arity)` pairs.
@@ -221,13 +468,25 @@ impl ConstraintDb {
         Ok(QueryResult {
             output,
             eps: self.engine.eps.clone(),
+            workers: self.engine.workers,
+            budget_bits: self.engine.budget_bits,
+            cache: self.cache.clone(),
         })
     }
 
     /// Run a Datalog¬ program to its inflationary fixpoint with the
     /// semi-naive parallel evaluator, merging the saturated head relations
-    /// back into this database. Honors the engine's `workers` and
-    /// `budget_bits` settings; returns the run's [`FixpointStats`].
+    /// back into this database. The evaluation context carries the
+    /// engine's full configuration — `workers`, `budget_bits`, *and* the
+    /// facade's persistent memo-cache (so repeated runs and the update
+    /// path reuse each other's algebraic work); returns the run's
+    /// [`FixpointStats`].
+    ///
+    /// The program is also *registered*: its heads are tracked as
+    /// materialized views of the relations the rule bodies read, and
+    /// later [`Self::insert_tuples`] / [`Self::retract_tuples`] calls
+    /// re-run it — incrementally when the change permits. Re-running a
+    /// program with the same head set replaces the previous registration.
     ///
     /// Programs are built directly ([`cdb_datalog::Rule`]) or parsed from
     /// text with [`crate::parse_program`].
@@ -236,10 +495,32 @@ impl ConstraintDb {
         program: &Program,
         max_iterations: usize,
     ) -> Result<FixpointStats, DbError> {
-        let mut ctx = QeContext::exact().with_workers(self.engine.workers);
-        ctx.budget_bits = self.engine.budget_bits;
+        let heads = program.head_names();
+        // Snapshot the pre-materialization head extents: a later full
+        // recompute must restart from these, not from the saturated ones
+        // (the inflationary semantics never shrinks an extent).
+        let base_heads: BTreeMap<String, Option<ConstraintRelation>> = heads
+            .iter()
+            .map(|h| (h.clone(), self.db.get(h).cloned()))
+            .collect();
+        let ctx = self.qe_context();
         let (saturated, stats) = program.run(&self.db, &ctx, max_iterations)?;
         self.db = saturated;
+        let reads = program.read_names();
+        for head in &heads {
+            self.deps.record(head, reads.clone());
+            let arity = self.db.get(head).map_or(0, ConstraintRelation::nvars);
+            self.catalog.entry(head.clone()).or_insert_with(|| RelMeta {
+                var_names: Self::default_var_names(arity),
+                view_src: None,
+            });
+        }
+        self.programs.retain(|m| m.program.head_names() != heads);
+        self.programs.push(Materialization {
+            program: program.clone(),
+            max_iterations,
+            base_heads,
+        });
         Ok(stats)
     }
 
@@ -252,6 +533,9 @@ impl ConstraintDb {
             Ok(output) => Ok(Some(QueryResult {
                 output,
                 eps: engine.eps.clone(),
+                workers: engine.workers,
+                budget_bits: engine.budget_bits,
+                cache: self.cache.clone(),
             })),
             Err(CalcFError::Qe(QeError::PrecisionExceeded { .. })) => Ok(None),
             Err(e) => Err(e.into()),
@@ -323,7 +607,7 @@ mod tests {
     fn schema_and_crud() {
         let mut db = paper_db();
         assert_eq!(db.schema(), vec![("S".to_owned(), 2)]);
-        db.insert_points("P", 1, &[vec![Rat::one()]]);
+        db.insert_points("P", 1, &[vec![Rat::one()]]).unwrap();
         assert_eq!(db.schema().len(), 2);
         assert!(db.relation("P").is_some());
         db.remove("P");
@@ -347,7 +631,8 @@ mod tests {
                 vec![Rat::one(), Rat::from(2i64)],
                 vec![Rat::from(2i64), Rat::from(3i64)],
             ],
-        );
+        )
+        .unwrap();
         let program = crate::parse_program(
             "T(x, y) :- E(x, y).\n\
              T(x, y) :- T(x, z), E(z, y).",

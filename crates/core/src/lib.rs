@@ -35,9 +35,11 @@
 //! ```
 
 pub mod datalog_text;
+pub mod deps;
 pub mod facade;
 pub mod index;
 pub mod storage;
+pub mod update;
 
 pub use cdb_agg::Aggregate;
 pub use cdb_approx::{ABase, AnalyticFn};
@@ -48,5 +50,7 @@ pub use cdb_num::{Int, Rat};
 pub use cdb_poly::{MPoly, UPoly};
 pub use cdb_qe::{QeContext, QeError};
 pub use datalog_text::parse_program;
+pub use deps::DepTracker;
 pub use facade::{ConstraintDb, DbError, QueryResult};
 pub use index::BoxIndex;
+pub use update::UpdateReport;

@@ -18,12 +18,22 @@
 use crate::facade::{ConstraintDb, DbError};
 use cdb_constraints::ConstraintRelation;
 
-/// Serialize the database to the text format.
-#[must_use]
-pub fn save(db: &ConstraintDb) -> String {
+/// Serialize the database to the text format. Declared variable names are
+/// written as-is (and round-trip through [`load`]); a nullary relation is
+/// rejected with [`DbError::Storage`] — the format cannot represent one,
+/// and silently writing it would load back at a different arity.
+pub fn save(db: &ConstraintDb) -> Result<String, DbError> {
     let mut out = String::from("# constraintdb v1\n");
     for (name, rel) in db.raw().iter() {
-        let names: Vec<String> = (0..rel.nvars()).map(|i| format!("v{i}")).collect();
+        if rel.nvars() == 0 {
+            return Err(DbError::Storage(format!(
+                "relation {name} has arity 0, which the text format cannot represent"
+            )));
+        }
+        let names: Vec<String> = match db.var_names(name) {
+            Some(declared) if declared.len() == rel.nvars() => declared.to_vec(),
+            _ => (0..rel.nvars()).map(|i| format!("v{i}")).collect(),
+        };
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
         out.push_str(&format!("relation {name}({})\n", names.join(", ")));
         for t in rel.tuples() {
@@ -38,10 +48,14 @@ pub fn save(db: &ConstraintDb) -> String {
         }
         out.push_str("end\n");
     }
-    out
+    Ok(out)
 }
 
 /// Parse the text format into a database (using the default engine).
+/// Variable names from the relation heads are recorded in the catalog, so
+/// save → load → save is byte-identical. A nullary head `relation X()` is
+/// rejected with [`DbError::Storage`] (the seed implementation silently
+/// loaded it at arity 1 — schema drift).
 pub fn load(text: &str) -> Result<ConstraintDb, DbError> {
     let mut db = ConstraintDb::new();
     let mut lines = text.lines().peekable();
@@ -71,15 +85,21 @@ pub fn load(text: &str) -> Result<ConstraintDb, DbError> {
                 None => return Err(DbError::Storage(format!("unterminated relation {name}"))),
             }
         }
+        if vars.is_empty() {
+            return Err(DbError::Storage(format!(
+                "relation {name} has no variables; nullary relations are not supported"
+            )));
+        }
         let refs: Vec<&str> = vars.iter().map(String::as_str).collect();
-        let mut rel = ConstraintRelation::empty(vars.len().max(1));
+        let mut rel = ConstraintRelation::empty(vars.len());
         for src in &tuples_src {
             let tuple_rel = db
                 .query_compile(&refs, src)
                 .map_err(|e| DbError::Storage(format!("in tuple '{src}': {e}")))?;
             rel = rel.union(&tuple_rel);
         }
-        db.insert(&name, rel);
+        db.insert(&name, rel)?;
+        db.rename_vars(&name, &refs)?;
     }
     Ok(db)
 }
@@ -125,9 +145,12 @@ mod tests {
         let mut db = ConstraintDb::new();
         db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0")
             .unwrap();
-        db.insert_points("P", 1, &[vec![Rat::one()], vec!["5/2".parse().unwrap()]]);
-        let text = save(&db);
-        assert!(text.contains("relation S(v0, v1)"));
+        db.insert_points("P", 1, &[vec![Rat::one()], vec!["5/2".parse().unwrap()]])
+            .unwrap();
+        let text = save(&db).unwrap();
+        // Declared names are persisted, not rewritten to v0, v1.
+        assert!(text.contains("relation S(x, y)"), "{text}");
+        assert!(text.contains("relation P(v0)"), "{text}");
         let back = load(&text).unwrap();
         // Semantics preserved: spot-check membership.
         for (x, y, expect) in [("5/2", "0", true), ("0", "0", false), ("0", "30", true)] {
@@ -148,11 +171,50 @@ mod tests {
     fn rational_coefficients_roundtrip() {
         let mut db = ConstraintDb::new();
         db.define("R", &["t"], "t/2 - 1/3 <= 0").unwrap();
-        let text = save(&db);
+        let text = save(&db).unwrap();
         let back = load(&text).unwrap();
         let r = back.relation("R").unwrap();
         assert!(r.satisfied_at(&["2/3".parse().unwrap()]));
         assert!(!r.satisfied_at(&[Rat::one()]));
+    }
+
+    /// Regression (seed bug): `relation X()` used to load silently at
+    /// arity 1. Both directions now reject nullary relations with a clear
+    /// storage error, so save→load can never drift the schema.
+    #[test]
+    fn nullary_relations_rejected_both_ways() {
+        let err = load("relation X()\nend\n").unwrap_err();
+        assert!(
+            matches!(&err, DbError::Storage(m) if m.contains("nullary")),
+            "{err}"
+        );
+        // The facade refuses to create arity-0 relations at all, so `save`
+        // can only meet one through the raw database; the schema check
+        // lives in the facade.
+        let mut db = ConstraintDb::new();
+        let err = db.insert("X", ConstraintRelation::empty(0)).unwrap_err();
+        assert!(matches!(err, DbError::Schema(_)), "{err}");
+    }
+
+    /// Declared variable names round-trip: save → load → save is
+    /// byte-identical.
+    #[test]
+    fn var_names_roundtrip_byte_identical() {
+        let mut db = ConstraintDb::new();
+        db.define("S", &["lat", "lon"], "lat^2 + lon^2 - 1 <= 0")
+            .unwrap();
+        db.insert_points("Stops", 1, &[vec![Rat::one()]]).unwrap();
+        db.rename_vars("Stops", &["t"]).unwrap();
+        let text = save(&db).unwrap();
+        assert!(text.contains("relation S(lat, lon)"), "{text}");
+        assert!(text.contains("relation Stops(t)"), "{text}");
+        let back = load(&text).unwrap();
+        assert_eq!(
+            back.var_names("S").unwrap(),
+            &["lat".to_owned(), "lon".to_owned()]
+        );
+        let text2 = save(&back).unwrap();
+        assert_eq!(text, text2, "save → load → save must be byte-identical");
     }
 
     #[test]
@@ -169,8 +231,8 @@ mod tests {
     #[test]
     fn empty_relation_roundtrip() {
         let mut db = ConstraintDb::new();
-        db.insert("E", ConstraintRelation::empty(2));
-        let text = save(&db);
+        db.insert("E", ConstraintRelation::empty(2)).unwrap();
+        let text = save(&db).unwrap();
         let back = load(&text).unwrap();
         assert_eq!(back.relation("E").unwrap().tuples().len(), 0);
     }

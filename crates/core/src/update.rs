@@ -1,0 +1,412 @@
+//! Updates and incremental view maintenance.
+//!
+//! [`ConstraintDb::insert_tuples`] and [`ConstraintDb::retract_tuples`]
+//! change a named base relation in place and produce an explicit
+//! per-relation delta. The facade then *propagates* the change instead of
+//! recomputing the world: the dependency tracker ([`crate::deps`]) names
+//! every `define`d view and materialized Datalog¬ head that transitively
+//! reads the changed relation, and each is refreshed exactly once, in
+//! dependency order —
+//!
+//! * **incrementally**, when the change is an insertion and the program is
+//!   [`Program::incrementally_maintainable`] for it: the delta re-enters
+//!   the semi-naive evaluator ([`Program::run_incremental`]) so only
+//!   delta-bound rule variants pay QE calls;
+//! * **by recompute**, for retractions, replacements and redefinitions
+//!   (views recompile from their stored source; programs restart from
+//!   their pre-materialization head snapshots), with the shared
+//!   [`cdb_qe::AlgebraicCache`] invalidated first — entries are pure and
+//!   can never serve stale answers, but destructive updates strand entries
+//!   whose polynomials no longer occur anywhere, and the invalidation
+//!   gives the no-stale-hits differential tests (E21) a hard firebreak to
+//!   pivot on.
+//!
+//! On finite extents the propagated state is byte-identical to a
+//! from-scratch evaluation of the updated database (differential-tested
+//! across worker counts); on infinite extents it is semantically equal.
+
+use crate::facade::{ConstraintDb, DbError};
+use cdb_constraints::{ConstraintRelation, GeneralizedTuple};
+use cdb_datalog::{DatalogError, Program};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A Datalog¬ program whose heads are materialized in the database,
+/// registered by [`ConstraintDb::run_datalog`] for re-running under
+/// updates.
+#[derive(Debug, Clone)]
+pub(crate) struct Materialization {
+    pub(crate) program: Program,
+    pub(crate) max_iterations: usize,
+    /// Head extents as they were *before* the program first ran (`None` =
+    /// the head did not exist). Full recomputes restart from these: the
+    /// inflationary semantics never shrinks an extent, so restarting from
+    /// the saturated state would fossilize retracted derivations.
+    pub(crate) base_heads: BTreeMap<String, Option<ConstraintRelation>>,
+}
+
+/// What an update did: the direct change, plus every derived relation the
+/// propagation refreshed and how.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateReport {
+    /// The relation updated.
+    pub relation: String,
+    /// Tuples actually added (syntactic duplicates are skipped).
+    pub inserted: usize,
+    /// Tuples actually removed (absent tuples are skipped).
+    pub retracted: usize,
+    /// `define`d views recompiled, in processing order.
+    pub refreshed_views: Vec<String>,
+    /// Materialized heads refreshed, in processing order.
+    pub refreshed_heads: Vec<String>,
+    /// Programs re-run through the incremental delta path.
+    pub incremental_reruns: usize,
+    /// Programs re-run from scratch (restored head snapshots).
+    pub full_reruns: usize,
+    /// Whether the shared memo-cache was invalidated (destructive path).
+    pub cache_invalidated: bool,
+}
+
+/// How a relation changed, as seen by downstream consumers.
+#[derive(Debug, Clone)]
+enum Change {
+    /// The relation grew by exactly this delta — eligible for incremental
+    /// maintenance.
+    Enlarge(ConstraintRelation),
+    /// Arbitrary change (retraction, replacement, redefinition, or a
+    /// refreshed derived relation with no tracked delta) — consumers must
+    /// recompute.
+    Destructive,
+}
+
+/// A unit of propagation work, scheduled at most once per update.
+#[derive(Debug, Clone)]
+enum Unit {
+    /// Recompile a `define`d view from its stored source.
+    View { name: String },
+    /// Re-run a materialized program (incrementally if possible).
+    Program { mat: Materialization },
+}
+
+impl Unit {
+    /// Relations this unit rewrites.
+    fn outputs(&self) -> BTreeSet<String> {
+        match self {
+            Unit::View { name } => BTreeSet::from([name.clone()]),
+            Unit::Program { mat } => mat.program.head_names(),
+        }
+    }
+}
+
+impl ConstraintDb {
+    /// Insert generalized tuples into the named base relation, propagating
+    /// the delta to every derived relation that reads it. Tuples already
+    /// present (syntactically) are skipped; an empty effective delta is a
+    /// no-op. The relation must exist ([`DbError::Schema`]) with matching
+    /// arity ([`DbError::ArityMismatch`]), and must not itself be derived
+    /// (update its base relations, or redefine it, instead).
+    pub fn insert_tuples(
+        &mut self,
+        name: &str,
+        tuples: &[GeneralizedTuple],
+    ) -> Result<UpdateReport, DbError> {
+        let (arity, fresh) = {
+            let rel = self.updatable_relation(name)?;
+            let arity = rel.nvars();
+            let mut fresh: Vec<GeneralizedTuple> = Vec::new();
+            for t in tuples {
+                if t.nvars() != arity {
+                    return Err(DbError::ArityMismatch {
+                        name: name.to_owned(),
+                        existing: arity,
+                        requested: t.nvars(),
+                    });
+                }
+                if !rel.tuples().contains(t) && !fresh.contains(t) {
+                    fresh.push(t.clone());
+                }
+            }
+            (arity, fresh)
+        };
+        let mut report = UpdateReport {
+            relation: name.to_owned(),
+            inserted: fresh.len(),
+            ..UpdateReport::default()
+        };
+        if fresh.is_empty() {
+            return Ok(report);
+        }
+        let delta = ConstraintRelation::new(arity, fresh);
+        let merged = self.updatable_relation(name)?.union(&delta).canonicalized();
+        self.db.insert(name, merged);
+        let changes = BTreeMap::from([(name.to_owned(), Change::Enlarge(delta))]);
+        self.propagate(changes, &mut report)?;
+        Ok(report)
+    }
+
+    /// Retract generalized tuples from the named base relation
+    /// (syntactic-equality deletion — exact point deletion on canonical
+    /// finite relations), propagating to every derived relation that reads
+    /// it. Retraction is always the destructive path: dependents are
+    /// recomputed from scratch and the memo-cache is invalidated.
+    pub fn retract_tuples(
+        &mut self,
+        name: &str,
+        tuples: &[GeneralizedTuple],
+    ) -> Result<UpdateReport, DbError> {
+        let shrunk = {
+            let rel = self.updatable_relation(name)?;
+            let arity = rel.nvars();
+            for t in tuples {
+                if t.nvars() != arity {
+                    return Err(DbError::ArityMismatch {
+                        name: name.to_owned(),
+                        existing: arity,
+                        requested: t.nvars(),
+                    });
+                }
+            }
+            let shrunk = rel.without_tuples(tuples);
+            if shrunk.tuples().len() == rel.tuples().len() {
+                None
+            } else {
+                Some((rel.tuples().len() - shrunk.tuples().len(), shrunk))
+            }
+        };
+        let mut report = UpdateReport {
+            relation: name.to_owned(),
+            ..UpdateReport::default()
+        };
+        let Some((removed, shrunk)) = shrunk else {
+            return Ok(report);
+        };
+        report.retracted = removed;
+        self.db.insert(name, shrunk.canonicalized());
+        let changes = BTreeMap::from([(name.to_owned(), Change::Destructive)]);
+        self.propagate(changes, &mut report)?;
+        Ok(report)
+    }
+
+    /// Refresh everything that transitively reads `name` after a
+    /// destructive replacement (facade `insert` / `define` over an
+    /// existing relation).
+    pub(crate) fn refresh_dependents_of(&mut self, name: &str) -> Result<UpdateReport, DbError> {
+        let mut report = UpdateReport {
+            relation: name.to_owned(),
+            ..UpdateReport::default()
+        };
+        let changes = BTreeMap::from([(name.to_owned(), Change::Destructive)]);
+        self.propagate(changes, &mut report)?;
+        Ok(report)
+    }
+
+    /// The stored relation `name`, rejecting updates to derived relations.
+    fn updatable_relation(&self, name: &str) -> Result<&ConstraintRelation, DbError> {
+        if self.deps.reads_of(name).is_some() {
+            return Err(DbError::Schema(format!(
+                "{name} is a derived relation (view or materialized head); \
+                 update the relations it reads, or redefine it"
+            )));
+        }
+        self.db
+            .get(name)
+            .ok_or_else(|| DbError::Schema(format!("no relation named {name}")))
+    }
+
+    /// Propagate `changes` to every affected derived relation, each
+    /// refreshed exactly once in dependency order. Views recompile from
+    /// their stored source; programs re-run incrementally when every dirty
+    /// input carries an enlarging delta and the program is incrementally
+    /// maintainable for the change set, from their base-head snapshots
+    /// otherwise. Any destructive change invalidates the shared
+    /// memo-cache first.
+    fn propagate(
+        &mut self,
+        changes: BTreeMap<String, Change>,
+        report: &mut UpdateReport,
+    ) -> Result<(), DbError> {
+        if changes.values().any(|c| matches!(c, Change::Destructive)) {
+            self.cache.invalidate();
+            report.cache_invalidated = true;
+        }
+        // `arrived` tracks how each relation has changed so far; it grows
+        // as units run (their outputs become Destructive changes for
+        // downstream units).
+        let mut arrived = changes;
+        let units = self.schedule_units(&arrived);
+        for unit in units {
+            match unit {
+                Unit::View { name } => {
+                    self.refresh_view(&name)?;
+                    arrived.insert(name.clone(), Change::Destructive);
+                    report.refreshed_views.push(name);
+                }
+                Unit::Program { mat } => {
+                    let incremental = self.rerun_program(&mat, &arrived)?;
+                    if incremental {
+                        report.incremental_reruns += 1;
+                    } else {
+                        report.full_reruns += 1;
+                        if !report.cache_invalidated {
+                            self.cache.invalidate();
+                            report.cache_invalidated = true;
+                        }
+                    }
+                    for head in mat.program.head_names() {
+                        arrived.insert(head.clone(), Change::Destructive);
+                        report.refreshed_heads.push(head);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Every affected unit, in dependency order: transitively collect the
+    /// views and programs whose read sets touch the dirty names, then
+    /// topologically order them (a unit runs after the units producing its
+    /// inputs; ties and cycles break on the deterministic collection
+    /// order: views by name, then programs by registration).
+    fn schedule_units(&self, changes: &BTreeMap<String, Change>) -> Vec<Unit> {
+        let mut dirty: BTreeSet<String> = changes.keys().cloned().collect();
+        let mut units: Vec<Unit> = Vec::new();
+        let mut seen_views: BTreeSet<String> = BTreeSet::new();
+        let mut seen_programs: BTreeSet<usize> = BTreeSet::new();
+        loop {
+            let mut grew = false;
+            for (name, meta) in &self.catalog {
+                if meta.view_src.is_none() || seen_views.contains(name) {
+                    continue;
+                }
+                let reads_dirty = self
+                    .deps
+                    .reads_of(name)
+                    .is_some_and(|reads| !reads.is_disjoint(&dirty));
+                if reads_dirty {
+                    seen_views.insert(name.clone());
+                    units.push(Unit::View { name: name.clone() });
+                    dirty.insert(name.clone());
+                    grew = true;
+                }
+            }
+            for (idx, mat) in self.programs.iter().enumerate() {
+                if seen_programs.contains(&idx) {
+                    continue;
+                }
+                if !mat.program.read_names().is_disjoint(&dirty) {
+                    seen_programs.insert(idx);
+                    units.push(Unit::Program { mat: mat.clone() });
+                    dirty.extend(mat.program.head_names());
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        // Topological order over the collected units.
+        let inputs_of = |unit: &Unit| -> BTreeSet<String> {
+            match unit {
+                Unit::View { name } => self.deps.reads_of(name).cloned().unwrap_or_default(),
+                Unit::Program { mat } => {
+                    let heads = mat.program.head_names();
+                    mat.program
+                        .read_names()
+                        .into_iter()
+                        .filter(|r| !heads.contains(r))
+                        .collect()
+                }
+            }
+        };
+        let mut remaining = units;
+        let mut ordered: Vec<Unit> = Vec::new();
+        while !remaining.is_empty() {
+            let mut pending_outputs: BTreeSet<String> = BTreeSet::new();
+            for u in &remaining {
+                pending_outputs.extend(u.outputs());
+            }
+            let pos = remaining
+                .iter()
+                .position(|u| {
+                    let own = u.outputs();
+                    inputs_of(u)
+                        .iter()
+                        .all(|i| own.contains(i) || !pending_outputs.contains(i))
+                })
+                // A dependency cycle across units (e.g. a view over a head
+                // of a program that reads the view): break it at the first
+                // unit in collection order — each still runs exactly once.
+                .unwrap_or(0);
+            ordered.push(remaining.remove(pos));
+        }
+        ordered
+    }
+
+    /// Recompile a `define`d view from its stored source against the
+    /// current extents.
+    fn refresh_view(&mut self, name: &str) -> Result<(), DbError> {
+        let Some(meta) = self.catalog.get(name).cloned() else {
+            return Err(DbError::Schema(format!("view {name} has no catalog entry")));
+        };
+        let Some(src) = meta.view_src else {
+            return Err(DbError::Schema(format!("{name} is not a view")));
+        };
+        let refs: Vec<&str> = meta.var_names.iter().map(String::as_str).collect();
+        let rel = self.engine.compile_relation(&self.db, &refs, &src)?;
+        self.db.insert(name, rel.canonicalized());
+        Ok(())
+    }
+
+    /// Re-run a materialized program after its inputs changed. Returns
+    /// `true` when the incremental path was taken.
+    fn rerun_program(
+        &mut self,
+        mat: &Materialization,
+        arrived: &BTreeMap<String, Change>,
+    ) -> Result<bool, DbError> {
+        let reads = mat.program.read_names();
+        let dirty_inputs: BTreeMap<String, &Change> = arrived
+            .iter()
+            .filter(|(name, _)| reads.contains(*name))
+            .map(|(name, change)| (name.clone(), change))
+            .collect();
+        let dirty_names: BTreeSet<String> = dirty_inputs.keys().cloned().collect();
+        let all_enlarging = dirty_inputs
+            .values()
+            .all(|c| matches!(c, Change::Enlarge(_)));
+        let ctx = self.qe_context();
+        if all_enlarging && mat.program.incrementally_maintainable(&dirty_names) {
+            let mut base_deltas: BTreeMap<String, ConstraintRelation> = BTreeMap::new();
+            for (name, change) in &dirty_inputs {
+                if let Change::Enlarge(delta) = change {
+                    base_deltas.insert(name.clone(), delta.clone());
+                }
+            }
+            match mat
+                .program
+                .run_incremental(&self.db, &base_deltas, &ctx, mat.max_iterations)
+            {
+                Ok((saturated, _stats)) => {
+                    self.db = saturated;
+                    return Ok(true);
+                }
+                // Belt-and-braces: if the evaluator still refuses, take
+                // the full path below rather than failing the update.
+                Err(DatalogError::NotIncremental(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        // Full recompute: restart the heads from their
+        // pre-materialization snapshots, then saturate.
+        for (head, snapshot) in &mat.base_heads {
+            match snapshot {
+                Some(rel) => self.db.insert(head.clone(), rel.clone()),
+                None => {
+                    self.db.remove(head);
+                }
+            }
+        }
+        let (saturated, _stats) = mat.program.run(&self.db, &ctx, mat.max_iterations)?;
+        self.db = saturated;
+        Ok(false)
+    }
+}

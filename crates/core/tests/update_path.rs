@@ -1,0 +1,350 @@
+//! Update-path regressions and differentials.
+//!
+//! The contract (DESIGN.md §12): after any sequence of
+//! `insert_tuples`/`retract_tuples`/redefinitions, every `define`d view
+//! and materialized Datalog¬ head equals what a from-scratch evaluation
+//! of the final base state would produce — byte-identically on finite
+//! extents, for every worker count — and the shared `AlgebraicCache`
+//! never serves a stale answer across destructive updates.
+
+use cdb_constraints::GeneralizedTuple;
+use cdb_num::Rat;
+use constraintdb::{parse_program, ConstraintDb, DbError};
+use proptest::prelude::*;
+
+fn pt2(a: i64, b: i64) -> Vec<Rat> {
+    vec![Rat::from(a), Rat::from(b)]
+}
+
+fn edge_tuples(edges: &[(i64, i64)]) -> Vec<GeneralizedTuple> {
+    edges
+        .iter()
+        .map(|&(a, b)| GeneralizedTuple::point(&pt2(a, b)))
+        .collect()
+}
+
+fn tc_src() -> &'static str {
+    "T(x, y) :- E(x, y).\n\
+     T(x, y) :- T(x, z), E(z, y)."
+}
+
+fn t_display(db: &ConstraintDb) -> String {
+    db.relation("T").unwrap().display_with(&["x", "y"])
+}
+
+/// Incremental maintenance under inserts ≡ from-scratch evaluation of the
+/// updated base, byte-identically, for workers ∈ {1, 4} — and the
+/// incremental path is actually taken.
+#[test]
+fn insert_tuples_incremental_matches_scratch() {
+    let program = parse_program(tc_src()).unwrap();
+    for workers in [1usize, 4] {
+        let mut db = ConstraintDb::new();
+        db.engine_mut().workers = workers;
+        db.insert_points("E", 2, &[pt2(1, 2), pt2(2, 3), pt2(3, 4)])
+            .unwrap();
+        db.run_datalog(&program, 32).unwrap();
+
+        let report = db
+            .insert_tuples("E", &edge_tuples(&[(4, 5), (5, 6)]))
+            .unwrap();
+        assert_eq!(report.inserted, 2);
+        assert_eq!(report.incremental_reruns, 1, "{report:?}");
+        assert_eq!(report.full_reruns, 0, "{report:?}");
+        assert!(!report.cache_invalidated, "pure inserts keep the cache");
+        assert_eq!(report.refreshed_heads, vec!["T".to_owned()]);
+
+        let mut scratch = ConstraintDb::new();
+        scratch.engine_mut().workers = workers;
+        scratch
+            .insert_points(
+                "E",
+                2,
+                &[pt2(1, 2), pt2(2, 3), pt2(3, 4), pt2(4, 5), pt2(5, 6)],
+            )
+            .unwrap();
+        scratch.run_datalog(&program, 32).unwrap();
+
+        assert_eq!(
+            t_display(&db),
+            t_display(&scratch),
+            "incremental ≢ from-scratch (workers={workers})"
+        );
+        // And the closure actually grew through the new edges.
+        let q = db.query("T(x, y)").unwrap();
+        assert!(q.contains(&pt2(1, 6)));
+        assert!(!q.contains(&pt2(6, 1)));
+    }
+}
+
+/// Retract-then-query: retraction takes the destructive path (full
+/// recompute from head snapshots + cache invalidation) and the derived
+/// closure loses exactly the conclusions that depended on the retracted
+/// edge.
+#[test]
+fn retract_then_query_recomputes_closure() {
+    let program = parse_program(tc_src()).unwrap();
+    let mut db = ConstraintDb::new();
+    db.insert_points("E", 2, &[pt2(1, 2), pt2(2, 3), pt2(3, 4)])
+        .unwrap();
+    db.run_datalog(&program, 32).unwrap();
+    assert!(db.query("T(x, y)").unwrap().contains(&pt2(1, 4)));
+
+    let invalidations_before = db.cache().invalidations();
+    let report = db.retract_tuples("E", &edge_tuples(&[(2, 3)])).unwrap();
+    assert_eq!(report.retracted, 1);
+    assert_eq!(report.full_reruns, 1, "{report:?}");
+    assert!(report.cache_invalidated);
+    assert!(db.cache().invalidations() > invalidations_before);
+
+    let q = db.query("T(x, y)").unwrap();
+    assert!(q.contains(&pt2(1, 2)), "untouched edge survives");
+    assert!(q.contains(&pt2(3, 4)));
+    assert!(!q.contains(&pt2(2, 3)), "retracted edge gone");
+    assert!(!q.contains(&pt2(1, 3)), "derived pair through it gone");
+    assert!(!q.contains(&pt2(1, 4)));
+
+    // Byte-identical to a from-scratch evaluation of the shrunken base.
+    let mut scratch = ConstraintDb::new();
+    scratch
+        .insert_points("E", 2, &[pt2(1, 2), pt2(3, 4)])
+        .unwrap();
+    scratch.run_datalog(&program, 32).unwrap();
+    assert_eq!(t_display(&db), t_display(&scratch));
+}
+
+/// Redefine-then-query: redefining a base relation refreshes the views
+/// compiled against it, transitively.
+#[test]
+fn redefine_then_query_refreshes_views() {
+    let mut db = ConstraintDb::new();
+    db.define("S", &["x", "y"], "4*x^2 - y - 20*x + 25 <= 0")
+        .unwrap();
+    db.define("Q", &["x"], "exists y (S(x, y) and y <= 0)")
+        .unwrap();
+    db.define("Q2", &["x"], "Q(x) or x = 100").unwrap();
+    let five_halves: Rat = "5/2".parse().unwrap();
+    assert!(db
+        .query("Q2(x)")
+        .unwrap()
+        .contains(std::slice::from_ref(&five_halves)));
+
+    // Redefine S so the old witness no longer exists.
+    db.define("S", &["x", "y"], "x - 7 = 0 and y = 0").unwrap();
+    let q2 = db.query("Q2(x)").unwrap();
+    assert!(
+        !q2.contains(&[five_halves]),
+        "stale view survived the redefinition"
+    );
+    assert!(q2.contains(&[Rat::from(7i64)]), "view tracks the new S");
+    assert!(q2.contains(&[Rat::from(100i64)]));
+}
+
+/// Views over an updated base are refreshed by tuple-level updates too,
+/// and appear in the report.
+#[test]
+fn insert_tuples_refreshes_views() {
+    let mut db = ConstraintDb::new();
+    db.insert_points("P", 2, &[pt2(1, 1)]).unwrap();
+    db.define("Fst", &["x"], "exists y P(x, y)").unwrap();
+    assert!(!db.query("Fst(x)").unwrap().contains(&[Rat::from(9i64)]));
+
+    let report = db.insert_tuples("P", &edge_tuples(&[(9, 9)])).unwrap();
+    assert_eq!(report.refreshed_views, vec!["Fst".to_owned()]);
+    assert!(db.query("Fst(x)").unwrap().contains(&[Rat::from(9i64)]));
+}
+
+/// No stale cache hits across destructive updates: with the shared,
+/// invalidate-on-destroy cache, a nonlinear query after a replacement
+/// answers byte-identically to a fresh database that never saw the old
+/// state.
+#[test]
+fn no_stale_cache_hits_differential() {
+    let mut db = ConstraintDb::new();
+    // Nonlinear relation → CAD → resultant/discriminant cache traffic.
+    db.define("C", &["x", "y"], "x^2 + y^2 - 25 <= 0").unwrap();
+    let warm = db.query("exists y (C(x, y) and y^2 - x - 1 <= 0)").unwrap();
+    assert!(db.cache().misses() > 0, "workload must exercise the cache");
+    drop(warm);
+
+    // Destructive replacement of C.
+    db.define("C", &["x", "y"], "x^2 - y = 0").unwrap();
+    assert!(db.cache().invalidations() >= 1);
+    let after = db.query("exists y (C(x, y) and y <= 4)").unwrap();
+
+    // A database that never held the old C, with a cold cache.
+    let mut fresh = ConstraintDb::new();
+    fresh.define("C", &["x", "y"], "x^2 - y = 0").unwrap();
+    let fresh_q = fresh.query("exists y (C(x, y) and y <= 4)").unwrap();
+
+    assert_eq!(
+        after.display(),
+        fresh_q.display(),
+        "warm-but-invalidated cache must answer like a cold one"
+    );
+}
+
+/// Arity and schema guards on the write path.
+#[test]
+fn write_path_guards() {
+    let mut db = ConstraintDb::new();
+    db.insert_points("P", 2, &[pt2(1, 2)]).unwrap();
+
+    // Replacing with a different arity is rejected, relation untouched.
+    let err = db.insert_points("P", 1, &[vec![Rat::one()]]).unwrap_err();
+    assert!(matches!(err, DbError::ArityMismatch { .. }), "{err}");
+    assert_eq!(db.relation("P").unwrap().nvars(), 2);
+
+    // Tuple-level writes check arity per tuple.
+    let err = db
+        .insert_tuples("P", &[GeneralizedTuple::point(&[Rat::one()])])
+        .unwrap_err();
+    assert!(matches!(err, DbError::ArityMismatch { .. }), "{err}");
+
+    // Unknown relations and reserved names are schema errors.
+    assert!(matches!(
+        db.insert_tuples("Nope", &edge_tuples(&[(1, 2)])),
+        Err(DbError::Schema(_))
+    ));
+    assert!(matches!(
+        db.insert_points("Δ:P", 1, &[vec![Rat::one()]]),
+        Err(DbError::Schema(_))
+    ));
+
+    // Derived relations reject tuple-level writes: update their bases.
+    db.define("V", &["x"], "exists y P(x, y)").unwrap();
+    let err = db
+        .insert_tuples("V", &[GeneralizedTuple::point(&[Rat::one()])])
+        .unwrap_err();
+    assert!(matches!(err, DbError::Schema(_)), "{err}");
+}
+
+/// Satellite pin: `run_datalog` threads the engine's full configuration —
+/// the persistent memo-cache (a second identical run is served from it)
+/// and the bit budget (a tight budget makes the run fail with precision
+/// exhaustion, it is not silently dropped).
+#[test]
+fn run_datalog_threads_engine_configuration() {
+    // Nonlinear rule body → CAD → algebraic cache traffic. Parabola hops:
+    // N(y) :- M(x), y = x^2.
+    let program = parse_program("N(y) :- M(x), y - x*x = 0.").unwrap();
+    let mut db = ConstraintDb::new();
+    db.insert_points("M", 1, &[vec![Rat::from(2i64)], vec![Rat::from(3i64)]])
+        .unwrap();
+    db.run_datalog(&program, 8).unwrap();
+    let hits_after_first = db.cache().hits();
+    let misses_after_first = db.cache().misses();
+
+    db.run_datalog(&program, 8).unwrap();
+    assert!(
+        db.cache().hits() > hits_after_first,
+        "second run must be served by the facade's persistent cache \
+         (hits {} → {})",
+        hits_after_first,
+        db.cache().hits()
+    );
+    assert_eq!(
+        db.cache().misses(),
+        misses_after_first,
+        "second run recomputed algebra the cache already held"
+    );
+    let q = db.query("N(y)").unwrap();
+    assert!(q.contains(&[Rat::from(4i64)]));
+    assert!(q.contains(&[Rat::from(9i64)]));
+
+    // The budget travels too: the divergent doubling program D(y) :-
+    // D(x), y = 2x grows its constants without bound; under an 8-bit
+    // budget the engine must report precision exhaustion rather than
+    // silently evaluating exactly (the pre-fix facade dropped the budget
+    // when rebuilding the context).
+    let doubling = parse_program(
+        "D(x) :- Init(x).\n\
+         D(y) :- D(x), y - 2*x = 0.",
+    )
+    .unwrap();
+    let mut tight = ConstraintDb::new();
+    tight.insert_points("Init", 1, &[vec![Rat::one()]]).unwrap();
+    tight.engine_mut().budget_bits = Some(8);
+    let err = tight.run_datalog(&doubling, 64).unwrap_err();
+    assert!(
+        matches!(err, DbError::Datalog(_)) && err.to_string().contains("undefined"),
+        "{err}"
+    );
+}
+
+/// `invalidate_caches` empties the memo-cache (and clears the interner
+/// pool) without changing any answer.
+#[test]
+fn explicit_invalidation_preserves_answers() {
+    let mut db = ConstraintDb::new();
+    db.define("C", &["x", "y"], "x^2 + y^2 - 9 <= 0").unwrap();
+    let before = db.query("exists y C(x, y)").unwrap();
+    let removed = db.invalidate_caches();
+    let _ = removed; // may be 0 if the workload fit other caches
+    let after = db.query("exists y C(x, y)").unwrap();
+    assert_eq!(before.display(), after.display());
+    assert!(db.cache().invalidations() >= 1);
+}
+
+/// Property: save → load round-trips schema, variable names, and finite
+/// extents on randomly generated databases, and save → load → save is
+/// byte-identical.
+#[derive(Debug, Clone)]
+struct RandRel {
+    name: String,
+    vars: Vec<String>,
+    points: Vec<Vec<i64>>,
+}
+
+fn rand_rel() -> impl Strategy<Value = RandRel> {
+    (
+        0usize..8,
+        1usize..=3,
+        prop::collection::vec(prop::collection::vec(-9i64..=9, 3), 0..5),
+    )
+        .prop_map(|(id, arity, raw)| RandRel {
+            name: format!("R{id}"),
+            vars: (0..arity).map(|i| format!("c{i}")).collect(),
+            points: raw.into_iter().map(|p| p[..arity].to_vec()).collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn save_load_roundtrip_random_databases(rels in prop::collection::vec(rand_rel(), 0..4)) {
+        let mut db = ConstraintDb::new();
+        for r in &rels {
+            if db.relation(&r.name).is_some() {
+                continue; // random names may collide; first writer wins
+            }
+            let pts: Vec<Vec<Rat>> = r
+                .points
+                .iter()
+                .map(|p| p.iter().map(|&c| Rat::from(c)).collect())
+                .collect();
+            db.insert_points(&r.name, r.vars.len(), &pts).unwrap();
+            let refs: Vec<&str> = r.vars.iter().map(String::as_str).collect();
+            db.rename_vars(&r.name, &refs).unwrap();
+        }
+        let text = constraintdb::storage::save(&db).unwrap();
+        let back = constraintdb::storage::load(&text).unwrap();
+        prop_assert_eq!(db.schema(), back.schema());
+        for (name, _) in db.schema() {
+            prop_assert_eq!(
+                db.var_names(&name).unwrap(),
+                back.var_names(&name).unwrap(),
+                "names for {}", name
+            );
+            let refs: Vec<&str> = db.var_names(&name).unwrap().iter().map(String::as_str).collect();
+            prop_assert_eq!(
+                db.relation(&name).unwrap().display_with(&refs),
+                back.relation(&name).unwrap().display_with(&refs),
+                "extent of {}", name
+            );
+        }
+        let text2 = constraintdb::storage::save(&back).unwrap();
+        prop_assert_eq!(text, text2);
+    }
+}

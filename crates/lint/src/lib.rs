@@ -129,7 +129,13 @@ pub fn classify(rel: &str) -> FileClass {
             // become polynomial coefficients), so it answers to the same
             // determinism bar as the result-producing crates: u64 modular
             // arithmetic is fine, HashMap/Relaxed/wall-clocks are not.
-            || rel == "crates/num/src/modp.rs",
+            || rel == "crates/num/src/modp.rs"
+            // The update path (DESIGN.md §12) decides *which* units re-run
+            // and in what order from dependency sets; iteration order over
+            // those sets becomes evaluation order, so both modules answer
+            // to the determinism bar (BTree containers, no wall-clocks).
+            || rel == "crates/core/src/deps.rs"
+            || rel == "crates/core/src/update.rs",
         panic: !is_bin,
         lock: true,
     }

@@ -1,0 +1,34 @@
+//! Pretend `constraintdb::update`: the update scheduler is in the
+//! determinism scope (DESIGN.md §12) — which units re-run, and in what
+//! order, is derived from dependency sets, so iteration order becomes
+//! evaluation order. BTree containers and SeqCst pass untouched;
+//! unordered containers, relaxed atomics, wall-clocks, and library
+//! panics are findings.
+
+use std::collections::{BTreeSet, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fine: ordered set drives a deterministic replay order.
+pub fn replay_order(names: &BTreeSet<String>) -> Vec<String> {
+    names.iter().cloned().collect()
+}
+
+/// Finding (determinism): hash-order traversal of the affected set.
+pub fn affected_order(names: &HashSet<String>) -> Vec<String> {
+    names.iter().cloned().collect()
+}
+
+/// Finding (determinism): wall-clock reads make replay order time-dependent.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+/// Finding (determinism): relaxed counter on the invalidation path.
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Finding (panic): library code must surface errors, not unwrap.
+pub fn first_head(heads: &[String]) -> String {
+    heads.first().unwrap().clone()
+}

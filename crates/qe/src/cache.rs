@@ -35,6 +35,19 @@
 //! server contexts from growing without bound while preserving the working
 //! set of a hot query mix; evictions are counted and reported next to
 //! hits/misses (experiment E16 writes all three to `BENCH_qe.json`).
+//!
+//! # Sharing and invalidation
+//!
+//! The cache is a cheap-to-clone handle (`Arc` around the shard table):
+//! cloning shares the entries and counters, so a long-lived owner — the
+//! `constraintdb` facade's update path, a server session pool — can hand
+//! the *same* cache to every per-call `QeContext` instead of rebuilding a
+//! cold one per call. Entries are pure functions of their
+//! polynomial keys and can never go stale; [`AlgebraicCache::invalidate`]
+//! exists for the update path anyway, both as memory reclamation after
+//! destructive updates (retractions/replacements strand entries whose
+//! polynomials no longer occur in any extent) and as the hook the
+//! no-stale-hits differential tests pivot on (E21).
 
 use cdb_poly::resultant as resfn;
 use cdb_poly::sturm::SturmChain;
@@ -90,9 +103,15 @@ type Shard = Mutex<HashMap<Key, Entry>>;
 /// Sharded, thread-safe, size-bounded memo-cache for resultants,
 /// discriminants, and Sturm sequences. One instance lives on
 /// [`crate::QeContext`] and is shared by every worker of a parallel
-/// elimination.
+/// elimination; `clone()` is a shallow handle copy, so one instance can
+/// also be shared *across* contexts (see the module docs).
+#[derive(Clone)]
 pub struct AlgebraicCache {
-    shards: Arc<[Shard]>,
+    inner: Arc<CacheInner>,
+}
+
+struct CacheInner {
+    shards: Box<[Shard]>,
     /// Maximum entries *per shard*; reaching it evicts the shard's LRU entry.
     per_shard_capacity: usize,
     /// Global recency clock, stamped on every hit and insert.
@@ -100,6 +119,8 @@ pub struct AlgebraicCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Completed [`AlgebraicCache::invalidate`] calls.
+    invalidations: AtomicU64,
 }
 
 impl Default for AlgebraicCache {
@@ -139,19 +160,48 @@ impl AlgebraicCache {
             })
             .collect();
         AlgebraicCache {
-            shards: shards.into(),
-            per_shard_capacity: capacity.div_ceil(SHARD_COUNT).max(1),
-            tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            inner: Arc::new(CacheInner {
+                shards: shards.into(),
+                per_shard_capacity: capacity.div_ceil(SHARD_COUNT).max(1),
+                tick: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+                invalidations: AtomicU64::new(0),
+            }),
         }
+    }
+
+    /// True iff `other` is a handle to this very cache (shares entries and
+    /// counters) — the property the context-threading tests pin.
+    #[must_use]
+    pub fn shares_storage_with(&self, other: &AlgebraicCache) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Drop every memoized entry, returning how many were removed. Counted
+    /// in [`AlgebraicCache::invalidations`]. Entries are pure functions of
+    /// their keys, so this can never change a result — it reclaims memory
+    /// after destructive updates (retract/replace) strand entries for
+    /// polynomials that no longer occur in any extent, and gives the update
+    /// path an explicit staleness firebreak to differential-test against.
+    pub fn invalidate(&self) -> usize {
+        let mut removed = 0usize;
+        for shard in self.inner.shards.iter() {
+            let mut guard = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            removed += guard.len();
+            guard.clear();
+        }
+        self.inner.invalidations.fetch_add(1, Ordering::SeqCst);
+        removed
     }
 
     fn shard_of(&self, key: &Key) -> &Shard {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        &self.inner.shards[(h.finish() as usize) % self.inner.shards.len()]
     }
 
     /// Look up `key`, or compute it with `f` (outside the shard lock) and
@@ -167,16 +217,16 @@ impl AlgebraicCache {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get_mut(&key)
         {
-            self.hits.fetch_add(1, Ordering::SeqCst);
-            e.last_used = self.tick.fetch_add(1, Ordering::SeqCst);
+            self.inner.hits.fetch_add(1, Ordering::SeqCst);
+            e.last_used = self.inner.tick.fetch_add(1, Ordering::SeqCst);
             return e.value.clone();
         }
-        self.misses.fetch_add(1, Ordering::SeqCst);
+        self.inner.misses.fetch_add(1, Ordering::SeqCst);
         let v = f();
         let mut guard = shard
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if !guard.contains_key(&key) && guard.len() >= self.per_shard_capacity {
+        if !guard.contains_key(&key) && guard.len() >= self.inner.per_shard_capacity {
             // Evict the LRU entry (O(shard) scan — shards are small and
             // eviction is the rare path, so a scan beats an intrusive list).
             // Recency ticks are unique, so the minimum is iteration-order
@@ -187,10 +237,10 @@ impl AlgebraicCache {
                 .map(|(k, _)| k.clone())
             {
                 guard.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::SeqCst);
+                self.inner.evictions.fetch_add(1, Ordering::SeqCst);
             }
         }
-        let last_used = self.tick.fetch_add(1, Ordering::SeqCst);
+        let last_used = self.inner.tick.fetch_add(1, Ordering::SeqCst);
         guard
             .entry(key)
             .or_insert(Entry {
@@ -249,31 +299,39 @@ impl AlgebraicCache {
     /// Total lookups that found an entry.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::SeqCst)
+        self.inner.hits.load(Ordering::SeqCst)
     }
 
     /// Total lookups that had to compute.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::SeqCst)
+        self.inner.misses.load(Ordering::SeqCst)
     }
 
     /// Total entries displaced by the size bound.
     #[must_use]
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::SeqCst)
+        self.inner.evictions.load(Ordering::SeqCst)
+    }
+
+    /// Completed [`AlgebraicCache::invalidate`] calls over the cache's
+    /// lifetime (shared by every handle).
+    #[must_use]
+    pub fn invalidations(&self) -> u64 {
+        self.inner.invalidations.load(Ordering::SeqCst)
     }
 
     /// Total entry capacity across all shards.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.per_shard_capacity * self.shards.len()
+        self.inner.per_shard_capacity * self.inner.shards.len()
     }
 
     /// Current entry count of each shard (index = shard number).
     #[must_use]
     pub fn shard_entry_counts(&self) -> Vec<usize> {
-        self.shards
+        self.inner
+            .shards
             .iter()
             .map(|s| {
                 s.lock()
@@ -352,6 +410,36 @@ mod tests {
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.misses(), 2);
         assert_eq!(cache.len(), 2);
+    }
+
+    /// Clones are handles onto one shared table: entries and counters
+    /// inserted through one handle are visible through the other, and
+    /// `invalidate` empties both while leaving results correct.
+    #[test]
+    fn clone_shares_storage_and_invalidate_clears() {
+        let a = AlgebraicCache::new();
+        let b = a.clone();
+        assert!(a.shares_storage_with(&b));
+        assert!(!a.shares_storage_with(&AlgebraicCache::new()));
+
+        let p = xy_poly();
+        let q = &MPoly::var(0, 2) - &MPoly::var(1, 2);
+        let r1 = a.resultant(&p, &q, 1);
+        let r2 = b.resultant(&p, &q, 1);
+        assert_eq!(r1, r2);
+        assert_eq!(b.hits(), 1, "clone must see the entry the original made");
+        assert_eq!(b.len(), 1);
+
+        let removed = b.invalidate();
+        assert_eq!(removed, 1);
+        assert!(a.is_empty(), "invalidate through one handle empties all");
+        assert_eq!(a.invalidations(), 1);
+        assert_eq!(b.invalidations(), 1);
+
+        // Post-invalidation lookups recompute and still agree exactly.
+        let r3 = a.resultant(&p, &q, 1);
+        assert_eq!(r3, resfn::resultant(&p, &q, 1));
+        assert_eq!(a.misses(), 2);
     }
 
     /// Long-lived-context bound: a stream of distinct keys far exceeding the

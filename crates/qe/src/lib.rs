@@ -216,6 +216,16 @@ impl QeContext {
         self
     }
 
+    /// Same context sharing `cache` (a cheap handle clone) instead of a
+    /// fresh cold cache. A long-lived owner — the `constraintdb` facade's
+    /// update path — threads one cache through every per-call context so
+    /// memoized resultants/discriminants/Sturm chains survive across calls.
+    #[must_use]
+    pub fn with_cache(mut self, cache: &AlgebraicCache) -> QeContext {
+        self.cache = cache.clone();
+        self
+    }
+
     /// Effective worker count: at least 1.
     #[must_use]
     pub fn effective_workers(&self) -> usize {

@@ -18,7 +18,7 @@ fn storage_roundtrip_preserves_query_answers() {
         "x >= 0 and x <= 2 and y >= 0 and y <= 2",
     )
     .unwrap();
-    let text = storage::save(&db);
+    let text = storage::save(&db).unwrap();
     let back = storage::load(&text).unwrap();
     // Same schema.
     assert_eq!(db.schema(), back.schema());
@@ -73,7 +73,7 @@ fn datalog_over_facade_database() {
     // Build base relations through the facade, then run Datalog¬ on the raw
     // database: one-dimensional interval reachability.
     let mut fdb = ConstraintDb::new();
-    fdb.insert_points("Start", 1, &[vec![Rat::zero()]]);
+    fdb.insert_points("Start", 1, &[vec![Rat::zero()]]).unwrap();
     fdb.define("Step", &["x", "y"], "x <= y and y <= x + 2 and y <= 5")
         .unwrap();
     let program = Program {
