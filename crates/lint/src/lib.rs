@@ -135,7 +135,13 @@ pub fn classify(rel: &str) -> FileClass {
             // those sets becomes evaluation order, so both modules answer
             // to the determinism bar (BTree containers, no wall-clocks).
             || rel == "crates/core/src/deps.rs"
-            || rel == "crates/core/src/update.rs",
+            || rel == "crates/core/src/update.rs"
+            // The serving layer (DESIGN.md §13) promises byte-identical
+            // results across batch compositions, worker counts, and
+            // session interleavings; nothing order- or clock-dependent
+            // may sit on its result paths, and the session loop must
+            // never panic out from under a queued request.
+            || rel.starts_with("crates/server/"),
         panic: !is_bin,
         lock: true,
     }

@@ -226,10 +226,16 @@ impl QeContext {
         self
     }
 
-    /// Effective worker count: at least 1.
+    /// Effective worker count: at least 1, at most the host's hardware
+    /// parallelism. Oversubscribing a CPU-bound fan-out only adds
+    /// scheduling overhead, and the determinism contract (byte-identical
+    /// output for every worker count) makes the clamp unobservable in
+    /// results — so fan-out call sites can branch on this to take their
+    /// allocation-free sequential paths when threads cannot help.
     #[must_use]
     pub fn effective_workers(&self) -> usize {
-        self.workers.max(1)
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.workers.max(1).min(hw)
     }
 
     /// Record an observed bit length; error if over budget.

@@ -1,0 +1,224 @@
+//! Spanned lexer for the server's SQL-ish statement surface.
+//!
+//! Every token carries a [`Span`]: byte offsets into the source (so the
+//! parser can slice embedded CALC_F / Datalog¬ text back out verbatim) plus
+//! a 1-based line/column (so errors point at the offending character, not
+//! just describe it). Keywords are not distinguished here — the parser
+//! matches identifiers case-insensitively in keyword position, which keeps
+//! `select`, `Select`, and `SELECT` equivalent without reserving words.
+//!
+//! The accepted alphabet covers the statement grammar *and* everything that
+//! can appear inside an embedded CALC_F formula or Datalog¬ program
+//! (`^`, comparison operators, `:-`, `.`, aggregate brackets/braces), so a
+//! whole script lexes in one pass; `--` starts a comment to end of line
+//! (the Datalog¬ comment convention, harmless in formulas because `--` is
+//! also a valid double negation only in term position — statements use it
+//! for comments only).
+
+use std::fmt;
+
+/// Byte range plus human coordinates of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+/// Token kinds. Two-character operators (`<=`, `>=`, `!=`, `:-`) lex as two
+/// consecutive [`TokenKind::Punct`] tokens — the statement parser never
+/// interprets them, and raw-text capture slices the source by byte offset,
+/// so splitting loses nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword: `[A-Za-z_][A-Za-z0-9_]*`.
+    Ident(String),
+    /// Unsigned integer literal digit run (sign is a separate `Punct`).
+    Int(String),
+    /// Single punctuation character from the accepted alphabet.
+    Punct(char),
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+/// Lexing failure at a precise source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// The unexpected character.
+    pub ch: char,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {}, col {}: unexpected character `{}`",
+            self.line, self.col, self.ch
+        )
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Punctuation accepted by the surface (statement grammar plus embedded
+/// CALC_F / Datalog¬ text).
+const PUNCT: &str = "()[]{},;+-*/^<>=!.:";
+
+/// Tokenize `src`. Whitespace separates tokens; `--` comments run to end
+/// of line. The only error is an unexpected character, reported with its
+/// position.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut iter = src.char_indices().peekable();
+    while let Some(&(start, c)) = iter.peek() {
+        if c == '\n' {
+            iter.next();
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            iter.next();
+            col += 1;
+            continue;
+        }
+        // `--` comment to end of line.
+        if c == '-' && src[start..].starts_with("--") {
+            while let Some(&(_, c2)) = iter.peek() {
+                if c2 == '\n' {
+                    break;
+                }
+                iter.next();
+            }
+            continue;
+        }
+        let span_line = line;
+        let span_col = col;
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut end = start;
+            let mut text = String::new();
+            while let Some(&(i, c2)) = iter.peek() {
+                if c2.is_ascii_alphanumeric() || c2 == '_' {
+                    text.push(c2);
+                    end = i + c2.len_utf8();
+                    iter.next();
+                    col += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Token {
+                kind: TokenKind::Ident(text),
+                span: Span {
+                    start,
+                    end,
+                    line: span_line,
+                    col: span_col,
+                },
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut end = start;
+            let mut text = String::new();
+            while let Some(&(i, c2)) = iter.peek() {
+                if c2.is_ascii_digit() {
+                    text.push(c2);
+                    end = i + 1;
+                    iter.next();
+                    col += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Token {
+                kind: TokenKind::Int(text),
+                span: Span {
+                    start,
+                    end,
+                    line: span_line,
+                    col: span_col,
+                },
+            });
+            continue;
+        }
+        if PUNCT.contains(c) {
+            iter.next();
+            col += 1;
+            toks.push(Token {
+                kind: TokenKind::Punct(c),
+                span: Span {
+                    start,
+                    end: start + c.len_utf8(),
+                    line: span_line,
+                    col: span_col,
+                },
+            });
+            continue;
+        }
+        return Err(LexError {
+            ch: c,
+            line: span_line,
+            col: span_col,
+        });
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = lex("SELECT S(x);\n  DROP").unwrap();
+        let drop = toks.last().unwrap();
+        assert_eq!(drop.kind, TokenKind::Ident("DROP".into()));
+        assert_eq!(drop.span.line, 2);
+        assert_eq!(drop.span.col, 3);
+    }
+
+    #[test]
+    fn byte_offsets_slice_source() {
+        let src = "SELECT  4*x^2 - y <= 0;";
+        let toks = lex(src).unwrap();
+        // Reconstruct the formula text between the SELECT keyword and `;`.
+        let start = toks[1].span.start;
+        let end = toks[toks.len() - 2].span.end;
+        assert_eq!(&src[start..end], "4*x^2 - y <= 0");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("SHOW -- a comment ; with punctuation\nRELATIONS;").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].kind, TokenKind::Ident("RELATIONS".into()));
+        assert_eq!(toks[1].span.line, 2);
+    }
+
+    #[test]
+    fn rejects_unknown_character_with_position() {
+        let err = lex("SELECT S(x) @ 3;").unwrap_err();
+        assert_eq!(err.ch, '@');
+        assert_eq!(err.line, 1);
+        assert_eq!(err.col, 13);
+    }
+}

@@ -1,0 +1,138 @@
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+//! `cdb-server`: the serving layer over the `constraintdb` facade —
+//! a textual statement surface, concurrent snapshot sessions, and
+//! batched query admission (DESIGN.md §13).
+//!
+//! The paper's setting ("heavy traffic from millions of users", §1) makes
+//! query evaluation a *repeated* elimination task; following
+//! Giusti–Heintz–Kuijpers, the win is amortization across queries. Here
+//! that takes two forms:
+//!
+//! * **one shared algebraic memo-cache** — every session snapshot clones
+//!   the master [`constraintdb::ConstraintDb`], whose cache handle is
+//!   `Arc`-backed, so resultants/discriminants/Sturm chains computed for
+//!   one user's query answer every user's later queries;
+//! * **batched admission** — concurrent read queries are drained into one
+//!   batch and fanned out through `cdb_qe::par_map_result`, putting the
+//!   parallel QE pipeline to work *across* queries instead of only within
+//!   one.
+//!
+//! Three layers, one module each: [`lexer`] (spanned tokens), [`parser`]
+//! (statements + canonical pretty-printer), [`session`] (server, sessions,
+//! admission loop).
+
+pub mod lexer;
+pub mod parser;
+pub mod session;
+
+pub use parser::{parse_script, parse_statement, ParseError, Rows, Statement};
+pub use session::{Server, ServerConfig, ServerStats, Session};
+
+use std::fmt;
+
+/// What a statement returned. [`fmt::Display`] renders every variant as
+/// one deterministic line — the unit of E22's byte-identity transcripts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `CREATE RELATION` succeeded.
+    Created {
+        /// The new relation.
+        name: String,
+        /// Its arity.
+        arity: usize,
+    },
+    /// `INSERT`/`DELETE` applied through the update path.
+    Updated {
+        /// The relation written.
+        relation: String,
+        /// Tuples actually added.
+        inserted: usize,
+        /// Tuples actually removed.
+        retracted: usize,
+        /// Derived relations (views + materialized heads) refreshed by
+        /// propagation.
+        refreshed: usize,
+    },
+    /// `SELECT` result: the closed-form answer relation.
+    Rows {
+        /// Canonical display of the answer relation.
+        text: String,
+        /// Whether the answer is exact (no analytic-function
+        /// approximation entered the evaluation).
+        exact: bool,
+    },
+    /// `SHOW RELATIONS` result.
+    Relations {
+        /// `(name, arity)` pairs, sorted by name.
+        schema: Vec<(String, usize)>,
+    },
+    /// `DATALOG` program ran to its inflationary fixpoint.
+    Fixpoint {
+        /// Iterations executed.
+        iterations: usize,
+        /// QE calls issued for rule bodies.
+        qe_calls: usize,
+    },
+    /// `DROP RELATION` succeeded.
+    Dropped {
+        /// The removed relation.
+        name: String,
+    },
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Created { name, arity } => write!(f, "created {name}/{arity}"),
+            Response::Updated {
+                relation,
+                inserted,
+                retracted,
+                refreshed,
+            } => write!(
+                f,
+                "updated {relation}: +{inserted} -{retracted} (refreshed {refreshed})"
+            ),
+            Response::Rows { text, exact } => write!(f, "rows (exact={exact}): {text}"),
+            Response::Relations { schema } => {
+                write!(f, "relations:")?;
+                for (name, arity) in schema {
+                    write!(f, " {name}/{arity}")?;
+                }
+                Ok(())
+            }
+            Response::Fixpoint {
+                iterations,
+                qe_calls,
+            } => write!(f, "fixpoint: {iterations} iterations, {qe_calls} qe calls"),
+            Response::Dropped { name } => write!(f, "dropped {name}"),
+        }
+    }
+}
+
+/// Server-level errors: everything a statement can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The statement did not parse (position included).
+    Parse(ParseError),
+    /// The database rejected the operation (rendered
+    /// [`constraintdb::DbError`]).
+    Db(String),
+    /// The server is shutting down; the request was not admitted.
+    Shutdown,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Parse(e) => write!(f, "parse error: {e}"),
+            ServerError::Db(m) => write!(f, "{m}"),
+            ServerError::Shutdown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}

@@ -1,0 +1,737 @@
+//! Sessions, snapshots, and batched admission (DESIGN.md §13).
+//!
+//! ## Architecture
+//!
+//! One [`Server`] owns the **master** [`ConstraintDb`] behind a mutex.
+//! Each [`Session`] holds its own `ConstraintDb` **snapshot** — a cheap
+//! clone, because relation storage is `Arc` copy-on-write (PR 2) and the
+//! algebraic memo-cache is an `Arc`-backed handle, so every snapshot shares
+//! one cache with the master and with every other session: one user's CAD
+//! projections warm every user's cache.
+//!
+//! **Reads** (`SELECT`, `SHOW RELATIONS`) evaluate against the session's
+//! snapshot — never against the master — so they are snapshot-isolated and
+//! lock-free. **Writes** (`CREATE`, `INSERT`, `DELETE`, `DATALOG`, `DROP`)
+//! serialize through the master mutex via PR 7's update path
+//! (`insert_tuples` / `retract_tuples`, with incremental view
+//! maintenance), and the writing session then refreshes its own snapshot;
+//! other sessions keep their old snapshot until they next write or call
+//! [`Session::refresh`].
+//!
+//! ## Batched admission
+//!
+//! With [`ServerConfig::batching`] on, read statements are not evaluated
+//! on the submitting thread. The session enqueues the pair *(snapshot
+//! handle, query text)* and blocks; a dedicated admission thread drains
+//! the queue, groups up to [`ServerConfig::max_batch`] pending reads into
+//! one batch, and evaluates the batch through
+//! [`cdb_qe::par_map_result`] with [`ServerConfig::workers`] threads.
+//! All read statements are mutually compatible: each result is a pure
+//! function of its own (snapshot, query) pair, so grouping changes
+//! *when* a query runs, never *what* it returns — the determinism
+//! argument for why batched and unbatched admission are byte-identical
+//! (E22 asserts this across batch compositions and interleavings).
+//! Per-query engine parallelism is left at 1; the batch itself is the
+//! unit of parallelism, so nested fan-outs never oversubscribe the pool.
+
+use crate::parser::{parse_statement, Rows, Statement};
+use crate::{Response, ServerError};
+use cdb_constraints::{ConstraintRelation, GeneralizedTuple};
+use cdb_qe::par_map_result;
+use constraintdb::{parse_program, ConstraintDb};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// Maximum Datalog¬ fixpoint iterations a `DATALOG` statement may run.
+const MAX_DATALOG_ITERATIONS: usize = 256;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads for evaluating one admitted batch (clamped to the
+    /// hardware by `par_map_result`).
+    pub workers: usize,
+    /// Maximum read queries admitted into one batch.
+    pub max_batch: usize,
+    /// Batched admission on/off. Off = reads evaluate inline on the
+    /// submitting thread (same results, no cross-session batching).
+    pub batching: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            max_batch: 32,
+            batching: true,
+        }
+    }
+}
+
+/// Integer snapshot of the server's counters (all exact — no rates; the
+/// bench layer derives ratios).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Statements executed (reads + writes).
+    pub statements: u64,
+    /// Read statements (batched or inline).
+    pub reads: u64,
+    /// Write statements applied to the master.
+    pub writes: u64,
+    /// Batches admitted by the admission loop.
+    pub batches: u64,
+    /// Reads that went through batched admission.
+    pub batched_reads: u64,
+    /// Batch size distribution: `(size, count)`, ascending by size.
+    pub batch_sizes: Vec<(usize, u64)>,
+    /// Algebraic memo-cache hits (shared across all sessions).
+    pub cache_hits: u64,
+    /// Algebraic memo-cache misses.
+    pub cache_misses: u64,
+}
+
+/// A read request parked in the admission queue.
+struct Pending {
+    /// The submitting session's snapshot at enqueue time.
+    db: ConstraintDb,
+    /// The read to evaluate against it.
+    stmt: ReadStmt,
+    /// Where the result is delivered.
+    slot: Arc<Slot>,
+}
+
+/// The read-only statements eligible for admission.
+enum ReadStmt {
+    Select(String),
+    ShowRelations,
+}
+
+/// One-shot result mailbox.
+#[derive(Default)]
+struct Slot {
+    result: Mutex<Option<Result<Response, ServerError>>>,
+    ready: Condvar,
+}
+
+/// Admission queue state under one lock (the shutdown flag shares it so a
+/// submit can never race past a shutdown — no lost wakeups).
+#[derive(Default)]
+struct QueueState {
+    pending: Vec<Pending>,
+    shutdown: bool,
+}
+
+/// Shared server state.
+struct Inner {
+    cfg: ServerConfig,
+    master: Mutex<ConstraintDb>,
+    queue: Mutex<QueueState>,
+    arrived: Condvar,
+    statements: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    batches: AtomicU64,
+    batched_reads: AtomicU64,
+    batch_hist: Mutex<BTreeMap<usize, u64>>,
+}
+
+impl Inner {
+    fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::SeqCst);
+        self.batched_reads.fetch_add(size as u64, Ordering::SeqCst);
+        let mut hist = self
+            .batch_hist
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *hist.entry(size).or_insert(0) += 1;
+    }
+}
+
+/// Evaluate one read against a snapshot. Pure in (snapshot, statement):
+/// this is the whole batching determinism argument — admission order and
+/// batch composition cannot reach the result.
+fn eval_read(db: &ConstraintDb, stmt: &ReadStmt) -> Result<Response, ServerError> {
+    match stmt {
+        ReadStmt::Select(query) => db
+            .query(query)
+            .map(|r| Response::Rows {
+                text: r.display(),
+                exact: r.is_exact(),
+            })
+            .map_err(|e| ServerError::Db(e.to_string())),
+        ReadStmt::ShowRelations => Ok(Response::Relations {
+            schema: db.schema(),
+        }),
+    }
+}
+
+fn deliver(p: &Pending, r: Result<Response, ServerError>) {
+    let mut slot = p.slot.result.lock().unwrap_or_else(PoisonError::into_inner);
+    *slot = Some(r);
+    drop(slot);
+    p.slot.ready.notify_all();
+}
+
+/// Block until the queue has work (or shutdown), then drain up to
+/// `max_batch` pending reads. `None` means shutdown with an empty queue —
+/// every accepted request is drained before the loop exits. The queue
+/// guard never outlives this function, so batch evaluation runs lock-free.
+fn next_batch(inner: &Inner) -> Option<Vec<Pending>> {
+    let mut q = inner.queue.lock().unwrap_or_else(PoisonError::into_inner);
+    loop {
+        if !q.pending.is_empty() {
+            break;
+        }
+        if q.shutdown {
+            return None;
+        }
+        q = inner
+            .arrived
+            .wait(q)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+    let take = q.pending.len().min(inner.cfg.max_batch.max(1));
+    Some(q.pending.drain(..take).collect())
+}
+
+/// The admission loop: drain up to `max_batch` pending reads, evaluate
+/// them as one `par_map_result` batch, deliver, repeat until shutdown.
+fn admission_loop(inner: &Inner) {
+    loop {
+        let Some(batch) = next_batch(inner) else {
+            return;
+        };
+        inner.record_batch(batch.len());
+        // Evaluate the whole batch in parallel. The per-request mapping
+        // never returns `Err` at the fan-out layer (each request's own
+        // failure is data, delivered to its submitter), so one failing
+        // query cannot abort its batchmates.
+        let evaluated =
+            par_map_result(&batch, inner.cfg.workers, |p| Ok(eval_read(&p.db, &p.stmt)));
+        match evaluated {
+            Ok(results) => {
+                for (p, r) in batch.iter().zip(results) {
+                    deliver(p, r);
+                }
+            }
+            Err(e) => {
+                // Unreachable with an infallible mapping; answer everyone
+                // rather than leave them blocked.
+                for p in &batch {
+                    deliver(p, Err(ServerError::Db(e.to_string())));
+                }
+            }
+        }
+    }
+}
+
+/// A long-lived constraint-database server: master store, admission
+/// queue, and the worker that drains it.
+pub struct Server {
+    inner: Arc<Inner>,
+    admission: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Fresh empty server.
+    #[must_use]
+    pub fn new(cfg: ServerConfig) -> Server {
+        Server::with_db(ConstraintDb::new(), cfg)
+    }
+
+    /// Serve an existing database (its memo-cache becomes the shared
+    /// server cache). Per-query engine parallelism is forced to 1 — the
+    /// admitted batch is the unit of parallelism.
+    #[must_use]
+    pub fn with_db(mut db: ConstraintDb, cfg: ServerConfig) -> Server {
+        db.engine_mut().workers = 1;
+        let inner = Arc::new(Inner {
+            cfg: cfg.clone(),
+            master: Mutex::new(db),
+            queue: Mutex::new(QueueState::default()),
+            arrived: Condvar::new(),
+            statements: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_reads: AtomicU64::new(0),
+            batch_hist: Mutex::new(BTreeMap::new()),
+        });
+        let admission = if cfg.batching {
+            let worker = Arc::clone(&inner);
+            Some(std::thread::spawn(move || admission_loop(&worker)))
+        } else {
+            None
+        };
+        Server {
+            inner,
+            admission: Mutex::new(admission),
+        }
+    }
+
+    /// Open a session. Its snapshot is the master state as of this call.
+    #[must_use]
+    pub fn session(&self) -> Session {
+        let snapshot = {
+            let master = self
+                .inner
+                .master
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            master.clone()
+        };
+        Session {
+            inner: Arc::clone(&self.inner),
+            snapshot,
+        }
+    }
+
+    /// Counter snapshot (batch histogram sorted ascending by size).
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        let (cache_hits, cache_misses) = {
+            let master = self
+                .inner
+                .master
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            (master.cache().hits(), master.cache().misses())
+        };
+        let batch_sizes: Vec<(usize, u64)> = {
+            let hist = self
+                .inner
+                .batch_hist
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            hist.iter().map(|(&s, &c)| (s, c)).collect()
+        };
+        ServerStats {
+            statements: self.inner.statements.load(Ordering::SeqCst),
+            reads: self.inner.reads.load(Ordering::SeqCst),
+            writes: self.inner.writes.load(Ordering::SeqCst),
+            batches: self.inner.batches.load(Ordering::SeqCst),
+            batched_reads: self.inner.batched_reads.load(Ordering::SeqCst),
+            batch_sizes,
+            cache_hits,
+            cache_misses,
+        }
+    }
+
+    /// Flag shutdown, wake the admission loop, and join it. Requests
+    /// already queued are answered; later submissions get
+    /// [`ServerError::Shutdown`]. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            q.shutdown = true;
+        }
+        self.inner.arrived.notify_all();
+        let handle = {
+            let mut slot = self
+                .admission
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            slot.take()
+        };
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One client's connection: a private snapshot plus a handle to the
+/// shared server state.
+pub struct Session {
+    inner: Arc<Inner>,
+    snapshot: ConstraintDb,
+}
+
+impl Session {
+    /// Parse and execute one statement.
+    pub fn execute(&mut self, src: &str) -> Result<Response, ServerError> {
+        let stmt = parse_statement(src).map_err(ServerError::Parse)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<Response, ServerError> {
+        self.inner.statements.fetch_add(1, Ordering::SeqCst);
+        match stmt {
+            Statement::Select { query } => self.read(ReadStmt::Select(query.clone())),
+            Statement::ShowRelations => self.read(ReadStmt::ShowRelations),
+            _ => self.write(stmt),
+        }
+    }
+
+    /// Re-snapshot from the master, picking up other sessions' committed
+    /// writes. Never implicit on reads: snapshot isolation means a
+    /// session's view moves only when it writes or asks.
+    pub fn refresh(&mut self) {
+        let fresh = {
+            let master = self
+                .inner
+                .master
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            master.clone()
+        };
+        self.snapshot = fresh;
+    }
+
+    /// The session's current view (for tests and tooling).
+    #[must_use]
+    pub fn snapshot(&self) -> &ConstraintDb {
+        &self.snapshot
+    }
+
+    fn read(&self, stmt: ReadStmt) -> Result<Response, ServerError> {
+        self.inner.reads.fetch_add(1, Ordering::SeqCst);
+        if !self.inner.cfg.batching {
+            return eval_read(&self.snapshot, &stmt);
+        }
+        let slot = Arc::new(Slot::default());
+        {
+            let mut q = self
+                .inner
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if q.shutdown {
+                return Err(ServerError::Shutdown);
+            }
+            q.pending.push(Pending {
+                db: self.snapshot.clone(),
+                stmt,
+                slot: Arc::clone(&slot),
+            });
+        }
+        self.inner.arrived.notify_all();
+        let mut result = slot.result.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match result.take() {
+                Some(r) => return r,
+                None => {
+                    result = slot
+                        .ready
+                        .wait(result)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, stmt: &Statement) -> Result<Response, ServerError> {
+        self.inner.writes.fetch_add(1, Ordering::SeqCst);
+        let outcome = {
+            let mut master = self
+                .inner
+                .master
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let r = apply_write(&mut master, stmt);
+            // Refresh the session's own snapshot on success so it reads
+            // its own writes; on failure the master is untouched (every
+            // update path rejects before mutating).
+            match r {
+                Ok(resp) => {
+                    self.snapshot = master.clone();
+                    Ok(resp)
+                }
+                Err(e) => Err(e),
+            }
+        };
+        outcome
+    }
+}
+
+/// Apply one write statement to the master database.
+fn apply_write(db: &mut ConstraintDb, stmt: &Statement) -> Result<Response, ServerError> {
+    let db_err = |e: constraintdb::DbError| ServerError::Db(e.to_string());
+    match stmt {
+        Statement::CreateRelation {
+            name,
+            vars,
+            definition,
+        } => {
+            let var_refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+            match definition {
+                Some(src) => db.define(name, &var_refs, src).map_err(db_err)?,
+                None => {
+                    db.insert(name, ConstraintRelation::new(vars.len(), Vec::new()))
+                        .map_err(db_err)?;
+                    db.rename_vars(name, &var_refs).map_err(db_err)?;
+                }
+            }
+            Ok(Response::Created {
+                name: name.clone(),
+                arity: vars.len(),
+            })
+        }
+        Statement::Insert { name, rows } => {
+            let tuples = compile_rows(db, name, rows)?;
+            let report = db.insert_tuples(name, &tuples).map_err(db_err)?;
+            Ok(Response::Updated {
+                relation: report.relation,
+                inserted: report.inserted,
+                retracted: report.retracted,
+                refreshed: report.refreshed_views.len() + report.refreshed_heads.len(),
+            })
+        }
+        Statement::Delete { name, rows } => {
+            let tuples = compile_rows(db, name, rows)?;
+            let report = db.retract_tuples(name, &tuples).map_err(db_err)?;
+            Ok(Response::Updated {
+                relation: report.relation,
+                inserted: report.inserted,
+                retracted: report.retracted,
+                refreshed: report.refreshed_views.len() + report.refreshed_heads.len(),
+            })
+        }
+        Statement::Datalog { program } => {
+            let prog = parse_program(program).map_err(db_err)?;
+            let stats = db
+                .run_datalog(&prog, MAX_DATALOG_ITERATIONS)
+                .map_err(db_err)?;
+            Ok(Response::Fixpoint {
+                iterations: stats.iterations,
+                qe_calls: stats.qe_calls,
+            })
+        }
+        Statement::DropRelation { name } => match db.remove(name) {
+            Some(_) => Ok(Response::Dropped { name: name.clone() }),
+            None => Err(ServerError::Db(format!(
+                "schema error: no relation named {name}"
+            ))),
+        },
+        Statement::Select { .. } | Statement::ShowRelations => Err(ServerError::Db(
+            "internal: read statement routed to the write path".to_owned(),
+        )),
+    }
+}
+
+/// Turn `INSERT`/`DELETE` rows into generalized tuples for the update
+/// path: point rows become point tuples; a `CONSTRAINT` body is compiled
+/// by the CALC_F engine over the relation's declared variables.
+fn compile_rows(
+    db: &mut ConstraintDb,
+    name: &str,
+    rows: &Rows,
+) -> Result<Vec<GeneralizedTuple>, ServerError> {
+    let arity = db
+        .relation(name)
+        .map(ConstraintRelation::nvars)
+        .ok_or_else(|| ServerError::Db(format!("schema error: no relation named {name}")))?;
+    match rows {
+        Rows::Points(points) => {
+            for p in points {
+                if p.len() != arity {
+                    return Err(ServerError::Db(format!(
+                        "arity mismatch on {name}: stored relation has arity {arity}, got {}",
+                        p.len()
+                    )));
+                }
+            }
+            Ok(ConstraintRelation::from_points(arity, points)
+                .tuples()
+                .to_vec())
+        }
+        Rows::Constraint(src) => {
+            let names: Vec<String> = db
+                .var_names(name)
+                .map(<[String]>::to_vec)
+                .unwrap_or_default();
+            let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            // The engine compiles against the raw store (relation symbols
+            // inside the constraint body resolve to stored relations);
+            // clone the engine handle to end the facade borrow first.
+            let engine = db.engine_mut().clone();
+            let rel = engine
+                .compile_relation(db.raw(), &name_refs, src)
+                .map_err(|e| ServerError::Db(e.to_string()))?;
+            Ok(rel.tuples().to_vec())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_server(cfg: ServerConfig) -> Server {
+        let server = Server::new(cfg);
+        let mut s = server.session();
+        s.execute("CREATE RELATION S(x, y) AS 4*x^2 - y - 20*x + 25 <= 0;")
+            .unwrap();
+        s.execute("CREATE RELATION P(x);").unwrap();
+        s.execute("INSERT INTO P VALUES (1), (2), (7/2);").unwrap();
+        server
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let server = seeded_server(ServerConfig::default());
+        let mut s = server.session();
+        let resp = s.execute("SELECT P(x) and x >= 2;").unwrap();
+        let Response::Rows { text, .. } = &resp else {
+            panic!("expected rows, got {resp:?}");
+        };
+        // Closed-form constraint rows: x = 2 and x = 7/2 (as 2*x - 7 = 0).
+        assert!(text.contains("x - 2 = 0"), "missing point 2 in {text}");
+        assert!(text.contains("2*x - 7 = 0"), "missing point 7/2 in {text}");
+    }
+
+    #[test]
+    fn batched_and_inline_reads_agree() {
+        let batched = seeded_server(ServerConfig {
+            batching: true,
+            ..ServerConfig::default()
+        });
+        let inline = seeded_server(ServerConfig {
+            batching: false,
+            ..ServerConfig::default()
+        });
+        for q in [
+            "SELECT S(x, y) and y = 0;",
+            "SELECT P(x) and x >= 2;",
+            "SHOW RELATIONS;",
+        ] {
+            let a = batched.session().execute(q).unwrap();
+            let b = inline.session().execute(q).unwrap();
+            assert_eq!(a.to_string(), b.to_string(), "divergence on {q}");
+        }
+        assert!(batched.stats().batches >= 3);
+        assert_eq!(inline.stats().batches, 0);
+    }
+
+    #[test]
+    fn snapshot_isolation_until_own_write_or_refresh() {
+        let server = seeded_server(ServerConfig::default());
+        let mut reader = server.session();
+        let before = reader.execute("SELECT P(x);").unwrap().to_string();
+        let mut writer = server.session();
+        writer.execute("INSERT INTO P VALUES (100);").unwrap();
+        // The reader's snapshot predates the write.
+        assert_eq!(reader.execute("SELECT P(x);").unwrap().to_string(), before);
+        // The writer reads its own write.
+        let writer_view = writer.execute("SELECT P(x);").unwrap().to_string();
+        assert!(writer_view.contains("100"));
+        // An explicit refresh catches the reader up.
+        reader.refresh();
+        assert_eq!(
+            reader.execute("SELECT P(x);").unwrap().to_string(),
+            writer_view
+        );
+    }
+
+    #[test]
+    fn concurrent_sessions_identical_transcripts() {
+        // N threads × M queries over one server: per-session transcripts
+        // must equal the single-threaded run regardless of interleaving.
+        let queries = [
+            "SELECT P(x) and x >= 2;",
+            "SELECT S(x, y) and y = 0;",
+            "SELECT P(x) and x <= 1;",
+        ];
+        let expected: Vec<String> = {
+            let server = seeded_server(ServerConfig::default());
+            let mut s = server.session();
+            queries
+                .iter()
+                .map(|q| s.execute(q).unwrap().to_string())
+                .collect()
+        };
+        let server = seeded_server(ServerConfig {
+            workers: 4,
+            max_batch: 8,
+            batching: true,
+        });
+        let transcripts: Vec<Vec<String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let mut s = server.session();
+                    let queries = &queries;
+                    scope.spawn(move || {
+                        queries
+                            .iter()
+                            .map(|q| s.execute(q).unwrap().to_string())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for t in &transcripts {
+            assert_eq!(*t, expected);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.reads, 12);
+        assert_eq!(stats.batched_reads, 12);
+    }
+
+    #[test]
+    fn constraint_rows_and_datalog_views() {
+        let server = Server::new(ServerConfig::default());
+        let mut s = server.session();
+        s.execute("CREATE RELATION E(x, y);").unwrap();
+        s.execute("INSERT INTO E VALUES (1, 2), (2, 3);").unwrap();
+        s.execute("DATALOG { T(x, y) :- E(x, y). T(x, y) :- T(x, z), E(z, y). };")
+            .unwrap();
+        let closed = s.execute("SELECT T(x, y);").unwrap().to_string();
+        assert!(closed.contains('3'), "transitive closure missing: {closed}");
+        // An insert through the update path refreshes the materialized head.
+        let resp = s.execute("INSERT INTO E VALUES (3, 4);").unwrap();
+        let Response::Updated { refreshed, .. } = resp else {
+            panic!("expected update report");
+        };
+        assert!(refreshed >= 1, "materialized view not refreshed");
+        let after = s.execute("SELECT T(x, y);").unwrap().to_string();
+        assert!(after.contains('4'), "closure not maintained: {after}");
+        // Constraint rows: a generalized tuple with a strict region.
+        s.execute("CREATE RELATION Band(x);").unwrap();
+        s.execute("INSERT INTO Band CONSTRAINT x >= 1 and x <= 2;")
+            .unwrap();
+        let band = s.execute("SELECT Band(x);").unwrap().to_string();
+        assert!(band.contains('1') && band.contains('2'), "band: {band}");
+    }
+
+    #[test]
+    fn errors_are_typed_and_do_not_poison() {
+        let server = seeded_server(ServerConfig::default());
+        let mut s = server.session();
+        assert!(matches!(s.execute("SELECT"), Err(ServerError::Parse(_))));
+        assert!(matches!(
+            s.execute("SELECT Nope(x);"),
+            Err(ServerError::Db(_))
+        ));
+        assert!(matches!(
+            s.execute("INSERT INTO P VALUES (1, 2);"),
+            Err(ServerError::Db(_))
+        ));
+        // A failing query does not abort its batch or wedge the server.
+        assert!(s.execute("SELECT P(x);").is_ok());
+    }
+
+    #[test]
+    fn shutdown_rejects_late_reads() {
+        let server = seeded_server(ServerConfig::default());
+        let mut s = server.session();
+        server.shutdown();
+        assert!(matches!(
+            s.execute("SELECT P(x);"),
+            Err(ServerError::Shutdown)
+        ));
+        // Writes still apply (the master mutex outlives admission).
+        assert!(s.execute("INSERT INTO P VALUES (9);").is_ok());
+    }
+}

@@ -18,4 +18,9 @@ echo "==> tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> E22 smoke: server transcripts byte-identical across batching/workers"
+cargo run --release -p cdb-bench --bin repro -- e22 > /dev/null
+grep -q '"all_outputs_equal": true' BENCH_server.json
+grep -q '"hardware_threads"' BENCH_server.json
+
 echo "All checks passed."
