@@ -275,6 +275,8 @@ impl CalcFEngine {
     /// Replace every aggregate predicate by its value (scalar constants, or
     /// the EVAL relation inlined).
     #[allow(clippy::too_many_arguments)]
+    // cdb-lint: allow(float-taint) — the only float in the signature is the
+    // `err` sup-norm accumulator, a diagnostic; values stay exact
     fn eliminate_aggregates(
         &self,
         db: &Database,
@@ -479,6 +481,8 @@ impl CalcFEngine {
     /// Replace analytic function applications by piecewise polynomial
     /// approximations ("each tuple t containing f(z̄) is replaced by a set
     /// of tuples t_e ∧ z ∈ e"), and translate to the pure formula type.
+    // cdb-lint: allow(float-taint) — the only float in the signature is the
+    // `err` sup-norm accumulator, a diagnostic; values stay exact
     fn eliminate_analytic(
         &self,
         f: &CFormula,

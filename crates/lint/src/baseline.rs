@@ -1,0 +1,411 @@
+//! Baseline ratchet and JSON report emission.
+//!
+//! The baseline (`lint_baseline.json` at the workspace root) is the set of
+//! *accepted* findings, keyed by `(file, rule, message)` — deliberately no
+//! line numbers, so unrelated edits that shift a known finding do not churn
+//! the file. Semantics:
+//!
+//! * a finding **not** in the baseline is *fresh* → CI fails (exit 1);
+//! * a baseline entry with no matching finding is *stale* → CI fails too,
+//!   so the baseline only ever shrinks by being edited, never silently;
+//! * matching is a multiset: two identical findings need two entries.
+//!
+//! The JSON here is written and read by hand — the lint crate stays
+//! dependency-free. The parser handles exactly the subset the writer
+//! emits (objects, arrays, strings with `\uXXXX`/common escapes, integers,
+//! booleans, null) which also keeps it honest about the report being
+//! machine-stable. Integers stay `i64`: this crate lints itself, and rule F
+//! would (rightly) object to an `f64` in here.
+
+use std::collections::BTreeMap;
+
+/// One accepted finding in the baseline.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    /// Workspace-relative path of the file the finding is in.
+    pub file: String,
+    /// Rule id, e.g. `"lock-order"`.
+    pub rule: String,
+    /// Exact diagnostic message.
+    pub message: String,
+}
+
+/// Result of ratcheting current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Ratchet {
+    /// Indices (into the input diagnostics) of findings not in the baseline.
+    pub fresh: Vec<usize>,
+    /// Indices of findings matched by a baseline entry.
+    pub matched: Vec<usize>,
+    /// Baseline entries with no matching finding.
+    pub stale: Vec<Entry>,
+}
+
+/// Match findings against baseline entries as multisets keyed by
+/// `(file, rule, message)`.
+pub fn ratchet(findings: &[Entry], baseline: &[Entry]) -> Ratchet {
+    let mut pool: BTreeMap<&Entry, i64> = BTreeMap::new();
+    for e in baseline {
+        *pool.entry(e).or_insert(0) += 1;
+    }
+    let mut out = Ratchet::default();
+    for (i, f) in findings.iter().enumerate() {
+        match pool.get_mut(f) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                out.matched.push(i);
+            }
+            _ => out.fresh.push(i),
+        }
+    }
+    for (e, n) in pool {
+        for _ in 0..n {
+            out.stale.push(e.clone());
+        }
+    }
+    out
+}
+
+/// Escape a string for JSON output.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialize baseline entries (sorted, deduplicated order preserved as
+/// given — callers sort) to the canonical baseline JSON document.
+pub fn write_baseline(entries: &[Entry]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"file\": \"{}\", \"rule\": \"{}\", \"message\": \"{}\" }}{}\n",
+            escape(&e.file),
+            escape(&e.rule),
+            escape(&e.message),
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A parsed JSON value (subset: no floats — the report never emits any).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer number (the writer never emits fractions or exponents).
+    Int(i64),
+    /// String (unescaped).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with source-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a number.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (the subset the lint report/baseline writer
+/// emits). Returns `Err` with a short description on malformed input.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while b
+        .get(*pos)
+        .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r'))
+    {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at offset {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => parse_str(b, pos).map(Json::Str),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_int(b, pos),
+        _ => Err(format!("unexpected byte at offset {}", *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b.get(*pos..*pos + lit.len()) == Some(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at offset {}", *pos))
+    }
+}
+
+fn parse_int(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(b.get(start..*pos).unwrap_or(b""))
+        .map_err(|_| "non-utf8 number".to_owned())?;
+    text.parse::<i64>()
+        .map(Json::Int)
+        .map_err(|_| format!("bad integer at offset {start}"))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| "bad \\u escape".to_owned())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_owned())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at offset {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar worth of bytes.
+                let rest = std::str::from_utf8(b.get(*pos..).unwrap_or(b""))
+                    .map_err(|_| "non-utf8 string".to_owned())?;
+                let Some(c) = rest.chars().next() else {
+                    return Err("unterminated string".to_owned());
+                };
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(out));
+    }
+    loop {
+        out.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(out));
+            }
+            _ => return Err(format!("expected `,` or `]` at offset {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut out = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(out));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let val = parse_value(b, pos)?;
+        out.push((key, val));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(out));
+            }
+            _ => return Err(format!("expected `,` or `}}` at offset {}", *pos)),
+        }
+    }
+}
+
+/// Parse a baseline document into entries. Unknown keys are ignored so the
+/// format can grow; missing required keys are an error.
+pub fn parse_baseline(src: &str) -> Result<Vec<Entry>, String> {
+    let doc = parse(src)?;
+    let findings = doc
+        .get("findings")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "baseline: missing `findings` array".to_owned())?;
+    let mut out = Vec::new();
+    for f in findings {
+        let field = |k: &str| {
+            f.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("baseline: finding missing `{k}`"))
+        };
+        out.push(Entry {
+            file: field("file")?,
+            rule: field("rule")?,
+            message: field("message")?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(file: &str, rule: &str, msg: &str) -> Entry {
+        Entry {
+            file: file.to_owned(),
+            rule: rule.to_owned(),
+            message: msg.to_owned(),
+        }
+    }
+
+    #[test]
+    fn ratchet_classifies_fresh_matched_stale() {
+        let findings = vec![
+            e("a.rs", "float", "m1"),
+            e("a.rs", "float", "m1"),
+            e("b.rs", "panic", "m2"),
+        ];
+        let baseline = vec![e("a.rs", "float", "m1"), e("c.rs", "lock", "m3")];
+        let r = ratchet(&findings, &baseline);
+        assert_eq!(r.matched, vec![0]);
+        assert_eq!(r.fresh, vec![1, 2]);
+        assert_eq!(r.stale, vec![e("c.rs", "lock", "m3")]);
+    }
+
+    #[test]
+    fn baseline_roundtrips() {
+        let entries = vec![
+            e("a.rs", "float", "uses \"f64\"\nhere"),
+            e("b/c.rs", "lock-order", "cycle: a \\ b"),
+        ];
+        let doc = write_baseline(&entries);
+        let back = parse_baseline(&doc).expect("parse");
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn empty_baseline_roundtrips() {
+        let doc = write_baseline(&[]);
+        assert_eq!(parse_baseline(&doc).expect("parse"), vec![]);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("\"\\q\"").is_err());
+        assert!(parse("{} x").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_ints() {
+        let v = parse("{\"k\": [-12, \"a\\u0041\\n\", true, null]}").expect("parse");
+        let arr = v.get("k").and_then(Json::as_arr).expect("arr");
+        assert_eq!(arr.first(), Some(&Json::Int(-12)));
+        assert_eq!(arr.get(1), Some(&Json::Str("aA\n".to_owned())));
+        assert_eq!(arr.get(2), Some(&Json::Bool(true)));
+        assert_eq!(arr.get(3), Some(&Json::Null));
+    }
+}

@@ -1,12 +1,14 @@
 //! A minimal handwritten Rust lexer for `cdb-lint`.
 //!
-//! The linter never needs a parse tree: every rule family is decidable from
-//! a token stream with line numbers, provided the stream is faithful about
-//! the things that defeat grep — comments (line, nested block), string
-//! literals (plain, raw, byte, C), char literals vs. lifetimes, and float
-//! vs. integer literals. Comments are captured separately so allow
-//! directives can be parsed; string/char contents are dropped entirely so a
-//! message like `"use f64 here"` can never trip a rule.
+//! The linter never needs a full parse tree: every rule family is decidable
+//! from a token stream with source positions, provided the stream is
+//! faithful about the things that defeat grep — comments (line, nested
+//! block), string literals (plain, raw, byte, C), char literals vs.
+//! lifetimes, and float vs. integer literals. Comments are captured
+//! separately so allow directives can be parsed; string/char contents are
+//! dropped entirely so a message like `"use f64 here"` can never trip a
+//! rule. Every token and comment carries a 1-based `(line, col)` so
+//! diagnostics can point at the offending token, not just its line.
 
 /// Token kind. String and char literal *contents* are intentionally not
 /// represented — rules must never match inside them.
@@ -27,13 +29,15 @@ pub enum TokKind {
     Punct(char),
 }
 
-/// A token with its 1-based source line.
+/// A token with its 1-based source line and column.
 #[derive(Debug, Clone)]
 pub struct Tok {
     /// Kind (and ident text where applicable).
     pub kind: TokKind,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// 1-based column (in chars) the token starts at.
+    pub col: u32,
 }
 
 /// A comment, captured for directive parsing.
@@ -41,6 +45,8 @@ pub struct Tok {
 pub struct Comment {
     /// 1-based line the comment starts on.
     pub line: u32,
+    /// 1-based column the comment starts at.
+    pub col: u32,
     /// Raw comment text without the `//`/`/*` introducers.
     pub text: String,
     /// True when a code token precedes the comment on its own line
@@ -62,33 +68,37 @@ pub struct Lexed {
 /// about a file that rustc itself would reject.
 pub fn lex(src: &str) -> Lexed {
     let bytes: Vec<char> = src.chars().collect();
+    let n = bytes.len();
+    // Precomputed position table: pos[i] = 1-based (line, col) of char i,
+    // with one sentinel entry past the end. Computing this up front keeps
+    // every branch of the scanner free to jump `i` arbitrarily without
+    // threading line/col bookkeeping through each one.
+    let pos: Vec<(u32, u32)> = {
+        let mut table = Vec::with_capacity(n + 1);
+        let (mut line, mut col) = (1u32, 1u32);
+        for &ch in &bytes {
+            table.push((line, col));
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        table.push((line, col));
+        table
+    };
+    let at = |i: usize| *pos.get(i).unwrap_or(&(0, 0));
+
     let mut out = Lexed::default();
     let mut i = 0usize;
-    let mut line: u32 = 1;
     let mut line_of_last_tok: u32 = 0;
-    let n = bytes.len();
-
-    // Advance over `count` chars starting at `i`, bumping `line`.
-    macro_rules! bump {
-        ($count:expr) => {{
-            let c = $count;
-            for k in 0..c {
-                if let Some('\n') = bytes.get(i + k) {
-                    line += 1;
-                }
-            }
-            i += c;
-        }};
-    }
 
     while i < n {
         let c = bytes[i];
         let next = bytes.get(i + 1).copied();
+        let (line, col) = at(i);
         match c {
-            '\n' => {
-                line += 1;
-                i += 1;
-            }
             c if c.is_whitespace() => {
                 i += 1;
             }
@@ -101,6 +111,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 out.comments.push(Comment {
                     line,
+                    col,
                     text: bytes.get(start..j).unwrap_or(&[]).iter().collect(),
                     has_code_before: line_of_last_tok == line,
                 });
@@ -108,7 +119,6 @@ pub fn lex(src: &str) -> Lexed {
             }
             '/' if next == Some('*') => {
                 // Block comment, nested.
-                let start_line = line;
                 let text_start = i + 2;
                 let mut depth = 1usize;
                 let mut j = i + 2;
@@ -120,37 +130,34 @@ pub fn lex(src: &str) -> Lexed {
                         depth -= 1;
                         j += 2;
                     } else {
-                        if bytes[j] == '\n' {
-                            line += 1;
-                        }
                         j += 1;
                     }
                 }
                 let text_end = j.saturating_sub(2).max(text_start);
                 out.comments.push(Comment {
-                    line: start_line,
+                    line,
+                    col,
                     text: bytes
                         .get(text_start..text_end)
                         .unwrap_or(&[])
                         .iter()
                         .collect(),
-                    has_code_before: line_of_last_tok == start_line,
+                    has_code_before: line_of_last_tok == line,
                 });
                 i = j;
             }
             '"' => {
-                let tok_line = line;
-                bump!(string_len(&bytes, i, 0));
+                i += string_len(&bytes, i, 0);
                 out.toks.push(Tok {
                     kind: TokKind::Literal,
-                    line: tok_line,
+                    line,
+                    col,
                 });
-                line_of_last_tok = tok_line;
+                line_of_last_tok = line;
             }
             '\'' => {
                 // Lifetime or char literal. `'a` followed by anything but a
                 // closing quote is a lifetime; otherwise a char literal.
-                let tok_line = line;
                 let is_lifetime = match next {
                     Some(c2) if c2.is_alphabetic() || c2 == '_' => {
                         let mut j = i + 1;
@@ -169,19 +176,20 @@ pub fn lex(src: &str) -> Lexed {
                     i = j;
                     out.toks.push(Tok {
                         kind: TokKind::Lifetime,
-                        line: tok_line,
+                        line,
+                        col,
                     });
                 } else {
-                    bump!(char_literal_len(&bytes, i));
+                    i += char_literal_len(&bytes, i);
                     out.toks.push(Tok {
                         kind: TokKind::Literal,
-                        line: tok_line,
+                        line,
+                        col,
                     });
                 }
-                line_of_last_tok = tok_line;
+                line_of_last_tok = line;
             }
             c if c.is_ascii_digit() => {
-                let tok_line = line;
                 let (len, is_float) = number_len(&bytes, i);
                 i += len;
                 out.toks.push(Tok {
@@ -190,20 +198,21 @@ pub fn lex(src: &str) -> Lexed {
                     } else {
                         TokKind::Int
                     },
-                    line: tok_line,
+                    line,
+                    col,
                 });
-                line_of_last_tok = tok_line;
+                line_of_last_tok = line;
             }
             c if c.is_alphabetic() || c == '_' => {
-                let tok_line = line;
                 // Raw / byte string prefixes and raw identifiers.
                 if let Some(len) = raw_or_byte_string_len(&bytes, i) {
-                    bump!(len);
+                    i += len;
                     out.toks.push(Tok {
                         kind: TokKind::Literal,
-                        line: tok_line,
+                        line,
+                        col,
                     });
-                    line_of_last_tok = tok_line;
+                    line_of_last_tok = line;
                     continue;
                 }
                 let mut j = i;
@@ -219,14 +228,16 @@ pub fn lex(src: &str) -> Lexed {
                 i = j;
                 out.toks.push(Tok {
                     kind: TokKind::Ident(word),
-                    line: tok_line,
+                    line,
+                    col,
                 });
-                line_of_last_tok = tok_line;
+                line_of_last_tok = line;
             }
             _ => {
                 out.toks.push(Tok {
                     kind: TokKind::Punct(c),
                     line,
+                    col,
                 });
                 line_of_last_tok = line;
                 i += 1;
@@ -440,5 +451,30 @@ mod tests {
         let l = lex("a\nb\n  c");
         let lines: Vec<u32> = l.toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn columns_are_tracked() {
+        let l = lex("ab cd\n  ef.gh()");
+        let at: Vec<(u32, u32)> = l.toks.iter().map(|t| (t.line, t.col)).collect();
+        // ab@1:1 cd@1:4 ef@2:3 .@2:5 gh@2:6 (@2:8 )@2:9
+        assert_eq!(
+            at,
+            vec![(1, 1), (1, 4), (2, 3), (2, 5), (2, 6), (2, 8), (2, 9)]
+        );
+        // Comments carry columns too.
+        let c = lex("x; // tail");
+        assert_eq!(c.comments[0].col, 4);
+    }
+
+    #[test]
+    fn multiline_tokens_report_start_position() {
+        let l = lex("let s = \"a\nb\"; t");
+        let t = l
+            .toks
+            .iter()
+            .find(|t| matches!(&t.kind, TokKind::Ident(s) if s == "t"));
+        // Line 2 is `b"; t` — the ident lands at column 5.
+        assert_eq!(t.map(|t| (t.line, t.col)), Some((2, 5)));
     }
 }

@@ -10,7 +10,7 @@
 //! deterministic for every worker count, library crates must surface typed
 //! errors instead of panicking, and lock acquisition must stay flat. This
 //! crate tokenizes every non-test `.rs` file in the workspace (handwritten
-//! lexer — no dependencies) and enforces four rule families:
+//! lexer — no dependencies) and enforces four per-file rule families:
 //!
 //! | id            | family            | guards                               |
 //! |---------------|-------------------|--------------------------------------|
@@ -18,6 +18,17 @@
 //! | `determinism` | determinism       | byte-identical parallel merges       |
 //! | `panic`       | panic surface     | typed-error robustness               |
 //! | `lock`        | lock discipline   | deadlock-freedom of the fan-out      |
+//!
+//! On top of the per-file scan, a lightweight item parser ([`items`]) and a
+//! symbol-resolved workspace call graph ([`graph`]) drive three
+//! interprocedural passes (DESIGN.md §9):
+//!
+//! | id                  | pass              | guards                          |
+//! |---------------------|-------------------|---------------------------------|
+//! | `lock-order`        | lock-order cycles | global acquisition order        |
+//! | `panic-reach`       | panic reach       | public API panic surface        |
+//! | `float-taint`       | float taint       | laundering past the boundary    |
+//! | `determinism-taint` | determinism taint | cross-crate nondeterminism      |
 //!
 //! Every rule has a machine-readable escape hatch:
 //!
@@ -28,17 +39,24 @@
 //!
 //! A directive without a written reason is itself a diagnostic, as is an
 //! allow that suppresses nothing (`unused-allow`) — annotations cannot rot
-//! silently in either direction.
+//! silently in either direction. Accepted findings live in the committed
+//! `lint_baseline.json` ratchet (see [`baseline`]): new findings fail CI,
+//! stale baseline entries fail CI too.
 
+pub mod baseline;
+pub mod graph;
+pub mod items;
 pub mod lexer;
+pub mod locks;
+mod reach;
 pub mod rules;
 
 use lexer::{lex, Comment, Tok, TokKind};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// The four rule families (plus directive hygiene, which is not
-/// suppressible).
+/// The rule families (plus directive hygiene, which is not suppressible).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
     /// F: float confinement to the `FIntv` boundary.
@@ -49,40 +67,97 @@ pub enum Rule {
     Panic,
     /// L: lock discipline.
     Lock,
+    /// Interprocedural: cycles in the lock-acquisition order.
+    LockOrder,
+    /// Interprocedural: public fns that can transitively panic.
+    PanicReach,
+    /// Interprocedural: confined code calling float-signature functions.
+    FloatTaint,
+    /// Interprocedural: determinism-scoped code reaching nondeterminism.
+    DeterminismTaint,
 }
 
 impl Rule {
+    /// Every rule family with its id and one-line summary — the single
+    /// source of truth for [`Rule::from_id`], directive error text, and
+    /// the CLI help.
+    pub const ALL: &'static [(Rule, &'static str, &'static str)] = &[
+        (
+            Rule::Float,
+            "float",
+            "f64/f32 or float literals outside the FIntv boundary",
+        ),
+        (
+            Rule::Determinism,
+            "determinism",
+            "HashMap/HashSet, Instant/SystemTime, Ordering::Relaxed in result-producing code",
+        ),
+        (
+            Rule::Panic,
+            "panic",
+            "unwrap/expect/panic!-family/constant-subscript indexing in library code",
+        ),
+        (
+            Rule::Lock,
+            "lock",
+            "nested .lock() in one statement; guards live across the parallel fan-out",
+        ),
+        (
+            Rule::LockOrder,
+            "lock-order",
+            "cycle in the interprocedural lock-acquisition-order graph",
+        ),
+        (
+            Rule::PanicReach,
+            "panic-reach",
+            "public fn can transitively reach an unjustified panic site",
+        ),
+        (
+            Rule::FloatTaint,
+            "float-taint",
+            "float-confined code calls a fn whose signature carries f64/f32",
+        ),
+        (
+            Rule::DeterminismTaint,
+            "determinism-taint",
+            "determinism-scoped code can reach a nondeterministic source",
+        ),
+    ];
+
     /// The machine-readable rule id used in directives and diagnostics.
     pub fn id(self) -> &'static str {
-        match self {
-            Rule::Float => "float",
-            Rule::Determinism => "determinism",
-            Rule::Panic => "panic",
-            Rule::Lock => "lock",
-        }
+        Rule::ALL
+            .iter()
+            .find(|(r, _, _)| *r == self)
+            .map(|(_, id, _)| *id)
+            .unwrap_or("unknown")
     }
 
     /// Parse a rule id.
     pub fn from_id(s: &str) -> Option<Rule> {
-        match s {
-            "float" => Some(Rule::Float),
-            "determinism" => Some(Rule::Determinism),
-            "panic" => Some(Rule::Panic),
-            "lock" => Some(Rule::Lock),
-            _ => None,
-        }
+        Rule::ALL
+            .iter()
+            .find(|(_, id, _)| *id == s)
+            .map(|(r, _, _)| *r)
+    }
+
+    /// Comma-separated list of every rule id (for error messages and help).
+    pub fn id_list() -> String {
+        let ids: Vec<&str> = Rule::ALL.iter().map(|(_, id, _)| *id).collect();
+        ids.join(", ")
     }
 }
 
-/// One finding, keyed by workspace-relative path and 1-based line.
+/// One finding, keyed by workspace-relative path and 1-based position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Workspace-relative path with `/` separators.
     pub file: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule id (`float`, `determinism`, `panic`, `lock`, `directive`,
-    /// `unused-allow`).
+    /// 1-based column.
+    pub col: u32,
+    /// Rule id (`float`, `lock-order`, …, `directive`, `unused-allow`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -92,8 +167,8 @@ impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
         )
     }
 }
@@ -160,17 +235,62 @@ const SKIP_PREFIXES: &[&str] = &["crates/bench/"];
 
 /// An allow directive parsed from a comment.
 #[derive(Debug)]
-struct AllowDirective {
-    rules: Vec<Rule>,
+pub(crate) struct AllowDirective {
+    pub(crate) rules: Vec<Rule>,
     /// None = file scope.
-    target_line: Option<u32>,
+    pub(crate) target_line: Option<u32>,
     /// Line the directive itself is on (for unused-allow reporting).
-    at_line: u32,
-    used: std::cell::Cell<bool>,
+    pub(crate) at_line: u32,
+    pub(crate) used: std::cell::Cell<bool>,
 }
 
-/// Result of linting one file.
-fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+/// Whether an allow directive covers `rule` at exactly `line` (or the
+/// whole file). Marks the directive used.
+pub(crate) fn allowed_line(allows: &[AllowDirective], rule: Rule, line: u32) -> bool {
+    allows.iter().any(|a| {
+        a.rules.contains(&rule)
+            && match a.target_line {
+                None => true,
+                Some(t) => t == line,
+            }
+            && {
+                a.used.set(true);
+                true
+            }
+    })
+}
+
+/// Whether an allow directive covers `rule` anywhere in `[lo, hi]` (or the
+/// whole file) — used to sanction a *definition* (a fn signature or body
+/// span) rather than a single call site. Marks the directive used.
+pub(crate) fn allowed_span(allows: &[AllowDirective], rule: Rule, lo: u32, hi: u32) -> bool {
+    allows.iter().any(|a| {
+        a.rules.contains(&rule)
+            && match a.target_line {
+                None => true,
+                Some(t) => t >= lo && t <= hi,
+            }
+            && {
+                a.used.set(true);
+                true
+            }
+    })
+}
+
+/// Per-file analysis state threaded into the interprocedural passes.
+struct FileCtx {
+    rel: String,
+    class: FileClass,
+    toks: Vec<Tok>,
+    allows: Vec<AllowDirective>,
+    diags: Vec<Diagnostic>,
+}
+
+/// Run the per-file stage on one file: lex, strip test scopes, parse
+/// directives, evaluate the per-file rule families through the allows.
+/// The unused-allow sweep runs later, after the interprocedural passes
+/// have had their chance to use each directive.
+fn file_stage(rel: &str, src: &str) -> FileCtx {
     let class = classify(rel);
     let lexed = lex(src);
     let (toks, skipped) = strip_test_scopes(&lexed.toks);
@@ -186,43 +306,116 @@ fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
 
     let raw = rules::check(&toks, class);
     for d in raw {
-        let rule = Rule::from_id(d.rule);
-        let suppressed = rule.is_some_and(|r| {
-            allows.iter().any(|a| {
-                a.rules.contains(&r)
-                    && match a.target_line {
-                        None => true,
-                        Some(t) => t == d.line,
-                    }
-                    && {
-                        a.used.set(true);
-                        true
-                    }
-            })
-        });
+        let suppressed = Rule::from_id(d.rule).is_some_and(|r| allowed_line(&allows, r, d.line));
         if !suppressed {
             diags.push(Diagnostic {
                 file: rel.to_owned(),
                 line: d.line,
+                col: d.col,
                 rule: d.rule,
                 message: d.message,
             });
         }
     }
 
-    for a in &allows {
-        if !a.used.get() {
-            diags.push(Diagnostic {
-                file: rel.to_owned(),
-                line: a.at_line,
-                rule: "unused-allow",
-                message: "allow directive suppresses nothing; remove it".to_owned(),
-            });
+    FileCtx {
+        rel: rel.to_owned(),
+        class,
+        toks,
+        allows,
+        diags,
+    }
+}
+
+/// Lint a set of files as one unit: the per-file rule families plus the
+/// call-graph passes (lock order, panic reachability, float/determinism
+/// taint). `files` is `(workspace-relative path, source)`.
+pub fn lint_files(files: &[(String, String)]) -> Report {
+    let mut inputs: Vec<&(String, String)> = files.iter().collect();
+    inputs.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut ctxs: Vec<FileCtx> = inputs
+        .iter()
+        .map(|(rel, src)| file_stage(rel, src))
+        .collect();
+
+    // The call graph and the interprocedural passes see the same
+    // test-stripped token streams the per-file rules saw, in the same
+    // (path-sorted) file order, so file indices line up everywhere.
+    let graph_files: Vec<(String, Vec<Tok>)> = ctxs
+        .iter()
+        .map(|c| (c.rel.clone(), c.toks.clone()))
+        .collect();
+    let g = graph::build(&graph_files);
+    let toks: Vec<Vec<Tok>> = graph_files.into_iter().map(|(_, t)| t).collect();
+    let classes: Vec<FileClass> = ctxs.iter().map(|c| c.class).collect();
+    let allows: Vec<Vec<AllowDirective>> = ctxs
+        .iter_mut()
+        .map(|c| std::mem::take(&mut c.allows))
+        .collect();
+
+    let lock = locks::analyze(&g, &toks);
+    let (pr_diags, panic_surface) = reach::panic_reach(&g, &toks, &classes, &allows);
+    let ft_diags = reach::float_taint(&g, &toks, &classes, &allows);
+    let dt_diags = reach::determinism_taint(&g, &toks, &classes, &allows);
+
+    let file_index: BTreeMap<&str, usize> = ctxs
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.rel.as_str(), i))
+        .collect();
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    for c in &ctxs {
+        diagnostics.extend(c.diags.iter().cloned());
+    }
+    for d in lock
+        .diags
+        .iter()
+        .chain(pr_diags.iter())
+        .chain(ft_diags.iter())
+        .chain(dt_diags.iter())
+    {
+        let suppressed = Rule::from_id(d.rule).is_some_and(|r| {
+            file_index
+                .get(d.file.as_str())
+                .and_then(|&i| allows.get(i))
+                .is_some_and(|a| allowed_line(a, r, d.line))
+        });
+        if !suppressed {
+            diagnostics.push(d.clone());
         }
     }
+    for (c, file_allows) in ctxs.iter().zip(&allows) {
+        for a in file_allows {
+            if !a.used.get() {
+                diagnostics.push(Diagnostic {
+                    file: c.rel.clone(),
+                    line: a.at_line,
+                    col: 1,
+                    rule: "unused-allow",
+                    message: "allow directive suppresses nothing; remove it".to_owned(),
+                });
+            }
+        }
+    }
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
 
-    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    diags
+    Report {
+        diagnostics,
+        files_scanned: ctxs.len(),
+        functions: g.fns.len(),
+        call_edges: g.edge_count(),
+        lock_edges: lock.edges,
+        panic_surface,
+    }
+}
+
+/// Lint one file given its workspace-relative path and contents (a
+/// single-file view of [`lint_files`]). Exposed for the fixture tests.
+pub fn lint_file(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    lint_files(&[(rel_path.to_owned(), src.to_owned())]).diagnostics
 }
 
 /// Parse a `cdb-lint:` directive out of one comment, if present.
@@ -242,6 +435,7 @@ fn parse_directive(
         diags.push(Diagnostic {
             file: rel.to_owned(),
             line: c.line,
+            col: c.col,
             rule: "directive",
             message: msg,
         });
@@ -265,7 +459,8 @@ fn parse_directive(
             Some(r) => rules_list.push(r),
             None => {
                 bad(format!(
-                    "unknown rule `{name}` (expected float, determinism, panic, or lock)"
+                    "unknown rule `{name}` (expected one of: {})",
+                    Rule::id_list()
                 ));
                 return;
             }
@@ -413,19 +608,116 @@ fn skip_item(toks: &[Tok], i: usize) -> usize {
     toks.len()
 }
 
-/// Lint one file given its workspace-relative path and contents. Exposed
-/// for the fixture tests.
-pub fn lint_file(rel_path: &str, src: &str) -> Vec<Diagnostic> {
-    lint_source(rel_path, src)
-}
-
 /// A whole-tree lint report.
 #[derive(Debug)]
 pub struct Report {
-    /// All findings, sorted by (file, line).
+    /// All findings, sorted by (file, line, col, rule).
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Number of `fn` items in the call graph.
+    pub functions: usize,
+    /// Number of resolved call edges (candidate pairs).
+    pub call_edges: usize,
+    /// The lock-acquisition-order edges (for the JSON report).
+    pub lock_edges: Vec<locks::LockEdge>,
+    /// Per-crate count of public fns that can reach any panic site.
+    pub panic_surface: BTreeMap<String, usize>,
+}
+
+impl Report {
+    /// Render the machine-readable JSON report. `baselined` marks, aligned
+    /// with `diagnostics`, which findings the baseline accepts; `stale` is
+    /// the list of baseline entries nothing matched. Output is
+    /// byte-stable for a given tree (sorted maps, no timestamps).
+    pub fn to_json(&self, baselined: &[bool], stale: &[baseline::Entry]) -> String {
+        use baseline::escape;
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"functions\": {},\n", self.functions));
+        out.push_str(&format!("  \"call_edges\": {},\n", self.call_edges));
+        out.push_str("  \"lock_order_edges\": [\n");
+        for (i, e) in self.lock_edges.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"from\": \"{}\", \"to\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+                 \"via\": \"{}\" }}{}\n",
+                escape(&e.from),
+                escape(&e.to),
+                escape(&e.file),
+                e.line,
+                escape(&e.via),
+                if i + 1 == self.lock_edges.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"panic_surface\": {");
+        for (i, (k, v)) in self.panic_surface.iter().enumerate() {
+            out.push_str(&format!(
+                "{} \"{}\": {}",
+                if i == 0 { "" } else { "," },
+                escape(k),
+                v
+            ));
+        }
+        out.push_str(" },\n");
+        out.push_str("  \"findings\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            let b = baselined.get(i).copied().unwrap_or(false);
+            out.push_str(&format!(
+                "    {{ \"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+                 \"message\": \"{}\", \"baselined\": {} }}{}\n",
+                escape(&d.file),
+                d.line,
+                d.col,
+                escape(d.rule),
+                escape(&d.message),
+                b,
+                if i + 1 == self.diagnostics.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"stale_baseline\": [\n");
+        for (i, e) in stale.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"file\": \"{}\", \"rule\": \"{}\", \"message\": \"{}\" }}{}\n",
+                escape(&e.file),
+                escape(&e.rule),
+                escape(&e.message),
+                if i + 1 == stale.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        let matched = baselined.iter().filter(|&&b| b).count();
+        out.push_str(&format!(
+            "  \"summary\": {{ \"new\": {}, \"baselined\": {}, \"stale\": {} }}\n",
+            self.diagnostics.len() - matched,
+            matched,
+            stale.len()
+        ));
+        out.push_str("}\n");
+        out
+    }
+
+    /// The diagnostics as baseline entries (for ratcheting/writing).
+    pub fn entries(&self) -> Vec<baseline::Entry> {
+        self.diagnostics
+            .iter()
+            .map(|d| baseline::Entry {
+                file: d.file.clone(),
+                rule: d.rule.to_owned(),
+                message: d.message.clone(),
+            })
+            .collect()
+    }
 }
 
 /// Lint every non-test `.rs` file under `root`.
@@ -433,20 +725,16 @@ pub fn run_root(root: &Path) -> std::io::Result<Report> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
-    let mut diagnostics = Vec::new();
-    let files_scanned = files.len();
+    let mut inputs: Vec<(String, String)> = Vec::with_capacity(files.len());
     for rel in files {
         let src = std::fs::read_to_string(root.join(&rel))?;
         let rel_str = rel
             .to_str()
             .map(|s| s.replace('\\', "/"))
             .unwrap_or_default();
-        diagnostics.extend(lint_source(&rel_str, &src));
+        inputs.push((rel_str, src));
     }
-    Ok(Report {
-        diagnostics,
-        files_scanned,
-    })
+    Ok(lint_files(&inputs))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -1,0 +1,442 @@
+//! Interprocedural reachability passes: panic surface (`panic-reach`) and
+//! float/determinism taint (`float-taint`, `determinism-taint`).
+//!
+//! All three walk the call graph of [`crate::graph`]:
+//!
+//! * **panic-reach** propagates the rule-P panic sites backwards through
+//!   callers and reports every *public* library function that can reach an
+//!   unjustified panic site it does not itself contain — the per-file rule
+//!   already reports direct sites. Allow-justified sites (a written
+//!   invariant) do not propagate. Candidate sets combine by **union**:
+//!   for a must-not-happen property the over-approximation is the safe
+//!   direction.
+//! * **float-taint** closes the laundering hole in rule F: a confined file
+//!   that never names `f64` can still call a helper whose *signature*
+//!   carries one (`let x = a.to_f64();`). Any call site in float-confined
+//!   code whose candidates **all** have a float-carrying signature is
+//!   reported. Unanimity, not union: when `recv.eval(…)` may be the exact
+//!   `MPoly::eval` or the approximate `AnalyticFn::eval`, the exact
+//!   candidate clears the call — taint wants precision over recall.
+//! * **determinism-taint** extends rule D across crate boundaries: a
+//!   function outside the determinism scope whose body uses
+//!   `HashMap`/`Instant`/`Relaxed` taints its transitive callers (through
+//!   out-of-scope code, unanimity again), and any call to a tainted
+//!   function *from* determinism-scoped code is reported. A source can be
+//!   sanctioned with `allow(determinism-taint)` on its definition (e.g.
+//!   stats-only counters that never reach result bytes).
+
+use crate::graph::Graph;
+use crate::lexer::{Tok, TokKind};
+use crate::rules;
+use crate::{allowed_line, allowed_span, AllowDirective, Diagnostic, FileClass, Rule};
+use std::collections::BTreeMap;
+
+/// End line of a token range, falling back to `fallback` for empty ranges.
+fn range_end_line(toks: &[Tok], range: (usize, usize), fallback: u32) -> u32 {
+    toks.get(range.0..range.1)
+        .and_then(|w| w.last())
+        .map_or(fallback, |t| t.line)
+}
+
+/// Breadth-first search from `start` to the nearest function satisfying
+/// `hit`, moving only through functions satisfying `keep`. Candidate order
+/// is deterministic (ids ascend within each call, calls in source order).
+fn nearest(
+    g: &Graph,
+    start: usize,
+    hit: &dyn Fn(usize) -> bool,
+    keep: &dyn Fn(usize) -> bool,
+) -> Option<usize> {
+    let mut visited = vec![false; g.fns.len()];
+    let mut queue = vec![start];
+    let mut qi = 0usize;
+    if let Some(v) = visited.get_mut(start) {
+        *v = true;
+    }
+    while qi < queue.len() {
+        let cur = *queue.get(qi)?;
+        qi += 1;
+        for cands in g.resolved.get(cur)? {
+            for &c in cands {
+                if visited.get(c).copied().unwrap_or(true) {
+                    continue;
+                }
+                if let Some(v) = visited.get_mut(c) {
+                    *v = true;
+                }
+                if hit(c) {
+                    return Some(c);
+                }
+                if keep(c) {
+                    queue.push(c);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The panic-reachability pass. Returns the diagnostics and the per-crate
+/// public panic surface (public fns that can reach *any* panic site,
+/// justified or not — the report's observability number).
+pub(crate) fn panic_reach(
+    g: &Graph,
+    toks: &[Vec<Tok>],
+    classes: &[FileClass],
+    allows: &[Vec<AllowDirective>],
+) -> (Vec<Diagnostic>, BTreeMap<String, usize>) {
+    let nf = g.fns.len();
+    let file_sites: Vec<Vec<rules::PanicSite>> =
+        toks.iter().map(|t| rules::panic_sites(t)).collect();
+    let mut direct_all = vec![false; nf];
+    let mut direct_live = vec![false; nf]; // unjustified direct site
+    let mut site_kind: Vec<Option<&'static str>> = vec![None; nf];
+    for (fid, f) in g.fns.iter().enumerate() {
+        if f.body.1 <= f.body.0 || !classes.get(f.file).is_some_and(|c| c.panic) {
+            continue;
+        }
+        let (Some(sites), Some(fallows)) = (file_sites.get(f.file), allows.get(f.file)) else {
+            continue;
+        };
+        for site in sites {
+            if site.tok < f.body.0 || site.tok >= f.body.1 {
+                continue;
+            }
+            if let Some(d) = direct_all.get_mut(fid) {
+                *d = true;
+            }
+            if !allowed_line(fallows, Rule::Panic, site.line) {
+                if let Some(d) = direct_live.get_mut(fid) {
+                    *d = true;
+                }
+                if let Some(k) = site_kind.get_mut(fid) {
+                    k.get_or_insert(site.what);
+                }
+            }
+        }
+    }
+    let reach_live = propagate_union(g, &direct_live);
+    let reach_all = propagate_union(g, &direct_all);
+
+    let mut diags = Vec::new();
+    let mut surface: BTreeMap<String, usize> = BTreeMap::new();
+    for (fid, f) in g.fns.iter().enumerate() {
+        if !f.is_pub || !classes.get(f.file).is_some_and(|c| c.panic) {
+            continue;
+        }
+        if reach_all.get(fid).copied().unwrap_or(false) {
+            let key = g
+                .files
+                .get(f.file)
+                .and_then(|fi| fi.crate_dir.clone())
+                .unwrap_or_else(|| "root".to_owned());
+            *surface.entry(key).or_insert(0) += 1;
+        }
+        if direct_live.get(fid).copied().unwrap_or(false)
+            || !reach_live.get(fid).copied().unwrap_or(false)
+        {
+            continue;
+        }
+        let seed = nearest(
+            g,
+            fid,
+            &|c| direct_live.get(c).copied().unwrap_or(false),
+            &|c| reach_live.get(c).copied().unwrap_or(false),
+        );
+        let Some(seed) = seed else { continue };
+        let (Some(seed_fn), Some(seed_file)) = (g.fns.get(seed), g.file_of(seed)) else {
+            continue;
+        };
+        let kind = site_kind.get(seed).and_then(|k| *k).unwrap_or("panic");
+        let verb = match kind {
+            "unwrap" | "expect" => format!("may `.{kind}()`"),
+            "index" => "indexes with a constant subscript".to_owned(),
+            bang => format!("may `{bang}`"),
+        };
+        diags.push(Diagnostic {
+            file: g
+                .files
+                .get(f.file)
+                .map(|fi| fi.rel.clone())
+                .unwrap_or_default(),
+            line: f.line,
+            col: f.col,
+            rule: "panic-reach",
+            message: format!(
+                "public fn `{}` can transitively reach a panic site: `{}` ({}) {}; \
+                 surface a typed error on the path or justify the invariant with an allow",
+                f.display(),
+                seed_fn.display(),
+                seed_file.rel,
+                verb
+            ),
+        });
+    }
+    (diags, surface)
+}
+
+/// Union-propagate a seed predicate backwards over the call graph to a
+/// fixpoint: a function holds if it seeds or any candidate of any of its
+/// calls holds.
+fn propagate_union(g: &Graph, seed: &[bool]) -> Vec<bool> {
+    let mut reach = seed.to_vec();
+    loop {
+        let mut changed = false;
+        for f in 0..g.fns.len() {
+            if reach.get(f).copied().unwrap_or(false) {
+                continue;
+            }
+            let hit = g.resolved.get(f).is_some_and(|calls| {
+                calls.iter().any(|cands| {
+                    cands
+                        .iter()
+                        .any(|&c| reach.get(c).copied().unwrap_or(false))
+                })
+            });
+            if hit {
+                if let Some(r) = reach.get_mut(f) {
+                    *r = true;
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            return reach;
+        }
+    }
+}
+
+/// The float-taint pass: report calls from float-confined code whose
+/// candidates all carry `f64`/`f32` in their signatures.
+pub(crate) fn float_taint(
+    g: &Graph,
+    toks: &[Vec<Tok>],
+    classes: &[FileClass],
+    allows: &[Vec<AllowDirective>],
+) -> Vec<Diagnostic> {
+    let nf = g.fns.len();
+    let mut sig_float = vec![false; nf];
+    let mut tainted = vec![false; nf];
+    for (fid, f) in g.fns.iter().enumerate() {
+        let Some(ft) = toks.get(f.file) else { continue };
+        let has = ft
+            .get(f.sig.0..f.sig.1)
+            .unwrap_or(&[])
+            .iter()
+            .any(|t| matches!(&t.kind, TokKind::Ident(s) if s == "f64" || s == "f32"));
+        if let Some(s) = sig_float.get_mut(fid) {
+            *s = has;
+        }
+        if has {
+            let sanctioned = allows.get(f.file).is_some_and(|fa| {
+                allowed_span(
+                    fa,
+                    Rule::FloatTaint,
+                    f.line,
+                    range_end_line(ft, f.sig, f.line),
+                )
+            });
+            if let Some(t) = tainted.get_mut(fid) {
+                *t = !sanctioned;
+            }
+        }
+    }
+    let mut diags = Vec::new();
+    for (fid, f) in g.fns.iter().enumerate() {
+        // Callers that themselves declare floats are rule F's business
+        // (they carry an allow or are outside the confined zone). A file
+        // under `allow-file(float)` is a declared float zone — laundering
+        // a float *into* it is moot, so taint findings are skipped too.
+        if !classes.get(f.file).is_some_and(|c| c.float)
+            || sig_float.get(fid).copied().unwrap_or(false)
+        {
+            continue;
+        }
+        let file_is_float_zone = allows.get(f.file).is_some_and(|fa| {
+            fa.iter().any(|a| {
+                a.target_line.is_none() && a.rules.contains(&Rule::Float) && {
+                    a.used.set(true);
+                    true
+                }
+            })
+        });
+        if file_is_float_zone {
+            continue;
+        }
+        let Some(calls) = g.resolved.get(fid) else {
+            continue;
+        };
+        for (ci, cands) in calls.iter().enumerate() {
+            if cands.is_empty()
+                || !cands
+                    .iter()
+                    .all(|&c| tainted.get(c).copied().unwrap_or(false))
+            {
+                continue;
+            }
+            let Some(call) = f.calls.get(ci) else {
+                continue;
+            };
+            let callee_file = cands
+                .first()
+                .and_then(|&c| g.file_of(c))
+                .map(|fi| fi.rel.clone())
+                .unwrap_or_default();
+            diags.push(Diagnostic {
+                file: g
+                    .files
+                    .get(f.file)
+                    .map(|fi| fi.rel.clone())
+                    .unwrap_or_default(),
+                line: call.line,
+                col: call.col,
+                rule: "float-taint",
+                message: format!(
+                    "call to `{}` ({callee_file}) whose signature carries `f64`/`f32`: the \
+                     result launders a float past the FIntv boundary (Thm 4.3); keep the \
+                     value behind `FIntv`/`Rat`, or justify with an allow",
+                    call.name
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// The determinism-taint pass: report calls from determinism-scoped code
+/// that can reach a nondeterminism site in out-of-scope code.
+pub(crate) fn determinism_taint(
+    g: &Graph,
+    toks: &[Vec<Tok>],
+    classes: &[FileClass],
+    allows: &[Vec<AllowDirective>],
+) -> Vec<Diagnostic> {
+    let nf = g.fns.len();
+    let file_sites: Vec<Vec<rules::DetSite>> =
+        toks.iter().map(|t| rules::determinism_sites(t)).collect();
+    let mut source = vec![false; nf];
+    // A definition-site allow vouches for the fn's *result*: it clears the
+    // fn as a source and blocks taint from flowing through it (barrier).
+    let mut sanctioned = vec![false; nf];
+    let mut what: Vec<Option<&'static str>> = vec![None; nf];
+    for (fid, f) in g.fns.iter().enumerate() {
+        // In-scope files are rule D's business (direct findings).
+        if classes.get(f.file).is_some_and(|c| c.determinism) || f.body.1 <= f.body.0 {
+            continue;
+        }
+        let (Some(sites), Some(ft)) = (file_sites.get(f.file), toks.get(f.file)) else {
+            continue;
+        };
+        let in_body: Vec<&rules::DetSite> = sites
+            .iter()
+            .filter(|s| s.tok >= f.body.0 && s.tok < f.body.1)
+            .collect();
+        if in_body.is_empty() {
+            continue;
+        }
+        if allows.get(f.file).is_some_and(|fa| {
+            allowed_span(
+                fa,
+                Rule::DeterminismTaint,
+                f.line,
+                range_end_line(ft, f.body, f.line),
+            )
+        }) {
+            if let Some(s) = sanctioned.get_mut(fid) {
+                *s = true;
+            }
+            continue;
+        }
+        if let Some(s) = source.get_mut(fid) {
+            *s = true;
+        }
+        if let (Some(w), Some(first)) = (what.get_mut(fid), in_body.first()) {
+            w.get_or_insert(first.what);
+        }
+    }
+    // Unanimity propagation through out-of-scope code.
+    let mut tainted = source.clone();
+    loop {
+        let mut changed = false;
+        for (fid, f) in g.fns.iter().enumerate() {
+            if tainted.get(fid).copied().unwrap_or(false)
+                || sanctioned.get(fid).copied().unwrap_or(false)
+                || classes.get(f.file).is_some_and(|c| c.determinism)
+            {
+                continue;
+            }
+            let hit = g.resolved.get(fid).is_some_and(|calls| {
+                calls.iter().any(|cands| {
+                    !cands.is_empty()
+                        && cands
+                            .iter()
+                            .all(|&c| tainted.get(c).copied().unwrap_or(false))
+                })
+            });
+            if hit {
+                if let Some(t) = tainted.get_mut(fid) {
+                    *t = true;
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut diags = Vec::new();
+    for (fid, f) in g.fns.iter().enumerate() {
+        if !classes.get(f.file).is_some_and(|c| c.determinism) {
+            continue;
+        }
+        let Some(calls) = g.resolved.get(fid) else {
+            continue;
+        };
+        for (ci, cands) in calls.iter().enumerate() {
+            if cands.is_empty()
+                || !cands
+                    .iter()
+                    .all(|&c| tainted.get(c).copied().unwrap_or(false))
+            {
+                continue;
+            }
+            let Some(call) = f.calls.get(ci) else {
+                continue;
+            };
+            let src = cands.first().and_then(|&c0| {
+                if source.get(c0).copied().unwrap_or(false) {
+                    Some(c0)
+                } else {
+                    nearest(g, c0, &|c| source.get(c).copied().unwrap_or(false), &|c| {
+                        tainted.get(c).copied().unwrap_or(false)
+                    })
+                }
+            });
+            let (src_name, src_file, src_what) = match src {
+                Some(s) => (
+                    g.fns.get(s).map(|f| f.display()).unwrap_or_default(),
+                    g.file_of(s).map(|fi| fi.rel.clone()).unwrap_or_default(),
+                    what.get(s).and_then(|w| *w).unwrap_or("HashMap"),
+                ),
+                None => (call.name.clone(), String::new(), "HashMap"),
+            };
+            diags.push(Diagnostic {
+                file: g
+                    .files
+                    .get(f.file)
+                    .map(|fi| fi.rel.clone())
+                    .unwrap_or_default(),
+                line: call.line,
+                col: call.col,
+                rule: "determinism-taint",
+                message: format!(
+                    "call to `{}` can reach nondeterministic `{src_what}` in `{src_name}` \
+                     ({src_file}): result-producing code must stay deterministic; use ordered \
+                     containers/`SeqCst` there or justify with an allow",
+                    call.name
+                ),
+            });
+        }
+    }
+    diags
+}

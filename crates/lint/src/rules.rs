@@ -1,9 +1,15 @@
-//! The four rule families, evaluated over a test-stripped token stream.
+//! The four per-file rule families, evaluated over a test-stripped token
+//! stream.
 //!
 //! Each check is a linear scan with small windows — precise enough to catch
 //! every violation class seen in this workspace's history, cheap enough to
 //! run on every commit. The documented blind spots (e.g. slice indexing
 //! with a computed subscript) are listed per rule.
+//!
+//! The panic and determinism checks are built on the exported site
+//! detectors [`panic_sites`] and [`determinism_sites`] so the
+//! interprocedural reachability passes (`reach.rs`) see exactly the same
+//! site classes the per-file rules do.
 
 use crate::lexer::{Tok, TokKind};
 use crate::FileClass;
@@ -14,10 +20,40 @@ use crate::FileClass;
 pub struct RawDiag {
     /// 1-based line.
     pub line: u32,
+    /// 1-based column.
+    pub col: u32,
     /// Rule id.
     pub rule: &'static str,
     /// Message.
     pub message: String,
+}
+
+/// A site that can panic at runtime, found by the rule-P detector.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// Index of the site's anchor token in the scanned stream.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What kind of site: `unwrap`, `expect`, a bang macro name, or
+    /// `index` for constant-subscript indexing.
+    pub what: &'static str,
+}
+
+/// A site whose value or iteration order is nondeterministic, found by the
+/// rule-D detector.
+#[derive(Debug, Clone)]
+pub struct DetSite {
+    /// Index of the site's anchor token in the scanned stream.
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// The offending name (`HashMap`, `Instant`, `Ordering::Relaxed`, …).
+    pub what: &'static str,
 }
 
 /// Run every applicable family over `toks`.
@@ -57,22 +93,23 @@ fn punct_at(toks: &[Tok], i: usize) -> Option<char> {
 /// no float literals: the outward-rounded `FIntv` filter is the only door
 /// finite precision may walk through.
 fn check_float(toks: &[Tok], out: &mut Vec<RawDiag>) {
-    for (i, t) in toks.iter().enumerate() {
+    for t in toks {
         match &t.kind {
             TokKind::Ident(s) if s == "f64" || s == "f32" => {
                 out.push(RawDiag {
                     line: t.line,
+                    col: t.col,
                     rule: "float",
                     message: format!(
                         "`{s}` outside the FIntv boundary (crates/num/src/fintv.rs, crates/fp): \
                          floats are sound only behind the outward-rounded filter (Thm 4.3)"
                     ),
                 });
-                let _ = i;
             }
             TokKind::Float => {
                 out.push(RawDiag {
                     line: t.line,
+                    col: t.col,
                     rule: "float",
                     message: "float literal outside the FIntv boundary: use `Rat`/`Int` exact \
                               arithmetic, or route through `FIntv` (Thm 4.3)"
@@ -84,50 +121,77 @@ fn check_float(toks: &[Tok], out: &mut Vec<RawDiag>) {
     }
 }
 
-/// Rule D — determinism. In result-producing crates (qe, datalog, calcf,
-/// agg): no `HashMap`/`HashSet` (iteration order is randomized per
-/// process), no `Instant`/`SystemTime` (wall-clock-dependent values), no
-/// `Ordering::Relaxed` atomics (unsynchronized cross-thread reads). This is
-/// the static twin of the workers∈{1,4} byte-equality tests.
-fn check_determinism(toks: &[Tok], out: &mut Vec<RawDiag>) {
+/// Find every nondeterminism site in `toks`: `HashMap`/`HashSet`
+/// (iteration order is randomized per process), `Instant`/`SystemTime`
+/// (wall-clock-dependent values), `Ordering::Relaxed` atomics
+/// (unsynchronized cross-thread reads).
+pub fn determinism_sites(toks: &[Tok]) -> Vec<DetSite> {
+    let mut out = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         let TokKind::Ident(s) = &t.kind else { continue };
-        let msg = match s.as_str() {
-            "HashMap" | "HashSet" => format!(
-                "`{s}` in a result-producing crate: iteration order is nondeterministic; \
-                 use `BTreeMap`/`BTreeSet` or prove the order never reaches an output"
-            ),
-            "Instant" | "SystemTime" => format!(
-                "`{s}` in a result-producing crate: wall-clock values must not influence \
-                 results (stats-only use needs an allow with that justification)"
-            ),
+        let what = match s.as_str() {
+            "HashMap" => "HashMap",
+            "HashSet" => "HashSet",
+            "Instant" => "Instant",
+            "SystemTime" => "SystemTime",
             "Relaxed"
                 if ident_at(toks, i.wrapping_sub(1)) == Some("Ordering")
                     || punct_at(toks, i.wrapping_sub(1)) == Some(':') =>
             {
-                "`Ordering::Relaxed` in a result-producing crate: relaxed atomics may \
-                 reorder observable effects; use `SeqCst` or justify why the value never \
-                 reaches an output"
-                    .to_owned()
+                "Ordering::Relaxed"
             }
             _ => continue,
         };
-        out.push(RawDiag {
+        out.push(DetSite {
+            tok: i,
             line: t.line,
+            col: t.col,
+            what,
+        });
+    }
+    out
+}
+
+/// Rule D — determinism. In result-producing crates (qe, datalog, calcf,
+/// agg, plus modp/deps/update/server): none of the [`determinism_sites`]
+/// classes may appear. This is the static twin of the workers∈{1,4}
+/// byte-equality tests.
+fn check_determinism(toks: &[Tok], out: &mut Vec<RawDiag>) {
+    for site in determinism_sites(toks) {
+        let message = match site.what {
+            "HashMap" | "HashSet" => format!(
+                "`{}` in a result-producing crate: iteration order is nondeterministic; \
+                 use `BTreeMap`/`BTreeSet` or prove the order never reaches an output",
+                site.what
+            ),
+            "Instant" | "SystemTime" => format!(
+                "`{}` in a result-producing crate: wall-clock values must not influence \
+                 results (stats-only use needs an allow with that justification)",
+                site.what
+            ),
+            _ => "`Ordering::Relaxed` in a result-producing crate: relaxed atomics may \
+                 reorder observable effects; use `SeqCst` or justify why the value never \
+                 reaches an output"
+                .to_owned(),
+        };
+        out.push(RawDiag {
+            line: site.line,
+            col: site.col,
             rule: "determinism",
-            message: msg,
+            message,
         });
     }
 }
 
-/// Rule P — panic surface. Library code must not `unwrap()`/`expect()`,
-/// must not `panic!`/`unreachable!`/`todo!`/`unimplemented!`, and must not
-/// index with a constant subscript (`v[0]` on an empty vec is the classic
-/// reachable panic). Known blind spots: computed subscripts (`v[i]`) and
-/// arithmetic overflow are out of scope for a token-level check.
-/// `self.unwrap(…)`/`self.expect(…)` are method calls on a receiver the
-/// file itself defines, not `Option`/`Result` combinators, and are skipped.
-fn check_panic(toks: &[Tok], out: &mut Vec<RawDiag>) {
+/// Find every panic-capable site in `toks`: `.unwrap()`/`.expect()`
+/// combinators, the panicking bang macros, and constant-subscript indexing
+/// (`v[0]` on an empty vec is the classic reachable panic). Known blind
+/// spots: computed subscripts (`v[i]`) and arithmetic overflow are out of
+/// scope for a token-level check. `self.unwrap(…)`/`self.expect(…)` are
+/// method calls on a receiver the file itself defines, not
+/// `Option`/`Result` combinators, and are skipped.
+pub fn panic_sites(toks: &[Tok]) -> Vec<PanicSite> {
+    let mut out = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         match &t.kind {
             TokKind::Ident(s)
@@ -136,13 +200,11 @@ fn check_panic(toks: &[Tok], out: &mut Vec<RawDiag>) {
                     && punct_at(toks, i + 1) == Some('(')
                     && ident_at(toks, i.wrapping_sub(2)) != Some("self") =>
             {
-                out.push(RawDiag {
+                out.push(PanicSite {
+                    tok: i,
                     line: t.line,
-                    rule: "panic",
-                    message: format!(
-                        "`.{s}()` in library code: surface a typed error (`?`, `ok_or_else`) \
-                         or justify the invariant with an allow"
-                    ),
+                    col: t.col,
+                    what: if s == "unwrap" { "unwrap" } else { "expect" },
                 });
             }
             TokKind::Ident(s)
@@ -152,20 +214,26 @@ fn check_panic(toks: &[Tok], out: &mut Vec<RawDiag>) {
                         "panic" | "unreachable" | "todo" | "unimplemented"
                     ) =>
             {
-                out.push(RawDiag {
+                out.push(PanicSite {
+                    tok: i,
                     line: t.line,
-                    rule: "panic",
-                    message: format!(
-                        "`{s}!` in library code: return a typed error so callers can recover"
-                    ),
+                    col: t.col,
+                    what: match s.as_str() {
+                        "panic" => "panic!",
+                        "unreachable" => "unreachable!",
+                        "todo" => "todo!",
+                        _ => "unimplemented!",
+                    },
                 });
             }
             // `recv[<int>]`: constant-subscript indexing of a value.
             TokKind::Punct('[')
                 if matches!(toks.get(i + 1).map(|t| &t.kind), Some(TokKind::Int))
                     && punct_at(toks, i + 2) == Some(']')
-                    && (matches!(toks.get(i.wrapping_sub(1)).map(|t| &t.kind), Some(TokKind::Ident(_)))
-                        || punct_at(toks, i.wrapping_sub(1)) == Some(')')
+                    && (matches!(
+                        toks.get(i.wrapping_sub(1)).map(|t| &t.kind),
+                        Some(TokKind::Ident(_))
+                    ) || punct_at(toks, i.wrapping_sub(1)) == Some(')')
                         || punct_at(toks, i.wrapping_sub(1)) == Some(']'))
                     // `let [a] = …` patterns and attr paths never have an
                     // expression receiver, so the receiver check suffices;
@@ -175,17 +243,44 @@ fn check_panic(toks: &[Tok], out: &mut Vec<RawDiag>) {
                         Some("in" | "if" | "while" | "for" | "return" | "else" | "match")
                     ) =>
             {
-                out.push(RawDiag {
+                out.push(PanicSite {
+                    tok: i,
                     line: t.line,
-                    rule: "panic",
-                    message: "constant-subscript indexing in library code: panics when the \
-                              container is short; use `.first()`/`.get(n)` or justify the \
-                              length invariant with an allow"
-                        .to_owned(),
+                    col: t.col,
+                    what: "index",
                 });
             }
             _ => {}
         }
+    }
+    out
+}
+
+/// Rule P — panic surface. Library code must not contain any
+/// [`panic_sites`] class directly; the interprocedural twin (`panic-reach`)
+/// extends this to transitive calls.
+fn check_panic(toks: &[Tok], out: &mut Vec<RawDiag>) {
+    for site in panic_sites(toks) {
+        let message = match site.what {
+            "unwrap" | "expect" => format!(
+                "`.{}()` in library code: surface a typed error (`?`, `ok_or_else`) \
+                 or justify the invariant with an allow",
+                site.what
+            ),
+            "index" => "constant-subscript indexing in library code: panics when the \
+                        container is short; use `.first()`/`.get(n)` or justify the \
+                        length invariant with an allow"
+                .to_owned(),
+            bang => {
+                format!("`{bang}` in library code: return a typed error so callers can recover")
+            }
+        };
+        out.push(RawDiag {
+            line: site.line,
+            col: site.col,
+            rule: "panic",
+            message,
+        });
     }
 }
 
@@ -197,6 +292,8 @@ fn check_panic(toks: &[Tok], out: &mut Vec<RawDiag>) {
 /// construction, i.e. every polynomial arithmetic op) takes an interner
 /// shard lock itself, so calling it — or naming the `intern` module in an
 /// expression — while a guard is live nests two lock scopes the same way.
+/// The interprocedural twin (`lock-order`, `locks.rs`) checks the global
+/// acquisition-order graph for cycles.
 fn check_lock(toks: &[Tok], out: &mut Vec<RawDiag>) {
     // (a) nested acquisition in one statement.
     let mut locks_in_stmt = 0usize;
@@ -226,6 +323,7 @@ fn check_lock(toks: &[Tok], out: &mut Vec<RawDiag>) {
                 if locks_in_stmt >= 2 {
                     out.push(RawDiag {
                         line: toks[i].line,
+                        col: toks[i].col,
                         rule: "lock",
                         message: "second `.lock()` within one statement: nested guard \
                                   lifetimes invite lock-order inversion; split the statement \
@@ -280,6 +378,7 @@ fn check_lock(toks: &[Tok], out: &mut Vec<RawDiag>) {
                 let held: Vec<&str> = guards.iter().map(|(g, _)| g.as_str()).collect();
                 out.push(RawDiag {
                     line: toks[i].line,
+                    col: toks[i].col,
                     rule: "lock",
                     message: format!(
                         "`par_map_result` fan-out while mutex guard(s) `{}` may still be \
@@ -302,6 +401,7 @@ fn check_lock(toks: &[Tok], out: &mut Vec<RawDiag>) {
                 let held: Vec<&str> = guards.iter().map(|(g, _)| g.as_str()).collect();
                 out.push(RawDiag {
                     line: toks[i].line,
+                    col: toks[i].col,
                     rule: "lock",
                     message: format!(
                         "interner entry (`{}`) while mutex guard(s) `{}` may still be live: \

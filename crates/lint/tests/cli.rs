@@ -1,0 +1,112 @@
+//! End-to-end tests for the `cdb-lint` binary: JSON report stability,
+//! baseline ratchet exit codes, and `--write-baseline` round-tripping.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cdb-lint"))
+        .args(args)
+        .output()
+        .expect("spawn cdb-lint")
+}
+
+#[test]
+fn json_report_parses_and_is_stable_across_runs() {
+    let root = workspace_root();
+    let root = root.to_str().expect("utf-8 workspace path");
+    let a = run(&["--root", root, "--format", "json"]);
+    let b = run(&["--root", root, "--format", "json"]);
+    assert!(
+        a.status.success(),
+        "workspace lint should be clean: {}",
+        String::from_utf8_lossy(&a.stdout)
+    );
+    assert_eq!(a.stdout, b.stdout, "JSON report must be deterministic");
+
+    let text = String::from_utf8(a.stdout).expect("report is utf-8");
+    let doc = cdb_lint::baseline::parse(&text).expect("report is well-formed JSON");
+    assert_eq!(doc.get("version").and_then(|v| v.as_int()), Some(1));
+    let summary = doc.get("summary").expect("summary object");
+    assert_eq!(summary.get("new").and_then(|v| v.as_int()), Some(0));
+    assert_eq!(summary.get("stale").and_then(|v| v.as_int()), Some(0));
+    assert!(
+        doc.get("files_scanned")
+            .and_then(|v| v.as_int())
+            .is_some_and(|n| n > 40),
+        "report should cover the whole workspace"
+    );
+    assert!(
+        doc.get("lock_order_edges")
+            .and_then(|v| v.as_arr())
+            .is_some_and(|a| !a.is_empty()),
+        "the serving stack should contribute lock-order edges"
+    );
+}
+
+#[test]
+fn write_baseline_then_ratchet_is_clean() {
+    let root = workspace_root();
+    let root_s = root.to_str().expect("utf-8 workspace path");
+    let dir = std::env::temp_dir().join(format!("cdb-lint-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let base = dir.join("baseline.json");
+    let base_s = base.to_str().expect("utf-8 temp path");
+
+    let w = run(&["--root", root_s, "--baseline", base_s, "--write-baseline"]);
+    assert!(w.status.success(), "--write-baseline should exit 0");
+    let written = std::fs::read_to_string(&base).expect("baseline written");
+    cdb_lint::baseline::parse_baseline(&written).expect("baseline is parseable");
+
+    let r = run(&["--root", root_s, "--baseline", base_s]);
+    assert!(
+        r.status.success(),
+        "ratchet against a just-written baseline must pass: {}",
+        String::from_utf8_lossy(&r.stdout)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_baseline_entry_fails_the_ratchet() {
+    let root = workspace_root();
+    let root_s = root.to_str().expect("utf-8 workspace path");
+    let dir = std::env::temp_dir().join(format!("cdb-lint-cli-stale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let base = dir.join("baseline.json");
+    let stale = cdb_lint::baseline::write_baseline(&[cdb_lint::baseline::Entry {
+        file: "crates/ghost/src/lib.rs".into(),
+        rule: "panic".into(),
+        message: "a finding that no longer exists".into(),
+    }]);
+    std::fs::write(&base, stale).expect("write stale baseline");
+
+    let r = run(&[
+        "--root",
+        root_s,
+        "--baseline",
+        base.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(
+        r.status.code(),
+        Some(1),
+        "a stale baseline entry must fail the ratchet"
+    );
+    let out = String::from_utf8_lossy(&r.stdout);
+    assert!(out.contains("stale"), "output should name the stale entry");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_rule_in_flag_is_a_usage_error() {
+    let r = run(&["--format", "yaml"]);
+    assert_eq!(r.status.code(), Some(2), "bad --format is a usage error");
+}

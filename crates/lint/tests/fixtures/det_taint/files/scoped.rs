@@ -1,0 +1,11 @@
+//@ path: crates/qe/src/dtscoped.rs
+//! Fixture: determinism-scoped code calling an out-of-scope helper that
+//! iterates a `HashMap` — rule D cannot see it, determinism-taint can.
+
+pub fn resolve(k: Key) -> Val {
+    table::fetch(k)
+}
+
+pub fn resolve_sanctioned(k: Key) -> Val {
+    table::fetch_keyed(k)
+}

@@ -1,0 +1,23 @@
+//@ path: crates/poly/src/table.rs
+//! Fixture: out-of-scope helpers. `fetch` folds over HashMap iteration
+//! order (a real source); `fetch_keyed` is sanctioned at the definition.
+
+pub fn fetch(k: Key) -> Val {
+    let m: HashMap<Key, Val> = build(k);
+    let mut acc = Val::default();
+    for (_, v) in &m {
+        acc = acc.merge(v);
+    }
+    acc
+}
+
+// cdb-lint: allow(determinism-taint) — keyed lookup only; iteration order
+// never reaches the returned value
+pub fn fetch_keyed(k: Key) -> Val {
+    let m: HashMap<Key, Val> = build(k);
+    m.get(&k).cloned().unwrap_or_default()
+}
+
+fn build(_k: Key) -> HashMap<Key, Val> {
+    HashMap::new()
+}

@@ -1,0 +1,12 @@
+//@ path: crates/qe/src/ftcaller.rs
+//! Fixture: float-confined code that never names `f64` but calls a helper
+//! whose signature carries one — the laundering hole float-taint closes.
+
+pub fn cell_width(a: &Alg) -> Rat {
+    let w = approx_width(a);
+    quantize(w)
+}
+
+fn quantize(_w: W) -> Rat {
+    Rat::default()
+}

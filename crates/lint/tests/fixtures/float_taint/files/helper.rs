@@ -1,0 +1,8 @@
+//@ path: crates/qe/src/fthelper.rs
+//! Fixture: the float-signature helper. Rule F is satisfied by the allow,
+//! but calling it from confined code is still a taint finding.
+
+// cdb-lint: allow(float) — fixture: approximate width probe
+pub fn approx_width(_a: &Alg) -> f64 {
+    0
+}

@@ -1,0 +1,22 @@
+//@ path: crates/srv/src/helper.rs
+//! Fixture: `backward` takes the admission queue first and the master cell
+//! under it — the opposite order to `flow::forward`, closing the cycle.
+
+pub fn grab_queue(s: &S) {
+    let q = s.queue.lock().unwrap_or_else(recover);
+    consume(&q);
+}
+
+pub fn backward(s: &S) {
+    let q = s.queue.lock().unwrap_or_else(recover);
+    let g = s.master.lock().unwrap_or_else(recover);
+    consume_both(&g, &q);
+}
+
+fn consume(_q: &Q) {}
+
+fn consume_both(_g: &G, _q: &Q) {}
+
+fn recover(e: E) -> G {
+    e.into_inner()
+}

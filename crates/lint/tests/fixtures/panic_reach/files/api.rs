@@ -1,0 +1,25 @@
+//@ path: crates/core/src/api.rs
+//! Fixture: a public function with no panic site of its own that reaches
+//! one through a private helper — the per-file rule P flags the site, the
+//! panic-reach pass flags the public entry point.
+
+pub fn largest(values: &[i64]) -> i64 {
+    inner_max(values)
+}
+
+fn inner_max(values: &[i64]) -> i64 {
+    values.iter().copied().max().unwrap()
+}
+
+/// A justified invariant does not propagate: this entry point stays clean.
+pub fn first_or_zero(values: &[i64]) -> i64 {
+    checked_first(values)
+}
+
+fn checked_first(values: &[i64]) -> i64 {
+    if values.is_empty() {
+        return 0;
+    }
+    // cdb-lint: allow(panic) — emptiness checked on the line above
+    values.first().copied().unwrap()
+}

@@ -46,6 +46,8 @@ static FILTER_ENABLED: AtomicBool = AtomicBool::new(true);
 
 /// Is the float filter currently enabled? (Default: yes.)
 #[must_use]
+// cdb-lint: allow(determinism-taint) — the flag only gates a result-transparent
+// fast path: on either branch the exact path confirms the same bytes
 pub fn filter_enabled() -> bool {
     FILTER_ENABLED.load(Ordering::Relaxed)
 }
@@ -61,17 +63,21 @@ pub fn set_filter_enabled(enabled: bool) {
 }
 
 /// Record one filter hit (float enclosure settled the sign).
+// cdb-lint: allow(determinism-taint) — stats counter; never read on a result path
 pub fn note_filter_hit() {
     FILTER_HITS.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Record one filter fallback (straddle; exact certification ran).
+// cdb-lint: allow(determinism-taint) — stats counter; never read on a result path
 pub fn note_filter_fallback() {
     FILTER_FALLBACKS.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Snapshot of the process-global `(hits, fallbacks)` filter counters.
 #[must_use]
+// cdb-lint: allow(determinism-taint) — diagnostics snapshot; callers report it,
+// results never depend on it
 pub fn filter_counters() -> (u64, u64) {
     (
         FILTER_HITS.load(Ordering::Relaxed),

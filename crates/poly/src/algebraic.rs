@@ -120,6 +120,9 @@ impl RealAlg {
         self.loc
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+            // cdb-lint: allow(lock-order) — resolves to RootLocation::interval,
+            // which takes no lock; the RealAlg::interval candidate is the
+            // method-name union's over-approximation, not a real recursion
             .interval()
     }
 

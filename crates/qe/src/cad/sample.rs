@@ -56,6 +56,8 @@ impl fmt::Debug for Coord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Coord::Rat(r) => write!(f, "{r}"),
+            // cdb-lint: allow(float-taint) — Debug rendering only; the float
+            // goes to the formatter, never into result bytes
             Coord::Alg(a) => write!(f, "≈{:.6}", a.to_f64()),
         }
     }

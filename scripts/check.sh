@@ -11,8 +11,12 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cdb-lint (exact-arithmetic hygiene, determinism, panic surface)"
+echo "==> cdb-lint (hygiene rules + interprocedural passes, baseline ratchet)"
 cargo run -p cdb-lint --
+
+echo "==> cdb-lint JSON report is parseable and stable across runs"
+cargo run -q -p cdb-lint -- --format json > lint_report.json
+cargo run -q -p cdb-lint -- --format json | cmp - lint_report.json
 
 echo "==> tier-1 verify: cargo build --release && cargo test -q"
 cargo build --release
