@@ -22,10 +22,13 @@ pub fn volume(
     eps: &Rat,
     ctx: &QeContext,
 ) -> Result<AggValue, AggError> {
-    // Project onto x: ∃y∃z rel — gives the integration range(s).
+    // Project onto x: ∃y∃z rel — gives the integration range(s). Routed
+    // through the per-disjunct planner (DESIGN.md §16): linear slabs go
+    // through FM/substitution, curved ones fall back to CAD per disjunct.
     let matrix = cdb_constraints::formula::relation_to_formula(rel).to_nnf();
-    let shadow = cdb_qe::cad::eliminate(
+    let shadow = cdb_qe::plan::eliminate_prefix(
         &matrix,
+        rel.clone(),
         &[(Quantifier::Exists, yvar), (Quantifier::Exists, zvar)],
         &[xvar],
         rel.nvars(),

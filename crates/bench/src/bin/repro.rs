@@ -1,4 +1,4 @@
-//! `repro` — regenerate every table/figure of the reproduction (E1–E22).
+//! `repro` — regenerate every table/figure of the reproduction (E1–E23).
 //!
 //! Usage: `cargo run --release -p cdb-bench --bin repro [-- e1 e2 …]`
 //! (no arguments = all experiments). Each experiment prints the paper's
@@ -10,14 +10,21 @@
 //! representation comparison to `BENCH_poly.json`, and E20 its modular
 //! resultant kernel comparison to `BENCH_resultant.json`, E21 its
 //! incremental-view-maintenance vs full-recompute comparison to
-//! `BENCH_ivm.json`, and E22 its server throughput/latency load test to
-//! `BENCH_server.json`, all at the repository root.
+//! `BENCH_ivm.json`, E22 its server throughput/latency load test to
+//! `BENCH_server.json`, and E23 its moving-objects alibi comparison
+//! (per-disjunct planner vs forced CAD vs closed-form oracle) to
+//! `BENCH_alibi.json`, all at the repository root.
 
 use cdb_approx::modules::{approximate_on_abase, ApproxMethod};
 use cdb_approx::{sup_error, ABase, AnalyticFn};
-use cdb_bench::{gen_linear_relation, gen_poly_relation, gen_upoly, paper_db, time_median};
+use cdb_bench::{
+    gen_linear_relation, gen_poly_relation, gen_trajectories, gen_upoly, paper_db, time_median,
+    Trajectories,
+};
 use cdb_calcf::CalcFEngine;
-use cdb_constraints::{Atom, ConstraintRelation, Database, Formula, GeneralizedTuple, RelOp};
+use cdb_constraints::{
+    Atom, ConstraintRelation, Database, Formula, GeneralizedTuple, Quantifier, RelOp,
+};
 use cdb_datalog::{Literal, Program, Rule};
 use cdb_fp::doubling::{add2k_hi, add2k_lo, mul2k_words, Pair};
 use cdb_fp::pathologies::{
@@ -26,17 +33,17 @@ use cdb_fp::pathologies::{
 use cdb_fp::semantics::{compare_semantics, fp_evaluate_query, input_bit_length, FpOutcome};
 use cdb_num::{FkParams, Int, Rat, Zk};
 use cdb_poly::{isolate_real_roots, refine_to_width, MPoly, UPoly};
-use cdb_qe::{evaluate_query, QeContext};
+use cdb_qe::{evaluate_query, PlanMode, QeContext};
 
 // Bench driver, not library code: a bad experiment id should abort the run
 // immediately with the conventional usage exit code.
 #[allow(clippy::disallowed_methods)]
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let known: Vec<String> = (1..=22).map(|i| format!("e{i}")).collect();
+    let known: Vec<String> = (1..=23).map(|i| format!("e{i}")).collect();
     for a in &args {
         if a != "all" && !known.iter().any(|k| k.eq_ignore_ascii_case(a)) {
-            eprintln!("unknown experiment id `{a}` (expected e1..e22 or all)");
+            eprintln!("unknown experiment id `{a}` (expected e1..e23 or all)");
             std::process::exit(2);
         }
     }
@@ -107,6 +114,9 @@ fn main() {
     }
     if want("e22") {
         e22();
+    }
+    if want("e23") {
+        e23();
     }
 }
 
@@ -691,21 +701,41 @@ fn e16() {
 
     // Workload B: multi-disjunct CAD — 6 random conics; the lifting phase
     // fans parent cells out across workers and the memo-cache absorbs the
-    // repeated resultants/discriminants/Sturm chains.
+    // repeated resultants/discriminants/Sturm chains. The per-disjunct
+    // planner would route these conics through the quadratic shortcut, so
+    // the timed runs pin `ForceCAD` (this workload measures the CAD
+    // fan-out, not the planner); one extra Auto run records what the
+    // planner does instead — its strategy histogram lands in the JSON.
     {
         let rel = gen_poly_relation(79, 6, 2, 3);
-        let run = |workers: usize| {
+        let run = |workers: usize, mode: PlanMode| {
             let mut db = Database::new();
             db.insert("R", rel.clone());
             let q = Formula::exists(1, Formula::Rel("R".into(), vec![0, 1]));
-            let ctx = QeContext::exact().with_workers(workers);
+            let ctx = QeContext::exact()
+                .with_workers(workers)
+                .with_plan_mode(mode);
             let out = evaluate_query(&db, &q, 2, &ctx).unwrap();
             (out.relation, ctx)
         };
-        let (out_seq, _) = run(1);
-        let (out_par, ctx_par) = run(par_workers);
+        let (out_seq, _) = run(1, PlanMode::ForceCAD);
+        let (out_par, ctx_par) = run(par_workers, PlanMode::ForceCAD);
         let equal = out_seq == out_par;
         assert!(equal, "parallel CAD elimination diverged from sequential");
+        let (out_planned, ctx_planned) = run(par_workers, PlanMode::Auto);
+        let plan = ctx_planned.plan_stats();
+        // The planner output may differ syntactically (sign conditions vs
+        // CAD cells); compare semantically on a probe grid.
+        let planned_matches_cad = (-6i64..=6).all(|i| {
+            let x = Rat::new(Int::from(i), Int::from(2i64)); // step 1/2 over [-3, 3]
+            let p = [x, Rat::zero()];
+            out_planned.satisfied_at(&p) == out_par.satisfied_at(&p)
+        });
+        assert!(planned_matches_cad, "planned QE diverged from forced CAD");
+        println!(
+            "  planner (Auto) on the same workload: {} subst / {} FM / {} quad / {} CAD disjuncts, matches CAD: {planned_matches_cad}",
+            plan.subst, plan.fm, plan.quad, plan.cad
+        );
         let hits = ctx_par.cache.hits();
         let misses = ctx_par.cache.misses();
         let hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
@@ -723,18 +753,18 @@ fn e16() {
         for rep in 0..reps {
             let (t_seq, t_par) = if rep % 2 == 0 {
                 let a = time_median(3, || {
-                    let _ = run(1);
+                    let _ = run(1, PlanMode::ForceCAD);
                 });
                 let b = time_median(3, || {
-                    let _ = run(par_workers);
+                    let _ = run(par_workers, PlanMode::ForceCAD);
                 });
                 (a, b)
             } else {
                 let b = time_median(3, || {
-                    let _ = run(par_workers);
+                    let _ = run(par_workers, PlanMode::ForceCAD);
                 });
                 let a = time_median(3, || {
-                    let _ = run(1);
+                    let _ = run(1, PlanMode::ForceCAD);
                 });
                 (a, b)
             };
@@ -756,20 +786,26 @@ fn e16() {
             hit_rate * 100.0
         );
         entries.push(format!(
-            "{{\"name\": \"cad_6_conic_disjuncts\", \"disjuncts\": 6, \"workers_seq\": 1, \"workers_par\": {par_workers}, \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {speedup:.3}, \"outputs_equal\": {equal}, \"cache_hits\": {hits}, \"cache_misses\": {misses}, \"cache_hit_rate\": {hit_rate:.3}, \"resultant_prs\": {}, \"resultant_eval_interp\": {}, \"resultant_crt\": {}, \"resultant_fallbacks\": {}}}",
+            "{{\"name\": \"cad_6_conic_disjuncts\", \"disjuncts\": 6, \"workers_seq\": 1, \"workers_par\": {par_workers}, \"seq_ms\": {:.3}, \"par_ms\": {:.3}, \"speedup\": {speedup:.3}, \"outputs_equal\": {equal}, \"cache_hits\": {hits}, \"cache_misses\": {misses}, \"cache_hit_rate\": {hit_rate:.3}, \"resultant_prs\": {}, \"resultant_eval_interp\": {}, \"resultant_crt\": {}, \"resultant_fallbacks\": {}, \"plan_subst\": {}, \"plan_fm\": {}, \"plan_quad\": {}, \"plan_cad\": {}, \"planned_matches_cad\": {planned_matches_cad}}}",
             t_seq.as_secs_f64() * 1e3,
             t_par.as_secs_f64() * 1e3,
             strat.prs,
             strat.eval_interp,
             strat.crt,
-            strat.fallbacks
+            strat.fallbacks,
+            plan.subst,
+            plan.fm,
+            plan.quad,
+            plan.cad
         ));
     }
 
     // Workload C: repeated queries over the same stored relation with one
     // shared context (the server scenario) — the memo-cache absorbs every
     // projection resultant/discriminant after the first query, a speedup
-    // that holds even on a single hardware thread.
+    // that holds even on a single hardware thread. Pinned to `ForceCAD`
+    // for the same reason as workload B: the cache under test is the CAD
+    // projection cache.
     {
         let rel = gen_poly_relation(85, 6, 2, 3);
         let reps = 4usize;
@@ -782,11 +818,15 @@ fn e16() {
         };
         let t_cold = time_median(3, || {
             for _ in 0..reps {
-                let ctx = QeContext::exact().with_workers(1);
+                let ctx = QeContext::exact()
+                    .with_workers(1)
+                    .with_plan_mode(PlanMode::ForceCAD);
                 let _ = query_once(&ctx);
             }
         });
-        let shared = QeContext::exact().with_workers(1);
+        let shared = QeContext::exact()
+            .with_workers(1)
+            .with_plan_mode(PlanMode::ForceCAD);
         let baseline = query_once(&shared); // warm the cache once
         let t_warm = time_median(3, || {
             for _ in 0..reps {
@@ -2276,5 +2316,222 @@ fn e22() {
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_server.json");
     std::fs::write(path, &json).expect("write BENCH_server.json");
+    println!("  wrote {path}");
+}
+
+/// Relative motion of objects `i` and `j` during slice `s`:
+/// `Δp + Δv·u` with `u = t − s ∈ [0, 1]`, as rational pairs.
+fn relative_motion(traj: &Trajectories, i: usize, j: usize, s: usize) -> ((Rat, Rat), (Rat, Rat)) {
+    let (pix, piy) = &traj.pos[i][s];
+    let (pjx, pjy) = &traj.pos[j][s];
+    let (vix, viy) = &traj.vel[i][s];
+    let (vjx, vjy) = &traj.vel[j][s];
+    ((pix - pjx, piy - pjy), (vix - vjx, viy - vjy))
+}
+
+/// Every 4th slice is a *sighting* slice: a mid-slice radar ping pins the
+/// time exactly (`t = s + 1/2`), so only proximity at the ping counts.
+fn is_sighting_slice(s: usize) -> bool {
+    s % 4 == 3
+}
+
+/// The alibi sentence matrix for one object pair over one time variable
+/// `t` (ring index 0): a disjunct per slice, quadratic in `t` with a
+/// constant leading coefficient `|Δv|²` (zero for convoy slices — those
+/// disjuncts are linear), plus the slice bounds. Sighting slices carry a
+/// linear equality instead of bounds.
+fn alibi_matrix(traj: &Trajectories, i: usize, j: usize, r2: &Rat) -> Formula {
+    let n = 1;
+    let t = MPoly::var(0, n);
+    let slices = traj.pos[i].len();
+    let mut disjuncts = Vec::with_capacity(slices);
+    for s in 0..slices {
+        let ((dpx, dpy), (dvx, dvy)) = relative_motion(traj, i, j, s);
+        let s_rat = Rat::from(s as i64);
+        let u = &t - &MPoly::constant(s_rat.clone(), n); // u = t − s
+        let dx = &MPoly::constant(dpx, n) + &u.scale(&dvx);
+        let dy = &MPoly::constant(dpy, n) + &u.scale(&dvy);
+        let q = &(&(&dx * &dx) + &(&dy * &dy)) - &MPoly::constant(r2.clone(), n);
+        let mut atoms = vec![Atom::new(q, RelOp::Le)];
+        if is_sighting_slice(s) {
+            let half = Rat::new(Int::from(1i64), Int::from(2i64));
+            let ping = &s_rat + &half;
+            atoms.push(Atom::new(&t - &MPoly::constant(ping, n), RelOp::Eq));
+        } else {
+            atoms.push(Atom::new(
+                &MPoly::constant(s_rat.clone(), n) - &t,
+                RelOp::Le,
+            ));
+            let s1 = &s_rat + &Rat::one();
+            atoms.push(Atom::new(&t - &MPoly::constant(s1, n), RelOp::Le));
+        }
+        disjuncts.push(Formula::And(atoms.into_iter().map(Formula::Atom).collect()));
+    }
+    Formula::Or(disjuncts).to_nnf()
+}
+
+/// Closed-form rational oracle for the alibi sentence: per slice, minimize
+/// `q(u) = A·u² + B·u + C` over `u ∈ [0, 1]` (endpoints, plus the vertex
+/// `u* = −B/2A` when it lies inside) — or evaluate at the ping for
+/// sighting slices. Pure `Rat` arithmetic, no QE involved.
+fn alibi_oracle(traj: &Trajectories, i: usize, j: usize, r2: &Rat) -> bool {
+    let slices = traj.pos[i].len();
+    let nonpos = |v: &Rat| v.sign() != cdb_num::Sign::Pos;
+    for s in 0..slices {
+        let ((dpx, dpy), (dvx, dvy)) = relative_motion(traj, i, j, s);
+        let a = &(&dvx * &dvx) + &(&dvy * &dvy);
+        let b = &(&(&dpx * &dvx) + &(&dpy * &dvy)) + &(&(&dpx * &dvx) + &(&dpy * &dvy));
+        let c = &(&(&dpx * &dpx) + &(&dpy * &dpy)) - r2;
+        let q_at = |u: &Rat| &(&(&(&a * u) + &b) * u) + &c;
+        if is_sighting_slice(s) {
+            let half = Rat::new(Int::from(1i64), Int::from(2i64));
+            if nonpos(&q_at(&half)) {
+                return true;
+            }
+            continue;
+        }
+        if nonpos(&q_at(&Rat::zero())) || nonpos(&q_at(&Rat::one())) {
+            return true;
+        }
+        if a.sign() == cdb_num::Sign::Pos {
+            let vertex = &(-&b) / &(&a + &a); // u* = −B / 2A
+            if vertex.sign() != cdb_num::Sign::Neg && vertex <= Rat::one() && nonpos(&q_at(&vertex))
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// E23 — moving objects & the alibi query (ROADMAP item): N
+/// piecewise-linear trajectories × T unit time slices with uncertainty
+/// beads of radius R/2 around each object; for every object pair, the
+/// sentence ∃t ⋁ₛ (s ≤ t ≤ s+1 ∧ |Δpₛ + Δvₛ·(t−s)|² ≤ R²) asks whether
+/// the beads ever touched. Per-disjunct planned QE vs the forced
+/// whole-relation CAD vs a closed-form rational oracle; results land in
+/// `BENCH_alibi.json`.
+fn e23() {
+    header(
+        "E23",
+        "moving objects: alibi sentences — per-disjunct planner vs forced CAD vs closed-form oracle",
+    );
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let par_workers = hw.max(2);
+    let objects = 10usize;
+    let slices = 12usize;
+    let r2 = Rat::from(4i64); // R² (beads touch within distance 2)
+    let traj = gen_trajectories(123, objects, slices);
+    let pairs: Vec<(usize, usize)> = (0..objects)
+        .flat_map(|i| ((i + 1)..objects).map(move |j| (i, j)))
+        .collect();
+    let matrices: Vec<Formula> = pairs
+        .iter()
+        .map(|&(i, j)| alibi_matrix(&traj, i, j, &r2))
+        .collect();
+    println!(
+        "  {objects} objects x {slices} slices -> {} pair sentences, {} disjuncts each",
+        pairs.len(),
+        slices
+    );
+
+    // One sweep = eliminate ∃t from every pair sentence under one context
+    // (so the strategy counters accumulate across the whole sweep).
+    let sweep = |mode: PlanMode, workers: usize| {
+        let ctx = QeContext::exact()
+            .with_workers(workers)
+            .with_plan_mode(mode);
+        let mut printed = Vec::with_capacity(matrices.len());
+        let mut verdicts = Vec::with_capacity(matrices.len());
+        for m in &matrices {
+            let rel = m.to_dnf(1).unwrap().simplify().prune_empty_boxes();
+            let out =
+                cdb_qe::plan::eliminate_prefix(m, rel, &[(Quantifier::Exists, 0)], &[], 1, &ctx)
+                    .unwrap();
+            verdicts.push(out.satisfied_at(&[Rat::zero()]));
+            printed.push(format!("{out}"));
+        }
+        (ctx, printed, verdicts)
+    };
+
+    let (ctx_auto, out_auto1, v_auto) = sweep(PlanMode::Auto, 1);
+    let (_, out_auto_par, v_auto_par) = sweep(PlanMode::Auto, par_workers);
+    let (_, out_cad1, v_cad) = sweep(PlanMode::ForceCAD, 1);
+    let (_, out_cad_par, v_cad_par) = sweep(PlanMode::ForceCAD, par_workers);
+    let all_outputs_equal = out_auto1 == out_auto_par
+        && out_cad1 == out_cad_par
+        && v_auto == v_auto_par
+        && v_cad == v_cad_par
+        && v_auto == v_cad;
+    assert!(
+        all_outputs_equal,
+        "planned / forced-CAD alibi verdicts diverged across modes or worker counts"
+    );
+    let oracle: Vec<bool> = pairs
+        .iter()
+        .map(|&(i, j)| alibi_oracle(&traj, i, j, &r2))
+        .collect();
+    let oracle_matches = oracle == v_auto;
+    assert!(
+        oracle_matches,
+        "QE verdicts diverged from the closed-form oracle"
+    );
+    let close_pairs = v_auto.iter().filter(|&&v| v).count();
+    let stats = ctx_auto.plan_stats();
+    println!(
+        "  planner histogram: {} subst / {} FM / {} quad / {} CAD disjunct eliminations",
+        stats.subst, stats.fm, stats.quad, stats.cad
+    );
+    println!(
+        "  {} of {} pairs were ever within distance 2; oracle agrees: {oracle_matches}",
+        close_pairs,
+        pairs.len()
+    );
+
+    // Paired timing, median of per-pair ratios (same protocol as E16):
+    // forced-CAD sweep vs planned sweep, both at the parallel worker count.
+    let timed_sweep = |mode: PlanMode| {
+        let _ = sweep(mode, par_workers);
+    };
+    let reps = 5usize;
+    let mut cad_samples = Vec::with_capacity(reps);
+    let mut plan_samples = Vec::with_capacity(reps);
+    let mut ratios = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let (t_cad, t_plan) = if rep % 2 == 0 {
+            let a = time_median(3, || timed_sweep(PlanMode::ForceCAD));
+            let b = time_median(3, || timed_sweep(PlanMode::Auto));
+            (a, b)
+        } else {
+            let b = time_median(3, || timed_sweep(PlanMode::Auto));
+            let a = time_median(3, || timed_sweep(PlanMode::ForceCAD));
+            (a, b)
+        };
+        ratios.push(t_cad.as_secs_f64() / t_plan.as_secs_f64().max(1e-12));
+        cad_samples.push(t_cad);
+        plan_samples.push(t_plan);
+    }
+    ratios.sort_by(f64::total_cmp);
+    let speedup = ratios[reps / 2];
+    cad_samples.sort();
+    plan_samples.sort();
+    let t_cad = cad_samples[reps / 2];
+    let t_plan = plan_samples[reps / 2];
+    println!(
+        "  sweep wall time: forced CAD {t_cad:.2?}  planned {t_plan:.2?}  speedup {speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e23_moving_objects_alibi\",\n  \"hardware_threads\": {hw},\n  \"objects\": {objects},\n  \"slices\": {slices},\n  \"pairs\": {},\n  \"radius_sq\": \"{r2}\",\n  \"close_pairs\": {close_pairs},\n  \"forced_cad_ms\": {:.3},\n  \"planned_ms\": {:.3},\n  \"speedup_planned_vs_forced_cad\": {speedup:.3},\n  \"plan_subst\": {},\n  \"plan_fm\": {},\n  \"plan_quad\": {},\n  \"plan_cad\": {},\n  \"all_outputs_equal\": {all_outputs_equal},\n  \"oracle_matches\": {oracle_matches}\n}}\n",
+        pairs.len(),
+        t_cad.as_secs_f64() * 1e3,
+        t_plan.as_secs_f64() * 1e3,
+        stats.subst,
+        stats.fm,
+        stats.quad,
+        stats.cad
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_alibi.json");
+    std::fs::write(path, &json).expect("write BENCH_alibi.json");
     println!("  wrote {path}");
 }

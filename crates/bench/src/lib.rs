@@ -119,6 +119,62 @@ pub fn gen_upoly(seed: u64, degree: usize, bits: u32) -> cdb_poly::UPoly {
     cdb_poly::UPoly::from_ints(&coeffs)
 }
 
+/// A moving-objects scenario (E23): piecewise-linear 2-D trajectories over
+/// unit time slices. `pos[k][s]` is object `k`'s position at the start of
+/// slice `s`; `vel[k][s]` its (constant) velocity during slice `s`. Both
+/// are integer-valued rationals, so every derived constraint is exact.
+pub struct Trajectories {
+    /// Slice-start positions, `objects × slices` (the position during
+    /// slice `s` is `pos[k][s] + vel[k][s]·(t − s)`).
+    pub pos: Vec<Vec<(Rat, Rat)>>,
+    /// Per-slice velocities, `objects × slices`.
+    pub vel: Vec<Vec<(Rat, Rat)>>,
+}
+
+/// Generate `objects` random trajectories over `slices` unit slices.
+/// About a quarter of the slices put an object in *convoy* with its
+/// predecessor (identical velocity), so the relative motion there is
+/// constant — the disjuncts the planner's FM class picks up.
+#[must_use]
+pub fn gen_trajectories(seed: u64, objects: usize, slices: usize) -> Trajectories {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ivel: Vec<Vec<(i64, i64)>> = Vec::with_capacity(objects);
+    let fresh = |rng: &mut StdRng| (rng.gen_range(-3i64..=3), rng.gen_range(-3i64..=3));
+    for _ in 0..objects {
+        let row = match ivel.last() {
+            Some(prev) => prev
+                .iter()
+                .map(|&v| {
+                    if rng.gen_bool(0.25) {
+                        v
+                    } else {
+                        fresh(&mut rng)
+                    }
+                })
+                .collect(),
+            None => (0..slices).map(|_| fresh(&mut rng)).collect(),
+        };
+        ivel.push(row);
+    }
+    let mut pos = Vec::with_capacity(objects);
+    let mut vel = Vec::with_capacity(objects);
+    for row in &ivel {
+        let mut x = rng.gen_range(-12i64..=12);
+        let mut y = rng.gen_range(-12i64..=12);
+        let mut ps = Vec::with_capacity(slices);
+        let mut vs = Vec::with_capacity(slices);
+        for &(vx, vy) in row {
+            ps.push((Rat::from(x), Rat::from(y)));
+            vs.push((Rat::from(vx), Rat::from(vy)));
+            x += vx;
+            y += vy;
+        }
+        pos.push(ps);
+        vel.push(vs);
+    }
+    Trajectories { pos, vel }
+}
+
 /// Simple wall-clock measurement helper (median of `reps` runs).
 pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> std::time::Duration {
     let mut samples = Vec::with_capacity(reps);

@@ -155,6 +155,10 @@ pub struct CalcFEngine {
     ///
     /// [`Arc`]: std::sync::Arc
     pub cache: cdb_qe::AlgebraicCache,
+    /// Strategy selection for the per-disjunct QE planner (DESIGN.md §16).
+    /// `Auto` picks the cheapest applicable eliminator per disjunct; the
+    /// `Force*` modes exist for differential testing and benchmarks.
+    pub plan_mode: cdb_qe::PlanMode,
 }
 
 impl Default for CalcFEngine {
@@ -167,6 +171,7 @@ impl Default for CalcFEngine {
             budget_bits: None,
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             cache: cdb_qe::AlgebraicCache::default(),
+            plan_mode: cdb_qe::PlanMode::default(),
         }
     }
 }
@@ -254,7 +259,8 @@ impl CalcFEngine {
             None => QeContext::exact(),
         }
         .with_workers(self.workers)
-        .with_cache(&self.cache);
+        .with_cache(&self.cache)
+        .with_plan_mode(self.plan_mode);
         let out = evaluate_query(db, &poly_formula, nvars, &ctx)?;
         let free_names = query.free_vars();
         let mut free_vars = Vec::with_capacity(free_names.len());
@@ -302,7 +308,9 @@ impl CalcFEngine {
                 // over the outer variables.
                 let inner = self.aggregate_input(db, Aggregate::Eval, vars, body, exact, err)?;
                 let (rel, inner_vars) = inner;
-                let ctx = QeContext::exact().with_workers(self.workers);
+                let ctx = QeContext::exact()
+                    .with_workers(self.workers)
+                    .with_plan_mode(self.plan_mode);
                 let out = apply_aggregate(Aggregate::Eval, &rel, &inner_vars, &self.eps, &ctx)?;
                 let AggOutput::Relation(result) = out else {
                     return Err(CalcFError::Internal(
@@ -423,7 +431,9 @@ impl CalcFEngine {
                     ));
                 }
                 let (rel, inner_vars) = self.aggregate_input(db, *agg, vars, body, exact, err)?;
-                let ctx = QeContext::exact().with_workers(self.workers);
+                let ctx = QeContext::exact()
+                    .with_workers(self.workers)
+                    .with_plan_mode(self.plan_mode);
                 let out = apply_aggregate(*agg, &rel, &inner_vars, &self.eps, &ctx)?;
                 let AggOutput::Scalar(v) = out else {
                     return Err(CalcFError::Internal(

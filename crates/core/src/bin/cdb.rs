@@ -4,7 +4,7 @@
 //! $ cargo run -p constraintdb --bin cdb
 //! cdb> define S(x, y) := 4*x^2 - y - 20*x + 25 <= 0
 //! cdb> query exists y (S(x, y) and y <= 0)
-//! (2*x - 5 = 0)
+//! (4*x^2 - 20*x + 25 <= 0)
 //! cdb> solve exists y (S(x, y) and y <= 0)
 //! x = 5/2
 //! cdb> query z = SURFACE[x, y]{ S(x, y) and y <= 9 }

@@ -259,11 +259,12 @@ impl ConstraintDb {
     }
 
     /// The evaluation context carrying the engine's full configuration:
-    /// worker count, bit budget, and the shared memo-cache.
+    /// worker count, bit budget, planner mode, and the shared memo-cache.
     pub(crate) fn qe_context(&self) -> QeContext {
         let mut ctx = QeContext::exact()
             .with_workers(self.engine.workers)
-            .with_cache(&self.cache);
+            .with_cache(&self.cache)
+            .with_plan_mode(self.engine.plan_mode);
         ctx.budget_bits = self.engine.budget_bits;
         ctx
     }

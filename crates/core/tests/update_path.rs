@@ -225,9 +225,11 @@ fn write_path_guards() {
 /// exhaustion, it is not silently dropped).
 #[test]
 fn run_datalog_threads_engine_configuration() {
-    // Nonlinear rule body → CAD → algebraic cache traffic. Parabola hops:
-    // N(y) :- M(x), y = x^2.
-    let program = parse_program("N(y) :- M(x), y - x*x = 0.").unwrap();
+    // Rule body cubic in the auxiliary variable y → the per-disjunct
+    // planner has no substitution / FM / quadratic shortcut for y
+    // (degree 3), so it dispatches CAD → algebraic cache traffic. The
+    // answer stays rational: y³ = x ∧ z = y³ ⇒ z = x.
+    let program = parse_program("N(z) :- M(x), y*y*y - x = 0, z - y*y*y = 0.").unwrap();
     let mut db = ConstraintDb::new();
     db.insert_points("M", 1, &[vec![Rat::from(2i64)], vec![Rat::from(3i64)]])
         .unwrap();
@@ -248,9 +250,9 @@ fn run_datalog_threads_engine_configuration() {
         misses_after_first,
         "second run recomputed algebra the cache already held"
     );
-    let q = db.query("N(y)").unwrap();
-    assert!(q.contains(&[Rat::from(4i64)]));
-    assert!(q.contains(&[Rat::from(9i64)]));
+    let q = db.query("N(z)").unwrap();
+    assert!(q.contains(&[Rat::from(2i64)]));
+    assert!(q.contains(&[Rat::from(3i64)]));
 
     // The budget travels too: the divergent doubling program D(y) :-
     // D(x), y = 2x grows its constants without bound; under an 8-bit

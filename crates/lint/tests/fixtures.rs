@@ -176,6 +176,11 @@ fn classify_table_is_pinned() {
         // Result-producing crates answer to determinism.
         ("crates/qe/src/lib.rs", true, true, true, true),
         ("crates/qe/src/cad/sample.rs", true, true, true, true),
+        // The planner and its quadratic kernel produce result bytes
+        // (strategy choice decides which eliminator writes the output),
+        // so both sit fully inside the determinism + float scope.
+        ("crates/qe/src/plan.rs", true, true, true, true),
+        ("crates/qe/src/quad1.rs", true, true, true, true),
         ("crates/datalog/src/program.rs", true, true, true, true),
         ("crates/calcf/src/engine.rs", true, true, true, true),
         ("crates/agg/src/eval.rs", true, true, true, true),

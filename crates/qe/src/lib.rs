@@ -26,6 +26,8 @@ pub mod cad;
 pub mod linear;
 pub mod par;
 pub mod pipeline;
+pub mod plan;
+pub mod quad1;
 
 pub use cache::AlgebraicCache;
 pub use par::par_map_result;
@@ -56,6 +58,11 @@ pub enum QeError {
     FormulaConstruction(String),
     /// Structural error (internal invariant broken or unsupported input).
     Unsupported(String),
+    /// A forced plan mode ([`PlanMode::ForceFM`] / [`PlanMode::ForceQuad`])
+    /// was applied to a disjunct its eliminator cannot handle. Forced modes
+    /// never fall back silently — differential tests rely on the strategy
+    /// actually running — so the planner reports the mismatch instead.
+    PlanUnsupported(String),
 }
 
 impl fmt::Display for QeError {
@@ -72,6 +79,9 @@ impl fmt::Display for QeError {
                 write!(f, "solution formula construction failed: {m}")
             }
             QeError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            QeError::PlanUnsupported(m) => {
+                write!(f, "forced plan mode cannot eliminate this disjunct: {m}")
+            }
         }
     }
 }
@@ -138,6 +148,10 @@ pub struct QeContext {
     pub workers: usize,
     /// Shared memo-cache for resultants, discriminants, and Sturm chains.
     pub cache: AlgebraicCache,
+    /// Strategy policy for the per-disjunct planner (default [`PlanMode::Auto`]).
+    pub plan_mode: PlanMode,
+    /// Per-strategy planner counters (snapshot via [`QeContext::plan_stats`]).
+    pub plan: PlanCounters,
     /// Baseline snapshot of the process-global float-filter `(hits,
     /// fallbacks)` counters (see [`cdb_num::fintv::filter_counters`]),
     /// taken at construction so [`QeContext::filter_hits`] /
@@ -152,6 +166,76 @@ pub struct QeContext {
     /// [`QeContext::resultant_strategies`] reports kernel choices
     /// attributable to this context.
     resultant_base: (u64, u64, u64, u64),
+}
+
+/// Strategy selection policy for the per-disjunct planner ([`plan`]).
+///
+/// `Auto` is the production setting: every disjunct is classified into the
+/// cheapest applicable eliminator. The `Force*` modes pin one strategy for
+/// differential tests and benchmarks (mirroring the resultant dispatcher's
+/// forced kernels, DESIGN.md §11); a forced strategy that does not apply to
+/// a disjunct returns [`QeError::PlanUnsupported`] rather than falling back.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PlanMode {
+    /// Cost-based: substitution → Fourier–Motzkin → quadratic → CAD.
+    #[default]
+    Auto,
+    /// Fourier–Motzkin on every disjunct (error when nonlinear in the
+    /// target variable).
+    ForceFM,
+    /// Whole-relation CAD, exactly the pre-planner pipeline path.
+    ForceCAD,
+    /// The quadratic one-variable shortcut on every disjunct (error when a
+    /// disjunct exceeds degree 2 in the target variable).
+    ForceQuad,
+}
+
+/// Live per-strategy counters for the disjunct planner, updated by
+/// elimination workers through a shared `&QeContext`. Unlike the
+/// resultant-dispatcher counters these are per-context (the planner always
+/// holds a context, so no process-global is needed); [`QeContext::plan_stats`]
+/// snapshots them.
+#[derive(Debug, Default)]
+pub struct PlanCounters {
+    /// Disjunct-eliminations answered by linear-equality substitution.
+    pub subst: Counter,
+    /// Disjunct-eliminations answered by Fourier–Motzkin.
+    pub fm: Counter,
+    /// Disjunct-eliminations answered by the quadratic shortcut.
+    pub quad: Counter,
+    /// Disjunct-eliminations answered by the CAD fallback.
+    pub cad: Counter,
+    /// Wall-clock nanoseconds spent in substitution eliminations.
+    pub subst_nanos: Counter,
+    /// Wall-clock nanoseconds spent in Fourier–Motzkin eliminations.
+    pub fm_nanos: Counter,
+    /// Wall-clock nanoseconds spent in quadratic eliminations.
+    pub quad_nanos: Counter,
+    /// Wall-clock nanoseconds spent in CAD-fallback eliminations.
+    pub cad_nanos: Counter,
+}
+
+/// Snapshot of the planner's per-strategy decisions for one context
+/// (surfaced in E16/E23 JSON): how many disjunct-eliminations each strategy
+/// answered and how much wall time each consumed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Disjuncts eliminated by linear-equality substitution.
+    pub subst: u64,
+    /// Disjuncts eliminated by Fourier–Motzkin.
+    pub fm: u64,
+    /// Disjuncts eliminated by the quadratic shortcut.
+    pub quad: u64,
+    /// Disjuncts eliminated by the CAD fallback.
+    pub cad: u64,
+    /// Nanoseconds spent in substitution eliminations (sum over workers).
+    pub subst_nanos: u64,
+    /// Nanoseconds spent in Fourier–Motzkin eliminations (sum over workers).
+    pub fm_nanos: u64,
+    /// Nanoseconds spent in quadratic eliminations (sum over workers).
+    pub quad_nanos: u64,
+    /// Nanoseconds spent in CAD-fallback eliminations (sum over workers).
+    pub cad_nanos: u64,
 }
 
 /// Per-context view of the resultant dispatcher's decisions (DESIGN.md
@@ -178,6 +262,8 @@ impl Default for QeContext {
             sign_evals: Counter::default(),
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
             cache: AlgebraicCache::new(),
+            plan_mode: PlanMode::default(),
+            plan: PlanCounters::default(),
             filter_base: cdb_num::fintv::filter_counters(),
             resultant_base: cdb_poly::resultant::strategy_counters(),
         }
@@ -224,6 +310,32 @@ impl QeContext {
     pub fn with_cache(mut self, cache: &AlgebraicCache) -> QeContext {
         self.cache = cache.clone();
         self
+    }
+
+    /// Same context with an explicit planner strategy policy (the default
+    /// is [`PlanMode::Auto`]; forced modes drive differential tests and the
+    /// E23 forced-CAD baseline).
+    #[must_use]
+    pub fn with_plan_mode(mut self, mode: PlanMode) -> QeContext {
+        self.plan_mode = mode;
+        self
+    }
+
+    /// Snapshot of the per-disjunct planner's strategy counters for this
+    /// context (reported next to the cache/filter/resultant counters in
+    /// E16/E23).
+    #[must_use]
+    pub fn plan_stats(&self) -> PlanStats {
+        PlanStats {
+            subst: self.plan.subst.get(),
+            fm: self.plan.fm.get(),
+            quad: self.plan.quad.get(),
+            cad: self.plan.cad.get(),
+            subst_nanos: self.plan.subst_nanos.get(),
+            fm_nanos: self.plan.fm_nanos.get(),
+            quad_nanos: self.plan.quad_nanos.get(),
+            cad_nanos: self.plan.cad_nanos.get(),
+        }
     }
 
     /// Effective worker count: at least 1, at most the host's hardware

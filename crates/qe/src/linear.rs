@@ -72,8 +72,9 @@ pub fn eliminate_exists(
 }
 
 /// Split `p ≠ 0` atoms that involve `var` into `<` and `>` cases
-/// (a disjunction, so the tuple multiplies).
-fn split_ne(tuple: &GeneralizedTuple, var: usize) -> Vec<GeneralizedTuple> {
+/// (a disjunction, so the tuple multiplies). Shared with the per-disjunct
+/// planner, which performs the same split before FM/quadratic elimination.
+pub(crate) fn split_ne(tuple: &GeneralizedTuple, var: usize) -> Vec<GeneralizedTuple> {
     let mut result = vec![GeneralizedTuple::top(tuple.nvars())];
     for atom in tuple.atoms() {
         if atom.op == RelOp::Ne && atom.poly.uses_var(var) {

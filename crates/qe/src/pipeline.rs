@@ -2,16 +2,18 @@
 //!
 //! 1. **INSTANTIATION** — replace relation symbols by their stored
 //!    definitions (purely syntactic).
-//! 2. **QUANTIFIER ELIMINATION** — Fourier–Motzkin for linear matrices,
-//!    CAD otherwise; output is a quantifier-free DNF relation.
+//! 2. **QUANTIFIER ELIMINATION** — routed through the per-disjunct planner
+//!    ([`crate::plan`]): substitution / Fourier–Motzkin / quadratic
+//!    shortcut / CAD, chosen per disjunct and variable; output is a
+//!    quantifier-free DNF relation.
 //! 3. **NUMERICAL EVALUATION** — when the answer is a finite set, extract
 //!    ε-approximations of the solution points (Theorem 3.2).
 
 use crate::cad;
-use crate::linear;
+use crate::plan;
 use crate::{QeContext, QeError};
 use cdb_constraints::formula::relation_to_formula;
-use cdb_constraints::{ConstraintRelation, Database, Formula, Quantifier};
+use cdb_constraints::{ConstraintRelation, Database, Formula};
 use cdb_num::Rat;
 
 /// Result of evaluating a query.
@@ -39,39 +41,15 @@ pub fn evaluate_query(
     // Normalize: NNF, then prenex.
     let nnf = pure.to_nnf();
     let (prefix, matrix) = nnf.to_prenex();
-    // Step 2: QUANTIFIER ELIMINATION.
-    let relation = if prefix.is_empty() {
-        matrix
-            .to_dnf(nvars)
-            .map_err(QeError::Unsupported)?
-            .simplify()
-            .prune_empty_boxes()
-    } else {
-        let matrix_rel = matrix
-            .to_dnf(nvars)
-            .map_err(QeError::Unsupported)?
-            .simplify()
-            .prune_empty_boxes();
-        if linear::is_linear(&matrix_rel) {
-            // Innermost-first Fourier–Motzkin.
-            let mut rel = matrix_rel;
-            for (q, v) in prefix.iter().rev() {
-                rel = match q {
-                    Quantifier::Exists => linear::eliminate_exists(&rel, *v, ctx)?,
-                    Quantifier::Forall => linear::eliminate_forall(&rel, *v, ctx)?,
-                };
-            }
-            rel
-        } else if free_vars.is_empty() {
-            if cad::decide_sentence(&matrix, &prefix, nvars, ctx)? {
-                ConstraintRelation::full(nvars)
-            } else {
-                ConstraintRelation::empty(nvars)
-            }
-        } else {
-            cad::eliminate(&matrix, &prefix, &free_vars, nvars, ctx)?
-        }
-    };
+    // Step 2: QUANTIFIER ELIMINATION. The DNF is needed on every path, so
+    // build it once, ahead of the prefix check; the per-disjunct planner is
+    // the single entry point for the quantified cases.
+    let matrix_rel = matrix
+        .to_dnf(nvars)
+        .map_err(QeError::Unsupported)?
+        .simplify()
+        .prune_empty_boxes();
+    let relation = plan::eliminate_prefix(&matrix, matrix_rel, &prefix, &free_vars, nvars, ctx)?;
     Ok(EvalOutput {
         relation,
         free_vars,

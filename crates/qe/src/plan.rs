@@ -1,0 +1,504 @@
+//! Per-disjunct cost-based planning for quantifier elimination
+//! (DESIGN.md §16) — the single entry point the pipeline routes through.
+//!
+//! The paper's pipeline picks one engine for the *whole* matrix: FM if
+//! every disjunct is linear, CAD otherwise — so a single curved atom drags
+//! an otherwise-linear relation into the most expensive algorithm. But `∃`
+//! distributes over the DNF disjuncts, so each disjunct can be classified
+//! independently, per variable, into the cheapest applicable eliminator:
+//!
+//! | rank | strategy | applies when (per disjunct, target `v`) |
+//! |------|----------|------------------------------------------|
+//! | 0 | substitution | an `=` atom linear in `v` with constant coefficient |
+//! | 1 | Fourier–Motzkin | every atom using `v` is linear in `v` (constant coefficient) |
+//! | 2 | quadratic ([`crate::quad1`]) | degree ≤ 2 in `v`, constant lead, ≤ 1 quadratic atom |
+//! | 3 | CAD fallback | everything else |
+//!
+//! Within a run of identical quantifiers (adjacent `∃∃` / `∀∀` commute) the
+//! planner also picks the elimination *order*: cheapest strategy rank
+//! first, fewest atom occurrences as the tie-break, innermost position
+//! last — substituting a pinned variable first can collapse a disjunct
+//! that would otherwise need CAD.
+//!
+//! Determinism: disjunct jobs fan through [`par_map_result`], which merges
+//! results in input order; the cross-disjunct dedup therefore sees tuples
+//! in exactly the sequential order, so output is byte-identical for every
+//! worker count. `∀` runs go through `¬∃¬` when the relation is linear (or
+//! when a forced mode demands it); nonlinear `∀` keeps the pre-planner
+//! whole-relation CAD. [`crate::PlanMode::ForceCAD`] reproduces the old
+//! pipeline exactly; `ForceFM` / `ForceQuad` never fall back — they return
+//! [`QeError::PlanUnsupported`] on a disjunct outside their class.
+
+use crate::cad;
+use crate::linear;
+use crate::par::par_map_result;
+use crate::quad1;
+use crate::{PlanMode, QeContext, QeError};
+use cdb_constraints::formula::relation_to_formula;
+use cdb_constraints::{Atom, ConstraintRelation, Formula, GeneralizedTuple, Quantifier, RelOp};
+use cdb_num::Sign;
+use cdb_poly::MPoly;
+// cdb-lint: allow(determinism) — wall-clock readings feed only the
+// per-strategy PlanStats diagnostics surfaced in E16/E23 JSON; no
+// result-producing decision reads them.
+use std::time::Instant;
+
+/// The eliminator chosen for one (disjunct, variable) step, cheapest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Strategy {
+    /// Linear-equality substitution — no case splits at all.
+    Subst,
+    /// Fourier–Motzkin bound pairing (atoms not using the variable pass
+    /// through at any degree).
+    Fm,
+    /// Quadratic root-interval elimination ([`crate::quad1`]).
+    Quad,
+    /// Per-disjunct cylindrical algebraic decomposition.
+    Cad,
+}
+
+fn rank(s: Strategy) -> u8 {
+    match s {
+        Strategy::Subst => 0,
+        Strategy::Fm => 1,
+        Strategy::Quad => 2,
+        Strategy::Cad => 3,
+    }
+}
+
+/// Index of an `=` atom linear in `var` with a constant (nonzero)
+/// coefficient, if any — the substitution eliminator's anchor.
+fn find_subst_atom(tuple: &GeneralizedTuple, var: usize) -> Option<usize> {
+    tuple.atoms().iter().position(|a| {
+        a.op == RelOp::Eq && a.poly.degree_in(var) == 1 && lead_constant(&a.poly, var).is_some()
+    })
+}
+
+/// The leading coefficient of `p` viewed as univariate in `var`, when that
+/// coefficient is a constant (the shape every non-CAD eliminator needs).
+fn lead_constant(p: &MPoly, var: usize) -> Option<cdb_num::Rat> {
+    p.as_upoly_in(var).last().and_then(MPoly::to_constant)
+}
+
+/// True iff Fourier–Motzkin can eliminate `var`: every atom *using* `var`
+/// is linear in it with a constant coefficient. Atoms not using `var` pass
+/// through regardless of their degree (the interval-intersection argument
+/// never touches them), which is what lets FM handle disjuncts the
+/// whole-matrix `is_linear` test would have sent to CAD.
+fn fm_applicable(tuple: &GeneralizedTuple, var: usize) -> bool {
+    tuple.atoms().iter().all(|a| {
+        a.poly.degree_in(var) == 0
+            || (a.poly.degree_in(var) == 1 && lead_constant(&a.poly, var).is_some())
+    })
+}
+
+/// Classify one disjunct for eliminating `∃ var`: the cheapest applicable
+/// strategy in the table above.
+#[must_use]
+pub fn classify(tuple: &GeneralizedTuple, var: usize) -> Strategy {
+    if find_subst_atom(tuple, var).is_some() {
+        Strategy::Subst
+    } else if fm_applicable(tuple, var) {
+        Strategy::Fm
+    } else if quad1::applicable(tuple, var) {
+        Strategy::Quad
+    } else {
+        Strategy::Cad
+    }
+}
+
+/// Substitution eliminator: `c·v + r = 0` pins `v = −r/c`; Horner-evaluate
+/// every other atom at the pinned value (sound at any degree — this is how
+/// a linear equality rescues an otherwise-CAD disjunct). Returns `None`
+/// when the result is contradictory.
+pub(crate) fn subst_eliminate_tuple(
+    tuple: &GeneralizedTuple,
+    var: usize,
+    ctx: &QeContext,
+) -> Result<Option<GeneralizedTuple>, QeError> {
+    let nvars = tuple.nvars();
+    let (idx, c, rest) = find_subst_atom(tuple, var)
+        .and_then(|i| {
+            let coeffs = tuple.atoms().get(i)?.poly.as_upoly_in(var);
+            let c = coeffs.last().and_then(MPoly::to_constant)?;
+            Some((i, c, coeffs.into_iter().next()?))
+        })
+        .ok_or_else(|| {
+            QeError::PlanUnsupported(format!("substitution: no linear equality atom in x{var}"))
+        })?;
+    let sub = rest.scale(&(-c.recip())); // v := −rest/c
+    ctx.observe_poly(&sub)?;
+    let mut atoms = Vec::with_capacity(tuple.atoms().len() - 1);
+    for (i, atom) in tuple.atoms().iter().enumerate() {
+        if i == idx {
+            continue; // becomes 0 = 0
+        }
+        if !atom.poly.uses_var(var) {
+            atoms.push(atom.clone());
+            continue;
+        }
+        let cs = atom.poly.as_upoly_in(var);
+        let mut acc = cs.last().cloned().unwrap_or_else(|| MPoly::zero(nvars));
+        for lower in cs.iter().rev().skip(1) {
+            acc = &(&acc * &sub) + lower;
+        }
+        ctx.observe_poly(&acc)?;
+        atoms.push(Atom::new(acc, atom.op));
+    }
+    Ok(GeneralizedTuple::new(nvars, atoms).simplify())
+}
+
+/// Generalized Fourier–Motzkin on one disjunct (`≠` atoms using `var`
+/// already split): isolate `var` in each atom using it, substitute
+/// equalities, pair lower × upper bounds. Identical to the linear engine's
+/// core step except that pass-through atoms may have any degree and bounds
+/// are arbitrary polynomials in the other variables.
+pub(crate) fn fm_eliminate_tuple(
+    tuple: &GeneralizedTuple,
+    var: usize,
+    ctx: &QeContext,
+) -> Result<Option<GeneralizedTuple>, QeError> {
+    let nvars = tuple.nvars();
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut lowers: Vec<(MPoly, bool)> = Vec::new(); // (bound, strict)
+    let mut uppers: Vec<(MPoly, bool)> = Vec::new();
+    let mut equals: Vec<MPoly> = Vec::new();
+    for atom in tuple.atoms() {
+        if !atom.poly.uses_var(var) {
+            atoms.push(atom.clone());
+            continue;
+        }
+        if atom.poly.degree_in(var) != 1 {
+            return Err(QeError::PlanUnsupported(format!(
+                "Fourier–Motzkin: atom is nonlinear in x{var}"
+            )));
+        }
+        let c = lead_constant(&atom.poly, var).ok_or_else(|| {
+            QeError::PlanUnsupported(format!("Fourier–Motzkin: symbolic coefficient of x{var}"))
+        })?;
+        let rest = atom
+            .poly
+            .as_upoly_in(var)
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| MPoly::zero(nvars));
+        let bound = rest.scale(&(-c.recip()));
+        ctx.observe_poly(&bound)?;
+        let op = if c.sign() == Sign::Neg {
+            atom.op.flipped()
+        } else {
+            atom.op
+        };
+        match op {
+            RelOp::Eq => equals.push(bound),
+            RelOp::Lt => uppers.push((bound, true)),
+            RelOp::Le => uppers.push((bound, false)),
+            RelOp::Gt => lowers.push((bound, true)),
+            RelOp::Ge => lowers.push((bound, false)),
+            RelOp::Ne => {
+                return Err(QeError::Unsupported(
+                    "Fourier–Motzkin: `≠` atom not split before elimination".into(),
+                ))
+            }
+        }
+    }
+    if let Some(e0) = equals.first() {
+        for e in &equals[1..] {
+            let d = e0 - e;
+            ctx.observe_poly(&d)?;
+            atoms.push(Atom::new(d, RelOp::Eq));
+        }
+        for (u, strict) in &uppers {
+            let d = e0 - u; // var ≤ u ⇒ e0 − u ≤ 0
+            ctx.observe_poly(&d)?;
+            atoms.push(Atom::new(d, if *strict { RelOp::Lt } else { RelOp::Le }));
+        }
+        for (l, strict) in &lowers {
+            let d = l - e0; // var ≥ l ⇒ l − e0 ≤ 0
+            ctx.observe_poly(&d)?;
+            atoms.push(Atom::new(d, if *strict { RelOp::Lt } else { RelOp::Le }));
+        }
+        return Ok(GeneralizedTuple::new(nvars, atoms).simplify());
+    }
+    for (l, ls) in &lowers {
+        for (u, us) in &uppers {
+            let d = l - u; // need l ⋈ u (density of the reals)
+            ctx.observe_poly(&d)?;
+            atoms.push(Atom::new(d, if *ls || *us { RelOp::Lt } else { RelOp::Le }));
+        }
+    }
+    Ok(GeneralizedTuple::new(nvars, atoms).simplify())
+}
+
+/// CAD fallback for one disjunct: a decomposition over just the variables
+/// this disjunct uses — the other disjuncts never pay for it.
+fn cad_eliminate_tuple(
+    tuple: &GeneralizedTuple,
+    var: usize,
+    nvars: usize,
+    ctx: &QeContext,
+) -> Result<Vec<GeneralizedTuple>, QeError> {
+    let single = ConstraintRelation::new(nvars, vec![tuple.clone()]);
+    let matrix = relation_to_formula(&single);
+    let prefix = [(Quantifier::Exists, var)];
+    let free: Vec<usize> = (0..nvars)
+        .filter(|&v| v != var && tuple.uses_var(v))
+        .collect();
+    if free.is_empty() {
+        // The disjunct is univariate in `var`: `∃ var` is a sentence.
+        return Ok(if cad::decide_sentence(&matrix, &prefix, nvars, ctx)? {
+            vec![GeneralizedTuple::top(nvars)]
+        } else {
+            Vec::new()
+        });
+    }
+    let out = cad::eliminate(&matrix, &prefix, &free, nvars, ctx)?;
+    Ok(out.tuples().to_vec())
+}
+
+/// Eliminate `∃ var` from one work tuple under the context's plan mode,
+/// recording the per-strategy disjunct count and wall time.
+fn eliminate_var_from_tuple(
+    tuple: &GeneralizedTuple,
+    var: usize,
+    nvars: usize,
+    ctx: &QeContext,
+) -> Result<Vec<GeneralizedTuple>, QeError> {
+    if !tuple.uses_var(var) {
+        return Ok(vec![tuple.clone()]);
+    }
+    let strat = match ctx.plan_mode {
+        PlanMode::Auto => classify(tuple, var),
+        PlanMode::ForceFM => {
+            if fm_applicable(tuple, var) {
+                Strategy::Fm
+            } else {
+                return Err(QeError::PlanUnsupported(format!(
+                    "ForceFM: disjunct is nonlinear in x{var}"
+                )));
+            }
+        }
+        PlanMode::ForceQuad => {
+            if quad1::applicable(tuple, var) {
+                Strategy::Quad
+            } else {
+                return Err(QeError::PlanUnsupported(format!(
+                    "ForceQuad: disjunct exceeds degree 2 in x{var} (or has a \
+                     symbolic leading coefficient)"
+                )));
+            }
+        }
+        // Whole-relation ForceCAD is handled in `eliminate_prefix`; reaching
+        // here (relation-level entry) falls back to per-disjunct CAD.
+        PlanMode::ForceCAD => Strategy::Cad,
+    };
+    // cdb-lint: allow(determinism) — stats-only timing (see module `use`).
+    let t0 = Instant::now();
+    let out = match strat {
+        Strategy::Subst => subst_eliminate_tuple(tuple, var, ctx)?
+            .into_iter()
+            .collect(),
+        Strategy::Fm => {
+            let mut rs = Vec::new();
+            for split in linear::split_ne(tuple, var) {
+                if let Some(t) = fm_eliminate_tuple(&split, var, ctx)? {
+                    rs.push(t);
+                }
+            }
+            rs
+        }
+        Strategy::Quad => {
+            let mut rs = Vec::new();
+            for split in linear::split_ne(tuple, var) {
+                rs.extend(quad1::eliminate_tuple(&split, var, ctx)?);
+            }
+            rs
+        }
+        Strategy::Cad => cad_eliminate_tuple(tuple, var, nvars, ctx)?,
+    };
+    let (count, nanos) = match strat {
+        Strategy::Subst => (&ctx.plan.subst, &ctx.plan.subst_nanos),
+        Strategy::Fm => (&ctx.plan.fm, &ctx.plan.fm_nanos),
+        Strategy::Quad => (&ctx.plan.quad, &ctx.plan.quad_nanos),
+        Strategy::Cad => (&ctx.plan.cad, &ctx.plan.cad_nanos),
+    };
+    count.add(1);
+    nanos.add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    Ok(out)
+}
+
+/// Pick the next variable to eliminate: cheapest worst-case strategy rank
+/// over the current work set, then fewest atom occurrences, then innermost
+/// position (`remaining` is kept innermost-first, so the lowest index wins
+/// ties). Returns an index into `remaining`.
+fn choose_var(work: &[GeneralizedTuple], remaining: &[usize]) -> usize {
+    let mut best = 0usize;
+    let mut best_key = (u8::MAX, usize::MAX, usize::MAX);
+    for (i, &v) in remaining.iter().enumerate() {
+        let mut worst_rank = 0u8;
+        let mut occurrences = 0usize;
+        for t in work {
+            if !t.uses_var(v) {
+                continue;
+            }
+            worst_rank = worst_rank.max(rank(classify(t, v)));
+            occurrences += t.atoms().iter().filter(|a| a.poly.uses_var(v)).count();
+        }
+        let key = (worst_rank, occurrences, i);
+        if key < best_key {
+            best_key = key;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Eliminate a run of existential variables (`run` innermost-first) from
+/// one original disjunct. The work set grows only through splits (`≠`,
+/// quadratic sign-condition branches, CAD output disjuncts), each of which
+/// is planned independently at the next variable.
+fn eliminate_run_from_tuple(
+    tuple: &GeneralizedTuple,
+    run: &[usize],
+    nvars: usize,
+    ctx: &QeContext,
+) -> Result<Vec<GeneralizedTuple>, QeError> {
+    let mut work = vec![tuple.clone()];
+    let mut remaining: Vec<usize> = run.to_vec();
+    while !remaining.is_empty() && !work.is_empty() {
+        let var = remaining.remove(choose_var(&work, &remaining));
+        let mut next: Vec<GeneralizedTuple> = Vec::new();
+        for w in &work {
+            for produced in eliminate_var_from_tuple(w, var, nvars, ctx)? {
+                if let Some(t) = produced.simplify() {
+                    if !next.contains(&t) {
+                        next.push(t);
+                    }
+                }
+            }
+        }
+        work = next;
+    }
+    Ok(work)
+}
+
+/// Eliminate a run of existential quantifiers (`run` innermost-first) from
+/// a DNF relation, planning each disjunct independently. With
+/// `ctx.workers > 1` the disjunct jobs fan out through [`par_map_result`]
+/// and merge **in input order**, so the output is byte-identical to the
+/// sequential path for every worker count.
+pub fn eliminate_exists_run(
+    rel: &ConstraintRelation,
+    run: &[usize],
+    ctx: &QeContext,
+) -> Result<ConstraintRelation, QeError> {
+    let nvars = rel.nvars();
+    let tuples = rel.tuples();
+    let mut out: Vec<GeneralizedTuple> = Vec::new();
+    if ctx.effective_workers() <= 1 || tuples.len() <= 1 {
+        for tuple in tuples {
+            for t in eliminate_run_from_tuple(tuple, run, nvars, ctx)? {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+    } else {
+        let per_tuple = par_map_result(tuples, ctx.effective_workers(), |tuple| {
+            eliminate_run_from_tuple(tuple, run, nvars, ctx)
+        })?;
+        for results in per_tuple {
+            for t in results {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+    }
+    Ok(ConstraintRelation::new(nvars, out).simplify())
+}
+
+/// The pre-planner path: one CAD (or sentence decision) over everything
+/// still quantified. Counts every disjunct of the incoming relation as a
+/// CAD dispatch.
+fn whole_cad(
+    matrix: &Formula,
+    rel: &ConstraintRelation,
+    prefix: &[(Quantifier, usize)],
+    free: &[usize],
+    nvars: usize,
+    ctx: &QeContext,
+) -> Result<ConstraintRelation, QeError> {
+    // cdb-lint: allow(determinism) — stats-only timing (see module `use`).
+    let t0 = Instant::now();
+    let out = if free.is_empty() {
+        if cad::decide_sentence(matrix, prefix, nvars, ctx)? {
+            ConstraintRelation::full(nvars)
+        } else {
+            ConstraintRelation::empty(nvars)
+        }
+    } else {
+        cad::eliminate(matrix, prefix, free, nvars, ctx)?
+    };
+    ctx.plan.cad.add(rel.tuples().len().max(1) as u64);
+    ctx.plan
+        .cad_nanos
+        .add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    Ok(out)
+}
+
+/// Planner entry point: eliminate the whole quantifier prefix from a
+/// prenex matrix. `matrix` is the original quantifier-free formula (NNF),
+/// `matrix_rel` its DNF; `free` lists the query's free variables ascending.
+///
+/// Processes innermost runs of identical quantifiers: `∃` runs go through
+/// the per-disjunct planner; `∀` runs go through `¬∃¬` when the relation is
+/// linear (and under forced FM/quad modes), and keep the pre-planner
+/// whole-relation CAD otherwise. [`PlanMode::ForceCAD`] short-circuits to
+/// the whole-relation path on the *original* matrix, reproducing the old
+/// pipeline byte-for-byte.
+pub fn eliminate_prefix(
+    matrix: &Formula,
+    matrix_rel: ConstraintRelation,
+    prefix: &[(Quantifier, usize)],
+    free: &[usize],
+    nvars: usize,
+    ctx: &QeContext,
+) -> Result<ConstraintRelation, QeError> {
+    if prefix.is_empty() {
+        return Ok(matrix_rel);
+    }
+    if ctx.plan_mode == PlanMode::ForceCAD {
+        return whole_cad(matrix, &matrix_rel, prefix, free, nvars, ctx);
+    }
+    let mut rel = matrix_rel;
+    let mut rest: Vec<(Quantifier, usize)> = prefix.to_vec();
+    while let Some(&(q, _)) = rest.last() {
+        // Innermost run of identical quantifiers (adjacent ∃∃/∀∀ commute,
+        // so the planner may reorder within the run).
+        let mut start = rest.len();
+        while start > 0 && rest[start - 1].0 == q {
+            start -= 1;
+        }
+        let run: Vec<usize> = rest[start..].iter().rev().map(|&(_, v)| v).collect();
+        match q {
+            Quantifier::Exists => {
+                rel = eliminate_exists_run(&rel, &run, ctx)?;
+            }
+            Quantifier::Forall => {
+                if ctx.plan_mode == PlanMode::Auto && !linear::is_linear(&rel) {
+                    // Complementing a nonlinear DNF can blow up; keep the
+                    // pre-planner behavior — one CAD over everything still
+                    // quantified.
+                    let f = relation_to_formula(&rel);
+                    return whole_cad(&f, &rel, &rest, free, nvars, ctx);
+                }
+                let negated = rel.complement().simplify();
+                let eliminated = eliminate_exists_run(&negated, &run, ctx)?;
+                rel = eliminated.complement().simplify();
+            }
+        }
+        rest.truncate(start);
+    }
+    Ok(rel)
+}

@@ -1,0 +1,346 @@
+//! Differential tests for the per-disjunct QE planner (DESIGN.md §16).
+//!
+//! Three obligations:
+//! 1. `Auto` output is byte-identical across worker counts (1 vs 4), and
+//!    semantically equal to the `ForceCAD` output (which reproduces the
+//!    pre-planner whole-relation path byte-for-byte, also across workers).
+//! 2. The quadratic shortcut ([`cdb_qe::quad1`]) agrees with CAD on every
+//!    degree-≤2 one-variable formula — including the degenerate `a = 0`
+//!    (linear) case and double roots.
+//! 3. Forced modes fail *typed* on inapplicable disjuncts
+//!    ([`QeError::PlanUnsupported`]), never silently falling back.
+//!
+//! A fixed mixed corpus also pins that all four strategies are exercised
+//! (`strategies_all_exercised`), and a reorder pin shows the cost-aware
+//! variable order avoiding a CAD dispatch a naive order would pay for.
+
+use cdb_constraints::{Atom, ConstraintRelation, Formula, GeneralizedTuple, Quantifier, RelOp};
+use cdb_num::Rat;
+use cdb_poly::MPoly;
+use cdb_qe::{plan, PlanMode, QeContext, QeError};
+use proptest::prelude::*;
+
+fn c(v: i64, n: usize) -> MPoly {
+    MPoly::constant(Rat::from(v), n)
+}
+
+/// Run the planner entry point on a prenex matrix and return the answer
+/// relation (callers compare its printed form for byte identity, or probe
+/// it for semantic equality).
+fn run_planner(
+    matrix: &Formula,
+    prefix: &[(Quantifier, usize)],
+    free: &[usize],
+    nvars: usize,
+    mode: PlanMode,
+    workers: usize,
+) -> Result<ConstraintRelation, QeError> {
+    let ctx = QeContext::exact()
+        .with_workers(workers)
+        .with_plan_mode(mode);
+    let rel = matrix
+        .to_dnf(nvars)
+        .map_err(QeError::Unsupported)?
+        .simplify()
+        .prune_empty_boxes();
+    plan::eliminate_prefix(matrix, rel, prefix, free, nvars, &ctx)
+}
+
+/// One mixed-corpus disjunct over `(x, y)` (y is eliminated): `kind`
+/// selects the planner class it should land in.
+fn mixed_disjunct(kind: u8, a: i64, b: i64) -> Formula {
+    let n = 2;
+    let x = MPoly::var(0, n);
+    let y = MPoly::var(1, n);
+    let atoms = match kind {
+        // Substitution: y pinned by a linear equality.
+        0 => vec![
+            Atom::new(&y - &c(a, n), RelOp::Eq),
+            Atom::new(&(&x - &y) - &c(b, n), RelOp::Le),
+        ],
+        // Fourier–Motzkin: all-linear bounds on y.
+        1 => vec![
+            Atom::new(&y - &c(b.max(a), n), RelOp::Le),
+            Atom::new(&c(a.min(b), n) - &y, RelOp::Le),
+            Atom::new(&x - &y, RelOp::Le),
+        ],
+        // Quadratic shortcut: one degree-2 atom, constant lead.
+        2 => vec![
+            Atom::new(&(&y.pow(2) + &y.scale(&Rat::from(a))) + &c(b, n), RelOp::Le),
+            Atom::new(&x - &y, RelOp::Le),
+        ],
+        // CAD fallback: cubic in y. ∃y (y³ ≥ x ∧ y ≤ a) ⇔ x ≤ a³.
+        _ => vec![
+            Atom::new(&x - &y.pow(3), RelOp::Le),
+            Atom::new(&y - &c(a, n), RelOp::Le),
+        ],
+    };
+    Formula::And(atoms.into_iter().map(Formula::Atom).collect())
+}
+
+fn mixed_matrix(spec: &[(u8, i64, i64)]) -> Formula {
+    Formula::Or(
+        spec.iter()
+            .map(|&(k, a, b)| mixed_disjunct(k, a, b))
+            .collect(),
+    )
+    .to_nnf()
+}
+
+/// Probe grid for semantic comparison of one-free-variable answers.
+fn probe_points() -> Vec<Rat> {
+    ["-4", "-2", "-1", "-1/2", "0", "1/2", "1", "2", "4", "27/8"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect()
+}
+
+/// Fixed mixed corpus: every strategy fires, and the planner's output
+/// agrees with forced CAD — byte-identical across workers within each
+/// mode, semantically equal across modes.
+#[test]
+fn strategies_all_exercised() {
+    let spec = [(0u8, 2i64, 1i64), (1, -1, 2), (2, 1, -2), (3, 2, 0)];
+    let matrix = mixed_matrix(&spec);
+    let prefix = [(Quantifier::Exists, 1)];
+    for workers in [1usize, 4] {
+        let ctx = QeContext::exact()
+            .with_workers(workers)
+            .with_plan_mode(PlanMode::Auto);
+        let rel = matrix.to_dnf(2).unwrap().simplify().prune_empty_boxes();
+        plan::eliminate_prefix(&matrix, rel, &prefix, &[0], 2, &ctx).unwrap();
+        let stats = ctx.plan_stats();
+        assert!(stats.subst >= 1, "substitution never fired (w={workers})");
+        assert!(stats.fm >= 1, "FM never fired (w={workers})");
+        assert!(stats.quad >= 1, "quad shortcut never fired (w={workers})");
+        assert!(stats.cad >= 1, "CAD fallback never fired (w={workers})");
+    }
+}
+
+/// The fixed corpus again, as a full four-way differential.
+#[test]
+fn mixed_corpus_differential_fixed() {
+    let spec = [(0u8, 2i64, 1i64), (1, -1, 2), (2, 1, -2), (3, 2, 0)];
+    let matrix = mixed_matrix(&spec);
+    let prefix = [(Quantifier::Exists, 1)];
+    let auto1 = run_planner(&matrix, &prefix, &[0], 2, PlanMode::Auto, 1).unwrap();
+    let auto4 = run_planner(&matrix, &prefix, &[0], 2, PlanMode::Auto, 4).unwrap();
+    let cad1 = run_planner(&matrix, &prefix, &[0], 2, PlanMode::ForceCAD, 1).unwrap();
+    let cad4 = run_planner(&matrix, &prefix, &[0], 2, PlanMode::ForceCAD, 4).unwrap();
+    assert_eq!(
+        format!("{auto1}"),
+        format!("{auto4}"),
+        "Auto not worker-deterministic"
+    );
+    assert_eq!(
+        format!("{cad1}"),
+        format!("{cad4}"),
+        "ForceCAD not worker-deterministic"
+    );
+    for x in probe_points() {
+        let point = [x.clone(), Rat::zero()];
+        assert_eq!(
+            auto1.satisfied_at(&point),
+            cad1.satisfied_at(&point),
+            "Auto and ForceCAD disagree at x = {x}"
+        );
+    }
+}
+
+/// Reorder pin (satellite 2): in ∃x∃y (x = 2 ∧ x·y² + y − 3 ≤ 0) the
+/// quadratic's leading coefficient in y is *symbolic* (`x`), so naively
+/// eliminating the innermost y first means a CAD dispatch. The cost-aware
+/// order substitutes the pinned x first, which collapses the disjunct to
+/// 2y² + y − 3 ≤ 0 — a quad-shortcut job. CAD must never fire.
+#[test]
+fn reorder_avoids_cad_dispatch() {
+    let n = 2;
+    let x = MPoly::var(0, n);
+    let y = MPoly::var(1, n);
+    let quad_atom = Atom::new(&(&(&x * &y.pow(2)) + &y) - &c(3, n), RelOp::Le);
+    let tuple = GeneralizedTuple::new(
+        n,
+        vec![Atom::new(&x - &c(2, n), RelOp::Eq), quad_atom.clone()],
+    );
+    // Naive innermost-first would start at y, which classifies as CAD.
+    assert_eq!(plan::classify(&tuple, 1), plan::Strategy::Cad);
+    assert_eq!(plan::classify(&tuple, 0), plan::Strategy::Subst);
+    let matrix = Formula::And(vec![
+        Formula::Atom(Atom::new(&x - &c(2, n), RelOp::Eq)),
+        Formula::Atom(quad_atom),
+    ])
+    .to_nnf();
+    let prefix = [(Quantifier::Exists, 0), (Quantifier::Exists, 1)];
+    let ctx = QeContext::exact().with_workers(1);
+    let rel = matrix.to_dnf(n).unwrap().simplify().prune_empty_boxes();
+    let out = plan::eliminate_prefix(&matrix, rel, &prefix, &[], n, &ctx).unwrap();
+    // The sentence is true: y = 1 gives 2 + 1 − 3 ≤ 0.
+    assert!(out.satisfied_at(&[Rat::zero(), Rat::zero()]));
+    let stats = ctx.plan_stats();
+    assert_eq!(stats.cad, 0, "cost-aware order should avoid CAD entirely");
+    assert!(stats.subst >= 1, "x = 2 should be substituted");
+    assert!(stats.quad >= 1, "the collapsed disjunct should go quad");
+}
+
+/// Satellite 6: forced modes return a typed error on inapplicable
+/// disjuncts — no panic, no silent fallback.
+#[test]
+fn forced_modes_fail_typed() {
+    let n = 1;
+    let x = MPoly::var(0, n);
+    let cubic = ConstraintRelation::new(
+        n,
+        vec![GeneralizedTuple::new(
+            n,
+            vec![Atom::new(&x.pow(3) - &c(2, n), RelOp::Le)],
+        )],
+    );
+    let quad = ConstraintRelation::new(
+        n,
+        vec![GeneralizedTuple::new(
+            n,
+            vec![Atom::new(&x.pow(2) - &c(2, n), RelOp::Le)],
+        )],
+    );
+    let fq = QeContext::exact().with_plan_mode(PlanMode::ForceQuad);
+    let err = plan::eliminate_exists_run(&cubic, &[0], &fq).unwrap_err();
+    assert!(
+        matches!(err, QeError::PlanUnsupported(_)),
+        "ForceQuad on a cubic must be PlanUnsupported, got: {err}"
+    );
+    let ffm = QeContext::exact().with_plan_mode(PlanMode::ForceFM);
+    let err = plan::eliminate_exists_run(&quad, &[0], &ffm).unwrap_err();
+    assert!(
+        matches!(err, QeError::PlanUnsupported(_)),
+        "ForceFM on a quadratic must be PlanUnsupported, got: {err}"
+    );
+    // The error also survives the full planner entry point.
+    let matrix = cdb_constraints::formula::relation_to_formula(&cubic);
+    let err = plan::eliminate_prefix(
+        &matrix,
+        cubic.clone(),
+        &[(Quantifier::Exists, 0)],
+        &[],
+        n,
+        &fq,
+    )
+    .unwrap_err();
+    assert!(matches!(err, QeError::PlanUnsupported(_)), "{err}");
+}
+
+/// Quad-vs-CAD on hand-picked degenerate cases: double roots, empty
+/// interiors, the linear `a = 0` delegation, and equality constraints.
+#[test]
+fn quad_shortcut_degenerate_cases() {
+    // (q(x) atoms, extra linear bounds, expected sentence truth)
+    let n = 1;
+    let x = MPoly::var(0, n);
+    let dbl = &(&x - &c(1, n)).pow(2); // (x−1)², double root at 1
+    let cases: Vec<(Vec<Atom>, bool)> = vec![
+        (vec![Atom::new(dbl.clone(), RelOp::Le)], true),
+        (vec![Atom::new(dbl.clone(), RelOp::Lt)], false),
+        (
+            vec![
+                Atom::new(dbl.clone(), RelOp::Le),
+                Atom::new(&c(2, n) - &x, RelOp::Le), // x ≥ 2 excludes the root
+            ],
+            false,
+        ),
+        (
+            vec![
+                Atom::new(dbl.clone(), RelOp::Eq),
+                Atom::new(-&x, RelOp::Le), // x ≥ 0 keeps it
+            ],
+            true,
+        ),
+        // a = 0: the "quadratic" is linear; quad1 delegates to FM.
+        (
+            vec![
+                Atom::new(&x.scale(&Rat::from(2i64)) + &c(1, n), RelOp::Le),
+                Atom::new(-&x, RelOp::Le), // x ≥ 0 ∧ 2x+1 ≤ 0: empty
+            ],
+            false,
+        ),
+        (
+            vec![
+                Atom::new(&x.pow(2) - &c(2, n), RelOp::Eq),
+                Atom::new(&c(1, n) - &x, RelOp::Le), // x ≥ 1 keeps √2
+            ],
+            true,
+        ),
+    ];
+    for (i, (atoms, expect)) in cases.into_iter().enumerate() {
+        let matrix = Formula::And(atoms.into_iter().map(Formula::Atom).collect()).to_nnf();
+        let prefix = [(Quantifier::Exists, 0)];
+        for mode in [PlanMode::ForceQuad, PlanMode::ForceCAD, PlanMode::Auto] {
+            let out = run_planner(&matrix, &prefix, &[], n, mode, 1).unwrap();
+            assert_eq!(
+                out.satisfied_at(&[Rat::zero()]),
+                expect,
+                "case {i} under {mode:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized mixed corpora: Auto is byte-identical across workers
+    /// {1, 4}, ForceCAD likewise, and the two modes agree semantically on
+    /// a probe grid.
+    #[test]
+    fn mixed_corpus_differential(
+        spec in proptest::collection::vec((0u8..=3, -2i64..=2, -2i64..=2), 2..=3),
+    ) {
+        let matrix = mixed_matrix(&spec);
+        let prefix = [(Quantifier::Exists, 1)];
+        let auto1 = run_planner(&matrix, &prefix, &[0], 2, PlanMode::Auto, 1).unwrap();
+        let auto4 = run_planner(&matrix, &prefix, &[0], 2, PlanMode::Auto, 4).unwrap();
+        let cad1 = run_planner(&matrix, &prefix, &[0], 2, PlanMode::ForceCAD, 1).unwrap();
+        let cad4 = run_planner(&matrix, &prefix, &[0], 2, PlanMode::ForceCAD, 4).unwrap();
+        prop_assert_eq!(format!("{}", auto1), format!("{}", auto4));
+        prop_assert_eq!(format!("{}", cad1), format!("{}", cad4));
+        for x in probe_points() {
+            let point = [x.clone(), Rat::zero()];
+            prop_assert_eq!(
+                auto1.satisfied_at(&point),
+                cad1.satisfied_at(&point),
+                "Auto and ForceCAD disagree at x = {}", x
+            );
+        }
+    }
+
+    /// Randomized degree-≤2 one-variable formulas (a = 0 included): the
+    /// quad shortcut and CAD decide the same sentences.
+    #[test]
+    fn quad_shortcut_matches_cad(
+        a in -2i64..=2, b in -3i64..=3, cc in -3i64..=3,
+        op_idx in 0u8..=4,
+        lo in -3i64..=1, hi in 0i64..=3,
+        with_lo in any::<bool>(), with_hi in any::<bool>(),
+    ) {
+        let n = 1;
+        let x = MPoly::var(0, n);
+        let q = &(&x.pow(2).scale(&Rat::from(a)) + &x.scale(&Rat::from(b))) + &c(cc, n);
+        let op = [RelOp::Le, RelOp::Lt, RelOp::Ge, RelOp::Gt, RelOp::Eq][usize::from(op_idx)];
+        let mut atoms = vec![Atom::new(q, op)];
+        if with_lo {
+            atoms.push(Atom::new(&c(lo, n) - &x, RelOp::Le));
+        }
+        if with_hi {
+            atoms.push(Atom::new(&x - &c(hi, n), RelOp::Le));
+        }
+        let matrix = Formula::And(atoms.into_iter().map(Formula::Atom).collect()).to_nnf();
+        let prefix = [(Quantifier::Exists, 0)];
+        let quad = run_planner(&matrix, &prefix, &[], n, PlanMode::ForceQuad, 1).unwrap();
+        let cad = run_planner(&matrix, &prefix, &[], n, PlanMode::ForceCAD, 1).unwrap();
+        prop_assert_eq!(
+            quad.satisfied_at(&[Rat::zero()]),
+            cad.satisfied_at(&[Rat::zero()]),
+            "quad shortcut disagrees with CAD on a={} b={} c={} op={:?} lo={:?} hi={:?}",
+            a, b, cc, op,
+            with_lo.then_some(lo), with_hi.then_some(hi)
+        );
+    }
+}

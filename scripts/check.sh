@@ -27,4 +27,10 @@ cargo run --release -p cdb-bench --bin repro -- e22 > /dev/null
 grep -q '"all_outputs_equal": true' BENCH_server.json
 grep -q '"hardware_threads"' BENCH_server.json
 
+echo "==> E23 smoke: planned QE matches forced CAD and the alibi oracle"
+cargo run --release -p cdb-bench --bin repro -- e23 > /dev/null
+grep -q '"all_outputs_equal": true' BENCH_alibi.json
+grep -q '"oracle_matches": true' BENCH_alibi.json
+grep -q '"hardware_threads"' BENCH_alibi.json
+
 echo "All checks passed."
